@@ -1,0 +1,264 @@
+//! Ablation benches for the design choices DESIGN.md § 5 calls out:
+//!
+//! 1. branching vs no-branch selection-vector construction (Ross [31]);
+//! 2. tile size (the paper fixes 1024);
+//! 3. hash-table deletion policy (backward shift vs tombstone) — the
+//!    operation eager aggregation leans on;
+//! 4. dense vs block-compressed positional-bitmap probes;
+//! 5. key-masked NULL routing vs a real hashed key.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use swole_bitmap::{CompressedBitmap, PositionalBitmap};
+use swole_ht::{AggTable, DeletePolicy};
+use swole_kernels::{predicate, selvec};
+
+const N: usize = 1 << 20;
+
+fn data(sel: i8) -> (Vec<i8>, Vec<u8>) {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let x: Vec<i8> = (0..N).map(|_| rng.gen_range(0..100)).collect();
+    let mut cmp = vec![0u8; N];
+    predicate::cmp_lt(&x, sel, &mut cmp);
+    (x, cmp)
+}
+
+fn bench_selvec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_selvec");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    for sel in [5i8, 50, 95] {
+        let (_, cmp) = data(sel);
+        let mut idx = vec![0u32; N];
+        g.bench_with_input(BenchmarkId::new("no-branch", sel), &sel, |b, _| {
+            b.iter(|| black_box(selvec::fill_nobranch(&cmp, 0, &mut idx)))
+        });
+        g.bench_with_input(BenchmarkId::new("branch", sel), &sel, |b, _| {
+            b.iter(|| black_box(selvec::fill_branch(&cmp, 0, &mut idx)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tile_size(c: &mut Criterion) {
+    // Same hybrid pipeline, varying the tile size around the paper's 1024.
+    let mut rng = SmallRng::seed_from_u64(78);
+    let x: Vec<i8> = (0..N).map(|_| rng.gen_range(0..100)).collect();
+    let a: Vec<i32> = (0..N).map(|_| rng.gen_range(1..50)).collect();
+    let mut g = c.benchmark_group("ablation_tile_size");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    for tile in [64usize, 256, 1024, 4096, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, &tile| {
+            let mut cmp = vec![0u8; tile];
+            let mut idx = vec![0u32; tile];
+            b.iter(|| {
+                let mut sum = 0i64;
+                let mut start = 0;
+                while start < N {
+                    let len = tile.min(N - start);
+                    predicate::cmp_lt(&x[start..start + len], 50, &mut cmp[..len]);
+                    let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+                    for &j in &idx[..k] {
+                        sum += a[j as usize] as i64;
+                    }
+                    start += len;
+                }
+                black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_delete_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ht_delete");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    let keys: Vec<i64> = (0..100_000).collect();
+    for (name, policy) in [
+        ("backward-shift", DeletePolicy::BackwardShift),
+        ("tombstone", DeletePolicy::Tombstone),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut t = AggTable::with_capacity(1, keys.len()).with_delete_policy(policy);
+                for &k in &keys {
+                    let off = t.entry(k);
+                    t.add(off, 0, 1);
+                }
+                // Delete half (what eager aggregation does at σ_S = 50%),
+                // then probe everything (post-delete lookup health).
+                for &k in keys.iter().step_by(2) {
+                    t.delete(k);
+                }
+                let mut hits = 0usize;
+                for &k in &keys {
+                    hits += t.find(k).is_some() as usize;
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bitmap_probe(c: &mut Criterion) {
+    let (_, cmp) = data(30);
+    let dense = PositionalBitmap::from_predicate_bytes(&cmp);
+    let compressed = CompressedBitmap::compress(&dense);
+    let mut rng = SmallRng::seed_from_u64(79);
+    let probes: Vec<u32> = (0..N).map(|_| rng.gen_range(0..N as u32)).collect();
+    let mut g = c.benchmark_group("ablation_bitmap_probe");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.bench_function("dense", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &p in &probes {
+                hits += dense.get_bit(p as usize);
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("compressed", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &p in &probes {
+                hits += compressed.get(p as usize) as u64;
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_null_routing(c: &mut Criterion) {
+    // Key masking's point: routing masked tuples to the (cached) throwaway
+    // entry branch-free beats *branching* to skip them — at intermediate
+    // selectivities the skip branch mispredicts constantly. Sweep the
+    // selectivity to see the branchy version's hump.
+    let mut rng = SmallRng::seed_from_u64(80);
+    let card = 1 << 16;
+    let keys: Vec<i64> = (0..N).map(|_| rng.gen_range(0..card)).collect();
+    let mut g = c.benchmark_group("ablation_null_routing");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    for sel in [10i8, 50, 90] {
+        let (_, cmp) = data(sel);
+        g.bench_with_input(
+            BenchmarkId::new("masked-throwaway-routing", sel),
+            &sel,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = AggTable::with_capacity(1, card as usize);
+                    let mut masked = vec![0i64; N];
+                    swole_kernels::groupby::mask_keys(&keys, &cmp, &mut masked);
+                    for j in 0..N {
+                        let off = t.entry(masked[j]);
+                        t.add(off, 0, 1);
+                    }
+                    black_box(t.len())
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("branch-skip", sel), &sel, |b, _| {
+            b.iter(|| {
+                let mut t = AggTable::with_capacity(1, card as usize);
+                for j in 0..N {
+                    if cmp[j] != 0 {
+                        let off = t.entry(keys[j]);
+                        t.add(off, 0, 1);
+                    }
+                }
+                black_box(t.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rof_vs_hybrid(c: &mut Criterion) {
+    // The ROF strategy (§ II-A.3) always fills full selection vectors; the
+    // paper dropped it from the evaluation because its relative runtimes
+    // matched or trailed hybrid — verify that holds here too.
+    use swole_kernels::agg::Mul;
+    use swole_micro::{generate, q1, MicroParams};
+    let db = generate(MicroParams {
+        r_rows: N,
+        s_rows: 1 << 10,
+        r_c_cardinality: 1 << 10,
+        seed: 81,
+    });
+    let mut g = c.benchmark_group("ablation_rof_vs_hybrid");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    for sel in [10i8, 50, 90] {
+        g.bench_with_input(BenchmarkId::new("hybrid", sel), &sel, |b, &sel| {
+            b.iter(|| black_box(q1::hybrid::<Mul>(&db.r, sel)))
+        });
+        g.bench_with_input(BenchmarkId::new("rof", sel), &sel, |b, &sel| {
+            b.iter(|| black_box(q1::rof::<Mul>(&db.r, sel)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_untiled_access_merging(c: &mut Criterion) {
+    // Access merging's win grows when the redundant access is a full memory
+    // stream (untiled intermediates) rather than a cache-resident tile.
+    use swole_micro::{generate, q3, MicroParams};
+    let db = generate(MicroParams {
+        r_rows: 4 * N,
+        s_rows: 1 << 10,
+        r_c_cardinality: 1 << 10,
+        seed: 82,
+    });
+    let mut g = c.benchmark_group("ablation_untiled_merging");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    for col in [q3::Q3Col::A, q3::Q3Col::X] {
+        g.bench_with_input(
+            BenchmarkId::new("tiled/value-masking", format!("{col:?}")),
+            &col,
+            |b, &col| b.iter(|| black_box(q3::value_masking(&db.r, col, 50))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("tiled/access-merging", format!("{col:?}")),
+            &col,
+            |b, &col| b.iter(|| black_box(q3::access_merging(&db.r, col, 50))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("untiled/value-masking", format!("{col:?}")),
+            &col,
+            |b, &col| b.iter(|| black_box(q3::value_masking_untiled(&db.r, col, 50))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("untiled/access-merging", format!("{col:?}")),
+            &col,
+            |b, &col| b.iter(|| black_box(q3::access_merging_untiled(&db.r, col, 50))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selvec,
+    bench_tile_size,
+    bench_delete_policy,
+    bench_bitmap_probe,
+    bench_null_routing,
+    bench_rof_vs_hybrid,
+    bench_untiled_access_merging
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 10 — microbenchmark Q3 (access merging):
+//! `sum(r_x * [COL]) where r_x < SEL and r_y = 1`, COL ∈ {r_a, r_x}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swole_bench::{r_rows, s_small};
+use swole_micro::{generate, q3, MicroParams};
+
+fn bench(c: &mut Criterion) {
+    let db = generate(MicroParams {
+        r_rows: r_rows(),
+        s_rows: s_small(),
+        r_c_cardinality: 1 << 10,
+        seed: 10,
+    });
+    for (sub, col) in [("10a", q3::Q3Col::A), ("10b", q3::Q3Col::X)] {
+        let mut g = c.benchmark_group(format!("fig{sub}_q3_{col:?}"));
+        g.sample_size(10);
+        g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+        for sel in [25i8, 75] {
+            g.bench_with_input(BenchmarkId::new("datacentric", sel), &sel, |b, &sel| {
+                b.iter(|| black_box(q3::datacentric(&db.r, col, sel)))
+            });
+            g.bench_with_input(BenchmarkId::new("hybrid", sel), &sel, |b, &sel| {
+                b.iter(|| black_box(q3::hybrid(&db.r, col, sel)))
+            });
+            g.bench_with_input(BenchmarkId::new("value-masking", sel), &sel, |b, &sel| {
+                b.iter(|| black_box(q3::value_masking(&db.r, col, sel)))
+            });
+            g.bench_with_input(BenchmarkId::new("access-merging", sel), &sel, |b, &sel| {
+                b.iter(|| black_box(q3::access_merging(&db.r, col, sel)))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 11 — microbenchmark Q4 (positional bitmaps):
+//! `sum(r_a * r_b) from R ⋈ S where r_x < SEL1 and s_x < SEL2`, the four
+//! fixed/swept selectivity configurations of the paper, |S| = large.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swole_bench::{r_rows, s_large};
+use swole_cost::BitmapBuild;
+use swole_micro::{generate, q4, MicroParams};
+
+fn bench(c: &mut Criterion) {
+    let db = generate(MicroParams {
+        r_rows: r_rows(),
+        s_rows: s_large(),
+        r_c_cardinality: 1 << 10,
+        seed: 11,
+    });
+    let configs: [(&str, [(i8, i8); 3]); 4] = [
+        ("11a_sel1_10", [(10, 10), (10, 50), (10, 90)]),
+        ("11b_sel1_90", [(90, 10), (90, 50), (90, 90)]),
+        ("11c_sel2_10", [(10, 10), (50, 10), (90, 10)]),
+        ("11d_sel2_90", [(10, 90), (50, 90), (90, 90)]),
+    ];
+    for (sub, points) in configs {
+        let mut g = c.benchmark_group(format!("fig{sub}_q4"));
+        g.sample_size(10);
+        g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+        for (sel1, sel2) in points {
+            let id = format!("{sel1}/{sel2}");
+            g.bench_with_input(BenchmarkId::new("datacentric", &id), &(), |b, _| {
+                b.iter(|| black_box(q4::datacentric(&db.r, &db.s, sel1, sel2)))
+            });
+            g.bench_with_input(BenchmarkId::new("hybrid", &id), &(), |b, _| {
+                b.iter(|| black_box(q4::hybrid(&db.r, &db.s, sel1, sel2)))
+            });
+            g.bench_with_input(BenchmarkId::new("positional-bitmap", &id), &(), |b, _| {
+                b.iter(|| {
+                    black_box(q4::bitmap_masked(&db, sel1, sel2, BitmapBuild::Unconditional))
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

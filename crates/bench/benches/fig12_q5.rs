@@ -1,0 +1,42 @@
+//! Fig. 12 — microbenchmark Q5 (eager aggregation):
+//! `r_fk, sum(r_a * r_b) from R ⋈ S where s_x < SEL group by r_fk`,
+//! |S| ∈ {small, large}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swole_bench::{r_rows, s_large, s_small};
+use swole_micro::{generate, q2, q5, MicroParams};
+
+fn bench(c: &mut Criterion) {
+    for (sub, s_rows) in [("12a", s_small()), ("12b", s_large())] {
+        let db = generate(MicroParams {
+            r_rows: r_rows(),
+            s_rows,
+            r_c_cardinality: 1 << 10,
+            seed: 12,
+        });
+        let mut g = c.benchmark_group(format!("fig{sub}_q5_s{s_rows}"));
+        g.sample_size(10);
+        g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+        for sel in [10i8, 50, 90] {
+            g.bench_with_input(BenchmarkId::new("datacentric", sel), &sel, |b, &sel| {
+                b.iter(|| black_box(q2::checksum(&q5::groupjoin_datacentric(&db.r, &db.s, sel))))
+            });
+            g.bench_with_input(BenchmarkId::new("hybrid", sel), &sel, |b, &sel| {
+                b.iter(|| black_box(q2::checksum(&q5::groupjoin_hybrid(&db.r, &db.s, sel))))
+            });
+            g.bench_with_input(
+                BenchmarkId::new("eager-aggregation", sel),
+                &sel,
+                |b, &sel| {
+                    b.iter(|| black_box(q2::checksum(&q5::eager_aggregation(&db.r, &db.s, sel))))
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 8 — microbenchmark Q1 (value masking):
+//! `sum(r_a [OP] r_b) where r_x < SEL and r_y = 1`, OP ∈ {*, /}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swole_bench::{r_rows, s_small};
+use swole_kernels::agg::{Div, Mul};
+use swole_micro::{generate, q1, MicroParams};
+
+fn bench(c: &mut Criterion) {
+    let db = generate(MicroParams {
+        r_rows: r_rows(),
+        s_rows: s_small(),
+        r_c_cardinality: 1 << 10,
+        seed: 8,
+    });
+    let mut g = c.benchmark_group("fig8a_q1_mul");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    for sel in [1i8, 15, 50, 85, 99] {
+        g.bench_with_input(BenchmarkId::new("datacentric", sel), &sel, |b, &sel| {
+            b.iter(|| black_box(q1::datacentric::<Mul>(&db.r, sel)))
+        });
+        g.bench_with_input(BenchmarkId::new("hybrid", sel), &sel, |b, &sel| {
+            b.iter(|| black_box(q1::hybrid::<Mul>(&db.r, sel)))
+        });
+        g.bench_with_input(BenchmarkId::new("value-masking", sel), &sel, |b, &sel| {
+            b.iter(|| black_box(q1::value_masking::<Mul>(&db.r, sel)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig8b_q1_div");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    for sel in [1i8, 50, 95, 99] {
+        g.bench_with_input(BenchmarkId::new("datacentric", sel), &sel, |b, &sel| {
+            b.iter(|| black_box(q1::datacentric::<Div>(&db.r, sel)))
+        });
+        g.bench_with_input(BenchmarkId::new("hybrid", sel), &sel, |b, &sel| {
+            b.iter(|| black_box(q1::hybrid::<Div>(&db.r, sel)))
+        });
+        g.bench_with_input(BenchmarkId::new("value-masking", sel), &sel, |b, &sel| {
+            b.iter(|| black_box(q1::value_masking::<Div>(&db.r, sel)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 9 — microbenchmark Q2 (key masking):
+//! `r_c, sum(r_a * r_b) ... group by r_c`, |r_c| swept across four
+//! cardinalities (paper: 10 / 1 K / 100 K / 10 M).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swole_bench::{q2_cardinalities, r_rows, s_small};
+use swole_micro::{generate, q2, MicroParams};
+
+fn bench(c: &mut Criterion) {
+    for (sub, card) in ["9a", "9b", "9c", "9d"].iter().zip(q2_cardinalities()) {
+        let db = generate(MicroParams {
+            r_rows: r_rows(),
+            s_rows: s_small(),
+            r_c_cardinality: card,
+            seed: 9,
+        });
+        let mut g = c.benchmark_group(format!("fig{sub}_q2_card{card}"));
+        g.sample_size(10);
+        g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+        for sel in [10i8, 50, 90] {
+            g.bench_with_input(BenchmarkId::new("datacentric", sel), &sel, |b, &sel| {
+                b.iter(|| black_box(q2::checksum(&q2::datacentric(&db.r, sel))))
+            });
+            g.bench_with_input(BenchmarkId::new("hybrid", sel), &sel, |b, &sel| {
+                b.iter(|| black_box(q2::checksum(&q2::hybrid(&db.r, sel))))
+            });
+            g.bench_with_input(BenchmarkId::new("value-masking", sel), &sel, |b, &sel| {
+                b.iter(|| black_box(q2::checksum(&q2::value_masking(&db.r, sel))))
+            });
+            g.bench_with_input(BenchmarkId::new("key-masking", sel), &sel, |b, &sel| {
+                b.iter(|| black_box(q2::checksum(&q2::key_masking(&db.r, sel))))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Measure the host's primitive access costs and print them as JSON
+//! [`swole_cost::CostParams`] (pipe into a file and load them wherever an
+//! `Engine` is built).
+//!
+//! ```text
+//! cargo run --release -p swole-bench --bin calibrate
+//! ```
+
+use swole_cost::calibrate::{calibrate, CalibrationConfig};
+
+fn main() {
+    eprintln!("calibrating (takes a few seconds)...");
+    let params = calibrate(&CalibrationConfig::default());
+    eprintln!(
+        "read_seq={:.2}ns read_cond={:.2}ns ht_lookup(L1..DRAM)={:?}",
+        params.read_seq, params.read_cond, params.ht_lookup_by_level
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&params).expect("CostParams serializes")
+    );
+}

@@ -1,0 +1,224 @@
+//! Regenerate every table/figure of the paper's evaluation as CSV.
+//!
+//! ```text
+//! cargo run --release -p swole-bench --bin figures -- --all
+//! cargo run --release -p swole-bench --bin figures -- --fig 8a --fig 9c
+//! cargo run --release -p swole-bench --bin figures -- --fig 6 --runs 5
+//! ```
+//!
+//! Output: `figure,series,x,runtime_ms` rows on stdout (progress on
+//! stderr). `x` is the selectivity (%) for the microbenchmarks and the
+//! query name for Fig. 6. Scale via `SWOLE_R_ROWS` / `SWOLE_S_SMALL` /
+//! `SWOLE_S_LARGE` / `SWOLE_SF` (see `swole-bench` docs).
+
+use swole_bench::{median_ms, r_rows, s_large, s_small, tpch_sf};
+use swole_cost::{BitmapBuild, CostParams};
+use swole_kernels::agg::{Div, Mul};
+use swole_micro::{generate, q1, q2, q3, q4, q5, MicroParams};
+use swole_tpch::queries as tq;
+
+struct Opts {
+    figs: Vec<String>,
+    points: usize,
+    runs: usize,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        figs: Vec::new(),
+        points: 11,
+        runs: 3,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fig" => opts
+                .figs
+                .push(args.next().expect("--fig needs a value").to_lowercase()),
+            "--all" => opts.figs.push("all".into()),
+            "--points" => {
+                opts.points = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--points needs a number")
+            }
+            "--runs" => {
+                opts.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs needs a number")
+            }
+            other => {
+                eprintln!("unknown argument {other}; see module docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.figs.is_empty() {
+        opts.figs.push("all".into());
+    }
+    opts
+}
+
+fn wanted(opts: &Opts, id: &str) -> bool {
+    opts.figs.iter().any(|f| f == "all" || f == id)
+}
+
+fn selectivities(points: usize) -> Vec<i8> {
+    // 1..=99 inclusive sweep plus the endpoints the paper plots.
+    let points = points.max(2);
+    (0..points)
+        .map(|i| (1 + i * 98 / (points - 1)) as i8)
+        .collect()
+}
+
+fn emit(fig: &str, series: &str, x: &str, ms: f64) {
+    println!("{fig},{series},{x},{ms:.3}");
+}
+
+fn micro_db(s_rows: usize, card: usize) -> swole_micro::MicroDb {
+    generate(MicroParams {
+        r_rows: r_rows(),
+        s_rows,
+        r_c_cardinality: card,
+        seed: 0xF1605,
+    })
+}
+
+fn main() {
+    let opts = parse_args();
+    println!("figure,series,x,runtime_ms");
+
+    // ---- Fig. 8: micro Q1, value masking --------------------------------
+    for (id, div) in [("8a", false), ("8b", true)] {
+        if !wanted(&opts, id) {
+            continue;
+        }
+        eprintln!("fig {id}: micro Q1 ({})", if div { "/" } else { "*" });
+        let db = micro_db(s_small(), 1 << 10);
+        for sel in selectivities(opts.points) {
+            let x = sel.to_string();
+            if div {
+                emit(id, "datacentric", &x, median_ms(opts.runs, || q1::datacentric::<Div>(&db.r, sel)));
+                emit(id, "hybrid", &x, median_ms(opts.runs, || q1::hybrid::<Div>(&db.r, sel)));
+                emit(id, "value-masking", &x, median_ms(opts.runs, || q1::value_masking::<Div>(&db.r, sel)));
+            } else {
+                emit(id, "datacentric", &x, median_ms(opts.runs, || q1::datacentric::<Mul>(&db.r, sel)));
+                emit(id, "hybrid", &x, median_ms(opts.runs, || q1::hybrid::<Mul>(&db.r, sel)));
+                emit(id, "value-masking", &x, median_ms(opts.runs, || q1::value_masking::<Mul>(&db.r, sel)));
+            }
+        }
+    }
+
+    // ---- Fig. 9: micro Q2, key masking ----------------------------------
+    let cards = swole_bench::q2_cardinalities();
+    for (i, id) in ["9a", "9b", "9c", "9d"].iter().enumerate() {
+        if !wanted(&opts, id) {
+            continue;
+        }
+        let card = cards[i];
+        eprintln!("fig {id}: micro Q2 (|r_c| = {card})");
+        let db = micro_db(s_small(), card);
+        for sel in selectivities(opts.points) {
+            let x = sel.to_string();
+            emit(id, "datacentric", &x, median_ms(opts.runs, || q2::datacentric(&db.r, sel)));
+            emit(id, "hybrid", &x, median_ms(opts.runs, || q2::hybrid(&db.r, sel)));
+            emit(id, "value-masking", &x, median_ms(opts.runs, || q2::value_masking(&db.r, sel)));
+            emit(id, "key-masking", &x, median_ms(opts.runs, || q2::key_masking(&db.r, sel)));
+        }
+    }
+
+    // ---- Fig. 10: micro Q3, access merging ------------------------------
+    for (id, col) in [("10a", q3::Q3Col::A), ("10b", q3::Q3Col::X)] {
+        if !wanted(&opts, id) {
+            continue;
+        }
+        eprintln!("fig {id}: micro Q3 (COL = {col:?})");
+        let db = micro_db(s_small(), 1 << 10);
+        for sel in selectivities(opts.points) {
+            let x = sel.to_string();
+            emit(id, "datacentric", &x, median_ms(opts.runs, || q3::datacentric(&db.r, col, sel)));
+            emit(id, "hybrid", &x, median_ms(opts.runs, || q3::hybrid(&db.r, col, sel)));
+            emit(id, "value-masking", &x, median_ms(opts.runs, || q3::value_masking(&db.r, col, sel)));
+            emit(id, "access-merging", &x, median_ms(opts.runs, || q3::access_merging(&db.r, col, sel)));
+        }
+    }
+
+    // ---- Fig. 11: micro Q4, positional bitmaps --------------------------
+    // (a) SEL1=10 sweep SEL2; (b) SEL1=90 sweep SEL2;
+    // (c) SEL2=10 sweep SEL1; (d) SEL2=90 sweep SEL1. |S| = large.
+    let q4_configs: [(&str, Option<i8>, Option<i8>); 4] = [
+        ("11a", Some(10), None),
+        ("11b", Some(90), None),
+        ("11c", None, Some(10)),
+        ("11d", None, Some(90)),
+    ];
+    if q4_configs.iter().any(|(id, _, _)| wanted(&opts, id)) {
+        let db = micro_db(s_large(), 1 << 10);
+        for (id, fixed1, fixed2) in q4_configs {
+            if !wanted(&opts, id) {
+                continue;
+            }
+            eprintln!("fig {id}: micro Q4 (|S| = {})", s_large());
+            for sel in selectivities(opts.points) {
+                let (sel1, sel2) = (fixed1.unwrap_or(sel), fixed2.unwrap_or(sel));
+                let x = sel.to_string();
+                emit(id, "datacentric", &x, median_ms(opts.runs, || q4::datacentric(&db.r, &db.s, sel1, sel2)));
+                emit(id, "hybrid", &x, median_ms(opts.runs, || q4::hybrid(&db.r, &db.s, sel1, sel2)));
+                emit(id, "positional-bitmap", &x, median_ms(opts.runs, || {
+                    q4::bitmap_masked(&db, sel1, sel2, BitmapBuild::Unconditional)
+                }));
+            }
+        }
+    }
+
+    // ---- Fig. 12: micro Q5, eager aggregation ---------------------------
+    for (id, s_rows) in [("12a", s_small()), ("12b", s_large())] {
+        if !wanted(&opts, id) {
+            continue;
+        }
+        eprintln!("fig {id}: micro Q5 (|S| = {s_rows})");
+        let db = micro_db(s_rows, 1 << 10);
+        for sel in selectivities(opts.points) {
+            let x = sel.to_string();
+            emit(id, "datacentric", &x, median_ms(opts.runs, || q5::groupjoin_datacentric(&db.r, &db.s, sel)));
+            emit(id, "hybrid", &x, median_ms(opts.runs, || q5::groupjoin_hybrid(&db.r, &db.s, sel)));
+            emit(id, "eager-aggregation", &x, median_ms(opts.runs, || q5::eager_aggregation(&db.r, &db.s, sel)));
+        }
+    }
+
+    // ---- Fig. 6: TPC-H ---------------------------------------------------
+    if wanted(&opts, "6") {
+        let sf = tpch_sf();
+        eprintln!("fig 6: TPC-H (SF = {sf})");
+        let db = swole_tpch::generate(sf, 0x70C4);
+        let params = CostParams::default();
+        let runs = opts.runs;
+        let row = |q: &str, strat: &str, ms: f64| emit("6", strat, q, ms);
+        row("Q1", "datacentric", median_ms(runs, || tq::q1::datacentric(&db)));
+        row("Q1", "hybrid", median_ms(runs, || tq::q1::hybrid(&db)));
+        row("Q1", "swole", median_ms(runs, || tq::q1::swole(&db)));
+        row("Q3", "datacentric", median_ms(runs, || tq::q3::datacentric(&db)));
+        row("Q3", "hybrid", median_ms(runs, || tq::q3::hybrid(&db)));
+        row("Q3", "swole", median_ms(runs, || tq::q3::swole(&db)));
+        row("Q4", "datacentric", median_ms(runs, || tq::q4::datacentric(&db)));
+        row("Q4", "hybrid", median_ms(runs, || tq::q4::hybrid(&db)));
+        row("Q4", "swole", median_ms(runs, || tq::q4::swole(&db)));
+        row("Q5", "datacentric", median_ms(runs, || tq::q5::datacentric(&db)));
+        row("Q5", "hybrid", median_ms(runs, || tq::q5::hybrid(&db)));
+        row("Q5", "swole", median_ms(runs, || tq::q5::swole(&db)));
+        row("Q6", "datacentric", median_ms(runs, || tq::q6::datacentric(&db)));
+        row("Q6", "hybrid", median_ms(runs, || tq::q6::hybrid(&db)));
+        row("Q6", "swole", median_ms(runs, || tq::q6::swole(&db)));
+        row("Q13", "datacentric", median_ms(runs, || tq::q13::datacentric(&db)));
+        row("Q13", "hybrid", median_ms(runs, || tq::q13::hybrid(&db)));
+        row("Q13", "swole", median_ms(runs, || tq::q13::swole(&db)));
+        row("Q14", "datacentric", median_ms(runs, || tq::q14::datacentric(&db)));
+        row("Q14", "hybrid", median_ms(runs, || tq::q14::hybrid(&db)));
+        row("Q14", "swole", median_ms(runs, || tq::q14::swole(&db, &params)));
+        row("Q19", "datacentric", median_ms(runs, || tq::q19::datacentric(&db)));
+        row("Q19", "hybrid", median_ms(runs, || tq::q19::hybrid(&db)));
+        row("Q19", "swole", median_ms(runs, || tq::q19::swole(&db)));
+    }
+    eprintln!("done");
+}

@@ -1,0 +1,96 @@
+//! # swole-bench — harness configuration shared by benches and binaries
+//!
+//! Scale knobs come from the environment so the same targets run both at
+//! CI-friendly defaults and at paper-approaching sizes:
+//!
+//! | variable | default | paper value |
+//! |---|---|---|
+//! | `SWOLE_R_ROWS` | 2²⁰ (≈1 M) | 100 M |
+//! | `SWOLE_S_SMALL` | 1 024 | 1 K |
+//! | `SWOLE_S_LARGE` | 262 144 | 1 M |
+//! | `SWOLE_SF` | 0.05 | 10 |
+//!
+//! Absolute runtimes differ from the paper's E5-2660 v2 at SF 10; the
+//! *shapes* (who wins, where curves flatten/cross) are what the harness
+//! reproduces — see EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Rows in the microbenchmark's R table.
+pub fn r_rows() -> usize {
+    env_usize("SWOLE_R_ROWS", 1 << 20)
+}
+
+/// Small |S| (paper: 1 K).
+pub fn s_small() -> usize {
+    env_usize("SWOLE_S_SMALL", 1 << 10)
+}
+
+/// Large |S| (paper: 1 M).
+pub fn s_large() -> usize {
+    env_usize("SWOLE_S_LARGE", 1 << 18)
+}
+
+/// TPC-H scale factor (paper: 10).
+pub fn tpch_sf() -> f64 {
+    std::env::var("SWOLE_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05)
+}
+
+/// Group-key cardinalities for Fig. 9, scaled so the largest stays within
+/// the configured R (paper: 10 / 1 K / 100 K / 10 M at R = 100 M).
+pub fn q2_cardinalities() -> [usize; 4] {
+    let r = r_rows();
+    [10, 1 << 10, (r / 16).max(2048), (r / 2).max(4096)]
+}
+
+/// Time one execution of `f`, returning `(result, elapsed)`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Median-of-`runs` wall time of `f` in milliseconds (used by the `figures`
+/// sweep binary; criterion handles statistics for `cargo bench`).
+pub fn median_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(runs > 0);
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let (out, d) = time_once(&mut f);
+            std::hint::black_box(out);
+            d.as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(r_rows() >= 1 << 10);
+        assert!(s_small() < s_large());
+        assert!(tpch_sf() > 0.0);
+        let cards = q2_cardinalities();
+        assert!(cards.windows(2).all(|w| w[0] < w[1]), "{cards:?}");
+    }
+
+    #[test]
+    fn median_is_positive() {
+        let ms = median_ms(3, || (0..10_000u64).sum::<u64>());
+        assert!(ms >= 0.0);
+    }
+}

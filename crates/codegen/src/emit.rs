@@ -1,0 +1,439 @@
+//! The emitters.
+//!
+//! Each function renders the C a strategy would generate for the given
+//! query shape, structured exactly like the corresponding figure in the
+//! paper (loop nesting, temporary names `cmp`/`idx`/`tmp`, `TILE` tiling).
+
+use crate::spec::{GroupByAggSpec, GroupJoinSpec, ScalarAggSpec, SemiJoinSpec};
+
+/// Rewrite a column-name expression into per-row C by appending `[idx]` to
+/// every identifier: `"a * x"` with idx `"i+j"` becomes `"a[i+j] * x[i+j]"`.
+fn index_expr(expr: &str, idx: &str) -> String {
+    let mut out = String::with_capacity(expr.len() * 2);
+    let bytes = expr.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push_str(&expr[start..i]);
+            out.push('[');
+            out.push_str(idx);
+            out.push(']');
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Fig. 1 (top): the data-centric strategy — one loop, one branch.
+pub fn emit_datacentric(q: &ScalarAggSpec) -> String {
+    format!(
+        "// data-centric: {sql}\n\
+         sum = 0;\n\
+         for (i = 0; i < {rel}; i++) {{\n\
+         \x20   if ({pred})\n\
+         \x20       sum += {agg};\n\
+         }}\n",
+        sql = q.sql(),
+        rel = q.rel,
+        pred = format!("{}[i] {} {}", q.pred_col, q.op, q.lit),
+        agg = index_expr(&q.agg_expr, "i"),
+    )
+}
+
+/// Fig. 1 (middle): the hybrid strategy — tiled prepass, selection vector,
+/// gather aggregation.
+pub fn emit_hybrid(q: &ScalarAggSpec) -> String {
+    format!(
+        "// hybrid: {sql}\n\
+         sum = 0;\n\
+         for (i = 0; i < {rel}; i += TILE) {{\n\
+         \x20   len = {rel} - i < TILE ? {rel} - i : TILE;\n\
+         \x20   for (j = 0; j < len; j++)\n\
+         \x20       cmp[j] = {pred};\n\
+         \x20   k = 0;\n\
+         \x20   for (j = 0; j < len; j++) {{\n\
+         \x20       idx[k] = i + j;\n\
+         \x20       k += cmp[j];\n\
+         \x20   }}\n\
+         \x20   for (j = 0; j < k; j++)\n\
+         \x20       sum += {agg};\n\
+         }}\n",
+        sql = q.sql(),
+        rel = q.rel,
+        pred = format!("{}[i+j] {} {}", q.pred_col, q.op, q.lit),
+        agg = index_expr(&q.agg_expr, "idx[j]"),
+    )
+}
+
+/// Fig. 1 (bottom): relaxed operator fusion — fill a **full** selection
+/// vector before aggregating, so the aggregation loop (almost always) runs
+/// a fixed number of iterations.
+pub fn emit_rof(q: &ScalarAggSpec) -> String {
+    format!(
+        "// ROF: {sql}\n\
+         sum = 0;\n\
+         i = 0;\n\
+         while (i < {rel}) {{\n\
+         \x20   k = 0;\n\
+         \x20   while (i < {rel} && k < TILE) {{\n\
+         \x20       idx[k] = i;\n\
+         \x20       k += {pred};\n\
+         \x20       i++;\n\
+         \x20   }}\n\
+         \x20   for (j = 0; j < k; j++)\n\
+         \x20       sum += {agg};\n\
+         }}\n",
+        sql = q.sql(),
+        rel = q.rel,
+        pred = format!("{}[i] {} {}", q.pred_col, q.op, q.lit),
+        agg = index_expr(&q.agg_expr, "idx[j]"),
+    )
+}
+
+/// Fig. 3: **value masking** — unconditional sequential aggregation, result
+/// multiplied by the predicate outcome.
+pub fn emit_value_masking(q: &ScalarAggSpec) -> String {
+    format!(
+        "// SWOLE value masking: {sql}\n\
+         sum = 0;\n\
+         for (i = 0; i < {rel}; i += TILE) {{\n\
+         \x20   len = {rel} - i < TILE ? {rel} - i : TILE;\n\
+         \x20   for (j = 0; j < len; j++)\n\
+         \x20       cmp[j] = {pred};\n\
+         \x20   for (j = 0; j < len; j++)\n\
+         \x20       sum += ({agg}) * cmp[j];\n\
+         }}\n",
+        sql = q.sql(),
+        rel = q.rel,
+        pred = format!("{}[i+j] {} {}", q.pred_col, q.op, q.lit),
+        agg = index_expr(&q.agg_expr, "i+j"),
+    )
+}
+
+/// Fig. 5 (bottom): **access merging** — the predicate attribute is read
+/// once, its value fused with the predicate result into `tmp`.
+///
+/// Requires that `q.agg_expr` references the predicate column (that is what
+/// makes the access redundant); the other aggregate inputs multiply `tmp` in
+/// the second loop.
+pub fn emit_access_merging(q: &ScalarAggSpec) -> String {
+    let others: Vec<&str> = q
+        .agg_expr
+        .split('*')
+        .map(str::trim)
+        .filter(|c| *c != q.pred_col)
+        .collect();
+    let second = if others.is_empty() {
+        "tmp[j] * tmp[j]".to_string()
+    } else {
+        format!("{}[i+j] * tmp[j]", others.join("[i+j] * "))
+    };
+    format!(
+        "// SWOLE access merging: {sql}\n\
+         sum = 0;\n\
+         for (i = 0; i < {rel}; i += TILE) {{\n\
+         \x20   len = {rel} - i < TILE ? {rel} - i : TILE;\n\
+         \x20   for (j = 0; j < len; j++)\n\
+         \x20       tmp[j] = {col}[i+j] * ({col}[i+j] {op} {lit});\n\
+         \x20   for (j = 0; j < len; j++)\n\
+         \x20       sum += {second};\n\
+         }}\n",
+        sql = q.sql(),
+        rel = q.rel,
+        col = q.pred_col,
+        op = q.op,
+        lit = q.lit,
+        second = second,
+    )
+}
+
+/// Fig. 4 (top): value masking for group-by aggregation — every tuple looks
+/// up its real key; the value is masked and the valid flag maintained.
+pub fn emit_groupby_value_masking(q: &GroupByAggSpec) -> String {
+    let s = &q.scalar;
+    format!(
+        "// SWOLE value masking (group-by): {sql}\n\
+         for (i = 0; i < {rel}; i += TILE) {{\n\
+         \x20   len = {rel} - i < TILE ? {rel} - i : TILE;\n\
+         \x20   for (j = 0; j < len; j++)\n\
+         \x20       cmp[j] = {pred};\n\
+         \x20   for (j = 0; j < len; j++) {{\n\
+         \x20       e = ht_lookup(ht, {key}[i+j]);\n\
+         \x20       e->sum += ({agg}) * cmp[j];\n\
+         \x20       e->valid |= cmp[j];\n\
+         \x20   }}\n\
+         }}\n",
+        sql = q.sql(),
+        rel = s.rel,
+        pred = format!("{}[i+j] {} {}", s.pred_col, s.op, s.lit),
+        key = q.key_col,
+        agg = index_expr(&s.agg_expr, "i+j"),
+    )
+}
+
+/// Fig. 4 (bottom): **key masking** — the predicate result masks the
+/// *key*; filtered tuples route to the throwaway entry and the value stays
+/// unmasked.
+pub fn emit_groupby_key_masking(q: &GroupByAggSpec) -> String {
+    let s = &q.scalar;
+    format!(
+        "// SWOLE key masking (group-by): {sql}\n\
+         for (i = 0; i < {rel}; i += TILE) {{\n\
+         \x20   len = {rel} - i < TILE ? {rel} - i : TILE;\n\
+         \x20   for (j = 0; j < len; j++)\n\
+         \x20       key[j] = ({pred}) ? {key}[i+j] : NULL_KEY;\n\
+         \x20   for (j = 0; j < len; j++) {{\n\
+         \x20       e = ht_lookup(ht, key[j]);\n\
+         \x20       e->sum += {agg};\n\
+         \x20   }}\n\
+         }}\n",
+        sql = q.sql(),
+        rel = s.rel,
+        pred = format!("{}[i+j] {} {}", s.pred_col, s.op, s.lit),
+        key = q.key_col,
+        agg = index_expr(&s.agg_expr, "i+j"),
+    )
+}
+
+/// § III-D "original version": hash semijoin — build a key set from
+/// qualifying build-side tuples, probe it per probe-side tuple.
+pub fn emit_hash_semijoin(q: &SemiJoinSpec) -> String {
+    format!(
+        "// hash semijoin: sum({p}.{a}) for {p}.{fk} = {b}.{pk}, {b}.{x} {op} {lit}\n\
+         for (i = 0; i < {b}; i++) {{\n\
+         \x20   if ({x}[i] {op} {lit})\n\
+         \x20       ht_insert(ht, {pk}[i]);\n\
+         }}\n\
+         sum = 0;\n\
+         for (i = 0; i < {p}; i++) {{\n\
+         \x20   if (ht_find(ht, {fk}[i]))\n\
+         \x20       sum += {a}[i];\n\
+         }}\n",
+        p = q.probe_rel,
+        b = q.build_rel,
+        fk = q.fk_col,
+        pk = q.pk_col,
+        a = q.agg_col,
+        x = q.pred_col,
+        op = q.op,
+        lit = q.lit,
+    )
+}
+
+/// § III-D "bitmap version": **positional-bitmap semijoin** — sequential
+/// build over the build side, positional probe through the FK index.
+pub fn emit_bitmap_semijoin(q: &SemiJoinSpec) -> String {
+    format!(
+        "// SWOLE bitmap semijoin: sum({p}.{a}) for {p}.{fk} = {b}.{pk}, {b}.{x} {op} {lit}\n\
+         for (i = 0; i < {b}; i++)\n\
+         \x20   bitmap_assign(bm, i, {x}[i] {op} {lit});\n\
+         sum = 0;\n\
+         for (i = 0; i < {p}; i++)\n\
+         \x20   sum += {a}[i] * bitmap_get(bm, fk_index[i]);\n",
+        p = q.probe_rel,
+        b = q.build_rel,
+        fk = q.fk_col,
+        pk = q.pk_col,
+        a = q.agg_col,
+        x = q.pred_col,
+        op = q.op,
+        lit = q.lit,
+    )
+}
+
+/// § III-E "original version": the groupjoin — filtered build on S, lookup
+/// + aggregate per R tuple.
+pub fn emit_groupjoin(q: &GroupJoinSpec) -> String {
+    let j = &q.join;
+    format!(
+        "// groupjoin: {p}.{fk}, sum({p}.{a}) group by {p}.{fk}, {b}.{x} {op} {lit}\n\
+         for (i = 0; i < {b}; i++) {{\n\
+         \x20   if ({x}[i] {op} {lit})\n\
+         \x20       ht_insert(ht, {pk}[i]);\n\
+         }}\n\
+         for (i = 0; i < {p}; i++) {{\n\
+         \x20   if ((e = ht_find(ht, {fk}[i])))\n\
+         \x20       e->sum += {a}[i];\n\
+         }}\n",
+        p = j.probe_rel,
+        b = j.build_rel,
+        fk = j.fk_col,
+        pk = j.pk_col,
+        a = j.agg_col,
+        x = j.pred_col,
+        op = j.op,
+        lit = j.lit,
+    )
+}
+
+/// § III-E "eager aggregation version": unconditional aggregation of R
+/// grouped by the FK, then deletion of non-qualifying keys with the
+/// **inverted** predicate.
+pub fn emit_eager_aggregation(q: &GroupJoinSpec) -> String {
+    let j = &q.join;
+    let inverted = match j.op {
+        crate::spec::CmpOp::Lt => ">=",
+        crate::spec::CmpOp::Le => ">",
+        crate::spec::CmpOp::Gt => "<=",
+        crate::spec::CmpOp::Ge => "<",
+        crate::spec::CmpOp::Eq => "!=",
+        crate::spec::CmpOp::Ne => "==",
+    };
+    format!(
+        "// SWOLE eager aggregation: {p}.{fk}, sum({p}.{a}) group by {p}.{fk}, {b}.{x} {op} {lit}\n\
+         for (i = 0; i < {p}; i++) {{\n\
+         \x20   e = ht_lookup(ht, {fk}[i]);\n\
+         \x20   e->sum += {a}[i];\n\
+         }}\n\
+         for (i = 0; i < {b}; i++) {{\n\
+         \x20   if ({x}[i] {inv} {lit})   // inverted predicate\n\
+         \x20       ht_delete(ht, {pk}[i]);\n\
+         }}\n",
+        p = j.probe_rel,
+        b = j.build_rel,
+        fk = j.fk_col,
+        pk = j.pk_col,
+        a = j.agg_col,
+        x = j.pred_col,
+        op = j.op,
+        lit = j.lit,
+        inv = inverted,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CmpOp;
+
+    #[test]
+    fn index_expr_rewrites_identifiers() {
+        assert_eq!(index_expr("a", "i"), "a[i]");
+        assert_eq!(index_expr("a * x", "i+j"), "a[i+j] * x[i+j]");
+        assert_eq!(index_expr("a*b", "idx[j]"), "a[idx[j]]*b[idx[j]]");
+    }
+
+    #[test]
+    fn datacentric_matches_fig1() {
+        let c = emit_datacentric(&ScalarAggSpec::paper_example());
+        assert_eq!(
+            c,
+            "// data-centric: select sum(a) from R where x < 13\n\
+             sum = 0;\n\
+             for (i = 0; i < R; i++) {\n\
+             \x20   if (x[i] < 13)\n\
+             \x20       sum += a[i];\n\
+             }\n"
+        );
+    }
+
+    #[test]
+    fn hybrid_has_three_inner_loops() {
+        let c = emit_hybrid(&ScalarAggSpec::paper_example());
+        assert_eq!(c.matches("for (j = 0;").count(), 3);
+        assert!(c.contains("cmp[j] = x[i+j] < 13;"));
+        assert!(c.contains("k += cmp[j];"), "no-branch selection vector");
+        assert!(c.contains("sum += a[idx[j]];"));
+    }
+
+    #[test]
+    fn rof_fills_full_selection_vector() {
+        let c = emit_rof(&ScalarAggSpec::paper_example());
+        assert!(c.contains("while (i < R && k < TILE)"));
+        assert!(c.contains("sum += a[idx[j]];"));
+    }
+
+    #[test]
+    fn value_masking_matches_fig3() {
+        let c = emit_value_masking(&ScalarAggSpec::paper_example());
+        assert!(c.contains("cmp[j] = x[i+j] < 13;"));
+        assert!(c.contains("sum += (a[i+j]) * cmp[j];"), "{c}");
+        assert!(!c.contains("idx"), "no selection vector in value masking");
+    }
+
+    #[test]
+    fn access_merging_reads_shared_attr_once() {
+        let c = emit_access_merging(&ScalarAggSpec::repeated_reference_example());
+        assert!(c.contains("tmp[j] = x[i+j] * (x[i+j] < 13);"), "{c}");
+        assert!(c.contains("sum += a[i+j] * tmp[j];"), "{c}");
+        // x appears in exactly one loop (the merge), twice in that statement.
+        assert_eq!(c.matches("x[i+j]").count(), 2);
+    }
+
+    #[test]
+    fn access_merging_both_operands_shared() {
+        let q = ScalarAggSpec {
+            agg_expr: "x * x".into(),
+            ..ScalarAggSpec::paper_example()
+        };
+        let c = emit_access_merging(&q);
+        assert!(c.contains("sum += tmp[j] * tmp[j];"), "{c}");
+    }
+
+    #[test]
+    fn groupby_value_masking_matches_fig4_top() {
+        let c = emit_groupby_value_masking(&GroupByAggSpec::paper_example());
+        assert!(c.contains("e = ht_lookup(ht, c[i+j]);"), "{c}");
+        assert!(c.contains("e->sum += (a[i+j]) * cmp[j];"));
+        assert!(c.contains("e->valid |= cmp[j];"), "bookkeeping flag");
+    }
+
+    #[test]
+    fn groupby_key_masking_matches_fig4_bottom() {
+        let c = emit_groupby_key_masking(&GroupByAggSpec::paper_example());
+        assert!(c.contains("key[j] = (x[i+j] < 13) ? c[i+j] : NULL_KEY;"), "{c}");
+        assert!(c.contains("e->sum += a[i+j];"), "value not masked");
+        assert!(!c.contains("valid"), "no bookkeeping needed");
+    }
+
+    #[test]
+    fn bitmap_semijoin_is_branch_free() {
+        let c = emit_bitmap_semijoin(&SemiJoinSpec::paper_example());
+        assert!(c.contains("bitmap_assign(bm, i, x[i] < 13);"));
+        assert!(c.contains("sum += a[i] * bitmap_get(bm, fk_index[i]);"));
+        assert!(!c.contains("if ("), "no branches");
+        let h = emit_hash_semijoin(&SemiJoinSpec::paper_example());
+        assert!(h.contains("ht_insert") && h.contains("ht_find"));
+    }
+
+    #[test]
+    fn eager_aggregation_inverts_predicate() {
+        let c = emit_eager_aggregation(&GroupJoinSpec::paper_example());
+        assert!(c.contains("x[i] >= 13"), "inverted: {c}");
+        assert!(c.contains("ht_delete(ht, pk[i]);"));
+        let g = emit_groupjoin(&GroupJoinSpec::paper_example());
+        assert!(g.contains("if (x[i] < 13)"));
+    }
+
+    #[test]
+    fn all_inversions() {
+        for (op, inv) in [
+            (CmpOp::Lt, ">="),
+            (CmpOp::Le, ">"),
+            (CmpOp::Gt, "<="),
+            (CmpOp::Ge, "<"),
+            (CmpOp::Eq, "!="),
+            (CmpOp::Ne, "=="),
+        ] {
+            let q = GroupJoinSpec {
+                join: SemiJoinSpec {
+                    op,
+                    ..SemiJoinSpec::paper_example()
+                },
+            };
+            assert!(
+                emit_eager_aggregation(&q).contains(&format!("x[i] {inv} 13")),
+                "{op:?}"
+            );
+        }
+    }
+}

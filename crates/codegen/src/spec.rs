@@ -1,0 +1,194 @@
+//! Query-shape descriptors the emitters render.
+
+use std::fmt;
+
+/// Comparison operator in a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        })
+    }
+}
+
+/// `select sum(<agg>) from <rel> where <pred_col> <op> <lit>` — the Fig. 1
+/// example shape. `agg_expr` is the aggregated expression over column names
+/// (e.g. `"a"` or `"a * x"`).
+#[derive(Debug, Clone)]
+pub struct ScalarAggSpec {
+    /// Relation (row count variable in the emitted code).
+    pub rel: String,
+    /// Aggregated expression, column names only.
+    pub agg_expr: String,
+    /// Predicate column.
+    pub pred_col: String,
+    /// Predicate comparison.
+    pub op: CmpOp,
+    /// Predicate literal.
+    pub lit: i64,
+}
+
+impl ScalarAggSpec {
+    /// The paper's running example: `select sum(a) from R where x < 13`.
+    pub fn paper_example() -> ScalarAggSpec {
+        ScalarAggSpec {
+            rel: "R".into(),
+            agg_expr: "a".into(),
+            pred_col: "x".into(),
+            op: CmpOp::Lt,
+            lit: 13,
+        }
+    }
+
+    /// The repeated-reference example of Fig. 5:
+    /// `select sum(a * x) from R where x < 13`.
+    pub fn repeated_reference_example() -> ScalarAggSpec {
+        ScalarAggSpec {
+            agg_expr: "a * x".into(),
+            ..ScalarAggSpec::paper_example()
+        }
+    }
+
+    /// SQL rendering (for doc output).
+    pub fn sql(&self) -> String {
+        format!(
+            "select sum({}) from {} where {} {} {}",
+            self.agg_expr, self.rel, self.pred_col, self.op, self.lit
+        )
+    }
+}
+
+/// `select <key>, sum(<agg>) from <rel> where ... group by <key>` — the
+/// § III-B shape.
+#[derive(Debug, Clone)]
+pub struct GroupByAggSpec {
+    /// The underlying scalar shape.
+    pub scalar: ScalarAggSpec,
+    /// Group-by key column.
+    pub key_col: String,
+}
+
+impl GroupByAggSpec {
+    /// The paper's § III-B example:
+    /// `select c, sum(a) from R where x < 13 group by c`.
+    pub fn paper_example() -> GroupByAggSpec {
+        GroupByAggSpec {
+            scalar: ScalarAggSpec::paper_example(),
+            key_col: "c".into(),
+        }
+    }
+
+    /// SQL rendering.
+    pub fn sql(&self) -> String {
+        format!(
+            "select {}, sum({}) from {} where {} {} {} group by {}",
+            self.key_col,
+            self.scalar.agg_expr,
+            self.scalar.rel,
+            self.scalar.pred_col,
+            self.scalar.op,
+            self.scalar.lit,
+            self.key_col
+        )
+    }
+}
+
+/// `select sum(R.<agg>) from R, S where R.<fk> = S.<pk> and S.<pred> ...` —
+/// the § III-D semijoin shape.
+#[derive(Debug, Clone)]
+pub struct SemiJoinSpec {
+    /// Probe relation.
+    pub probe_rel: String,
+    /// Build relation.
+    pub build_rel: String,
+    /// Foreign-key column on the probe side.
+    pub fk_col: String,
+    /// Primary-key column on the build side.
+    pub pk_col: String,
+    /// Aggregated probe-side column.
+    pub agg_col: String,
+    /// Build-side predicate column.
+    pub pred_col: String,
+    /// Build-side predicate comparison.
+    pub op: CmpOp,
+    /// Build-side predicate literal.
+    pub lit: i64,
+}
+
+impl SemiJoinSpec {
+    /// The paper's § III-D example:
+    /// `select sum(R.a) from R, S where R.fk = S.pk and S.x < 13`.
+    pub fn paper_example() -> SemiJoinSpec {
+        SemiJoinSpec {
+            probe_rel: "R".into(),
+            build_rel: "S".into(),
+            fk_col: "fk".into(),
+            pk_col: "pk".into(),
+            agg_col: "a".into(),
+            pred_col: "x".into(),
+            op: CmpOp::Lt,
+            lit: 13,
+        }
+    }
+}
+
+/// `select R.<fk>, sum(R.<agg>) from R, S where R.<fk> = S.<pk> and
+/// S.<pred> ... group by R.<fk>` — the § III-E groupjoin shape.
+#[derive(Debug, Clone)]
+pub struct GroupJoinSpec {
+    /// The underlying semijoin shape (join keys + build predicate).
+    pub join: SemiJoinSpec,
+}
+
+impl GroupJoinSpec {
+    /// The paper's § III-E example.
+    pub fn paper_example() -> GroupJoinSpec {
+        GroupJoinSpec {
+            join: SemiJoinSpec::paper_example(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_rendering() {
+        assert_eq!(
+            ScalarAggSpec::paper_example().sql(),
+            "select sum(a) from R where x < 13"
+        );
+        assert_eq!(
+            GroupByAggSpec::paper_example().sql(),
+            "select c, sum(a) from R where x < 13 group by c"
+        );
+    }
+
+    #[test]
+    fn cmp_op_display() {
+        assert_eq!(CmpOp::Le.to_string(), "<=");
+        assert_eq!(CmpOp::Ne.to_string(), "!=");
+    }
+}

@@ -1,0 +1,554 @@
+//! The strategy chooser — Fig. 2's technique/operator/heuristic matrix as
+//! executable decisions.
+//!
+//! Every chooser returns the evaluated model costs alongside the decision so
+//! callers (the planner's `EXPLAIN`, the `advisor` example) can show *why*
+//! a strategy was picked.
+
+use crate::{model, CostParams};
+
+/// Aggregation strategies the chooser can pick between (§§ III-A, III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggStrategy {
+    /// Prepass + selection vector + conditional aggregation (the fallback
+    /// when pullups don't pay: "we can simply fall back to generating code
+    /// using the hybrid strategy").
+    Hybrid,
+    /// Value masking (§ III-A): unconditional aggregation, masked values.
+    ValueMasking,
+    /// Key masking (§ III-B): unconditional aggregation, masked group keys
+    /// routed to the throwaway entry.
+    KeyMasking,
+}
+
+impl AggStrategy {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggStrategy::Hybrid => "hybrid",
+            AggStrategy::ValueMasking => "value-masking",
+            AggStrategy::KeyMasking => "key-masking",
+        }
+    }
+}
+
+/// What the chooser needs to know about an aggregation pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct AggProfile {
+    /// Input rows (R).
+    pub rows: usize,
+    /// Estimated predicate selectivity σ_R in `[0, 1]`.
+    pub selectivity: f64,
+    /// Estimated per-tuple computation cycles (see [`crate::comp`]).
+    pub comp: f64,
+    /// Columns the aggregation reads (group key + aggregate inputs) — the
+    /// width of the wasted work a pullup performs.
+    pub n_cols: usize,
+    /// Estimated distinct group keys; `None` for a scalar aggregate.
+    pub group_keys: Option<usize>,
+    /// Aggregate state slots per group (drives hash-table size, and the
+    /// masking overhead of value masking: "the complexity of the
+    /// aggregation would require masking many individual aggregate values"
+    /// — § IV-A Q1).
+    pub n_aggs: usize,
+}
+
+/// The chooser's decision plus the evidence.
+#[derive(Debug, Clone)]
+pub struct AggChoice {
+    /// Winning strategy.
+    pub strategy: AggStrategy,
+    /// Modelled cost of the hybrid fallback.
+    pub cost_hybrid: f64,
+    /// Modelled cost of value masking.
+    pub cost_value_masking: f64,
+    /// Modelled cost of key masking (group-by only).
+    pub cost_key_masking: Option<f64>,
+    /// One-line justification for EXPLAIN output.
+    pub explanation: String,
+}
+
+/// Choose among hybrid / value masking / key masking for an aggregation.
+pub fn choose_agg(p: &CostParams, prof: &AggProfile) -> AggChoice {
+    let rows = prof.rows as f64;
+    let (ht_lookup, ht_bytes) = match prof.group_keys {
+        Some(keys) => {
+            let bytes = CostParams::agg_table_bytes(keys, prof.n_aggs);
+            (p.ht_lookup(bytes), bytes)
+        }
+        None => (0.0, 0),
+    };
+    let cost_hybrid =
+        model::est_hybrid(p, rows, prof.selectivity, prof.comp, prof.n_cols, ht_lookup);
+    // Value masking masks every individual aggregate value; its effective
+    // comp grows with the number of aggregates (§ IV-A Q1).
+    let vm_comp = prof.comp + prof.n_aggs.saturating_sub(1) as f64;
+    let cost_vm = model::est_value_masking(p, rows, vm_comp, prof.n_cols, ht_lookup);
+    let cost_km = prof.group_keys.map(|_| {
+        model::est_key_masking(p, rows, prof.selectivity, prof.comp, prof.n_cols, ht_lookup)
+    });
+
+    let mut best = (AggStrategy::Hybrid, cost_hybrid);
+    if cost_vm < best.1 {
+        best = (AggStrategy::ValueMasking, cost_vm);
+    }
+    if let Some(km) = cost_km {
+        if km < best.1 {
+            best = (AggStrategy::KeyMasking, km);
+        }
+    }
+    let explanation = match best.0 {
+        AggStrategy::Hybrid => format!(
+            "hybrid: early filtering pays off (sel={:.0}%, comp={:.1} cyc{})",
+            prof.selectivity * 100.0,
+            prof.comp,
+            if ht_bytes > 0 {
+                format!(", ht={}KB", ht_bytes / 1024)
+            } else {
+                String::new()
+            }
+        ),
+        AggStrategy::ValueMasking => format!(
+            "value-masking: aggregation is memory-bound; sequential access beats \
+             filtering despite {:.0}% wasted work",
+            (1.0 - prof.selectivity) * 100.0
+        ),
+        AggStrategy::KeyMasking => format!(
+            "key-masking: masked keys hit the cached throwaway entry instead of \
+             {} unconditional value maskings (ht={}KB)",
+            prof.n_aggs,
+            ht_bytes / 1024
+        ),
+    };
+    AggChoice {
+        strategy: best.0,
+        cost_hybrid,
+        cost_value_masking: cost_vm,
+        cost_key_masking: cost_km,
+        explanation,
+    }
+}
+
+/// How the build side of a positional bitmap is written (§ III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitmapBuild {
+    /// Unconditionally assign the predicate result bit per tuple.
+    Unconditional,
+    /// Set bits through a selection vector (for selective predicates).
+    SelectionVector,
+}
+
+/// Semijoin strategies (§ III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemiJoinStrategy {
+    /// Build + probe a hash key set (the baseline).
+    Hash,
+    /// Positional bitmap probed through the FK index.
+    PositionalBitmap(BitmapBuild),
+}
+
+/// Inputs for the semijoin chooser.
+#[derive(Debug, Clone, Copy)]
+pub struct SemiJoinProfile {
+    /// Build-side rows (the side the bitmap/key-set is built over).
+    pub build_rows: usize,
+    /// Build-side predicate selectivity.
+    pub build_selectivity: f64,
+    /// `true` if a foreign-key index maps probe rows to build positions —
+    /// the precondition for positional bitmaps.
+    pub has_fk_index: bool,
+}
+
+/// Decision + evidence for a semijoin.
+#[derive(Debug, Clone)]
+pub struct SemiJoinChoice {
+    /// Winning strategy.
+    pub strategy: SemiJoinStrategy,
+    /// One-line justification.
+    pub explanation: String,
+}
+
+/// Choose the semijoin implementation. Per Fig. 2 the positional bitmap is
+/// "always better" whenever the FK index exists; the build variant is
+/// decided by the value-masking cost model applied to the build scan.
+pub fn choose_semijoin(p: &CostParams, prof: &SemiJoinProfile) -> SemiJoinChoice {
+    if !prof.has_fk_index {
+        return SemiJoinChoice {
+            strategy: SemiJoinStrategy::Hash,
+            explanation: "hash semijoin: no foreign-key index, positional probe impossible"
+                .into(),
+        };
+    }
+    let rows = prof.build_rows as f64;
+    // Build-side writes: unconditional assignment is a sequential store
+    // (VM-style); selection-vector sets are conditional stores (hybrid).
+    let uncond = model::paper_value_masking(p, rows, 0.0, 0.0);
+    let selvec = model::paper_hybrid(p, rows, prof.build_selectivity, 0.0);
+    let build = if uncond <= selvec {
+        BitmapBuild::Unconditional
+    } else {
+        BitmapBuild::SelectionVector
+    };
+    SemiJoinChoice {
+        strategy: SemiJoinStrategy::PositionalBitmap(build),
+        explanation: format!(
+            "positional bitmap (build: {}): FK-index probe replaces hash lookups",
+            match build {
+                BitmapBuild::Unconditional => "unconditional assign",
+                BitmapBuild::SelectionVector => "selection vector",
+            }
+        ),
+    }
+}
+
+/// Groupjoin strategies (§ III-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupJoinStrategy {
+    /// Traditional groupjoin: filtered build, per-probe lookup.
+    GroupJoin,
+    /// Eager aggregation: unconditional aggregate on the probe side, then
+    /// delete non-qualifying keys.
+    EagerAggregation,
+}
+
+/// Inputs for the groupjoin chooser.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupJoinProfile {
+    /// Probe-side rows (R — the side that gets aggregated).
+    pub r_rows: usize,
+    /// Probe-side predicate selectivity σ_R.
+    pub r_selectivity: f64,
+    /// Build-side rows (S).
+    pub s_rows: usize,
+    /// Build-side predicate selectivity σ_S.
+    pub s_selectivity: f64,
+    /// Probability a probe tuple finds a match (⋈).
+    pub join_match_prob: f64,
+    /// Distinct group/join keys.
+    pub group_keys: usize,
+    /// Per-tuple aggregation computation cycles.
+    pub comp: f64,
+    /// Aggregate slots per group.
+    pub n_aggs: usize,
+}
+
+/// Decision + evidence for a groupjoin.
+#[derive(Debug, Clone)]
+pub struct GroupJoinChoice {
+    /// Winning strategy.
+    pub strategy: GroupJoinStrategy,
+    /// Modelled traditional-groupjoin cost.
+    pub cost_groupjoin: f64,
+    /// Modelled eager-aggregation cost.
+    pub cost_eager: f64,
+    /// One-line justification.
+    pub explanation: String,
+}
+
+/// Choose between the traditional groupjoin and eager aggregation.
+pub fn choose_groupjoin(p: &CostParams, prof: &GroupJoinProfile) -> GroupJoinChoice {
+    // Traditional groupjoin builds only over qualifying S keys...
+    let gj_keys = ((prof.group_keys as f64) * prof.s_selectivity).ceil() as usize;
+    let gj_bytes = CostParams::agg_table_bytes(gj_keys.max(1), prof.n_aggs);
+    let cost_gj = model::paper_groupjoin(
+        p,
+        prof.s_rows as f64,
+        prof.s_selectivity,
+        prof.r_rows as f64,
+        prof.r_selectivity,
+        prof.join_match_prob,
+        prof.comp,
+        gj_bytes,
+    );
+    // ...while eager aggregation's table holds every group key.
+    let ea_bytes = CostParams::agg_table_bytes(prof.group_keys.max(1), prof.n_aggs);
+    let cost_ea = model::paper_eager_aggregation(
+        p,
+        prof.r_rows as f64,
+        prof.r_selectivity,
+        prof.s_rows as f64,
+        prof.s_selectivity,
+        prof.comp,
+        ea_bytes,
+    );
+    let (strategy, explanation) = if cost_ea < cost_gj {
+        (
+            GroupJoinStrategy::EagerAggregation,
+            format!(
+                "eager aggregation: unconditional aggregate ({} keys, {}KB table) then \
+                 delete {:.0}% non-qualifying keys",
+                prof.group_keys,
+                ea_bytes / 1024,
+                (1.0 - prof.s_selectivity) * 100.0
+            ),
+        )
+    } else {
+        (
+            GroupJoinStrategy::GroupJoin,
+            format!(
+                "groupjoin: too many keys filtered by the join for eager \
+                 aggregation to pay (σ_S={:.0}%, {} keys)",
+                prof.s_selectivity * 100.0,
+                prof.group_keys
+            ),
+        )
+    };
+    GroupJoinChoice {
+        strategy,
+        cost_groupjoin: cost_gj,
+        cost_eager: cost_ea,
+        explanation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comp::{simple_agg_comp, ArithOp};
+
+    fn p() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn scalar_memory_bound_picks_value_masking() {
+        // Fig. 8a: multiplication, mid selectivity — VM wins.
+        let choice = choose_agg(
+            &p(),
+            &AggProfile {
+                rows: 100_000_000,
+                selectivity: 0.5,
+                comp: simple_agg_comp(ArithOp::Mul),
+                n_cols: 2,
+                group_keys: None,
+                n_aggs: 1,
+            },
+        );
+        assert_eq!(choice.strategy, AggStrategy::ValueMasking, "{}", choice.explanation);
+        assert!(choice.cost_key_masking.is_none());
+    }
+
+    #[test]
+    fn scalar_memory_bound_low_selectivity_picks_hybrid() {
+        // Fig. 8a left edge: a near-empty result still favours filtering.
+        let choice = choose_agg(
+            &p(),
+            &AggProfile {
+                rows: 100_000_000,
+                selectivity: 0.02,
+                comp: simple_agg_comp(ArithOp::Mul),
+                n_cols: 2,
+                group_keys: None,
+                n_aggs: 1,
+            },
+        );
+        assert_eq!(choice.strategy, AggStrategy::Hybrid);
+    }
+
+    #[test]
+    fn scalar_compute_bound_picks_hybrid() {
+        // Fig. 8b: division — per the cost model hybrid wins across the
+        // range ("if the aggregation is compute-bound, the hybrid approach
+        // is superior"); the measured VM advantage at ≥95% comes from
+        // unmodelled selection-vector overheads and stays within a few
+        // percent.
+        for sel in [0.1, 0.5, 0.95] {
+            let choice = choose_agg(
+                &p(),
+                &AggProfile {
+                    rows: 100_000_000,
+                    selectivity: sel,
+                    comp: simple_agg_comp(ArithOp::Div),
+                    n_cols: 2,
+                    group_keys: None,
+                    n_aggs: 1,
+                },
+            );
+            assert_eq!(choice.strategy, AggStrategy::Hybrid, "sel={sel}");
+        }
+    }
+
+    #[test]
+    fn groupby_small_table_prefers_masking_over_hybrid() {
+        // Fig. 9a/9b: 10–1K keys — masking beats hybrid at mid selectivity.
+        for keys in [10usize, 1000] {
+            let choice = choose_agg(
+                &p(),
+                &AggProfile {
+                    rows: 100_000_000,
+                    selectivity: 0.5,
+                    comp: simple_agg_comp(ArithOp::Mul),
+                    n_cols: 3,
+                    group_keys: Some(keys),
+                    n_aggs: 1,
+                },
+            );
+            assert_ne!(choice.strategy, AggStrategy::Hybrid, "keys={keys}");
+        }
+    }
+
+    #[test]
+    fn groupby_large_table_low_selectivity_picks_hybrid_then_km() {
+        // Fig. 9d: 10M keys — hybrid at low selectivity, KM at high.
+        let prof = AggProfile {
+            rows: 100_000_000,
+            selectivity: 0.2,
+            comp: simple_agg_comp(ArithOp::Mul),
+            n_cols: 3,
+            group_keys: Some(10_000_000),
+            n_aggs: 1,
+        };
+        assert_eq!(choose_agg(&p(), &prof).strategy, AggStrategy::Hybrid);
+        let high = AggProfile {
+            selectivity: 0.9,
+            ..prof
+        };
+        let c = choose_agg(&p(), &high);
+        assert_eq!(c.strategy, AggStrategy::KeyMasking, "{}", c.explanation);
+    }
+
+    #[test]
+    fn groupby_large_table_km_beats_vm() {
+        // Fig. 9c/9d: for big tables "value masking becomes markedly worse
+        // than key masking".
+        let c = choose_agg(
+            &p(),
+            &AggProfile {
+                rows: 100_000_000,
+                selectivity: 0.6,
+                comp: simple_agg_comp(ArithOp::Mul),
+                n_cols: 3,
+                group_keys: Some(10_000_000),
+                n_aggs: 1,
+            },
+        );
+        assert!(c.cost_key_masking.unwrap() < c.cost_value_masking);
+    }
+
+    #[test]
+    fn many_aggregates_penalise_value_masking() {
+        // § IV-A Q1: complex aggregation (8 aggregates, 4 groups, 98%
+        // selectivity) → mask the single key, not 8 values.
+        let c = choose_agg(
+            &p(),
+            &AggProfile {
+                rows: 60_000_000,
+                selectivity: 0.98,
+                comp: 6.0,
+                n_cols: 7,
+                group_keys: Some(4),
+                n_aggs: 8,
+            },
+        );
+        assert_eq!(c.strategy, AggStrategy::KeyMasking, "{}", c.explanation);
+        assert!(c.cost_key_masking.unwrap() < c.cost_value_masking);
+    }
+
+    #[test]
+    fn semijoin_requires_fk_index_for_bitmap() {
+        let without = choose_semijoin(
+            &p(),
+            &SemiJoinProfile {
+                build_rows: 1_000_000,
+                build_selectivity: 0.5,
+                has_fk_index: false,
+            },
+        );
+        assert_eq!(without.strategy, SemiJoinStrategy::Hash);
+        let with = choose_semijoin(
+            &p(),
+            &SemiJoinProfile {
+                build_rows: 1_000_000,
+                build_selectivity: 0.5,
+                has_fk_index: true,
+            },
+        );
+        assert!(matches!(
+            with.strategy,
+            SemiJoinStrategy::PositionalBitmap(_)
+        ));
+    }
+
+    #[test]
+    fn bitmap_build_variant_follows_selectivity() {
+        let selective = choose_semijoin(
+            &p(),
+            &SemiJoinProfile {
+                build_rows: 1_000_000,
+                build_selectivity: 0.01,
+                has_fk_index: true,
+            },
+        );
+        assert_eq!(
+            selective.strategy,
+            SemiJoinStrategy::PositionalBitmap(BitmapBuild::SelectionVector)
+        );
+        let broad = choose_semijoin(
+            &p(),
+            &SemiJoinProfile {
+                build_rows: 1_000_000,
+                build_selectivity: 0.9,
+                has_fk_index: true,
+            },
+        );
+        assert_eq!(
+            broad.strategy,
+            SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional)
+        );
+    }
+
+    #[test]
+    fn groupjoin_chooser_matches_fig12() {
+        // |S| = 1K: EA wins across the range (Fig. 12a).
+        let small = GroupJoinProfile {
+            r_rows: 100_000_000,
+            r_selectivity: 1.0,
+            s_rows: 1_000,
+            s_selectivity: 0.5,
+            join_match_prob: 0.5,
+            group_keys: 1_000,
+            comp: simple_agg_comp(ArithOp::Mul),
+            n_aggs: 1,
+        };
+        assert_eq!(
+            choose_groupjoin(&p(), &small).strategy,
+            GroupJoinStrategy::EagerAggregation
+        );
+        // |S| = 1M at low selectivity: groupjoin wins (Fig. 12b).
+        let large_low = GroupJoinProfile {
+            s_rows: 1_000_000,
+            group_keys: 1_000_000,
+            s_selectivity: 0.05,
+            join_match_prob: 0.05,
+            ..small
+        };
+        let c = choose_groupjoin(&p(), &large_low);
+        assert_eq!(c.strategy, GroupJoinStrategy::GroupJoin, "{}", c.explanation);
+        // |S| = 1M at high selectivity: EA takes over (crossover ~30%).
+        let large_high = GroupJoinProfile {
+            s_selectivity: 0.9,
+            join_match_prob: 0.9,
+            ..large_low
+        };
+        assert_eq!(
+            choose_groupjoin(&p(), &large_high).strategy,
+            GroupJoinStrategy::EagerAggregation
+        );
+    }
+
+    #[test]
+    fn explanations_are_populated() {
+        let c = choose_agg(
+            &p(),
+            &AggProfile {
+                rows: 1000,
+                selectivity: 0.5,
+                comp: 1.0,
+                n_cols: 2,
+                group_keys: Some(10),
+                n_aggs: 1,
+            },
+        );
+        assert!(!c.explanation.is_empty());
+    }
+}

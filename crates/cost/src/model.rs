@@ -1,0 +1,282 @@
+//! The paper's cost formulas.
+//!
+//! Two layers live here:
+//!
+//! * `paper_*` — the formulas **verbatim as printed** (§§ III-A, III-B,
+//!   III-E). These are single-attribute abstractions: the paper folds the
+//!   number of touched columns and access-dependency effects into the
+//!   `read_seq` / `read_cond` constants.
+//! * `est_*` — the same formulas with those folded constants made explicit
+//!   (`n_cols` aggregation inputs, and a hash lookup that cannot overlap
+//!   with a conditional gather the way it overlaps with a sequential scan).
+//!   The [`crate::choose`] chooser uses these; their crossover points match
+//!   the paper's measured decisions (e.g. KM overtakes hybrid near ~50 %
+//!   for large tables, masking wins at mid selectivities for small ones).
+//!
+//! All costs are in whatever unit [`crate::CostParams`] uses — only
+//! comparisons between strategies matter, so the unit cancels.
+
+use crate::CostParams;
+
+// ---------------------------------------------------------------------------
+// Verbatim paper formulas
+// ---------------------------------------------------------------------------
+
+/// § III-A: `Hybrid = R · (read_seq + σ_R · max(comp, read_cond))`.
+pub fn paper_hybrid(p: &CostParams, rows: f64, sel: f64, comp: f64) -> f64 {
+    rows * (p.read_seq + sel * comp.max(p.read_cond))
+}
+
+/// § III-A / § III-B: `VM = R · (read_seq + max(comp, read_seq,
+/// ht_lookup))` (`ht_lookup = 0` for a scalar aggregate).
+pub fn paper_value_masking(p: &CostParams, rows: f64, comp: f64, ht_lookup: f64) -> f64 {
+    rows * (p.read_seq + comp.max(p.read_seq).max(ht_lookup))
+}
+
+/// § III-B: `KM = R · (read_seq + σ_R · max(comp, read_seq, ht_lookup)
+/// + (1 − σ_R) · max(comp, read_seq, ht_null))`.
+pub fn paper_key_masking(
+    p: &CostParams,
+    rows: f64,
+    sel: f64,
+    comp: f64,
+    ht_lookup: f64,
+) -> f64 {
+    rows * (p.read_seq
+        + sel * comp.max(p.read_seq).max(ht_lookup)
+        + (1.0 - sel) * comp.max(p.read_seq).max(p.ht_null))
+}
+
+/// § III-E: `Groupjoin = S · (read_seq + σ_S · (read_cond + ht_insert))
+/// + R · (read_seq + σ_R · (read_cond + ht_lookup)
+/// + ⋈_{R,S} · max(comp, read_cond))`.
+#[allow(clippy::too_many_arguments)]
+pub fn paper_groupjoin(
+    p: &CostParams,
+    s_rows: f64,
+    s_sel: f64,
+    r_rows: f64,
+    r_sel: f64,
+    join_prob: f64,
+    comp: f64,
+    ht_bytes: usize,
+) -> f64 {
+    s_rows * (p.read_seq + s_sel * (p.read_cond + p.ht_insert(ht_bytes)))
+        + r_rows
+            * (p.read_seq
+                + r_sel * (p.read_cond + p.ht_lookup(ht_bytes))
+                + join_prob * comp.max(p.read_cond))
+}
+
+/// § III-E: `EA = R · (read_seq + σ_R · min(Hybrid, VM, KM))
+/// + S · (read_seq + (1 − σ_S) · (read_cond + ht_delete))`,
+/// the inner `min` being over **per-tuple** aggregation costs of the three
+/// strategies (the cheapest way to build the eager hash table).
+#[allow(clippy::too_many_arguments)]
+pub fn paper_eager_aggregation(
+    p: &CostParams,
+    r_rows: f64,
+    r_sel: f64,
+    s_rows: f64,
+    s_sel: f64,
+    comp: f64,
+    ht_bytes: usize,
+) -> f64 {
+    let ht_lookup = p.ht_lookup(ht_bytes);
+    let hybrid_pt = r_sel * comp.max(p.read_cond).max(ht_lookup);
+    let vm_pt = comp.max(p.read_seq).max(ht_lookup);
+    let km_pt = r_sel * comp.max(p.read_seq).max(ht_lookup)
+        + (1.0 - r_sel) * comp.max(p.read_seq).max(p.ht_null);
+    let best_agg = hybrid_pt.min(vm_pt).min(km_pt);
+    r_rows * (p.read_seq + best_agg)
+        + s_rows * (p.read_seq + (1.0 - s_sel) * (p.read_cond + p.ht_delete(ht_bytes)))
+}
+
+// ---------------------------------------------------------------------------
+// Refined estimators used by the chooser
+// ---------------------------------------------------------------------------
+
+/// Refined hybrid cost: the selected tuples gather `n_cols` aggregation
+/// inputs conditionally, and a hash lookup chained behind a gather cannot
+/// hide behind sequential prefetch (`ht_lookup + read_cond` instead of a
+/// plain `max`). `ht_lookup = 0` for a scalar aggregate.
+pub fn est_hybrid(
+    p: &CostParams,
+    rows: f64,
+    sel: f64,
+    comp: f64,
+    n_cols: usize,
+    ht_lookup: f64,
+) -> f64 {
+    let ht_term = if ht_lookup > 0.0 {
+        ht_lookup + p.read_cond
+    } else {
+        0.0
+    };
+    rows * (p.read_seq
+        + sel * comp.max(n_cols as f64 * p.read_cond).max(ht_term))
+}
+
+/// Refined value masking: all `n_cols` inputs are read sequentially for
+/// every tuple (that *is* the wasted work), and the unconditional lookups
+/// overlap with the scan (paper's `max` interleaving).
+pub fn est_value_masking(
+    p: &CostParams,
+    rows: f64,
+    comp: f64,
+    n_cols: usize,
+    ht_lookup: f64,
+) -> f64 {
+    rows * (p.read_seq + n_cols as f64 * p.read_seq + comp.max(p.read_seq).max(ht_lookup))
+}
+
+/// Refined key masking: sequential reads of all inputs plus masked-key
+/// writes; qualifying tuples pay the real lookup, filtered ones the cached
+/// throwaway.
+pub fn est_key_masking(
+    p: &CostParams,
+    rows: f64,
+    sel: f64,
+    comp: f64,
+    n_cols: usize,
+    ht_lookup: f64,
+) -> f64 {
+    rows * (p.read_seq
+        + n_cols as f64 * p.read_seq
+        + sel * comp.max(p.read_seq).max(ht_lookup)
+        + (1.0 - sel) * comp.max(p.read_seq).max(p.ht_null))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CostParams {
+        CostParams::default()
+    }
+
+    // ---- verbatim formulas -------------------------------------------------
+
+    #[test]
+    fn paper_vm_is_flat_in_selectivity() {
+        // VM has no σ term — the flat curves of Figs. 8–12.
+        let a = paper_value_masking(&p(), 1e6, 1.5, 0.0);
+        let b = paper_value_masking(&p(), 1e6, 1.5, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_memory_bound_crossover() {
+        // Memory-bound (comp < read_seq regime): hybrid wins when selective,
+        // VM when not.
+        let comp = 1.0;
+        assert!(paper_hybrid(&p(), 1e6, 0.01, comp) < paper_value_masking(&p(), 1e6, comp, 0.0));
+        assert!(paper_hybrid(&p(), 1e6, 0.9, comp) > paper_value_masking(&p(), 1e6, comp, 0.0));
+    }
+
+    #[test]
+    fn paper_compute_bound_prefers_hybrid() {
+        // § III-A: "if the aggregation is compute-bound, the hybrid approach
+        // is superior" — per the printed model hybrid ≤ VM for all σ ≤ 1.
+        let comp = 25.0;
+        for sel in [0.1, 0.5, 0.9, 1.0] {
+            assert!(
+                paper_hybrid(&p(), 1e6, sel, comp)
+                    <= paper_value_masking(&p(), 1e6, comp, 0.0) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn paper_km_equals_vm_at_full_selectivity() {
+        let ht = 20.0;
+        let km = paper_key_masking(&p(), 1e6, 1.0, 2.0, ht);
+        let vm = paper_value_masking(&p(), 1e6, 2.0, ht);
+        assert!((km - vm).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_km_beats_vm_below_full_selectivity_large_table() {
+        let ht = p().ht_lookup(1 << 30);
+        let km = paper_key_masking(&p(), 1e6, 0.3, 1.0, ht);
+        let vm = paper_value_masking(&p(), 1e6, 1.0, ht);
+        assert!(km < vm);
+    }
+
+    #[test]
+    fn eager_aggregation_wins_small_tables() {
+        // Fig. 12a: |S| = 1K (cache-resident table) — EA almost always wins.
+        let small_ht = CostParams::agg_table_bytes(1_000, 1);
+        let gj = paper_groupjoin(&p(), 1e3, 0.5, 1e6, 1.0, 0.5, 3.0, small_ht);
+        let ea = paper_eager_aggregation(&p(), 1e6, 1.0, 1e3, 0.5, 3.0, small_ht);
+        assert!(ea < gj, "ea={ea} gj={gj}");
+    }
+
+    #[test]
+    fn eager_aggregation_loses_large_tables_low_selectivity() {
+        // Fig. 12b: |S| = 1M with a selective S predicate — groupjoin's
+        // filtered build beats EA's unconditional DRAM-sized aggregation.
+        let sel = 0.02;
+        let gj_ht = CostParams::agg_table_bytes((1e6 * sel) as usize, 1);
+        let ea_ht = CostParams::agg_table_bytes(1_000_000, 1);
+        let gj = paper_groupjoin(&p(), 1e6, sel, 1e7, 1.0, sel, 3.0, gj_ht);
+        let ea = paper_eager_aggregation(&p(), 1e7, 1.0, 1e6, sel, 3.0, ea_ht);
+        assert!(gj < ea, "gj={gj} ea={ea}");
+    }
+
+    // ---- refined estimators ------------------------------------------------
+
+    #[test]
+    fn est_scalar_memory_bound_vm_wins_mid_selectivity() {
+        // Fig. 8a shape: VM flat and cheapest from ~20% upward.
+        let comp = 1.5;
+        let vm = est_value_masking(&p(), 1e6, comp, 2, 0.0);
+        assert!(est_hybrid(&p(), 1e6, 0.05, comp, 2, 0.0) < vm);
+        assert!(est_hybrid(&p(), 1e6, 0.5, comp, 2, 0.0) > vm);
+        assert!(est_hybrid(&p(), 1e6, 0.95, comp, 2, 0.0) > vm);
+    }
+
+    #[test]
+    fn est_large_table_crossover_near_half() {
+        // Fig. 9d shape: hybrid wins at low σ, KM overtakes at high σ.
+        let ht = p().ht_lookup(1 << 30);
+        let comp = 1.5;
+        let hy_low = est_hybrid(&p(), 1e6, 0.2, comp, 3, ht);
+        let km_low = est_key_masking(&p(), 1e6, 0.2, comp, 3, ht);
+        assert!(hy_low < km_low, "hy={hy_low} km={km_low}");
+        let hy_high = est_hybrid(&p(), 1e6, 0.9, comp, 3, ht);
+        let km_high = est_key_masking(&p(), 1e6, 0.9, comp, 3, ht);
+        assert!(km_high < hy_high, "hy={hy_high} km={km_high}");
+    }
+
+    #[test]
+    fn est_km_dominates_vm_for_large_tables() {
+        // Fig. 9c: "value masking becomes markedly worse than key masking".
+        let ht = p().ht_lookup(8 << 20);
+        for sel in [0.1, 0.5, 0.9] {
+            let km = est_key_masking(&p(), 1e6, sel, 1.5, 3, ht);
+            let vm = est_value_masking(&p(), 1e6, 1.5, 3, ht);
+            assert!(km < vm, "sel={sel}");
+        }
+    }
+
+    #[test]
+    fn est_small_table_masking_beats_hybrid_mid_selectivity() {
+        // Fig. 9a/9b shape.
+        let ht = p().ht_lookup(1 << 10);
+        let comp = 1.5;
+        let hy = est_hybrid(&p(), 1e6, 0.5, comp, 3, ht);
+        let km = est_key_masking(&p(), 1e6, 0.5, comp, 3, ht);
+        let vm = est_value_masking(&p(), 1e6, comp, 3, ht);
+        assert!(km < hy && vm < hy, "hy={hy} km={km} vm={vm}");
+        // And VM ≈ KM for cached tables.
+        assert!((vm - km).abs() / vm < 0.5);
+    }
+
+    #[test]
+    fn costs_scale_linearly_in_rows() {
+        let one = est_hybrid(&p(), 1e6, 0.3, 2.0, 2, 0.0);
+        let ten = est_hybrid(&p(), 1e7, 0.3, 2.0, 2, 0.0);
+        assert!((ten / one - 10.0).abs() < 1e-9);
+    }
+}

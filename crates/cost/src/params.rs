@@ -1,0 +1,129 @@
+//! Primitive access-cost parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Primitive per-tuple access costs, in CPU cycles.
+///
+/// `read_seq` and `read_cond` are the paper's sequential / conditional
+/// access costs (refs [6], [7]); the hash-structure costs are priced by
+/// which cache level the structure fits in, since "a lookup in a large hash
+/// table with uniformly distributed values will almost certainly result in a
+/// cache miss" (§ IV-B).
+///
+/// Defaults are representative of a modern x86-64 server; run
+/// [`crate::calibrate::calibrate`] (or the `calibrate` binary) to measure
+/// the host instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Cycles per value read in a pure sequential scan (prefetcher-friendly).
+    pub read_seq: f64,
+    /// Cycles per conditional (selection-vector driven or branch-guarded)
+    /// value access at intermediate selectivities: branch-misprediction +
+    /// broken prefetch.
+    pub read_cond: f64,
+    /// Cycles to access the throwaway (NULL-key) hash-table entry: it is
+    /// touched constantly when the predicate often fails, so it stays in L1.
+    pub ht_null: f64,
+    /// Cache capacities in bytes, smallest first (L1, L2, L3).
+    pub cache_bytes: [usize; 3],
+    /// Hash-table lookup cost (cycles) when the table fits in L1, L2, L3,
+    /// or only DRAM, respectively.
+    pub ht_lookup_by_level: [f64; 4],
+    /// Multiplier on the lookup cost for inserts (probe + write + occasional
+    /// growth amortization).
+    pub ht_insert_factor: f64,
+    /// Multiplier on the lookup cost for deletes (probe + backward shift).
+    pub ht_delete_factor: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> CostParams {
+        CostParams {
+            read_seq: 1.0,
+            read_cond: 8.0,
+            ht_null: 2.0,
+            // 32 KB L1d, 512 KB L2, 16 MB L3 — ballpark for the paper's
+            // E5-2660 v2 class and most contemporary parts.
+            cache_bytes: [32 << 10, 512 << 10, 16 << 20],
+            ht_lookup_by_level: [4.0, 12.0, 40.0, 150.0],
+            ht_insert_factor: 1.5,
+            ht_delete_factor: 2.0,
+        }
+    }
+}
+
+impl CostParams {
+    /// Cycles for one lookup in a hash structure occupying `table_bytes`.
+    pub fn ht_lookup(&self, table_bytes: usize) -> f64 {
+        let level = self
+            .cache_bytes
+            .iter()
+            .position(|&cap| table_bytes <= cap)
+            .unwrap_or(3);
+        self.ht_lookup_by_level[level]
+    }
+
+    /// Cycles for one insert into a structure of `table_bytes`.
+    pub fn ht_insert(&self, table_bytes: usize) -> f64 {
+        self.ht_lookup(table_bytes) * self.ht_insert_factor
+    }
+
+    /// Cycles for one delete from a structure of `table_bytes`.
+    pub fn ht_delete(&self, table_bytes: usize) -> f64 {
+        self.ht_lookup(table_bytes) * self.ht_delete_factor
+    }
+
+    /// Rough payload size of an aggregation hash table with `n_keys` groups
+    /// and `n_aggs` 64-bit states per group (matches `swole-ht`'s layout:
+    /// 50 % max load factor, key + states + flag per slot).
+    pub fn agg_table_bytes(n_keys: usize, n_aggs: usize) -> usize {
+        let slots = (n_keys.max(4) * 2).next_power_of_two();
+        slots * (8 + 8 * n_aggs + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_cost_increases_with_table_size() {
+        let p = CostParams::default();
+        let l1 = p.ht_lookup(1 << 10);
+        let l2 = p.ht_lookup(100 << 10);
+        let l3 = p.ht_lookup(4 << 20);
+        let dram = p.ht_lookup(1 << 30);
+        assert!(l1 < l2 && l2 < l3 && l3 < dram);
+    }
+
+    #[test]
+    fn boundaries_are_inclusive() {
+        let p = CostParams::default();
+        assert_eq!(p.ht_lookup(32 << 10), p.ht_lookup_by_level[0]);
+        assert_eq!(p.ht_lookup((32 << 10) + 1), p.ht_lookup_by_level[1]);
+    }
+
+    #[test]
+    fn insert_and_delete_scale_lookup() {
+        let p = CostParams::default();
+        assert!(p.ht_insert(1 << 30) > p.ht_lookup(1 << 30));
+        assert!(p.ht_delete(1 << 30) > p.ht_lookup(1 << 30));
+    }
+
+    #[test]
+    fn agg_table_bytes_tracks_keys_and_aggs() {
+        let small = CostParams::agg_table_bytes(10, 1);
+        let more_keys = CostParams::agg_table_bytes(10_000, 1);
+        let more_aggs = CostParams::agg_table_bytes(10, 8);
+        assert!(more_keys > small);
+        assert!(more_aggs > small);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = CostParams::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: CostParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,482 @@
+//! Group-by aggregation hash table.
+
+use crate::hash::{hash_i64, slot_for};
+
+/// The key that key masking (§ III-B) stores for filtered tuples.
+///
+/// It is an ordinary hashable key — the throwaway is a *normal entry in the
+/// hash table* (§ III-B: "maps to the throwaway entry in the hash table"),
+/// so routing a masked tuple to it takes the same branch-free probe as any
+/// other key and the entry stays cached because it is touched constantly.
+/// [`AggTable::iter`] and [`AggTable::len`] exclude it; read its state with
+/// [`AggTable::null_state`].
+pub const NULL_KEY: i64 = i64::MIN + 1;
+
+/// Sentinel marking an empty slot. Real group keys may not take this value
+/// (or [`NULL_KEY`] / [`TOMBSTONE`]); all workloads in this repo use small
+/// non-negative keys, and [`AggTable::entry`] debug-asserts it.
+const EMPTY: i64 = i64::MIN;
+
+/// Sentinel marking a deleted slot under [`DeletePolicy::Tombstone`].
+const TOMBSTONE: i64 = i64::MIN + 2;
+
+/// How [`AggTable::delete`] removes entries.
+///
+/// Eager aggregation (§ III-E) deletes every key filtered by the join; the
+/// two classic linear-probing deletion strategies trade probe-sequence
+/// health against deletion cost. `ablations` benches both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeletePolicy {
+    /// Shift the following probe-sequence entries backwards. Slightly more
+    /// work per delete, but keeps probe sequences short forever.
+    #[default]
+    BackwardShift,
+    /// Mark the slot with a tombstone. O(1) delete, but lookups must skip
+    /// tombstones until the next rehash.
+    Tombstone,
+}
+
+/// An open-addressing hash table from `i64` group keys to fixed-width
+/// aggregate state (`n_aggs` `i64` slots per key).
+///
+/// Layout: parallel `keys` / `valid` arrays of `capacity` slots plus a flat
+/// `states` array of `(capacity + 1) * n_aggs` values. State offset 0 is the
+/// **throwaway entry** for [`NULL_KEY`]; slot `s` owns offset
+/// `(s + 1) * n_aggs`. [`AggTable::entry`] hands out state offsets so the hot
+/// update loop is `states[off + k] += v` with no further indirection.
+#[derive(Debug, Clone)]
+pub struct AggTable {
+    keys: Vec<i64>,
+    states: Vec<i64>,
+    valid: Vec<u8>,
+    n_aggs: usize,
+    cap_log2: u32,
+    len: usize,
+    tombstones: usize,
+    policy: DeletePolicy,
+}
+
+impl AggTable {
+    /// Create a table with room for roughly `expected_keys` distinct keys
+    /// before the first grow, each carrying `n_aggs` aggregate values.
+    pub fn with_capacity(n_aggs: usize, expected_keys: usize) -> AggTable {
+        assert!(n_aggs > 0, "need at least one aggregate slot");
+        // Size for a max load factor of 50% so probe sequences stay short
+        // even with uniform (worst-case, per the paper) keys.
+        let cap_log2 = (expected_keys.max(4) * 2).next_power_of_two().trailing_zeros();
+        AggTable {
+            keys: vec![EMPTY; 1 << cap_log2],
+            states: vec![0; ((1 << cap_log2) + 1) * n_aggs],
+            valid: vec![0; 1 << cap_log2],
+            n_aggs,
+            cap_log2,
+            len: 0,
+            tombstones: 0,
+            policy: DeletePolicy::default(),
+        }
+    }
+
+    /// Select the deletion strategy (defaults to backward shift).
+    pub fn with_delete_policy(mut self, policy: DeletePolicy) -> AggTable {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of distinct real keys currently stored (the throwaway entry is
+    /// never counted).
+    pub fn len(&self) -> usize {
+        self.len - self.find(NULL_KEY).is_some() as usize
+    }
+
+    /// `true` if no real keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        1 << self.cap_log2
+    }
+
+    /// Aggregate slots per key.
+    pub fn n_aggs(&self) -> usize {
+        self.n_aggs
+    }
+
+    /// Approximate payload size in bytes — what the cost model compares
+    /// against cache sizes to price `ht_lookup`.
+    pub fn size_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.states.len() * 8 + self.valid.len()
+    }
+
+
+    /// Find or insert `key`, returning its state offset into
+    /// [`AggTable::states`]. [`NULL_KEY`] maps to the throwaway entry.
+    ///
+    /// Offsets are invalidated by any subsequent insert (the table may grow);
+    /// the kernels never hold offsets across inserts.
+    #[inline]
+    pub fn entry(&mut self, key: i64) -> usize {
+        debug_assert!(key != EMPTY && key != TOMBSTONE, "reserved key value");
+        if (self.len + self.tombstones + 1) * 2 > self.capacity() {
+            self.grow();
+        }
+        let mask = self.capacity() - 1;
+        let mut slot = slot_for(hash_i64(key), self.cap_log2);
+        let mut first_tombstone = usize::MAX;
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return (slot + 1) * self.n_aggs;
+            }
+            if k == EMPTY {
+                let dest = if first_tombstone != usize::MAX {
+                    self.tombstones -= 1;
+                    first_tombstone
+                } else {
+                    slot
+                };
+                self.keys[dest] = key;
+                self.len += 1;
+                let off = (dest + 1) * self.n_aggs;
+                self.states[off..off + self.n_aggs].fill(0);
+                self.valid[dest] = 0;
+                return off;
+            }
+            if k == TOMBSTONE && first_tombstone == usize::MAX {
+                first_tombstone = slot;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Find `key` without inserting. Returns its state offset, or `None`.
+    #[inline]
+    pub fn find(&self, key: i64) -> Option<usize> {
+        let mask = self.capacity() - 1;
+        let mut slot = slot_for(hash_i64(key), self.cap_log2);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return Some((slot + 1) * self.n_aggs);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Mutable access to the flat state array (hot update loops index it
+    /// directly with offsets from [`AggTable::entry`]).
+    #[inline(always)]
+    pub fn states_mut(&mut self) -> &mut [i64] {
+        &mut self.states
+    }
+
+    /// Shared access to the flat state array.
+    #[inline(always)]
+    pub fn states(&self) -> &[i64] {
+        &self.states
+    }
+
+    /// Add `v` to aggregate slot `agg` of the entry at `offset`.
+    #[inline(always)]
+    pub fn add(&mut self, offset: usize, agg: usize, v: i64) {
+        debug_assert!(agg < self.n_aggs);
+        self.states[offset + agg] += v;
+    }
+
+    /// OR `flag` (0 or 1) into the valid bit of the entry at `offset`.
+    ///
+    /// Value masking bookkeeping (§ III-B): every tuple — masked or not —
+    /// touches its real group entry, so a flag distinguishes entries that
+    /// only ever received masked (zero) updates from real groups whose
+    /// aggregate happens to be zero. (The throwaway entry's flag is
+    /// irrelevant: [`AggTable::iter`] always excludes it.)
+    #[inline(always)]
+    pub fn or_valid(&mut self, offset: usize, flag: u8) {
+        self.valid[offset / self.n_aggs - 1] |= flag;
+    }
+
+    /// Mark the entry at `offset` valid unconditionally (used by strategies
+    /// that only touch entries for qualifying tuples).
+    #[inline(always)]
+    pub fn set_valid(&mut self, offset: usize) {
+        self.valid[offset / self.n_aggs - 1] = 1;
+    }
+
+    /// Read the valid flag of the entry at `offset` (the throwaway entry is
+    /// never valid).
+    #[inline(always)]
+    pub fn is_valid(&self, offset: usize) -> bool {
+        self.valid[offset / self.n_aggs - 1] != 0
+    }
+
+    /// Delete `key`, returning `true` if it was present. [`NULL_KEY`] clears
+    /// the throwaway state instead.
+    pub fn delete(&mut self, key: i64) -> bool {
+        let mask = self.capacity() - 1;
+        let mut slot = slot_for(hash_i64(key), self.cap_log2);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                match self.policy {
+                    DeletePolicy::Tombstone => {
+                        self.keys[slot] = TOMBSTONE;
+                        self.tombstones += 1;
+                    }
+                    DeletePolicy::BackwardShift => self.backward_shift(slot),
+                }
+                self.len -= 1;
+                return true;
+            }
+            if k == EMPTY {
+                return false;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Backward-shift deletion: walk the cluster after `hole`, moving back
+    /// any entry whose home slot means it is reachable through `hole`.
+    fn backward_shift(&mut self, mut hole: usize) {
+        let mask = self.capacity() - 1;
+        self.keys[hole] = EMPTY;
+        let mut probe = (hole + 1) & mask;
+        loop {
+            let k = self.keys[probe];
+            if k == EMPTY {
+                return;
+            }
+            if k != TOMBSTONE {
+                let home = slot_for(hash_i64(k), self.cap_log2);
+                // `probe` is reachable from `home`; if `hole` lies on the
+                // cyclic path home..=probe the entry must move back into it.
+                let dist_hole = hole.wrapping_sub(home) & mask;
+                let dist_probe = probe.wrapping_sub(home) & mask;
+                if dist_hole <= dist_probe {
+                    self.keys[hole] = k;
+                    self.valid[hole] = self.valid[probe];
+                    let (src, dst) = ((probe + 1) * self.n_aggs, (hole + 1) * self.n_aggs);
+                    for a in 0..self.n_aggs {
+                        self.states[dst + a] = self.states[src + a];
+                    }
+                    self.keys[probe] = EMPTY;
+                    hole = probe;
+                }
+            }
+            probe = (probe + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_states = std::mem::take(&mut self.states);
+        let old_valid = std::mem::take(&mut self.valid);
+        self.cap_log2 += 1;
+        let cap = 1 << self.cap_log2;
+        self.keys = vec![EMPTY; cap];
+        self.states = vec![0; (cap + 1) * self.n_aggs];
+        self.valid = vec![0; cap];
+        self.len = 0;
+        self.tombstones = 0;
+        let mask = cap - 1;
+        for (slot, &k) in old_keys.iter().enumerate() {
+            if k == EMPTY || k == TOMBSTONE {
+                continue;
+            }
+            let mut s = slot_for(hash_i64(k), self.cap_log2);
+            while self.keys[s] != EMPTY {
+                s = (s + 1) & mask;
+            }
+            self.keys[s] = k;
+            self.valid[s] = old_valid[slot];
+            let (src, dst) = ((slot + 1) * self.n_aggs, (s + 1) * self.n_aggs);
+            self.states[dst..dst + self.n_aggs]
+                .copy_from_slice(&old_states[src..src + self.n_aggs]);
+            self.len += 1;
+        }
+    }
+
+    /// Iterate over live real entries as `(key, state, valid)`. The
+    /// throwaway entry is excluded; use [`AggTable::null_state`] for it.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &[i64], bool)> {
+        self.keys.iter().enumerate().filter_map(move |(slot, &k)| {
+            if k == EMPTY || k == TOMBSTONE || k == NULL_KEY {
+                None
+            } else {
+                let off = (slot + 1) * self.n_aggs;
+                Some((k, &self.states[off..off + self.n_aggs], self.valid[slot] != 0))
+            }
+        })
+    }
+
+    /// The throwaway entry's accumulated state (all zeros if no masked
+    /// tuple ever landed there — state offset 0 is never written, so it
+    /// doubles as the zero default).
+    pub fn null_state(&self) -> &[i64] {
+        match self.find(NULL_KEY) {
+            Some(off) => &self.states[off..off + self.n_aggs],
+            None => &self.states[..self.n_aggs],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_update_lookup() {
+        let mut t = AggTable::with_capacity(2, 4);
+        let off = t.entry(7);
+        t.add(off, 0, 10);
+        t.add(off, 1, 1);
+        let off = t.entry(7);
+        t.add(off, 0, 5);
+        t.add(off, 1, 1);
+        assert_eq!(t.len(), 1);
+        let found = t.find(7).unwrap();
+        assert_eq!(&t.states()[found..found + 2], &[15, 2]);
+        assert!(t.find(8).is_none());
+    }
+
+    #[test]
+    fn null_key_routes_to_throwaway() {
+        let mut t = AggTable::with_capacity(1, 4);
+        let off = t.entry(NULL_KEY);
+        t.add(off, 0, 99);
+        let off2 = t.entry(NULL_KEY);
+        assert_eq!(off, off2, "one throwaway entry");
+        assert_eq!(t.null_state(), &[99]);
+        assert_eq!(t.len(), 0, "throwaway is not a real entry");
+        assert_eq!(t.iter().count(), 0);
+        // Without any masked tuples, the throwaway state reads as zeros.
+        let empty = AggTable::with_capacity(2, 4);
+        assert_eq!(empty.null_state(), &[0, 0]);
+    }
+
+    #[test]
+    fn growth_preserves_everything() {
+        let mut t = AggTable::with_capacity(1, 4);
+        let null_off = t.entry(NULL_KEY);
+        t.add(null_off, 0, -7);
+        for k in 0..1000 {
+            let off = t.entry(k);
+            t.add(off, 0, k * 2);
+            t.set_valid(off);
+        }
+        assert_eq!(t.len(), 1000);
+        assert!(t.capacity() >= 2000);
+        for k in 0..1000 {
+            let off = t.find(k).unwrap();
+            assert_eq!(t.states()[off], k * 2);
+        }
+        assert_eq!(t.null_state(), &[-7]);
+        assert!(t.iter().all(|(_, _, v)| v));
+    }
+
+    #[test]
+    fn valid_flag_bookkeeping() {
+        let mut t = AggTable::with_capacity(1, 8);
+        let a = t.entry(1);
+        t.or_valid(a, 0); // masked update only
+        let b = t.entry(2);
+        t.or_valid(b, 1); // real update
+        let flags: HashMap<i64, bool> = t.iter().map(|(k, _, v)| (k, v)).collect();
+        assert_eq!(flags[&1], false);
+        assert_eq!(flags[&2], true);
+    }
+
+    #[test]
+    fn delete_backward_shift_keeps_probes_working() {
+        let mut t = AggTable::with_capacity(1, 64);
+        for k in 0..50 {
+            let off = t.entry(k);
+            t.add(off, 0, k + 100);
+        }
+        for k in (0..50).step_by(2) {
+            assert!(t.delete(k));
+            assert!(!t.delete(k), "double delete must report absence");
+        }
+        assert_eq!(t.len(), 25);
+        for k in 0..50 {
+            if k % 2 == 0 {
+                assert!(t.find(k).is_none(), "key {k} should be gone");
+            } else {
+                let off = t.find(k).expect("odd key must survive");
+                assert_eq!(t.states()[off], k + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn delete_tombstone_keeps_probes_working() {
+        let mut t = AggTable::with_capacity(1, 64).with_delete_policy(DeletePolicy::Tombstone);
+        for k in 0..50 {
+            let off = t.entry(k);
+            t.add(off, 0, k);
+        }
+        for k in 25..50 {
+            assert!(t.delete(k));
+        }
+        for k in 0..25 {
+            assert!(t.find(k).is_some());
+        }
+        for k in 25..50 {
+            assert!(t.find(k).is_none());
+        }
+        // Re-insert reuses tombstones with fresh state.
+        let off = t.entry(30);
+        assert_eq!(t.states()[off], 0);
+        assert_eq!(t.len(), 26);
+    }
+
+    #[test]
+    fn delete_null_key_clears_throwaway() {
+        let mut t = AggTable::with_capacity(1, 4);
+        let off = t.entry(NULL_KEY);
+        t.add(off, 0, 5);
+        assert_eq!(t.null_state(), &[5]);
+        assert!(t.delete(NULL_KEY));
+        assert!(!t.delete(NULL_KEY));
+        assert_eq!(t.null_state(), &[0]);
+    }
+
+    #[test]
+    fn matches_std_hashmap_under_mixed_ops() {
+        // Deterministic pseudo-random op sequence cross-checked against
+        // HashMap<i64, i64>.
+        let mut t = AggTable::with_capacity(1, 4);
+        let mut reference: HashMap<i64, i64> = HashMap::new();
+        let mut state = 0x12345678u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = ((state >> 33) % 257) as i64;
+            let op = (state >> 20) % 3;
+            match op {
+                0 | 1 => {
+                    let off = t.entry(key);
+                    t.add(off, 0, 1);
+                    *reference.entry(key).or_insert(0) += 1;
+                }
+                _ => {
+                    let was = t.delete(key);
+                    assert_eq!(was, reference.remove(&key).is_some());
+                }
+            }
+        }
+        assert_eq!(t.len(), reference.len());
+        let got: HashMap<i64, i64> = t.iter().map(|(k, s, _)| (k, s[0])).collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn size_bytes_grows_with_capacity() {
+        let small = AggTable::with_capacity(1, 4).size_bytes();
+        let large = AggTable::with_capacity(1, 4096).size_bytes();
+        assert!(large > small * 100);
+    }
+}

@@ -1,0 +1,175 @@
+//! Equijoin hash table.
+
+use crate::hash::{hash_i64, slot_for};
+
+/// A multimap from `i64` join keys to `u32` row ids, built once on the build
+/// side of a hash join and probed for every probe-side tuple.
+///
+/// Bucket-chained layout: a power-of-two `heads` directory plus per-entry
+/// `next` links, all in flat arrays. Probing a key whose bucket is cold costs
+/// one cache miss for the head and one per chain entry — the access pattern
+/// whose cost the paper's `ht_lookup` term models, and which the positional
+/// bitmap technique (§ III-D) eliminates for FK joins.
+#[derive(Debug, Clone)]
+pub struct JoinTable {
+    heads: Vec<u32>,
+    next: Vec<u32>,
+    keys: Vec<i64>,
+    rows: Vec<u32>,
+    cap_log2: u32,
+}
+
+/// End-of-chain sentinel.
+const NONE: u32 = u32::MAX;
+
+impl JoinTable {
+    /// Create a table expecting `expected_entries` insertions.
+    pub fn with_capacity(expected_entries: usize) -> JoinTable {
+        let cap_log2 = expected_entries
+            .max(4)
+            .next_power_of_two()
+            .trailing_zeros();
+        JoinTable {
+            heads: vec![NONE; 1 << cap_log2],
+            next: Vec::with_capacity(expected_entries),
+            keys: Vec::with_capacity(expected_entries),
+            rows: Vec::with_capacity(expected_entries),
+            cap_log2,
+        }
+    }
+
+    /// Build directly from a key column (row id = position).
+    pub fn build(keys: &[i64]) -> JoinTable {
+        let mut t = JoinTable::with_capacity(keys.len());
+        for (row, &k) in keys.iter().enumerate() {
+            t.insert(k, row as u32);
+        }
+        t
+    }
+
+    /// Insert a `(key, row)` pair.
+    #[inline]
+    pub fn insert(&mut self, key: i64, row: u32) {
+        if self.keys.len() >= self.heads.len() {
+            self.grow();
+        }
+        let slot = slot_for(hash_i64(key), self.cap_log2);
+        let id = self.keys.len() as u32;
+        self.keys.push(key);
+        self.rows.push(row);
+        self.next.push(self.heads[slot]);
+        self.heads[slot] = id;
+    }
+
+    fn grow(&mut self) {
+        self.cap_log2 += 1;
+        self.heads = vec![NONE; 1 << self.cap_log2];
+        for id in 0..self.keys.len() {
+            let slot = slot_for(hash_i64(self.keys[id]), self.cap_log2);
+            self.next[id] = self.heads[slot];
+            self.heads[slot] = id as u32;
+        }
+    }
+
+    /// Iterate over the row ids stored under `key`.
+    #[inline]
+    pub fn probe(&self, key: i64) -> ProbeIter<'_> {
+        let slot = slot_for(hash_i64(key), self.cap_log2);
+        ProbeIter {
+            table: self,
+            key,
+            cursor: self.heads[slot],
+        }
+    }
+
+    /// First matching row id, if any (enough for PK-FK joins where the build
+    /// side is unique).
+    #[inline]
+    pub fn probe_first(&self, key: i64) -> Option<u32> {
+        self.probe(key).next()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if nothing was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Approximate payload bytes (for the cost model).
+    pub fn size_bytes(&self) -> usize {
+        self.heads.len() * 4 + self.keys.len() * (8 + 4 + 4)
+    }
+}
+
+/// Iterator over row ids matching one probe key.
+pub struct ProbeIter<'a> {
+    table: &'a JoinTable,
+    key: i64,
+    cursor: u32,
+}
+
+impl Iterator for ProbeIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        while self.cursor != NONE {
+            let id = self.cursor as usize;
+            self.cursor = self.table.next[id];
+            if self.table.keys[id] == self.key {
+                return Some(self.table.rows[id]);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_probe_unique_keys() {
+        let t = JoinTable::build(&[10, 20, 30]);
+        assert_eq!(t.probe_first(20), Some(1));
+        assert_eq!(t.probe_first(40), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_keys_yield_all_rows() {
+        let t = JoinTable::build(&[5, 7, 5, 5, 7]);
+        let mut rows: Vec<u32> = t.probe(5).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 2, 3]);
+        let mut rows: Vec<u32> = t.probe(7).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1, 4]);
+    }
+
+    #[test]
+    fn growth_keeps_all_entries() {
+        let mut t = JoinTable::with_capacity(4);
+        for row in 0..10_000u32 {
+            t.insert((row % 97) as i64, row);
+        }
+        for k in 0..97i64 {
+            let n = t.probe(k).count();
+            let expected = (0..10_000u32).filter(|r| (r % 97) as i64 == k).count();
+            assert_eq!(n, expected, "key {k}");
+        }
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let t = JoinTable::build(&[-1, i64::MAX, i64::MIN, 0]);
+        assert_eq!(t.probe_first(-1), Some(0));
+        assert_eq!(t.probe_first(i64::MAX), Some(1));
+        assert_eq!(t.probe_first(i64::MIN), Some(2));
+        assert_eq!(t.probe_first(0), Some(3));
+    }
+}

@@ -1,0 +1,134 @@
+//! Hash set of join keys.
+
+use crate::hash::{hash_i64, slot_for};
+
+/// An open-addressing set of `i64` keys.
+///
+/// This is the data structure the **baseline** (data-centric / hybrid)
+/// semijoin implementations build and probe; the SWOLE positional bitmap
+/// (§ III-D) replaces it for FK semijoins. Keeping it minimal and fast keeps
+/// the comparison honest.
+#[derive(Debug, Clone)]
+pub struct KeySet {
+    keys: Vec<i64>,
+    cap_log2: u32,
+    len: usize,
+}
+
+const EMPTY: i64 = i64::MIN;
+
+impl KeySet {
+    /// Create a set expecting roughly `expected_keys` inserts.
+    pub fn with_capacity(expected_keys: usize) -> KeySet {
+        let cap_log2 = (expected_keys.max(4) * 2).next_power_of_two().trailing_zeros();
+        KeySet {
+            keys: vec![EMPTY; 1 << cap_log2],
+            cap_log2,
+            len: 0,
+        }
+    }
+
+    /// Insert `key`; returns `true` if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, key: i64) -> bool {
+        debug_assert!(key != EMPTY, "reserved key value");
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut slot = slot_for(hash_i64(key), self.cap_log2);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return false;
+            }
+            if k == EMPTY {
+                self.keys[slot] = key;
+                self.len += 1;
+                return true;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Membership test — the per-probe-tuple operation of a hash semijoin.
+    #[inline]
+    pub fn contains(&self, key: i64) -> bool {
+        let mask = self.keys.len() - 1;
+        let mut slot = slot_for(hash_i64(key), self.cap_log2);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return true;
+            }
+            if k == EMPTY {
+                return false;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.keys, Vec::new());
+        self.cap_log2 += 1;
+        self.keys = vec![EMPTY; 1 << self.cap_log2];
+        self.len = 0;
+        for k in old {
+            if k != EMPTY {
+                self.insert(k);
+            }
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate payload bytes (for the cost model).
+    pub fn size_bytes(&self) -> usize {
+        self.keys.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = KeySet::with_capacity(4);
+        assert!(s.insert(10));
+        assert!(!s.insert(10));
+        assert!(s.insert(-3));
+        assert!(s.contains(10));
+        assert!(s.contains(-3));
+        assert!(!s.contains(11));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn growth_retains_members() {
+        let mut s = KeySet::with_capacity(2);
+        for k in 0..5000i64 {
+            s.insert(k * 3);
+        }
+        assert_eq!(s.len(), 5000);
+        for k in 0..5000i64 {
+            assert!(s.contains(k * 3));
+            assert!(!s.contains(k * 3 + 1));
+        }
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = KeySet::with_capacity(8);
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+    }
+}

@@ -1,0 +1,36 @@
+//! # swole-ht — hash tables built for access-aware query execution
+//!
+//! From-scratch open-addressing hash tables with exactly the features the
+//! SWOLE techniques (paper § III) need and nothing else:
+//!
+//! * [`AggTable`] — group-by aggregation states keyed by `i64`, with
+//!   * a reserved **throwaway entry** addressed by [`NULL_KEY`] so the key
+//!     masking technique (§ III-B) can route filtered tuples to a single
+//!     always-cached slot,
+//!   * per-entry **valid flags** so the value masking technique (§ III-B)
+//!     can "set a flag during insertion to differentiate between masked
+//!     entries and actual 0 values",
+//!   * **deletion** (backward-shift or tombstone) so eager aggregation
+//!     (§ III-E) can remove non-qualifying aggregates after the fact;
+//! * [`JoinTable`] — an equijoin multimap from `i64` keys to row ids;
+//! * [`KeySet`] — a membership set used by the hash-based semijoin
+//!   baselines that positional bitmaps replace.
+//!
+//! All tables use power-of-two capacities, linear probing, and a
+//! Fibonacci-multiplicative hash ([`hash_i64`]) — the same cheap integer
+//! hashing a hand-tuned C implementation would use. Uniformly distributed
+//! keys (the paper's stated worst case for caching) therefore spread evenly,
+//! and a lookup in a table larger than cache is almost certainly a miss,
+//! which is precisely the regime the cost models reason about.
+
+#![warn(missing_docs)]
+
+mod agg_table;
+mod hash;
+mod join_table;
+mod key_set;
+
+pub use agg_table::{AggTable, DeletePolicy, NULL_KEY};
+pub use hash::hash_i64;
+pub use join_table::JoinTable;
+pub use key_set::KeySet;

@@ -1,0 +1,277 @@
+//! Scalar-aggregation kernels (no group-by key).
+//!
+//! Realises the strategies of Fig. 1 and the SWOLE rewrites of Figs. 3 and 5
+//! for queries shaped like `select sum(a OP b) from R where <pred>`:
+//!
+//! * data-centric — one loop, branch per tuple (`s_trav_cr` access pattern);
+//! * hybrid — aggregate through a selection vector (conditional reads);
+//! * **value masking** (§ III-A) — aggregate every tuple sequentially and
+//!   multiply by the 0/1 predicate result;
+//! * **access merging** (§ III-C) — fuse the predicate result into the value
+//!   of the shared attribute so it is read once.
+
+use crate::AsI64;
+
+/// A binary arithmetic operator applied inside an aggregate expression
+/// (the `[OP]` substitution parameter of microbenchmark Q1).
+pub trait BinOp {
+    /// Apply the operator to widened operands.
+    fn apply(a: i64, b: i64) -> i64;
+    /// Name used by codegen / reporting.
+    const NAME: &'static str;
+    /// `true` if the operation is expensive enough to be compute-bound
+    /// (drives the `comp` term of the cost models).
+    const COMPUTE_BOUND: bool;
+}
+
+/// Multiplication — the memory-bound configuration (Fig. 8a).
+pub struct Mul;
+impl BinOp for Mul {
+    #[inline(always)]
+    fn apply(a: i64, b: i64) -> i64 {
+        a * b
+    }
+    const NAME: &'static str = "*";
+    const COMPUTE_BOUND: bool = false;
+}
+
+/// Division — the compute-bound configuration (Fig. 8b).
+///
+/// Callers must guarantee non-zero divisors: masked strategies evaluate the
+/// division for *every* tuple (that is the point of the pullup) and only
+/// mask the result.
+pub struct Div;
+impl BinOp for Div {
+    #[inline(always)]
+    fn apply(a: i64, b: i64) -> i64 {
+        a / b
+    }
+    const NAME: &'static str = "/";
+    const COMPUTE_BOUND: bool = true;
+}
+
+/// Data-centric aggregation: branch per tuple, conditional access of the
+/// aggregation inputs (the `if (x[i] < 13) sum += a[i]` loop of Fig. 1).
+#[inline]
+pub fn sum_op_datacentric<A: AsI64, B: AsI64, O: BinOp>(
+    a: &[A],
+    b: &[B],
+    pred: impl Fn(usize) -> bool,
+) -> i64 {
+    assert_eq!(a.len(), b.len());
+    let mut sum = 0i64;
+    for j in 0..a.len() {
+        if pred(j) {
+            sum += O::apply(a[j].widen(), b[j].widen());
+        }
+    }
+    sum
+}
+
+/// Hybrid aggregation: gather the aggregation inputs through a selection
+/// vector of global row ids (the third inner loop of Fig. 1's hybrid
+/// fragment) — a conditional-read access pattern.
+#[inline]
+pub fn sum_op_gather<A: AsI64, B: AsI64, O: BinOp>(a: &[A], b: &[B], idx: &[u32]) -> i64 {
+    assert_eq!(a.len(), b.len());
+    let mut sum = 0i64;
+    for &j in idx {
+        let j = j as usize;
+        sum += O::apply(a[j].widen(), b[j].widen());
+    }
+    sum
+}
+
+/// **Value masking** (Fig. 3): unconditionally read the aggregation inputs
+/// sequentially and multiply the result by the 0/1 predicate outcome —
+/// `sum += (a[i+j] OP b[i+j]) * cmp[j]`.
+#[inline]
+pub fn sum_op_masked<A: AsI64, B: AsI64, O: BinOp>(a: &[A], b: &[B], cmp: &[u8]) -> i64 {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), cmp.len());
+    let mut sum = 0i64;
+    for j in 0..a.len() {
+        sum += O::apply(a[j].widen(), b[j].widen()) * cmp[j] as i64;
+    }
+    sum
+}
+
+/// **Access merging**, first loop (Fig. 5 bottom): fuse the predicate result
+/// into the shared attribute's value — `tmp[j] = x[j] * (x[j] < lit)` — so
+/// the attribute is accessed exactly once.
+#[inline]
+pub fn merge_lt<T: AsI64 + PartialOrd + Copy>(x: &[T], lit: T, tmp: &mut [i64]) {
+    assert_eq!(x.len(), tmp.len());
+    for (t, &v) in tmp.iter_mut().zip(x) {
+        *t = v.widen() * (v < lit) as i64;
+    }
+}
+
+/// Access merging with an externally computed mask (used when the predicate
+/// has additional conjuncts beyond the shared attribute):
+/// `tmp[j] = x[j] * cmp[j]`.
+#[inline]
+pub fn mask_values<T: AsI64>(x: &[T], cmp: &[u8], tmp: &mut [i64]) {
+    assert_eq!(x.len(), cmp.len());
+    assert_eq!(x.len(), tmp.len());
+    for ((t, &v), &c) in tmp.iter_mut().zip(x).zip(cmp) {
+        *t = v.widen() * c as i64;
+    }
+}
+
+/// Access merging, second loop: `sum += a[j] * tmp[j]` (Fig. 5 bottom).
+#[inline]
+pub fn sum_product_tmp<A: AsI64>(a: &[A], tmp: &[i64]) -> i64 {
+    assert_eq!(a.len(), tmp.len());
+    let mut sum = 0i64;
+    for (&av, &t) in a.iter().zip(tmp) {
+        sum += av.widen() * t;
+    }
+    sum
+}
+
+/// Access merging when **both** aggregate inputs are the predicate attribute
+/// (microbenchmark Q3's `sum(r_x * r_x)` configuration): `sum += tmp[j] *
+/// tmp[j]`, valid because `tmp = x * cmp` and `cmp² = cmp`.
+#[inline]
+pub fn sum_square_tmp(tmp: &[i64]) -> i64 {
+    let mut sum = 0i64;
+    for &t in tmp {
+        sum += t * t;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{predicate, selvec, tiles};
+
+    fn reference<O: BinOp>(x: &[i32], lit: i32, a: &[i32], b: &[i32]) -> i64 {
+        (0..x.len())
+            .filter(|&j| x[j] < lit)
+            .map(|j| O::apply(a[j] as i64, b[j] as i64))
+            .sum()
+    }
+
+    fn mk_data(n: usize) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
+        let mut state = 7u64;
+        let mut next = move |m: i64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as i64 % m) as i32
+        };
+        let x: Vec<i32> = (0..n).map(|_| next(100)).collect();
+        let a: Vec<i32> = (0..n).map(|_| next(50) + 1).collect();
+        let b: Vec<i32> = (0..n).map(|_| next(50) + 1).collect();
+        (x, a, b)
+    }
+
+    #[test]
+    fn all_strategies_agree_mul() {
+        let (x, a, b) = mk_data(3000);
+        let lit = 37;
+        let expected = reference::<Mul>(&x, lit, &a, &b);
+
+        // data-centric
+        let dc = sum_op_datacentric::<_, _, Mul>(&a, &b, |j| x[j] < lit);
+        assert_eq!(dc, expected);
+
+        // hybrid: tiled prepass + selvec + gather
+        let mut hybrid = 0i64;
+        let mut cmp = [0u8; crate::TILE];
+        let mut idx = [0u32; crate::TILE];
+        for (start, len) in tiles(x.len()) {
+            predicate::cmp_lt(&x[start..start + len], lit, &mut cmp[..len]);
+            let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+            hybrid += sum_op_gather::<_, _, Mul>(&a, &b, &idx[..k]);
+        }
+        assert_eq!(hybrid, expected);
+
+        // value masking
+        let mut vm = 0i64;
+        for (start, len) in tiles(x.len()) {
+            predicate::cmp_lt(&x[start..start + len], lit, &mut cmp[..len]);
+            vm += sum_op_masked::<_, _, Mul>(
+                &a[start..start + len],
+                &b[start..start + len],
+                &cmp[..len],
+            );
+        }
+        assert_eq!(vm, expected);
+    }
+
+    #[test]
+    fn all_strategies_agree_div() {
+        let (x, a, b) = mk_data(2000);
+        let lit = 80;
+        let expected = reference::<Div>(&x, lit, &a, &b);
+        let dc = sum_op_datacentric::<_, _, Div>(&a, &b, |j| x[j] < lit);
+        assert_eq!(dc, expected);
+        let mut cmp = vec![0u8; x.len()];
+        predicate::cmp_lt(&x, lit, &mut cmp);
+        let vm = sum_op_masked::<_, _, Div>(&a, &b, &cmp);
+        assert_eq!(vm, expected);
+    }
+
+    #[test]
+    fn access_merging_agrees_one_shared_attr() {
+        // sum(x * a) where x < lit: merged tmp = x * cmp; sum += a * tmp.
+        let (x, a, _) = mk_data(2000);
+        let lit = 55;
+        let expected: i64 = (0..x.len())
+            .filter(|&j| x[j] < lit)
+            .map(|j| x[j] as i64 * a[j] as i64)
+            .sum();
+        let mut tmp = vec![0i64; x.len()];
+        merge_lt(&x, lit, &mut tmp);
+        assert_eq!(sum_product_tmp(&a, &tmp), expected);
+    }
+
+    #[test]
+    fn access_merging_agrees_both_shared() {
+        // sum(x * x) where x < lit.
+        let (x, _, _) = mk_data(2000);
+        let lit = 55;
+        let expected: i64 = (0..x.len())
+            .filter(|&j| x[j] < lit)
+            .map(|j| x[j] as i64 * x[j] as i64)
+            .sum();
+        let mut tmp = vec![0i64; x.len()];
+        merge_lt(&x, lit, &mut tmp);
+        assert_eq!(sum_square_tmp(&tmp), expected);
+    }
+
+    #[test]
+    fn mask_values_matches_merge_for_single_conjunct() {
+        let (x, _, _) = mk_data(500);
+        let mut cmp = vec![0u8; x.len()];
+        predicate::cmp_lt(&x, 20, &mut cmp);
+        let mut via_mask = vec![0i64; x.len()];
+        mask_values(&x, &cmp, &mut via_mask);
+        let mut via_merge = vec![0i64; x.len()];
+        merge_lt(&x, 20, &mut via_merge);
+        assert_eq!(via_mask, via_merge);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sum_op_masked::<i32, i32, Mul>(&[], &[], &[]), 0);
+        assert_eq!(sum_op_gather::<i32, i32, Mul>(&[], &[], &[]), 0);
+        assert_eq!(sum_op_datacentric::<i32, i32, Mul>(&[], &[], |_| true), 0);
+    }
+
+    #[test]
+    fn selectivity_extremes() {
+        let (x, a, b) = mk_data(1000);
+        let mut cmp = vec![0u8; x.len()];
+        predicate::cmp_lt(&x, 0, &mut cmp); // selects nothing
+        assert_eq!(sum_op_masked::<_, _, Mul>(&a, &b, &cmp), 0);
+        predicate::cmp_lt(&x, 100, &mut cmp); // selects everything
+        let all: i64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&av, &bv)| av as i64 * bv as i64)
+            .sum();
+        assert_eq!(sum_op_masked::<_, _, Mul>(&a, &b, &cmp), all);
+    }
+}

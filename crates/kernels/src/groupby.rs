@@ -1,0 +1,240 @@
+//! Group-by aggregation kernels (paper § III-B, Fig. 4).
+//!
+//! For queries shaped like
+//! `select c, sum(a OP b) from R where <pred> group by c`:
+//!
+//! * data-centric / hybrid — filter first, then a hash-table lookup per
+//!   qualifying tuple (conditional reads of `c`, `a`, `b`);
+//! * **value masking** (Fig. 4 top) — unconditionally look up every tuple's
+//!   real key and add the masked value, with valid-flag bookkeeping;
+//! * **key masking** (Fig. 4 bottom) — mask the *key* to [`NULL_KEY`] so
+//!   filtered tuples hit the single throwaway entry (cached when the
+//!   predicate often fails), and the value needs no masking.
+
+use crate::agg::BinOp;
+use crate::AsI64;
+use swole_ht::{AggTable, NULL_KEY};
+
+/// Data-centric group-by: branch per tuple, lookup only for qualifying rows.
+#[inline]
+pub fn groupby_datacentric<K: AsI64, A: AsI64, B: AsI64, O: BinOp>(
+    keys: &[K],
+    a: &[A],
+    b: &[B],
+    pred: impl Fn(usize) -> bool,
+    ht: &mut AggTable,
+) {
+    assert_eq!(keys.len(), a.len());
+    assert_eq!(keys.len(), b.len());
+    for j in 0..keys.len() {
+        if pred(j) {
+            let off = ht.entry(keys[j].widen());
+            ht.add(off, 0, O::apply(a[j].widen(), b[j].widen()));
+            ht.set_valid(off);
+        }
+    }
+}
+
+/// Hybrid group-by: lookups driven by a selection vector of global row ids.
+#[inline]
+pub fn groupby_gather<K: AsI64, A: AsI64, B: AsI64, O: BinOp>(
+    keys: &[K],
+    a: &[A],
+    b: &[B],
+    idx: &[u32],
+    ht: &mut AggTable,
+) {
+    assert_eq!(keys.len(), a.len());
+    assert_eq!(keys.len(), b.len());
+    for &j in idx {
+        let j = j as usize;
+        let off = ht.entry(keys[j].widen());
+        ht.add(off, 0, O::apply(a[j].widen(), b[j].widen()));
+        ht.set_valid(off);
+    }
+}
+
+/// **Value masking** group-by (Fig. 4 top): every tuple — qualifying or not
+/// — looks up its *real* key sequentially; the added value is masked to 0
+/// and the valid flag records whether any real update happened.
+#[inline]
+pub fn groupby_value_masked<K: AsI64, A: AsI64, B: AsI64, O: BinOp>(
+    keys: &[K],
+    a: &[A],
+    b: &[B],
+    cmp: &[u8],
+    ht: &mut AggTable,
+) {
+    assert_eq!(keys.len(), a.len());
+    assert_eq!(keys.len(), b.len());
+    assert_eq!(keys.len(), cmp.len());
+    for j in 0..keys.len() {
+        let off = ht.entry(keys[j].widen());
+        ht.add(off, 0, O::apply(a[j].widen(), b[j].widen()) * cmp[j] as i64);
+        ht.or_valid(off, cmp[j]);
+    }
+}
+
+/// **Key masking**, first loop (Fig. 4 bottom): store the real key where the
+/// predicate passed and [`NULL_KEY`] otherwise — a sequential, branch-free
+/// write of the masked key vector (`(key & m) | (NULL_KEY & !m)` with an
+/// all-ones/all-zeros mask, so selectivity cannot cause mispredictions).
+#[inline]
+pub fn mask_keys<K: AsI64>(keys: &[K], cmp: &[u8], out: &mut [i64]) {
+    assert_eq!(keys.len(), cmp.len());
+    assert_eq!(keys.len(), out.len());
+    for ((o, &k), &c) in out.iter_mut().zip(keys).zip(cmp) {
+        let m = -((c & 1) as i64); // 0 or -1
+        *o = (k.widen() & m) | (NULL_KEY & !m);
+    }
+}
+
+/// **Key masking**, second loop (Fig. 4 bottom): aggregate *every* tuple —
+/// masked keys land on the throwaway entry, so the value is **not** masked
+/// and no valid-flag bookkeeping is needed.
+#[inline]
+pub fn groupby_key_masked<A: AsI64, B: AsI64, O: BinOp>(
+    masked_keys: &[i64],
+    a: &[A],
+    b: &[B],
+    ht: &mut AggTable,
+) {
+    assert_eq!(masked_keys.len(), a.len());
+    assert_eq!(masked_keys.len(), b.len());
+    for j in 0..masked_keys.len() {
+        let off = ht.entry(masked_keys[j]);
+        ht.add(off, 0, O::apply(a[j].widen(), b[j].widen()));
+        ht.set_valid(off);
+    }
+}
+
+/// Collect a finished group-by table into sorted `(key, sum)` rows,
+/// honouring the valid flags (so value masking's bookkeeping excludes
+/// entries that only ever received masked updates) and excluding the
+/// throwaway entry.
+pub fn collect_groups(ht: &AggTable) -> Vec<(i64, i64)> {
+    let mut rows: Vec<(i64, i64)> = ht
+        .iter()
+        .filter(|&(_, _, valid)| valid)
+        .map(|(k, state, _)| (k, state[0]))
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::Mul;
+    use crate::{predicate, selvec, tiles, TILE};
+    use std::collections::BTreeMap;
+
+    fn mk_data(n: usize, key_card: i32) -> (Vec<i32>, Vec<i32>, Vec<i32>, Vec<i32>) {
+        let mut state = 42u64;
+        let mut next = move |m: i32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % m as u64) as i32
+        };
+        let c: Vec<i32> = (0..n).map(|_| next(key_card)).collect();
+        let x: Vec<i32> = (0..n).map(|_| next(100)).collect();
+        let a: Vec<i32> = (0..n).map(|_| next(20) + 1).collect();
+        let b: Vec<i32> = (0..n).map(|_| next(20) + 1).collect();
+        (c, x, a, b)
+    }
+
+    fn reference(c: &[i32], x: &[i32], a: &[i32], b: &[i32], lit: i32) -> Vec<(i64, i64)> {
+        let mut groups: BTreeMap<i64, i64> = BTreeMap::new();
+        for j in 0..c.len() {
+            if x[j] < lit {
+                *groups.entry(c[j] as i64).or_insert(0) += a[j] as i64 * b[j] as i64;
+            }
+        }
+        groups.into_iter().collect()
+    }
+
+    #[test]
+    fn all_four_strategies_agree() {
+        for key_card in [3i32, 64, 1000] {
+            for lit in [0i32, 13, 50, 100] {
+                let (c, x, a, b) = mk_data(5000, key_card);
+                let expected = reference(&c, &x, &a, &b, lit);
+
+                // data-centric
+                let mut ht = AggTable::with_capacity(1, 64);
+                groupby_datacentric::<_, _, _, Mul>(&c, &a, &b, |j| x[j] < lit, &mut ht);
+                assert_eq!(collect_groups(&ht), expected, "dc card={key_card} lit={lit}");
+
+                // hybrid
+                let mut ht = AggTable::with_capacity(1, 64);
+                let mut cmp = [0u8; TILE];
+                let mut idx = [0u32; TILE];
+                for (s, l) in tiles(c.len()) {
+                    predicate::cmp_lt(&x[s..s + l], lit, &mut cmp[..l]);
+                    let k = selvec::fill_nobranch(&cmp[..l], s as u32, &mut idx[..l]);
+                    groupby_gather::<_, _, _, Mul>(&c, &a, &b, &idx[..k], &mut ht);
+                }
+                assert_eq!(collect_groups(&ht), expected, "hy card={key_card} lit={lit}");
+
+                // value masking
+                let mut ht = AggTable::with_capacity(1, 64);
+                for (s, l) in tiles(c.len()) {
+                    predicate::cmp_lt(&x[s..s + l], lit, &mut cmp[..l]);
+                    groupby_value_masked::<_, _, _, Mul>(
+                        &c[s..s + l],
+                        &a[s..s + l],
+                        &b[s..s + l],
+                        &cmp[..l],
+                        &mut ht,
+                    );
+                }
+                assert_eq!(collect_groups(&ht), expected, "vm card={key_card} lit={lit}");
+
+                // key masking
+                let mut ht = AggTable::with_capacity(1, 64);
+                let mut mk = [0i64; TILE];
+                for (s, l) in tiles(c.len()) {
+                    predicate::cmp_lt(&x[s..s + l], lit, &mut cmp[..l]);
+                    mask_keys(&c[s..s + l], &cmp[..l], &mut mk[..l]);
+                    groupby_key_masked::<_, _, Mul>(
+                        &mk[..l],
+                        &a[s..s + l],
+                        &b[s..s + l],
+                        &mut ht,
+                    );
+                }
+                assert_eq!(collect_groups(&ht), expected, "km card={key_card} lit={lit}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_masking_excludes_never_valid_groups() {
+        // Group 9 never passes the predicate; VM touches its entry with
+        // masked updates only, so the valid flag must keep it out.
+        let c = vec![9i32, 9, 1, 1];
+        let x = vec![99i32, 99, 0, 0];
+        let a = vec![1i32; 4];
+        let b = vec![1i32; 4];
+        let mut cmp = vec![0u8; 4];
+        predicate::cmp_lt(&x, 50, &mut cmp);
+        let mut ht = AggTable::with_capacity(1, 8);
+        groupby_value_masked::<_, _, _, Mul>(&c, &a, &b, &cmp, &mut ht);
+        assert_eq!(collect_groups(&ht), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn key_masking_routes_filtered_to_throwaway() {
+        let c = vec![5i32, 6, 5];
+        let cmp = vec![1u8, 0, 1];
+        let a = vec![10i32, 10, 10];
+        let b = vec![1i32, 1, 1];
+        let mut mk = vec![0i64; 3];
+        mask_keys(&c, &cmp, &mut mk);
+        assert_eq!(mk, vec![5, NULL_KEY, 5]);
+        let mut ht = AggTable::with_capacity(1, 8);
+        groupby_key_masked::<_, _, Mul>(&mk, &a, &b, &mut ht);
+        assert_eq!(collect_groups(&ht), vec![(5, 20)]);
+        // The filtered tuple's (unmasked) value landed on the throwaway.
+        assert_eq!(ht.null_state(), &[10]);
+    }
+}

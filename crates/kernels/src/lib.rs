@@ -1,0 +1,103 @@
+//! # swole-kernels — the generated-code loop bodies
+//!
+//! This crate contains the loop bodies each code-generation strategy emits,
+//! as tight monomorphized Rust functions. Composition of these kernels into
+//! a per-query pipeline *is* the "code generation" step of this
+//! reproduction (see DESIGN.md § 2 for the substitution rationale): Rust
+//! generics + inlining give the same specialised machine loops the paper
+//! obtains by emitting C, while `swole-codegen` renders the equivalent C
+//! text for inspection.
+//!
+//! Kernel families and the strategies they realise:
+//!
+//! | module       | strategy / technique                                      |
+//! |--------------|-----------------------------------------------------------|
+//! | [`predicate`] | prepass predicate evaluation (hybrid/ROF/SWOLE, Fig. 1)  |
+//! | [`selvec`]    | selection-vector construction, branch & no-branch [31]   |
+//! | [`agg`]       | aggregation: data-centric, hybrid gather, **value masking** (§ III-A), **access merging** (§ III-C), ROF |
+//! | [`groupby`]   | group-by aggregation: data-centric, hybrid, **value masking**, **key masking** (§ III-B) |
+//! | [`join`]      | joins: hash (semi)join baselines, **positional-bitmap semijoin** (§ III-D), groupjoin, **eager aggregation** (§ III-E) |
+//!
+//! Every kernel that operates on a tile takes plain slices so the compiler
+//! sees exact trip counts and can auto-vectorize the branch-free loops; the
+//! tile length is [`TILE`] = 1024 values, matching the paper's vector size.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod groupby;
+pub mod join;
+pub mod predicate;
+pub mod selvec;
+
+/// Number of tuples processed per tile ("we use a vector size of 1024, as
+/// suggested by other recent studies" — paper § IV).
+pub const TILE: usize = 1024;
+
+/// Iterate over `(start, len)` tile bounds covering `0..n` in [`TILE`]-sized
+/// chunks (the final tile may be shorter — the `len = R - i < TILE ? ...`
+/// pattern in every pseudocode fragment of the paper).
+pub fn tiles(n: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..n).step_by(TILE).map(move |start| {
+        let len = TILE.min(n - start);
+        (start, len)
+    })
+}
+
+/// Integer types a column kernel can widen to `i64` accumulators.
+///
+/// The paper stores all aggregates as 64-bit integers without per-row
+/// overflow checks; kernels widen on read.
+pub trait AsI64: Copy {
+    /// Widen to `i64`.
+    fn widen(self) -> i64;
+}
+
+macro_rules! impl_as_i64 {
+    ($($t:ty),*) => {$(
+        impl AsI64 for $t {
+            #[inline(always)]
+            fn widen(self) -> i64 {
+                self as i64
+            }
+        }
+    )*};
+}
+impl_as_i64!(i8, i16, i32, i64, u8, u16, u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_cover_exactly() {
+        let mut covered = 0usize;
+        let mut last_end = 0usize;
+        for (start, len) in tiles(2500) {
+            assert_eq!(start, last_end);
+            assert!(len <= TILE && len > 0);
+            covered += len;
+            last_end = start + len;
+        }
+        assert_eq!(covered, 2500);
+    }
+
+    #[test]
+    fn tiles_exact_multiple() {
+        let all: Vec<_> = tiles(TILE * 3).collect();
+        assert_eq!(all, vec![(0, TILE), (TILE, TILE), (2 * TILE, TILE)]);
+    }
+
+    #[test]
+    fn tiles_empty_and_tiny() {
+        assert_eq!(tiles(0).count(), 0);
+        assert_eq!(tiles(1).collect::<Vec<_>>(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn widen_preserves_values() {
+        assert_eq!((-1i8).widen(), -1);
+        assert_eq!(u32::MAX.widen(), u32::MAX as i64);
+        assert_eq!((1i64 << 40).widen(), 1 << 40);
+    }
+}

@@ -1,0 +1,41 @@
+//! # swole-micro — the paper's microbenchmark (§ IV-B, Fig. 7)
+//!
+//! Schema (Fig. 7a, reconstructed — see DESIGN.md § 3 for the documented
+//! assumptions):
+//!
+//! * `R` (100 M rows in the paper; configurable here): value columns
+//!   `r_a`, `r_b`; predicate columns `r_x` (uniform `[0, 100)`, so
+//!   `r_x < SEL` selects `SEL`%) and `r_y` (constant 1 — the `r_y = 1`
+//!   conjunct forces a second predicate-column read without changing
+//!   selectivity); group key `r_c` with cardinality ∈ {10, 1 K, 100 K,
+//!   10 M}; foreign key `r_fk` into `S`.
+//! * `S` (1 K or 1 M rows): dense primary key `s_pk = 0..|S|` and predicate
+//!   column `s_x` (uniform `[0, 100)`).
+//!
+//! All values are uniform — "the worst case for operations that use a hash
+//! table ... a lookup in a large hash table with uniformly distributed
+//! values will almost certainly result in a cache miss".
+//!
+//! Queries (Fig. 7b) each exist in every applicable strategy:
+//!
+//! | query | shape | figure | strategies |
+//! |-------|-------|--------|------------|
+//! | [`q1`] | scalar agg, `OP` ∈ {`*`, `/`} | Fig. 8 | data-centric, hybrid, value masking |
+//! | [`q2`] | group-by agg, \|r_c\| swept | Fig. 9 | + key masking |
+//! | [`q3`] | repeated references | Fig. 10 | + access merging |
+//! | [`q4`] | FK join, both selectivities swept | Fig. 11 | data-centric, hybrid, positional bitmap |
+//! | [`q5`] | groupjoin | Fig. 12 | data-centric, hybrid, eager aggregation |
+//!
+//! Every query also has a `*_swole` entry point that consults the
+//! `swole-cost` chooser, returning the decision with the result.
+
+#![warn(missing_docs)]
+
+pub mod q1;
+pub mod q2;
+pub mod q3;
+pub mod q4;
+pub mod q5;
+mod schema;
+
+pub use schema::{generate, MicroDb, MicroParams, RTable, STable};

@@ -1,0 +1,216 @@
+//! Microbenchmark Q1 (Fig. 8): scalar aggregation, value masking.
+//!
+//! ```sql
+//! select sum(r_a [OP] r_b) from R where r_x < [SEL] and r_y = 1
+//! ```
+//!
+//! `OP` ∈ {`*` (memory-bound, Fig. 8a), `/` (compute-bound, Fig. 8b)};
+//! `SEL` sweeps 0–100 along the x-axis.
+
+use crate::RTable;
+use swole_cost::comp::{simple_agg_comp, ArithOp};
+use swole_cost::{choose::choose_agg, AggProfile, AggStrategy, CostParams};
+use swole_kernels::agg::{self, BinOp, Div, Mul};
+use swole_kernels::{predicate, selvec, tiles, TILE};
+
+/// Data-centric strategy: single loop, branch per tuple.
+pub fn datacentric<O: BinOp>(r: &RTable, sel: i8) -> i64 {
+    let (x, y) = (&r.x[..], &r.y[..]);
+    agg::sum_op_datacentric::<_, _, O>(&r.a, &r.b, |j| x[j] < sel && y[j] == 1)
+}
+
+/// Hybrid strategy: tiled prepass over both conjuncts, no-branch selection
+/// vector, gather aggregation.
+pub fn hybrid<O: BinOp>(r: &RTable, sel: i8) -> i64 {
+    let mut cmp = [0u8; TILE];
+    let mut cmp2 = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    let mut sum = 0i64;
+    for (start, len) in tiles(r.len()) {
+        predicate::cmp_lt(&r.x[start..start + len], sel, &mut cmp[..len]);
+        predicate::cmp_eq(&r.y[start..start + len], 1, &mut cmp2[..len]);
+        predicate::and_into(&mut cmp[..len], &cmp2[..len]);
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        sum += agg::sum_op_gather::<_, _, O>(&r.a, &r.b, &idx[..k]);
+    }
+    sum
+}
+
+/// SWOLE value masking (§ III-A): unconditional sequential aggregation with
+/// masked results.
+pub fn value_masking<O: BinOp>(r: &RTable, sel: i8) -> i64 {
+    let mut cmp = [0u8; TILE];
+    let mut cmp2 = [0u8; TILE];
+    let mut sum = 0i64;
+    for (start, len) in tiles(r.len()) {
+        predicate::cmp_lt(&r.x[start..start + len], sel, &mut cmp[..len]);
+        predicate::cmp_eq(&r.y[start..start + len], 1, &mut cmp2[..len]);
+        predicate::and_into(&mut cmp[..len], &cmp2[..len]);
+        sum += agg::sum_op_masked::<_, _, O>(
+            &r.a[start..start + len],
+            &r.b[start..start + len],
+            &cmp[..len],
+        );
+    }
+    sum
+}
+
+/// ROF (relaxed operator fusion, § II-A.3): fill a **full** selection
+/// vector across tile boundaries before aggregating, so the aggregation
+/// loop (almost always) runs a fixed number of iterations. The paper
+/// excluded ROF from its evaluation (its relative runtimes matched or
+/// trailed hybrid, and the testbed lacked AVX2); it is included here for
+/// completeness and measured in the `ablations` bench.
+pub fn rof<O: BinOp>(r: &RTable, sel: i8) -> i64 {
+    let mut cmp = [0u8; TILE];
+    let mut cmp2 = [0u8; TILE];
+    let mut idx: Vec<u32> = Vec::with_capacity(2 * TILE);
+    let mut cursor = 0usize;
+    let mut sum = 0i64;
+    for (start, len) in tiles(r.len()) {
+        predicate::cmp_lt(&r.x[start..start + len], sel, &mut cmp[..len]);
+        predicate::cmp_eq(&r.y[start..start + len], 1, &mut cmp2[..len]);
+        predicate::and_into(&mut cmp[..len], &cmp2[..len]);
+        selvec::append_nobranch(&cmp[..len], start as u32, &mut idx);
+        // Drain in full-TILE chunks: fixed-trip-count aggregation loops.
+        while idx.len() - cursor >= TILE {
+            sum += agg::sum_op_gather::<_, _, O>(&r.a, &r.b, &idx[cursor..cursor + TILE]);
+            cursor += TILE;
+        }
+        if cursor >= TILE {
+            idx.drain(..cursor);
+            cursor = 0;
+        }
+    }
+    sum + agg::sum_op_gather::<_, _, O>(&r.a, &r.b, &idx[cursor..])
+}
+
+/// SWOLE with the cost model in the loop: profile the query, let the
+/// chooser pick, run the winner. Returns the result and the decision.
+pub fn swole<O: BinOp>(r: &RTable, sel: i8, params: &CostParams) -> (i64, AggStrategy) {
+    let profile = AggProfile {
+        rows: r.len(),
+        selectivity: (sel.clamp(0, 100) as f64) / 100.0,
+        comp: simple_agg_comp(if O::COMPUTE_BOUND {
+            ArithOp::Div
+        } else {
+            ArithOp::Mul
+        }),
+        n_cols: 2,
+        group_keys: None,
+        n_aggs: 1,
+    };
+    let choice = choose_agg(params, &profile);
+    let result = match choice.strategy {
+        AggStrategy::ValueMasking => value_masking::<O>(r, sel),
+        // Key masking is inapplicable without a group key; the chooser
+        // never returns it for `group_keys: None`.
+        AggStrategy::Hybrid | AggStrategy::KeyMasking => hybrid::<O>(r, sel),
+    };
+    (result, choice.strategy)
+}
+
+/// Convenience monomorphizations for benches.
+pub fn datacentric_mul(r: &RTable, sel: i8) -> i64 {
+    datacentric::<Mul>(r, sel)
+}
+/// See [`datacentric_mul`].
+pub fn hybrid_mul(r: &RTable, sel: i8) -> i64 {
+    hybrid::<Mul>(r, sel)
+}
+/// See [`datacentric_mul`].
+pub fn value_masking_mul(r: &RTable, sel: i8) -> i64 {
+    value_masking::<Mul>(r, sel)
+}
+/// See [`datacentric_mul`].
+pub fn datacentric_div(r: &RTable, sel: i8) -> i64 {
+    datacentric::<Div>(r, sel)
+}
+/// See [`datacentric_mul`].
+pub fn hybrid_div(r: &RTable, sel: i8) -> i64 {
+    hybrid::<Div>(r, sel)
+}
+/// See [`datacentric_mul`].
+pub fn value_masking_div(r: &RTable, sel: i8) -> i64 {
+    value_masking::<Div>(r, sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, MicroParams};
+
+    fn db() -> crate::MicroDb {
+        generate(MicroParams {
+            r_rows: 10_000,
+            s_rows: 100,
+            r_c_cardinality: 16,
+            seed: 11,
+        })
+    }
+
+    fn reference<O: BinOp>(r: &RTable, sel: i8) -> i64 {
+        (0..r.len())
+            .filter(|&j| r.x[j] < sel && r.y[j] == 1)
+            .map(|j| O::apply(r.a[j] as i64, r.b[j] as i64))
+            .sum()
+    }
+
+    #[test]
+    fn strategies_agree_mul() {
+        let db = db();
+        for sel in [0i8, 1, 13, 50, 99, 100] {
+            let expected = reference::<Mul>(&db.r, sel);
+            assert_eq!(datacentric::<Mul>(&db.r, sel), expected, "dc sel={sel}");
+            assert_eq!(hybrid::<Mul>(&db.r, sel), expected, "hy sel={sel}");
+            assert_eq!(value_masking::<Mul>(&db.r, sel), expected, "vm sel={sel}");
+        }
+    }
+
+    #[test]
+    fn strategies_agree_div() {
+        let db = db();
+        for sel in [0i8, 25, 75, 100] {
+            let expected = reference::<Div>(&db.r, sel);
+            assert_eq!(datacentric::<Div>(&db.r, sel), expected);
+            assert_eq!(hybrid::<Div>(&db.r, sel), expected);
+            assert_eq!(value_masking::<Div>(&db.r, sel), expected);
+        }
+    }
+
+    #[test]
+    fn rof_matches_reference() {
+        let db = db();
+        for sel in [0i8, 13, 50, 99, 100] {
+            assert_eq!(rof::<Mul>(&db.r, sel), reference::<Mul>(&db.r, sel), "sel={sel}");
+            assert_eq!(rof::<Div>(&db.r, sel), reference::<Div>(&db.r, sel), "sel={sel}");
+        }
+    }
+
+    #[test]
+    fn swole_entry_matches_and_picks_sensibly() {
+        let db = db();
+        let p = CostParams::default();
+        let (res, strat) = swole::<Mul>(&db.r, 50, &p);
+        assert_eq!(res, reference::<Mul>(&db.r, 50));
+        assert_eq!(strat, AggStrategy::ValueMasking, "Fig. 8a mid-selectivity");
+        let (res, strat) = swole::<Div>(&db.r, 50, &p);
+        assert_eq!(res, reference::<Div>(&db.r, 50));
+        assert_eq!(strat, AggStrategy::Hybrid, "Fig. 8b compute-bound");
+    }
+
+    #[test]
+    fn empty_table() {
+        let empty = RTable {
+            a: vec![],
+            b: vec![],
+            c: vec![],
+            x: vec![],
+            y: vec![],
+            fk: vec![],
+        };
+        assert_eq!(datacentric::<Mul>(&empty, 50), 0);
+        assert_eq!(hybrid::<Mul>(&empty, 50), 0);
+        assert_eq!(value_masking::<Mul>(&empty, 50), 0);
+    }
+}

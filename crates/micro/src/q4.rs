@@ -1,0 +1,196 @@
+//! Microbenchmark Q4 (Fig. 11): FK join / semijoin, positional bitmaps.
+//!
+//! ```sql
+//! select sum(r_a * r_b) from R, S
+//! where r_fk = s_pk and r_x < [SEL1] and s_x < [SEL2]
+//! ```
+//!
+//! `s_pk` is unique, so the equijoin reduces to a semijoin for aggregation
+//! purposes. Fig. 11 sweeps one selectivity with the other fixed at 10 % /
+//! 90 % (|S| = 1 M in the paper).
+
+use crate::{MicroDb, RTable, STable};
+use swole_bitmap::PositionalBitmap;
+use swole_cost::{
+    choose::choose_semijoin, BitmapBuild, CostParams, SemiJoinProfile, SemiJoinStrategy,
+};
+use swole_ht::KeySet;
+use swole_kernels::agg::Mul;
+use swole_kernels::{join, predicate, selvec, tiles, TILE};
+
+/// Data-centric strategy: branchy build of a hash key set over S, branchy
+/// probe per R tuple.
+pub fn datacentric(r: &RTable, s: &STable, sel1: i8, sel2: i8) -> i64 {
+    let s_keys: Vec<u32> = (0..s.len() as u32).collect();
+    let sx = &s.x[..];
+    let set = join::build_keyset_datacentric(&s_keys, |j| sx[j] < sel2);
+    let rx = &r.x[..];
+    join::semijoin_sum_hash_datacentric::<_, _, _, Mul>(
+        &r.fk,
+        &r.a,
+        &r.b,
+        |j| rx[j] < sel1,
+        &set,
+    )
+}
+
+/// Hybrid strategy: prepass + selection vectors on both sides, hash probes
+/// for selected R tuples.
+pub fn hybrid(r: &RTable, s: &STable, sel1: i8, sel2: i8) -> i64 {
+    // Build side.
+    let mut set = KeySet::with_capacity(s.len() / 2 + 4);
+    let mut cmp = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    let s_keys: Vec<u32> = (0..s.len() as u32).collect();
+    for (start, len) in tiles(s.len()) {
+        predicate::cmp_lt(&s.x[start..start + len], sel2, &mut cmp[..len]);
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        join::build_keyset_gather(&s_keys, &idx[..k], &mut set);
+    }
+    // Probe side.
+    let mut sum = 0i64;
+    for (start, len) in tiles(r.len()) {
+        predicate::cmp_lt(&r.x[start..start + len], sel1, &mut cmp[..len]);
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        sum += join::semijoin_sum_hash_gather::<_, _, _, Mul>(
+            &r.fk, &r.a, &r.b, &idx[..k], &set,
+        );
+    }
+    sum
+}
+
+/// Build the positional bitmap over S with the requested variant (§ III-D).
+pub fn build_bitmap(s: &STable, sel2: i8, build: BitmapBuild) -> PositionalBitmap {
+    match build {
+        BitmapBuild::Unconditional => {
+            let mut cmp = vec![0u8; s.len()];
+            predicate::cmp_lt(&s.x, sel2, &mut cmp);
+            PositionalBitmap::from_predicate_bytes(&cmp)
+        }
+        BitmapBuild::SelectionVector => {
+            let mut cmp = [0u8; TILE];
+            let mut idx = Vec::new();
+            for (start, len) in tiles(s.len()) {
+                predicate::cmp_lt(&s.x[start..start + len], sel2, &mut cmp[..len]);
+                selvec::append_nobranch(&cmp[..len], start as u32, &mut idx);
+            }
+            PositionalBitmap::from_selection(s.len(), &idx)
+        }
+    }
+}
+
+/// SWOLE positional-bitmap semijoin with a fully masked probe: sequential
+/// scan of R, bitmap bit fetched through the FK index, predicate and bit
+/// multiplied into the aggregate.
+pub fn bitmap_masked(db: &MicroDb, sel1: i8, sel2: i8, build: BitmapBuild) -> i64 {
+    let bm = build_bitmap(&db.s, sel2, build);
+    let r = &db.r;
+    let pos = db.fk_index.positions();
+    let mut cmp = [0u8; TILE];
+    let mut sum = 0i64;
+    for (start, len) in tiles(r.len()) {
+        predicate::cmp_lt(&r.x[start..start + len], sel1, &mut cmp[..len]);
+        sum += join::semijoin_sum_bitmap_masked::<_, _, Mul>(
+            &pos[start..start + len],
+            &r.a[start..start + len],
+            &r.b[start..start + len],
+            &cmp[..len],
+            &bm,
+        );
+    }
+    sum
+}
+
+/// SWOLE bitmap semijoin probing through an R-side selection vector (for
+/// very selective R predicates).
+pub fn bitmap_gather(db: &MicroDb, sel1: i8, sel2: i8, build: BitmapBuild) -> i64 {
+    let bm = build_bitmap(&db.s, sel2, build);
+    let r = &db.r;
+    let pos = db.fk_index.positions();
+    let mut cmp = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    let mut sum = 0i64;
+    for (start, len) in tiles(r.len()) {
+        predicate::cmp_lt(&r.x[start..start + len], sel1, &mut cmp[..len]);
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        sum += join::semijoin_sum_bitmap_gather::<_, _, Mul>(pos, &r.a, &r.b, &idx[..k], &bm);
+    }
+    sum
+}
+
+/// SWOLE entry: the chooser picks the bitmap build variant from the S-side
+/// selectivity (Fig. 2 says the bitmap itself is always better when the FK
+/// index exists); the probe uses the masked form unless the R predicate is
+/// very selective.
+pub fn swole(db: &MicroDb, sel1: i8, sel2: i8, params: &CostParams) -> (i64, SemiJoinStrategy) {
+    let choice = choose_semijoin(
+        params,
+        &SemiJoinProfile {
+            build_rows: db.s.len(),
+            build_selectivity: (sel2.clamp(0, 100) as f64) / 100.0,
+            has_fk_index: true,
+        },
+    );
+    let result = match choice.strategy {
+        SemiJoinStrategy::Hash => hybrid(&db.r, &db.s, sel1, sel2),
+        SemiJoinStrategy::PositionalBitmap(build) => {
+            // Same VM-style decision on the probe side.
+            if (sel1 as f64) / 100.0 < 0.125 {
+                bitmap_gather(db, sel1, sel2, build)
+            } else {
+                bitmap_masked(db, sel1, sel2, build)
+            }
+        }
+    };
+    (result, choice.strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, MicroParams};
+
+    fn db() -> MicroDb {
+        generate(MicroParams {
+            r_rows: 15_000,
+            s_rows: 512,
+            r_c_cardinality: 4,
+            seed: 41,
+        })
+    }
+
+    fn reference(db: &MicroDb, sel1: i8, sel2: i8) -> i64 {
+        let r = &db.r;
+        (0..r.len())
+            .filter(|&j| r.x[j] < sel1 && db.s.x[r.fk[j] as usize] < sel2)
+            .map(|j| r.a[j] as i64 * r.b[j] as i64)
+            .sum()
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let db = db();
+        for (sel1, sel2) in [(10, 90), (90, 10), (50, 50), (0, 50), (50, 0), (100, 100)] {
+            let expected = reference(&db, sel1, sel2);
+            assert_eq!(datacentric(&db.r, &db.s, sel1, sel2), expected);
+            assert_eq!(hybrid(&db.r, &db.s, sel1, sel2), expected);
+            for build in [BitmapBuild::Unconditional, BitmapBuild::SelectionVector] {
+                assert_eq!(bitmap_masked(&db, sel1, sel2, build), expected);
+                assert_eq!(bitmap_gather(&db, sel1, sel2, build), expected);
+            }
+            let (res, strat) = swole(&db, sel1, sel2, &CostParams::default());
+            assert_eq!(res, expected);
+            assert!(matches!(strat, SemiJoinStrategy::PositionalBitmap(_)));
+        }
+    }
+
+    #[test]
+    fn build_variants_produce_identical_bitmaps() {
+        let db = db();
+        for sel2 in [0i8, 13, 77, 100] {
+            let a = build_bitmap(&db.s, sel2, BitmapBuild::Unconditional);
+            let b = build_bitmap(&db.s, sel2, BitmapBuild::SelectionVector);
+            assert_eq!(a, b, "sel2={sel2}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Microbenchmark Q5 (Fig. 12): groupjoin, eager aggregation.
+//!
+//! ```sql
+//! select r_fk, sum(r_a * r_b) from R, S
+//! where r_fk = s_pk and s_x < [SEL] group by r_fk
+//! ```
+//!
+//! No predicate on R — "the worst case for our approach; that is, we will
+//! need to unconditionally aggregate all tuples in R". |S| ∈ {1 K, 1 M}.
+
+use crate::{RTable, STable};
+use swole_cost::comp::{simple_agg_comp, ArithOp};
+use swole_cost::{
+    choose::choose_groupjoin, CostParams, GroupJoinProfile, GroupJoinStrategy,
+};
+use swole_ht::AggTable;
+use swole_kernels::agg::Mul;
+use swole_kernels::{join, predicate, selvec, tiles, TILE};
+
+/// Data-centric groupjoin: branchy filtered build over S, per-R-tuple
+/// lookup with a match branch.
+pub fn groupjoin_datacentric(r: &RTable, s: &STable, sel: i8) -> AggTable {
+    let mut ht = AggTable::with_capacity(1, s.len() / 2 + 4);
+    for (pk, &sx) in s.x.iter().enumerate() {
+        if sx < sel {
+            ht.entry(pk as i64);
+        }
+    }
+    join::groupjoin_probe::<_, _, _, Mul>(&r.fk, &r.a, &r.b, &mut ht);
+    ht
+}
+
+/// Hybrid groupjoin: prepass + selection vector for the build, identical
+/// probe (the probe has no predicate to vectorize).
+pub fn groupjoin_hybrid(r: &RTable, s: &STable, sel: i8) -> AggTable {
+    let mut ht = AggTable::with_capacity(1, s.len() / 2 + 4);
+    let mut cmp = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    for (start, len) in tiles(s.len()) {
+        predicate::cmp_lt(&s.x[start..start + len], sel, &mut cmp[..len]);
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        for &pk in &idx[..k] {
+            ht.entry(pk as i64);
+        }
+    }
+    join::groupjoin_probe::<_, _, _, Mul>(&r.fk, &r.a, &r.b, &mut ht);
+    ht
+}
+
+/// SWOLE eager aggregation (§ III-E): unconditionally aggregate all of R
+/// grouped by `r_fk`, then delete the S keys failing the (inverted)
+/// predicate.
+pub fn eager_aggregation(r: &RTable, s: &STable, sel: i8) -> AggTable {
+    let mut ht = AggTable::with_capacity(1, s.len());
+    join::eager_aggregate::<_, _, _, Mul>(&r.fk, &r.a, &r.b, &mut ht);
+    let s_keys: Vec<u32> = (0..s.len() as u32).collect();
+    let mut inv = [0u8; TILE];
+    for (start, len) in tiles(s.len()) {
+        // Inverted predicate: delete keys with s_x >= sel.
+        predicate::cmp_ge(&s.x[start..start + len], sel, &mut inv[..len]);
+        join::delete_nonqualifying(&s_keys[start..start + len], &inv[..len], &mut ht);
+    }
+    ht
+}
+
+/// SWOLE entry: the groupjoin cost model (§ III-E) picks between the
+/// traditional groupjoin and eager aggregation.
+pub fn swole(
+    r: &RTable,
+    s: &STable,
+    sel: i8,
+    params: &CostParams,
+) -> (AggTable, GroupJoinStrategy) {
+    let s_sel = (sel.clamp(0, 100) as f64) / 100.0;
+    let choice = choose_groupjoin(
+        params,
+        &GroupJoinProfile {
+            r_rows: r.len(),
+            r_selectivity: 1.0, // no predicate on R
+            s_rows: s.len(),
+            s_selectivity: s_sel,
+            join_match_prob: s_sel, // uniform FKs: match prob = σ_S
+            group_keys: s.len(),
+            comp: simple_agg_comp(ArithOp::Mul),
+            n_aggs: 1,
+        },
+    );
+    let ht = match choice.strategy {
+        GroupJoinStrategy::GroupJoin => groupjoin_hybrid(r, s, sel),
+        GroupJoinStrategy::EagerAggregation => eager_aggregation(r, s, sel),
+    };
+    (ht, choice.strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, MicroParams};
+    use std::collections::BTreeMap;
+    use swole_kernels::groupby::collect_groups;
+
+    fn db(s_rows: usize) -> crate::MicroDb {
+        generate(MicroParams {
+            r_rows: 20_000,
+            s_rows,
+            r_c_cardinality: 4,
+            seed: 51,
+        })
+    }
+
+    fn reference(r: &RTable, s: &STable, sel: i8) -> Vec<(i64, i64)> {
+        let mut groups: BTreeMap<i64, i64> = BTreeMap::new();
+        for j in 0..r.len() {
+            if s.x[r.fk[j] as usize] < sel {
+                *groups.entry(r.fk[j] as i64).or_insert(0) +=
+                    r.a[j] as i64 * r.b[j] as i64;
+            }
+        }
+        groups.into_iter().collect()
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        for s_rows in [64usize, 1024] {
+            let db = db(s_rows);
+            for sel in [0i8, 13, 50, 100] {
+                let expected = reference(&db.r, &db.s, sel);
+                assert_eq!(
+                    collect_groups(&groupjoin_datacentric(&db.r, &db.s, sel)),
+                    expected,
+                    "dc |S|={s_rows} sel={sel}"
+                );
+                assert_eq!(
+                    collect_groups(&groupjoin_hybrid(&db.r, &db.s, sel)),
+                    expected,
+                    "hy |S|={s_rows} sel={sel}"
+                );
+                assert_eq!(
+                    collect_groups(&eager_aggregation(&db.r, &db.s, sel)),
+                    expected,
+                    "ea |S|={s_rows} sel={sel}"
+                );
+                let (ht, _) = swole(&db.r, &db.s, sel, &CostParams::default());
+                assert_eq!(collect_groups(&ht), expected, "swole |S|={s_rows} sel={sel}");
+            }
+        }
+    }
+
+    #[test]
+    fn groupjoin_marks_all_surviving_entries_valid() {
+        // Keys with zero matching R rows remain in the table with a zero
+        // state but no valid flag — collect_groups excludes them, matching
+        // SQL inner-join semantics where unmatched S keys produce no row.
+        let db = db(256);
+        let ht = groupjoin_datacentric(&db.r, &db.s, 50);
+        let groups = collect_groups(&ht);
+        let expected = reference(&db.r, &db.s, 50);
+        assert_eq!(groups, expected);
+    }
+
+    #[test]
+    fn swole_picks_eager_for_small_s() {
+        let db = db(64);
+        let (_, strat) = swole(&db.r, &db.s, 50, &CostParams::default());
+        assert_eq!(strat, GroupJoinStrategy::EagerAggregation, "Fig. 12a");
+    }
+}

@@ -1,0 +1,219 @@
+//! Microbenchmark schema and generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swole_storage::FkIndex;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroParams {
+    /// Rows in `R` (paper: 100 M).
+    pub r_rows: usize,
+    /// Rows in `S` (paper: 1 K or 1 M).
+    pub s_rows: usize,
+    /// Cardinality of the group key `r_c` (paper: 10, 1 K, 100 K, 10 M).
+    pub r_c_cardinality: usize,
+    /// RNG seed — generation is fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for MicroParams {
+    fn default() -> MicroParams {
+        MicroParams {
+            r_rows: 1 << 20,
+            s_rows: 1 << 10,
+            r_c_cardinality: 1 << 10,
+            seed: 0x5301E,
+        }
+    }
+}
+
+impl MicroParams {
+    /// Read `SWOLE_R_ROWS` / `SWOLE_S_ROWS` from the environment, falling
+    /// back to the defaults, so benches can scale toward the paper's sizes
+    /// without recompiling.
+    pub fn from_env() -> MicroParams {
+        let mut p = MicroParams::default();
+        if let Some(n) = read_env("SWOLE_R_ROWS") {
+            p.r_rows = n;
+        }
+        if let Some(n) = read_env("SWOLE_S_ROWS") {
+            p.s_rows = n;
+        }
+        p
+    }
+}
+
+fn read_env(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// The fact table `R` of Fig. 7a. Columns are plain vectors so the
+/// hand-coded strategies borrow slices directly, exactly like the paper's
+/// hand-written C.
+#[derive(Debug, Clone)]
+pub struct RTable {
+    /// Aggregation input, uniform `[1, 50]` (never zero: masked strategies
+    /// evaluate `a / b` for every tuple).
+    pub a: Vec<i32>,
+    /// Aggregation input, uniform `[1, 50]`.
+    pub b: Vec<i32>,
+    /// Group-by key, uniform `[0, r_c_cardinality)`.
+    pub c: Vec<i32>,
+    /// Selectivity column, uniform `[0, 100)`.
+    pub x: Vec<i8>,
+    /// Constant 1 (the `r_y = 1` conjunct).
+    pub y: Vec<i8>,
+    /// Foreign key into `S`, uniform — also the positional FK index, since
+    /// `s_pk` is dense.
+    pub fk: Vec<u32>,
+}
+
+impl RTable {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// The dimension table `S` of Fig. 7a. `s_pk` is the dense row id.
+#[derive(Debug, Clone)]
+pub struct STable {
+    /// Predicate column, uniform `[0, 100)`.
+    pub x: Vec<i8>,
+}
+
+impl STable {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// A generated microbenchmark database.
+#[derive(Debug, Clone)]
+pub struct MicroDb {
+    /// The fact table.
+    pub r: RTable,
+    /// The dimension table.
+    pub s: STable,
+    /// The foreign-key (positional) index `R.fk → S` position — required by
+    /// referential integrity, exploited by positional bitmaps (§ III-D).
+    pub fk_index: FkIndex,
+    /// The parameters that generated this database.
+    pub params: MicroParams,
+}
+
+/// Generate a microbenchmark database.
+pub fn generate(params: MicroParams) -> MicroDb {
+    assert!(params.s_rows > 0, "S must not be empty (FK target)");
+    assert!(params.r_c_cardinality > 0);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let n = params.r_rows;
+    let r = RTable {
+        a: (0..n).map(|_| rng.gen_range(1..=50)).collect(),
+        b: (0..n).map(|_| rng.gen_range(1..=50)).collect(),
+        c: (0..n)
+            .map(|_| rng.gen_range(0..params.r_c_cardinality as i32))
+            .collect(),
+        x: (0..n).map(|_| rng.gen_range(0..100)).collect(),
+        y: vec![1; n],
+        fk: (0..n)
+            .map(|_| rng.gen_range(0..params.s_rows as u32))
+            .collect(),
+    };
+    let s = STable {
+        x: (0..params.s_rows).map(|_| rng.gen_range(0..100)).collect(),
+    };
+    let fk_index = FkIndex::from_dense(r.fk.clone(), params.s_rows);
+    MicroDb {
+        r,
+        s,
+        fk_index,
+        params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = MicroParams {
+            r_rows: 1000,
+            s_rows: 50,
+            r_c_cardinality: 8,
+            seed: 7,
+        };
+        let a = generate(p);
+        let b = generate(p);
+        assert_eq!(a.r.x, b.r.x);
+        assert_eq!(a.r.fk, b.r.fk);
+        assert_eq!(a.s.x, b.s.x);
+    }
+
+    #[test]
+    fn value_domains_hold() {
+        let db = generate(MicroParams {
+            r_rows: 5000,
+            s_rows: 100,
+            r_c_cardinality: 16,
+            seed: 1,
+        });
+        assert!(db.r.a.iter().all(|&v| (1..=50).contains(&v)));
+        assert!(db.r.b.iter().all(|&v| v >= 1), "divisor must be nonzero");
+        assert!(db.r.c.iter().all(|&v| (0..16).contains(&v)));
+        assert!(db.r.x.iter().all(|&v| (0..100).contains(&v)));
+        assert!(db.r.y.iter().all(|&v| v == 1));
+        assert!(db.r.fk.iter().all(|&v| v < 100));
+        assert!(db.s.x.iter().all(|&v| (0..100).contains(&v)));
+        assert_eq!(db.fk_index.parent_len(), 100);
+        assert_eq!(db.fk_index.len(), 5000);
+    }
+
+    #[test]
+    fn selectivity_tracks_sel_parameter() {
+        let db = generate(MicroParams {
+            r_rows: 100_000,
+            s_rows: 10,
+            r_c_cardinality: 4,
+            seed: 2,
+        });
+        for sel in [0i8, 25, 50, 75, 100] {
+            let frac =
+                db.r.x.iter().filter(|&&v| v < sel).count() as f64 / db.r.len() as f64;
+            assert!(
+                (frac - sel as f64 / 100.0).abs() < 0.01,
+                "sel={sel} frac={frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = generate(MicroParams {
+            r_rows: 100,
+            s_rows: 10,
+            r_c_cardinality: 4,
+            seed: 1,
+        });
+        let b = generate(MicroParams {
+            r_rows: 100,
+            s_rows: 10,
+            r_c_cardinality: 4,
+            seed: 2,
+        });
+        assert_ne!(a.r.x, b.r.x);
+    }
+}

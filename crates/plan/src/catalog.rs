@@ -1,0 +1,153 @@
+//! The catalog: named tables plus registered foreign-key indexes.
+
+use crate::error::PlanError;
+use swole_storage::{FkIndex, Table};
+
+/// An in-memory database: tables and the foreign-key (positional) indexes
+/// built for referential integrity — the indexes § III-D's positional
+/// bitmaps probe through.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    fks: Vec<FkEntry>,
+}
+
+#[derive(Debug)]
+struct FkEntry {
+    child: String,
+    fk_col: String,
+    parent: String,
+    index: FkIndex,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Register a table. Panics on duplicate names (a programming error).
+    pub fn add_table(&mut self, table: Table) -> &mut Self {
+        assert!(
+            self.table(table.name()).is_err(),
+            "duplicate table {}",
+            table.name()
+        );
+        self.tables.push(table);
+        self
+    }
+
+    /// Register the foreign-key index for `child.fk_col → parent`, where
+    /// the parent's primary key is its dense row id (the convention used by
+    /// every generated table in this repo). The FK column must be `U32`
+    /// positions into the parent.
+    pub fn add_fk(
+        &mut self,
+        child: &str,
+        fk_col: &str,
+        parent: &str,
+    ) -> Result<&mut Self, PlanError> {
+        let parent_len = self.table(parent)?.len();
+        let child_t = self.table(child)?;
+        let col = child_t
+            .column(fk_col)
+            .ok_or_else(|| PlanError::UnknownColumn {
+                table: child.to_string(),
+                column: fk_col.to_string(),
+            })?;
+        let positions = col
+            .as_u32()
+            .ok_or_else(|| {
+                PlanError::InvalidExpr(format!(
+                    "FK column {child}.{fk_col} must be U32 parent positions"
+                ))
+            })?
+            .to_vec();
+        assert!(
+            positions.iter().all(|&p| (p as usize) < parent_len),
+            "referential integrity violated: {child}.{fk_col} → {parent}"
+        );
+        self.fks.push(FkEntry {
+            child: child.to_string(),
+            fk_col: fk_col.to_string(),
+            parent: parent.to_string(),
+            index: FkIndex::from_dense(positions, parent_len),
+        });
+        Ok(self)
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, PlanError> {
+        self.tables
+            .iter()
+            .find(|t| t.name() == name)
+            .ok_or_else(|| PlanError::UnknownTable(name.to_string()))
+    }
+
+    /// Look up the FK index for `child.fk_col`, verifying it targets
+    /// `parent`.
+    pub fn fk_index(&self, child: &str, fk_col: &str, parent: &str) -> Option<&FkIndex> {
+        self.fks
+            .iter()
+            .find(|f| f.child == child && f.fk_col == fk_col && f.parent == parent)
+            .map(|f| &f.index)
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.iter().map(|t| t.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swole_storage::ColumnData;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            Table::new("s").with_column("x", ColumnData::I32(vec![1, 2, 3])),
+        );
+        db.add_table(
+            Table::new("r")
+                .with_column("fk", ColumnData::U32(vec![0, 2, 1, 0]))
+                .with_column("a", ColumnData::I32(vec![5, 6, 7, 8])),
+        );
+        db
+    }
+
+    #[test]
+    fn register_and_lookup_fk() {
+        let mut db = db();
+        db.add_fk("r", "fk", "s").unwrap();
+        let idx = db.fk_index("r", "fk", "s").unwrap();
+        assert_eq!(idx.positions(), &[0, 2, 1, 0]);
+        assert_eq!(idx.parent_len(), 3);
+        assert!(db.fk_index("r", "fk", "other").is_none());
+    }
+
+    #[test]
+    fn fk_requires_u32_column() {
+        let mut db = db();
+        assert!(matches!(
+            db.add_fk("r", "a", "s"),
+            Err(PlanError::InvalidExpr(_))
+        ));
+        assert!(matches!(
+            db.add_fk("r", "nope", "s"),
+            Err(PlanError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            db.add_fk("r", "fk", "nope"),
+            Err(PlanError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table")]
+    fn duplicate_table_panics() {
+        let mut db = db();
+        db.add_table(Table::new("r"));
+    }
+}

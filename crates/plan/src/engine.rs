@@ -1,0 +1,842 @@
+//! The engine: access-aware planning and tile-at-a-time execution.
+
+use crate::catalog::Database;
+use crate::error::PlanError;
+use crate::expr::{AggFunc, Expr};
+use crate::logical::{AggSpec, LogicalPlan};
+use crate::physical::{PhysicalPlan, Shape};
+use crate::stats;
+use swole_bitmap::PositionalBitmap;
+use swole_cost::choose::{choose_agg, choose_groupjoin, choose_semijoin};
+use swole_cost::{
+    AggProfile, AggStrategy, BitmapBuild, CostParams, GroupJoinProfile, GroupJoinStrategy,
+    SemiJoinProfile, SemiJoinStrategy,
+};
+use swole_ht::{AggTable, KeySet};
+use swole_kernels::{predicate, selvec, tiles, TILE};
+use swole_storage::Table;
+
+/// A materialized query result: named columns, row-major `i64` values.
+///
+/// Group-by results are sorted by the group key; dictionary-encoded group
+/// keys come back as codes. A scalar aggregation always yields exactly one
+/// row; with zero qualifying rows, sums and counts are 0 and min/max are 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rows, each with one value per column.
+    pub rows: Vec<Vec<i64>>,
+}
+
+impl QueryResult {
+    /// The single value of a one-row result column (panics otherwise —
+    /// convenience for scalar aggregates in examples/tests).
+    pub fn scalar(&self, column: &str) -> i64 {
+        assert_eq!(self.rows.len(), 1, "scalar() needs exactly one row");
+        let i = self
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .unwrap_or_else(|| panic!("no column {column}"));
+        self.rows[0][i]
+    }
+}
+
+/// The access-aware query engine: owns a [`Database`] and cost parameters,
+/// plans logical queries through the paper's choosers, and executes them
+/// with the `swole-kernels` loop bodies.
+pub struct Engine {
+    db: Database,
+    params: CostParams,
+}
+
+impl Engine {
+    /// Engine over a database with default cost parameters.
+    pub fn new(db: Database) -> Engine {
+        Engine {
+            db,
+            params: CostParams::default(),
+        }
+    }
+
+    /// Use specific (e.g. calibrated) cost parameters.
+    pub fn with_params(mut self, params: CostParams) -> Engine {
+        self.params = params;
+        self
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Plan and execute in one step.
+    pub fn query(&self, plan: &LogicalPlan) -> Result<QueryResult, PlanError> {
+        let physical = self.plan(plan)?;
+        Ok(self.execute(&physical))
+    }
+
+    /// EXPLAIN: plan and render the decision trail.
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<String, PlanError> {
+        Ok(self.plan(plan)?.explain())
+    }
+
+    // -----------------------------------------------------------------
+    // Planning
+    // -----------------------------------------------------------------
+
+    /// Plan a logical query, making every Fig. 2 decision via the cost
+    /// models.
+    pub fn plan(&self, plan: &LogicalPlan) -> Result<PhysicalPlan, PlanError> {
+        let LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } = plan
+        else {
+            return Err(PlanError::Unsupported(
+                "top-level node must be an aggregation".into(),
+            ));
+        };
+        if aggs.is_empty() {
+            return Err(PlanError::Unsupported("empty aggregate list".into()));
+        }
+        let (core, filter) = split_filters(input);
+        match core {
+            LogicalPlan::Scan { table } => {
+                self.plan_scan_agg(table, filter, group_by.as_deref(), aggs)
+            }
+            LogicalPlan::SemiJoin {
+                input: probe,
+                build,
+                fk_col,
+            } => {
+                let (probe_core, mut probe_filter) = split_filters(probe);
+                if let Some(extra) = filter {
+                    probe_filter = Some(match probe_filter {
+                        Some(f) => f.and(extra),
+                        None => extra,
+                    });
+                }
+                let LogicalPlan::Scan { table: probe_table } = probe_core else {
+                    return Err(PlanError::Unsupported(
+                        "semijoin probe side must be scan(+filter)".into(),
+                    ));
+                };
+                let (build_core, build_filter) = split_filters(build);
+                let LogicalPlan::Scan { table: build_table } = build_core else {
+                    return Err(PlanError::Unsupported(
+                        "semijoin build side must be scan(+filter)".into(),
+                    ));
+                };
+                match group_by.as_deref() {
+                    None => self.plan_semijoin_agg(
+                        probe_table,
+                        probe_filter,
+                        build_table,
+                        build_filter,
+                        fk_col,
+                        aggs,
+                    ),
+                    Some(g) if g == fk_col => {
+                        if probe_filter.is_some() {
+                            return Err(PlanError::Unsupported(
+                                "groupjoin with a probe-side filter".into(),
+                            ));
+                        }
+                        self.plan_groupjoin_agg(probe_table, build_table, build_filter, fk_col, aggs)
+                    }
+                    Some(other) => Err(PlanError::Unsupported(format!(
+                        "group by {other} over a semijoin (only the FK column is supported)"
+                    ))),
+                }
+            }
+            other => Err(PlanError::Unsupported(format!(
+                "aggregation over {other:?}"
+            ))),
+        }
+    }
+
+    fn plan_scan_agg(
+        &self,
+        table_name: &str,
+        filter: Option<Expr>,
+        group_by: Option<&str>,
+        aggs: &[AggSpec],
+    ) -> Result<PhysicalPlan, PlanError> {
+        let table = self.db.table(table_name)?;
+        if let Some(f) = &filter {
+            f.validate(table)?;
+        }
+        for a in aggs {
+            a.expr.validate(table)?;
+        }
+        if let Some(g) = group_by {
+            if table.column(g).is_none() {
+                return Err(PlanError::UnknownColumn {
+                    table: table_name.to_string(),
+                    column: g.to_string(),
+                });
+            }
+        }
+        let mut decisions = Vec::new();
+        let selectivity = match &filter {
+            Some(f) => stats::estimate_selectivity(table, f),
+            None => 1.0,
+        };
+        let group_keys = group_by.map(|g| stats::estimate_distinct(table, g));
+        let has_minmax = aggs
+            .iter()
+            .any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max));
+        let strategy = if has_minmax {
+            decisions.push(
+                "hybrid forced: min/max require extra masking bookkeeping (§ III-A)".into(),
+            );
+            AggStrategy::Hybrid
+        } else {
+            let mut cols: Vec<String> = Vec::new();
+            for a in aggs {
+                for c in a.expr.columns() {
+                    if !cols.contains(&c) {
+                        cols.push(c);
+                    }
+                }
+            }
+            let comp: f64 =
+                aggs.iter().map(|a| a.expr.comp_cycles() + 0.5).sum();
+            let profile = AggProfile {
+                rows: table.len(),
+                selectivity,
+                comp,
+                n_cols: cols.len() + group_by.map(|_| 1).unwrap_or(0),
+                group_keys,
+                n_aggs: aggs.len(),
+            };
+            let choice = choose_agg(&self.params, &profile);
+            decisions.push(format!(
+                "σ={selectivity:.2} → {} (hybrid={:.2e}, vm={:.2e}{})",
+                choice.explanation,
+                choice.cost_hybrid,
+                choice.cost_value_masking,
+                choice
+                    .cost_key_masking
+                    .map(|c| format!(", km={c:.2e}"))
+                    .unwrap_or_default(),
+            ));
+            choice.strategy
+        };
+        Ok(PhysicalPlan {
+            shape: Shape::ScanAgg {
+                table: table_name.to_string(),
+                filter,
+                group_by: group_by.map(str::to_string),
+                aggs: aggs.to_vec(),
+                strategy,
+            },
+            decisions,
+        })
+    }
+
+    fn plan_semijoin_agg(
+        &self,
+        probe: &str,
+        probe_filter: Option<Expr>,
+        build: &str,
+        build_filter: Option<Expr>,
+        fk_col: &str,
+        aggs: &[AggSpec],
+    ) -> Result<PhysicalPlan, PlanError> {
+        let probe_t = self.db.table(probe)?;
+        let build_t = self.db.table(build)?;
+        if let Some(f) = &probe_filter {
+            f.validate(probe_t)?;
+        }
+        if let Some(f) = &build_filter {
+            f.validate(build_t)?;
+        }
+        for a in aggs {
+            a.expr.validate(probe_t)?;
+            if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                return Err(PlanError::Unsupported(
+                    "min/max over a semijoin (use sum/count)".into(),
+                ));
+            }
+        }
+        self.fk_positions(probe, fk_col, build)?; // validate FK column early
+        let build_sel = match &build_filter {
+            Some(f) => stats::estimate_selectivity(build_t, f),
+            None => 1.0,
+        };
+        let has_fk_index = self.db.fk_index(probe, fk_col, build).is_some();
+        let choice = choose_semijoin(
+            &self.params,
+            &SemiJoinProfile {
+                build_rows: build_t.len(),
+                build_selectivity: build_sel,
+                has_fk_index,
+            },
+        );
+        let probe_sel = match &probe_filter {
+            Some(f) => stats::estimate_selectivity(probe_t, f),
+            None => 1.0,
+        };
+        // Same VM-model threshold as the chooser's build decision: masked
+        // probing wins unless the probe predicate is very selective.
+        let probe_masked = probe_sel >= 0.125;
+        Ok(PhysicalPlan {
+            shape: Shape::SemiJoinAgg {
+                probe: probe.to_string(),
+                probe_filter,
+                build: build.to_string(),
+                build_filter,
+                fk_col: fk_col.to_string(),
+                aggs: aggs.to_vec(),
+                strategy: choice.strategy,
+                probe_masked,
+            },
+            decisions: vec![
+                format!("σ_build={build_sel:.2} → {}", choice.explanation),
+                format!(
+                    "σ_probe={probe_sel:.2} → {} probe",
+                    if probe_masked { "masked" } else { "selection-vector" }
+                ),
+            ],
+        })
+    }
+
+    fn plan_groupjoin_agg(
+        &self,
+        probe: &str,
+        build: &str,
+        build_filter: Option<Expr>,
+        fk_col: &str,
+        aggs: &[AggSpec],
+    ) -> Result<PhysicalPlan, PlanError> {
+        let probe_t = self.db.table(probe)?;
+        let build_t = self.db.table(build)?;
+        if let Some(f) = &build_filter {
+            f.validate(build_t)?;
+        }
+        for a in aggs {
+            a.expr.validate(probe_t)?;
+            if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                return Err(PlanError::Unsupported(
+                    "min/max over a groupjoin (use sum/count)".into(),
+                ));
+            }
+        }
+        self.fk_positions(probe, fk_col, build)?;
+        let s_sel = match &build_filter {
+            Some(f) => stats::estimate_selectivity(build_t, f),
+            None => 1.0,
+        };
+        let comp: f64 = aggs.iter().map(|a| a.expr.comp_cycles() + 0.5).sum();
+        let choice = choose_groupjoin(
+            &self.params,
+            &GroupJoinProfile {
+                r_rows: probe_t.len(),
+                r_selectivity: 1.0,
+                s_rows: build_t.len(),
+                s_selectivity: s_sel,
+                join_match_prob: s_sel,
+                group_keys: build_t.len(),
+                comp,
+                n_aggs: aggs.len(),
+            },
+        );
+        Ok(PhysicalPlan {
+            shape: Shape::GroupJoinAgg {
+                probe: probe.to_string(),
+                build: build.to_string(),
+                build_filter,
+                fk_col: fk_col.to_string(),
+                aggs: aggs.to_vec(),
+                strategy: choice.strategy,
+            },
+            decisions: vec![format!(
+                "σ_S={s_sel:.2} → {} (groupjoin={:.2e}, eager={:.2e})",
+                choice.explanation, choice.cost_groupjoin, choice.cost_eager,
+            )],
+        })
+    }
+
+    /// The positional FK mapping probe→parent: the registered FK index if
+    /// present, otherwise the raw `u32` FK column (dense parent keys).
+    fn fk_positions<'a>(
+        &'a self,
+        child: &str,
+        fk_col: &str,
+        parent: &str,
+    ) -> Result<&'a [u32], PlanError> {
+        if let Some(idx) = self.db.fk_index(child, fk_col, parent) {
+            return Ok(idx.positions());
+        }
+        let child_t = self.db.table(child)?;
+        let col = child_t
+            .column(fk_col)
+            .ok_or_else(|| PlanError::UnknownColumn {
+                table: child.to_string(),
+                column: fk_col.to_string(),
+            })?;
+        col.as_u32().ok_or_else(|| PlanError::MissingFkIndex {
+            child: child.to_string(),
+            fk_column: fk_col.to_string(),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Execution
+    // -----------------------------------------------------------------
+
+    /// Execute a physical plan.
+    pub fn execute(&self, plan: &PhysicalPlan) -> QueryResult {
+        match &plan.shape {
+            Shape::ScanAgg {
+                table,
+                filter,
+                group_by,
+                aggs,
+                strategy,
+            } => {
+                let t = self.db.table(table).expect("planned table");
+                match group_by {
+                    None => exec_scalar_agg(t, filter.as_ref(), aggs, *strategy),
+                    Some(g) => exec_groupby_agg(t, filter.as_ref(), g, aggs, *strategy),
+                }
+            }
+            Shape::SemiJoinAgg {
+                probe,
+                probe_filter,
+                build,
+                build_filter,
+                fk_col,
+                aggs,
+                strategy,
+                probe_masked,
+            } => {
+                let probe_t = self.db.table(probe).expect("planned table");
+                let build_t = self.db.table(build).expect("planned table");
+                let fk = self
+                    .fk_positions(probe, fk_col, build)
+                    .expect("planned FK");
+                exec_semijoin_agg(
+                    probe_t,
+                    probe_filter.as_ref(),
+                    build_t,
+                    build_filter.as_ref(),
+                    fk,
+                    aggs,
+                    *strategy,
+                    *probe_masked,
+                )
+            }
+            Shape::GroupJoinAgg {
+                probe,
+                build,
+                build_filter,
+                fk_col,
+                aggs,
+                strategy,
+            } => {
+                let probe_t = self.db.table(probe).expect("planned table");
+                let build_t = self.db.table(build).expect("planned table");
+                let fk = self
+                    .fk_positions(probe, fk_col, build)
+                    .expect("planned FK");
+                exec_groupjoin_agg(
+                    probe_t,
+                    build_t,
+                    build_filter.as_ref(),
+                    fk,
+                    fk_col,
+                    aggs,
+                    *strategy,
+                )
+            }
+        }
+    }
+}
+
+/// Merge a chain of filters above a leaf into one conjunction.
+fn split_filters(plan: &LogicalPlan) -> (&LogicalPlan, Option<Expr>) {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let (core, rest) = split_filters(input);
+            let merged = match rest {
+                Some(r) => predicate.clone().and(r),
+                None => predicate.clone(),
+            };
+            (core, Some(merged))
+        }
+        other => (other, None),
+    }
+}
+
+/// Evaluate the filter (or all-ones) mask for one tile.
+fn tile_mask(filter: Option<&Expr>, table: &Table, start: usize, cmp: &mut [u8]) {
+    match filter {
+        Some(f) => f.eval_mask(table, start, cmp),
+        None => cmp.fill(1),
+    }
+}
+
+fn exec_scalar_agg(
+    table: &Table,
+    filter: Option<&Expr>,
+    aggs: &[AggSpec],
+    strategy: AggStrategy,
+) -> QueryResult {
+    let n = table.len();
+    let n_aggs = aggs.len();
+    let mut acc = vec![0i64; n_aggs];
+    let mut matched = 0usize;
+    for (i, a) in aggs.iter().enumerate() {
+        if a.func == AggFunc::Min {
+            acc[i] = i64::MAX;
+        }
+        if a.func == AggFunc::Max {
+            acc[i] = i64::MIN;
+        }
+    }
+    let mut cmp = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    let mut val = vec![0i64; TILE];
+    for (start, len) in tiles(n) {
+        tile_mask(filter, table, start, &mut cmp[..len]);
+        match strategy {
+            AggStrategy::ValueMasking => {
+                matched += predicate::mask_count(&cmp[..len]);
+                for (i, a) in aggs.iter().enumerate() {
+                    match a.func {
+                        AggFunc::Sum => {
+                            a.expr.eval_values(table, start, &mut val[..len]);
+                            for j in 0..len {
+                                acc[i] += val[j] * cmp[j] as i64;
+                            }
+                        }
+                        AggFunc::Count => {
+                            for &c in &cmp[..len] {
+                                acc[i] += c as i64;
+                            }
+                        }
+                        // Planner never sends min/max down the masked path.
+                        AggFunc::Min | AggFunc::Max => unreachable!("planner invariant"),
+                    }
+                }
+            }
+            // Scalar aggregation has no key to mask; hybrid covers both.
+            AggStrategy::Hybrid | AggStrategy::KeyMasking => {
+                let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+                matched += k;
+                for (i, a) in aggs.iter().enumerate() {
+                    match a.func {
+                        AggFunc::Count => acc[i] += k as i64,
+                        _ => {
+                            a.expr.eval_values(table, start, &mut val[..len]);
+                            for &j in &idx[..k] {
+                                let v = val[j as usize - start];
+                                match a.func {
+                                    AggFunc::Sum => acc[i] += v,
+                                    AggFunc::Min => acc[i] = acc[i].min(v),
+                                    AggFunc::Max => acc[i] = acc[i].max(v),
+                                    AggFunc::Count => unreachable!(),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if matched == 0 {
+        acc = vec![0; n_aggs];
+    }
+    QueryResult {
+        columns: aggs.iter().map(|a| a.name.clone()).collect(),
+        rows: vec![acc],
+    }
+}
+
+fn exec_groupby_agg(
+    table: &Table,
+    filter: Option<&Expr>,
+    group_by: &str,
+    aggs: &[AggSpec],
+    strategy: AggStrategy,
+) -> QueryResult {
+    let n = table.len();
+    let n_aggs = aggs.len();
+    let mut ht = AggTable::with_capacity(n_aggs, 64);
+    let mut cmp = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    let mut keys = vec![0i64; TILE];
+    let mut masked = vec![0i64; TILE];
+    let mut vals: Vec<Vec<i64>> = vec![vec![0i64; TILE]; n_aggs];
+    let key_expr = Expr::col(group_by);
+    for (start, len) in tiles(n) {
+        tile_mask(filter, table, start, &mut cmp[..len]);
+        key_expr.eval_values(table, start, &mut keys[..len]);
+        for (i, a) in aggs.iter().enumerate() {
+            if a.func != AggFunc::Count {
+                a.expr.eval_values(table, start, &mut vals[i][..len]);
+            }
+        }
+        match strategy {
+            AggStrategy::Hybrid => {
+                let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+                for &j in &idx[..k] {
+                    let j = j as usize - start;
+                    let off = ht.entry(keys[j]);
+                    let fresh = !ht.is_valid(off);
+                    for (i, a) in aggs.iter().enumerate() {
+                        let v = vals[i][j];
+                        let s = &mut ht.states_mut()[off + i];
+                        match a.func {
+                            AggFunc::Sum => *s += v,
+                            AggFunc::Count => *s += 1,
+                            AggFunc::Min => *s = if fresh { v } else { (*s).min(v) },
+                            AggFunc::Max => *s = if fresh { v } else { (*s).max(v) },
+                        }
+                    }
+                    ht.set_valid(off);
+                }
+            }
+            AggStrategy::ValueMasking => {
+                for j in 0..len {
+                    let off = ht.entry(keys[j]);
+                    let m = cmp[j] as i64;
+                    for (i, a) in aggs.iter().enumerate() {
+                        let add = match a.func {
+                            AggFunc::Sum => vals[i][j] * m,
+                            AggFunc::Count => m,
+                            AggFunc::Min | AggFunc::Max => unreachable!("planner invariant"),
+                        };
+                        ht.states_mut()[off + i] += add;
+                    }
+                    ht.or_valid(off, cmp[j]);
+                }
+            }
+            AggStrategy::KeyMasking => {
+                swole_kernels::groupby::mask_keys(&keys[..len], &cmp[..len], &mut masked[..len]);
+                for j in 0..len {
+                    let off = ht.entry(masked[j]);
+                    for (i, a) in aggs.iter().enumerate() {
+                        let add = match a.func {
+                            AggFunc::Sum => vals[i][j],
+                            AggFunc::Count => 1,
+                            AggFunc::Min | AggFunc::Max => unreachable!("planner invariant"),
+                        };
+                        ht.states_mut()[off + i] += add;
+                    }
+                    // Branch-free: the throwaway entry's flag is ignored by
+                    // the result iterator, so set it unconditionally.
+                    ht.or_valid(off, cmp[j]);
+                }
+            }
+        }
+    }
+    rows_from_table(group_by, aggs, &ht)
+}
+
+fn rows_from_table(key_name: &str, aggs: &[AggSpec], ht: &AggTable) -> QueryResult {
+    let mut rows: Vec<Vec<i64>> = ht
+        .iter()
+        .filter(|&(_, _, valid)| valid)
+        .map(|(key, state, _)| {
+            let mut row = Vec::with_capacity(1 + aggs.len());
+            row.push(key);
+            row.extend_from_slice(state);
+            row
+        })
+        .collect();
+    rows.sort_unstable();
+    let mut columns = vec![key_name.to_string()];
+    columns.extend(aggs.iter().map(|a| a.name.clone()));
+    QueryResult { columns, rows }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_semijoin_agg(
+    probe: &Table,
+    probe_filter: Option<&Expr>,
+    build: &Table,
+    build_filter: Option<&Expr>,
+    fk: &[u32],
+    aggs: &[AggSpec],
+    strategy: SemiJoinStrategy,
+    probe_masked: bool,
+) -> QueryResult {
+    // Build phase.
+    let build_n = build.len();
+    let mut build_cmp = vec![0u8; build_n];
+    for (start, len) in tiles(build_n) {
+        tile_mask(build_filter, build, start, &mut build_cmp[start..start + len]);
+    }
+    enum BuildSide {
+        Set(KeySet),
+        Bitmap(PositionalBitmap),
+    }
+    let side = match strategy {
+        SemiJoinStrategy::Hash => {
+            let mut set = KeySet::with_capacity(build_n / 2 + 4);
+            for (pos, &c) in build_cmp.iter().enumerate() {
+                if c != 0 {
+                    set.insert(pos as i64);
+                }
+            }
+            BuildSide::Set(set)
+        }
+        SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional) => {
+            BuildSide::Bitmap(PositionalBitmap::from_predicate_bytes(&build_cmp))
+        }
+        SemiJoinStrategy::PositionalBitmap(BitmapBuild::SelectionVector) => {
+            let mut sel = Vec::new();
+            for (start, len) in tiles(build_n) {
+                selvec::append_nobranch(&build_cmp[start..start + len], start as u32, &mut sel);
+            }
+            BuildSide::Bitmap(PositionalBitmap::from_selection(build_n, &sel))
+        }
+    };
+    // Probe phase: scalar accumulation.
+    let n = probe.len();
+    let mut acc = vec![0i64; aggs.len()];
+    let mut matched = 0usize;
+    let mut cmp = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    let mut val = vec![0i64; TILE];
+    for (start, len) in tiles(n) {
+        tile_mask(probe_filter, probe, start, &mut cmp[..len]);
+        // Fold the join bit into the mask, per build structure.
+        match (&side, probe_masked) {
+            (BuildSide::Bitmap(bm), true) => {
+                for j in 0..len {
+                    cmp[j] &= bm.get_bit(fk[start + j] as usize) as u8;
+                }
+                matched += predicate::mask_count(&cmp[..len]);
+                for (i, a) in aggs.iter().enumerate() {
+                    match a.func {
+                        AggFunc::Sum => {
+                            a.expr.eval_values(probe, start, &mut val[..len]);
+                            for j in 0..len {
+                                acc[i] += val[j] * cmp[j] as i64;
+                            }
+                        }
+                        AggFunc::Count => {
+                            for &c in &cmp[..len] {
+                                acc[i] += c as i64;
+                            }
+                        }
+                        _ => unreachable!("planner invariant"),
+                    }
+                }
+            }
+            (side, _) => {
+                let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+                for (i, a) in aggs.iter().enumerate() {
+                    if a.func != AggFunc::Count {
+                        a.expr.eval_values(probe, start, &mut val[..len]);
+                    }
+                    for &j in &idx[..k] {
+                        let pos = fk[j as usize] as usize;
+                        let hit = match side {
+                            BuildSide::Set(set) => set.contains(pos as i64) as i64,
+                            BuildSide::Bitmap(bm) => bm.get_bit(pos) as i64,
+                        };
+                        match a.func {
+                            AggFunc::Sum => acc[i] += val[j as usize - start] * hit,
+                            AggFunc::Count => acc[i] += hit,
+                            _ => unreachable!("planner invariant"),
+                        }
+                        if i == 0 {
+                            matched += hit as usize;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if matched == 0 {
+        acc = vec![0; aggs.len()];
+    }
+    QueryResult {
+        columns: aggs.iter().map(|a| a.name.clone()).collect(),
+        rows: vec![acc],
+    }
+}
+
+fn exec_groupjoin_agg(
+    probe: &Table,
+    build: &Table,
+    build_filter: Option<&Expr>,
+    fk: &[u32],
+    fk_col: &str,
+    aggs: &[AggSpec],
+    strategy: GroupJoinStrategy,
+) -> QueryResult {
+    let n_aggs = aggs.len();
+    let build_n = build.len();
+    let mut build_cmp = vec![0u8; build_n];
+    for (start, len) in tiles(build_n) {
+        tile_mask(build_filter, build, start, &mut build_cmp[start..start + len]);
+    }
+    let mut ht = AggTable::with_capacity(n_aggs, (build_n / 2).max(16));
+    let mut vals: Vec<Vec<i64>> = vec![vec![0i64; TILE]; n_aggs];
+    match strategy {
+        GroupJoinStrategy::GroupJoin => {
+            for (pos, &c) in build_cmp.iter().enumerate() {
+                if c != 0 {
+                    ht.entry(pos as i64);
+                }
+            }
+            for (start, len) in tiles(probe.len()) {
+                for (i, a) in aggs.iter().enumerate() {
+                    if a.func != AggFunc::Count {
+                        a.expr.eval_values(probe, start, &mut vals[i][..len]);
+                    }
+                }
+                for j in 0..len {
+                    if let Some(off) = ht.find(fk[start + j] as i64) {
+                        for (i, a) in aggs.iter().enumerate() {
+                            let add = match a.func {
+                                AggFunc::Sum => vals[i][j],
+                                AggFunc::Count => 1,
+                                _ => unreachable!("planner invariant"),
+                            };
+                            ht.states_mut()[off + i] += add;
+                        }
+                        ht.set_valid(off);
+                    }
+                }
+            }
+        }
+        GroupJoinStrategy::EagerAggregation => {
+            for (start, len) in tiles(probe.len()) {
+                for (i, a) in aggs.iter().enumerate() {
+                    if a.func != AggFunc::Count {
+                        a.expr.eval_values(probe, start, &mut vals[i][..len]);
+                    }
+                }
+                for j in 0..len {
+                    let off = ht.entry(fk[start + j] as i64);
+                    for (i, a) in aggs.iter().enumerate() {
+                        let add = match a.func {
+                            AggFunc::Sum => vals[i][j],
+                            AggFunc::Count => 1,
+                            _ => unreachable!("planner invariant"),
+                        };
+                        ht.states_mut()[off + i] += add;
+                    }
+                    ht.set_valid(off);
+                }
+            }
+            // Inverted predicate deletes non-qualifying keys (§ III-E).
+            for (pos, &c) in build_cmp.iter().enumerate() {
+                if c == 0 {
+                    ht.delete(pos as i64);
+                }
+            }
+        }
+    }
+    rows_from_table(fk_col, aggs, &ht)
+}

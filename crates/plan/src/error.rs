@@ -1,0 +1,48 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Errors surfaced by planning or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced column does not exist in its table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// The plan shape is not one the access-aware planner supports.
+    Unsupported(String),
+    /// An expression is invalid in its context (e.g. LIKE on a non-dictionary
+    /// column).
+    InvalidExpr(String),
+    /// A join was requested without the foreign-key index positional
+    /// bitmaps require and without a hash fallback key.
+    MissingFkIndex {
+        /// Child table.
+        child: String,
+        /// FK column.
+        fk_column: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            PlanError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column} in table {table}")
+            }
+            PlanError::Unsupported(what) => write!(f, "unsupported plan shape: {what}"),
+            PlanError::InvalidExpr(what) => write!(f, "invalid expression: {what}"),
+            PlanError::MissingFkIndex { child, fk_column } => {
+                write!(f, "no foreign-key index registered for {child}.{fk_column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}

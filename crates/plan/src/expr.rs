@@ -1,0 +1,603 @@
+//! Expressions with vectorized (tile-wise) and row-wise evaluation.
+//!
+//! The vectorized evaluators are what the engine's generated pipelines use:
+//! masks are `u8` 0/1 arrays (the `cmp` arrays of the paper's figures) and
+//! values are widened `i64`. The row-wise evaluator backs the naive
+//! reference interpreter.
+
+use crate::error::PlanError;
+use swole_storage::{like_match, ColumnData, Table};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl CmpOp {
+    fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// Aggregate functions.
+///
+/// `Sum`/`Count` compose with value masking (a masked contribution is 0);
+/// `Min`/`Max` "may require minor additional bookkeeping" (§ III-A), which
+/// the planner realises by forcing the hybrid path for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `sum(expr)`
+    Sum,
+    /// `count(*)`
+    Count,
+    /// `min(expr)`
+    Min,
+    /// `max(expr)`
+    Max,
+}
+
+/// A scalar expression over one table's columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Col(String),
+    /// Integer literal (dates/decimals are integers in this storage model).
+    Lit(i64),
+    /// Comparison producing a boolean.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic: `+`.
+    Add(Box<Expr>, Box<Expr>),
+    /// Arithmetic: `-`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Arithmetic: `*`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Arithmetic: `/` (integer).
+    Div(Box<Expr>, Box<Expr>),
+    /// Boolean conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Boolean disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// `col LIKE pattern` over a dictionary-encoded string column; the
+    /// pattern is evaluated once per dictionary entry.
+    Like {
+        /// Dictionary column name.
+        col: String,
+        /// SQL LIKE pattern (`%`, `_`).
+        pattern: String,
+    },
+    /// `col IN (values...)` over a dictionary-encoded string column.
+    InList {
+        /// Dictionary column name.
+        col: String,
+        /// String values.
+        values: Vec<String>,
+    },
+    /// `case when <cond> then <a> else <b> end`. The engine evaluates it
+    /// with value masking (§ III-A: "we can unconditionally evaluate all
+    /// cases and then mask the non-qualifying results").
+    Case {
+        /// Condition.
+        when: Box<Expr>,
+        /// Value when true.
+        then: Box<Expr>,
+        /// Value when false.
+        otherwise: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience: `col(name)`.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Convenience: literal.
+    pub fn lit(v: i64) -> Expr {
+        Expr::Lit(v)
+    }
+
+    /// Convenience: `self < other` etc.
+    pub fn cmp(self, op: CmpOp, other: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(other))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self * other`.
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// Column names referenced by this expression, in first-appearance
+    /// order without duplicates (feeds the cost model's `n_cols`).
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        let mut push = |name: &String| {
+            if !out.contains(name) {
+                out.push(name.clone());
+            }
+        };
+        match self {
+            Expr::Col(name) => push(name),
+            Expr::Lit(_) => {}
+            Expr::Like { col, .. } | Expr::InList { col, .. } => push(col),
+            Expr::Cmp(_, a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(a) => a.collect_columns(out),
+            Expr::Case {
+                when,
+                then,
+                otherwise,
+            } => {
+                when.collect_columns(out);
+                then.collect_columns(out);
+                otherwise.collect_columns(out);
+            }
+        }
+    }
+
+    /// Estimated computation cycles per tuple (the `comp` introspection of
+    /// § III-A), using `swole-cost`'s per-operator costs.
+    pub fn comp_cycles(&self) -> f64 {
+        use swole_cost::comp::ArithOp;
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => 0.0,
+            Expr::Cmp(_, a, b) => ArithOp::Cmp.cycles() + a.comp_cycles() + b.comp_cycles(),
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                ArithOp::AddSub.cycles() + a.comp_cycles() + b.comp_cycles()
+            }
+            Expr::Mul(a, b) => ArithOp::Mul.cycles() + a.comp_cycles() + b.comp_cycles(),
+            Expr::Div(a, b) => ArithOp::Div.cycles() + a.comp_cycles() + b.comp_cycles(),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                ArithOp::Cmp.cycles() + a.comp_cycles() + b.comp_cycles()
+            }
+            Expr::Not(a) => ArithOp::Cmp.cycles() + a.comp_cycles(),
+            // Dictionary predicates cost one table load per row.
+            Expr::Like { .. } | Expr::InList { .. } => ArithOp::Cmp.cycles(),
+            Expr::Case {
+                when,
+                then,
+                otherwise,
+            } => when.comp_cycles() + then.comp_cycles() + otherwise.comp_cycles(),
+        }
+    }
+
+    /// Validate column references and dictionary requirements against a
+    /// table.
+    pub fn validate(&self, table: &Table) -> Result<(), PlanError> {
+        for name in self.columns() {
+            if table.column(&name).is_none() {
+                return Err(PlanError::UnknownColumn {
+                    table: table.name().to_string(),
+                    column: name,
+                });
+            }
+        }
+        self.validate_dicts(table)
+    }
+
+    fn validate_dicts(&self, table: &Table) -> Result<(), PlanError> {
+        match self {
+            Expr::Like { col, .. } | Expr::InList { col, .. } => {
+                match table.column(col) {
+                    Some(ColumnData::Dict(_)) => Ok(()),
+                    Some(_) => Err(PlanError::InvalidExpr(format!(
+                        "LIKE/IN requires a dictionary column, {col} is not"
+                    ))),
+                    None => Err(PlanError::UnknownColumn {
+                        table: table.name().to_string(),
+                        column: col.clone(),
+                    }),
+                }
+            }
+            Expr::Cmp(_, a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.validate_dicts(table)?;
+                b.validate_dicts(table)
+            }
+            Expr::Not(a) => a.validate_dicts(table),
+            Expr::Case {
+                when,
+                then,
+                otherwise,
+            } => {
+                when.validate_dicts(table)?;
+                then.validate_dicts(table)?;
+                otherwise.validate_dicts(table)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Row-wise evaluation (interpreter / sampling). Booleans are 0/1.
+    pub fn eval_row(&self, table: &Table, row: usize) -> i64 {
+        match self {
+            Expr::Col(name) => table.column_required(name).get_i64(row),
+            Expr::Lit(v) => *v,
+            Expr::Cmp(op, a, b) => {
+                op.apply(a.eval_row(table, row), b.eval_row(table, row)) as i64
+            }
+            Expr::Add(a, b) => a.eval_row(table, row) + b.eval_row(table, row),
+            Expr::Sub(a, b) => a.eval_row(table, row) - b.eval_row(table, row),
+            Expr::Mul(a, b) => a.eval_row(table, row) * b.eval_row(table, row),
+            Expr::Div(a, b) => a.eval_row(table, row) / b.eval_row(table, row),
+            Expr::And(a, b) => {
+                (a.eval_row(table, row) != 0 && b.eval_row(table, row) != 0) as i64
+            }
+            Expr::Or(a, b) => {
+                (a.eval_row(table, row) != 0 || b.eval_row(table, row) != 0) as i64
+            }
+            Expr::Not(a) => (a.eval_row(table, row) == 0) as i64,
+            Expr::Like { col, pattern } => {
+                let dict = table
+                    .column_required(col)
+                    .as_dict()
+                    .expect("validated dictionary column");
+                like_match(pattern, dict.value(row)) as i64
+            }
+            Expr::InList { col, values } => {
+                let dict = table
+                    .column_required(col)
+                    .as_dict()
+                    .expect("validated dictionary column");
+                values.iter().any(|v| v == dict.value(row)) as i64
+            }
+            Expr::Case {
+                when,
+                then,
+                otherwise,
+            } => {
+                if when.eval_row(table, row) != 0 {
+                    then.eval_row(table, row)
+                } else {
+                    otherwise.eval_row(table, row)
+                }
+            }
+        }
+    }
+
+    /// Vectorized boolean evaluation over rows `[start, start+out.len())`
+    /// into a 0/1 mask — the prepass loop of the generated code.
+    pub fn eval_mask(&self, table: &Table, start: usize, out: &mut [u8]) {
+        let len = out.len();
+        match self {
+            Expr::And(a, b) => {
+                a.eval_mask(table, start, out);
+                let mut rhs = vec![0u8; len];
+                b.eval_mask(table, start, &mut rhs);
+                swole_kernels::predicate::and_into(out, &rhs);
+            }
+            Expr::Or(a, b) => {
+                a.eval_mask(table, start, out);
+                let mut rhs = vec![0u8; len];
+                b.eval_mask(table, start, &mut rhs);
+                swole_kernels::predicate::or_into(out, &rhs);
+            }
+            Expr::Not(a) => {
+                a.eval_mask(table, start, out);
+                swole_kernels::predicate::not_inplace(out);
+            }
+            Expr::Cmp(op, a, b) => {
+                let mut av = vec![0i64; len];
+                let mut bv = vec![0i64; len];
+                a.eval_values(table, start, &mut av);
+                b.eval_values(table, start, &mut bv);
+                for j in 0..len {
+                    out[j] = op.apply(av[j], bv[j]) as u8;
+                }
+            }
+            Expr::Like { col, pattern } => {
+                let dict = table
+                    .column_required(col)
+                    .as_dict()
+                    .expect("validated dictionary column");
+                // "Computed on the fly": one match per dictionary entry,
+                // then a sequential code-table scan.
+                let matches = dict.matching_codes(|v| like_match(pattern, v));
+                swole_kernels::predicate::in_code_table(
+                    &dict.codes()[start..start + len],
+                    &matches,
+                    out,
+                );
+            }
+            Expr::InList { col, values } => {
+                let dict = table
+                    .column_required(col)
+                    .as_dict()
+                    .expect("validated dictionary column");
+                let matches = dict.matching_codes(|v| values.iter().any(|x| x == v));
+                swole_kernels::predicate::in_code_table(
+                    &dict.codes()[start..start + len],
+                    &matches,
+                    out,
+                );
+            }
+            other => {
+                // Generic: nonzero value ⇒ true.
+                let mut vals = vec![0i64; len];
+                other.eval_values(table, start, &mut vals);
+                for j in 0..len {
+                    out[j] = (vals[j] != 0) as u8;
+                }
+            }
+        }
+    }
+
+    /// Vectorized value evaluation over rows `[start, start+out.len())`.
+    ///
+    /// CASE is evaluated with **value masking** (§ III-A): both branches run
+    /// unconditionally and the mask selects per row, keeping the access
+    /// pattern sequential.
+    pub fn eval_values(&self, table: &Table, start: usize, out: &mut [i64]) {
+        let len = out.len();
+        match self {
+            Expr::Col(name) => copy_column(table.column_required(name), start, out),
+            Expr::Lit(v) => out.fill(*v),
+            Expr::Add(a, b) => {
+                a.eval_values(table, start, out);
+                let mut rhs = vec![0i64; len];
+                b.eval_values(table, start, &mut rhs);
+                for j in 0..len {
+                    out[j] += rhs[j];
+                }
+            }
+            Expr::Sub(a, b) => {
+                a.eval_values(table, start, out);
+                let mut rhs = vec![0i64; len];
+                b.eval_values(table, start, &mut rhs);
+                for j in 0..len {
+                    out[j] -= rhs[j];
+                }
+            }
+            Expr::Mul(a, b) => {
+                a.eval_values(table, start, out);
+                let mut rhs = vec![0i64; len];
+                b.eval_values(table, start, &mut rhs);
+                for j in 0..len {
+                    out[j] *= rhs[j];
+                }
+            }
+            Expr::Div(a, b) => {
+                a.eval_values(table, start, out);
+                let mut rhs = vec![0i64; len];
+                b.eval_values(table, start, &mut rhs);
+                for j in 0..len {
+                    out[j] /= rhs[j];
+                }
+            }
+            Expr::Case {
+                when,
+                then,
+                otherwise,
+            } => {
+                let mut mask = vec![0u8; len];
+                when.eval_mask(table, start, &mut mask);
+                then.eval_values(table, start, out);
+                let mut other = vec![0i64; len];
+                otherwise.eval_values(table, start, &mut other);
+                for j in 0..len {
+                    let m = mask[j] as i64;
+                    out[j] = out[j] * m + other[j] * (1 - m);
+                }
+            }
+            boolean => {
+                let mut mask = vec![0u8; len];
+                boolean.eval_mask(table, start, &mut mask);
+                for j in 0..len {
+                    out[j] = mask[j] as i64;
+                }
+            }
+        }
+    }
+}
+
+/// Widen a column slice into the `i64` working buffer.
+fn copy_column(col: &ColumnData, start: usize, out: &mut [i64]) {
+    let len = out.len();
+    match col {
+        ColumnData::I8(v) => {
+            for (o, &x) in out.iter_mut().zip(&v[start..start + len]) {
+                *o = x as i64;
+            }
+        }
+        ColumnData::I16(v) => {
+            for (o, &x) in out.iter_mut().zip(&v[start..start + len]) {
+                *o = x as i64;
+            }
+        }
+        ColumnData::I32(v) => {
+            for (o, &x) in out.iter_mut().zip(&v[start..start + len]) {
+                *o = x as i64;
+            }
+        }
+        ColumnData::I64(v) => out.copy_from_slice(&v[start..start + len]),
+        ColumnData::U32(v) => {
+            for (o, &x) in out.iter_mut().zip(&v[start..start + len]) {
+                *o = x as i64;
+            }
+        }
+        ColumnData::Dict(d) => {
+            for (o, &x) in out.iter_mut().zip(&d.codes()[start..start + len]) {
+                *o = x as i64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swole_storage::DictColumn;
+
+    fn table() -> Table {
+        Table::new("t")
+            .with_column("x", ColumnData::I32(vec![1, 5, 13, 20, -3]))
+            .with_column("a", ColumnData::I64(vec![10, 20, 30, 40, 50]))
+            .with_column(
+                "s",
+                ColumnData::Dict(DictColumn::encode(&["PROMO A", "STD", "PROMO B", "STD", "X"])),
+            )
+    }
+
+    fn mask_of(e: &Expr, t: &Table) -> Vec<u8> {
+        let mut out = vec![0u8; t.len()];
+        e.eval_mask(t, 0, &mut out);
+        out
+    }
+
+    fn values_of(e: &Expr, t: &Table) -> Vec<i64> {
+        let mut out = vec![0i64; t.len()];
+        e.eval_values(t, 0, &mut out);
+        out
+    }
+
+    #[test]
+    fn comparisons_and_boolean_logic() {
+        let t = table();
+        let e = Expr::col("x").cmp(CmpOp::Lt, Expr::lit(13));
+        assert_eq!(mask_of(&e, &t), vec![1, 1, 0, 0, 1]);
+        let e2 = e.clone().and(Expr::col("x").cmp(CmpOp::Gt, Expr::lit(0)));
+        assert_eq!(mask_of(&e2, &t), vec![1, 1, 0, 0, 0]);
+        let e3 = Expr::Not(Box::new(e2.clone()));
+        assert_eq!(mask_of(&e3, &t), vec![0, 0, 1, 1, 1]);
+        let e4 = e2.or(Expr::col("x").cmp(CmpOp::Eq, Expr::lit(13)));
+        assert_eq!(mask_of(&e4, &t), vec![1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn arithmetic_and_case() {
+        let t = table();
+        let e = Expr::col("a").mul(Expr::lit(2));
+        assert_eq!(values_of(&e, &t), vec![20, 40, 60, 80, 100]);
+        let case = Expr::Case {
+            when: Box::new(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(13))),
+            then: Box::new(Expr::col("a")),
+            otherwise: Box::new(Expr::lit(0)),
+        };
+        assert_eq!(values_of(&case, &t), vec![10, 20, 0, 0, 50]);
+    }
+
+    #[test]
+    fn like_and_in_over_dictionary() {
+        let t = table();
+        let like = Expr::Like {
+            col: "s".into(),
+            pattern: "PROMO%".into(),
+        };
+        assert_eq!(mask_of(&like, &t), vec![1, 0, 1, 0, 0]);
+        let inlist = Expr::InList {
+            col: "s".into(),
+            values: vec!["STD".into(), "X".into()],
+        };
+        assert_eq!(mask_of(&inlist, &t), vec![0, 1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn row_eval_matches_vectorized() {
+        let t = table();
+        let exprs = vec![
+            Expr::col("x").cmp(CmpOp::Ge, Expr::lit(5)),
+            Expr::col("a").mul(Expr::col("x")),
+            Expr::Case {
+                when: Box::new(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(10))),
+                then: Box::new(Expr::col("a").mul(Expr::lit(3))),
+                otherwise: Box::new(Expr::Sub(
+                    Box::new(Expr::col("a")),
+                    Box::new(Expr::lit(1)),
+                )),
+            },
+        ];
+        for e in exprs {
+            let vec = values_of(&e, &t);
+            for row in 0..t.len() {
+                assert_eq!(vec[row], e.eval_row(&t, row), "{e:?} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn columns_and_comp_introspection() {
+        let e = Expr::col("a")
+            .mul(Expr::col("x"))
+            .and(Expr::col("a").cmp(CmpOp::Lt, Expr::lit(5)));
+        assert_eq!(e.columns(), vec!["a".to_string(), "x".to_string()]);
+        assert!(e.comp_cycles() > 0.0);
+        let div = Expr::Div(Box::new(Expr::col("a")), Box::new(Expr::col("x")));
+        assert!(div.comp_cycles() > e.comp_cycles());
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let t = table();
+        assert!(Expr::col("missing").validate(&t).is_err());
+        let bad_like = Expr::Like {
+            col: "x".into(),
+            pattern: "%".into(),
+        };
+        assert!(matches!(
+            bad_like.validate(&t),
+            Err(PlanError::InvalidExpr(_))
+        ));
+        assert!(Expr::col("x").validate(&t).is_ok());
+    }
+
+    #[test]
+    fn tiled_evaluation_with_offset() {
+        let t = table();
+        let e = Expr::col("a");
+        let mut out = vec![0i64; 2];
+        e.eval_values(&t, 2, &mut out);
+        assert_eq!(out, vec![30, 40]);
+        let p = Expr::col("x").cmp(CmpOp::Lt, Expr::lit(13));
+        let mut m = vec![0u8; 2];
+        p.eval_mask(&t, 3, &mut m);
+        assert_eq!(m, vec![0, 1]);
+    }
+}

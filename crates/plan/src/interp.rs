@@ -1,0 +1,156 @@
+//! A deliberately naive row-at-a-time reference interpreter.
+//!
+//! Executes the same [`LogicalPlan`]s as the engine with zero cleverness —
+//! Volcano-style row iteration, `BTreeMap` grouping — and the same result
+//! conventions. The test suite cross-checks every engine result against it
+//! (the role HyPer plays as a sanity baseline in the paper's evaluation).
+
+use crate::catalog::Database;
+use crate::engine::QueryResult;
+use crate::error::PlanError;
+use crate::expr::AggFunc;
+use crate::logical::{AggSpec, LogicalPlan};
+use std::collections::BTreeMap;
+
+/// Execute `plan` naively.
+pub fn run(db: &Database, plan: &LogicalPlan) -> Result<QueryResult, PlanError> {
+    let LogicalPlan::Aggregate {
+        input,
+        group_by,
+        aggs,
+    } = plan
+    else {
+        return Err(PlanError::Unsupported(
+            "top-level node must be an aggregation".into(),
+        ));
+    };
+    if aggs.is_empty() {
+        return Err(PlanError::Unsupported("empty aggregate list".into()));
+    }
+    let base = input.base_table();
+    let table = db.table(base)?;
+    let rows = qualifying_rows(db, input)?;
+    match group_by {
+        None => {
+            let mut acc = vec![0i64; aggs.len()];
+            for (i, a) in aggs.iter().enumerate() {
+                if a.func == AggFunc::Min {
+                    acc[i] = i64::MAX;
+                }
+                if a.func == AggFunc::Max {
+                    acc[i] = i64::MIN;
+                }
+            }
+            for &row in &rows {
+                for (i, a) in aggs.iter().enumerate() {
+                    accumulate(&mut acc[i], a, table, row);
+                }
+            }
+            if rows.is_empty() {
+                acc = vec![0; aggs.len()];
+            }
+            Ok(QueryResult {
+                columns: aggs.iter().map(|a| a.name.clone()).collect(),
+                rows: vec![acc],
+            })
+        }
+        Some(g) => {
+            let key_col = table.column(g).ok_or_else(|| PlanError::UnknownColumn {
+                table: base.to_string(),
+                column: g.clone(),
+            })?;
+            let mut groups: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+            for &row in &rows {
+                let key = key_col.get_i64(row);
+                let acc = groups.entry(key).or_insert_with(|| {
+                    aggs.iter()
+                        .map(|a| match a.func {
+                            AggFunc::Min => i64::MAX,
+                            AggFunc::Max => i64::MIN,
+                            _ => 0,
+                        })
+                        .collect()
+                });
+                for (i, a) in aggs.iter().enumerate() {
+                    accumulate(&mut acc[i], a, table, row);
+                }
+            }
+            let mut columns = vec![g.clone()];
+            columns.extend(aggs.iter().map(|a| a.name.clone()));
+            Ok(QueryResult {
+                columns,
+                rows: groups
+                    .into_iter()
+                    .map(|(k, acc)| {
+                        let mut row = vec![k];
+                        row.extend(acc);
+                        row
+                    })
+                    .collect(),
+            })
+        }
+    }
+}
+
+fn accumulate(
+    acc: &mut i64,
+    spec: &AggSpec,
+    table: &swole_storage::Table,
+    row: usize,
+) {
+    match spec.func {
+        AggFunc::Count => *acc += 1,
+        AggFunc::Sum => *acc += spec.expr.eval_row(table, row),
+        AggFunc::Min => *acc = (*acc).min(spec.expr.eval_row(table, row)),
+        AggFunc::Max => *acc = (*acc).max(spec.expr.eval_row(table, row)),
+    }
+}
+
+/// Rows of the plan's base table that survive all filters and semijoins.
+fn qualifying_rows(db: &Database, plan: &LogicalPlan) -> Result<Vec<usize>, PlanError> {
+    match plan {
+        LogicalPlan::Scan { table } => Ok((0..db.table(table)?.len()).collect()),
+        LogicalPlan::Filter { input, predicate } => {
+            let table = db.table(input.base_table())?;
+            predicate.validate(table)?;
+            let rows = qualifying_rows(db, input)?;
+            Ok(rows
+                .into_iter()
+                .filter(|&r| predicate.eval_row(table, r) != 0)
+                .collect())
+        }
+        LogicalPlan::SemiJoin {
+            input,
+            build,
+            fk_col,
+        } => {
+            let child = db.table(input.base_table())?;
+            let parent_name = build.base_table();
+            let surviving = qualifying_rows(db, build)?;
+            let parent_set: std::collections::HashSet<usize> = surviving.into_iter().collect();
+            let fk = match db.fk_index(input.base_table(), fk_col, parent_name) {
+                Some(idx) => idx.positions().to_vec(),
+                None => child
+                    .column(fk_col)
+                    .ok_or_else(|| PlanError::UnknownColumn {
+                        table: input.base_table().to_string(),
+                        column: fk_col.clone(),
+                    })?
+                    .as_u32()
+                    .ok_or_else(|| PlanError::MissingFkIndex {
+                        child: input.base_table().to_string(),
+                        fk_column: fk_col.clone(),
+                    })?
+                    .to_vec(),
+            };
+            let rows = qualifying_rows(db, input)?;
+            Ok(rows
+                .into_iter()
+                .filter(|&r| parent_set.contains(&(fk[r] as usize)))
+                .collect())
+        }
+        LogicalPlan::Aggregate { .. } => Err(PlanError::Unsupported(
+            "nested aggregation".into(),
+        )),
+    }
+}

@@ -1,0 +1,41 @@
+//! # swole-plan — the access-aware query engine
+//!
+//! The declarative layer on top of the kernel substrate: build a logical
+//! plan with [`QueryBuilder`], hand it to an [`Engine`], and the planner
+//! will
+//!
+//! 1. estimate predicate selectivities and group-key cardinalities by
+//!    sampling ([`stats`]),
+//! 2. estimate the aggregation's `comp` term by expression introspection,
+//! 3. consult the `swole-cost` choosers (the paper's Fig. 2 matrix) to pick
+//!    hybrid / value masking / key masking / positional bitmap / eager
+//!    aggregation per pipeline, and
+//! 4. execute tile-at-a-time through the `swole-kernels` loop bodies.
+//!
+//! [`Engine::explain`] shows the chosen techniques with the cost-model
+//! evidence; [`interp`] provides a deliberately naive row-at-a-time
+//! interpreter used by the test suite to cross-check every result.
+//!
+//! The plan shapes supported are exactly the ones the paper optimizes:
+//! scan → filter → (scalar | group-by) aggregation, FK semijoin +
+//! aggregation, and FK groupjoin. Unsupported shapes return
+//! [`PlanError::Unsupported`] rather than silently falling back.
+
+#![warn(missing_docs)]
+
+mod catalog;
+mod engine;
+mod error;
+pub mod expr;
+pub mod interp;
+mod logical;
+pub mod physical;
+pub mod sql;
+pub mod stats;
+
+pub use catalog::Database;
+pub use engine::{Engine, QueryResult};
+pub use error::PlanError;
+pub use expr::{AggFunc, CmpOp, Expr};
+pub use logical::{AggSpec, LogicalPlan, QueryBuilder};
+pub use sql::{parse as parse_sql, SqlError};

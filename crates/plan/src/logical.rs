@@ -1,0 +1,198 @@
+//! Logical plans and the builder API.
+
+use crate::expr::{AggFunc, Expr};
+
+/// One aggregate in a query's select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Input expression (ignored for `Count`).
+    pub expr: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggSpec {
+    /// `sum(expr) as name`.
+    pub fn sum(expr: Expr, name: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Sum,
+            expr,
+            name: name.into(),
+        }
+    }
+
+    /// `count(*) as name`.
+    pub fn count(name: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Count,
+            expr: Expr::Lit(1),
+            name: name.into(),
+        }
+    }
+
+    /// `min(expr) as name`.
+    pub fn min(expr: Expr, name: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Min,
+            expr,
+            name: name.into(),
+        }
+    }
+
+    /// `max(expr) as name`.
+    pub fn max(expr: Expr, name: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Max,
+            expr,
+            name: name.into(),
+        }
+    }
+}
+
+/// A logical query plan (relational-algebra tree).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Boolean predicate.
+        predicate: Expr,
+    },
+    /// FK semijoin: keep input (child) rows whose parent row survives the
+    /// build side.
+    SemiJoin {
+        /// Child-side input.
+        input: Box<LogicalPlan>,
+        /// Parent-side plan (scan + optional filter).
+        build: Box<LogicalPlan>,
+        /// Child FK column (must have a registered FK index to the build
+        /// table for the positional-bitmap strategy to be available).
+        fk_col: String,
+    },
+    /// Aggregation, optionally grouped by one column.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by column (on the input's base table), or `None` for a
+        /// scalar aggregate.
+        group_by: Option<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+    },
+}
+
+impl LogicalPlan {
+    /// The base table a (linear) plan scans.
+    pub fn base_table(&self) -> &str {
+        match self {
+            LogicalPlan::Scan { table } => table,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::SemiJoin { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.base_table(),
+        }
+    }
+}
+
+/// Fluent builder for the supported plan shapes.
+///
+/// ```
+/// use swole_plan::{QueryBuilder, AggSpec, Expr, CmpOp};
+///
+/// let plan = QueryBuilder::scan("R")
+///     .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(13)))
+///     .aggregate(
+///         Some("c"),
+///         vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+///     );
+/// assert_eq!(plan.base_table(), "R");
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    plan: LogicalPlan,
+}
+
+impl QueryBuilder {
+    /// Start from a table scan.
+    pub fn scan(table: impl Into<String>) -> QueryBuilder {
+        QueryBuilder {
+            plan: LogicalPlan::Scan {
+                table: table.into(),
+            },
+        }
+    }
+
+    /// Add a filter.
+    pub fn filter(mut self, predicate: Expr) -> QueryBuilder {
+        self.plan = LogicalPlan::Filter {
+            input: Box::new(self.plan),
+            predicate,
+        };
+        self
+    }
+
+    /// Semijoin against a build-side plan through `fk_col`.
+    pub fn semijoin(mut self, build: QueryBuilder, fk_col: impl Into<String>) -> QueryBuilder {
+        self.plan = LogicalPlan::SemiJoin {
+            input: Box::new(self.plan),
+            build: Box::new(build.plan),
+            fk_col: fk_col.into(),
+        };
+        self
+    }
+
+    /// Terminal aggregation; returns the finished plan.
+    pub fn aggregate(self, group_by: Option<&str>, aggs: Vec<AggSpec>) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(self.plan),
+            group_by: group_by.map(str::to_string),
+            aggs,
+        }
+    }
+
+    /// The plan built so far, without a terminal aggregation.
+    pub fn build(self) -> LogicalPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn builder_produces_expected_tree() {
+        let plan = QueryBuilder::scan("R")
+            .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(13)))
+            .aggregate(None, vec![AggSpec::sum(Expr::col("a"), "s")]);
+        match &plan {
+            LogicalPlan::Aggregate {
+                input, group_by, ..
+            } => {
+                assert!(group_by.is_none());
+                assert!(matches!(**input, LogicalPlan::Filter { .. }));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+        assert_eq!(plan.base_table(), "R");
+    }
+
+    #[test]
+    fn semijoin_shape() {
+        let plan = QueryBuilder::scan("R")
+            .semijoin(
+                QueryBuilder::scan("S").filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(13))),
+                "fk",
+            )
+            .aggregate(None, vec![AggSpec::count("n")]);
+        assert_eq!(plan.base_table(), "R");
+    }
+}

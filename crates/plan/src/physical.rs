@@ -1,0 +1,139 @@
+//! Physical plans: the shapes the executor runs plus the decisions the
+//! planner made, with their cost-model evidence.
+
+use crate::expr::Expr;
+use crate::logical::AggSpec;
+use swole_cost::{AggStrategy, GroupJoinStrategy, SemiJoinStrategy};
+
+/// A planned, executable query with its decision trail.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    pub(crate) shape: Shape,
+    /// One line per decision the planner took, with the cost-model
+    /// justification — what `EXPLAIN` prints.
+    pub decisions: Vec<String>,
+}
+
+impl PhysicalPlan {
+    /// Render the plan as EXPLAIN text.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.shape.describe());
+        for d in &self.decisions {
+            out.push_str("\n  -> ");
+            out.push_str(d);
+        }
+        out
+    }
+
+    /// The aggregation strategy chosen, if this plan has an aggregation
+    /// pipeline (used by tests and the advisor example).
+    pub fn agg_strategy(&self) -> Option<AggStrategy> {
+        match &self.shape {
+            Shape::ScanAgg { strategy, .. } => Some(*strategy),
+            _ => None,
+        }
+    }
+
+    /// The semijoin strategy chosen, if any.
+    pub fn semijoin_strategy(&self) -> Option<SemiJoinStrategy> {
+        match &self.shape {
+            Shape::SemiJoinAgg { strategy, .. } => Some(*strategy),
+            _ => None,
+        }
+    }
+
+    /// The groupjoin strategy chosen, if any.
+    pub fn groupjoin_strategy(&self) -> Option<GroupJoinStrategy> {
+        match &self.shape {
+            Shape::GroupJoinAgg { strategy, .. } => Some(*strategy),
+            _ => None,
+        }
+    }
+}
+
+/// The executable shapes (the plan patterns §§ III-A–III-E optimize).
+#[derive(Debug, Clone)]
+pub(crate) enum Shape {
+    /// scan → filter? → (scalar | group-by) aggregation.
+    ScanAgg {
+        table: String,
+        filter: Option<Expr>,
+        group_by: Option<String>,
+        aggs: Vec<AggSpec>,
+        strategy: AggStrategy,
+    },
+    /// scan → filter? → FK semijoin → scalar aggregation.
+    SemiJoinAgg {
+        probe: String,
+        probe_filter: Option<Expr>,
+        build: String,
+        build_filter: Option<Expr>,
+        fk_col: String,
+        aggs: Vec<AggSpec>,
+        strategy: SemiJoinStrategy,
+        /// `true`: fully masked probe; `false`: selection-vector probe.
+        probe_masked: bool,
+    },
+    /// FK groupjoin: group the probe side by its FK, keeping groups whose
+    /// parent survives the build filter.
+    GroupJoinAgg {
+        probe: String,
+        build: String,
+        build_filter: Option<Expr>,
+        fk_col: String,
+        aggs: Vec<AggSpec>,
+        strategy: GroupJoinStrategy,
+    },
+}
+
+impl Shape {
+    fn describe(&self) -> String {
+        match self {
+            Shape::ScanAgg {
+                table,
+                filter,
+                group_by,
+                aggs,
+                strategy,
+            } => format!(
+                "Aggregate[{}] ({} aggs{}) <- {}Scan {table}",
+                strategy.name(),
+                aggs.len(),
+                group_by
+                    .as_ref()
+                    .map(|g| format!(", group by {g}"))
+                    .unwrap_or_default(),
+                if filter.is_some() { "Filter <- " } else { "" },
+            ),
+            Shape::SemiJoinAgg {
+                probe,
+                build,
+                fk_col,
+                strategy,
+                probe_masked,
+                ..
+            } => format!(
+                "Aggregate <- SemiJoin[{}] {probe}.{fk_col} -> {build} (probe: {})",
+                match strategy {
+                    SemiJoinStrategy::Hash => "hash".to_string(),
+                    SemiJoinStrategy::PositionalBitmap(_) => "positional-bitmap".to_string(),
+                },
+                if *probe_masked { "masked" } else { "selection-vector" },
+            ),
+            Shape::GroupJoinAgg {
+                probe,
+                build,
+                fk_col,
+                strategy,
+                ..
+            } => format!(
+                "GroupJoin[{}] {probe}.{fk_col} -> {build}, group by {fk_col}",
+                match strategy {
+                    GroupJoinStrategy::GroupJoin => "groupjoin",
+                    GroupJoinStrategy::EagerAggregation => "eager-aggregation",
+                },
+            ),
+        }
+    }
+}

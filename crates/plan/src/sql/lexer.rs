@@ -1,0 +1,260 @@
+//! SQL tokenizer.
+
+use super::SqlError;
+
+/// A token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    /// Keyword (uppercased) or identifier (original case).
+    Word(String),
+    /// Integer literal.
+    Number(i64),
+    /// `'...'` string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Sym),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Slash,
+    Plus,
+    Minus,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// SQL keywords (matched case-insensitively; everything else is an
+/// identifier).
+const KEYWORDS: [&str; 20] = [
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "NOT", "AS", "SUM", "COUNT", "MIN",
+    "MAX", "LIKE", "IN", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE",
+];
+
+/// `END` is also a keyword but handled with the CASE machinery.
+pub(crate) fn is_keyword(word: &str) -> bool {
+    KEYWORDS.contains(&word) || word == "END"
+}
+
+pub(crate) fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let pos = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let raw = &input[start..i];
+            let upper = raw.to_ascii_uppercase();
+            out.push(Token {
+                kind: TokenKind::Word(if is_keyword(&upper) { upper } else { raw.to_string() }),
+                pos,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let value: i64 = input[start..i].parse().map_err(|_| SqlError {
+                message: format!("number out of range: {}", &input[start..i]),
+                position: pos,
+            })?;
+            out.push(Token {
+                kind: TokenKind::Number(value),
+                pos,
+            });
+        } else if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(SqlError {
+                        message: "unterminated string literal".into(),
+                        position: pos,
+                    });
+                }
+                if bytes[i] == b'\'' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                        s.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                s.push(bytes[i] as char);
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Str(s),
+                pos,
+            });
+        } else {
+            let sym = match c {
+                '(' => Sym::LParen,
+                ')' => Sym::RParen,
+                ',' => Sym::Comma,
+                '.' => Sym::Dot,
+                '*' => Sym::Star,
+                '/' => Sym::Slash,
+                '+' => Sym::Plus,
+                '-' => Sym::Minus,
+                '=' => Sym::Eq,
+                ';' => {
+                    i += 1;
+                    continue; // trailing semicolons are allowed and ignored
+                }
+                '<' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        i += 1;
+                        Sym::Le
+                    } else if bytes.get(i + 1) == Some(&b'>') {
+                        i += 1;
+                        Sym::Ne
+                    } else {
+                        Sym::Lt
+                    }
+                }
+                '>' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        i += 1;
+                        Sym::Ge
+                    } else {
+                        Sym::Gt
+                    }
+                }
+                '!' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        i += 1;
+                        Sym::Ne
+                    } else {
+                        return Err(SqlError {
+                            message: "expected != after !".into(),
+                            position: pos,
+                        });
+                    }
+                }
+                other => {
+                    return Err(SqlError {
+                        message: format!("unexpected character {other:?}"),
+                        position: pos,
+                    })
+                }
+            };
+            i += 1;
+            out.push(Token {
+                kind: TokenKind::Symbol(sym),
+                pos,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_numbers_symbols() {
+        assert_eq!(
+            kinds("select Sum(a) from R where x <= 13"),
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Word("SUM".into()),
+                TokenKind::Symbol(Sym::LParen),
+                TokenKind::Word("a".into()),
+                TokenKind::Symbol(Sym::RParen),
+                TokenKind::Word("FROM".into()),
+                TokenKind::Word("R".into()),
+                TokenKind::Word("WHERE".into()),
+                TokenKind::Word("x".into()),
+                TokenKind::Symbol(Sym::Le),
+                TokenKind::Number(13),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case_keywords_uppercase() {
+        assert_eq!(
+            kinds("SELECT r_A FROM t"),
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Word("r_A".into()),
+                TokenKind::Word("FROM".into()),
+                TokenKind::Word("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds("'PROMO%' 'it''s'"),
+            vec![
+                TokenKind::Str("PROMO%".into()),
+                TokenKind::Str("it's".into()),
+            ]
+        );
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <> b != c >= 1 <= 2"),
+            vec![
+                TokenKind::Word("a".into()),
+                TokenKind::Symbol(Sym::Ne),
+                TokenKind::Word("b".into()),
+                TokenKind::Symbol(Sym::Ne),
+                TokenKind::Word("c".into()),
+                TokenKind::Symbol(Sym::Ge),
+                TokenKind::Number(1),
+                TokenKind::Symbol(Sym::Le),
+                TokenKind::Number(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = tokenize("select ?").unwrap_err();
+        assert_eq!(err.position, 7);
+    }
+
+    #[test]
+    fn semicolons_ignored() {
+        assert_eq!(kinds("a;"), vec![TokenKind::Word("a".into())]);
+    }
+}

@@ -1,0 +1,55 @@
+//! A SQL frontend for the supported plan shapes.
+//!
+//! Parses the dialect the paper's queries are written in — single-table
+//! aggregation and FK joins with predicates on either side — directly into
+//! a [`crate::LogicalPlan`]:
+//!
+//! ```
+//! use swole_plan::sql::parse;
+//!
+//! let parsed = parse(
+//!     "select r_c, sum(r_a * r_b) as s, count(*) as n \
+//!      from R where r_x < 13 and r_y = 1 group by r_c",
+//! ).unwrap();
+//! assert_eq!(parsed.plan.base_table(), "R");
+//! ```
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := SELECT items FROM table [, table] [WHERE conj] [GROUP BY col]
+//! items   := item (',' item)*
+//! item    := col | SUM(expr) | COUNT(*) | MIN(expr) | MAX(expr) [AS name]
+//! conj    := pred (AND pred)*
+//! pred    := expr with comparisons, OR, NOT, BETWEEN, LIKE, IN (...),
+//!            CASE WHEN ... THEN ... ELSE ... END, arithmetic, parentheses
+//! ```
+//!
+//! Two-table queries become FK semijoins/groupjoins: the join condition
+//! must be `child.fk = parent.rowid` (`rowid` is each table's implicit
+//! dense primary key), other predicates are routed to the side whose
+//! columns they reference, and `GROUP BY fk` selects the groupjoin shape.
+
+mod lexer;
+mod parser;
+
+pub use parser::{parse, ParsedQuery};
+
+use std::fmt;
+
+/// SQL front-end errors, with the offending position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub position: usize,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,955 @@
+//! Recursive-descent parser and plan binder.
+
+use super::lexer::{tokenize, Sym, Token, TokenKind};
+use super::SqlError;
+use crate::expr::{CmpOp, Expr};
+use crate::logical::{AggSpec, LogicalPlan};
+use crate::AggFunc;
+
+/// A successfully parsed query.
+#[derive(Debug, Clone)]
+pub struct ParsedQuery {
+    /// The bound logical plan (feed it to [`crate::Engine::query`]).
+    pub plan: LogicalPlan,
+}
+
+/// Parse a SQL string into a logical plan. See the module docs for the
+/// supported grammar.
+pub fn parse(input: &str) -> Result<ParsedQuery, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, cursor: 0 };
+    let q = p.parse_query()?;
+    p.expect_end()?;
+    bind(q)
+}
+
+// ---------------------------------------------------------------------
+// Parsed (pre-binding) representation
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum PExpr {
+    Col {
+        table: Option<String>,
+        name: String,
+    },
+    Lit(i64),
+    Str(String),
+    Cmp(CmpOp, Box<PExpr>, Box<PExpr>),
+    Add(Box<PExpr>, Box<PExpr>),
+    Sub(Box<PExpr>, Box<PExpr>),
+    Mul(Box<PExpr>, Box<PExpr>),
+    Div(Box<PExpr>, Box<PExpr>),
+    Neg(Box<PExpr>),
+    And(Box<PExpr>, Box<PExpr>),
+    Or(Box<PExpr>, Box<PExpr>),
+    Not(Box<PExpr>),
+    Like {
+        col: Box<PExpr>,
+        pattern: String,
+    },
+    InList {
+        col: Box<PExpr>,
+        values: Vec<String>,
+    },
+    Case {
+        when: Box<PExpr>,
+        then: Box<PExpr>,
+        otherwise: Box<PExpr>,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum SelectItem {
+    /// Bare column (must match the GROUP BY key; the optional qualifier is
+    /// accepted and ignored — the binder resolves by name).
+    Key {
+        #[allow(dead_code)]
+        table: Option<String>,
+        name: String,
+    },
+    /// Aggregate with optional alias.
+    Agg {
+        func: AggFunc,
+        expr: Option<PExpr>, // None for count(*)
+        alias: Option<String>,
+        pos: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Query {
+    items: Vec<SelectItem>,
+    tables: Vec<String>,
+    predicate: Option<PExpr>,
+    group_by: Option<(Option<String>, String)>,
+    pos: usize,
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    cursor: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.cursor).map(|t| &t.kind)
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens
+            .get(self.cursor)
+            .map(|t| t.pos)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.pos + 1).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.cursor).map(|t| t.kind.clone());
+        self.cursor += 1;
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, SqlError> {
+        Err(SqlError {
+            message: message.into(),
+            position: self.pos(),
+        })
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(TokenKind::Word(w)) if w == kw) {
+            self.cursor += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}"))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: Sym) -> bool {
+        if matches!(self.peek(), Some(TokenKind::Symbol(s)) if *s == sym) {
+            self.cursor += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Sym) -> Result<(), SqlError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            self.err(format!("expected {sym:?}"))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, SqlError> {
+        match self.peek() {
+            Some(TokenKind::Word(w)) if !super::lexer::is_keyword(w) => {
+                let w = w.clone();
+                self.cursor += 1;
+                Ok(w)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), SqlError> {
+        if self.cursor == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(SqlError {
+                message: "unexpected trailing input".into(),
+                position: self.pos(),
+            })
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, SqlError> {
+        let pos = self.pos();
+        self.expect_keyword("SELECT")?;
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat_symbol(Sym::Comma) {
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut tables = vec![self.expect_ident()?];
+        while self.eat_symbol(Sym::Comma) {
+            tables.push(self.expect_ident()?);
+        }
+        let predicate = if self.eat_keyword("WHERE") {
+            Some(self.parse_or()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let (t, c) = self.parse_qualified()?;
+            Some((t, c))
+        } else {
+            None
+        };
+        Ok(Query {
+            items,
+            tables,
+            predicate,
+            group_by,
+            pos,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let pos = self.pos();
+        let func = match self.peek() {
+            Some(TokenKind::Word(w)) => match w.as_str() {
+                "SUM" => Some(AggFunc::Sum),
+                "COUNT" => Some(AggFunc::Count),
+                "MIN" => Some(AggFunc::Min),
+                "MAX" => Some(AggFunc::Max),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(func) = func {
+            self.cursor += 1;
+            self.expect_symbol(Sym::LParen)?;
+            let expr = if func == AggFunc::Count && self.eat_symbol(Sym::Star) {
+                None
+            } else {
+                Some(self.parse_add()?)
+            };
+            self.expect_symbol(Sym::RParen)?;
+            let alias = if self.eat_keyword("AS") {
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            Ok(SelectItem::Agg {
+                func,
+                expr,
+                alias,
+                pos,
+            })
+        } else {
+            let (table, name) = self.parse_qualified()?;
+            Ok(SelectItem::Key { table, name })
+        }
+    }
+
+    fn parse_qualified(&mut self) -> Result<(Option<String>, String), SqlError> {
+        let first = self.expect_ident()?;
+        if self.eat_symbol(Sym::Dot) {
+            let second = self.expect_ident()?;
+            Ok((Some(first), second))
+        } else {
+            Ok((None, first))
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<PExpr, SqlError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.parse_and()?;
+            lhs = PExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<PExpr, SqlError> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.parse_not()?;
+            lhs = PExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<PExpr, SqlError> {
+        if self.eat_keyword("NOT") {
+            Ok(PExpr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_cmp()
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<PExpr, SqlError> {
+        let lhs = self.parse_add()?;
+        // Optional postfix predicate forms.
+        let negated = {
+            // `x NOT LIKE ...` / `x NOT IN ...` / `x NOT BETWEEN ...`
+            let save = self.cursor;
+            if self.eat_keyword("NOT") {
+                if matches!(self.peek(), Some(TokenKind::Word(w)) if w == "LIKE" || w == "IN" || w == "BETWEEN")
+                {
+                    true
+                } else {
+                    self.cursor = save;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        let base = if self.eat_keyword("LIKE") {
+            let pattern = match self.bump() {
+                Some(TokenKind::Str(s)) => s,
+                _ => return self.err("LIKE requires a string literal"),
+            };
+            PExpr::Like {
+                col: Box::new(lhs),
+                pattern,
+            }
+        } else if self.eat_keyword("IN") {
+            self.expect_symbol(Sym::LParen)?;
+            let mut values = Vec::new();
+            loop {
+                match self.bump() {
+                    Some(TokenKind::Str(s)) => values.push(s),
+                    _ => return self.err("IN list requires string literals"),
+                }
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            PExpr::InList {
+                col: Box::new(lhs),
+                values,
+            }
+        } else if self.eat_keyword("BETWEEN") {
+            let lo = self.parse_add()?;
+            self.expect_keyword("AND")?;
+            let hi = self.parse_add()?;
+            PExpr::And(
+                Box::new(PExpr::Cmp(CmpOp::Ge, Box::new(lhs.clone()), Box::new(lo))),
+                Box::new(PExpr::Cmp(CmpOp::Le, Box::new(lhs), Box::new(hi))),
+            )
+        } else {
+            let op = match self.peek() {
+                Some(TokenKind::Symbol(Sym::Lt)) => Some(CmpOp::Lt),
+                Some(TokenKind::Symbol(Sym::Le)) => Some(CmpOp::Le),
+                Some(TokenKind::Symbol(Sym::Gt)) => Some(CmpOp::Gt),
+                Some(TokenKind::Symbol(Sym::Ge)) => Some(CmpOp::Ge),
+                Some(TokenKind::Symbol(Sym::Eq)) => Some(CmpOp::Eq),
+                Some(TokenKind::Symbol(Sym::Ne)) => Some(CmpOp::Ne),
+                _ => None,
+            };
+            match op {
+                Some(op) => {
+                    self.cursor += 1;
+                    let rhs = self.parse_add()?;
+                    PExpr::Cmp(op, Box::new(lhs), Box::new(rhs))
+                }
+                None => {
+                    if negated {
+                        return self.err("NOT must precede LIKE/IN/BETWEEN here");
+                    }
+                    return Ok(lhs);
+                }
+            }
+        };
+        Ok(if negated {
+            PExpr::Not(Box::new(base))
+        } else {
+            base
+        })
+    }
+
+    fn parse_add(&mut self) -> Result<PExpr, SqlError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            if self.eat_symbol(Sym::Plus) {
+                lhs = PExpr::Add(Box::new(lhs), Box::new(self.parse_mul()?));
+            } else if self.eat_symbol(Sym::Minus) {
+                lhs = PExpr::Sub(Box::new(lhs), Box::new(self.parse_mul()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<PExpr, SqlError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            if self.eat_symbol(Sym::Star) {
+                lhs = PExpr::Mul(Box::new(lhs), Box::new(self.parse_unary()?));
+            } else if self.eat_symbol(Sym::Slash) {
+                lhs = PExpr::Div(Box::new(lhs), Box::new(self.parse_unary()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<PExpr, SqlError> {
+        if self.eat_symbol(Sym::Minus) {
+            Ok(PExpr::Neg(Box::new(self.parse_unary()?)))
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<PExpr, SqlError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Number(n)) => {
+                self.cursor += 1;
+                Ok(PExpr::Lit(n))
+            }
+            Some(TokenKind::Str(s)) => {
+                self.cursor += 1;
+                Ok(PExpr::Str(s))
+            }
+            Some(TokenKind::Symbol(Sym::LParen)) => {
+                self.cursor += 1;
+                let inner = self.parse_or()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(inner)
+            }
+            Some(TokenKind::Word(w)) if w == "CASE" => {
+                self.cursor += 1;
+                self.expect_keyword("WHEN")?;
+                let when = self.parse_or()?;
+                self.expect_keyword("THEN")?;
+                let then = self.parse_or()?;
+                self.expect_keyword("ELSE")?;
+                let otherwise = self.parse_or()?;
+                if !self.eat_keyword("END") {
+                    return self.err("expected END to close CASE");
+                }
+                Ok(PExpr::Case {
+                    when: Box::new(when),
+                    then: Box::new(then),
+                    otherwise: Box::new(otherwise),
+                })
+            }
+            Some(TokenKind::Word(w)) if !super::lexer::is_keyword(&w) => {
+                let (table, name) = self.parse_qualified()?;
+                Ok(PExpr::Col { table, name })
+            }
+            _ => self.err("expected expression"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binding: PExpr/Query → LogicalPlan
+// ---------------------------------------------------------------------
+
+/// Which tables an expression references (by qualifier; unqualified columns
+/// count as "any", resolved against the single-table context).
+fn tables_of(e: &PExpr, out: &mut Vec<Option<String>>) {
+    match e {
+        PExpr::Col { table, .. } => {
+            if !out.contains(table) {
+                out.push(table.clone());
+            }
+        }
+        PExpr::Lit(_) | PExpr::Str(_) => {}
+        PExpr::Cmp(_, a, b)
+        | PExpr::Add(a, b)
+        | PExpr::Sub(a, b)
+        | PExpr::Mul(a, b)
+        | PExpr::Div(a, b)
+        | PExpr::And(a, b)
+        | PExpr::Or(a, b) => {
+            tables_of(a, out);
+            tables_of(b, out);
+        }
+        PExpr::Neg(a) | PExpr::Not(a) => tables_of(a, out),
+        PExpr::Like { col, .. } | PExpr::InList { col, .. } => tables_of(col, out),
+        PExpr::Case {
+            when,
+            then,
+            otherwise,
+        } => {
+            tables_of(when, out);
+            tables_of(then, out);
+            tables_of(otherwise, out);
+        }
+    }
+}
+
+/// Convert a bound `PExpr` to an engine `Expr`, stripping qualifiers and
+/// rewriting string comparisons into dictionary predicates.
+fn to_expr(e: &PExpr, pos: usize) -> Result<Expr, SqlError> {
+    let fail = |message: String| SqlError { message, position: pos };
+    Ok(match e {
+        PExpr::Col { name, .. } => Expr::Col(name.clone()),
+        PExpr::Lit(v) => Expr::Lit(*v),
+        PExpr::Str(s) => {
+            return Err(fail(format!(
+                "string literal '{s}' is only valid with =, <>, LIKE or IN"
+            )))
+        }
+        PExpr::Cmp(op, a, b) => {
+            // `col = 'str'` / `'str' = col` → dictionary membership.
+            let str_side = match (&**a, &**b) {
+                (PExpr::Str(s), other) | (other, PExpr::Str(s)) => Some((s.clone(), other)),
+                _ => None,
+            };
+            if let Some((s, col)) = str_side {
+                let col_name = match col {
+                    PExpr::Col { name, .. } => name.clone(),
+                    _ => return Err(fail("string comparison requires a column".into())),
+                };
+                let inlist = Expr::InList {
+                    col: col_name,
+                    values: vec![s],
+                };
+                return match op {
+                    CmpOp::Eq => Ok(inlist),
+                    CmpOp::Ne => Ok(Expr::Not(Box::new(inlist))),
+                    _ => Err(fail("strings only support = and <>".into())),
+                };
+            }
+            Expr::Cmp(*op, Box::new(to_expr(a, pos)?), Box::new(to_expr(b, pos)?))
+        }
+        PExpr::Add(a, b) => Expr::Add(Box::new(to_expr(a, pos)?), Box::new(to_expr(b, pos)?)),
+        PExpr::Sub(a, b) => Expr::Sub(Box::new(to_expr(a, pos)?), Box::new(to_expr(b, pos)?)),
+        PExpr::Mul(a, b) => Expr::Mul(Box::new(to_expr(a, pos)?), Box::new(to_expr(b, pos)?)),
+        PExpr::Div(a, b) => Expr::Div(Box::new(to_expr(a, pos)?), Box::new(to_expr(b, pos)?)),
+        PExpr::Neg(a) => Expr::Sub(Box::new(Expr::Lit(0)), Box::new(to_expr(a, pos)?)),
+        PExpr::And(a, b) => to_expr(a, pos)?.and(to_expr(b, pos)?),
+        PExpr::Or(a, b) => to_expr(a, pos)?.or(to_expr(b, pos)?),
+        PExpr::Not(a) => Expr::Not(Box::new(to_expr(a, pos)?)),
+        PExpr::Like { col, pattern } => match &**col {
+            PExpr::Col { name, .. } => Expr::Like {
+                col: name.clone(),
+                pattern: pattern.clone(),
+            },
+            _ => return Err(fail("LIKE requires a column".into())),
+        },
+        PExpr::InList { col, values } => match &**col {
+            PExpr::Col { name, .. } => Expr::InList {
+                col: name.clone(),
+                values: values.clone(),
+            },
+            _ => return Err(fail("IN requires a column".into())),
+        },
+        PExpr::Case {
+            when,
+            then,
+            otherwise,
+        } => Expr::Case {
+            when: Box::new(to_expr(when, pos)?),
+            then: Box::new(to_expr(then, pos)?),
+            otherwise: Box::new(to_expr(otherwise, pos)?),
+        },
+    })
+}
+
+/// Flatten a top-level AND chain.
+fn conjuncts(e: PExpr, out: &mut Vec<PExpr>) {
+    match e {
+        PExpr::And(a, b) => {
+            conjuncts(*a, out);
+            conjuncts(*b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn agg_specs(items: &[SelectItem], group_by: Option<&str>) -> Result<Vec<AggSpec>, SqlError> {
+    let mut aggs = Vec::new();
+    let mut auto = 0usize;
+    for item in items {
+        match item {
+            SelectItem::Key { name, .. } => {
+                if group_by != Some(name.as_str()) {
+                    return Err(SqlError {
+                        message: format!(
+                            "bare column {name} must match the GROUP BY key"
+                        ),
+                        position: 0,
+                    });
+                }
+            }
+            SelectItem::Agg {
+                func,
+                expr,
+                alias,
+                pos,
+            } => {
+                let name = alias.clone().unwrap_or_else(|| {
+                    auto += 1;
+                    format!("agg{auto}")
+                });
+                let expr = match expr {
+                    Some(e) => to_expr(e, *pos)?,
+                    None => Expr::Lit(1),
+                };
+                aggs.push(AggSpec {
+                    func: *func,
+                    expr,
+                    name,
+                });
+            }
+        }
+    }
+    if aggs.is_empty() {
+        return Err(SqlError {
+            message: "query needs at least one aggregate (sum/count/min/max)".into(),
+            position: 0,
+        });
+    }
+    Ok(aggs)
+}
+
+fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
+    let fail = |message: String| SqlError {
+        message,
+        position: q.pos,
+    };
+    match q.tables.len() {
+        1 => {
+            let table = q.tables[0].clone();
+            let group_by = q.group_by.as_ref().map(|(_, c)| c.clone());
+            let aggs = agg_specs(&q.items, group_by.as_deref())?;
+            let mut input = LogicalPlan::Scan { table };
+            if let Some(pred) = &q.predicate {
+                input = LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate: to_expr(pred, q.pos)?,
+                };
+            }
+            Ok(ParsedQuery {
+                plan: LogicalPlan::Aggregate {
+                    input: Box::new(input),
+                    group_by,
+                    aggs,
+                },
+            })
+        }
+        2 => {
+            let predicate = q
+                .predicate
+                .clone()
+                .ok_or_else(|| fail("two-table queries need a join condition".into()))?;
+            let mut parts = Vec::new();
+            conjuncts(predicate, &mut parts);
+            // Find the join conjunct: child.fk = parent.rowid.
+            let mut join: Option<(String, String, String)> = None; // child, fk, parent
+            let mut rest = Vec::new();
+            for part in parts {
+                if let PExpr::Cmp(CmpOp::Eq, a, b) = &part {
+                    if let (
+                        PExpr::Col {
+                            table: Some(t1),
+                            name: n1,
+                        },
+                        PExpr::Col {
+                            table: Some(t2),
+                            name: n2,
+                        },
+                    ) = (&**a, &**b)
+                    {
+                        let found = if n2 == "rowid" {
+                            Some((t1.clone(), n1.clone(), t2.clone()))
+                        } else if n1 == "rowid" {
+                            Some((t2.clone(), n2.clone(), t1.clone()))
+                        } else {
+                            None
+                        };
+                        if let Some(j) = found {
+                            if join.is_some() {
+                                return Err(fail("multiple join conditions".into()));
+                            }
+                            join = Some(j);
+                            continue;
+                        }
+                    }
+                }
+                rest.push(part);
+            }
+            let (child, fk_col, parent) = join.ok_or_else(|| {
+                fail("no join condition of the form child.fk = parent.rowid".into())
+            })?;
+            if !q.tables.contains(&child) || !q.tables.contains(&parent) || child == parent {
+                return Err(fail(format!(
+                    "join references {child}/{parent}, FROM lists {:?}",
+                    q.tables
+                )));
+            }
+            // Route remaining conjuncts by the (single) table they mention.
+            let mut child_pred: Option<Expr> = None;
+            let mut parent_pred: Option<Expr> = None;
+            for part in rest {
+                let mut mentioned = Vec::new();
+                tables_of(&part, &mut mentioned);
+                let target = match mentioned.as_slice() {
+                    [Some(t)] if *t == child => &mut child_pred,
+                    [Some(t)] if *t == parent => &mut parent_pred,
+                    [Some(t)] => {
+                        return Err(fail(format!("unknown table qualifier {t}")))
+                    }
+                    _ => {
+                        return Err(fail(
+                            "two-table predicates must qualify every column with its \
+                             table and reference exactly one table per conjunct"
+                                .into(),
+                        ))
+                    }
+                };
+                let bound = to_expr(&part, q.pos)?;
+                *target = Some(match target.take() {
+                    Some(existing) => existing.and(bound),
+                    None => bound,
+                });
+            }
+            let group_by = match &q.group_by {
+                None => None,
+                Some((qualifier, col)) => {
+                    if let Some(t) = qualifier {
+                        if *t != child {
+                            return Err(fail(
+                                "GROUP BY over a join must use the child's FK column".into(),
+                            ));
+                        }
+                    }
+                    Some(col.clone())
+                }
+            };
+            let aggs = agg_specs(&q.items, group_by.as_deref())?;
+            let mut probe: LogicalPlan = LogicalPlan::Scan { table: child };
+            if let Some(p) = child_pred {
+                probe = LogicalPlan::Filter {
+                    input: Box::new(probe),
+                    predicate: p,
+                };
+            }
+            let mut build: LogicalPlan = LogicalPlan::Scan { table: parent };
+            if let Some(p) = parent_pred {
+                build = LogicalPlan::Filter {
+                    input: Box::new(build),
+                    predicate: p,
+                };
+            }
+            Ok(ParsedQuery {
+                plan: LogicalPlan::Aggregate {
+                    input: Box::new(LogicalPlan::SemiJoin {
+                        input: Box::new(probe),
+                        build: Box::new(build),
+                        fk_col,
+                    }),
+                    group_by,
+                    aggs,
+                },
+            })
+        }
+        n => Err(fail(format!("FROM supports 1 or 2 tables, got {n}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryBuilder;
+
+    #[test]
+    fn micro_q1_shape() {
+        let got = parse(
+            "select sum(r_a * r_b) as s from R where r_x < 13 and r_y = 1",
+        )
+        .unwrap()
+        .plan;
+        let expected = QueryBuilder::scan("R")
+            .filter(
+                Expr::col("r_x")
+                    .cmp(CmpOp::Lt, Expr::lit(13))
+                    .and(Expr::col("r_y").cmp(CmpOp::Eq, Expr::lit(1))),
+            )
+            .aggregate(
+                None,
+                vec![AggSpec::sum(Expr::col("r_a").mul(Expr::col("r_b")), "s")],
+            );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn micro_q2_group_by() {
+        let got = parse(
+            "select r_c, sum(r_a * r_b) as s, count(*) as n \
+             from R where r_x < 50 group by r_c",
+        )
+        .unwrap()
+        .plan;
+        match got {
+            LogicalPlan::Aggregate {
+                group_by, aggs, ..
+            } => {
+                assert_eq!(group_by.as_deref(), Some("r_c"));
+                assert_eq!(aggs.len(), 2);
+                assert_eq!(aggs[1].func, AggFunc::Count);
+                assert_eq!(aggs[1].name, "n");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_table_semijoin() {
+        let got = parse(
+            "select sum(R.r_a) from R, S \
+             where R.r_fk = S.rowid and S.s_x < 13 and R.r_x < 50",
+        )
+        .unwrap()
+        .plan;
+        match got {
+            LogicalPlan::Aggregate { input, group_by, .. } => {
+                assert!(group_by.is_none());
+                match *input {
+                    LogicalPlan::SemiJoin {
+                        input: probe,
+                        build,
+                        fk_col,
+                    } => {
+                        assert_eq!(fk_col, "r_fk");
+                        assert!(matches!(*probe, LogicalPlan::Filter { .. }));
+                        assert!(matches!(*build, LogicalPlan::Filter { .. }));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn groupjoin_via_group_by_fk() {
+        let got = parse(
+            "select R.r_fk, sum(R.r_a * R.r_b) as s from R, S \
+             where R.r_fk = S.rowid and S.s_x < 13 group by R.r_fk",
+        )
+        .unwrap()
+        .plan;
+        match got {
+            LogicalPlan::Aggregate { group_by, .. } => {
+                assert_eq!(group_by.as_deref(), Some("r_fk"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_like_in_case() {
+        let plan = parse(
+            "select sum(case when disc between 5 and 7 then price else 0 end) as s \
+             from L where mode in ('AIR', 'MAIL') and note not like '%x%'",
+        )
+        .unwrap()
+        .plan;
+        let LogicalPlan::Aggregate { input, aggs, .. } = plan else {
+            panic!()
+        };
+        assert!(matches!(aggs[0].expr, Expr::Case { .. }));
+        let LogicalPlan::Filter { predicate, .. } = *input else {
+            panic!()
+        };
+        // in-list AND not-like
+        let Expr::And(a, b) = predicate else { panic!() };
+        assert!(matches!(*a, Expr::InList { .. }));
+        assert!(matches!(*b, Expr::Not(_)));
+    }
+
+    #[test]
+    fn string_equality_becomes_dictionary_predicate() {
+        let plan = parse("select count(*) from C where seg = 'BUILDING'")
+            .unwrap()
+            .plan;
+        let LogicalPlan::Aggregate { input, .. } = plan else {
+            panic!()
+        };
+        let LogicalPlan::Filter { predicate, .. } = *input else {
+            panic!()
+        };
+        assert_eq!(
+            predicate,
+            Expr::InList {
+                col: "seg".into(),
+                values: vec!["BUILDING".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * c < 10 or d = 1 and e = 2  ⇒  ((a+(b*c)) < 10) OR ((d=1) AND (e=2))
+        let plan = parse("select count(*) from T where a + b * c < 10 or d = 1 and e = 2")
+            .unwrap()
+            .plan;
+        let LogicalPlan::Aggregate { input, .. } = plan else {
+            panic!()
+        };
+        let LogicalPlan::Filter { predicate, .. } = *input else {
+            panic!()
+        };
+        let Expr::Or(lhs, rhs) = predicate else {
+            panic!("OR must be outermost")
+        };
+        assert!(matches!(*lhs, Expr::Cmp(CmpOp::Lt, _, _)));
+        assert!(matches!(*rhs, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn count_star_and_aliases() {
+        let plan = parse("select count(*), sum(v) from T").unwrap().plan;
+        let LogicalPlan::Aggregate { aggs, .. } = plan else {
+            panic!()
+        };
+        assert_eq!(aggs[0].name, "agg1");
+        assert_eq!(aggs[1].name, "agg2");
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse("").is_err());
+        assert!(parse("select from T").is_err());
+        assert!(parse("select sum(a) from").is_err());
+        assert!(parse("select sum(a) from T where").is_err());
+        assert!(parse("select a from T").is_err(), "bare column without group by");
+        assert!(parse("select sum(a) from T extra").is_err(), "trailing input");
+        assert!(parse("select sum(a) from A, B, C where x = 1").is_err(), "3 tables");
+        assert!(
+            parse("select sum(a) from A, B where A.x < 3").is_err(),
+            "missing join condition"
+        );
+        assert!(
+            parse("select sum(a) from T where name = unquoted").is_err()
+                || parse("select sum(a) from T where name = unquoted").is_ok(),
+            "column=column comparison parses"
+        );
+        let err = parse("select sum(a) from T where x < 'oops'").unwrap_err();
+        assert!(err.message.contains("string"), "{err}");
+    }
+
+    #[test]
+    fn negative_literals() {
+        let plan = parse("select sum(a) from T where x < -5").unwrap().plan;
+        let LogicalPlan::Aggregate { input, .. } = plan else {
+            panic!()
+        };
+        let LogicalPlan::Filter { predicate, .. } = *input else {
+            panic!()
+        };
+        // -5 parses as 0 - 5.
+        assert!(matches!(predicate, Expr::Cmp(CmpOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("SELECT SUM(a) FROM t WHERE x < 1 GROUP BY c").is_ok());
+        let ok = parse("SeLeCt sum(a) As s FrOm t WhErE x BeTwEeN 1 AnD 2");
+        assert!(ok.is_ok(), "{ok:?}");
+    }
+}

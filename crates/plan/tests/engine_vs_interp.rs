@@ -1,0 +1,309 @@
+//! Cross-check: the access-aware engine must produce byte-identical
+//! results to the naive reference interpreter on every supported plan
+//! shape, whatever strategies the cost model picks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swole_plan::{
+    interp, AggSpec, CmpOp, Database, Engine, Expr, LogicalPlan, PlanError, QueryBuilder,
+};
+use swole_storage::{ColumnData, DictColumn, Table};
+
+fn test_db(seed: u64, n_r: usize, n_s: usize) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let modes = ["AIR", "RAIL", "SHIP", "MAIL"];
+    db.add_table(
+        Table::new("R")
+            .with_column(
+                "x",
+                ColumnData::I8((0..n_r).map(|_| rng.gen_range(0..100)).collect()),
+            )
+            .with_column(
+                "a",
+                ColumnData::I32((0..n_r).map(|_| rng.gen_range(1..50)).collect()),
+            )
+            .with_column(
+                "b",
+                ColumnData::I32((0..n_r).map(|_| rng.gen_range(1..50)).collect()),
+            )
+            .with_column(
+                "c",
+                ColumnData::I16((0..n_r).map(|_| rng.gen_range(0..16)).collect()),
+            )
+            .with_column(
+                "fk",
+                ColumnData::U32((0..n_r).map(|_| rng.gen_range(0..n_s as u32)).collect()),
+            )
+            .with_column(
+                "mode",
+                ColumnData::Dict(DictColumn::encode(
+                    &(0..n_r)
+                        .map(|_| modes[rng.gen_range(0..modes.len())])
+                        .collect::<Vec<_>>(),
+                )),
+            ),
+    );
+    db.add_table(Table::new("S").with_column(
+        "y",
+        ColumnData::I8((0..n_s).map(|_| rng.gen_range(0..100)).collect()),
+    ));
+    db.add_fk("R", "fk", "S").unwrap();
+    db
+}
+
+fn check(db: Database, plan: &LogicalPlan) {
+    let expected = interp::run(&db, plan).expect("interp");
+    let engine = Engine::new(db);
+    let explain = engine.explain(plan).expect("explain");
+    let got = engine.query(plan).expect("engine");
+    assert_eq!(got, expected, "plan: {explain}");
+}
+
+#[test]
+fn scalar_agg_across_selectivities() {
+    for sel in [0i64, 7, 50, 93, 100] {
+        let plan = QueryBuilder::scan("R")
+            .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(sel)))
+            .aggregate(
+                None,
+                vec![
+                    AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                    AggSpec::count("n"),
+                ],
+            );
+        check(test_db(sel as u64, 10_000, 64), &plan);
+    }
+}
+
+#[test]
+fn scalar_agg_no_filter() {
+    let plan = QueryBuilder::scan("R").aggregate(
+        None,
+        vec![AggSpec::sum(Expr::col("a"), "s"), AggSpec::count("n")],
+    );
+    check(test_db(1, 5_000, 16), &plan);
+}
+
+#[test]
+fn min_max_force_hybrid_and_match() {
+    let plan = QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Ge, Expr::lit(40)))
+        .aggregate(
+            None,
+            vec![
+                AggSpec::min(Expr::col("a"), "lo"),
+                AggSpec::max(Expr::col("a").mul(Expr::col("b")), "hi"),
+                AggSpec::count("n"),
+            ],
+        );
+    let db = test_db(2, 8_000, 16);
+    let physical = Engine::new(test_db(2, 8_000, 16)).plan(&plan).unwrap();
+    assert_eq!(
+        physical.agg_strategy(),
+        Some(swole_cost::AggStrategy::Hybrid)
+    );
+    check(db, &plan);
+}
+
+#[test]
+fn empty_selection_yields_zeros() {
+    let plan = QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(-5)))
+        .aggregate(
+            None,
+            vec![AggSpec::sum(Expr::col("a"), "s"), AggSpec::min(Expr::col("a"), "m")],
+        );
+    let db = test_db(3, 2_000, 16);
+    let expected = interp::run(&db, &plan).unwrap();
+    assert_eq!(expected.rows, vec![vec![0, 0]]);
+    check(db, &plan);
+}
+
+#[test]
+fn groupby_agg_across_selectivities() {
+    for sel in [0i64, 13, 60, 100] {
+        let plan = QueryBuilder::scan("R")
+            .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(sel)))
+            .aggregate(
+                Some("c"),
+                vec![
+                    AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                    AggSpec::count("n"),
+                ],
+            );
+        check(test_db(100 + sel as u64, 12_000, 32), &plan);
+    }
+}
+
+#[test]
+fn groupby_min_max_hybrid() {
+    let plan = QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(70)))
+        .aggregate(
+            Some("c"),
+            vec![
+                AggSpec::min(Expr::col("a"), "lo"),
+                AggSpec::max(Expr::col("a"), "hi"),
+            ],
+        );
+    check(test_db(5, 6_000, 16), &plan);
+}
+
+#[test]
+fn dictionary_predicates() {
+    let plan = QueryBuilder::scan("R")
+        .filter(Expr::InList {
+            col: "mode".into(),
+            values: vec!["AIR".into(), "MAIL".into()],
+        })
+        .aggregate(Some("c"), vec![AggSpec::sum(Expr::col("a"), "s")]);
+    check(test_db(6, 7_000, 16), &plan);
+
+    let like = QueryBuilder::scan("R")
+        .filter(Expr::Like {
+            col: "mode".into(),
+            pattern: "%AI%".into(),
+        })
+        .aggregate(None, vec![AggSpec::count("n")]);
+    check(test_db(7, 7_000, 16), &like);
+}
+
+#[test]
+fn case_expression_masked_evaluation() {
+    let plan = QueryBuilder::scan("R").aggregate(
+        None,
+        vec![AggSpec::sum(
+            Expr::Case {
+                when: Box::new(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(30))),
+                then: Box::new(Expr::col("a").mul(Expr::lit(2))),
+                otherwise: Box::new(Expr::col("b")),
+            },
+            "s",
+        )],
+    );
+    check(test_db(8, 9_000, 16), &plan);
+}
+
+#[test]
+fn semijoin_agg_all_quadrants() {
+    for (sel_r, sel_s) in [(10, 90), (90, 10), (50, 50), (100, 100), (0, 50)] {
+        let plan = QueryBuilder::scan("R")
+            .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(sel_r)))
+            .semijoin(
+                QueryBuilder::scan("S").filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(sel_s))),
+                "fk",
+            )
+            .aggregate(
+                None,
+                vec![
+                    AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                    AggSpec::count("n"),
+                ],
+            );
+        check(test_db(200 + sel_r as u64, 10_000, 256), &plan);
+    }
+}
+
+#[test]
+fn semijoin_unfiltered_probe() {
+    let plan = QueryBuilder::scan("R")
+        .semijoin(
+            QueryBuilder::scan("S").filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(40))),
+            "fk",
+        )
+        .aggregate(None, vec![AggSpec::sum(Expr::col("a"), "s")]);
+    check(test_db(9, 10_000, 128), &plan);
+}
+
+#[test]
+fn groupjoin_both_strategies_match() {
+    // Small S → eager aggregation; verify against interp either way.
+    for (n_s, sel) in [(32usize, 50i64), (4096, 5), (4096, 95)] {
+        let plan = QueryBuilder::scan("R")
+            .semijoin(
+                QueryBuilder::scan("S").filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(sel))),
+                "fk",
+            )
+            .aggregate(
+                Some("fk"),
+                vec![
+                    AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                    AggSpec::count("n"),
+                ],
+            );
+        check(test_db(300 + n_s as u64 + sel as u64, 20_000, n_s), &plan);
+    }
+}
+
+#[test]
+fn explain_mentions_chosen_technique() {
+    let db = test_db(10, 50_000, 64);
+    let engine = Engine::new(db);
+    let plan = QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(60)))
+        .aggregate(
+            Some("c"),
+            vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+        );
+    let text = engine.explain(&plan).unwrap();
+    assert!(
+        text.contains("masking") || text.contains("hybrid"),
+        "{text}"
+    );
+    assert!(text.contains("Scan R"), "{text}");
+}
+
+#[test]
+fn unsupported_shapes_error_cleanly() {
+    let db = test_db(11, 100, 16);
+    let engine = Engine::new(db);
+    // No aggregation on top.
+    let bare = QueryBuilder::scan("R").build();
+    assert!(matches!(
+        engine.plan(&bare),
+        Err(PlanError::Unsupported(_))
+    ));
+    // Unknown table / column.
+    let bad_table = QueryBuilder::scan("ZZZ").aggregate(None, vec![AggSpec::count("n")]);
+    assert!(matches!(
+        engine.plan(&bad_table),
+        Err(PlanError::UnknownTable(_))
+    ));
+    let bad_col = QueryBuilder::scan("R")
+        .filter(Expr::col("nope").cmp(CmpOp::Lt, Expr::lit(1)))
+        .aggregate(None, vec![AggSpec::count("n")]);
+    assert!(matches!(
+        engine.plan(&bad_col),
+        Err(PlanError::UnknownColumn { .. })
+    ));
+    // Group-by over a semijoin on a non-FK column.
+    let bad_group = QueryBuilder::scan("R")
+        .semijoin(QueryBuilder::scan("S"), "fk")
+        .aggregate(Some("c"), vec![AggSpec::count("n")]);
+    assert!(matches!(
+        engine.plan(&bad_group),
+        Err(PlanError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn filter_above_semijoin_is_probe_filter() {
+    let plan = LogicalPlan::Aggregate {
+        input: Box::new(LogicalPlan::Filter {
+            input: Box::new(
+                QueryBuilder::scan("R")
+                    .semijoin(
+                        QueryBuilder::scan("S")
+                            .filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(50))),
+                        "fk",
+                    )
+                    .build(),
+            ),
+            predicate: Expr::col("x").cmp(CmpOp::Lt, Expr::lit(30)),
+        }),
+        group_by: None,
+        aggs: vec![AggSpec::sum(Expr::col("a"), "s")],
+    };
+    check(test_db(12, 8_000, 64), &plan);
+}

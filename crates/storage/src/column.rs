@@ -1,0 +1,278 @@
+//! Typed in-memory columns.
+
+use crate::dict::DictColumn;
+
+/// Physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 8-bit signed integer.
+    I8,
+    /// 16-bit signed integer.
+    I16,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer (also used for fixed-point decimals).
+    I64,
+    /// 32-bit unsigned integer (row ids, dictionary codes, foreign keys).
+    U32,
+    /// Dictionary-encoded string.
+    Dict,
+}
+
+impl DataType {
+    /// Width of one value in bytes (dictionary codes count as 4).
+    pub fn width(self) -> usize {
+        match self {
+            DataType::I8 => 1,
+            DataType::I16 => 2,
+            DataType::I32 | DataType::U32 | DataType::Dict => 4,
+            DataType::I64 => 8,
+        }
+    }
+}
+
+/// A single column of values.
+///
+/// Narrow integer variants exist because the paper stores low-cardinality
+/// integer columns null-suppressed (§ IV: "null suppression for
+/// low-cardinality integer columns"); [`ColumnData::compress_i64`] performs
+/// that compression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 8-bit signed integers.
+    I8(Vec<i8>),
+    /// 16-bit signed integers.
+    I16(Vec<i16>),
+    /// 32-bit signed integers.
+    I32(Vec<i32>),
+    /// 64-bit signed integers.
+    I64(Vec<i64>),
+    /// 32-bit unsigned integers.
+    U32(Vec<u32>),
+    /// Dictionary-encoded strings.
+    Dict(DictColumn),
+}
+
+impl ColumnData {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::I8(v) => v.len(),
+            ColumnData::I16(v) => v.len(),
+            ColumnData::I32(v) => v.len(),
+            ColumnData::I64(v) => v.len(),
+            ColumnData::U32(v) => v.len(),
+            ColumnData::Dict(d) => d.len(),
+        }
+    }
+
+    /// `true` if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::I8(_) => DataType::I8,
+            ColumnData::I16(_) => DataType::I16,
+            ColumnData::I32(_) => DataType::I32,
+            ColumnData::I64(_) => DataType::I64,
+            ColumnData::U32(_) => DataType::U32,
+            ColumnData::Dict(_) => DataType::Dict,
+        }
+    }
+
+    /// Bytes occupied by the value payload (used by the cost model to decide
+    /// whether a working set fits in cache).
+    pub fn size_bytes(&self) -> usize {
+        self.len() * self.data_type().width()
+    }
+
+    /// Value at row `i` widened to `i64`. Dictionary columns return the code.
+    ///
+    /// This is the slow row-at-a-time accessor used by the reference
+    /// interpreter and by tests; kernels borrow the typed slices instead.
+    pub fn get_i64(&self, i: usize) -> i64 {
+        match self {
+            ColumnData::I8(v) => v[i] as i64,
+            ColumnData::I16(v) => v[i] as i64,
+            ColumnData::I32(v) => v[i] as i64,
+            ColumnData::I64(v) => v[i],
+            ColumnData::U32(v) => v[i] as i64,
+            ColumnData::Dict(d) => d.code(i) as i64,
+        }
+    }
+
+    /// Borrow as `&[i8]`, if that is the physical type.
+    pub fn as_i8(&self) -> Option<&[i8]> {
+        match self {
+            ColumnData::I8(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[i16]`, if that is the physical type.
+    pub fn as_i16(&self) -> Option<&[i16]> {
+        match self {
+            ColumnData::I16(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[i32]`, if that is the physical type.
+    pub fn as_i32(&self) -> Option<&[i32]> {
+        match self {
+            ColumnData::I32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[i64]`, if that is the physical type.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            ColumnData::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[u32]`, if that is the physical type.
+    pub fn as_u32(&self) -> Option<&[u32]> {
+        match self {
+            ColumnData::U32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the dictionary column, if that is the physical type.
+    pub fn as_dict(&self) -> Option<&DictColumn> {
+        match self {
+            ColumnData::Dict(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Null-suppress a stream of `i64` values into the narrowest integer
+    /// representation that holds the whole value range.
+    ///
+    /// The paper (§ IV) stores low-cardinality integer columns this way;
+    /// narrower values mean more values per cache line, which directly feeds
+    /// the `read_seq` term of the cost models.
+    pub fn compress_i64(values: &[i64]) -> ColumnData {
+        let (mut min, mut max) = (i64::MAX, i64::MIN);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if values.is_empty() || (min >= i8::MIN as i64 && max <= i8::MAX as i64) {
+            ColumnData::I8(values.iter().map(|&v| v as i8).collect())
+        } else if min >= i16::MIN as i64 && max <= i16::MAX as i64 {
+            ColumnData::I16(values.iter().map(|&v| v as i16).collect())
+        } else if min >= i32::MIN as i64 && max <= i32::MAX as i64 {
+            ColumnData::I32(values.iter().map(|&v| v as i32).collect())
+        } else {
+            ColumnData::I64(values.to_vec())
+        }
+    }
+
+    /// Materialize every value widened to `i64` (used by the reference
+    /// interpreter; not a hot path).
+    pub fn to_i64_vec(&self) -> Vec<i64> {
+        (0..self.len()).map(|i| self.get_i64(i)).collect()
+    }
+}
+
+impl From<Vec<i8>> for ColumnData {
+    fn from(v: Vec<i8>) -> Self {
+        ColumnData::I8(v)
+    }
+}
+impl From<Vec<i16>> for ColumnData {
+    fn from(v: Vec<i16>) -> Self {
+        ColumnData::I16(v)
+    }
+}
+impl From<Vec<i32>> for ColumnData {
+    fn from(v: Vec<i32>) -> Self {
+        ColumnData::I32(v)
+    }
+}
+impl From<Vec<i64>> for ColumnData {
+    fn from(v: Vec<i64>) -> Self {
+        ColumnData::I64(v)
+    }
+}
+impl From<Vec<u32>> for ColumnData {
+    fn from(v: Vec<u32>) -> Self {
+        ColumnData::U32(v)
+    }
+}
+impl From<DictColumn> for ColumnData {
+    fn from(d: DictColumn) -> Self {
+        ColumnData::Dict(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compress_picks_narrowest_width() {
+        assert_eq!(
+            ColumnData::compress_i64(&[1, 2, -3]).data_type(),
+            DataType::I8
+        );
+        assert_eq!(
+            ColumnData::compress_i64(&[1, 300]).data_type(),
+            DataType::I16
+        );
+        assert_eq!(
+            ColumnData::compress_i64(&[1, 70_000]).data_type(),
+            DataType::I32
+        );
+        assert_eq!(
+            ColumnData::compress_i64(&[1, 1 << 40]).data_type(),
+            DataType::I64
+        );
+    }
+
+    #[test]
+    fn compress_round_trips_values() {
+        let vals = vec![-5, 0, 7, 127, -128];
+        let col = ColumnData::compress_i64(&vals);
+        assert_eq!(col.to_i64_vec(), vals);
+    }
+
+    #[test]
+    fn compress_empty_is_i8() {
+        let col = ColumnData::compress_i64(&[]);
+        assert_eq!(col.data_type(), DataType::I8);
+        assert!(col.is_empty());
+    }
+
+    #[test]
+    fn get_i64_widens_every_type() {
+        assert_eq!(ColumnData::I8(vec![-1]).get_i64(0), -1);
+        assert_eq!(ColumnData::I16(vec![-300]).get_i64(0), -300);
+        assert_eq!(ColumnData::I32(vec![1 << 20]).get_i64(0), 1 << 20);
+        assert_eq!(ColumnData::I64(vec![1 << 40]).get_i64(0), 1 << 40);
+        assert_eq!(ColumnData::U32(vec![u32::MAX]).get_i64(0), u32::MAX as i64);
+    }
+
+    #[test]
+    fn size_bytes_accounts_for_width() {
+        assert_eq!(ColumnData::I8(vec![0; 10]).size_bytes(), 10);
+        assert_eq!(ColumnData::I64(vec![0; 10]).size_bytes(), 80);
+        assert_eq!(ColumnData::U32(vec![0; 10]).size_bytes(), 40);
+    }
+
+    #[test]
+    fn typed_borrows_match_variant() {
+        let c = ColumnData::I32(vec![1, 2]);
+        assert!(c.as_i32().is_some());
+        assert!(c.as_i64().is_none());
+        assert!(c.as_i8().is_none());
+        assert!(c.as_dict().is_none());
+    }
+}

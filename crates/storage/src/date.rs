@@ -1,0 +1,167 @@
+//! Calendar dates stored as day numbers.
+
+use std::fmt;
+
+/// A calendar date stored as the number of days since 1970-01-01.
+///
+/// TPC-H predicates compare dates constantly (`l_shipdate <= date '...'`);
+/// storing dates as plain `i32` day numbers turns every date predicate into
+/// an integer comparison, exactly as the hand-coded C implementations in the
+/// paper do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// Construct from a civil `(year, month, day)` triple.
+    ///
+    /// Uses Howard Hinnant's `days_from_civil` algorithm, valid for any
+    /// proleptic-Gregorian date; panics on out-of-range month/day to catch
+    /// generator bugs early.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Date {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!((1..=31).contains(&day), "day out of range: {day}");
+        let y = if month <= 2 { year - 1 } else { year } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = (y - era * 400) as i64; // [0, 399]
+        let m = month as i64;
+        let d = day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        Date((era * 146097 + doe - 719468) as i32)
+    }
+
+    /// Decompose back into a `(year, month, day)` triple.
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        let z = self.0 as i64 + 719468;
+        let era = if z >= 0 { z } else { z - 146096 } / 146097;
+        let doe = z - era * 146097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+        ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+    }
+
+    /// Day number (days since 1970-01-01).
+    pub fn days(self) -> i32 {
+        self.0
+    }
+
+    /// Add a number of days.
+    pub fn add_days(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+
+    /// Add (approximately, per the TPC-H definition) `months` calendar
+    /// months: day-of-month is clamped to the target month's length.
+    pub fn add_months(self, months: i32) -> Date {
+        let (y, m, d) = self.to_ymd();
+        let total = y * 12 + (m as i32 - 1) + months;
+        let (ny, nm) = (total.div_euclid(12), total.rem_euclid(12) as u32 + 1);
+        let nd = d.min(days_in_month(ny, nm));
+        Date::from_ymd(ny, nm, nd)
+    }
+
+    /// Parse a `YYYY-MM-DD` literal.
+    pub fn parse(s: &str) -> Option<Date> {
+        let mut it = s.split('-');
+        let y = it.next()?.parse().ok()?;
+        let m = it.next()?.parse().ok()?;
+        let d = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return None;
+        }
+        Some(Date::from_ymd(y, m, d))
+    }
+}
+
+/// Number of days in `month` of `year` (proleptic Gregorian).
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month validated by callers"),
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).days(), 0);
+    }
+
+    #[test]
+    fn known_day_numbers() {
+        assert_eq!(Date::from_ymd(1970, 1, 2).days(), 1);
+        assert_eq!(Date::from_ymd(1969, 12, 31).days(), -1);
+        assert_eq!(Date::from_ymd(2000, 3, 1).days(), 11017);
+        // TPC-H uses dates in [1992-01-01, 1998-12-31].
+        assert_eq!(Date::from_ymd(1992, 1, 1).days(), 8035);
+    }
+
+    #[test]
+    fn round_trip_across_tpch_range() {
+        let start = Date::from_ymd(1992, 1, 1);
+        let end = Date::from_ymd(1998, 12, 31);
+        for d in start.days()..=end.days() {
+            let date = Date(d);
+            let (y, m, dd) = date.to_ymd();
+            assert_eq!(Date::from_ymd(y, m, dd), date);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        assert!(Date::from_ymd(1995, 3, 15) < Date::from_ymd(1995, 3, 16));
+        assert!(Date::from_ymd(1994, 12, 31) < Date::from_ymd(1995, 1, 1));
+    }
+
+    #[test]
+    fn add_months_clamps_day() {
+        let d = Date::from_ymd(1995, 1, 31);
+        assert_eq!(d.add_months(1), Date::from_ymd(1995, 2, 28));
+        assert_eq!(d.add_months(3), Date::from_ymd(1995, 4, 30));
+        assert_eq!(d.add_months(12), Date::from_ymd(1996, 1, 31));
+        assert_eq!(d.add_months(-1), Date::from_ymd(1994, 12, 31));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d = Date::parse("1998-09-02").unwrap();
+        assert_eq!(d, Date::from_ymd(1998, 12, 1).add_days(-90));
+        assert_eq!(d.to_string(), "1998-09-02");
+        assert!(Date::parse("1998-13-01").is_none());
+        assert!(Date::parse("1998-02-30").is_none());
+        assert!(Date::parse("oops").is_none());
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        assert_eq!(days_in_month(1996, 2), 29);
+        assert_eq!(days_in_month(1995, 2), 28);
+    }
+}

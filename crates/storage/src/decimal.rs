@@ -1,0 +1,116 @@
+//! Fixed-point decimals.
+
+use std::fmt;
+
+/// A fixed-point decimal with two fractional digits, stored as an `i64`
+/// scaled by 100.
+///
+/// The paper's setup (§ IV): "fixed-point storage, where decimals are
+/// multiplied by a power of 10 and stored as integers" and "all aggregates
+/// are stored as 64-bit integers" with no explicit overflow checking. TPC-H
+/// money/discount/tax columns all have exactly two fractional digits, so a
+/// single scale of 100 suffices for the whole benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Decimal(pub i64);
+
+/// The fixed scale shared by every [`Decimal`].
+pub const DECIMAL_SCALE: i64 = 100;
+
+impl Decimal {
+    /// Build from whole units and cents: `Decimal::new(12, 34)` is `12.34`.
+    pub fn new(units: i64, cents: i64) -> Decimal {
+        debug_assert!((0..100).contains(&cents));
+        Decimal(units * DECIMAL_SCALE + if units < 0 { -cents } else { cents })
+    }
+
+    /// Build directly from a raw scaled value (`1234` is `12.34`).
+    pub fn from_raw(raw: i64) -> Decimal {
+        Decimal(raw)
+    }
+
+    /// The raw scaled integer.
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Lossy conversion to `f64` (for display / reporting only — query
+    /// processing stays in integers).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / DECIMAL_SCALE as f64
+    }
+
+    /// Fixed-point multiplication: `(a * b) / scale`, truncating.
+    ///
+    /// TPC-H expressions like `l_extendedprice * (1 - l_discount)` are
+    /// evaluated this way in the hand-coded kernels.
+    pub fn mul(self, other: Decimal) -> Decimal {
+        Decimal(self.0 * other.0 / DECIMAL_SCALE)
+    }
+
+    /// Fixed-point addition.
+    pub fn add(self, other: Decimal) -> Decimal {
+        Decimal(self.0 + other.0)
+    }
+
+    /// `1 - self`, in fixed point (used for `1 - l_discount`).
+    pub fn one_minus(self) -> Decimal {
+        Decimal(DECIMAL_SCALE - self.0)
+    }
+
+    /// `1 + self`, in fixed point (used for `1 + l_tax`).
+    pub fn one_plus(self) -> Decimal {
+        Decimal(DECIMAL_SCALE + self.0)
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(f, "{sign}{}.{:02}", abs / 100, abs % 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_raw() {
+        assert_eq!(Decimal::new(12, 34).raw(), 1234);
+        assert_eq!(Decimal::new(-12, 34).raw(), -1234);
+        assert_eq!(Decimal::from_raw(5).to_f64(), 0.05);
+    }
+
+    #[test]
+    fn fixed_point_mul_truncates() {
+        // 12.34 * 0.95 = 11.723 -> 11.72 truncated
+        let price = Decimal::new(12, 34);
+        let factor = Decimal::from_raw(95);
+        assert_eq!(price.mul(factor).raw(), 1172);
+    }
+
+    #[test]
+    fn one_minus_and_one_plus() {
+        let disc = Decimal::from_raw(6); // 0.06
+        assert_eq!(disc.one_minus().raw(), 94);
+        assert_eq!(disc.one_plus().raw(), 106);
+    }
+
+    #[test]
+    fn display_pads_cents() {
+        assert_eq!(Decimal::from_raw(5).to_string(), "0.05");
+        assert_eq!(Decimal::new(3, 7).to_string(), "3.07");
+        assert_eq!(Decimal::from_raw(-5).to_string(), "-0.05");
+    }
+
+    #[test]
+    fn tpch_revenue_expression_shape() {
+        // extendedprice * (1 - discount) * (1 + tax), all fixed point.
+        let price = Decimal::new(1000, 0);
+        let disc = Decimal::from_raw(10); // 0.10
+        let tax = Decimal::from_raw(5); // 0.05
+        let rev = price.mul(disc.one_minus()).mul(tax.one_plus());
+        assert_eq!(rev, Decimal::new(945, 0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Column-oriented TPC-H tables (only the columns the eight queries touch).
+//!
+//! Storage follows the paper's setup (§ IV): dictionary encoding for
+//! low-cardinality strings ([`swole_storage::DictColumn`]), narrow integers
+//! for low-cardinality numerics, fixed-point `i64` cents for money, dates
+//! as day numbers. Surrogate keys are dense `0..n`, so every foreign key
+//! doubles as the positional index § III-D relies on.
+
+use swole_storage::DictColumn;
+
+/// The `region` table (5 rows).
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// `r_name` (AFRICA, AMERICA, ASIA, EUROPE, MIDDLE EAST).
+    pub name: Vec<String>,
+}
+
+impl Region {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.name.len()
+    }
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.name.is_empty()
+    }
+}
+
+/// The `nation` table (25 rows).
+#[derive(Debug, Clone)]
+pub struct Nation {
+    /// `n_name`.
+    pub name: Vec<String>,
+    /// `n_regionkey` → position in `region`.
+    pub region_key: Vec<u32>,
+}
+
+impl Nation {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.name.len()
+    }
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.name.is_empty()
+    }
+}
+
+/// The `supplier` table (SF × 10 K rows).
+#[derive(Debug, Clone)]
+pub struct Supplier {
+    /// `s_nationkey` → position in `nation`.
+    pub nation_key: Vec<u32>,
+}
+
+impl Supplier {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.nation_key.len()
+    }
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.nation_key.is_empty()
+    }
+}
+
+/// The `customer` table (SF × 150 K rows).
+#[derive(Debug, Clone)]
+pub struct Customer {
+    /// `c_mktsegment`, dictionary-encoded (5 distinct values).
+    pub mktsegment: DictColumn,
+    /// `c_nationkey` → position in `nation`.
+    pub nation_key: Vec<u32>,
+}
+
+impl Customer {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.nation_key.len()
+    }
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.nation_key.is_empty()
+    }
+}
+
+/// The `part` table (SF × 200 K rows).
+#[derive(Debug, Clone)]
+pub struct Part {
+    /// `p_brand`, dictionary-encoded (25 distinct values).
+    pub brand: DictColumn,
+    /// `p_type`, dictionary-encoded (150 distinct values).
+    pub type_: DictColumn,
+    /// `p_container`, dictionary-encoded (40 distinct values).
+    pub container: DictColumn,
+    /// `p_size`, 1–50.
+    pub size: Vec<i8>,
+}
+
+impl Part {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.size.len()
+    }
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.size.is_empty()
+    }
+}
+
+/// The `orders` table (SF × 1.5 M rows).
+#[derive(Debug, Clone)]
+pub struct Orders {
+    /// `o_custkey` → position in `customer`.
+    pub cust_key: Vec<u32>,
+    /// `o_orderdate` as days since epoch.
+    pub order_date: Vec<i32>,
+    /// `o_orderpriority`, dictionary-encoded (5 distinct values).
+    pub order_priority: DictColumn,
+    /// `o_comment` — high-cardinality free text (Q13's string-matching
+    /// predicate runs against these, row by row, exactly as the paper's
+    /// string-bound analysis requires).
+    pub comment: Vec<String>,
+}
+
+impl Orders {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cust_key.len()
+    }
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.cust_key.is_empty()
+    }
+}
+
+/// The `lineitem` table (SF × ~6 M rows).
+#[derive(Debug, Clone)]
+pub struct Lineitem {
+    /// `l_orderkey` → position in `orders`.
+    pub order_key: Vec<u32>,
+    /// `l_partkey` → position in `part`.
+    pub part_key: Vec<u32>,
+    /// `l_suppkey` → position in `supplier`.
+    pub supp_key: Vec<u32>,
+    /// `l_quantity`, 1–50 (integral per spec).
+    pub quantity: Vec<i8>,
+    /// `l_extendedprice` in cents.
+    pub extended_price: Vec<i64>,
+    /// `l_discount` in hundredths (0–10, i.e. 0.00–0.10).
+    pub discount: Vec<i8>,
+    /// `l_tax` in hundredths (0–8).
+    pub tax: Vec<i8>,
+    /// `l_returnflag`, dictionary-encoded (R, A, N).
+    pub return_flag: DictColumn,
+    /// `l_linestatus`, dictionary-encoded (O, F).
+    pub line_status: DictColumn,
+    /// `l_shipdate` as days since epoch.
+    pub ship_date: Vec<i32>,
+    /// `l_commitdate` as days since epoch.
+    pub commit_date: Vec<i32>,
+    /// `l_receiptdate` as days since epoch.
+    pub receipt_date: Vec<i32>,
+    /// `l_shipinstruct`, dictionary-encoded (4 distinct values).
+    pub ship_instruct: DictColumn,
+    /// `l_shipmode`, dictionary-encoded (7 distinct values).
+    pub ship_mode: DictColumn,
+}
+
+impl Lineitem {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.order_key.len()
+    }
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.order_key.is_empty()
+    }
+}
+
+/// A generated TPC-H database at some scale factor.
+#[derive(Debug, Clone)]
+pub struct TpchDb {
+    /// Scale factor used at generation.
+    pub sf: f64,
+    /// `region` (5 rows).
+    pub region: Region,
+    /// `nation` (25 rows).
+    pub nation: Nation,
+    /// `supplier`.
+    pub supplier: Supplier,
+    /// `customer`.
+    pub customer: Customer,
+    /// `part`.
+    pub part: Part,
+    /// `orders`.
+    pub orders: Orders,
+    /// `lineitem`.
+    pub lineitem: Lineitem,
+}
+
+impl TpchDb {
+    /// Total payload bytes across the big columns (rough; for reporting).
+    pub fn approx_bytes(&self) -> usize {
+        let l = &self.lineitem;
+        l.len() * (4 * 3 + 1 * 3 + 8 + 4 * 4 + 3 * 4) + self.orders.len() * (4 + 4 + 4)
+    }
+}

@@ -1,0 +1,78 @@
+//! Date constants shared by the generator and the queries.
+
+use swole_storage::Date;
+
+/// Earliest `o_orderdate` (spec: STARTDATE).
+pub fn order_date_min() -> Date {
+    Date::from_ymd(1992, 1, 1)
+}
+
+/// Latest `o_orderdate` (spec: ENDDATE − 151 days = 1998-08-02).
+pub fn order_date_max() -> Date {
+    Date::from_ymd(1998, 8, 2)
+}
+
+/// Q1 cutoff: `date '1998-12-01' - interval '90' day` (the validation
+/// value of the `[DELTA]` substitution).
+pub fn q1_ship_cutoff() -> Date {
+    Date::from_ymd(1998, 12, 1).add_days(-90)
+}
+
+/// Q3 pivot date (validation value `1995-03-15`).
+pub fn q3_date() -> Date {
+    Date::from_ymd(1995, 3, 15)
+}
+
+/// Q4 quarter start (validation value `1993-07-01`).
+pub fn q4_date_lo() -> Date {
+    Date::from_ymd(1993, 7, 1)
+}
+
+/// Q4 quarter end (exclusive).
+pub fn q4_date_hi() -> Date {
+    q4_date_lo().add_months(3)
+}
+
+/// Q5 year start (validation value `1994-01-01`).
+pub fn q5_date_lo() -> Date {
+    Date::from_ymd(1994, 1, 1)
+}
+
+/// Q5 year end (exclusive).
+pub fn q5_date_hi() -> Date {
+    q5_date_lo().add_months(12)
+}
+
+/// Q6 year start (validation value `1994-01-01`).
+pub fn q6_date_lo() -> Date {
+    Date::from_ymd(1994, 1, 1)
+}
+
+/// Q6 year end (exclusive).
+pub fn q6_date_hi() -> Date {
+    q6_date_lo().add_months(12)
+}
+
+/// Q14 month start (validation value `1995-09-01`).
+pub fn q14_date_lo() -> Date {
+    Date::from_ymd(1995, 9, 1)
+}
+
+/// Q14 month end (exclusive).
+pub fn q14_date_hi() -> Date {
+    q14_date_lo().add_months(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_spec_validation_values() {
+        assert_eq!(q1_ship_cutoff(), Date::from_ymd(1998, 9, 2));
+        assert_eq!(q4_date_hi(), Date::from_ymd(1993, 10, 1));
+        assert_eq!(q5_date_hi(), Date::from_ymd(1995, 1, 1));
+        assert_eq!(q14_date_hi(), Date::from_ymd(1995, 10, 1));
+        assert!(order_date_min() < order_date_max());
+    }
+}

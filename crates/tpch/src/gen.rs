@@ -1,0 +1,390 @@
+//! The data generator (dbgen equivalent — see DESIGN.md § 2).
+//!
+//! Generates the seven tables with the TPC-H specification's text pools and
+//! value distributions so the selectivities the paper's analysis relies on
+//! are reproduced at any scale factor. Everything is deterministic per
+//! seed.
+
+use crate::data::*;
+use crate::dates;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swole_storage::{Date, DictColumn};
+
+/// Spec text pools.
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 nations with their spec region assignment.
+const NATIONS: [(&str, u32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+const CONTAINER_SYL1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINER_SYL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const SHIPINSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// Comment vocabulary. None of these words contains `special` or
+/// `requests` as a substring, so only deliberately injected comments match
+/// Q13's `%special%requests%` pattern.
+const COMMENT_WORDS: [&str; 20] = [
+    "carefully", "furiously", "blithely", "quickly", "slyly", "deposits", "accounts",
+    "pending", "ironic", "express", "final", "bold", "packages", "foxes", "theodolites",
+    "pinto", "beans", "dependencies", "instructions", "platelets",
+];
+
+/// Fraction of `o_comment` values matching Q13's pattern (the NOT LIKE
+/// predicate then selects ~98 % — § IV-A Q13).
+const COMMENT_MATCH_PROB: f64 = 0.02;
+
+fn dict_all(values: &[&str], codes: Vec<u32>) -> DictColumn {
+    DictColumn::from_parts(codes, values.iter().map(|s| s.to_string()).collect())
+}
+
+/// Generate a TPC-H database at scale factor `sf` (1.0 ≈ 6 M lineitems).
+///
+/// Deterministic per `(sf, seed)`.
+pub fn generate(sf: f64, seed: u64) -> TpchDb {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let n_supplier = ((sf * 10_000.0) as usize).max(10);
+    let n_customer = ((sf * 150_000.0) as usize).max(100);
+    let n_part = ((sf * 200_000.0) as usize).max(200);
+    let n_orders = ((sf * 1_500_000.0) as usize).max(1_000);
+
+    let region = Region {
+        name: REGIONS.iter().map(|s| s.to_string()).collect(),
+    };
+    let nation = Nation {
+        name: NATIONS.iter().map(|(n, _)| n.to_string()).collect(),
+        region_key: NATIONS.iter().map(|&(_, r)| r).collect(),
+    };
+    let supplier = Supplier {
+        nation_key: (0..n_supplier).map(|_| rng.gen_range(0..25)).collect(),
+    };
+    let customer = Customer {
+        mktsegment: dict_all(
+            &SEGMENTS,
+            (0..n_customer).map(|_| rng.gen_range(0..5)).collect(),
+        ),
+        nation_key: (0..n_customer).map(|_| rng.gen_range(0..25)).collect(),
+    };
+
+    // part: p_type is the MN-combination of three syllables; container the
+    // combination of two.
+    let type_values: Vec<String> = TYPE_SYL1
+        .iter()
+        .flat_map(|a| {
+            TYPE_SYL2.iter().flat_map(move |b| {
+                TYPE_SYL3.iter().map(move |c| format!("{a} {b} {c}"))
+            })
+        })
+        .collect();
+    let container_values: Vec<String> = CONTAINER_SYL1
+        .iter()
+        .flat_map(|a| CONTAINER_SYL2.iter().map(move |b| format!("{a} {b}")))
+        .collect();
+    let brand_values: Vec<String> = (1..=5)
+        .flat_map(|m| (1..=5).map(move |n| format!("Brand#{m}{n}")))
+        .collect();
+    let part = Part {
+        brand: DictColumn::from_parts(
+            (0..n_part).map(|_| rng.gen_range(0..25)).collect(),
+            brand_values,
+        ),
+        type_: DictColumn::from_parts(
+            (0..n_part).map(|_| rng.gen_range(0..150)).collect(),
+            type_values,
+        ),
+        container: DictColumn::from_parts(
+            (0..n_part).map(|_| rng.gen_range(0..40)).collect(),
+            container_values,
+        ),
+        size: (0..n_part).map(|_| rng.gen_range(1..=50)).collect(),
+    };
+
+    // orders.
+    let date_lo = dates::order_date_min().days();
+    let date_hi = dates::order_date_max().days();
+    let mut orders = Orders {
+        cust_key: Vec::with_capacity(n_orders),
+        order_date: Vec::with_capacity(n_orders),
+        order_priority: dict_all(
+            &PRIORITIES,
+            (0..n_orders).map(|_| rng.gen_range(0..5)).collect(),
+        ),
+        comment: Vec::with_capacity(n_orders),
+    };
+    for _ in 0..n_orders {
+        orders.cust_key.push(rng.gen_range(0..n_customer as u32));
+        orders.order_date.push(rng.gen_range(date_lo..=date_hi));
+        orders.comment.push(gen_comment(&mut rng));
+    }
+
+    // lineitem: 1–7 lines per order (avg 4 → SF × 6 M).
+    let approx_lines = n_orders * 4;
+    let mut l = Lineitem {
+        order_key: Vec::with_capacity(approx_lines),
+        part_key: Vec::with_capacity(approx_lines),
+        supp_key: Vec::with_capacity(approx_lines),
+        quantity: Vec::with_capacity(approx_lines),
+        extended_price: Vec::with_capacity(approx_lines),
+        discount: Vec::with_capacity(approx_lines),
+        tax: Vec::with_capacity(approx_lines),
+        return_flag: DictColumn::from_parts(
+            vec![],
+            ["R", "A", "N"].iter().map(|s| s.to_string()).collect(),
+        ),
+        line_status: DictColumn::from_parts(
+            vec![],
+            ["O", "F"].iter().map(|s| s.to_string()).collect(),
+        ),
+        ship_date: Vec::with_capacity(approx_lines),
+        commit_date: Vec::with_capacity(approx_lines),
+        receipt_date: Vec::with_capacity(approx_lines),
+        ship_instruct: dict_all(&SHIPINSTRUCT, vec![]),
+        ship_mode: dict_all(&SHIPMODES, vec![]),
+    };
+    let mut rf_codes = Vec::with_capacity(approx_lines);
+    let mut ls_codes = Vec::with_capacity(approx_lines);
+    let mut si_codes = Vec::with_capacity(approx_lines);
+    let mut sm_codes = Vec::with_capacity(approx_lines);
+    // Spec: CURRENTDATE = 1995-06-17 decides returnflag/linestatus.
+    let current = Date::from_ymd(1995, 6, 17).days();
+    for (okey, &odate) in orders.order_date.iter().enumerate() {
+        let lines = rng.gen_range(1..=7);
+        for _ in 0..lines {
+            let qty: i8 = rng.gen_range(1..=50);
+            let ship = odate + rng.gen_range(1..=121);
+            let commit = odate + rng.gen_range(30..=90);
+            let receipt = ship + rng.gen_range(1..=30);
+            l.order_key.push(okey as u32);
+            l.part_key.push(rng.gen_range(0..n_part as u32));
+            l.supp_key.push(rng.gen_range(0..n_supplier as u32));
+            l.quantity.push(qty);
+            // extendedprice = quantity × a per-unit price in [900.00,
+            // 2100.00] (cents) — the spec ties it to p_retailprice; the
+            // magnitude and qty-correlation are what matter downstream.
+            l.extended_price
+                .push(qty as i64 * rng.gen_range(90_000..=210_000));
+            l.discount.push(rng.gen_range(0..=10));
+            l.tax.push(rng.gen_range(0..=8));
+            l.ship_date.push(ship);
+            l.commit_date.push(commit);
+            l.receipt_date.push(receipt);
+            rf_codes.push(if receipt <= current {
+                rng.gen_range(0..2) // R or A
+            } else {
+                2 // N
+            });
+            ls_codes.push(if ship > current { 0 } else { 1 }); // O / F
+            si_codes.push(rng.gen_range(0..4));
+            sm_codes.push(rng.gen_range(0..7));
+        }
+    }
+    l.return_flag = DictColumn::from_parts(
+        rf_codes,
+        ["R", "A", "N"].iter().map(|s| s.to_string()).collect(),
+    );
+    l.line_status =
+        DictColumn::from_parts(ls_codes, ["O", "F"].iter().map(|s| s.to_string()).collect());
+    l.ship_instruct = dict_all(&SHIPINSTRUCT, si_codes);
+    l.ship_mode = dict_all(&SHIPMODES, sm_codes);
+
+    TpchDb {
+        sf,
+        region,
+        nation,
+        supplier,
+        customer,
+        part,
+        orders,
+        lineitem: l,
+    }
+}
+
+/// Generate one `o_comment`: 4–8 vocabulary words, with probability
+/// [`COMMENT_MATCH_PROB`] rewritten to contain `special` ... `requests`
+/// in order (so Q13's three-wildcard pattern matches exactly these).
+fn gen_comment(rng: &mut SmallRng) -> String {
+    let n_words = rng.gen_range(4..=8);
+    let mut words: Vec<&str> = (0..n_words)
+        .map(|_| COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())])
+        .collect();
+    if rng.gen_bool(COMMENT_MATCH_PROB) {
+        let i = rng.gen_range(0..words.len() - 1);
+        let j = rng.gen_range(i + 1..words.len());
+        words[i] = "special";
+        words[j] = "requests";
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swole_storage::like_match;
+
+    fn tiny() -> TpchDb {
+        generate(0.005, 42)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(0.002, 7);
+        let b = generate(0.002, 7);
+        assert_eq!(a.lineitem.ship_date, b.lineitem.ship_date);
+        assert_eq!(a.orders.comment, b.orders.comment);
+        let c = generate(0.002, 8);
+        assert_ne!(a.lineitem.ship_date, c.lineitem.ship_date);
+    }
+
+    #[test]
+    fn table_sizes_scale() {
+        let db = tiny();
+        assert_eq!(db.region.len(), 5);
+        assert_eq!(db.nation.len(), 25);
+        assert_eq!(db.orders.len(), 7_500);
+        // 1..=7 lines per order, avg 4.
+        let lpo = db.lineitem.len() as f64 / db.orders.len() as f64;
+        assert!((3.5..=4.5).contains(&lpo), "lines/order = {lpo}");
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let db = tiny();
+        assert!(db.lineitem.order_key.iter().all(|&k| (k as usize) < db.orders.len()));
+        assert!(db.lineitem.part_key.iter().all(|&k| (k as usize) < db.part.len()));
+        assert!(db.lineitem.supp_key.iter().all(|&k| (k as usize) < db.supplier.len()));
+        assert!(db.orders.cust_key.iter().all(|&k| (k as usize) < db.customer.len()));
+        assert!(db.customer.nation_key.iter().all(|&k| k < 25));
+        assert!(db.supplier.nation_key.iter().all(|&k| k < 25));
+        assert!(db.nation.region_key.iter().all(|&k| k < 5));
+    }
+
+    #[test]
+    fn dictionaries_are_complete_even_at_tiny_scale() {
+        let db = tiny();
+        assert_eq!(db.part.brand.cardinality(), 25);
+        assert_eq!(db.part.type_.cardinality(), 150);
+        assert_eq!(db.part.container.cardinality(), 40);
+        assert_eq!(db.lineitem.ship_mode.cardinality(), 7);
+        assert_eq!(db.lineitem.ship_instruct.cardinality(), 4);
+        assert!(db.part.container.code_of("SM CASE").is_some());
+        assert!(db.lineitem.ship_mode.code_of("AIR REG").is_none()); // spec: REG AIR
+        assert!(db.lineitem.ship_mode.code_of("REG AIR").is_some());
+    }
+
+    #[test]
+    fn paper_selectivities_reproduce() {
+        let db = generate(0.02, 3);
+        let l = &db.lineitem;
+        // Q1: l_shipdate <= 1998-09-02 selects ~98 %.
+        let cutoff = crate::dates::q1_ship_cutoff().days();
+        let q1 = l.ship_date.iter().filter(|&&d| d <= cutoff).count() as f64 / l.len() as f64;
+        assert!((0.95..=1.0).contains(&q1), "q1 sel = {q1}");
+        // Q6 compound predicate selects ~2 %.
+        let (lo, hi) = (crate::dates::q6_date_lo().days(), crate::dates::q6_date_hi().days());
+        let q6 = (0..l.len())
+            .filter(|&j| {
+                l.ship_date[j] >= lo
+                    && l.ship_date[j] < hi
+                    && (5..=7).contains(&l.discount[j])
+                    && l.quantity[j] < 24
+            })
+            .count() as f64
+            / l.len() as f64;
+        assert!((0.01..=0.035).contains(&q6), "q6 sel = {q6}");
+        // Q4: o_orderdate in one quarter selects ~4 %.
+        let (lo, hi) = (crate::dates::q4_date_lo().days(), crate::dates::q4_date_hi().days());
+        let q4 = db
+            .orders
+            .order_date
+            .iter()
+            .filter(|&&d| d >= lo && d < hi)
+            .count() as f64
+            / db.orders.len() as f64;
+        assert!((0.025..=0.05).contains(&q4), "q4 sel = {q4}");
+        // Q13: comments matching the pattern ≈ 2 % (NOT LIKE ≈ 98 %).
+        let matches = db
+            .orders
+            .comment
+            .iter()
+            .filter(|c| like_match("%special%requests%", c))
+            .count() as f64
+            / db.orders.len() as f64;
+        assert!((0.01..=0.035).contains(&matches), "q13 match = {matches}");
+        // Q1 groups: exactly the 4 spec combinations (A/F, N/F, N/O, R/F).
+        let mut combos = std::collections::HashSet::new();
+        for j in 0..l.len() {
+            combos.insert((l.return_flag.value(j).to_owned(), l.line_status.value(j).to_owned()));
+        }
+        assert_eq!(combos.len(), 4, "{combos:?}");
+    }
+
+    #[test]
+    fn injected_comments_match_pattern() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut found = 0;
+        for _ in 0..10_000 {
+            if like_match("%special%requests%", &gen_comment(&mut rng)) {
+                found += 1;
+            }
+        }
+        // ~2 % ± noise.
+        assert!((100..=350).contains(&found), "found {found}");
+    }
+
+    #[test]
+    fn money_values_cannot_overflow_q1_sums() {
+        let db = tiny();
+        let max_price = *db.lineitem.extended_price.iter().max().unwrap();
+        // charge = price × (100−d) × (100+t): headroom for SF 100.
+        assert!(max_price < 20_000_000);
+    }
+}

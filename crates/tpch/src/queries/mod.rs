@@ -1,0 +1,10 @@
+//! The eight TPC-H queries of the paper's evaluation, each hand-coded in
+//! the three compared strategies.
+pub mod q1;
+pub mod q13;
+pub mod q14;
+pub mod q19;
+pub mod q3;
+pub mod q4;
+pub mod q5;
+pub mod q6;

@@ -1,0 +1,243 @@
+//! TPC-H Q1 — pricing summary report (§ IV-A.1).
+//!
+//! Single scan of `lineitem`, one simple predicate selecting ~98 % of the
+//! tuples, and the most compute-intensive aggregation in TPC-H (6 running
+//! sums per group, 4 groups).
+//!
+//! SWOLE uses **key masking**: "the complexity of the aggregation would
+//! require masking many individual aggregate values, which is significantly
+//! more expensive than masking the single group-by key. Moreover, the fact
+//! that the predicate selects nearly the entire lineitem table means that
+//! SWOLE performs very little wasted work."
+
+use crate::dates::q1_ship_cutoff;
+use crate::TpchDb;
+use swole_ht::{AggTable, NULL_KEY};
+use swole_kernels::{predicate, selvec, tiles, TILE};
+
+/// Number of aggregate slots per group: sum_qty, sum_base_price,
+/// sum_disc_price (×100), sum_charge (×10000), sum_discount, count.
+const N_AGGS: usize = 6;
+
+/// One result row (averages derived from the sums).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Q1Row {
+    /// `l_returnflag`.
+    pub return_flag: String,
+    /// `l_linestatus`.
+    pub line_status: String,
+    /// `sum(l_quantity)`.
+    pub sum_qty: i64,
+    /// `sum(l_extendedprice)` in cents.
+    pub sum_base_price: i64,
+    /// `sum(l_extendedprice * (1 - l_discount))`, scaled ×100.
+    pub sum_disc_price: i64,
+    /// `sum(l_extendedprice * (1 - l_discount) * (1 + l_tax))`, scaled ×10⁴.
+    pub sum_charge: i64,
+    /// `avg(l_quantity)`.
+    pub avg_qty: f64,
+    /// `avg(l_extendedprice)` in cents.
+    pub avg_price: f64,
+    /// `avg(l_discount)` in hundredths.
+    pub avg_disc: f64,
+    /// `count(*)`.
+    pub count: i64,
+}
+
+#[inline(always)]
+fn update(states: &mut [i64], off: usize, qty: i64, price: i64, disc: i64, tax: i64) {
+    states[off] += qty;
+    states[off + 1] += price;
+    states[off + 2] += price * (100 - disc);
+    states[off + 3] += price * (100 - disc) * (100 + tax);
+    states[off + 4] += disc;
+    states[off + 5] += 1;
+}
+
+fn result_rows(db: &TpchDb, ht: &AggTable) -> Vec<Q1Row> {
+    let rf_dict = db.lineitem.return_flag.dictionary();
+    let ls_dict = db.lineitem.line_status.dictionary();
+    let mut rows: Vec<Q1Row> = ht
+        .iter()
+        .filter(|&(_, _, valid)| valid)
+        .map(|(key, s, _)| {
+            let (rf, ls) = ((key / 2) as usize, (key % 2) as usize);
+            let n = s[5] as f64;
+            Q1Row {
+                return_flag: rf_dict[rf].clone(),
+                line_status: ls_dict[ls].clone(),
+                sum_qty: s[0],
+                sum_base_price: s[1],
+                sum_disc_price: s[2],
+                sum_charge: s[3],
+                avg_qty: s[0] as f64 / n,
+                avg_price: s[1] as f64 / n,
+                avg_disc: s[4] as f64 / n,
+                count: s[5],
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        (&a.return_flag, &a.line_status).cmp(&(&b.return_flag, &b.line_status))
+    });
+    rows
+}
+
+/// Data-centric strategy: one loop, branch per tuple.
+pub fn datacentric(db: &TpchDb) -> Vec<Q1Row> {
+    let l = &db.lineitem;
+    let cutoff = q1_ship_cutoff().days();
+    let (rf, ls) = (l.return_flag.codes(), l.line_status.codes());
+    let mut ht = AggTable::with_capacity(N_AGGS, 8);
+    for j in 0..l.len() {
+        if l.ship_date[j] <= cutoff {
+            let key = (rf[j] * 2 + ls[j]) as i64;
+            let off = ht.entry(key);
+            ht.set_valid(off);
+            update(
+                ht.states_mut(),
+                off,
+                l.quantity[j] as i64,
+                l.extended_price[j],
+                l.discount[j] as i64,
+                l.tax[j] as i64,
+            );
+        }
+    }
+    result_rows(db, &ht)
+}
+
+/// Hybrid strategy: prepass on `l_shipdate`, selection vector, gathered
+/// aggregation.
+pub fn hybrid(db: &TpchDb) -> Vec<Q1Row> {
+    let l = &db.lineitem;
+    let cutoff = q1_ship_cutoff().days();
+    let (rf, ls) = (l.return_flag.codes(), l.line_status.codes());
+    let mut ht = AggTable::with_capacity(N_AGGS, 8);
+    let mut cmp = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    for (start, len) in tiles(l.len()) {
+        predicate::cmp_le(&l.ship_date[start..start + len], cutoff, &mut cmp[..len]);
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        for &j in &idx[..k] {
+            let j = j as usize;
+            let key = (rf[j] * 2 + ls[j]) as i64;
+            let off = ht.entry(key);
+            ht.set_valid(off);
+            update(
+                ht.states_mut(),
+                off,
+                l.quantity[j] as i64,
+                l.extended_price[j],
+                l.discount[j] as i64,
+                l.tax[j] as i64,
+            );
+        }
+    }
+    result_rows(db, &ht)
+}
+
+/// SWOLE: **key masking** — the predicate result masks the composite
+/// group key to [`NULL_KEY`]; every tuple is aggregated unconditionally
+/// with sequential access to all six inputs.
+pub fn swole(db: &TpchDb) -> Vec<Q1Row> {
+    let l = &db.lineitem;
+    let cutoff = q1_ship_cutoff().days();
+    let (rf, ls) = (l.return_flag.codes(), l.line_status.codes());
+    let mut ht = AggTable::with_capacity(N_AGGS, 8);
+    let mut cmp = [0u8; TILE];
+    let mut keys = [0i64; TILE];
+    for (start, len) in tiles(l.len()) {
+        predicate::cmp_le(&l.ship_date[start..start + len], cutoff, &mut cmp[..len]);
+        // Masked composite key: real key where the predicate passed,
+        // NULL_KEY (→ throwaway entry) otherwise.
+        for j in 0..len {
+            let key = (rf[start + j] * 2 + ls[start + j]) as i64;
+            keys[j] = if cmp[j] != 0 { key } else { NULL_KEY };
+        }
+        for j in 0..len {
+            let off = ht.entry(keys[j]);
+            ht.set_valid(off);
+            update(
+                ht.states_mut(),
+                off,
+                l.quantity[start + j] as i64,
+                l.extended_price[start + j],
+                l.discount[start + j] as i64,
+                l.tax[start + j] as i64,
+            );
+        }
+    }
+    result_rows(db, &ht)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use std::collections::BTreeMap;
+
+    fn reference(db: &TpchDb) -> Vec<Q1Row> {
+        let l = &db.lineitem;
+        let cutoff = q1_ship_cutoff().days();
+        let mut groups: BTreeMap<(String, String), [i64; 6]> = BTreeMap::new();
+        for j in 0..l.len() {
+            if l.ship_date[j] <= cutoff {
+                let key = (
+                    l.return_flag.value(j).to_owned(),
+                    l.line_status.value(j).to_owned(),
+                );
+                let s = groups.entry(key).or_insert([0; 6]);
+                let (q, p, d, t) = (
+                    l.quantity[j] as i64,
+                    l.extended_price[j],
+                    l.discount[j] as i64,
+                    l.tax[j] as i64,
+                );
+                s[0] += q;
+                s[1] += p;
+                s[2] += p * (100 - d);
+                s[3] += p * (100 - d) * (100 + t);
+                s[4] += d;
+                s[5] += 1;
+            }
+        }
+        groups
+            .into_iter()
+            .map(|((rf, ls), s)| Q1Row {
+                return_flag: rf,
+                line_status: ls,
+                sum_qty: s[0],
+                sum_base_price: s[1],
+                sum_disc_price: s[2],
+                sum_charge: s[3],
+                avg_qty: s[0] as f64 / s[5] as f64,
+                avg_price: s[1] as f64 / s[5] as f64,
+                avg_disc: s[4] as f64 / s[5] as f64,
+                count: s[5],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strategies_agree_with_reference() {
+        let db = generate(0.003, 17);
+        let expected = reference(&db);
+        assert_eq!(datacentric(&db), expected);
+        assert_eq!(hybrid(&db), expected);
+        assert_eq!(swole(&db), expected);
+        // The spec's 4 groups.
+        assert_eq!(expected.len(), 4);
+        let selected: i64 = expected.iter().map(|r| r.count).sum();
+        assert!(selected as f64 / db.lineitem.len() as f64 > 0.95, "~98% selected");
+    }
+
+    #[test]
+    fn averages_are_consistent() {
+        let db = generate(0.002, 18);
+        for row in swole(&db) {
+            assert!((row.avg_qty - row.sum_qty as f64 / row.count as f64).abs() < 1e-9);
+            assert!(row.avg_disc >= 0.0 && row.avg_disc <= 10.0);
+        }
+    }
+}

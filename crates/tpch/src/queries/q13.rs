@@ -1,0 +1,154 @@
+//! TPC-H Q13 — customer distribution (§ IV-A.6).
+//!
+//! ```sql
+//! select c_count, count(*) as custdist from (
+//!     select c_custkey, count(o_orderkey)
+//!     from customer left outer join orders
+//!       on c_custkey = o_custkey
+//!      and o_comment not like '%special%requests%'
+//!     group by c_custkey
+//! ) as c_orders (c_custkey, c_count)
+//! group by c_count
+//! order by custdist desc, c_count desc
+//! ```
+//!
+//! A groupjoin between customer and orders followed by a histogram. The
+//! only predicate is the three-wildcard string match selecting ~98 %; the
+//! runtime is dominated by that matching (it cannot be SIMD-vectorized), so
+//! SWOLE's **value masking** of the count update adds only a slight benefit
+//! — exactly the paper's observation.
+
+use crate::TpchDb;
+use swole_ht::AggTable;
+use swole_kernels::{selvec, tiles, TILE};
+use swole_storage::like_match;
+
+/// The Q13 pattern.
+pub const PATTERN: &str = "%special%requests%";
+
+/// Result rows `(c_count, custdist)` ordered by `custdist desc, c_count
+/// desc`.
+pub type Q13Rows = Vec<(i64, i64)>;
+
+/// Left-join seeding: every customer appears with count 0.
+fn seeded_counts(db: &TpchDb) -> AggTable {
+    let mut ht = AggTable::with_capacity(1, db.customer.len());
+    for ck in 0..db.customer.len() {
+        let off = ht.entry(ck as i64);
+        ht.set_valid(off);
+    }
+    ht
+}
+
+fn histogram(counts: &AggTable) -> Q13Rows {
+    let mut hist = AggTable::with_capacity(1, 64);
+    for (_, state, valid) in counts.iter() {
+        if valid {
+            let off = hist.entry(state[0]);
+            hist.add(off, 0, 1);
+        }
+    }
+    let mut rows: Vec<(i64, i64)> = hist.iter().map(|(k, s, _)| (k, s[0])).collect();
+    rows.sort_by(|a, b| (b.1, b.0).cmp(&(a.1, a.0)));
+    rows
+}
+
+/// Data-centric strategy: per-order string match, branch, conditional
+/// count update.
+pub fn datacentric(db: &TpchDb) -> Q13Rows {
+    let mut counts = seeded_counts(db);
+    let o = &db.orders;
+    for j in 0..o.len() {
+        if !like_match(PATTERN, &o.comment[j]) {
+            let off = counts.entry(o.cust_key[j] as i64);
+            counts.add(off, 0, 1);
+        }
+    }
+    histogram(&counts)
+}
+
+/// Hybrid strategy: the string predicate is split into its own prepass loop
+/// (no SIMD possible, but the aggregation loop becomes branch-free over the
+/// selection vector) — the source of hybrid's 1.31× on this query.
+pub fn hybrid(db: &TpchDb) -> Q13Rows {
+    let mut counts = seeded_counts(db);
+    let o = &db.orders;
+    let mut cmp = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    for (start, len) in tiles(o.len()) {
+        for j in 0..len {
+            cmp[j] = !like_match(PATTERN, &o.comment[start + j]) as u8;
+        }
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        for &j in &idx[..k] {
+            let off = counts.entry(o.cust_key[j as usize] as i64);
+            counts.add(off, 0, 1);
+        }
+    }
+    histogram(&counts)
+}
+
+/// SWOLE: **value masking** — every order unconditionally touches its
+/// customer's entry and adds the 0/1 predicate result; "relatively little
+/// wasted work because nearly all tuples pass".
+pub fn swole(db: &TpchDb) -> Q13Rows {
+    let mut counts = seeded_counts(db);
+    let o = &db.orders;
+    let mut cmp = [0u8; TILE];
+    for (start, len) in tiles(o.len()) {
+        for j in 0..len {
+            cmp[j] = !like_match(PATTERN, &o.comment[start + j]) as u8;
+        }
+        let keys = &o.cust_key[start..start + len];
+        for j in 0..len {
+            let off = counts.entry(keys[j] as i64);
+            counts.add(off, 0, cmp[j] as i64);
+        }
+    }
+    histogram(&counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use std::collections::BTreeMap;
+
+    fn reference(db: &TpchDb) -> Q13Rows {
+        let mut per_cust = vec![0i64; db.customer.len()];
+        for j in 0..db.orders.len() {
+            if !like_match(PATTERN, &db.orders.comment[j]) {
+                per_cust[db.orders.cust_key[j] as usize] += 1;
+            }
+        }
+        let mut hist: BTreeMap<i64, i64> = BTreeMap::new();
+        for &c in &per_cust {
+            *hist.entry(c).or_insert(0) += 1;
+        }
+        let mut rows: Vec<(i64, i64)> = hist.into_iter().collect();
+        rows.sort_by(|a, b| (b.1, b.0).cmp(&(a.1, a.0)));
+        rows
+    }
+
+    #[test]
+    fn strategies_agree_with_reference() {
+        let db = generate(0.004, 31);
+        let expected = reference(&db);
+        assert_eq!(datacentric(&db), expected);
+        assert_eq!(hybrid(&db), expected);
+        assert_eq!(swole(&db), expected);
+        // Left join: the histogram must cover every customer.
+        let total: i64 = expected.iter().map(|&(_, d)| d).sum();
+        assert_eq!(total, db.customer.len() as i64);
+    }
+
+    #[test]
+    fn customers_without_orders_count_as_zero() {
+        let db = generate(0.002, 32);
+        let rows = swole(&db);
+        // With ~10 orders/customer some customers have none; count 0 exists.
+        let has_zero = rows.iter().any(|&(c, _)| c == 0);
+        let max_count = rows.iter().map(|&(c, _)| c).max().unwrap();
+        assert!(has_zero || max_count > 0);
+    }
+}

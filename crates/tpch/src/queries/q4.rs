@@ -1,0 +1,179 @@
+//! TPC-H Q4 — order priority checking (§ IV-A.3).
+//!
+//! ```sql
+//! select o_orderpriority, count(*) from orders
+//! where o_orderdate >= '1993-07-01' and o_orderdate < '1993-10-01'
+//!   and exists (select * from lineitem
+//!               where l_orderkey = o_orderkey
+//!                 and l_commitdate < l_receiptdate)
+//! group by o_orderpriority
+//! ```
+//!
+//! The orders predicate selects ~4 %, so "the majority of the runtime is
+//! spent constructing the hash table on lineitem for the semijoin".
+//!
+//! SWOLE replaces that hash table with a **positional bitmap over orders**
+//! built in a sequential scan of lineitem (the bit offset is `l_orderkey`
+//! itself — the FK index), then probes it positionally during a sequential
+//! scan of orders — the paper's biggest TPC-H win (2.63× over hybrid).
+
+use crate::dates::{q4_date_lo, q4_date_hi};
+use crate::TpchDb;
+use swole_bitmap::PositionalBitmap;
+use swole_ht::{AggTable, KeySet};
+use swole_kernels::{predicate, selvec, tiles, TILE};
+
+/// Result: `(o_orderpriority, count)` sorted by priority.
+pub type Q4Rows = Vec<(String, i64)>;
+
+fn result_rows(db: &TpchDb, ht: &AggTable) -> Q4Rows {
+    let dict = db.orders.order_priority.dictionary();
+    let mut rows: Vec<(String, i64)> = ht
+        .iter()
+        .filter(|&(_, s, valid)| valid && s[0] > 0)
+        .map(|(key, s, _)| (dict[key as usize].clone(), s[0]))
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Data-centric strategy: branchy hash-set build over lineitem, branchy
+/// probe per order.
+pub fn datacentric(db: &TpchDb) -> Q4Rows {
+    let l = &db.lineitem;
+    let mut exists = KeySet::with_capacity(db.orders.len());
+    for j in 0..l.len() {
+        if l.commit_date[j] < l.receipt_date[j] {
+            exists.insert(l.order_key[j] as i64);
+        }
+    }
+    let o = &db.orders;
+    let (lo, hi) = (q4_date_lo().days(), q4_date_hi().days());
+    let pri = o.order_priority.codes();
+    let mut ht = AggTable::with_capacity(1, 8);
+    for j in 0..o.len() {
+        if o.order_date[j] >= lo && o.order_date[j] < hi && exists.contains(j as i64) {
+            let off = ht.entry(pri[j] as i64);
+            ht.add(off, 0, 1);
+            ht.set_valid(off);
+        }
+    }
+    result_rows(db, &ht)
+}
+
+/// Hybrid strategy: prepass + selection vectors on both scans, hash set in
+/// the middle.
+pub fn hybrid(db: &TpchDb) -> Q4Rows {
+    let l = &db.lineitem;
+    let mut exists = KeySet::with_capacity(db.orders.len());
+    let mut cmp = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    for (start, len) in tiles(l.len()) {
+        predicate::cmp_lt_cols(
+            &l.commit_date[start..start + len],
+            &l.receipt_date[start..start + len],
+            &mut cmp[..len],
+        );
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        for &j in &idx[..k] {
+            exists.insert(l.order_key[j as usize] as i64);
+        }
+    }
+    let o = &db.orders;
+    let (lo, hi) = (q4_date_lo().days(), q4_date_hi().days());
+    let pri = o.order_priority.codes();
+    let mut ht = AggTable::with_capacity(1, 8);
+    for (start, len) in tiles(o.len()) {
+        predicate::cmp_between(&o.order_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        for &j in &idx[..k] {
+            if exists.contains(j as i64) {
+                let off = ht.entry(pri[j as usize] as i64);
+                ht.add(off, 0, 1);
+                ht.set_valid(off);
+            }
+        }
+    }
+    result_rows(db, &ht)
+}
+
+/// SWOLE: positional bitmap over orders, built branch-free from a
+/// sequential lineitem scan (`or_bit` at the FK offset), probed positionally
+/// with value-masked counting.
+pub fn swole(db: &TpchDb) -> Q4Rows {
+    let l = &db.lineitem;
+    let mut bm = PositionalBitmap::new(db.orders.len());
+    let mut cmp = [0u8; TILE];
+    for (start, len) in tiles(l.len()) {
+        predicate::cmp_lt_cols(
+            &l.commit_date[start..start + len],
+            &l.receipt_date[start..start + len],
+            &mut cmp[..len],
+        );
+        let keys = &l.order_key[start..start + len];
+        for j in 0..len {
+            bm.or_bit(keys[j] as usize, cmp[j] as u64);
+        }
+    }
+    let o = &db.orders;
+    let (lo, hi) = (q4_date_lo().days(), q4_date_hi().days());
+    let pri = o.order_priority.codes();
+    let mut ht = AggTable::with_capacity(1, 8);
+    for (start, len) in tiles(o.len()) {
+        predicate::cmp_between(&o.order_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
+        let p = &pri[start..start + len];
+        for j in 0..len {
+            // Value-masked count: every order touches its priority entry;
+            // the added value is the (predicate & bitmap-bit) product.
+            let qualify = (cmp[j] as u64 & bm.get_bit(start + j)) as i64;
+            let off = ht.entry(p[j] as i64);
+            ht.add(off, 0, qualify);
+            ht.or_valid(off, qualify as u8);
+        }
+    }
+    result_rows(db, &ht)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use std::collections::BTreeMap;
+
+    fn reference(db: &TpchDb) -> Q4Rows {
+        let (lo, hi) = (q4_date_lo().days(), q4_date_hi().days());
+        let mut exists = vec![false; db.orders.len()];
+        let l = &db.lineitem;
+        for j in 0..l.len() {
+            if l.commit_date[j] < l.receipt_date[j] {
+                exists[l.order_key[j] as usize] = true;
+            }
+        }
+        let mut counts: BTreeMap<String, i64> = BTreeMap::new();
+        for j in 0..db.orders.len() {
+            let d = db.orders.order_date[j];
+            if d >= lo && d < hi && exists[j] {
+                *counts
+                    .entry(db.orders.order_priority.value(j).to_owned())
+                    .or_insert(0) += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+
+    #[test]
+    fn strategies_agree_with_reference() {
+        let db = generate(0.004, 23);
+        let expected = reference(&db);
+        assert_eq!(datacentric(&db), expected);
+        assert_eq!(hybrid(&db), expected);
+        assert_eq!(swole(&db), expected);
+        assert!(!expected.is_empty());
+    }
+
+    #[test]
+    fn all_five_priorities_appear_at_scale() {
+        let db = generate(0.02, 24);
+        assert_eq!(swole(&db).len(), 5);
+    }
+}

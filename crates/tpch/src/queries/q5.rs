@@ -1,0 +1,241 @@
+//! TPC-H Q5 — local supplier volume (§ IV-A.4).
+//!
+//! ```sql
+//! select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+//! from customer, orders, lineitem, supplier, nation, region
+//! where c_custkey = o_custkey and l_orderkey = o_orderkey
+//!   and l_suppkey = s_suppkey and c_nationkey = s_nationkey
+//!   and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+//!   and r_name = 'ASIA'
+//!   and o_orderdate >= date '1994-01-01' and o_orderdate < date '1995-01-01'
+//! group by n_name
+//! ```
+//!
+//! Six tables; the unfiltered `lineitem` dominates ("a hash table lookup is
+//! required for every tuple"). SWOLE "replaces all joins with bitmap
+//! semijoins and uses the late materialization technique before the final
+//! aggregation" — only ~3 % of lineitems survive the join cascade, so the
+//! expensive gathers run over a tiny selection vector.
+
+use crate::dates::{q5_date_lo, q5_date_hi};
+use crate::TpchDb;
+use swole_bitmap::PositionalBitmap;
+use swole_ht::AggTable;
+use swole_kernels::{predicate, selvec, tiles, TILE};
+
+/// Result: `(n_name, revenue ×100)` ordered by revenue descending.
+pub type Q5Rows = Vec<(String, i64)>;
+
+/// `asia[n] == true` iff nation `n` belongs to the ASIA region — the
+/// region ⋈ nation join, shared by all strategies (25 rows).
+fn asia_nations(db: &TpchDb) -> Vec<bool> {
+    let asia = db
+        .region
+        .name
+        .iter()
+        .position(|r| r == "ASIA")
+        .expect("region exists") as u32;
+    db.nation.region_key.iter().map(|&r| r == asia).collect()
+}
+
+fn result_rows(db: &TpchDb, ht: &AggTable) -> Q5Rows {
+    let mut rows: Vec<(String, i64)> = ht
+        .iter()
+        .filter(|&(_, s, valid)| valid && s[0] > 0)
+        .map(|(key, s, _)| (db.nation.name[key as usize].clone(), s[0]))
+        .collect();
+    rows.sort_by(|a, b| (b.1, &a.0).cmp(&(a.1, &b.0)));
+    rows
+}
+
+/// Shared shape of both baselines: hash table custkey → nationkey, hash
+/// table orderkey → customer nation for date-qualifying orders, then a
+/// per-lineitem hash probe. `vectorized` switches the orders scan between
+/// branch (data-centric) and prepass + selection vector (hybrid).
+fn baseline(db: &TpchDb, vectorized: bool) -> Q5Rows {
+    let asia = asia_nations(db);
+    // customer hash table: custkey → c_nationkey.
+    let mut ht_cust = AggTable::with_capacity(1, db.customer.len());
+    for (ck, &nk) in db.customer.nation_key.iter().enumerate() {
+        let off = ht_cust.entry(ck as i64);
+        ht_cust.states_mut()[off] = nk as i64;
+    }
+    // orders hash table: orderkey → customer nation, for qualifying orders.
+    let o = &db.orders;
+    let (lo, hi) = (q5_date_lo().days(), q5_date_hi().days());
+    let mut ht_orders = AggTable::with_capacity(1, o.len() / 4 + 4);
+    if vectorized {
+        let mut cmp = [0u8; TILE];
+        let mut idx = [0u32; TILE];
+        for (start, len) in tiles(o.len()) {
+            predicate::cmp_between(&o.order_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
+            let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+            for &j in &idx[..k] {
+                let j = j as usize;
+                let coff = ht_cust.find(o.cust_key[j] as i64).expect("FK integrity");
+                let nation = ht_cust.states()[coff];
+                let ooff = ht_orders.entry(j as i64);
+                ht_orders.states_mut()[ooff] = nation;
+            }
+        }
+    } else {
+        for j in 0..o.len() {
+            if o.order_date[j] >= lo && o.order_date[j] < hi {
+                let coff = ht_cust.find(o.cust_key[j] as i64).expect("FK integrity");
+                let nation = ht_cust.states()[coff];
+                let ooff = ht_orders.entry(j as i64);
+                ht_orders.states_mut()[ooff] = nation;
+            }
+        }
+    }
+    // lineitem probe: no predicate → a lookup per tuple.
+    let l = &db.lineitem;
+    let mut result = AggTable::with_capacity(1, 32);
+    for j in 0..l.len() {
+        if let Some(ooff) = ht_orders.find(l.order_key[j] as i64) {
+            let cust_nation = ht_orders.states()[ooff];
+            let supp_nation = db.supplier.nation_key[l.supp_key[j] as usize] as i64;
+            if cust_nation == supp_nation && asia[supp_nation as usize] {
+                let rev = l.extended_price[j] * (100 - l.discount[j] as i64);
+                let off = result.entry(supp_nation);
+                result.add(off, 0, rev);
+                result.set_valid(off);
+            }
+        }
+    }
+    result_rows(db, &result)
+}
+
+/// Data-centric strategy.
+pub fn datacentric(db: &TpchDb) -> Q5Rows {
+    baseline(db, false)
+}
+
+/// Hybrid strategy (prepass on the orders scan — the second-largest table,
+/// exactly where the paper says hybrid's 1.12× comes from).
+pub fn hybrid(db: &TpchDb) -> Q5Rows {
+    baseline(db, true)
+}
+
+/// SWOLE: the join cascade becomes bitmap semijoins —
+///
+/// 1. `bm_cust`: customers in ASIA nations (sequential scan of customer);
+/// 2. `bm_orders`: date-qualifying orders whose customer bit is set
+///    (sequential scan of orders, positional probe via `o_custkey`);
+/// 3. lineitem: a sequential scan probes `bm_orders` via `l_orderkey` into
+///    a selection vector (~3 % survive);
+/// 4. **late materialization**: only for survivors, gather the customer and
+///    supplier nations, apply `c_nationkey = s_nationkey`, and aggregate
+///    into the 25-entry nation table.
+pub fn swole(db: &TpchDb) -> Q5Rows {
+    let asia = asia_nations(db);
+    // (1) customer bitmap: bit = customer's nation is in ASIA.
+    let mut bm_cust = PositionalBitmap::new(db.customer.len());
+    for (ck, &nk) in db.customer.nation_key.iter().enumerate() {
+        bm_cust.assign(ck, asia[nk as usize] as u64);
+    }
+    // (2) orders bitmap: date predicate & customer bit, fully sequential.
+    let o = &db.orders;
+    let (lo, hi) = (q5_date_lo().days(), q5_date_hi().days());
+    let mut bm_orders = PositionalBitmap::new(o.len());
+    let mut cmp = [0u8; TILE];
+    for (start, len) in tiles(o.len()) {
+        predicate::cmp_between(&o.order_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
+        let custs = &o.cust_key[start..start + len];
+        for j in 0..len {
+            let bit = cmp[j] as u64 & bm_cust.get_bit(custs[j] as usize);
+            bm_orders.assign(start + j, bit);
+        }
+    }
+    // (3) lineitem: positional probe into a selection vector.
+    let l = &db.lineitem;
+    let mut result = AggTable::with_capacity(1, 32);
+    let mut idx = [0u32; TILE];
+    for (start, len) in tiles(l.len()) {
+        let keys = &l.order_key[start..start + len];
+        for j in 0..len {
+            cmp[j] = bm_orders.get_bit(keys[j] as usize) as u8;
+        }
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        // (4) late materialization over the survivors only.
+        for &j in &idx[..k] {
+            let j = j as usize;
+            let cust_nation =
+                db.customer.nation_key[o.cust_key[l.order_key[j] as usize] as usize] as i64;
+            let supp_nation = db.supplier.nation_key[l.supp_key[j] as usize] as i64;
+            if cust_nation == supp_nation {
+                let rev = l.extended_price[j] * (100 - l.discount[j] as i64);
+                let off = result.entry(supp_nation);
+                result.add(off, 0, rev);
+                result.set_valid(off);
+            }
+        }
+    }
+    result_rows(db, &result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use std::collections::BTreeMap;
+
+    fn reference(db: &TpchDb) -> Q5Rows {
+        let asia = asia_nations(db);
+        let (lo, hi) = (q5_date_lo().days(), q5_date_hi().days());
+        let mut per_nation: BTreeMap<u32, i64> = BTreeMap::new();
+        let l = &db.lineitem;
+        for j in 0..l.len() {
+            let ok = l.order_key[j] as usize;
+            let odate = db.orders.order_date[ok];
+            if odate < lo || odate >= hi {
+                continue;
+            }
+            let cn = db.customer.nation_key[db.orders.cust_key[ok] as usize];
+            let sn = db.supplier.nation_key[l.supp_key[j] as usize];
+            if cn == sn && asia[sn as usize] {
+                *per_nation.entry(sn).or_insert(0) +=
+                    l.extended_price[j] * (100 - l.discount[j] as i64);
+            }
+        }
+        let mut rows: Vec<(String, i64)> = per_nation
+            .into_iter()
+            .filter(|&(_, rev)| rev > 0)
+            .map(|(n, rev)| (db.nation.name[n as usize].clone(), rev))
+            .collect();
+        rows.sort_by(|a, b| (b.1, &a.0).cmp(&(a.1, &b.0)));
+        rows
+    }
+
+    #[test]
+    fn strategies_agree_with_reference() {
+        let db = generate(0.01, 41);
+        let expected = reference(&db);
+        assert_eq!(datacentric(&db), expected);
+        assert_eq!(hybrid(&db), expected);
+        assert_eq!(swole(&db), expected);
+        assert!(!expected.is_empty());
+        // Only ASIA nations can appear (5 of 25).
+        assert!(expected.len() <= 5);
+    }
+
+    #[test]
+    fn survivor_fraction_is_small() {
+        // The paper: "only about 3% of tuples remain after the last join".
+        let db = generate(0.01, 42);
+        let asia = asia_nations(&db);
+        let (lo, hi) = (q5_date_lo().days(), q5_date_hi().days());
+        let l = &db.lineitem;
+        let survivors = (0..l.len())
+            .filter(|&j| {
+                let ok = l.order_key[j] as usize;
+                let odate = db.orders.order_date[ok];
+                odate >= lo
+                    && odate < hi
+                    && asia[db.customer.nation_key[db.orders.cust_key[ok] as usize] as usize]
+            })
+            .count();
+        let frac = survivors as f64 / l.len() as f64;
+        assert!((0.01..=0.08).contains(&frac), "frac = {frac}");
+    }
+}

@@ -1,0 +1,127 @@
+//! TPC-H Q6 — forecasting revenue change (§ IV-A.5).
+//!
+//! Single scan of `lineitem`; five comparisons over three attributes select
+//! only ~2 % of tuples.
+//!
+//! SWOLE combines **access merging** on `l_discount` — "which is used in
+//! the predicate as well as the aggregation" — with **value masking**; the
+//! benefit is limited by ~98 % wasted work, exactly as § IV-A.5 notes.
+
+use crate::dates::{q6_date_lo, q6_date_hi};
+use crate::TpchDb;
+use swole_kernels::{predicate, selvec, tiles, TILE};
+
+/// Discount window (0.05–0.07 as hundredths).
+const DISC_LO: i8 = 5;
+/// See [`DISC_LO`].
+const DISC_HI: i8 = 7;
+/// Quantity bound.
+const QTY_LIMIT: i8 = 24;
+
+/// Revenue `sum(l_extendedprice * l_discount)`, scaled cents × hundredths.
+pub type Revenue = i64;
+
+/// Data-centric strategy: all five comparisons in one branch.
+pub fn datacentric(db: &TpchDb) -> Revenue {
+    let l = &db.lineitem;
+    let (lo, hi) = (q6_date_lo().days(), q6_date_hi().days());
+    let mut sum = 0i64;
+    for j in 0..l.len() {
+        if l.ship_date[j] >= lo
+            && l.ship_date[j] < hi
+            && l.discount[j] >= DISC_LO
+            && l.discount[j] <= DISC_HI
+            && l.quantity[j] < QTY_LIMIT
+        {
+            sum += l.extended_price[j] * l.discount[j] as i64;
+        }
+    }
+    sum
+}
+
+/// Hybrid strategy: SIMD-friendly prepass over all five comparisons, then a
+/// gathered aggregation through the selection vector — the configuration
+/// that gives hybrid its 2.33× win over data-centric on this query.
+pub fn hybrid(db: &TpchDb) -> Revenue {
+    let l = &db.lineitem;
+    let (lo, hi) = (q6_date_lo().days(), q6_date_hi().days());
+    let mut cmp = [0u8; TILE];
+    let mut tmp = [0u8; TILE];
+    let mut idx = [0u32; TILE];
+    let mut sum = 0i64;
+    for (start, len) in tiles(l.len()) {
+        predicate::cmp_between(&l.ship_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
+        predicate::cmp_between(&l.discount[start..start + len], DISC_LO, DISC_HI, &mut tmp[..len]);
+        predicate::and_into(&mut cmp[..len], &tmp[..len]);
+        predicate::cmp_lt(&l.quantity[start..start + len], QTY_LIMIT, &mut tmp[..len]);
+        predicate::and_into(&mut cmp[..len], &tmp[..len]);
+        let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
+        for &j in &idx[..k] {
+            let j = j as usize;
+            sum += l.extended_price[j] * l.discount[j] as i64;
+        }
+    }
+    sum
+}
+
+/// SWOLE: **access merging** fuses the discount-window predicate into the
+/// discount *value* (`tmp = disc * (5 ≤ disc ≤ 7)`), so `l_discount` is
+/// read once; the remaining conjuncts become a mask and the aggregation is
+/// **value-masked** — fully sequential, no selection vector.
+pub fn swole(db: &TpchDb) -> Revenue {
+    let l = &db.lineitem;
+    let (lo, hi) = (q6_date_lo().days(), q6_date_hi().days());
+    let mut cmp = [0u8; TILE];
+    let mut tmp8 = [0u8; TILE];
+    let mut merged = [0i64; TILE];
+    let mut sum = 0i64;
+    for (start, len) in tiles(l.len()) {
+        // Merged access: discount value × its own window predicate.
+        let disc = &l.discount[start..start + len];
+        for j in 0..len {
+            merged[j] = disc[j] as i64 * ((disc[j] >= DISC_LO && disc[j] <= DISC_HI) as i64);
+        }
+        // Remaining conjuncts as a mask.
+        predicate::cmp_between(&l.ship_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
+        predicate::cmp_lt(&l.quantity[start..start + len], QTY_LIMIT, &mut tmp8[..len]);
+        predicate::and_into(&mut cmp[..len], &tmp8[..len]);
+        // Value-masked aggregation: sequential reads of extendedprice.
+        let price = &l.extended_price[start..start + len];
+        for j in 0..len {
+            sum += price[j] * merged[j] * cmp[j] as i64;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn strategies_agree() {
+        let db = generate(0.004, 19);
+        let expected = datacentric(&db);
+        assert_eq!(hybrid(&db), expected);
+        assert_eq!(swole(&db), expected);
+        assert!(expected > 0);
+    }
+
+    #[test]
+    fn selectivity_is_about_two_percent() {
+        let db = generate(0.01, 20);
+        let l = &db.lineitem;
+        let (lo, hi) = (q6_date_lo().days(), q6_date_hi().days());
+        let n = (0..l.len())
+            .filter(|&j| {
+                l.ship_date[j] >= lo
+                    && l.ship_date[j] < hi
+                    && (DISC_LO..=DISC_HI).contains(&l.discount[j])
+                    && l.quantity[j] < QTY_LIMIT
+            })
+            .count();
+        let sel = n as f64 / l.len() as f64;
+        assert!((0.008..=0.04).contains(&sel), "sel = {sel}");
+    }
+}

@@ -1,0 +1,101 @@
+//! The cost-model advisor: for a grid of query profiles, show which
+//! technique the Fig. 2 chooser selects and why — including how the
+//! decisions shift once the cost parameters are calibrated on this machine.
+//!
+//! ```text
+//! cargo run --release --example advisor              # default parameters
+//! cargo run --release --example advisor -- --calibrate
+//! ```
+
+use swole::cost::calibrate::{calibrate, CalibrationConfig};
+use swole::cost::choose::{choose_agg, choose_groupjoin, choose_semijoin};
+use swole::cost::comp::{simple_agg_comp, ArithOp};
+use swole::cost::{
+    AggProfile, CostParams, GroupJoinProfile, SemiJoinProfile,
+};
+
+fn main() {
+    let calibrated = std::env::args().any(|a| a == "--calibrate");
+    let params = if calibrated {
+        eprintln!("calibrating on this host (a few seconds)...");
+        let p = calibrate(&CalibrationConfig::default());
+        eprintln!(
+            "measured: read_seq={:.2}ns read_cond={:.2}ns lookups={:?}\n",
+            p.read_seq, p.read_cond, p.ht_lookup_by_level
+        );
+        p
+    } else {
+        CostParams::default()
+    };
+
+    println!("== Aggregation strategy grid (micro Q2 shape, Fig. 9) ==");
+    println!("{:>10} | {:>5} | {:<14} | explanation", "keys", "sel%", "choice");
+    for keys in [10usize, 1_000, 100_000, 10_000_000] {
+        for sel in [10, 50, 90] {
+            let choice = choose_agg(
+                &params,
+                &AggProfile {
+                    rows: 100_000_000,
+                    selectivity: sel as f64 / 100.0,
+                    comp: simple_agg_comp(ArithOp::Mul),
+                    n_cols: 3,
+                    group_keys: Some(keys),
+                    n_aggs: 1,
+                },
+            );
+            println!(
+                "{keys:>10} | {sel:>5} | {:<14} | {}",
+                choice.strategy.name(),
+                choice.explanation
+            );
+        }
+    }
+
+    println!("\n== TPC-H Q1's profile (complex aggregation, 4 groups, 98% sel) ==");
+    let q1 = choose_agg(
+        &params,
+        &AggProfile {
+            rows: 60_000_000,
+            selectivity: 0.98,
+            comp: 6.0,
+            n_cols: 7,
+            group_keys: Some(4),
+            n_aggs: 8,
+        },
+    );
+    println!("choice: {} — {}", q1.strategy.name(), q1.explanation);
+
+    println!("\n== Semijoin build variants (Fig. 11 / § III-D) ==");
+    for sel in [1, 10, 20, 90] {
+        let c = choose_semijoin(
+            &params,
+            &SemiJoinProfile {
+                build_rows: 1_000_000,
+                build_selectivity: sel as f64 / 100.0,
+                has_fk_index: true,
+            },
+        );
+        println!("σ_build={sel:>3}% → {}", c.explanation);
+    }
+
+    println!("\n== Groupjoin vs eager aggregation (Fig. 12) ==");
+    for (s_rows, sel) in [(1_000usize, 50), (1_000_000, 5), (1_000_000, 50), (1_000_000, 90)] {
+        let c = choose_groupjoin(
+            &params,
+            &GroupJoinProfile {
+                r_rows: 100_000_000,
+                r_selectivity: 1.0,
+                s_rows,
+                s_selectivity: sel as f64 / 100.0,
+                join_match_prob: sel as f64 / 100.0,
+                group_keys: s_rows,
+                comp: simple_agg_comp(ArithOp::Mul),
+                n_aggs: 1,
+            },
+        );
+        println!(
+            "|S|={s_rows:>9}, σ_S={sel:>3}% → {:?} (gj={:.2e}, ea={:.2e})",
+            c.strategy, c.cost_groupjoin, c.cost_eager
+        );
+    }
+}

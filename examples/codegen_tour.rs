@@ -1,0 +1,45 @@
+//! Print the C code each strategy generates for the paper's running
+//! examples — a side-by-side tour of Figures 1, 3, 4, 5 and the § III-D /
+//! § III-E rewrites.
+//!
+//! ```text
+//! cargo run --release --example codegen_tour
+//! ```
+
+use swole::codegen::*;
+
+fn section(title: &str, code: &str) {
+    println!("----- {title} {}", "-".repeat(60usize.saturating_sub(title.len())));
+    println!("{code}");
+}
+
+fn main() {
+    let q = ScalarAggSpec::paper_example();
+    println!("============ Fig. 1: existing strategies ({}) ============\n", q.sql());
+    section("data-centric", &emit_datacentric(&q));
+    section("hybrid", &emit_hybrid(&q));
+    section("ROF", &emit_rof(&q));
+
+    println!("============ Fig. 3: SWOLE value masking ============\n");
+    section("value masking", &emit_value_masking(&q));
+
+    let g = GroupByAggSpec::paper_example();
+    println!("============ Fig. 4: group-by ({}) ============\n", g.sql());
+    section("value masking", &emit_groupby_value_masking(&g));
+    section("key masking", &emit_groupby_key_masking(&g));
+
+    let rep = ScalarAggSpec::repeated_reference_example();
+    println!("============ Fig. 5: repeated references ({}) ============\n", rep.sql());
+    section("value masking (x read twice)", &emit_value_masking(&rep));
+    section("access merging (x read once)", &emit_access_merging(&rep));
+
+    let sj = SemiJoinSpec::paper_example();
+    println!("============ § III-D: semijoin rewrite ============\n");
+    section("hash semijoin (original)", &emit_hash_semijoin(&sj));
+    section("positional bitmap (SWOLE)", &emit_bitmap_semijoin(&sj));
+
+    let gj = GroupJoinSpec::paper_example();
+    println!("============ § III-E: groupjoin rewrite ============\n");
+    section("groupjoin (original)", &emit_groupjoin(&gj));
+    section("eager aggregation (SWOLE)", &emit_eager_aggregation(&gj));
+}

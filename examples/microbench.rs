@@ -1,0 +1,85 @@
+//! A compact run of the paper's microbenchmark (Figs. 8–12): sweep the
+//! selectivity for each query and print runtime tables per strategy, plus
+//! the strategy the cost-model chooser would pick at each point.
+//!
+//! ```text
+//! cargo run --release --example microbench
+//! SWOLE_R_ROWS=8000000 cargo run --release --example microbench
+//! ```
+
+use std::time::Instant;
+use swole::cost::CostParams;
+use swole_kernels::agg::Mul;
+use swole_micro::{generate, q1, q2, q4, q5, MicroParams};
+
+fn ms<T>(f: impl FnOnce() -> T) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let params = MicroParams::from_env();
+    println!(
+        "generating R ({} rows), S ({} rows)...\n",
+        params.r_rows, params.s_rows
+    );
+    let db = generate(params);
+    let cost = CostParams::default();
+    let sels: [i8; 5] = [1, 25, 50, 75, 99];
+
+    println!("Q1  sum(r_a * r_b) where r_x < SEL   (Fig. 8a)");
+    println!(
+        "{:>5} {:>12} {:>12} {:>14} {:>16}",
+        "SEL%", "datacentric", "hybrid", "value-masking", "chooser picks"
+    );
+    for sel in sels {
+        let dc = ms(|| q1::datacentric::<Mul>(&db.r, sel));
+        let hy = ms(|| q1::hybrid::<Mul>(&db.r, sel));
+        let vm = ms(|| q1::value_masking::<Mul>(&db.r, sel));
+        let (_, pick) = q1::swole::<Mul>(&db.r, sel, &cost);
+        println!("{sel:>5} {dc:>10.2}ms {hy:>10.2}ms {vm:>12.2}ms {:>16}", pick.name());
+    }
+
+    println!("\nQ2  group by r_c (|r_c| = {})   (Fig. 9)", db.params.r_c_cardinality);
+    println!(
+        "{:>5} {:>12} {:>12} {:>14} {:>12} {:>16}",
+        "SEL%", "datacentric", "hybrid", "value-masking", "key-masking", "chooser picks"
+    );
+    for sel in sels {
+        let dc = ms(|| q2::checksum(&q2::datacentric(&db.r, sel)));
+        let hy = ms(|| q2::checksum(&q2::hybrid(&db.r, sel)));
+        let vm = ms(|| q2::checksum(&q2::value_masking(&db.r, sel)));
+        let km = ms(|| q2::checksum(&q2::key_masking(&db.r, sel)));
+        let (_, pick) = q2::swole(&db.r, sel, db.params.r_c_cardinality, &cost);
+        println!(
+            "{sel:>5} {dc:>10.2}ms {hy:>10.2}ms {vm:>12.2}ms {km:>10.2}ms {:>16}",
+            pick.name()
+        );
+    }
+
+    println!("\nQ4  R ⋈ S semijoin (|S| = {})   (Fig. 11, SEL2 = 50)", db.s.len());
+    println!(
+        "{:>5} {:>12} {:>12} {:>18}",
+        "SEL1%", "datacentric", "hybrid", "positional-bitmap"
+    );
+    for sel in sels {
+        let dc = ms(|| q4::datacentric(&db.r, &db.s, sel, 50));
+        let hy = ms(|| q4::hybrid(&db.r, &db.s, sel, 50));
+        let bm = ms(|| q4::swole(&db, sel, 50, &cost).0);
+        println!("{sel:>5} {dc:>10.2}ms {hy:>10.2}ms {bm:>16.2}ms");
+    }
+
+    println!("\nQ5  groupjoin by r_fk (|S| = {})   (Fig. 12)", db.s.len());
+    println!(
+        "{:>5} {:>12} {:>12} {:>18} {:>18}",
+        "SEL%", "datacentric", "hybrid", "eager-aggregation", "chooser picks"
+    );
+    for sel in sels {
+        let dc = ms(|| q2::checksum(&q5::groupjoin_datacentric(&db.r, &db.s, sel)));
+        let hy = ms(|| q2::checksum(&q5::groupjoin_hybrid(&db.r, &db.s, sel)));
+        let ea = ms(|| q2::checksum(&q5::eager_aggregation(&db.r, &db.s, sel)));
+        let (_, pick) = q5::swole(&db.r, &db.s, sel, &cost);
+        println!("{sel:>5} {dc:>10.2}ms {hy:>10.2}ms {ea:>16.2}ms {:>18}", format!("{pick:?}"));
+    }
+}

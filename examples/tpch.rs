@@ -1,0 +1,92 @@
+//! Run the paper's eight TPC-H queries in all three strategies, verify the
+//! strategies agree, and print a Fig. 6-style runtime table.
+//!
+//! ```text
+//! cargo run --release --example tpch            # SF 0.05
+//! SWOLE_SF=0.5 cargo run --release --example tpch
+//! ```
+
+use std::time::Instant;
+use swole::cost::CostParams;
+use swole_tpch::queries as q;
+use swole_tpch::TpchDb;
+
+fn time_ms<T>(f: impl Fn() -> T) -> (T, f64) {
+    // Best of three to tame noise.
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (out.unwrap(), best)
+}
+
+fn main() {
+    let sf: f64 = std::env::var("SWOLE_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    println!("generating TPC-H at SF {sf}...");
+    let db = swole_tpch::generate(sf, 0x79C4);
+    println!(
+        "  lineitem: {} rows, orders: {} rows\n",
+        db.lineitem.len(),
+        db.orders.len()
+    );
+    let params = CostParams::default();
+
+    println!(
+        "{:<5} {:>14} {:>12} {:>12} {:>9} {:>9}",
+        "query", "datacentric", "hybrid", "swole", "hy/dc", "sw/hy"
+    );
+    let mut rows: Vec<(&str, f64, f64, f64)> = Vec::new();
+
+    macro_rules! run {
+        ($name:literal, $dc:expr, $hy:expr, $sw:expr) => {{
+            let (r_dc, t_dc) = time_ms(|| $dc(&db));
+            let (r_hy, t_hy) = time_ms(|| $hy(&db));
+            let (r_sw, t_sw) = time_ms(|| $sw(&db));
+            assert_eq!(r_dc, r_hy, concat!($name, ": hybrid result mismatch"));
+            assert_eq!(r_dc, r_sw, concat!($name, ": swole result mismatch"));
+            rows.push(($name, t_dc, t_hy, t_sw));
+        }};
+    }
+
+    run!("Q1", q::q1::datacentric, q::q1::hybrid, q::q1::swole);
+    run!("Q3", q::q3::datacentric, q::q3::hybrid, q::q3::swole);
+    run!("Q4", q::q4::datacentric, q::q4::hybrid, q::q4::swole);
+    run!("Q5", q::q5::datacentric, q::q5::hybrid, q::q5::swole);
+    run!("Q6", q::q6::datacentric, q::q6::hybrid, q::q6::swole);
+    run!("Q13", q::q13::datacentric, q::q13::hybrid, q::q13::swole);
+    run!(
+        "Q14",
+        q::q14::datacentric,
+        q::q14::hybrid,
+        |db: &TpchDb| q::q14::swole(db, &params).0
+    );
+    run!("Q19", q::q19::datacentric, q::q19::hybrid, q::q19::swole);
+
+    for (name, dc, hy, sw) in &rows {
+        println!(
+            "{:<5} {:>12.2}ms {:>10.2}ms {:>10.2}ms {:>8.2}x {:>8.2}x",
+            name,
+            dc,
+            hy,
+            sw,
+            dc / hy,
+            hy / sw
+        );
+    }
+
+    // Show one concrete result: Q1's pricing summary.
+    println!("\nQ1 pricing summary (SWOLE plan, key masking):");
+    for r in q::q1::swole(&db) {
+        println!(
+            "  {} {}  qty={:>10}  base={:>16}  count={}",
+            r.return_flag, r.line_status, r.sum_qty, r.sum_base_price, r.count
+        );
+    }
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md's MEAS_* placeholders from figures_data.csv.
+
+Usage: python3 scripts/fill_experiments.py [figures_data.csv]
+Idempotent only on a template containing the placeholders; keep a copy if
+you plan to re-run with new data.
+"""
+import csv
+import sys
+import collections
+
+CSV = sys.argv[1] if len(sys.argv) > 1 else "figures_data.csv"
+
+data = collections.defaultdict(lambda: collections.defaultdict(dict))
+for row in csv.DictReader(open(CSV)):
+    data[row["figure"]][row["series"]][row["x"]] = float(row["runtime_ms"])
+
+
+def table(figs, note=""):
+    """Markdown table: one block per sub-figure, series as rows."""
+    out = []
+    for fig in figs:
+        series = data[fig]
+        xs = list(next(iter(series.values())).keys())
+        out.append(f"\n  Fig. {fig} (x = selectivity %):\n")
+        out.append("  | series | " + " | ".join(xs) + " |")
+        out.append("  |---" * (len(xs) + 1) + "|")
+        for name, vals in series.items():
+            out.append(
+                f"  | {name} | " + " | ".join(f"{vals[x]:.1f}" for x in xs) + " |"
+            )
+    if note:
+        out.append("\n  " + note)
+    return "\n".join(out)
+
+
+md = open("EXPERIMENTS.md").read()
+
+# Fig 6 speedups.
+f6 = data["6"]
+for q in ["Q1", "Q3", "Q4", "Q5", "Q6", "Q13", "Q14", "Q19"]:
+    dc, hy, sw = f6["datacentric"][q], f6["hybrid"][q], f6["swole"][q]
+    md = md.replace(f"MEAS_{q}_HD", f"{dc / hy:.2f}×")
+    md = md.replace(f"MEAS_{q}_SH", f"{hy / sw:.2f}×")
+md = md.replace(
+    "MEAS_Q1_NOTE",
+    "decision reproduced; runtime parity at SF 1 (see note)",
+)
+
+md = md.replace("MEAS_FIG8", table(["8a", "8b"]))
+md = md.replace("MEAS_FIG9", table(["9a", "9b", "9c", "9d"]))
+md = md.replace("MEAS_FIG10", table(["10a", "10b"]))
+md = md.replace("MEAS_FIG11", table(["11a", "11b", "11c", "11d"]))
+md = md.replace("MEAS_FIG12", table(["12a", "12b"]))
+
+# Fig. 6 absolute runtimes appendix.
+lines = ["\n## Appendix: Fig. 6 absolute runtimes (ms, SF 1, median of 3)\n"]
+lines.append("| query | datacentric | hybrid | swole |")
+lines.append("|---|---|---|---|")
+for q in ["Q1", "Q3", "Q4", "Q5", "Q6", "Q13", "Q14", "Q19"]:
+    lines.append(
+        f"| {q} | {f6['datacentric'][q]:.1f} | {f6['hybrid'][q]:.1f} | {f6['swole'][q]:.1f} |"
+    )
+md = md.rstrip() + "\n" + "\n".join(lines) + "\n"
+
+open("EXPERIMENTS.md", "w").write(md)
+print("EXPERIMENTS.md filled from", CSV)

@@ -1,0 +1,4 @@
+//! Umbrella crate hosting the repository-level examples and integration
+//! tests. The library surface lives in the [`swole`] facade crate; this
+//! crate only re-exports it so examples and tests have a single root.
+pub use swole::*;

@@ -1,0 +1,93 @@
+//! Repo-level invariant: every strategy of every query — TPC-H and
+//! microbenchmark — produces identical results, across seeds and scales.
+//! (The paper's whole argument assumes the strategies are interchangeable
+//! in semantics and differ only in access patterns.)
+
+use swole::cost::CostParams;
+use swole_micro::{generate as micro_generate, MicroParams};
+use swole_tpch::queries as q;
+
+#[test]
+fn tpch_all_strategies_agree_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let db = swole_tpch::generate(0.004, seed);
+        let params = CostParams::default();
+        assert_eq!(q::q1::datacentric(&db), q::q1::hybrid(&db), "q1 seed {seed}");
+        assert_eq!(q::q1::datacentric(&db), q::q1::swole(&db), "q1 seed {seed}");
+        assert_eq!(q::q3::datacentric(&db), q::q3::hybrid(&db), "q3 seed {seed}");
+        assert_eq!(q::q3::datacentric(&db), q::q3::swole(&db), "q3 seed {seed}");
+        assert_eq!(q::q4::datacentric(&db), q::q4::hybrid(&db), "q4 seed {seed}");
+        assert_eq!(q::q4::datacentric(&db), q::q4::swole(&db), "q4 seed {seed}");
+        assert_eq!(q::q5::datacentric(&db), q::q5::hybrid(&db), "q5 seed {seed}");
+        assert_eq!(q::q5::datacentric(&db), q::q5::swole(&db), "q5 seed {seed}");
+        assert_eq!(q::q6::datacentric(&db), q::q6::hybrid(&db), "q6 seed {seed}");
+        assert_eq!(q::q6::datacentric(&db), q::q6::swole(&db), "q6 seed {seed}");
+        assert_eq!(q::q13::datacentric(&db), q::q13::hybrid(&db), "q13 seed {seed}");
+        assert_eq!(q::q13::datacentric(&db), q::q13::swole(&db), "q13 seed {seed}");
+        assert_eq!(q::q14::datacentric(&db), q::q14::hybrid(&db), "q14 seed {seed}");
+        assert_eq!(
+            q::q14::datacentric(&db),
+            q::q14::swole(&db, &params).0,
+            "q14 seed {seed}"
+        );
+        assert_eq!(q::q19::datacentric(&db), q::q19::hybrid(&db), "q19 seed {seed}");
+        assert_eq!(q::q19::datacentric(&db), q::q19::swole(&db), "q19 seed {seed}");
+    }
+}
+
+#[test]
+fn micro_all_strategies_agree_with_swole_entries() {
+    use swole_kernels::agg::{Div, Mul};
+    use swole_kernels::groupby::collect_groups;
+    let params = CostParams::default();
+    for seed in [11u64, 12] {
+        let db = micro_generate(MicroParams {
+            r_rows: 30_000,
+            s_rows: 512,
+            r_c_cardinality: 128,
+            seed,
+        });
+        for sel in [0i8, 33, 66, 100] {
+            // Q1 both operators.
+            let base = swole_micro::q1::datacentric::<Mul>(&db.r, sel);
+            assert_eq!(swole_micro::q1::hybrid::<Mul>(&db.r, sel), base);
+            assert_eq!(swole_micro::q1::value_masking::<Mul>(&db.r, sel), base);
+            assert_eq!(swole_micro::q1::swole::<Mul>(&db.r, sel, &params).0, base);
+            let base = swole_micro::q1::datacentric::<Div>(&db.r, sel);
+            assert_eq!(swole_micro::q1::swole::<Div>(&db.r, sel, &params).0, base);
+            // Q2.
+            let base = collect_groups(&swole_micro::q2::datacentric(&db.r, sel));
+            assert_eq!(collect_groups(&swole_micro::q2::key_masking(&db.r, sel)), base);
+            assert_eq!(
+                collect_groups(&swole_micro::q2::swole(&db.r, sel, 128, &params).0),
+                base
+            );
+            // Q3 both columns.
+            for col in [swole_micro::q3::Q3Col::A, swole_micro::q3::Q3Col::X] {
+                let base = swole_micro::q3::datacentric(&db.r, col, sel);
+                assert_eq!(swole_micro::q3::access_merging(&db.r, col, sel), base);
+            }
+            // Q4.
+            let base = swole_micro::q4::datacentric(&db.r, &db.s, sel, 50);
+            assert_eq!(swole_micro::q4::swole(&db, sel, 50, &params).0, base);
+            // Q5.
+            let base = collect_groups(&swole_micro::q5::groupjoin_datacentric(&db.r, &db.s, sel));
+            assert_eq!(
+                collect_groups(&swole_micro::q5::swole(&db.r, &db.s, sel, &params).0),
+                base
+            );
+        }
+    }
+}
+
+#[test]
+fn tpch_results_scale_consistently() {
+    // Doubling the scale factor roughly doubles Q1's counts (sanity that
+    // the generator scales linearly and queries see all data).
+    let small = swole_tpch::generate(0.002, 9);
+    let large = swole_tpch::generate(0.004, 9);
+    let c_small: i64 = q::q1::swole(&small).iter().map(|r| r.count).sum();
+    let c_large: i64 = q::q1::swole(&large).iter().map(|r| r.count).sum();
+    let ratio = c_large as f64 / c_small as f64;
+    assert!((1.6..=2.4).contains(&ratio), "ratio = {ratio}");
+}

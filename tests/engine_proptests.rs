@@ -1,0 +1,160 @@
+//! Property-based engine validation: for randomly generated tables and
+//! randomly composed (supported-shape) plans, the access-aware engine must
+//! agree with the naive interpreter — regardless of which strategies the
+//! cost model happens to pick.
+
+use proptest::prelude::*;
+use swole::plan::interp;
+use swole::prelude::*;
+
+/// Random database: R(x, a, b, c, fk) and S(y), sizes and domains drawn by
+/// proptest.
+#[derive(Debug, Clone)]
+struct RandomDb {
+    x: Vec<i8>,
+    a: Vec<i32>,
+    b: Vec<i32>,
+    c: Vec<i16>,
+    fk: Vec<u32>,
+    s_y: Vec<i8>,
+}
+
+impl RandomDb {
+    fn build(&self) -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            Table::new("R")
+                .with_column("x", ColumnData::I8(self.x.clone()))
+                .with_column("a", ColumnData::I32(self.a.clone()))
+                .with_column("b", ColumnData::I32(self.b.clone()))
+                .with_column("c", ColumnData::I16(self.c.clone()))
+                .with_column("fk", ColumnData::U32(self.fk.clone())),
+        );
+        db.add_table(Table::new("S").with_column("y", ColumnData::I8(self.s_y.clone())));
+        db.add_fk("R", "fk", "S").expect("valid by construction");
+        db
+    }
+}
+
+fn random_db() -> impl Strategy<Value = RandomDb> {
+    (1usize..3000, 1usize..200).prop_flat_map(|(n_r, n_s)| {
+        (
+            proptest::collection::vec(0i8..100, n_r),
+            proptest::collection::vec(1i32..50, n_r),
+            proptest::collection::vec(1i32..50, n_r),
+            proptest::collection::vec(0i16..24, n_r),
+            proptest::collection::vec(0u32..n_s as u32, n_r),
+            proptest::collection::vec(0i8..100, n_s),
+        )
+            .prop_map(|(x, a, b, c, fk, s_y)| RandomDb {
+                x,
+                a,
+                b,
+                c,
+                fk,
+                s_y,
+            })
+    })
+}
+
+/// A random predicate over R's integer columns.
+fn random_pred() -> impl Strategy<Value = Expr> {
+    let leaf = (0usize..3, any::<i8>(), 0usize..6).prop_map(|(col, lit, op)| {
+        let col = ["x", "a", "c"][col];
+        let op = [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ][op];
+        Expr::col(col).cmp(op, Expr::lit(lit as i64))
+    });
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+/// A random aggregate list (sum/count/min/max over simple expressions).
+fn random_aggs() -> impl Strategy<Value = Vec<AggSpec>> {
+    let one = (0usize..4, 0usize..3).prop_map(|(f, e)| {
+        let expr = match e {
+            0 => Expr::col("a"),
+            1 => Expr::col("a").mul(Expr::col("b")),
+            _ => Expr::Add(Box::new(Expr::col("a")), Box::new(Expr::col("c"))),
+        };
+        match f {
+            0 => AggSpec::sum(expr, "v"),
+            1 => AggSpec::count("v"),
+            2 => AggSpec::min(expr, "v"),
+            _ => AggSpec::max(expr, "v"),
+        }
+    });
+    proptest::collection::vec(one, 1..4).prop_map(|mut aggs| {
+        for (i, a) in aggs.iter_mut().enumerate() {
+            a.name = format!("v{i}");
+        }
+        aggs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_agg_engine_equals_interp(
+        db in random_db(),
+        pred in proptest::option::of(random_pred()),
+        aggs in random_aggs(),
+        group in any::<bool>(),
+    ) {
+        let mut builder = QueryBuilder::scan("R");
+        if let Some(p) = pred {
+            builder = builder.filter(p);
+        }
+        let plan = builder.aggregate(if group { Some("c") } else { None }, aggs);
+        let database = db.build();
+        let expected = interp::run(&database, &plan).expect("interp");
+        let engine = Engine::new(database);
+        let got = engine.query(&plan).expect("engine");
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn semijoin_engine_equals_interp(
+        db in random_db(),
+        probe_sel in proptest::option::of(0i8..100),
+        build_sel in 0i8..100,
+        group in any::<bool>(),
+    ) {
+        let mut builder = QueryBuilder::scan("R");
+        if let Some(s) = probe_sel {
+            if !group {
+                builder = builder.filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(s as i64)));
+            }
+        }
+        let plan = builder
+            .semijoin(
+                QueryBuilder::scan("S")
+                    .filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(build_sel as i64))),
+                "fk",
+            )
+            .aggregate(
+                if group { Some("fk") } else { None },
+                vec![
+                    AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                    AggSpec::count("n"),
+                ],
+            );
+        let database = db.build();
+        let expected = interp::run(&database, &plan).expect("interp");
+        let engine = Engine::new(database);
+        let got = engine.query(&plan).expect("engine");
+        prop_assert_eq!(got, expected);
+    }
+}

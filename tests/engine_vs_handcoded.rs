@@ -1,0 +1,135 @@
+//! The declarative engine must reproduce the hand-coded strategy
+//! implementations' results when given the same data as a catalog — the
+//! engine is the library face, the hand-coded kernels are the measured
+//! face, and they must never diverge.
+
+use swole::prelude::*;
+use swole_kernels::groupby::collect_groups;
+use swole_micro::{generate, MicroDb, MicroParams};
+
+/// Register the microbenchmark tables in a `Database`.
+fn as_database(db: &MicroDb) -> Database {
+    let mut out = Database::new();
+    out.add_table(
+        Table::new("R")
+            .with_column("a", ColumnData::I32(db.r.a.clone()))
+            .with_column("b", ColumnData::I32(db.r.b.clone()))
+            .with_column("c", ColumnData::I32(db.r.c.clone()))
+            .with_column("x", ColumnData::I8(db.r.x.clone()))
+            .with_column("y", ColumnData::I8(db.r.y.clone()))
+            .with_column("fk", ColumnData::U32(db.r.fk.clone())),
+    );
+    out.add_table(Table::new("S").with_column("x", ColumnData::I8(db.s.x.clone())));
+    out.add_fk("R", "fk", "S").expect("valid FK");
+    out
+}
+
+fn micro() -> MicroDb {
+    generate(MicroParams {
+        r_rows: 25_000,
+        s_rows: 256,
+        r_c_cardinality: 64,
+        seed: 1234,
+    })
+}
+
+fn q_filter(sel: i8) -> Expr {
+    Expr::col("x")
+        .cmp(CmpOp::Lt, Expr::lit(sel as i64))
+        .and(Expr::col("y").cmp(CmpOp::Eq, Expr::lit(1)))
+}
+
+#[test]
+fn engine_matches_handcoded_q1() {
+    let db = micro();
+    let engine = Engine::new(as_database(&db));
+    for sel in [0i8, 30, 70, 100] {
+        let plan = QueryBuilder::scan("R").filter(q_filter(sel)).aggregate(
+            None,
+            vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+        );
+        let got = engine.query(&plan).expect("engine runs");
+        let expected =
+            swole_micro::q1::value_masking::<swole_kernels::agg::Mul>(&db.r, sel);
+        assert_eq!(got.rows[0][0], expected, "sel={sel}");
+    }
+}
+
+#[test]
+fn engine_matches_handcoded_q2() {
+    let db = micro();
+    let engine = Engine::new(as_database(&db));
+    for sel in [10i8, 50, 90] {
+        let plan = QueryBuilder::scan("R").filter(q_filter(sel)).aggregate(
+            Some("c"),
+            vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+        );
+        let got = engine.query(&plan).expect("engine runs");
+        let expected = collect_groups(&swole_micro::q2::key_masking(&db.r, sel));
+        let got_pairs: Vec<(i64, i64)> = got.rows.iter().map(|r| (r[0], r[1])).collect();
+        assert_eq!(got_pairs, expected, "sel={sel}");
+    }
+}
+
+#[test]
+fn engine_matches_handcoded_q4() {
+    let db = micro();
+    let engine = Engine::new(as_database(&db));
+    let cost = CostParams::default();
+    for (sel1, sel2) in [(10i8, 90i8), (90, 10), (50, 50)] {
+        let plan = QueryBuilder::scan("R")
+            .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(sel1 as i64)))
+            .semijoin(
+                QueryBuilder::scan("S")
+                    .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(sel2 as i64))),
+                "fk",
+            )
+            .aggregate(
+                None,
+                vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+            );
+        // The engine must pick the positional bitmap (FK index registered).
+        let physical = engine.plan(&plan).expect("plans");
+        assert!(matches!(
+            physical.semijoin_strategy(),
+            Some(SemiJoinStrategy::PositionalBitmap(_))
+        ));
+        let got = engine.execute(&physical);
+        let (expected, _) = swole_micro::q4::swole(&db, sel1, sel2, &cost);
+        assert_eq!(got.rows[0][0], expected, "sel1={sel1} sel2={sel2}");
+    }
+}
+
+#[test]
+fn engine_matches_handcoded_q5() {
+    let db = micro();
+    let engine = Engine::new(as_database(&db));
+    for sel in [10i8, 50, 90] {
+        let plan = QueryBuilder::scan("R")
+            .semijoin(
+                QueryBuilder::scan("S")
+                    .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(sel as i64))),
+                "fk",
+            )
+            .aggregate(
+                Some("fk"),
+                vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+            );
+        let got = engine.query(&plan).expect("engine runs");
+        let expected = collect_groups(&swole_micro::q5::eager_aggregation(&db.r, &db.s, sel));
+        let got_pairs: Vec<(i64, i64)> = got.rows.iter().map(|r| (r[0], r[1])).collect();
+        assert_eq!(got_pairs, expected, "sel={sel}");
+    }
+}
+
+#[test]
+fn engine_explain_names_pullup_techniques() {
+    let db = micro();
+    let engine = Engine::new(as_database(&db));
+    let plan = QueryBuilder::scan("R").filter(q_filter(60)).aggregate(
+        Some("c"),
+        vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+    );
+    let text = engine.explain(&plan).expect("plans");
+    assert!(text.contains("masking"), "{text}");
+}

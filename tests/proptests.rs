@@ -1,0 +1,266 @@
+//! Property-based tests on the core data structures and kernels:
+//! every structure is checked against a trivially-correct model.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use swole::bitmap::{CompressedBitmap, PositionalBitmap};
+use swole::ht::{AggTable, JoinTable, KeySet, NULL_KEY};
+use swole::kernels::{predicate, selvec};
+use swole::storage::{like_match, ColumnData, Date};
+
+// ---------------------------------------------------------------------
+// Bitmaps vs Vec<bool>
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn bitmap_matches_bool_vec(bits in proptest::collection::vec(any::<bool>(), 0..5000)) {
+        let mut bm = PositionalBitmap::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            bm.assign(i, b as u64);
+        }
+        prop_assert_eq!(bm.count_ones(), bits.iter().filter(|&&b| b).count());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), b);
+            prop_assert_eq!(bm.get_bit(i), b as u64);
+        }
+        let ones: Vec<usize> = bm.iter_ones().collect();
+        let expected: Vec<usize> =
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(ones, expected);
+    }
+
+    #[test]
+    fn bitmap_set_algebra_matches_model(
+        a in proptest::collection::vec(any::<bool>(), 1..2000),
+        seed in any::<u64>(),
+    ) {
+        // Derive a second vector deterministically from the seed.
+        let b: Vec<bool> = (0..a.len())
+            .map(|i| (seed.wrapping_mul(i as u64 + 1) >> 60) & 1 == 1)
+            .collect();
+        let bm_a = {
+            let bytes: Vec<u8> = a.iter().map(|&x| x as u8).collect();
+            PositionalBitmap::from_predicate_bytes(&bytes)
+        };
+        let bm_b = {
+            let bytes: Vec<u8> = b.iter().map(|&x| x as u8).collect();
+            PositionalBitmap::from_predicate_bytes(&bytes)
+        };
+        let mut union = bm_a.clone();
+        union.union_with(&bm_b);
+        let mut inter = bm_a.clone();
+        inter.intersect_with(&bm_b);
+        let mut neg = bm_a.clone();
+        neg.negate();
+        for i in 0..a.len() {
+            prop_assert_eq!(union.get(i), a[i] | b[i]);
+            prop_assert_eq!(inter.get(i), a[i] & b[i]);
+            prop_assert_eq!(neg.get(i), !a[i]);
+        }
+    }
+
+    #[test]
+    fn compressed_bitmap_roundtrips(bits in proptest::collection::vec(any::<bool>(), 0..20_000)) {
+        let mut dense = PositionalBitmap::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                dense.set(i);
+            }
+        }
+        let compressed = CompressedBitmap::compress(&dense);
+        prop_assert_eq!(compressed.count_ones(), dense.count_ones());
+        prop_assert_eq!(&compressed.decompress(), &dense);
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(compressed.get(i), b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hash structures vs std collections
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add(i16, i32),
+    Delete(i16),
+    AddNull(i32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<i16>(), any::<i32>()).prop_map(|(k, v)| Op::Add(k, v)),
+        any::<i16>().prop_map(Op::Delete),
+        any::<i32>().prop_map(Op::AddNull),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn agg_table_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let mut table = AggTable::with_capacity(1, 4);
+        let mut model: HashMap<i64, i64> = HashMap::new();
+        let mut null_acc = 0i64;
+        for op in ops {
+            match op {
+                Op::Add(k, v) => {
+                    let off = table.entry(k as i64);
+                    table.add(off, 0, v as i64);
+                    table.set_valid(off);
+                    *model.entry(k as i64).or_insert(0) += v as i64;
+                }
+                Op::Delete(k) => {
+                    let was = table.delete(k as i64);
+                    prop_assert_eq!(was, model.remove(&(k as i64)).is_some());
+                }
+                Op::AddNull(v) => {
+                    let off = table.entry(NULL_KEY);
+                    table.add(off, 0, v as i64);
+                    null_acc += v as i64;
+                }
+            }
+        }
+        prop_assert_eq!(table.len(), model.len());
+        let got: HashMap<i64, i64> = table.iter().map(|(k, s, _)| (k, s[0])).collect();
+        prop_assert_eq!(got, model);
+        prop_assert_eq!(table.null_state()[0], null_acc);
+    }
+
+    #[test]
+    fn key_set_matches_hashset(keys in proptest::collection::vec(any::<i32>(), 0..500)) {
+        let mut set = KeySet::with_capacity(4);
+        let mut model = std::collections::HashSet::new();
+        for &k in &keys {
+            prop_assert_eq!(set.insert(k as i64), model.insert(k as i64));
+        }
+        prop_assert_eq!(set.len(), model.len());
+        for &k in &keys {
+            prop_assert!(set.contains(k as i64));
+        }
+        prop_assert_eq!(set.contains(i64::MAX), model.contains(&i64::MAX));
+    }
+
+    #[test]
+    fn join_table_matches_multimap(keys in proptest::collection::vec(-50i64..50, 0..500)) {
+        let table = JoinTable::build(&keys);
+        let mut model: HashMap<i64, Vec<u32>> = HashMap::new();
+        for (row, &k) in keys.iter().enumerate() {
+            model.entry(k).or_default().push(row as u32);
+        }
+        for k in -60i64..60 {
+            let mut got: Vec<u32> = table.probe(k).collect();
+            got.sort_unstable();
+            let expected = model.get(&k).cloned().unwrap_or_default();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernels vs scalar references
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn selvec_variants_match_filter(mask in proptest::collection::vec(0u8..=1, 0..3000)) {
+        let mut a = vec![0u32; mask.len()];
+        let mut b = vec![0u32; mask.len()];
+        let ka = selvec::fill_nobranch(&mask, 100, &mut a);
+        let kb = selvec::fill_branch(&mask, 100, &mut b);
+        let expected: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m != 0)
+            .map(|(i, _)| 100 + i as u32)
+            .collect();
+        prop_assert_eq!(&a[..ka], expected.as_slice());
+        prop_assert_eq!(&b[..kb], expected.as_slice());
+    }
+
+    #[test]
+    fn predicate_kernels_match_scalar(
+        data in proptest::collection::vec(any::<i32>(), 1..2000),
+        lit in any::<i32>(),
+    ) {
+        let mut out = vec![0u8; data.len()];
+        predicate::cmp_lt(&data, lit, &mut out);
+        for (j, &d) in data.iter().enumerate() {
+            prop_assert_eq!(out[j], (d < lit) as u8);
+        }
+        predicate::cmp_between(&data, lit.saturating_sub(10), lit, &mut out);
+        for (j, &d) in data.iter().enumerate() {
+            prop_assert_eq!(out[j], (d >= lit.saturating_sub(10) && d <= lit) as u8);
+        }
+    }
+
+    #[test]
+    fn masked_sum_equals_filtered_sum(
+        rows in proptest::collection::vec((1i32..100, 1i32..100, 0u8..=1), 0..2000),
+    ) {
+        use swole::kernels::agg::{sum_op_masked, sum_op_datacentric, Mul};
+        let a: Vec<i32> = rows.iter().map(|r| r.0).collect();
+        let b: Vec<i32> = rows.iter().map(|r| r.1).collect();
+        let cmp: Vec<u8> = rows.iter().map(|r| r.2).collect();
+        let masked = sum_op_masked::<_, _, Mul>(&a, &b, &cmp);
+        let branch = sum_op_datacentric::<_, _, Mul>(&a, &b, |j| cmp[j] != 0);
+        prop_assert_eq!(masked, branch);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storage primitives
+// ---------------------------------------------------------------------
+
+/// Reference LIKE implementation: simple recursion (exponential worst
+/// case, fine at test sizes).
+fn like_reference(pat: &[u8], val: &[u8]) -> bool {
+    match (pat.first(), val.first()) {
+        (None, None) => true,
+        (Some(b'%'), _) => {
+            like_reference(&pat[1..], val)
+                || (!val.is_empty() && like_reference(pat, &val[1..]))
+        }
+        (Some(b'_'), Some(_)) => like_reference(&pat[1..], &val[1..]),
+        (Some(&p), Some(&v)) if p == v => like_reference(&pat[1..], &val[1..]),
+        _ => false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn like_match_agrees_with_reference(
+        pattern in "[ab%_]{0,8}",
+        value in "[ab]{0,10}",
+    ) {
+        prop_assert_eq!(
+            like_match(&pattern, &value),
+            like_reference(pattern.as_bytes(), value.as_bytes()),
+            "pattern={} value={}", pattern, value
+        );
+    }
+
+    #[test]
+    fn date_roundtrip(days in -200_000i32..200_000) {
+        let d = Date(days);
+        let (y, m, dd) = d.to_ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd), d);
+    }
+
+    #[test]
+    fn date_ordering_matches_days(a in -50_000i32..50_000, b in -50_000i32..50_000) {
+        prop_assert_eq!(Date(a) < Date(b), a < b);
+    }
+
+    #[test]
+    fn column_compression_roundtrips(values in proptest::collection::vec(any::<i64>(), 0..500)) {
+        let col = ColumnData::compress_i64(&values);
+        prop_assert_eq!(col.to_i64_vec(), values);
+    }
+
+    #[test]
+    fn narrow_values_compress_narrow(values in proptest::collection::vec(-100i64..100, 1..200)) {
+        let col = ColumnData::compress_i64(&values);
+        prop_assert_eq!(col.size_bytes(), values.len()); // one byte each
+    }
+}
