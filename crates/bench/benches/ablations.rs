@@ -161,8 +161,8 @@ fn bench_null_routing(c: &mut Criterion) {
                     let mut t = AggTable::with_capacity(1, card as usize);
                     let mut masked = vec![0i64; N];
                     swole_kernels::groupby::mask_keys(&keys, &cmp, &mut masked);
-                    for j in 0..N {
-                        let off = t.entry(masked[j]);
+                    for &key in masked.iter() {
+                        let off = t.entry(key);
                         t.add(off, 0, 1);
                     }
                     black_box(t.len())

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("fig{sub}_q3_{col:?}"));
         g.sample_size(10);
         g.measurement_time(std::time::Duration::from_millis(800));
-    g.warm_up_time(std::time::Duration::from_millis(200));
+        g.warm_up_time(std::time::Duration::from_millis(200));
         for sel in [25i8, 75] {
             g.bench_with_input(BenchmarkId::new("datacentric", sel), &sel, |b, &sel| {
                 b.iter(|| black_box(q3::datacentric(&db.r, col, sel)))

@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("fig{sub}_q4"));
         g.sample_size(10);
         g.measurement_time(std::time::Duration::from_millis(800));
-    g.warm_up_time(std::time::Duration::from_millis(200));
+        g.warm_up_time(std::time::Duration::from_millis(200));
         for (sel1, sel2) in points {
             let id = format!("{sel1}/{sel2}");
             g.bench_with_input(BenchmarkId::new("datacentric", &id), &(), |b, _| {
@@ -36,7 +36,12 @@ fn bench(c: &mut Criterion) {
             });
             g.bench_with_input(BenchmarkId::new("positional-bitmap", &id), &(), |b, _| {
                 b.iter(|| {
-                    black_box(q4::bitmap_masked(&db, sel1, sel2, BitmapBuild::Unconditional))
+                    black_box(q4::bitmap_masked(
+                        &db,
+                        sel1,
+                        sel2,
+                        BitmapBuild::Unconditional,
+                    ))
                 })
             });
         }

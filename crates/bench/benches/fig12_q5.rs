@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("fig{sub}_q5_s{s_rows}"));
         g.sample_size(10);
         g.measurement_time(std::time::Duration::from_millis(800));
-    g.warm_up_time(std::time::Duration::from_millis(200));
+        g.warm_up_time(std::time::Duration::from_millis(200));
         for sel in [10i8, 50, 90] {
             g.bench_with_input(BenchmarkId::new("datacentric", sel), &sel, |b, &sel| {
                 b.iter(|| black_box(q2::checksum(&q5::groupjoin_datacentric(&db.r, &db.s, sel))))

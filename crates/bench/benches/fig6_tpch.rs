@@ -19,29 +19,167 @@ fn bench(c: &mut Criterion) {
 
     type Runner = Box<dyn Fn(&TpchDb)>;
     let queries: Vec<(&str, &str, Runner)> = vec![
-        ("Q1", "datacentric", Box::new(|db| { black_box(q::q1::datacentric(db)); })),
-        ("Q1", "hybrid", Box::new(|db| { black_box(q::q1::hybrid(db)); })),
-        ("Q1", "swole", Box::new(|db| { black_box(q::q1::swole(db)); })),
-        ("Q3", "datacentric", Box::new(|db| { black_box(q::q3::datacentric(db)); })),
-        ("Q3", "hybrid", Box::new(|db| { black_box(q::q3::hybrid(db)); })),
-        ("Q3", "swole", Box::new(|db| { black_box(q::q3::swole(db)); })),
-        ("Q4", "datacentric", Box::new(|db| { black_box(q::q4::datacentric(db)); })),
-        ("Q4", "hybrid", Box::new(|db| { black_box(q::q4::hybrid(db)); })),
-        ("Q4", "swole", Box::new(|db| { black_box(q::q4::swole(db)); })),
-        ("Q5", "datacentric", Box::new(|db| { black_box(q::q5::datacentric(db)); })),
-        ("Q5", "hybrid", Box::new(|db| { black_box(q::q5::hybrid(db)); })),
-        ("Q5", "swole", Box::new(|db| { black_box(q::q5::swole(db)); })),
-        ("Q6", "datacentric", Box::new(|db| { black_box(q::q6::datacentric(db)); })),
-        ("Q6", "hybrid", Box::new(|db| { black_box(q::q6::hybrid(db)); })),
-        ("Q6", "swole", Box::new(|db| { black_box(q::q6::swole(db)); })),
-        ("Q13", "datacentric", Box::new(|db| { black_box(q::q13::datacentric(db)); })),
-        ("Q13", "hybrid", Box::new(|db| { black_box(q::q13::hybrid(db)); })),
-        ("Q13", "swole", Box::new(|db| { black_box(q::q13::swole(db)); })),
-        ("Q14", "datacentric", Box::new(|db| { black_box(q::q14::datacentric(db)); })),
-        ("Q14", "hybrid", Box::new(|db| { black_box(q::q14::hybrid(db)); })),
-        ("Q19", "datacentric", Box::new(|db| { black_box(q::q19::datacentric(db)); })),
-        ("Q19", "hybrid", Box::new(|db| { black_box(q::q19::hybrid(db)); })),
-        ("Q19", "swole", Box::new(|db| { black_box(q::q19::swole(db)); })),
+        (
+            "Q1",
+            "datacentric",
+            Box::new(|db| {
+                black_box(q::q1::datacentric(db));
+            }),
+        ),
+        (
+            "Q1",
+            "hybrid",
+            Box::new(|db| {
+                black_box(q::q1::hybrid(db));
+            }),
+        ),
+        (
+            "Q1",
+            "swole",
+            Box::new(|db| {
+                black_box(q::q1::swole(db));
+            }),
+        ),
+        (
+            "Q3",
+            "datacentric",
+            Box::new(|db| {
+                black_box(q::q3::datacentric(db));
+            }),
+        ),
+        (
+            "Q3",
+            "hybrid",
+            Box::new(|db| {
+                black_box(q::q3::hybrid(db));
+            }),
+        ),
+        (
+            "Q3",
+            "swole",
+            Box::new(|db| {
+                black_box(q::q3::swole(db));
+            }),
+        ),
+        (
+            "Q4",
+            "datacentric",
+            Box::new(|db| {
+                black_box(q::q4::datacentric(db));
+            }),
+        ),
+        (
+            "Q4",
+            "hybrid",
+            Box::new(|db| {
+                black_box(q::q4::hybrid(db));
+            }),
+        ),
+        (
+            "Q4",
+            "swole",
+            Box::new(|db| {
+                black_box(q::q4::swole(db));
+            }),
+        ),
+        (
+            "Q5",
+            "datacentric",
+            Box::new(|db| {
+                black_box(q::q5::datacentric(db));
+            }),
+        ),
+        (
+            "Q5",
+            "hybrid",
+            Box::new(|db| {
+                black_box(q::q5::hybrid(db));
+            }),
+        ),
+        (
+            "Q5",
+            "swole",
+            Box::new(|db| {
+                black_box(q::q5::swole(db));
+            }),
+        ),
+        (
+            "Q6",
+            "datacentric",
+            Box::new(|db| {
+                black_box(q::q6::datacentric(db));
+            }),
+        ),
+        (
+            "Q6",
+            "hybrid",
+            Box::new(|db| {
+                black_box(q::q6::hybrid(db));
+            }),
+        ),
+        (
+            "Q6",
+            "swole",
+            Box::new(|db| {
+                black_box(q::q6::swole(db));
+            }),
+        ),
+        (
+            "Q13",
+            "datacentric",
+            Box::new(|db| {
+                black_box(q::q13::datacentric(db));
+            }),
+        ),
+        (
+            "Q13",
+            "hybrid",
+            Box::new(|db| {
+                black_box(q::q13::hybrid(db));
+            }),
+        ),
+        (
+            "Q13",
+            "swole",
+            Box::new(|db| {
+                black_box(q::q13::swole(db));
+            }),
+        ),
+        (
+            "Q14",
+            "datacentric",
+            Box::new(|db| {
+                black_box(q::q14::datacentric(db));
+            }),
+        ),
+        (
+            "Q14",
+            "hybrid",
+            Box::new(|db| {
+                black_box(q::q14::hybrid(db));
+            }),
+        ),
+        (
+            "Q19",
+            "datacentric",
+            Box::new(|db| {
+                black_box(q::q19::datacentric(db));
+            }),
+        ),
+        (
+            "Q19",
+            "hybrid",
+            Box::new(|db| {
+                black_box(q::q19::hybrid(db));
+            }),
+        ),
+        (
+            "Q19",
+            "swole",
+            Box::new(|db| {
+                black_box(q::q19::swole(db));
+            }),
+        ),
     ];
     for (query, strategy, run) in &queries {
         g.bench_with_input(BenchmarkId::new(*strategy, query), &(), |b, _| {

@@ -1,0 +1,113 @@
+//! Morsel-driven scaling: microbenchmark Q1 (value masking) through the
+//! engine at 1/2/4/8 worker threads, plus the group-by Q2 shape.
+//!
+//! Prints a speedup summary after the timing runs. The numbers *measure*
+//! scaling — they never gate: on a single-core container every thread
+//! count runs the same work and speedup hovers around 1×, which is the
+//! expected reading there, not a failure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swole_bench::{median_ms, r_rows, s_small};
+use swole_micro::{generate, MicroDb, MicroParams};
+use swole_plan::{AggSpec, CmpOp, Database, Engine, Expr, LogicalPlan, QueryBuilder};
+use swole_storage::{ColumnData, Table};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn as_database(db: &MicroDb) -> Database {
+    let mut out = Database::new();
+    out.add_table(
+        Table::new("R")
+            .with_column("a", ColumnData::I32(db.r.a.clone()))
+            .with_column("b", ColumnData::I32(db.r.b.clone()))
+            .with_column("c", ColumnData::I32(db.r.c.clone()))
+            .with_column("x", ColumnData::I8(db.r.x.clone()))
+            .with_column("y", ColumnData::I8(db.r.y.clone()))
+            .with_column("fk", ColumnData::U32(db.r.fk.clone())),
+    );
+    out.add_table(Table::new("S").with_column("x", ColumnData::I8(db.s.x.clone())));
+    out.add_fk("R", "fk", "S").expect("valid FK");
+    out
+}
+
+fn micro() -> MicroDb {
+    generate(MicroParams {
+        r_rows: r_rows(),
+        s_rows: s_small(),
+        r_c_cardinality: 1 << 10,
+        seed: 8,
+    })
+}
+
+/// Q1 at 50% selectivity — the value-masked scalar aggregation the paper
+/// leads with, and the acceptance shape for the scaling ask.
+fn q1_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(
+            Expr::col("x")
+                .cmp(CmpOp::Lt, Expr::lit(50))
+                .and(Expr::col("y").cmp(CmpOp::Eq, Expr::lit(1))),
+        )
+        .aggregate(
+            None,
+            vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+        )
+}
+
+/// Q2: the group-by shape, exercising the `AggTable` merge phase.
+fn q2_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(
+            Expr::col("x")
+                .cmp(CmpOp::Lt, Expr::lit(50))
+                .and(Expr::col("y").cmp(CmpOp::Eq, Expr::lit(1))),
+        )
+        .aggregate(
+            Some("c"),
+            vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+        )
+}
+
+fn engine(threads: usize) -> Engine {
+    Engine::builder(as_database(&micro()))
+        .threads(threads)
+        .build()
+}
+
+fn bench(c: &mut Criterion) {
+    for (name, plan) in [("q1_value_masked", q1_plan()), ("q2_groupby", q2_plan())] {
+        let mut g = c.benchmark_group(format!("scaling_{name}"));
+        g.sample_size(10);
+        g.measurement_time(std::time::Duration::from_millis(800));
+        g.warm_up_time(std::time::Duration::from_millis(200));
+        for threads in THREADS {
+            let e = engine(threads);
+            let physical = e.plan(&plan).expect("plans");
+            g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+                b.iter(|| black_box(e.execute(&physical)))
+            });
+        }
+        g.finish();
+    }
+
+    // Speedup summary (informational; see module docs).
+    for (name, plan) in [("q1_value_masked", q1_plan()), ("q2_groupby", q2_plan())] {
+        let mut base_ms = 0.0;
+        for threads in THREADS {
+            let e = engine(threads);
+            let physical = e.plan(&plan).expect("plans");
+            let ms = median_ms(5, || black_box(e.execute(&physical)));
+            if threads == 1 {
+                base_ms = ms;
+            }
+            println!(
+                "{name}: {threads} thread(s) {ms:8.3} ms  speedup {:.2}x",
+                base_ms / ms.max(1e-9)
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -15,8 +15,5 @@ fn main() {
         "read_seq={:.2}ns read_cond={:.2}ns ht_lookup(L1..DRAM)={:?}",
         params.read_seq, params.read_cond, params.ht_lookup_by_level
     );
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&params).expect("CostParams serializes")
-    );
+    println!("{}", params.to_json_pretty());
 }

@@ -99,13 +99,43 @@ fn main() {
         for sel in selectivities(opts.points) {
             let x = sel.to_string();
             if div {
-                emit(id, "datacentric", &x, median_ms(opts.runs, || q1::datacentric::<Div>(&db.r, sel)));
-                emit(id, "hybrid", &x, median_ms(opts.runs, || q1::hybrid::<Div>(&db.r, sel)));
-                emit(id, "value-masking", &x, median_ms(opts.runs, || q1::value_masking::<Div>(&db.r, sel)));
+                emit(
+                    id,
+                    "datacentric",
+                    &x,
+                    median_ms(opts.runs, || q1::datacentric::<Div>(&db.r, sel)),
+                );
+                emit(
+                    id,
+                    "hybrid",
+                    &x,
+                    median_ms(opts.runs, || q1::hybrid::<Div>(&db.r, sel)),
+                );
+                emit(
+                    id,
+                    "value-masking",
+                    &x,
+                    median_ms(opts.runs, || q1::value_masking::<Div>(&db.r, sel)),
+                );
             } else {
-                emit(id, "datacentric", &x, median_ms(opts.runs, || q1::datacentric::<Mul>(&db.r, sel)));
-                emit(id, "hybrid", &x, median_ms(opts.runs, || q1::hybrid::<Mul>(&db.r, sel)));
-                emit(id, "value-masking", &x, median_ms(opts.runs, || q1::value_masking::<Mul>(&db.r, sel)));
+                emit(
+                    id,
+                    "datacentric",
+                    &x,
+                    median_ms(opts.runs, || q1::datacentric::<Mul>(&db.r, sel)),
+                );
+                emit(
+                    id,
+                    "hybrid",
+                    &x,
+                    median_ms(opts.runs, || q1::hybrid::<Mul>(&db.r, sel)),
+                );
+                emit(
+                    id,
+                    "value-masking",
+                    &x,
+                    median_ms(opts.runs, || q1::value_masking::<Mul>(&db.r, sel)),
+                );
             }
         }
     }
@@ -121,10 +151,30 @@ fn main() {
         let db = micro_db(s_small(), card);
         for sel in selectivities(opts.points) {
             let x = sel.to_string();
-            emit(id, "datacentric", &x, median_ms(opts.runs, || q2::datacentric(&db.r, sel)));
-            emit(id, "hybrid", &x, median_ms(opts.runs, || q2::hybrid(&db.r, sel)));
-            emit(id, "value-masking", &x, median_ms(opts.runs, || q2::value_masking(&db.r, sel)));
-            emit(id, "key-masking", &x, median_ms(opts.runs, || q2::key_masking(&db.r, sel)));
+            emit(
+                id,
+                "datacentric",
+                &x,
+                median_ms(opts.runs, || q2::datacentric(&db.r, sel)),
+            );
+            emit(
+                id,
+                "hybrid",
+                &x,
+                median_ms(opts.runs, || q2::hybrid(&db.r, sel)),
+            );
+            emit(
+                id,
+                "value-masking",
+                &x,
+                median_ms(opts.runs, || q2::value_masking(&db.r, sel)),
+            );
+            emit(
+                id,
+                "key-masking",
+                &x,
+                median_ms(opts.runs, || q2::key_masking(&db.r, sel)),
+            );
         }
     }
 
@@ -137,10 +187,30 @@ fn main() {
         let db = micro_db(s_small(), 1 << 10);
         for sel in selectivities(opts.points) {
             let x = sel.to_string();
-            emit(id, "datacentric", &x, median_ms(opts.runs, || q3::datacentric(&db.r, col, sel)));
-            emit(id, "hybrid", &x, median_ms(opts.runs, || q3::hybrid(&db.r, col, sel)));
-            emit(id, "value-masking", &x, median_ms(opts.runs, || q3::value_masking(&db.r, col, sel)));
-            emit(id, "access-merging", &x, median_ms(opts.runs, || q3::access_merging(&db.r, col, sel)));
+            emit(
+                id,
+                "datacentric",
+                &x,
+                median_ms(opts.runs, || q3::datacentric(&db.r, col, sel)),
+            );
+            emit(
+                id,
+                "hybrid",
+                &x,
+                median_ms(opts.runs, || q3::hybrid(&db.r, col, sel)),
+            );
+            emit(
+                id,
+                "value-masking",
+                &x,
+                median_ms(opts.runs, || q3::value_masking(&db.r, col, sel)),
+            );
+            emit(
+                id,
+                "access-merging",
+                &x,
+                median_ms(opts.runs, || q3::access_merging(&db.r, col, sel)),
+            );
         }
     }
 
@@ -163,11 +233,26 @@ fn main() {
             for sel in selectivities(opts.points) {
                 let (sel1, sel2) = (fixed1.unwrap_or(sel), fixed2.unwrap_or(sel));
                 let x = sel.to_string();
-                emit(id, "datacentric", &x, median_ms(opts.runs, || q4::datacentric(&db.r, &db.s, sel1, sel2)));
-                emit(id, "hybrid", &x, median_ms(opts.runs, || q4::hybrid(&db.r, &db.s, sel1, sel2)));
-                emit(id, "positional-bitmap", &x, median_ms(opts.runs, || {
-                    q4::bitmap_masked(&db, sel1, sel2, BitmapBuild::Unconditional)
-                }));
+                emit(
+                    id,
+                    "datacentric",
+                    &x,
+                    median_ms(opts.runs, || q4::datacentric(&db.r, &db.s, sel1, sel2)),
+                );
+                emit(
+                    id,
+                    "hybrid",
+                    &x,
+                    median_ms(opts.runs, || q4::hybrid(&db.r, &db.s, sel1, sel2)),
+                );
+                emit(
+                    id,
+                    "positional-bitmap",
+                    &x,
+                    median_ms(opts.runs, || {
+                        q4::bitmap_masked(&db, sel1, sel2, BitmapBuild::Unconditional)
+                    }),
+                );
             }
         }
     }
@@ -181,9 +266,24 @@ fn main() {
         let db = micro_db(s_rows, 1 << 10);
         for sel in selectivities(opts.points) {
             let x = sel.to_string();
-            emit(id, "datacentric", &x, median_ms(opts.runs, || q5::groupjoin_datacentric(&db.r, &db.s, sel)));
-            emit(id, "hybrid", &x, median_ms(opts.runs, || q5::groupjoin_hybrid(&db.r, &db.s, sel)));
-            emit(id, "eager-aggregation", &x, median_ms(opts.runs, || q5::eager_aggregation(&db.r, &db.s, sel)));
+            emit(
+                id,
+                "datacentric",
+                &x,
+                median_ms(opts.runs, || q5::groupjoin_datacentric(&db.r, &db.s, sel)),
+            );
+            emit(
+                id,
+                "hybrid",
+                &x,
+                median_ms(opts.runs, || q5::groupjoin_hybrid(&db.r, &db.s, sel)),
+            );
+            emit(
+                id,
+                "eager-aggregation",
+                &x,
+                median_ms(opts.runs, || q5::eager_aggregation(&db.r, &db.s, sel)),
+            );
         }
     }
 
@@ -195,28 +295,64 @@ fn main() {
         let params = CostParams::default();
         let runs = opts.runs;
         let row = |q: &str, strat: &str, ms: f64| emit("6", strat, q, ms);
-        row("Q1", "datacentric", median_ms(runs, || tq::q1::datacentric(&db)));
+        row(
+            "Q1",
+            "datacentric",
+            median_ms(runs, || tq::q1::datacentric(&db)),
+        );
         row("Q1", "hybrid", median_ms(runs, || tq::q1::hybrid(&db)));
         row("Q1", "swole", median_ms(runs, || tq::q1::swole(&db)));
-        row("Q3", "datacentric", median_ms(runs, || tq::q3::datacentric(&db)));
+        row(
+            "Q3",
+            "datacentric",
+            median_ms(runs, || tq::q3::datacentric(&db)),
+        );
         row("Q3", "hybrid", median_ms(runs, || tq::q3::hybrid(&db)));
         row("Q3", "swole", median_ms(runs, || tq::q3::swole(&db)));
-        row("Q4", "datacentric", median_ms(runs, || tq::q4::datacentric(&db)));
+        row(
+            "Q4",
+            "datacentric",
+            median_ms(runs, || tq::q4::datacentric(&db)),
+        );
         row("Q4", "hybrid", median_ms(runs, || tq::q4::hybrid(&db)));
         row("Q4", "swole", median_ms(runs, || tq::q4::swole(&db)));
-        row("Q5", "datacentric", median_ms(runs, || tq::q5::datacentric(&db)));
+        row(
+            "Q5",
+            "datacentric",
+            median_ms(runs, || tq::q5::datacentric(&db)),
+        );
         row("Q5", "hybrid", median_ms(runs, || tq::q5::hybrid(&db)));
         row("Q5", "swole", median_ms(runs, || tq::q5::swole(&db)));
-        row("Q6", "datacentric", median_ms(runs, || tq::q6::datacentric(&db)));
+        row(
+            "Q6",
+            "datacentric",
+            median_ms(runs, || tq::q6::datacentric(&db)),
+        );
         row("Q6", "hybrid", median_ms(runs, || tq::q6::hybrid(&db)));
         row("Q6", "swole", median_ms(runs, || tq::q6::swole(&db)));
-        row("Q13", "datacentric", median_ms(runs, || tq::q13::datacentric(&db)));
+        row(
+            "Q13",
+            "datacentric",
+            median_ms(runs, || tq::q13::datacentric(&db)),
+        );
         row("Q13", "hybrid", median_ms(runs, || tq::q13::hybrid(&db)));
         row("Q13", "swole", median_ms(runs, || tq::q13::swole(&db)));
-        row("Q14", "datacentric", median_ms(runs, || tq::q14::datacentric(&db)));
+        row(
+            "Q14",
+            "datacentric",
+            median_ms(runs, || tq::q14::datacentric(&db)),
+        );
         row("Q14", "hybrid", median_ms(runs, || tq::q14::hybrid(&db)));
-        row("Q14", "swole", median_ms(runs, || tq::q14::swole(&db, &params)));
-        row("Q19", "datacentric", median_ms(runs, || tq::q19::datacentric(&db)));
+        row(
+            "Q14",
+            "swole",
+            median_ms(runs, || tq::q14::swole(&db, &params)),
+        );
+        row(
+            "Q19",
+            "datacentric",
+            median_ms(runs, || tq::q19::datacentric(&db)),
+        );
         row("Q19", "hybrid", median_ms(runs, || tq::q19::hybrid(&db)));
         row("Q19", "swole", median_ms(runs, || tq::q19::swole(&db)));
     }

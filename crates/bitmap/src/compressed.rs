@@ -104,8 +104,7 @@ impl CompressedBitmap {
             total += match *block {
                 Block::Fill(false) => 0,
                 Block::Fill(true) => bits_here,
-                Block::Literal(off) => self.literals
-                    [off as usize..off as usize + BLOCK_WORDS]
+                Block::Literal(off) => self.literals[off as usize..off as usize + BLOCK_WORDS]
                     .iter()
                     .map(|w| w.count_ones() as usize)
                     .sum(),
@@ -150,8 +149,7 @@ mod tests {
 
     #[test]
     fn sparse_bits_roundtrip() {
-        let dense =
-            PositionalBitmap::from_selection(BLOCK_BITS * 4 + 17, &[0, 5000, 9000, 16400]);
+        let dense = PositionalBitmap::from_selection(BLOCK_BITS * 4 + 17, &[0, 5000, 9000, 16400]);
         roundtrip(&dense);
     }
 

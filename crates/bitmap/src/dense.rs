@@ -85,13 +85,32 @@ impl PositionalBitmap {
     /// (unconditional sequential build).
     pub fn from_predicate_bytes(cmp: &[u8]) -> PositionalBitmap {
         let mut bm = PositionalBitmap::new(cmp.len());
-        for (chunk_idx, chunk) in cmp.chunks(64).enumerate() {
-            let mut w = 0u64;
-            for (i, &c) in chunk.iter().enumerate() {
-                w |= ((c & 1) as u64) << i;
-            }
-            bm.words[chunk_idx] = w;
+        pack_words(cmp, &mut bm.words);
+        bm
+    }
+
+    /// Parallel unconditional build: like
+    /// [`from_predicate_bytes`](Self::from_predicate_bytes) but packing
+    /// disjoint 64-bit-aligned spans of `cmp` into their word ranges on
+    /// `threads` scoped workers. Falls back to the sequential build for one
+    /// thread or small inputs. Bit-for-bit identical to the sequential
+    /// build at any thread count (each word is written by exactly one
+    /// worker).
+    pub fn from_predicate_bytes_parallel(cmp: &[u8], threads: usize) -> PositionalBitmap {
+        let n_words = cmp.len().div_ceil(64);
+        // Below ~1M rows the spawn cost dominates the pack loop.
+        if threads <= 1 || n_words < threads || cmp.len() < (1 << 20) {
+            return PositionalBitmap::from_predicate_bytes(cmp);
         }
+        let mut bm = PositionalBitmap::new(cmp.len());
+        let words_per_worker = n_words.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, words) in bm.words.chunks_mut(words_per_worker).enumerate() {
+                let byte_start = chunk_idx * words_per_worker * 64;
+                let bytes = &cmp[byte_start..cmp.len().min(byte_start + words.len() * 64)];
+                scope.spawn(move || pack_words(bytes, words));
+            }
+        });
         bm
     }
 
@@ -163,6 +182,18 @@ impl PositionalBitmap {
     }
 }
 
+/// Pack one predicate byte per bit into `words` (the sequential and
+/// parallel unconditional builds share this inner loop).
+fn pack_words(cmp: &[u8], words: &mut [u64]) {
+    for (chunk, w) in cmp.chunks(64).zip(words.iter_mut()) {
+        let mut packed = 0u64;
+        for (i, &c) in chunk.iter().enumerate() {
+            packed |= ((c & 1) as u64) << i;
+        }
+        *w = packed;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +254,24 @@ mod tests {
         // Double negate restores.
         bm.negate();
         assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0, 65]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // Above the small-input cutoff so the parallel path actually runs.
+        let n = (1 << 20) + 777;
+        let cmp: Vec<u8> = (0..n).map(|i| (i % 7 == 0 || i % 11 == 3) as u8).collect();
+        let seq = PositionalBitmap::from_predicate_bytes(&cmp);
+        for threads in [1, 2, 3, 8] {
+            let par = PositionalBitmap::from_predicate_bytes_parallel(&cmp, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        // Small inputs take the sequential fallback and still match.
+        let small: Vec<u8> = (0..100).map(|i| (i % 2) as u8).collect();
+        assert_eq!(
+            PositionalBitmap::from_predicate_bytes_parallel(&small, 8),
+            PositionalBitmap::from_predicate_bytes(&small),
+        );
     }
 
     #[test]

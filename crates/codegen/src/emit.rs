@@ -4,6 +4,10 @@
 //! query shape, structured exactly like the corresponding figure in the
 //! paper (loop nesting, temporary names `cmp`/`idx`/`tmp`, `TILE` tiling).
 
+// Sub-expressions are pre-rendered with nested `format!` so each template
+// stays a single readable block matching its figure.
+#![allow(clippy::format_in_format_args)]
+
 use crate::spec::{GroupByAggSpec, GroupJoinSpec, ScalarAggSpec, SemiJoinSpec};
 
 /// Rewrite a column-name expression into per-row C by appending `[idx]` to
@@ -390,7 +394,10 @@ mod tests {
     #[test]
     fn groupby_key_masking_matches_fig4_bottom() {
         let c = emit_groupby_key_masking(&GroupByAggSpec::paper_example());
-        assert!(c.contains("key[j] = (x[i+j] < 13) ? c[i+j] : NULL_KEY;"), "{c}");
+        assert!(
+            c.contains("key[j] = (x[i+j] < 13) ? c[i+j] : NULL_KEY;"),
+            "{c}"
+        );
         assert!(c.contains("e->sum += a[i+j];"), "value not masked");
         assert!(!c.contains("valid"), "no bookkeeping needed");
     }

@@ -36,7 +36,7 @@
 //!         .with_column("b", ColumnData::I32(vec![10, 10, 10, 10, 10]))
 //!         .with_column("c", ColumnData::I8(vec![0, 0, 1, 1, 1])),
 //! );
-//! let engine = Engine::new(db);
+//! let engine = Engine::builder(db).threads(2).build();
 //! let plan = QueryBuilder::scan("R")
 //!     .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(60)))
 //!     .aggregate(
@@ -45,8 +45,12 @@
 //!     );
 //! let result = engine.query(&plan).unwrap();
 //! assert_eq!(result.rows, vec![vec![0, 10], vec![1, 80]]);
-//! // ...and EXPLAIN shows which pullup technique the cost model chose:
-//! println!("{}", engine.explain(&plan).unwrap());
+//! assert_eq!(result.col("s"), Some(vec![10, 80]));
+//! // ...and EXPLAIN shows which pullup technique the cost model chose,
+//! // with the parallelism degree and the cost-model evidence:
+//! let report = engine.explain(&plan).unwrap();
+//! assert_eq!(report.threads, 2);
+//! println!("{report}");
 //! ```
 //!
 //! ## Crate map
@@ -77,16 +81,18 @@ pub use swole_storage as storage;
 
 pub use swole_cost::CostParams;
 pub use swole_plan::{
-    AggFunc, AggSpec, CmpOp, Database, Engine, Expr, LogicalPlan, PlanError, QueryBuilder,
-    QueryResult,
+    AggFunc, AggSpec, CmpOp, Database, Engine, EngineBuilder, Explain, Expr, LogicalPlan,
+    PlanError, QueryBuilder, QueryResult,
 };
 
 /// Everything a typical user needs.
 pub mod prelude {
-    pub use swole_cost::{AggStrategy, CostParams, GroupJoinStrategy, SemiJoinStrategy};
+    pub use swole_cost::{
+        AggStrategy, BitmapBuild, CostParams, GroupJoinStrategy, SemiJoinStrategy,
+    };
     pub use swole_plan::{
-        AggFunc, AggSpec, CmpOp, Database, Engine, Expr, LogicalPlan, PlanError, QueryBuilder,
-        QueryResult,
+        AggFunc, AggSpec, CmpOp, Database, Engine, EngineBuilder, Explain, Expr, LogicalPlan,
+        PlanError, QueryBuilder, QueryResult,
     };
     pub use swole_storage::{ColumnData, Date, Decimal, DictColumn, Table};
 }
@@ -103,11 +109,16 @@ mod tests {
                 .with_column("x", ColumnData::I32(vec![1, 2, 3, 4]))
                 .with_column("v", ColumnData::I32(vec![10, 20, 30, 40])),
         );
-        let engine = Engine::new(db);
+        let engine = Engine::builder(db).build();
         let plan = QueryBuilder::scan("t")
             .filter(Expr::col("x").cmp(CmpOp::Ge, Expr::lit(3)))
             .aggregate(None, vec![AggSpec::sum(Expr::col("v"), "total")]);
         let result = engine.query(&plan).unwrap();
         assert_eq!(result.scalar("total"), 70);
+        assert_eq!(result.try_scalar("total"), Ok(70));
+        assert!(matches!(
+            result.try_scalar("nope"),
+            Err(PlanError::UnknownResultColumn(_))
+        ));
     }
 }

@@ -175,8 +175,7 @@ pub fn choose_semijoin(p: &CostParams, prof: &SemiJoinProfile) -> SemiJoinChoice
     if !prof.has_fk_index {
         return SemiJoinChoice {
             strategy: SemiJoinStrategy::Hash,
-            explanation: "hash semijoin: no foreign-key index, positional probe impossible"
-                .into(),
+            explanation: "hash semijoin: no foreign-key index, positional probe impossible".into(),
         };
     }
     let rows = prof.build_rows as f64;
@@ -301,6 +300,66 @@ pub fn choose_groupjoin(p: &CostParams, prof: &GroupJoinProfile) -> GroupJoinCho
     }
 }
 
+/// Thread-aware aggregation chooser for the morsel-parallel executor.
+///
+/// Each candidate's scan cost divides across `threads` workers, and the
+/// fixed parallelism overhead ([`CostParams::parallel_overhead`]: worker
+/// spawn/join plus merging every thread-local accumulator) adds on top.
+/// The overhead is identical for every strategy — each worker's local table
+/// holds the same groups regardless of masking flavour — so the *decision*
+/// is stable across thread counts by construction; only the reported costs
+/// change. That stability is deliberate: a chooser that flipped strategies
+/// with the thread count would make parallel speedups incomparable across
+/// strategies.
+pub fn choose_agg_mt(p: &CostParams, prof: &AggProfile, threads: usize) -> AggChoice {
+    let mut c = choose_agg(p, prof);
+    if threads > 1 {
+        let t = threads as f64;
+        let overhead = p.parallel_overhead(threads, prof.group_keys.unwrap_or(1));
+        c.cost_hybrid = c.cost_hybrid / t + overhead;
+        c.cost_value_masking = c.cost_value_masking / t + overhead;
+        c.cost_key_masking = c.cost_key_masking.map(|km| km / t + overhead);
+        c.explanation = format!("{} [{}T +{overhead:.1e} cyc par]", c.explanation, threads);
+    }
+    c
+}
+
+/// Thread-aware groupjoin chooser; see [`choose_agg_mt`] for the model.
+/// Eager aggregation's thread-local tables hold every group key while the
+/// traditional groupjoin's hold only qualifying ones, so here the overhead
+/// terms *do* differ — the merge term uses each strategy's own table size.
+pub fn choose_groupjoin_mt(
+    p: &CostParams,
+    prof: &GroupJoinProfile,
+    threads: usize,
+) -> GroupJoinChoice {
+    let mut c = choose_groupjoin(p, prof);
+    if threads > 1 {
+        let t = threads as f64;
+        let gj_keys = ((prof.group_keys as f64) * prof.s_selectivity).ceil() as usize;
+        let gj_overhead = p.parallel_overhead(threads, gj_keys.max(1));
+        let ea_overhead = p.parallel_overhead(threads, prof.group_keys.max(1));
+        c.cost_groupjoin = c.cost_groupjoin / t + gj_overhead;
+        c.cost_eager = c.cost_eager / t + ea_overhead;
+        // Re-pick with the per-strategy overheads; at realistic sizes the
+        // scan term dominates, so this matches the sequential decision.
+        let (strategy, note) = if c.cost_eager < c.cost_groupjoin {
+            (GroupJoinStrategy::EagerAggregation, "eager aggregation")
+        } else {
+            (GroupJoinStrategy::GroupJoin, "groupjoin")
+        };
+        if strategy != c.strategy {
+            c.explanation = format!(
+                "{note}: parallel merge overhead overturns the sequential pick at {threads} threads"
+            );
+        } else {
+            c.explanation = format!("{} [{}T par]", c.explanation, threads);
+        }
+        c.strategy = strategy;
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,7 +383,12 @@ mod tests {
                 n_aggs: 1,
             },
         );
-        assert_eq!(choice.strategy, AggStrategy::ValueMasking, "{}", choice.explanation);
+        assert_eq!(
+            choice.strategy,
+            AggStrategy::ValueMasking,
+            "{}",
+            choice.explanation
+        );
         assert!(choice.cost_key_masking.is_none());
     }
 
@@ -523,7 +587,12 @@ mod tests {
             ..small
         };
         let c = choose_groupjoin(&p(), &large_low);
-        assert_eq!(c.strategy, GroupJoinStrategy::GroupJoin, "{}", c.explanation);
+        assert_eq!(
+            c.strategy,
+            GroupJoinStrategy::GroupJoin,
+            "{}",
+            c.explanation
+        );
         // |S| = 1M at high selectivity: EA takes over (crossover ~30%).
         let large_high = GroupJoinProfile {
             s_selectivity: 0.9,
@@ -534,6 +603,50 @@ mod tests {
             choose_groupjoin(&p(), &large_high).strategy,
             GroupJoinStrategy::EagerAggregation
         );
+    }
+
+    #[test]
+    fn thread_aware_agg_choice_is_stable_and_cheaper() {
+        let prof = AggProfile {
+            rows: 100_000_000,
+            selectivity: 0.5,
+            comp: simple_agg_comp(ArithOp::Mul),
+            n_cols: 3,
+            group_keys: Some(1000),
+            n_aggs: 1,
+        };
+        let seq = choose_agg(&p(), &prof);
+        for threads in [1usize, 2, 4, 8, 64] {
+            let mt = choose_agg_mt(&p(), &prof, threads);
+            assert_eq!(mt.strategy, seq.strategy, "threads={threads}");
+            if threads > 1 {
+                assert!(
+                    mt.cost_value_masking < seq.cost_value_masking,
+                    "big scans must get cheaper with threads"
+                );
+            }
+        }
+        // One thread is exactly the sequential model.
+        assert_eq!(choose_agg_mt(&p(), &prof, 1).cost_hybrid, seq.cost_hybrid);
+    }
+
+    #[test]
+    fn thread_aware_groupjoin_choice_is_stable_at_scale() {
+        let prof = GroupJoinProfile {
+            r_rows: 100_000_000,
+            r_selectivity: 1.0,
+            s_rows: 1_000_000,
+            s_selectivity: 0.9,
+            join_match_prob: 0.9,
+            group_keys: 1_000_000,
+            comp: simple_agg_comp(ArithOp::Mul),
+            n_aggs: 1,
+        };
+        let seq = choose_groupjoin(&p(), &prof);
+        for threads in [2usize, 8] {
+            let mt = choose_groupjoin_mt(&p(), &prof, threads);
+            assert_eq!(mt.strategy, seq.strategy, "threads={threads}");
+        }
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub mod comp;
 pub mod model;
 mod params;
 
-pub use choose::{AggChoice, AggProfile, AggStrategy, BitmapBuild, GroupJoinChoice,
-    GroupJoinProfile, GroupJoinStrategy, SemiJoinChoice, SemiJoinProfile, SemiJoinStrategy};
+pub use choose::{
+    AggChoice, AggProfile, AggStrategy, BitmapBuild, GroupJoinChoice, GroupJoinProfile,
+    GroupJoinStrategy, SemiJoinChoice, SemiJoinProfile, SemiJoinStrategy,
+};
 pub use params::CostParams;

@@ -35,13 +35,7 @@ pub fn paper_value_masking(p: &CostParams, rows: f64, comp: f64, ht_lookup: f64)
 
 /// § III-B: `KM = R · (read_seq + σ_R · max(comp, read_seq, ht_lookup)
 /// + (1 − σ_R) · max(comp, read_seq, ht_null))`.
-pub fn paper_key_masking(
-    p: &CostParams,
-    rows: f64,
-    sel: f64,
-    comp: f64,
-    ht_lookup: f64,
-) -> f64 {
+pub fn paper_key_masking(p: &CostParams, rows: f64, sel: f64, comp: f64, ht_lookup: f64) -> f64 {
     rows * (p.read_seq
         + sel * comp.max(p.read_seq).max(ht_lookup)
         + (1.0 - sel) * comp.max(p.read_seq).max(p.ht_null))
@@ -71,7 +65,7 @@ pub fn paper_groupjoin(
 /// § III-E: `EA = R · (read_seq + σ_R · min(Hybrid, VM, KM))
 /// + S · (read_seq + (1 − σ_S) · (read_cond + ht_delete))`,
 /// the inner `min` being over **per-tuple** aggregation costs of the three
-/// strategies (the cheapest way to build the eager hash table).
+///   strategies (the cheapest way to build the eager hash table).
 #[allow(clippy::too_many_arguments)]
 pub fn paper_eager_aggregation(
     p: &CostParams,
@@ -113,8 +107,7 @@ pub fn est_hybrid(
     } else {
         0.0
     };
-    rows * (p.read_seq
-        + sel * comp.max(n_cols as f64 * p.read_cond).max(ht_term))
+    rows * (p.read_seq + sel * comp.max(n_cols as f64 * p.read_cond).max(ht_term))
 }
 
 /// Refined value masking: all `n_cols` inputs are read sequentially for

@@ -1,0 +1,221 @@
+//! Offline drop-in for the slice of the `criterion` 0.5 API the `swole-bench`
+//! harnesses use: `Criterion::benchmark_group`, group knobs
+//! (`sample_size`/`measurement_time`/`warm_up_time`), `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build container cannot reach crates.io, so the workspace points the
+//! `criterion` dependency at this path shim. It is a measuring harness, not a
+//! statistics engine: each benchmark runs a short warm-up, then timed batches
+//! for roughly `measurement_time`, and prints the median per-iteration time.
+//! Output format is plain `name ... <median> ns/iter`, not criterion's report.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to every `criterion_group!` target function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total budget for the timed phase of each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up budget before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<S: Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Run a benchmark identified by a [`BenchmarkId`], passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group. Only terminates the visual block; dropping works too.
+    pub fn finish(self) {}
+
+    fn run(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        let median = b.median_ns();
+        println!("{}/{} ... {} ns/iter", self.name, label, median);
+    }
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter value into an id.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id with only a parameter value (no function-name prefix).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly in batches until the measurement
+    /// budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also used to size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() / warm_iters as u128;
+
+        // Pick a batch size so sample_size batches roughly fill the budget.
+        let budget = self.measurement_time.as_nanos();
+        let batch =
+            (budget / (per_iter.max(1) * self.sample_size as u128)).clamp(1, 1 << 20) as u64;
+
+        self.samples_ns.clear();
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() / batch as u128);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn median_ns(&mut self) -> u128 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        self.samples_ns.sort_unstable();
+        self.samples_ns[self.samples_ns.len() / 2]
+    }
+}
+
+/// Bundle target functions into a named group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running each group produced by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(5));
+        g.warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7i32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

@@ -20,6 +20,24 @@ const EMPTY: i64 = i64::MIN;
 /// Sentinel marking a deleted slot under [`DeletePolicy::Tombstone`].
 const TOMBSTONE: i64 = i64::MIN + 2;
 
+/// How one aggregate slot combines across two partial tables in
+/// [`AggTable::merge_from`].
+///
+/// Sum and count states merge by addition; min/max states merge by the
+/// matching comparison. All three are commutative and associative over
+/// `i64`, which is what makes morsel-parallel aggregation deterministic:
+/// the merged table is identical no matter how rows were partitioned
+/// across threads or in which order partials merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOp {
+    /// `state += other` (sum and count aggregates).
+    Add,
+    /// `state = state.min(other)`.
+    Min,
+    /// `state = state.max(other)`.
+    Max,
+}
+
 /// How [`AggTable::delete`] removes entries.
 ///
 /// Eager aggregation (§ III-E) deletes every key filtered by the join; the
@@ -63,7 +81,9 @@ impl AggTable {
         assert!(n_aggs > 0, "need at least one aggregate slot");
         // Size for a max load factor of 50% so probe sequences stay short
         // even with uniform (worst-case, per the paper) keys.
-        let cap_log2 = (expected_keys.max(4) * 2).next_power_of_two().trailing_zeros();
+        let cap_log2 = (expected_keys.max(4) * 2)
+            .next_power_of_two()
+            .trailing_zeros();
         AggTable {
             keys: vec![EMPTY; 1 << cap_log2],
             states: vec![0; ((1 << cap_log2) + 1) * n_aggs],
@@ -108,7 +128,6 @@ impl AggTable {
     pub fn size_bytes(&self) -> usize {
         self.keys.len() * 8 + self.states.len() * 8 + self.valid.len()
     }
-
 
     /// Find or insert `key`, returning its state offset into
     /// [`AggTable::states`]. [`NULL_KEY`] maps to the throwaway entry.
@@ -307,9 +326,79 @@ impl AggTable {
                 None
             } else {
                 let off = (slot + 1) * self.n_aggs;
-                Some((k, &self.states[off..off + self.n_aggs], self.valid[slot] != 0))
+                Some((
+                    k,
+                    &self.states[off..off + self.n_aggs],
+                    self.valid[slot] != 0,
+                ))
             }
         })
+    }
+
+    /// Merge another partial table into this one, slot `i` combining under
+    /// `ops[i]` — the reduction step of morsel-parallel aggregation, where
+    /// each worker fills a thread-local table and the partials fold into
+    /// one.
+    ///
+    /// Keys absent from `self` are inserted with `other`'s state and valid
+    /// flag. Keys present in both combine per op; valid flags OR. Min/max
+    /// slots consult the valid flags (an entry that only ever received
+    /// masked updates has no real min/max yet), so merging is safe even for
+    /// tables built by masking strategies. The throwaway entry's state
+    /// always merges additively — only masked (zero-add) updates ever land
+    /// there.
+    ///
+    /// The result is bit-identical regardless of how rows were partitioned
+    /// into partials or the order partials merge, because every op is
+    /// commutative and associative over `i64`.
+    pub fn merge_from(&mut self, other: &AggTable, ops: &[MergeOp]) {
+        assert_eq!(self.n_aggs, other.n_aggs, "incompatible layouts");
+        assert_eq!(ops.len(), self.n_aggs, "one MergeOp per aggregate slot");
+        for (slot, &k) in other.keys.iter().enumerate() {
+            if k == EMPTY || k == TOMBSTONE {
+                continue;
+            }
+            let src = (slot + 1) * other.n_aggs;
+            if k == NULL_KEY {
+                let dst = self.entry(NULL_KEY);
+                for i in 0..self.n_aggs {
+                    self.states[dst + i] += other.states[src + i];
+                }
+                continue;
+            }
+            let other_valid = other.valid[slot];
+            let existed = self.find(k).is_some();
+            let dst = self.entry(k);
+            if !existed {
+                for i in 0..self.n_aggs {
+                    self.states[dst + i] = other.states[src + i];
+                }
+                self.or_valid(dst, other_valid);
+                continue;
+            }
+            let self_valid = self.is_valid(dst);
+            for (i, op) in ops.iter().enumerate() {
+                let theirs = other.states[src + i];
+                let s = &mut self.states[dst + i];
+                match op {
+                    MergeOp::Add => *s += theirs,
+                    MergeOp::Min | MergeOp::Max => {
+                        // A min/max state is only meaningful once its entry
+                        // has seen a real (unmasked) update.
+                        if other_valid != 0 {
+                            *s = if !self_valid {
+                                theirs
+                            } else if *op == MergeOp::Min {
+                                (*s).min(theirs)
+                            } else {
+                                (*s).max(theirs)
+                            };
+                        }
+                    }
+                }
+            }
+            self.or_valid(dst, other_valid);
+        }
     }
 
     /// The throwaway entry's accumulated state (all zeros if no masked
@@ -386,8 +475,8 @@ mod tests {
         let b = t.entry(2);
         t.or_valid(b, 1); // real update
         let flags: HashMap<i64, bool> = t.iter().map(|(k, _, v)| (k, v)).collect();
-        assert_eq!(flags[&1], false);
-        assert_eq!(flags[&2], true);
+        assert!(!flags[&1]);
+        assert!(flags[&2]);
     }
 
     #[test]
@@ -453,7 +542,9 @@ mod tests {
         let mut reference: HashMap<i64, i64> = HashMap::new();
         let mut state = 0x12345678u64;
         for _ in 0..20_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = ((state >> 33) % 257) as i64;
             let op = (state >> 20) % 3;
             match op {
@@ -471,6 +562,115 @@ mod tests {
         assert_eq!(t.len(), reference.len());
         let got: HashMap<i64, i64> = t.iter().map(|(k, s, _)| (k, s[0])).collect();
         assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn agg_table_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<AggTable>();
+    }
+
+    #[test]
+    fn merge_from_disjoint_and_overlapping() {
+        let mut a = AggTable::with_capacity(2, 4);
+        let mut b = AggTable::with_capacity(2, 4);
+        for (t, keys) in [(&mut a, [1i64, 2, 3]), (&mut b, [3, 4, 5])] {
+            for k in keys {
+                let off = t.entry(k);
+                t.add(off, 0, k * 10);
+                t.add(off, 1, 1);
+                t.set_valid(off);
+            }
+        }
+        a.merge_from(&b, &[MergeOp::Add, MergeOp::Add]);
+        assert_eq!(a.len(), 5);
+        for k in [1i64, 2, 4, 5] {
+            let off = a.find(k).unwrap();
+            assert_eq!(&a.states()[off..off + 2], &[k * 10, 1]);
+        }
+        let off = a.find(3).unwrap();
+        assert_eq!(&a.states()[off..off + 2], &[60, 2], "overlap adds");
+    }
+
+    #[test]
+    fn merge_from_min_max_respects_valid_flags() {
+        // a: key 1 valid with min=5/max=5; key 2 present but never really
+        // updated (masked only).
+        let mut a = AggTable::with_capacity(2, 4);
+        let off = a.entry(1);
+        a.states_mut()[off] = 5;
+        a.states_mut()[off + 1] = 5;
+        a.set_valid(off);
+        let off = a.entry(2);
+        a.or_valid(off, 0);
+        // b: both keys valid.
+        let mut b = AggTable::with_capacity(2, 4);
+        for (k, v) in [(1i64, 9i64), (2, 7)] {
+            let off = b.entry(k);
+            b.states_mut()[off] = v;
+            b.states_mut()[off + 1] = v;
+            b.set_valid(off);
+        }
+        a.merge_from(&b, &[MergeOp::Min, MergeOp::Max]);
+        let off = a.find(1).unwrap();
+        assert_eq!(a.states()[off], 5, "min(5, 9)");
+        assert_eq!(a.states()[off + 1], 9, "max(5, 9)");
+        let off = a.find(2).unwrap();
+        assert_eq!(
+            &a.states()[off..off + 2],
+            &[7, 7],
+            "invalid self state is replaced, not combined"
+        );
+        assert!(a.is_valid(off));
+    }
+
+    #[test]
+    fn merge_from_combines_throwaway_states() {
+        let mut a = AggTable::with_capacity(1, 4);
+        let off = a.entry(NULL_KEY);
+        a.add(off, 0, 3);
+        let mut b = AggTable::with_capacity(1, 4);
+        let off = b.entry(NULL_KEY);
+        b.add(off, 0, 4);
+        a.merge_from(&b, &[MergeOp::Add]);
+        assert_eq!(a.null_state(), &[7]);
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn merge_from_equals_sequential_insertion() {
+        // Partition a deterministic pseudo-random update stream across 4
+        // partial tables; merging them must equal inserting sequentially.
+        let mut sequential = AggTable::with_capacity(2, 4);
+        let mut partials: Vec<AggTable> = (0..4).map(|_| AggTable::with_capacity(2, 4)).collect();
+        let mut state = 0xDEADBEEFu64;
+        for i in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = ((state >> 33) % 199) as i64;
+            let v = ((state >> 13) % 1000) as i64 - 500;
+            for t in [&mut sequential, &mut partials[i % 4]] {
+                let off = t.entry(key);
+                t.add(off, 0, v);
+                let fresh = !t.is_valid(off);
+                let s = &mut t.states_mut()[off + 1];
+                *s = if fresh { v } else { (*s).min(v) };
+                t.set_valid(off);
+            }
+        }
+        let mut merged = AggTable::with_capacity(2, 4);
+        for p in &partials {
+            merged.merge_from(p, &[MergeOp::Add, MergeOp::Min]);
+        }
+        assert_eq!(merged.len(), sequential.len());
+        let mut got: Vec<(i64, Vec<i64>)> =
+            merged.iter().map(|(k, s, _)| (k, s.to_vec())).collect();
+        let mut want: Vec<(i64, Vec<i64>)> =
+            sequential.iter().map(|(k, s, _)| (k, s.to_vec())).collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -25,10 +25,7 @@ const NONE: u32 = u32::MAX;
 impl JoinTable {
     /// Create a table expecting `expected_entries` insertions.
     pub fn with_capacity(expected_entries: usize) -> JoinTable {
-        let cap_log2 = expected_entries
-            .max(4)
-            .next_power_of_two()
-            .trailing_zeros();
+        let cap_log2 = expected_entries.max(4).next_power_of_two().trailing_zeros();
         JoinTable {
             heads: vec![NONE; 1 << cap_log2],
             next: Vec::with_capacity(expected_entries),

@@ -20,7 +20,9 @@ const EMPTY: i64 = i64::MIN;
 impl KeySet {
     /// Create a set expecting roughly `expected_keys` inserts.
     pub fn with_capacity(expected_keys: usize) -> KeySet {
-        let cap_log2 = (expected_keys.max(4) * 2).next_power_of_two().trailing_zeros();
+        let cap_log2 = (expected_keys.max(4) * 2)
+            .next_power_of_two()
+            .trailing_zeros();
         KeySet {
             keys: vec![EMPTY; 1 << cap_log2],
             cap_log2,
@@ -69,7 +71,7 @@ impl KeySet {
     }
 
     fn grow(&mut self) {
-        let old = std::mem::replace(&mut self.keys, Vec::new());
+        let old = std::mem::take(&mut self.keys);
         self.cap_log2 += 1;
         self.keys = vec![EMPTY; 1 << self.cap_log2];
         self.len = 0;

@@ -162,7 +162,11 @@ mod tests {
                 // data-centric
                 let mut ht = AggTable::with_capacity(1, 64);
                 groupby_datacentric::<_, _, _, Mul>(&c, &a, &b, |j| x[j] < lit, &mut ht);
-                assert_eq!(collect_groups(&ht), expected, "dc card={key_card} lit={lit}");
+                assert_eq!(
+                    collect_groups(&ht),
+                    expected,
+                    "dc card={key_card} lit={lit}"
+                );
 
                 // hybrid
                 let mut ht = AggTable::with_capacity(1, 64);
@@ -173,7 +177,11 @@ mod tests {
                     let k = selvec::fill_nobranch(&cmp[..l], s as u32, &mut idx[..l]);
                     groupby_gather::<_, _, _, Mul>(&c, &a, &b, &idx[..k], &mut ht);
                 }
-                assert_eq!(collect_groups(&ht), expected, "hy card={key_card} lit={lit}");
+                assert_eq!(
+                    collect_groups(&ht),
+                    expected,
+                    "hy card={key_card} lit={lit}"
+                );
 
                 // value masking
                 let mut ht = AggTable::with_capacity(1, 64);
@@ -187,7 +195,11 @@ mod tests {
                         &mut ht,
                     );
                 }
-                assert_eq!(collect_groups(&ht), expected, "vm card={key_card} lit={lit}");
+                assert_eq!(
+                    collect_groups(&ht),
+                    expected,
+                    "vm card={key_card} lit={lit}"
+                );
 
                 // key masking
                 let mut ht = AggTable::with_capacity(1, 64);
@@ -195,14 +207,13 @@ mod tests {
                 for (s, l) in tiles(c.len()) {
                     predicate::cmp_lt(&x[s..s + l], lit, &mut cmp[..l]);
                     mask_keys(&c[s..s + l], &cmp[..l], &mut mk[..l]);
-                    groupby_key_masked::<_, _, Mul>(
-                        &mk[..l],
-                        &a[s..s + l],
-                        &b[s..s + l],
-                        &mut ht,
-                    );
+                    groupby_key_masked::<_, _, Mul>(&mk[..l], &a[s..s + l], &b[s..s + l], &mut ht);
                 }
-                assert_eq!(collect_groups(&ht), expected, "km card={key_card} lit={lit}");
+                assert_eq!(
+                    collect_groups(&ht),
+                    expected,
+                    "km card={key_card} lit={lit}"
+                );
             }
         }
     }

@@ -15,10 +15,8 @@ use swole_ht::{AggTable, KeySet};
 /// build-side key whose row satisfies `pred` (data-centric form — branch per
 /// tuple).
 #[inline]
-pub fn build_keyset_datacentric<K: AsI64>(
-    keys: &[K],
-    pred: impl Fn(usize) -> bool,
-) -> KeySet {
+#[allow(clippy::needless_range_loop)] // indexed loop mirrors the paper's C form
+pub fn build_keyset_datacentric<K: AsI64>(keys: &[K], pred: impl Fn(usize) -> bool) -> KeySet {
     let mut set = KeySet::with_capacity(keys.len() / 2 + 4);
     for j in 0..keys.len() {
         if pred(j) {
@@ -259,23 +257,13 @@ mod tests {
 
             // SWOLE: positional bitmap, masked probe.
             let bm = PositionalBitmap::from_predicate_bytes(&cmp_s);
-            let masked = semijoin_sum_bitmap_masked::<_, _, Mul>(
-                &d.r_fk,
-                &d.r_a,
-                &d.r_b,
-                &cmp_r,
-                &bm,
-            );
+            let masked =
+                semijoin_sum_bitmap_masked::<_, _, Mul>(&d.r_fk, &d.r_a, &d.r_b, &cmp_r, &bm);
             assert_eq!(masked, expected, "bitmap-masked {sel_r}/{sel_s}");
 
             // SWOLE: positional bitmap, selection-vector probe.
-            let gathered = semijoin_sum_bitmap_gather::<_, _, Mul>(
-                &d.r_fk,
-                &d.r_a,
-                &d.r_b,
-                &idx_r[..k],
-                &bm,
-            );
+            let gathered =
+                semijoin_sum_bitmap_gather::<_, _, Mul>(&d.r_fk, &d.r_a, &d.r_b, &idx_r[..k], &bm);
             assert_eq!(gathered, expected, "bitmap-gather {sel_r}/{sel_s}");
         }
     }
@@ -285,8 +273,7 @@ mod tests {
         let mut groups: BTreeMap<i64, i64> = BTreeMap::new();
         for j in 0..d.r_fk.len() {
             if d.s_x[d.r_fk[j] as usize] < sel_s {
-                *groups.entry(d.r_fk[j] as i64).or_insert(0) +=
-                    d.r_a[j] as i64 * d.r_b[j] as i64;
+                *groups.entry(d.r_fk[j] as i64).or_insert(0) += d.r_a[j] as i64 * d.r_b[j] as i64;
             }
         }
         groups.into_iter().collect()

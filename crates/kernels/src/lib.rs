@@ -44,6 +44,33 @@ pub fn tiles(n: usize) -> impl Iterator<Item = (usize, usize)> {
     })
 }
 
+/// Default rows per morsel: 64 tiles. Large enough that claiming a morsel
+/// (one atomic increment) is noise, small enough that a skewed tail still
+/// load-balances across workers.
+pub const MORSEL_ROWS: usize = 64 * TILE;
+
+/// Iterate over `(start, len)` morsel bounds covering `0..n`.
+///
+/// Every morsel length is a multiple of [`TILE`] except possibly the last,
+/// so tile-local stack buffers (`[0u8; TILE]`) keep working inside a morsel
+/// and morsel boundaries stay 64-bit-aligned for direct bitmap-word writes
+/// (`TILE` is a multiple of 64). `morsel_rows` is rounded up to a whole
+/// number of tiles.
+pub fn morsels(n: usize, morsel_rows: usize) -> impl Iterator<Item = (usize, usize)> {
+    let step = morsel_rows.div_ceil(TILE).max(1) * TILE;
+    (0..n).step_by(step).map(move |start| {
+        let len = step.min(n - start);
+        (start, len)
+    })
+}
+
+/// Iterate over `(start, len)` tile bounds covering the morsel
+/// `start..start + len` — [`tiles`] shifted to a sub-range, for workers
+/// that process one claimed morsel at a time.
+pub fn tiles_in(start: usize, len: usize) -> impl Iterator<Item = (usize, usize)> {
+    tiles(len).map(move |(s, l)| (start + s, l))
+}
+
 /// Integer types a column kernel can widen to `i64` accumulators.
 ///
 /// The paper stores all aggregates as 64-bit integers without per-row
@@ -92,6 +119,38 @@ mod tests {
     fn tiles_empty_and_tiny() {
         assert_eq!(tiles(0).count(), 0);
         assert_eq!(tiles(1).collect::<Vec<_>>(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn morsels_cover_and_tile_align() {
+        for n in [0, 1, TILE - 1, TILE, MORSEL_ROWS, MORSEL_ROWS * 3 + 17] {
+            let mut covered = 0usize;
+            let mut last_end = 0usize;
+            for (start, len) in morsels(n, MORSEL_ROWS) {
+                assert_eq!(start, last_end);
+                assert_eq!(start % TILE, 0, "morsel starts tile-aligned");
+                assert!(len > 0);
+                covered += len;
+                last_end = start + len;
+            }
+            assert_eq!(covered, n, "n={n}");
+        }
+        // Odd morsel_rows rounds up to whole tiles.
+        let bounds: Vec<_> = morsels(TILE * 4, TILE + 1).collect();
+        assert_eq!(bounds, vec![(0, 2 * TILE), (2 * TILE, 2 * TILE)]);
+    }
+
+    #[test]
+    fn tiles_in_matches_shifted_tiles() {
+        let inner: Vec<_> = tiles_in(3 * TILE, 2 * TILE + 5).collect();
+        assert_eq!(
+            inner,
+            vec![(3 * TILE, TILE), (4 * TILE, TILE), (5 * TILE, 5)]
+        );
+        assert_eq!(
+            tiles_in(0, 2500).collect::<Vec<_>>(),
+            tiles(2500).collect::<Vec<_>>()
+        );
     }
 
     #[test]

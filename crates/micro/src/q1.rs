@@ -182,8 +182,16 @@ mod tests {
     fn rof_matches_reference() {
         let db = db();
         for sel in [0i8, 13, 50, 99, 100] {
-            assert_eq!(rof::<Mul>(&db.r, sel), reference::<Mul>(&db.r, sel), "sel={sel}");
-            assert_eq!(rof::<Div>(&db.r, sel), reference::<Div>(&db.r, sel), "sel={sel}");
+            assert_eq!(
+                rof::<Mul>(&db.r, sel),
+                reference::<Mul>(&db.r, sel),
+                "sel={sel}"
+            );
+            assert_eq!(
+                rof::<Div>(&db.r, sel),
+                reference::<Div>(&db.r, sel),
+                "sel={sel}"
+            );
         }
     }
 

@@ -8,6 +8,9 @@
 //! the aggregate — Fig. 10a); `COL` = `r_x` reuses both aggregate operands
 //! (Fig. 10b).
 
+// Indexed tile loops below deliberately mirror the paper's C kernels.
+#![allow(clippy::needless_range_loop)]
+
 use crate::RTable;
 use swole_cost::CostParams;
 use swole_kernels::agg::{self, Mul};
@@ -33,12 +36,8 @@ fn prepass(r: &RTable, start: usize, len: usize, sel: i8, cmp: &mut [u8], tmp: &
 pub fn datacentric(r: &RTable, col: Q3Col, sel: i8) -> i64 {
     let (x, y) = (&r.x[..], &r.y[..]);
     match col {
-        Q3Col::A => {
-            agg::sum_op_datacentric::<_, _, Mul>(&r.x, &r.a, |j| x[j] < sel && y[j] == 1)
-        }
-        Q3Col::X => {
-            agg::sum_op_datacentric::<_, _, Mul>(&r.x, &r.x, |j| x[j] < sel && y[j] == 1)
-        }
+        Q3Col::A => agg::sum_op_datacentric::<_, _, Mul>(&r.x, &r.a, |j| x[j] < sel && y[j] == 1),
+        Q3Col::X => agg::sum_op_datacentric::<_, _, Mul>(&r.x, &r.x, |j| x[j] < sel && y[j] == 1),
     }
 }
 

@@ -25,13 +25,7 @@ pub fn datacentric(r: &RTable, s: &STable, sel1: i8, sel2: i8) -> i64 {
     let sx = &s.x[..];
     let set = join::build_keyset_datacentric(&s_keys, |j| sx[j] < sel2);
     let rx = &r.x[..];
-    join::semijoin_sum_hash_datacentric::<_, _, _, Mul>(
-        &r.fk,
-        &r.a,
-        &r.b,
-        |j| rx[j] < sel1,
-        &set,
-    )
+    join::semijoin_sum_hash_datacentric::<_, _, _, Mul>(&r.fk, &r.a, &r.b, |j| rx[j] < sel1, &set)
 }
 
 /// Hybrid strategy: prepass + selection vectors on both sides, hash probes
@@ -52,9 +46,7 @@ pub fn hybrid(r: &RTable, s: &STable, sel1: i8, sel2: i8) -> i64 {
     for (start, len) in tiles(r.len()) {
         predicate::cmp_lt(&r.x[start..start + len], sel1, &mut cmp[..len]);
         let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
-        sum += join::semijoin_sum_hash_gather::<_, _, _, Mul>(
-            &r.fk, &r.a, &r.b, &idx[..k], &set,
-        );
+        sum += join::semijoin_sum_hash_gather::<_, _, _, Mul>(&r.fk, &r.a, &r.b, &idx[..k], &set);
     }
     sum
 }

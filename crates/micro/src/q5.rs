@@ -10,9 +10,7 @@
 
 use crate::{RTable, STable};
 use swole_cost::comp::{simple_agg_comp, ArithOp};
-use swole_cost::{
-    choose::choose_groupjoin, CostParams, GroupJoinProfile, GroupJoinStrategy,
-};
+use swole_cost::{choose::choose_groupjoin, CostParams, GroupJoinProfile, GroupJoinStrategy};
 use swole_ht::AggTable;
 use swole_kernels::agg::Mul;
 use swole_kernels::{join, predicate, selvec, tiles, TILE};
@@ -112,8 +110,7 @@ mod tests {
         let mut groups: BTreeMap<i64, i64> = BTreeMap::new();
         for j in 0..r.len() {
             if s.x[r.fk[j] as usize] < sel {
-                *groups.entry(r.fk[j] as i64).or_insert(0) +=
-                    r.a[j] as i64 * r.b[j] as i64;
+                *groups.entry(r.fk[j] as i64).or_insert(0) += r.a[j] as i64 * r.b[j] as i64;
             }
         }
         groups.into_iter().collect()
@@ -141,7 +138,11 @@ mod tests {
                     "ea |S|={s_rows} sel={sel}"
                 );
                 let (ht, _) = swole(&db.r, &db.s, sel, &CostParams::default());
-                assert_eq!(collect_groups(&ht), expected, "swole |S|={s_rows} sel={sel}");
+                assert_eq!(
+                    collect_groups(&ht),
+                    expected,
+                    "swole |S|={s_rows} sel={sel}"
+                );
             }
         }
     }

@@ -191,8 +191,7 @@ mod tests {
             seed: 2,
         });
         for sel in [0i8, 25, 50, 75, 100] {
-            let frac =
-                db.r.x.iter().filter(|&&v| v < sel).count() as f64 / db.r.len() as f64;
+            let frac = db.r.x.iter().filter(|&&v| v < sel).count() as f64 / db.r.len() as f64;
             assert!(
                 (frac - sel as f64 / 100.0).abs() < 0.01,
                 "sel={sel} frac={frac}"

@@ -106,9 +106,7 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.add_table(
-            Table::new("s").with_column("x", ColumnData::I32(vec![1, 2, 3])),
-        );
+        db.add_table(Table::new("s").with_column("x", ColumnData::I32(vec![1, 2, 3])));
         db.add_table(
             Table::new("r")
                 .with_column("fk", ColumnData::U32(vec![0, 2, 1, 0]))

@@ -1,19 +1,23 @@
-//! The engine: access-aware planning and tile-at-a-time execution.
+//! The engine: access-aware planning and morsel-parallel tile-at-a-time
+//! execution.
+
+use std::fmt;
 
 use crate::catalog::Database;
 use crate::error::PlanError;
 use crate::expr::{AggFunc, Expr};
 use crate::logical::{AggSpec, LogicalPlan};
+use crate::parallel;
 use crate::physical::{PhysicalPlan, Shape};
 use crate::stats;
 use swole_bitmap::PositionalBitmap;
-use swole_cost::choose::{choose_agg, choose_groupjoin, choose_semijoin};
+use swole_cost::choose::{choose_agg_mt, choose_groupjoin_mt, choose_semijoin};
 use swole_cost::{
     AggProfile, AggStrategy, BitmapBuild, CostParams, GroupJoinProfile, GroupJoinStrategy,
     SemiJoinProfile, SemiJoinStrategy,
 };
-use swole_ht::{AggTable, KeySet};
-use swole_kernels::{predicate, selvec, tiles, TILE};
+use swole_ht::{AggTable, KeySet, MergeOp};
+use swole_kernels::{predicate, selvec, tiles, tiles_in, MORSEL_ROWS, TILE};
 use swole_storage::Table;
 
 /// A materialized query result: named columns, row-major `i64` values.
@@ -30,37 +34,208 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
-    /// The single value of a one-row result column (panics otherwise —
-    /// convenience for scalar aggregates in examples/tests).
+    /// The single value of a one-row result column.
+    ///
+    /// Errors with [`PlanError::NotScalar`] when the result has more or
+    /// fewer than one row, and [`PlanError::UnknownResultColumn`] when no
+    /// column has that name.
+    pub fn try_scalar(&self, column: &str) -> Result<i64, PlanError> {
+        if self.rows.len() != 1 {
+            return Err(PlanError::NotScalar {
+                rows: self.rows.len(),
+            });
+        }
+        let i = self.column_index(column)?;
+        Ok(self.rows[0][i])
+    }
+
+    /// The single value of a one-row result column (panicking convenience
+    /// wrapper over [`try_scalar`](Self::try_scalar) for examples/tests).
     pub fn scalar(&self, column: &str) -> i64 {
-        assert_eq!(self.rows.len(), 1, "scalar() needs exactly one row");
-        let i = self
-            .columns
+        self.try_scalar(column)
+            .unwrap_or_else(|e| panic!("scalar({column}): {e}"))
+    }
+
+    /// All values of a named column, top to bottom. Rows are stored
+    /// row-major, so this materializes an owned `Vec`. `None` when no
+    /// column has that name.
+    pub fn col(&self, column: &str) -> Option<Vec<i64>> {
+        let i = self.column_index(column).ok()?;
+        Some(self.rows.iter().map(|r| r[i]).collect())
+    }
+
+    /// Index of a named column in every row.
+    pub fn column_index(&self, column: &str) -> Result<usize, PlanError> {
+        self.columns
             .iter()
             .position(|c| c == column)
-            .unwrap_or_else(|| panic!("no column {column}"));
-        self.rows[0][i]
+            .ok_or_else(|| PlanError::UnknownResultColumn(column.to_string()))
     }
 }
 
-/// The access-aware query engine: owns a [`Database`] and cost parameters,
-/// plans logical queries through the paper's choosers, and executes them
-/// with the `swole-kernels` loop bodies.
-pub struct Engine {
-    db: Database,
-    params: CostParams,
+/// A structured `EXPLAIN`: what shape the planner picked, which access
+/// strategy drives the loop body, the parallelism degree, and the
+/// cost-model evidence. `Display` renders the classic indented text.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// One-line description of the physical shape (operators and tables).
+    pub shape: String,
+    /// Short name of the chosen access strategy.
+    pub strategy: String,
+    /// Worker threads execution will use.
+    pub threads: usize,
+    /// Rows per parallel work unit (a whole number of tiles).
+    pub morsel_rows: usize,
+    /// Named cost-model terms (cycles) behind the decision.
+    pub cost_terms: Vec<(String, f64)>,
+    /// The planner's decision trail, one line each.
+    pub decisions: Vec<String>,
 }
 
-impl Engine {
-    /// Engine over a database with default cost parameters.
-    pub fn new(db: Database) -> Engine {
-        Engine {
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.shape)?;
+        write!(f, "\n  strategy: {}", self.strategy)?;
+        write!(
+            f,
+            "\n  parallelism: {} thread(s), {}-row morsels",
+            self.threads, self.morsel_rows
+        )?;
+        for (name, cycles) in &self.cost_terms {
+            write!(f, "\n  cost[{name}] = {cycles:.3e} cyc")?;
+        }
+        for d in &self.decisions {
+            write!(f, "\n  -> {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Engine`] sessions: database, cost parameters, parallelism,
+/// and (for testing/experiments) pinned strategies.
+///
+/// ```
+/// # use swole_plan::{Database, Engine};
+/// let engine = Engine::builder(Database::new()).threads(4).build();
+/// assert_eq!(engine.threads(), 4);
+/// ```
+pub struct EngineBuilder {
+    db: Database,
+    params: CostParams,
+    threads: usize,
+    morsel_rows: usize,
+    pin_agg: Option<AggStrategy>,
+    pin_semijoin: Option<SemiJoinStrategy>,
+    pin_groupjoin: Option<GroupJoinStrategy>,
+}
+
+impl EngineBuilder {
+    fn new(db: Database) -> EngineBuilder {
+        EngineBuilder {
             db,
             params: CostParams::default(),
+            threads: 1,
+            morsel_rows: MORSEL_ROWS,
+            pin_agg: None,
+            pin_semijoin: None,
+            pin_groupjoin: None,
         }
     }
 
     /// Use specific (e.g. calibrated) cost parameters.
+    pub fn params(mut self, params: CostParams) -> EngineBuilder {
+        self.params = params;
+        self
+    }
+
+    /// Number of worker threads for execution (default 1 = sequential).
+    /// `0` means "use all available hardware parallelism".
+    pub fn threads(mut self, threads: usize) -> EngineBuilder {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Rows per parallel work unit (morsel), rounded up to whole
+    /// [`TILE`]-row tiles. Default is [`MORSEL_ROWS`].
+    pub fn tile_rows(mut self, rows: usize) -> EngineBuilder {
+        self.morsel_rows = rows.div_ceil(TILE).max(1) * TILE;
+        self
+    }
+
+    /// Pin the scan-aggregation strategy, overriding the cost model
+    /// (equivalence tests and experiments).
+    pub fn agg_strategy(mut self, strategy: AggStrategy) -> EngineBuilder {
+        self.pin_agg = Some(strategy);
+        self
+    }
+
+    /// Pin the semijoin strategy, overriding the cost model.
+    pub fn semijoin_strategy(mut self, strategy: SemiJoinStrategy) -> EngineBuilder {
+        self.pin_semijoin = Some(strategy);
+        self
+    }
+
+    /// Pin the groupjoin strategy, overriding the cost model.
+    pub fn groupjoin_strategy(mut self, strategy: GroupJoinStrategy) -> EngineBuilder {
+        self.pin_groupjoin = Some(strategy);
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Engine {
+        Engine {
+            db: self.db,
+            params: self.params,
+            threads: self.threads,
+            morsel_rows: self.morsel_rows,
+            pin_agg: self.pin_agg,
+            pin_semijoin: self.pin_semijoin,
+            pin_groupjoin: self.pin_groupjoin,
+        }
+    }
+}
+
+/// Execution options threaded into every operator.
+#[derive(Clone, Copy)]
+struct ExecOpts {
+    threads: usize,
+    morsel_rows: usize,
+}
+
+/// The access-aware query engine: owns a [`Database`] and cost parameters,
+/// plans logical queries through the paper's choosers (thread-aware when
+/// the session is parallel), and executes them with the `swole-kernels`
+/// loop bodies on morsel-driven workers.
+pub struct Engine {
+    db: Database,
+    params: CostParams,
+    threads: usize,
+    morsel_rows: usize,
+    pin_agg: Option<AggStrategy>,
+    pin_semijoin: Option<SemiJoinStrategy>,
+    pin_groupjoin: Option<GroupJoinStrategy>,
+}
+
+impl Engine {
+    /// Start building an engine session over `db`.
+    pub fn builder(db: Database) -> EngineBuilder {
+        EngineBuilder::new(db)
+    }
+
+    /// Engine over a database with default cost parameters.
+    #[deprecated(since = "0.2.0", note = "use `Engine::builder(db).build()`")]
+    pub fn new(db: Database) -> Engine {
+        Engine::builder(db).build()
+    }
+
+    /// Use specific (e.g. calibrated) cost parameters.
+    #[deprecated(since = "0.2.0", note = "use `Engine::builder(db).params(p).build()`")]
     pub fn with_params(mut self, params: CostParams) -> Engine {
         self.params = params;
         self
@@ -71,15 +246,33 @@ impl Engine {
         &self.db
     }
 
+    /// Worker threads this session executes with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Rows per parallel work unit (always a whole number of tiles).
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows
+    }
+
     /// Plan and execute in one step.
     pub fn query(&self, plan: &LogicalPlan) -> Result<QueryResult, PlanError> {
         let physical = self.plan(plan)?;
         Ok(self.execute(&physical))
     }
 
-    /// EXPLAIN: plan and render the decision trail.
-    pub fn explain(&self, plan: &LogicalPlan) -> Result<String, PlanError> {
-        Ok(self.plan(plan)?.explain())
+    /// EXPLAIN: plan and return the structured decision report.
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<Explain, PlanError> {
+        let physical = self.plan(plan)?;
+        Ok(Explain {
+            shape: physical.shape.describe(),
+            strategy: physical.shape.strategy_name(),
+            threads: self.threads,
+            morsel_rows: self.morsel_rows,
+            cost_terms: physical.cost_terms.clone(),
+            decisions: physical.decisions.clone(),
+        })
     }
 
     // -----------------------------------------------------------------
@@ -145,7 +338,13 @@ impl Engine {
                                 "groupjoin with a probe-side filter".into(),
                             ));
                         }
-                        self.plan_groupjoin_agg(probe_table, build_table, build_filter, fk_col, aggs)
+                        self.plan_groupjoin_agg(
+                            probe_table,
+                            build_table,
+                            build_filter,
+                            fk_col,
+                            aggs,
+                        )
                     }
                     Some(other) => Err(PlanError::Unsupported(format!(
                         "group by {other} over a semijoin (only the FK column is supported)"
@@ -181,6 +380,7 @@ impl Engine {
             }
         }
         let mut decisions = Vec::new();
+        let mut cost_terms = Vec::new();
         let selectivity = match &filter {
             Some(f) => stats::estimate_selectivity(table, f),
             None => 1.0,
@@ -189,10 +389,9 @@ impl Engine {
         let has_minmax = aggs
             .iter()
             .any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max));
-        let strategy = if has_minmax {
-            decisions.push(
-                "hybrid forced: min/max require extra masking bookkeeping (§ III-A)".into(),
-            );
+        let chosen = if has_minmax {
+            decisions
+                .push("hybrid forced: min/max require extra masking bookkeeping (§ III-A)".into());
             AggStrategy::Hybrid
         } else {
             let mut cols: Vec<String> = Vec::new();
@@ -203,8 +402,7 @@ impl Engine {
                     }
                 }
             }
-            let comp: f64 =
-                aggs.iter().map(|a| a.expr.comp_cycles() + 0.5).sum();
+            let comp: f64 = aggs.iter().map(|a| a.expr.comp_cycles() + 0.5).sum();
             let profile = AggProfile {
                 rows: table.len(),
                 selectivity,
@@ -213,7 +411,12 @@ impl Engine {
                 group_keys,
                 n_aggs: aggs.len(),
             };
-            let choice = choose_agg(&self.params, &profile);
+            let choice = choose_agg_mt(&self.params, &profile, self.threads);
+            cost_terms.push(("agg.hybrid".to_string(), choice.cost_hybrid));
+            cost_terms.push(("agg.value-masking".to_string(), choice.cost_value_masking));
+            if let Some(km) = choice.cost_key_masking {
+                cost_terms.push(("agg.key-masking".to_string(), km));
+            }
             decisions.push(format!(
                 "σ={selectivity:.2} → {} (hybrid={:.2e}, vm={:.2e}{})",
                 choice.explanation,
@@ -226,6 +429,19 @@ impl Engine {
             ));
             choice.strategy
         };
+        let strategy = match self.pin_agg {
+            Some(pin) => {
+                if has_minmax && pin != AggStrategy::Hybrid {
+                    return Err(PlanError::Unsupported(format!(
+                        "cannot pin {} aggregation: min/max require hybrid",
+                        pin.name()
+                    )));
+                }
+                decisions.push(format!("strategy pinned to {} by the session", pin.name()));
+                pin
+            }
+            None => chosen,
+        };
         Ok(PhysicalPlan {
             shape: Shape::ScanAgg {
                 table: table_name.to_string(),
@@ -235,6 +451,7 @@ impl Engine {
                 strategy,
             },
             decisions,
+            cost_terms,
         })
     }
 
@@ -284,6 +501,24 @@ impl Engine {
         // Same VM-model threshold as the chooser's build decision: masked
         // probing wins unless the probe predicate is very selective.
         let probe_masked = probe_sel >= 0.125;
+        let mut decisions = vec![
+            format!("σ_build={build_sel:.2} → {}", choice.explanation),
+            format!(
+                "σ_probe={probe_sel:.2} → {} probe",
+                if probe_masked {
+                    "masked"
+                } else {
+                    "selection-vector"
+                }
+            ),
+        ];
+        let strategy = match self.pin_semijoin {
+            Some(pin) => {
+                decisions.push("semijoin strategy pinned by the session".to_string());
+                pin
+            }
+            None => choice.strategy,
+        };
         Ok(PhysicalPlan {
             shape: Shape::SemiJoinAgg {
                 probe: probe.to_string(),
@@ -292,16 +527,11 @@ impl Engine {
                 build_filter,
                 fk_col: fk_col.to_string(),
                 aggs: aggs.to_vec(),
-                strategy: choice.strategy,
+                strategy,
                 probe_masked,
             },
-            decisions: vec![
-                format!("σ_build={build_sel:.2} → {}", choice.explanation),
-                format!(
-                    "σ_probe={probe_sel:.2} → {} probe",
-                    if probe_masked { "masked" } else { "selection-vector" }
-                ),
-            ],
+            decisions,
+            cost_terms: Vec::new(),
         })
     }
 
@@ -332,7 +562,7 @@ impl Engine {
             None => 1.0,
         };
         let comp: f64 = aggs.iter().map(|a| a.expr.comp_cycles() + 0.5).sum();
-        let choice = choose_groupjoin(
+        let choice = choose_groupjoin_mt(
             &self.params,
             &GroupJoinProfile {
                 r_rows: probe_t.len(),
@@ -344,7 +574,19 @@ impl Engine {
                 comp,
                 n_aggs: aggs.len(),
             },
+            self.threads,
         );
+        let mut decisions = vec![format!(
+            "σ_S={s_sel:.2} → {} (groupjoin={:.2e}, eager={:.2e})",
+            choice.explanation, choice.cost_groupjoin, choice.cost_eager,
+        )];
+        let strategy = match self.pin_groupjoin {
+            Some(pin) => {
+                decisions.push("groupjoin strategy pinned by the session".to_string());
+                pin
+            }
+            None => choice.strategy,
+        };
         Ok(PhysicalPlan {
             shape: Shape::GroupJoinAgg {
                 probe: probe.to_string(),
@@ -352,12 +594,13 @@ impl Engine {
                 build_filter,
                 fk_col: fk_col.to_string(),
                 aggs: aggs.to_vec(),
-                strategy: choice.strategy,
+                strategy,
             },
-            decisions: vec![format!(
-                "σ_S={s_sel:.2} → {} (groupjoin={:.2e}, eager={:.2e})",
-                choice.explanation, choice.cost_groupjoin, choice.cost_eager,
-            )],
+            decisions,
+            cost_terms: vec![
+                ("groupjoin".to_string(), choice.cost_groupjoin),
+                ("eager-aggregation".to_string(), choice.cost_eager),
+            ],
         })
     }
 
@@ -391,6 +634,10 @@ impl Engine {
 
     /// Execute a physical plan.
     pub fn execute(&self, plan: &PhysicalPlan) -> QueryResult {
+        let opts = ExecOpts {
+            threads: self.threads,
+            morsel_rows: self.morsel_rows,
+        };
         match &plan.shape {
             Shape::ScanAgg {
                 table,
@@ -401,8 +648,8 @@ impl Engine {
             } => {
                 let t = self.db.table(table).expect("planned table");
                 match group_by {
-                    None => exec_scalar_agg(t, filter.as_ref(), aggs, *strategy),
-                    Some(g) => exec_groupby_agg(t, filter.as_ref(), g, aggs, *strategy),
+                    None => exec_scalar_agg(t, filter.as_ref(), aggs, *strategy, opts),
+                    Some(g) => exec_groupby_agg(t, filter.as_ref(), g, aggs, *strategy, opts),
                 }
             }
             Shape::SemiJoinAgg {
@@ -417,9 +664,7 @@ impl Engine {
             } => {
                 let probe_t = self.db.table(probe).expect("planned table");
                 let build_t = self.db.table(build).expect("planned table");
-                let fk = self
-                    .fk_positions(probe, fk_col, build)
-                    .expect("planned FK");
+                let fk = self.fk_positions(probe, fk_col, build).expect("planned FK");
                 exec_semijoin_agg(
                     probe_t,
                     probe_filter.as_ref(),
@@ -429,6 +674,7 @@ impl Engine {
                     aggs,
                     *strategy,
                     *probe_masked,
+                    opts,
                 )
             }
             Shape::GroupJoinAgg {
@@ -441,9 +687,7 @@ impl Engine {
             } => {
                 let probe_t = self.db.table(probe).expect("planned table");
                 let build_t = self.db.table(build).expect("planned table");
-                let fk = self
-                    .fk_positions(probe, fk_col, build)
-                    .expect("planned FK");
+                let fk = self.fk_positions(probe, fk_col, build).expect("planned FK");
                 exec_groupjoin_agg(
                     probe_t,
                     build_t,
@@ -452,6 +696,7 @@ impl Engine {
                     fk_col,
                     aggs,
                     *strategy,
+                    opts,
                 )
             }
         }
@@ -481,80 +726,165 @@ fn tile_mask(filter: Option<&Expr>, table: &Table, start: usize, cmp: &mut [u8])
     }
 }
 
+/// Per-worker merge operators for an aggregate list (all of which are
+/// commutative and associative, making the merge order — and therefore the
+/// thread count — invisible in the result).
+fn merge_ops(aggs: &[AggSpec]) -> Vec<MergeOp> {
+    aggs.iter()
+        .map(|a| match a.func {
+            AggFunc::Sum | AggFunc::Count => MergeOp::Add,
+            AggFunc::Min => MergeOp::Min,
+            AggFunc::Max => MergeOp::Max,
+        })
+        .collect()
+}
+
+/// Thread-local state for scalar aggregation (also the semijoin probe):
+/// accumulator slots plus per-tile scratch buffers.
+struct ScalarAcc {
+    acc: Vec<i64>,
+    matched: usize,
+    cmp: Vec<u8>,
+    idx: Vec<u32>,
+    val: Vec<i64>,
+}
+
+impl ScalarAcc {
+    fn new(aggs: &[AggSpec]) -> ScalarAcc {
+        let mut acc = vec![0i64; aggs.len()];
+        for (i, a) in aggs.iter().enumerate() {
+            if a.func == AggFunc::Min {
+                acc[i] = i64::MAX;
+            }
+            if a.func == AggFunc::Max {
+                acc[i] = i64::MIN;
+            }
+        }
+        ScalarAcc {
+            acc,
+            matched: 0,
+            cmp: vec![0u8; TILE],
+            idx: vec![0u32; TILE],
+            val: vec![0i64; TILE],
+        }
+    }
+}
+
+/// Fold per-worker scalar partials into one accumulator. Zero matches
+/// anywhere leaves min/max at their identities, which the caller flattens
+/// to the documented all-zero row.
+fn merge_scalar_partials(aggs: &[AggSpec], partials: Vec<ScalarAcc>) -> (Vec<i64>, usize) {
+    let mut iter = partials.into_iter();
+    let first = iter.next().expect("at least one worker partial");
+    let (mut acc, mut matched) = (first.acc, first.matched);
+    for p in iter {
+        matched += p.matched;
+        for (i, a) in aggs.iter().enumerate() {
+            match a.func {
+                AggFunc::Sum | AggFunc::Count => acc[i] += p.acc[i],
+                AggFunc::Min => acc[i] = acc[i].min(p.acc[i]),
+                AggFunc::Max => acc[i] = acc[i].max(p.acc[i]),
+            }
+        }
+    }
+    if matched == 0 {
+        acc.iter_mut().for_each(|v| *v = 0);
+    }
+    (acc, matched)
+}
+
 fn exec_scalar_agg(
     table: &Table,
     filter: Option<&Expr>,
     aggs: &[AggSpec],
     strategy: AggStrategy,
+    opts: ExecOpts,
 ) -> QueryResult {
     let n = table.len();
-    let n_aggs = aggs.len();
-    let mut acc = vec![0i64; n_aggs];
-    let mut matched = 0usize;
-    for (i, a) in aggs.iter().enumerate() {
-        if a.func == AggFunc::Min {
-            acc[i] = i64::MAX;
-        }
-        if a.func == AggFunc::Max {
-            acc[i] = i64::MIN;
-        }
-    }
-    let mut cmp = [0u8; TILE];
-    let mut idx = [0u32; TILE];
-    let mut val = vec![0i64; TILE];
-    for (start, len) in tiles(n) {
-        tile_mask(filter, table, start, &mut cmp[..len]);
-        match strategy {
-            AggStrategy::ValueMasking => {
-                matched += predicate::mask_count(&cmp[..len]);
-                for (i, a) in aggs.iter().enumerate() {
-                    match a.func {
-                        AggFunc::Sum => {
-                            a.expr.eval_values(table, start, &mut val[..len]);
-                            for j in 0..len {
-                                acc[i] += val[j] * cmp[j] as i64;
+    let partials = parallel::run_morsels(
+        opts.threads,
+        n,
+        opts.morsel_rows,
+        || ScalarAcc::new(aggs),
+        |w: &mut ScalarAcc, m_start, m_len| {
+            for (start, len) in tiles_in(m_start, m_len) {
+                tile_mask(filter, table, start, &mut w.cmp[..len]);
+                match strategy {
+                    AggStrategy::ValueMasking => {
+                        w.matched += predicate::mask_count(&w.cmp[..len]);
+                        for (i, a) in aggs.iter().enumerate() {
+                            match a.func {
+                                AggFunc::Sum => {
+                                    a.expr.eval_values(table, start, &mut w.val[..len]);
+                                    for j in 0..len {
+                                        w.acc[i] += w.val[j] * w.cmp[j] as i64;
+                                    }
+                                }
+                                AggFunc::Count => {
+                                    for &c in &w.cmp[..len] {
+                                        w.acc[i] += c as i64;
+                                    }
+                                }
+                                // Planner never sends min/max down the masked path.
+                                AggFunc::Min | AggFunc::Max => unreachable!("planner invariant"),
                             }
                         }
-                        AggFunc::Count => {
-                            for &c in &cmp[..len] {
-                                acc[i] += c as i64;
-                            }
-                        }
-                        // Planner never sends min/max down the masked path.
-                        AggFunc::Min | AggFunc::Max => unreachable!("planner invariant"),
                     }
-                }
-            }
-            // Scalar aggregation has no key to mask; hybrid covers both.
-            AggStrategy::Hybrid | AggStrategy::KeyMasking => {
-                let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
-                matched += k;
-                for (i, a) in aggs.iter().enumerate() {
-                    match a.func {
-                        AggFunc::Count => acc[i] += k as i64,
-                        _ => {
-                            a.expr.eval_values(table, start, &mut val[..len]);
-                            for &j in &idx[..k] {
-                                let v = val[j as usize - start];
-                                match a.func {
-                                    AggFunc::Sum => acc[i] += v,
-                                    AggFunc::Min => acc[i] = acc[i].min(v),
-                                    AggFunc::Max => acc[i] = acc[i].max(v),
-                                    AggFunc::Count => unreachable!(),
+                    // Scalar aggregation has no key to mask; hybrid covers both.
+                    AggStrategy::Hybrid | AggStrategy::KeyMasking => {
+                        let k =
+                            selvec::fill_nobranch(&w.cmp[..len], start as u32, &mut w.idx[..len]);
+                        w.matched += k;
+                        for (i, a) in aggs.iter().enumerate() {
+                            match a.func {
+                                AggFunc::Count => w.acc[i] += k as i64,
+                                _ => {
+                                    a.expr.eval_values(table, start, &mut w.val[..len]);
+                                    for &j in &w.idx[..k] {
+                                        let v = w.val[j as usize - start];
+                                        match a.func {
+                                            AggFunc::Sum => w.acc[i] += v,
+                                            AggFunc::Min => w.acc[i] = w.acc[i].min(v),
+                                            AggFunc::Max => w.acc[i] = w.acc[i].max(v),
+                                            AggFunc::Count => unreachable!(),
+                                        }
+                                    }
                                 }
                             }
                         }
                     }
                 }
             }
-        }
-    }
-    if matched == 0 {
-        acc = vec![0; n_aggs];
-    }
+        },
+    );
+    let (acc, _) = merge_scalar_partials(aggs, partials);
     QueryResult {
         columns: aggs.iter().map(|a| a.name.clone()).collect(),
         rows: vec![acc],
+    }
+}
+
+/// Thread-local state for group-by aggregation: a private [`AggTable`]
+/// plus per-tile scratch buffers.
+struct GroupAcc {
+    ht: AggTable,
+    cmp: Vec<u8>,
+    idx: Vec<u32>,
+    keys: Vec<i64>,
+    masked: Vec<i64>,
+    vals: Vec<Vec<i64>>,
+}
+
+impl GroupAcc {
+    fn new(n_aggs: usize) -> GroupAcc {
+        GroupAcc {
+            ht: AggTable::with_capacity(n_aggs, 64),
+            cmp: vec![0u8; TILE],
+            idx: vec![0u32; TILE],
+            keys: vec![0i64; TILE],
+            masked: vec![0i64; TILE],
+            vals: vec![vec![0i64; TILE]; n_aggs],
+        }
     }
 }
 
@@ -564,77 +894,95 @@ fn exec_groupby_agg(
     group_by: &str,
     aggs: &[AggSpec],
     strategy: AggStrategy,
+    opts: ExecOpts,
 ) -> QueryResult {
     let n = table.len();
     let n_aggs = aggs.len();
-    let mut ht = AggTable::with_capacity(n_aggs, 64);
-    let mut cmp = [0u8; TILE];
-    let mut idx = [0u32; TILE];
-    let mut keys = vec![0i64; TILE];
-    let mut masked = vec![0i64; TILE];
-    let mut vals: Vec<Vec<i64>> = vec![vec![0i64; TILE]; n_aggs];
     let key_expr = Expr::col(group_by);
-    for (start, len) in tiles(n) {
-        tile_mask(filter, table, start, &mut cmp[..len]);
-        key_expr.eval_values(table, start, &mut keys[..len]);
-        for (i, a) in aggs.iter().enumerate() {
-            if a.func != AggFunc::Count {
-                a.expr.eval_values(table, start, &mut vals[i][..len]);
-            }
-        }
-        match strategy {
-            AggStrategy::Hybrid => {
-                let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
-                for &j in &idx[..k] {
-                    let j = j as usize - start;
-                    let off = ht.entry(keys[j]);
-                    let fresh = !ht.is_valid(off);
-                    for (i, a) in aggs.iter().enumerate() {
-                        let v = vals[i][j];
-                        let s = &mut ht.states_mut()[off + i];
-                        match a.func {
-                            AggFunc::Sum => *s += v,
-                            AggFunc::Count => *s += 1,
-                            AggFunc::Min => *s = if fresh { v } else { (*s).min(v) },
-                            AggFunc::Max => *s = if fresh { v } else { (*s).max(v) },
+    let partials = parallel::run_morsels(
+        opts.threads,
+        n,
+        opts.morsel_rows,
+        || GroupAcc::new(n_aggs),
+        |w: &mut GroupAcc, m_start, m_len| {
+            for (start, len) in tiles_in(m_start, m_len) {
+                tile_mask(filter, table, start, &mut w.cmp[..len]);
+                key_expr.eval_values(table, start, &mut w.keys[..len]);
+                for (i, a) in aggs.iter().enumerate() {
+                    if a.func != AggFunc::Count {
+                        a.expr.eval_values(table, start, &mut w.vals[i][..len]);
+                    }
+                }
+                match strategy {
+                    AggStrategy::Hybrid => {
+                        let k =
+                            selvec::fill_nobranch(&w.cmp[..len], start as u32, &mut w.idx[..len]);
+                        for &j in &w.idx[..k] {
+                            let j = j as usize - start;
+                            let off = w.ht.entry(w.keys[j]);
+                            let fresh = !w.ht.is_valid(off);
+                            for (i, a) in aggs.iter().enumerate() {
+                                let v = w.vals[i][j];
+                                let s = &mut w.ht.states_mut()[off + i];
+                                match a.func {
+                                    AggFunc::Sum => *s += v,
+                                    AggFunc::Count => *s += 1,
+                                    AggFunc::Min => *s = if fresh { v } else { (*s).min(v) },
+                                    AggFunc::Max => *s = if fresh { v } else { (*s).max(v) },
+                                }
+                            }
+                            w.ht.set_valid(off);
                         }
                     }
-                    ht.set_valid(off);
-                }
-            }
-            AggStrategy::ValueMasking => {
-                for j in 0..len {
-                    let off = ht.entry(keys[j]);
-                    let m = cmp[j] as i64;
-                    for (i, a) in aggs.iter().enumerate() {
-                        let add = match a.func {
-                            AggFunc::Sum => vals[i][j] * m,
-                            AggFunc::Count => m,
-                            AggFunc::Min | AggFunc::Max => unreachable!("planner invariant"),
-                        };
-                        ht.states_mut()[off + i] += add;
+                    AggStrategy::ValueMasking => {
+                        for j in 0..len {
+                            let off = w.ht.entry(w.keys[j]);
+                            let m = w.cmp[j] as i64;
+                            for (i, a) in aggs.iter().enumerate() {
+                                let add = match a.func {
+                                    AggFunc::Sum => w.vals[i][j] * m,
+                                    AggFunc::Count => m,
+                                    AggFunc::Min | AggFunc::Max => {
+                                        unreachable!("planner invariant")
+                                    }
+                                };
+                                w.ht.states_mut()[off + i] += add;
+                            }
+                            w.ht.or_valid(off, w.cmp[j]);
+                        }
                     }
-                    ht.or_valid(off, cmp[j]);
-                }
-            }
-            AggStrategy::KeyMasking => {
-                swole_kernels::groupby::mask_keys(&keys[..len], &cmp[..len], &mut masked[..len]);
-                for j in 0..len {
-                    let off = ht.entry(masked[j]);
-                    for (i, a) in aggs.iter().enumerate() {
-                        let add = match a.func {
-                            AggFunc::Sum => vals[i][j],
-                            AggFunc::Count => 1,
-                            AggFunc::Min | AggFunc::Max => unreachable!("planner invariant"),
-                        };
-                        ht.states_mut()[off + i] += add;
+                    AggStrategy::KeyMasking => {
+                        swole_kernels::groupby::mask_keys(
+                            &w.keys[..len],
+                            &w.cmp[..len],
+                            &mut w.masked[..len],
+                        );
+                        for j in 0..len {
+                            let off = w.ht.entry(w.masked[j]);
+                            for (i, a) in aggs.iter().enumerate() {
+                                let add = match a.func {
+                                    AggFunc::Sum => w.vals[i][j],
+                                    AggFunc::Count => 1,
+                                    AggFunc::Min | AggFunc::Max => {
+                                        unreachable!("planner invariant")
+                                    }
+                                };
+                                w.ht.states_mut()[off + i] += add;
+                            }
+                            // Branch-free: the throwaway entry's flag is ignored by
+                            // the result iterator, so set it unconditionally.
+                            w.ht.or_valid(off, w.cmp[j]);
+                        }
                     }
-                    // Branch-free: the throwaway entry's flag is ignored by
-                    // the result iterator, so set it unconditionally.
-                    ht.or_valid(off, cmp[j]);
                 }
             }
-        }
+        },
+    );
+    let ops = merge_ops(aggs);
+    let mut iter = partials.into_iter();
+    let mut ht = iter.next().expect("at least one worker partial").ht;
+    for p in iter {
+        ht.merge_from(&p.ht, &ops);
     }
     rows_from_table(group_by, aggs, &ht)
 }
@@ -656,6 +1004,24 @@ fn rows_from_table(key_name: &str, aggs: &[AggSpec], ht: &AggTable) -> QueryResu
     QueryResult { columns, rows }
 }
 
+/// Evaluate the build-side predicate mask over the whole build table,
+/// splitting the byte buffer into disjoint tile-aligned chunks across
+/// workers.
+fn build_mask(build: &Table, build_filter: Option<&Expr>, threads: usize) -> Vec<u8> {
+    let mut build_cmp = vec![0u8; build.len()];
+    parallel::fill_partitioned(threads, &mut build_cmp, |chunk_start, slice| {
+        for (start, len) in tiles(slice.len()) {
+            tile_mask(
+                build_filter,
+                build,
+                chunk_start + start,
+                &mut slice[start..start + len],
+            );
+        }
+    });
+    build_cmp
+}
+
 #[allow(clippy::too_many_arguments)]
 fn exec_semijoin_agg(
     probe: &Table,
@@ -666,13 +1032,11 @@ fn exec_semijoin_agg(
     aggs: &[AggSpec],
     strategy: SemiJoinStrategy,
     probe_masked: bool,
+    opts: ExecOpts,
 ) -> QueryResult {
     // Build phase.
     let build_n = build.len();
-    let mut build_cmp = vec![0u8; build_n];
-    for (start, len) in tiles(build_n) {
-        tile_mask(build_filter, build, start, &mut build_cmp[start..start + len]);
-    }
+    let build_cmp = build_mask(build, build_filter, opts.threads);
     enum BuildSide {
         Set(KeySet),
         Bitmap(PositionalBitmap),
@@ -687,9 +1051,9 @@ fn exec_semijoin_agg(
             }
             BuildSide::Set(set)
         }
-        SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional) => {
-            BuildSide::Bitmap(PositionalBitmap::from_predicate_bytes(&build_cmp))
-        }
+        SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional) => BuildSide::Bitmap(
+            PositionalBitmap::from_predicate_bytes_parallel(&build_cmp, opts.threads),
+        ),
         SemiJoinStrategy::PositionalBitmap(BitmapBuild::SelectionVector) => {
             let mut sel = Vec::new();
             for (start, len) in tiles(build_n) {
@@ -698,73 +1062,92 @@ fn exec_semijoin_agg(
             BuildSide::Bitmap(PositionalBitmap::from_selection(build_n, &sel))
         }
     };
-    // Probe phase: scalar accumulation.
+    // Probe phase: scalar accumulation on morsel workers sharing the
+    // read-only build side.
     let n = probe.len();
-    let mut acc = vec![0i64; aggs.len()];
-    let mut matched = 0usize;
-    let mut cmp = [0u8; TILE];
-    let mut idx = [0u32; TILE];
-    let mut val = vec![0i64; TILE];
-    for (start, len) in tiles(n) {
-        tile_mask(probe_filter, probe, start, &mut cmp[..len]);
-        // Fold the join bit into the mask, per build structure.
-        match (&side, probe_masked) {
-            (BuildSide::Bitmap(bm), true) => {
-                for j in 0..len {
-                    cmp[j] &= bm.get_bit(fk[start + j] as usize) as u8;
-                }
-                matched += predicate::mask_count(&cmp[..len]);
-                for (i, a) in aggs.iter().enumerate() {
-                    match a.func {
-                        AggFunc::Sum => {
-                            a.expr.eval_values(probe, start, &mut val[..len]);
-                            for j in 0..len {
-                                acc[i] += val[j] * cmp[j] as i64;
+    let partials = parallel::run_morsels(
+        opts.threads,
+        n,
+        opts.morsel_rows,
+        || ScalarAcc::new(aggs),
+        |w: &mut ScalarAcc, m_start, m_len| {
+            for (start, len) in tiles_in(m_start, m_len) {
+                tile_mask(probe_filter, probe, start, &mut w.cmp[..len]);
+                // Fold the join bit into the mask, per build structure.
+                match (&side, probe_masked) {
+                    (BuildSide::Bitmap(bm), true) => {
+                        for j in 0..len {
+                            w.cmp[j] &= bm.get_bit(fk[start + j] as usize) as u8;
+                        }
+                        w.matched += predicate::mask_count(&w.cmp[..len]);
+                        for (i, a) in aggs.iter().enumerate() {
+                            match a.func {
+                                AggFunc::Sum => {
+                                    a.expr.eval_values(probe, start, &mut w.val[..len]);
+                                    for j in 0..len {
+                                        w.acc[i] += w.val[j] * w.cmp[j] as i64;
+                                    }
+                                }
+                                AggFunc::Count => {
+                                    for &c in &w.cmp[..len] {
+                                        w.acc[i] += c as i64;
+                                    }
+                                }
+                                _ => unreachable!("planner invariant"),
                             }
                         }
-                        AggFunc::Count => {
-                            for &c in &cmp[..len] {
-                                acc[i] += c as i64;
+                    }
+                    (side, _) => {
+                        let k =
+                            selvec::fill_nobranch(&w.cmp[..len], start as u32, &mut w.idx[..len]);
+                        for (i, a) in aggs.iter().enumerate() {
+                            if a.func != AggFunc::Count {
+                                a.expr.eval_values(probe, start, &mut w.val[..len]);
+                            }
+                            for &j in &w.idx[..k] {
+                                let pos = fk[j as usize] as usize;
+                                let hit = match side {
+                                    BuildSide::Set(set) => set.contains(pos as i64) as i64,
+                                    BuildSide::Bitmap(bm) => bm.get_bit(pos) as i64,
+                                };
+                                match a.func {
+                                    AggFunc::Sum => w.acc[i] += w.val[j as usize - start] * hit,
+                                    AggFunc::Count => w.acc[i] += hit,
+                                    _ => unreachable!("planner invariant"),
+                                }
+                                if i == 0 {
+                                    w.matched += hit as usize;
+                                }
                             }
                         }
-                        _ => unreachable!("planner invariant"),
                     }
                 }
             }
-            (side, _) => {
-                let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
-                for (i, a) in aggs.iter().enumerate() {
-                    if a.func != AggFunc::Count {
-                        a.expr.eval_values(probe, start, &mut val[..len]);
-                    }
-                    for &j in &idx[..k] {
-                        let pos = fk[j as usize] as usize;
-                        let hit = match side {
-                            BuildSide::Set(set) => set.contains(pos as i64) as i64,
-                            BuildSide::Bitmap(bm) => bm.get_bit(pos) as i64,
-                        };
-                        match a.func {
-                            AggFunc::Sum => acc[i] += val[j as usize - start] * hit,
-                            AggFunc::Count => acc[i] += hit,
-                            _ => unreachable!("planner invariant"),
-                        }
-                        if i == 0 {
-                            matched += hit as usize;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    if matched == 0 {
-        acc = vec![0; aggs.len()];
-    }
+        },
+    );
+    let (acc, _) = merge_scalar_partials(aggs, partials);
     QueryResult {
         columns: aggs.iter().map(|a| a.name.clone()).collect(),
         rows: vec![acc],
     }
 }
 
+/// Thread-local state for groupjoin execution.
+struct GroupJoinAcc {
+    ht: AggTable,
+    vals: Vec<Vec<i64>>,
+}
+
+impl GroupJoinAcc {
+    fn new(n_aggs: usize, capacity: usize) -> GroupJoinAcc {
+        GroupJoinAcc {
+            ht: AggTable::with_capacity(n_aggs, capacity),
+            vals: vec![vec![0i64; TILE]; n_aggs],
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn exec_groupjoin_agg(
     probe: &Table,
     build: &Table,
@@ -773,68 +1156,86 @@ fn exec_groupjoin_agg(
     fk_col: &str,
     aggs: &[AggSpec],
     strategy: GroupJoinStrategy,
+    opts: ExecOpts,
 ) -> QueryResult {
     let n_aggs = aggs.len();
     let build_n = build.len();
-    let mut build_cmp = vec![0u8; build_n];
-    for (start, len) in tiles(build_n) {
-        tile_mask(build_filter, build, start, &mut build_cmp[start..start + len]);
-    }
-    let mut ht = AggTable::with_capacity(n_aggs, (build_n / 2).max(16));
-    let mut vals: Vec<Vec<i64>> = vec![vec![0i64; TILE]; n_aggs];
-    match strategy {
-        GroupJoinStrategy::GroupJoin => {
-            for (pos, &c) in build_cmp.iter().enumerate() {
-                if c != 0 {
-                    ht.entry(pos as i64);
-                }
-            }
-            for (start, len) in tiles(probe.len()) {
-                for (i, a) in aggs.iter().enumerate() {
-                    if a.func != AggFunc::Count {
-                        a.expr.eval_values(probe, start, &mut vals[i][..len]);
+    let build_cmp = build_mask(build, build_filter, opts.threads);
+    let capacity = (build_n / 2).max(16);
+    let partials = match strategy {
+        GroupJoinStrategy::GroupJoin => parallel::run_morsels(
+            opts.threads,
+            probe.len(),
+            opts.morsel_rows,
+            || GroupJoinAcc::new(n_aggs, capacity),
+            |w: &mut GroupJoinAcc, m_start, m_len| {
+                for (start, len) in tiles_in(m_start, m_len) {
+                    for (i, a) in aggs.iter().enumerate() {
+                        if a.func != AggFunc::Count {
+                            a.expr.eval_values(probe, start, &mut w.vals[i][..len]);
+                        }
+                    }
+                    for j in 0..len {
+                        let pos = fk[start + j] as usize;
+                        // Membership via the build mask: equivalent to
+                        // probing a table pre-populated with qualifying
+                        // keys, but sharable read-only across workers.
+                        if build_cmp[pos] != 0 {
+                            let off = w.ht.entry(pos as i64);
+                            for (i, a) in aggs.iter().enumerate() {
+                                let add = match a.func {
+                                    AggFunc::Sum => w.vals[i][j],
+                                    AggFunc::Count => 1,
+                                    _ => unreachable!("planner invariant"),
+                                };
+                                w.ht.states_mut()[off + i] += add;
+                            }
+                            w.ht.set_valid(off);
+                        }
                     }
                 }
-                for j in 0..len {
-                    if let Some(off) = ht.find(fk[start + j] as i64) {
+            },
+        ),
+        GroupJoinStrategy::EagerAggregation => parallel::run_morsels(
+            opts.threads,
+            probe.len(),
+            opts.morsel_rows,
+            || GroupJoinAcc::new(n_aggs, capacity),
+            |w: &mut GroupJoinAcc, m_start, m_len| {
+                for (start, len) in tiles_in(m_start, m_len) {
+                    for (i, a) in aggs.iter().enumerate() {
+                        if a.func != AggFunc::Count {
+                            a.expr.eval_values(probe, start, &mut w.vals[i][..len]);
+                        }
+                    }
+                    for j in 0..len {
+                        let off = w.ht.entry(fk[start + j] as i64);
                         for (i, a) in aggs.iter().enumerate() {
                             let add = match a.func {
-                                AggFunc::Sum => vals[i][j],
+                                AggFunc::Sum => w.vals[i][j],
                                 AggFunc::Count => 1,
                                 _ => unreachable!("planner invariant"),
                             };
-                            ht.states_mut()[off + i] += add;
+                            w.ht.states_mut()[off + i] += add;
                         }
-                        ht.set_valid(off);
+                        w.ht.set_valid(off);
                     }
                 }
-            }
-        }
-        GroupJoinStrategy::EagerAggregation => {
-            for (start, len) in tiles(probe.len()) {
-                for (i, a) in aggs.iter().enumerate() {
-                    if a.func != AggFunc::Count {
-                        a.expr.eval_values(probe, start, &mut vals[i][..len]);
-                    }
-                }
-                for j in 0..len {
-                    let off = ht.entry(fk[start + j] as i64);
-                    for (i, a) in aggs.iter().enumerate() {
-                        let add = match a.func {
-                            AggFunc::Sum => vals[i][j],
-                            AggFunc::Count => 1,
-                            _ => unreachable!("planner invariant"),
-                        };
-                        ht.states_mut()[off + i] += add;
-                    }
-                    ht.set_valid(off);
-                }
-            }
-            // Inverted predicate deletes non-qualifying keys (§ III-E).
-            for (pos, &c) in build_cmp.iter().enumerate() {
-                if c == 0 {
-                    ht.delete(pos as i64);
-                }
+            },
+        ),
+    };
+    let ops = merge_ops(aggs);
+    let mut iter = partials.into_iter();
+    let mut ht = iter.next().expect("at least one worker partial").ht;
+    for p in iter {
+        ht.merge_from(&p.ht, &ops);
+    }
+    if strategy == GroupJoinStrategy::EagerAggregation {
+        // Inverted predicate deletes non-qualifying keys (§ III-E) — after
+        // the merge, so the reconciliation happens exactly once.
+        for (pos, &c) in build_cmp.iter().enumerate() {
+            if c == 0 {
+                ht.delete(pos as i64);
             }
         }
     }

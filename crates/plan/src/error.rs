@@ -27,6 +27,14 @@ pub enum PlanError {
         /// FK column.
         fk_column: String,
     },
+    /// A scalar accessor was used on a result that does not have exactly
+    /// one row.
+    NotScalar {
+        /// Number of rows the result actually has.
+        rows: usize,
+    },
+    /// A result-column accessor named a column the result does not have.
+    UnknownResultColumn(String),
 }
 
 impl fmt::Display for PlanError {
@@ -40,6 +48,12 @@ impl fmt::Display for PlanError {
             PlanError::InvalidExpr(what) => write!(f, "invalid expression: {what}"),
             PlanError::MissingFkIndex { child, fk_column } => {
                 write!(f, "no foreign-key index registered for {child}.{fk_column}")
+            }
+            PlanError::NotScalar { rows } => {
+                write!(f, "result is not scalar: {rows} rows (expected exactly 1)")
+            }
+            PlanError::UnknownResultColumn(c) => {
+                write!(f, "no column named {c} in the result")
             }
         }
     }

@@ -133,6 +133,7 @@ impl Expr {
     }
 
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not arithmetic on Expr values
     pub fn mul(self, other: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(other))
     }
@@ -220,18 +221,16 @@ impl Expr {
 
     fn validate_dicts(&self, table: &Table) -> Result<(), PlanError> {
         match self {
-            Expr::Like { col, .. } | Expr::InList { col, .. } => {
-                match table.column(col) {
-                    Some(ColumnData::Dict(_)) => Ok(()),
-                    Some(_) => Err(PlanError::InvalidExpr(format!(
-                        "LIKE/IN requires a dictionary column, {col} is not"
-                    ))),
-                    None => Err(PlanError::UnknownColumn {
-                        table: table.name().to_string(),
-                        column: col.clone(),
-                    }),
-                }
-            }
+            Expr::Like { col, .. } | Expr::InList { col, .. } => match table.column(col) {
+                Some(ColumnData::Dict(_)) => Ok(()),
+                Some(_) => Err(PlanError::InvalidExpr(format!(
+                    "LIKE/IN requires a dictionary column, {col} is not"
+                ))),
+                None => Err(PlanError::UnknownColumn {
+                    table: table.name().to_string(),
+                    column: col.clone(),
+                }),
+            },
             Expr::Cmp(_, a, b)
             | Expr::Add(a, b)
             | Expr::Sub(a, b)
@@ -261,19 +260,13 @@ impl Expr {
         match self {
             Expr::Col(name) => table.column_required(name).get_i64(row),
             Expr::Lit(v) => *v,
-            Expr::Cmp(op, a, b) => {
-                op.apply(a.eval_row(table, row), b.eval_row(table, row)) as i64
-            }
+            Expr::Cmp(op, a, b) => op.apply(a.eval_row(table, row), b.eval_row(table, row)) as i64,
             Expr::Add(a, b) => a.eval_row(table, row) + b.eval_row(table, row),
             Expr::Sub(a, b) => a.eval_row(table, row) - b.eval_row(table, row),
             Expr::Mul(a, b) => a.eval_row(table, row) * b.eval_row(table, row),
             Expr::Div(a, b) => a.eval_row(table, row) / b.eval_row(table, row),
-            Expr::And(a, b) => {
-                (a.eval_row(table, row) != 0 && b.eval_row(table, row) != 0) as i64
-            }
-            Expr::Or(a, b) => {
-                (a.eval_row(table, row) != 0 || b.eval_row(table, row) != 0) as i64
-            }
+            Expr::And(a, b) => (a.eval_row(table, row) != 0 && b.eval_row(table, row) != 0) as i64,
+            Expr::Or(a, b) => (a.eval_row(table, row) != 0 || b.eval_row(table, row) != 0) as i64,
             Expr::Not(a) => (a.eval_row(table, row) == 0) as i64,
             Expr::Like { col, pattern } => {
                 let dict = table
@@ -482,7 +475,9 @@ mod tests {
             .with_column("a", ColumnData::I64(vec![10, 20, 30, 40, 50]))
             .with_column(
                 "s",
-                ColumnData::Dict(DictColumn::encode(&["PROMO A", "STD", "PROMO B", "STD", "X"])),
+                ColumnData::Dict(DictColumn::encode(&[
+                    "PROMO A", "STD", "PROMO B", "STD", "X",
+                ])),
             )
     }
 
@@ -548,16 +543,13 @@ mod tests {
             Expr::Case {
                 when: Box::new(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(10))),
                 then: Box::new(Expr::col("a").mul(Expr::lit(3))),
-                otherwise: Box::new(Expr::Sub(
-                    Box::new(Expr::col("a")),
-                    Box::new(Expr::lit(1)),
-                )),
+                otherwise: Box::new(Expr::Sub(Box::new(Expr::col("a")), Box::new(Expr::lit(1)))),
             },
         ];
         for e in exprs {
             let vec = values_of(&e, &t);
-            for row in 0..t.len() {
-                assert_eq!(vec[row], e.eval_row(&t, row), "{e:?} row {row}");
+            for (row, v) in vec.iter().enumerate() {
+                assert_eq!(*v, e.eval_row(&t, row), "{e:?} row {row}");
             }
         }
     }

@@ -92,12 +92,7 @@ pub fn run(db: &Database, plan: &LogicalPlan) -> Result<QueryResult, PlanError> 
     }
 }
 
-fn accumulate(
-    acc: &mut i64,
-    spec: &AggSpec,
-    table: &swole_storage::Table,
-    row: usize,
-) {
+fn accumulate(acc: &mut i64, spec: &AggSpec, table: &swole_storage::Table, row: usize) {
     match spec.func {
         AggFunc::Count => *acc += 1,
         AggFunc::Sum => *acc += spec.expr.eval_row(table, row),
@@ -149,8 +144,6 @@ fn qualifying_rows(db: &Database, plan: &LogicalPlan) -> Result<Vec<usize>, Plan
                 .filter(|&r| parent_set.contains(&(fk[r] as usize)))
                 .collect())
         }
-        LogicalPlan::Aggregate { .. } => Err(PlanError::Unsupported(
-            "nested aggregation".into(),
-        )),
+        LogicalPlan::Aggregate { .. } => Err(PlanError::Unsupported("nested aggregation".into())),
     }
 }

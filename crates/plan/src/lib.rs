@@ -29,12 +29,13 @@ mod error;
 pub mod expr;
 pub mod interp;
 mod logical;
+mod parallel;
 pub mod physical;
 pub mod sql;
 pub mod stats;
 
 pub use catalog::Database;
-pub use engine::{Engine, QueryResult};
+pub use engine::{Engine, EngineBuilder, Explain, QueryResult};
 pub use error::PlanError;
 pub use expr::{AggFunc, CmpOp, Expr};
 pub use logical::{AggSpec, LogicalPlan, QueryBuilder};

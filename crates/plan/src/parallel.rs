@@ -1,0 +1,155 @@
+//! Morsel-driven parallel execution scaffolding.
+//!
+//! The executor partitions each table scan into tile-aligned morsels
+//! (`swole_kernels::morsels`). Workers on `std::thread::scope` threads claim
+//! morsels from a shared atomic counter — classic morsel-driven scheduling:
+//! cheap dynamic load balancing, no work queues — and fold rows into
+//! **thread-local** accumulators (scalar slots, `AggTable`s, bitmaps). A
+//! merge phase then combines the per-worker partials. Because every merge
+//! (i64 add, min, max, bitmap OR) is commutative and associative, and
+//! group-by output is sorted, results are bit-identical at any thread
+//! count.
+//!
+//! `threads == 1` runs the same worker body inline on the caller's thread —
+//! no scheduling, no atomics — so single-thread execution has no parallel
+//! tax and multi-thread equivalence is against the genuine sequential path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use swole_kernels::{morsels, TILE};
+
+/// A shared dispenser of tile-aligned morsel bounds over `0..n_rows`.
+struct MorselQueue {
+    next: AtomicUsize,
+    n_rows: usize,
+    /// Rows per claim; always a whole number of tiles.
+    step: usize,
+}
+
+impl MorselQueue {
+    fn new(n_rows: usize, morsel_rows: usize) -> MorselQueue {
+        MorselQueue {
+            next: AtomicUsize::new(0),
+            n_rows,
+            step: morsel_rows.div_ceil(TILE).max(1) * TILE,
+        }
+    }
+
+    /// Claim the next `(start, len)` morsel, or `None` when the scan is
+    /// exhausted.
+    fn claim(&self) -> Option<(usize, usize)> {
+        let start = self.next.fetch_add(self.step, Ordering::Relaxed);
+        if start >= self.n_rows {
+            return None;
+        }
+        Some((start, self.step.min(self.n_rows - start)))
+    }
+}
+
+/// Run `body` over every morsel of `0..n_rows` on `threads` workers, each
+/// folding into its own `init()`-built accumulator. Returns all per-worker
+/// accumulators (workers that claimed no morsel still return theirs) for
+/// the caller's merge phase.
+pub(crate) fn run_morsels<T, I, B>(
+    threads: usize,
+    n_rows: usize,
+    morsel_rows: usize,
+    init: I,
+    body: B,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    B: Fn(&mut T, usize, usize) + Sync,
+{
+    if threads <= 1 {
+        let mut local = init();
+        for (start, len) in morsels(n_rows, morsel_rows) {
+            body(&mut local, start, len);
+        }
+        return vec![local];
+    }
+    let queue = MorselQueue::new(n_rows, morsel_rows);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (queue, init, body) = (&queue, &init, &body);
+                scope.spawn(move || {
+                    let mut local = init();
+                    while let Some((start, len)) = queue.claim() {
+                        body(&mut local, start, len);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
+    })
+}
+
+/// Fill `out` by handing each worker a disjoint contiguous tile-aligned
+/// chunk — for build phases that materialize one byte per row (predicate
+/// masks) and need workers writing straight into the shared buffer.
+pub(crate) fn fill_partitioned<B>(threads: usize, out: &mut [u8], body: B)
+where
+    B: Fn(usize, &mut [u8]) + Sync,
+{
+    let n = out.len();
+    if threads <= 1 || n < 2 * TILE {
+        body(0, out);
+        return;
+    }
+    let chunk = n.div_ceil(threads).div_ceil(TILE).max(1) * TILE;
+    std::thread::scope(|scope| {
+        for (i, slice) in out.chunks_mut(chunk).enumerate() {
+            let body = &body;
+            scope.spawn(move || body(i * chunk, slice));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_claimed_exactly_once() {
+        for threads in [1usize, 2, 7] {
+            for n in [0usize, 1, TILE, 10 * TILE + 13] {
+                let partials = run_morsels(
+                    threads,
+                    n,
+                    2 * TILE,
+                    Vec::new,
+                    |seen: &mut Vec<(usize, usize)>, start, len| seen.push((start, len)),
+                );
+                let mut all: Vec<_> = partials.into_iter().flatten().collect();
+                all.sort_unstable();
+                let covered: usize = all.iter().map(|&(_, l)| l).sum();
+                assert_eq!(covered, n, "threads={threads} n={n}");
+                let mut end = 0;
+                for (s, l) in all {
+                    assert_eq!(s, end);
+                    end = s + l;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_partitioned_covers_buffer() {
+        for threads in [1usize, 3, 8] {
+            let mut out = vec![0u8; 5 * TILE + 100];
+            fill_partitioned(threads, &mut out, |start, slice| {
+                for (i, b) in slice.iter_mut().enumerate() {
+                    *b = ((start + i) % 251) as u8;
+                }
+            });
+            for (i, &b) in out.iter().enumerate() {
+                assert_eq!(b, (i % 251) as u8, "threads={threads} i={i}");
+            }
+        }
+    }
+}

@@ -12,6 +12,10 @@ pub struct PhysicalPlan {
     /// One line per decision the planner took, with the cost-model
     /// justification — what `EXPLAIN` prints.
     pub decisions: Vec<String>,
+    /// Named cost-model terms behind the strategy decision (cycles), e.g.
+    /// `("agg.value-masking", 1.2e6)` — the numeric evidence `EXPLAIN`
+    /// renders.
+    pub cost_terms: Vec<(String, f64)>,
 }
 
 impl PhysicalPlan {
@@ -54,6 +58,7 @@ impl PhysicalPlan {
 
 /// The executable shapes (the plan patterns §§ III-A–III-E optimize).
 #[derive(Debug, Clone)]
+#[allow(clippy::enum_variant_names)] // every shape ends in an aggregation
 pub(crate) enum Shape {
     /// scan → filter? → (scalar | group-by) aggregation.
     ScanAgg {
@@ -88,7 +93,34 @@ pub(crate) enum Shape {
 }
 
 impl Shape {
-    fn describe(&self) -> String {
+    /// Short name of the access strategy driving this shape's loop body.
+    pub(crate) fn strategy_name(&self) -> String {
+        match self {
+            Shape::ScanAgg { strategy, .. } => strategy.name().to_string(),
+            Shape::SemiJoinAgg {
+                strategy,
+                probe_masked,
+                ..
+            } => format!(
+                "{} semijoin, {} probe",
+                match strategy {
+                    SemiJoinStrategy::Hash => "hash",
+                    SemiJoinStrategy::PositionalBitmap(_) => "positional-bitmap",
+                },
+                if *probe_masked {
+                    "masked"
+                } else {
+                    "selection-vector"
+                },
+            ),
+            Shape::GroupJoinAgg { strategy, .. } => match strategy {
+                GroupJoinStrategy::GroupJoin => "groupjoin".to_string(),
+                GroupJoinStrategy::EagerAggregation => "eager-aggregation".to_string(),
+            },
+        }
+    }
+
+    pub(crate) fn describe(&self) -> String {
         match self {
             Shape::ScanAgg {
                 table,
@@ -119,7 +151,11 @@ impl Shape {
                     SemiJoinStrategy::Hash => "hash".to_string(),
                     SemiJoinStrategy::PositionalBitmap(_) => "positional-bitmap".to_string(),
                 },
-                if *probe_masked { "masked" } else { "selection-vector" },
+                if *probe_masked {
+                    "masked"
+                } else {
+                    "selection-vector"
+                },
             ),
             Shape::GroupJoinAgg {
                 probe,

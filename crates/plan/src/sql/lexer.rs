@@ -72,7 +72,11 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
             let raw = &input[start..i];
             let upper = raw.to_ascii_uppercase();
             out.push(Token {
-                kind: TokenKind::Word(if is_keyword(&upper) { upper } else { raw.to_string() }),
+                kind: TokenKind::Word(if is_keyword(&upper) {
+                    upper
+                } else {
+                    raw.to_string()
+                }),
                 pos,
             });
         } else if c.is_ascii_digit() {
@@ -181,7 +185,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -483,7 +483,10 @@ fn tables_of(e: &PExpr, out: &mut Vec<Option<String>>) {
 /// Convert a bound `PExpr` to an engine `Expr`, stripping qualifiers and
 /// rewriting string comparisons into dictionary predicates.
 fn to_expr(e: &PExpr, pos: usize) -> Result<Expr, SqlError> {
-    let fail = |message: String| SqlError { message, position: pos };
+    let fail = |message: String| SqlError {
+        message,
+        position: pos,
+    };
     Ok(match e {
         PExpr::Col { name, .. } => Expr::Col(name.clone()),
         PExpr::Lit(v) => Expr::Lit(*v),
@@ -568,9 +571,7 @@ fn agg_specs(items: &[SelectItem], group_by: Option<&str>) -> Result<Vec<AggSpec
             SelectItem::Key { name, .. } => {
                 if group_by != Some(name.as_str()) {
                     return Err(SqlError {
-                        message: format!(
-                            "bare column {name} must match the GROUP BY key"
-                        ),
+                        message: format!("bare column {name} must match the GROUP BY key"),
                         position: 0,
                     });
                 }
@@ -690,9 +691,7 @@ fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
                 let target = match mentioned.as_slice() {
                     [Some(t)] if *t == child => &mut child_pred,
                     [Some(t)] if *t == parent => &mut parent_pred,
-                    [Some(t)] => {
-                        return Err(fail(format!("unknown table qualifier {t}")))
-                    }
+                    [Some(t)] => return Err(fail(format!("unknown table qualifier {t}"))),
                     _ => {
                         return Err(fail(
                             "two-table predicates must qualify every column with its \
@@ -758,11 +757,9 @@ mod tests {
 
     #[test]
     fn micro_q1_shape() {
-        let got = parse(
-            "select sum(r_a * r_b) as s from R where r_x < 13 and r_y = 1",
-        )
-        .unwrap()
-        .plan;
+        let got = parse("select sum(r_a * r_b) as s from R where r_x < 13 and r_y = 1")
+            .unwrap()
+            .plan;
         let expected = QueryBuilder::scan("R")
             .filter(
                 Expr::col("r_x")
@@ -785,9 +782,7 @@ mod tests {
         .unwrap()
         .plan;
         match got {
-            LogicalPlan::Aggregate {
-                group_by, aggs, ..
-            } => {
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
                 assert_eq!(group_by.as_deref(), Some("r_c"));
                 assert_eq!(aggs.len(), 2);
                 assert_eq!(aggs[1].func, AggFunc::Count);
@@ -806,7 +801,9 @@ mod tests {
         .unwrap()
         .plan;
         match got {
-            LogicalPlan::Aggregate { input, group_by, .. } => {
+            LogicalPlan::Aggregate {
+                input, group_by, ..
+            } => {
                 assert!(group_by.is_none());
                 match *input {
                     LogicalPlan::SemiJoin {
@@ -917,9 +914,18 @@ mod tests {
         assert!(parse("select from T").is_err());
         assert!(parse("select sum(a) from").is_err());
         assert!(parse("select sum(a) from T where").is_err());
-        assert!(parse("select a from T").is_err(), "bare column without group by");
-        assert!(parse("select sum(a) from T extra").is_err(), "trailing input");
-        assert!(parse("select sum(a) from A, B, C where x = 1").is_err(), "3 tables");
+        assert!(
+            parse("select a from T").is_err(),
+            "bare column without group by"
+        );
+        assert!(
+            parse("select sum(a) from T extra").is_err(),
+            "trailing input"
+        );
+        assert!(
+            parse("select sum(a) from A, B, C where x = 1").is_err(),
+            "3 tables"
+        );
         assert!(
             parse("select sum(a) from A, B where A.x < 3").is_err(),
             "missing join condition"

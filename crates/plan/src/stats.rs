@@ -119,10 +119,7 @@ mod tests {
     fn distinct_high_cardinality_extrapolates() {
         // All-distinct column: the estimate must land near n, certainly the
         // right order of magnitude for cache-level decisions.
-        let t = Table::new("t").with_column(
-            "x",
-            ColumnData::I64((0..100_000i64).collect()),
-        );
+        let t = Table::new("t").with_column("x", ColumnData::I64((0..100_000i64).collect()));
         let d = estimate_distinct(&t, "x");
         assert!(d > 50_000, "d={d}");
     }

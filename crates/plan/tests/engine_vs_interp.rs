@@ -54,7 +54,9 @@ fn test_db(seed: u64, n_r: usize, n_s: usize) -> Database {
 
 fn check(db: Database, plan: &LogicalPlan) {
     let expected = interp::run(&db, plan).expect("interp");
-    let engine = Engine::new(db);
+    // Two morsel workers: the same merge-based execution path a parallel
+    // session uses, cross-checked against the row-at-a-time reference.
+    let engine = Engine::builder(db).threads(2).tile_rows(4096).build();
     let explain = engine.explain(plan).expect("explain");
     let got = engine.query(plan).expect("engine");
     assert_eq!(got, expected, "plan: {explain}");
@@ -98,7 +100,10 @@ fn min_max_force_hybrid_and_match() {
             ],
         );
     let db = test_db(2, 8_000, 16);
-    let physical = Engine::new(test_db(2, 8_000, 16)).plan(&plan).unwrap();
+    let physical = Engine::builder(test_db(2, 8_000, 16))
+        .build()
+        .plan(&plan)
+        .unwrap();
     assert_eq!(
         physical.agg_strategy(),
         Some(swole_cost::AggStrategy::Hybrid)
@@ -112,7 +117,10 @@ fn empty_selection_yields_zeros() {
         .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(-5)))
         .aggregate(
             None,
-            vec![AggSpec::sum(Expr::col("a"), "s"), AggSpec::min(Expr::col("a"), "m")],
+            vec![
+                AggSpec::sum(Expr::col("a"), "s"),
+                AggSpec::min(Expr::col("a"), "m"),
+            ],
         );
     let db = test_db(3, 2_000, 16);
     let expected = interp::run(&db, &plan).unwrap();
@@ -239,31 +247,32 @@ fn groupjoin_both_strategies_match() {
 #[test]
 fn explain_mentions_chosen_technique() {
     let db = test_db(10, 50_000, 64);
-    let engine = Engine::new(db);
+    let engine = Engine::builder(db).threads(4).build();
     let plan = QueryBuilder::scan("R")
         .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(60)))
         .aggregate(
             Some("c"),
             vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
         );
-    let text = engine.explain(&plan).unwrap();
+    let report = engine.explain(&plan).unwrap();
+    assert_eq!(report.threads, 4);
+    assert!(!report.cost_terms.is_empty(), "cost evidence recorded");
+    let text = report.to_string();
     assert!(
         text.contains("masking") || text.contains("hybrid"),
         "{text}"
     );
     assert!(text.contains("Scan R"), "{text}");
+    assert!(text.contains("4 thread(s)"), "{text}");
 }
 
 #[test]
 fn unsupported_shapes_error_cleanly() {
     let db = test_db(11, 100, 16);
-    let engine = Engine::new(db);
+    let engine = Engine::builder(db).build();
     // No aggregation on top.
     let bare = QueryBuilder::scan("R").build();
-    assert!(matches!(
-        engine.plan(&bare),
-        Err(PlanError::Unsupported(_))
-    ));
+    assert!(matches!(engine.plan(&bare), Err(PlanError::Unsupported(_))));
     // Unknown table / column.
     let bad_table = QueryBuilder::scan("ZZZ").aggregate(None, vec![AggSpec::count("n")]);
     assert!(matches!(

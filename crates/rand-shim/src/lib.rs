@@ -1,0 +1,175 @@
+//! Offline drop-in for the subset of the `rand` 0.8 API this workspace
+//! uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, and [`Rng::gen_bool`].
+//!
+//! The build container has no access to crates.io, so the workspace
+//! replaces the real crate with this path shim (see the workspace
+//! `Cargo.toml`). The generator is xoshiro256++ seeded through SplitMix64 —
+//! deterministic per seed, statistically fine for synthetic data
+//! generation, and **not** a reproduction of the real `SmallRng` stream:
+//! datasets generated for a given seed differ from ones generated with the
+//! upstream crate. Nothing in-repo depends on the exact stream, only on
+//! determinism.
+
+#![warn(missing_docs)]
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a `u64` seed (the only constructor used in-repo).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    /// Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 high-quality mantissa bits -> uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Named like the upstream module so `use rand::rngs::SmallRng` resolves.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            // SplitMix64 stream to fill the state, per the xoshiro authors'
+            // recommendation; guards against the all-zero state.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next() | 1],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1_000_000), b.gen_range(0i64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same: Vec<i64> = (0..16).map(|_| c.gen_range(0i64..1_000_000)).collect();
+        let mut a2 = SmallRng::seed_from_u64(42);
+        let other: Vec<i64> = (0..16).map(|_| a2.gen_range(0i64..1_000_000)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i8 = rng.gen_range(-5..100);
+            assert!((-5..100).contains(&v));
+            let w: u32 = rng.gen_range(1..=50);
+            assert!((1..=50).contains(&w));
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn all_values_reachable() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((0.22..0.28).contains(&rate), "rate={rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -22,7 +22,7 @@ impl Date {
         assert!((1..=31).contains(&day), "day out of range: {day}");
         let y = if month <= 2 { year - 1 } else { year } as i64;
         let era = if y >= 0 { y } else { y - 399 } / 400;
-        let yoe = (y - era * 400) as i64; // [0, 399]
+        let yoe = y - era * 400; // [0, 399]
         let m = month as i64;
         let d = day as i64;
         let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]

@@ -43,11 +43,13 @@ impl Decimal {
     ///
     /// TPC-H expressions like `l_extendedprice * (1 - l_discount)` are
     /// evaluated this way in the hand-coded kernels.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Decimal) -> Decimal {
         Decimal(self.0 * other.0 / DECIMAL_SCALE)
     }
 
     /// Fixed-point addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Decimal) -> Decimal {
         Decimal(self.0 + other.0)
     }

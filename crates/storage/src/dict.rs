@@ -26,10 +26,7 @@ impl DictColumn {
     /// dictionary.
     pub fn from_parts(codes: Vec<u32>, values: Vec<String>) -> DictColumn {
         let n = values.len() as u32;
-        assert!(
-            codes.iter().all(|&c| c < n),
-            "dictionary code out of range"
-        );
+        assert!(codes.iter().all(|&c| c < n), "dictionary code out of range");
         DictColumn { codes, values }
     }
 
@@ -94,7 +91,10 @@ impl DictColumn {
 
     /// Look up the code of a string, if present.
     pub fn code_of(&self, value: &str) -> Option<u32> {
-        self.values.iter().position(|v| v == value).map(|i| i as u32)
+        self.values
+            .iter()
+            .position(|v| v == value)
+            .map(|i| i as u32)
     }
 
     /// Evaluate an arbitrary string predicate once per **dictionary entry**

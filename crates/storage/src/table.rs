@@ -68,10 +68,7 @@ impl Table {
 
     /// Look up a column by name.
     pub fn column(&self, name: &str) -> Option<&ColumnData> {
-        self.columns
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| c)
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
     }
 
     /// Look up a column by name, panicking with a useful message otherwise.

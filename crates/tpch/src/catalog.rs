@@ -39,12 +39,21 @@ pub fn to_database(db: &TpchDb) -> swole_plan::Database {
         Table::new("orders")
             .with_column("o_custkey", ColumnData::U32(o.cust_key.clone()))
             .with_column("o_orderdate", ColumnData::I32(o.order_date.clone()))
-            .with_column("o_orderpriority", ColumnData::Dict(o.order_priority.clone())),
+            .with_column(
+                "o_orderpriority",
+                ColumnData::Dict(o.order_priority.clone()),
+            ),
     );
     out.add_table(
         Table::new("customer")
-            .with_column("c_mktsegment", ColumnData::Dict(db.customer.mktsegment.clone()))
-            .with_column("c_nationkey", ColumnData::U32(db.customer.nation_key.clone())),
+            .with_column(
+                "c_mktsegment",
+                ColumnData::Dict(db.customer.mktsegment.clone()),
+            )
+            .with_column(
+                "c_nationkey",
+                ColumnData::U32(db.customer.nation_key.clone()),
+            ),
     );
     out.add_table(
         Table::new("part")
@@ -53,10 +62,10 @@ pub fn to_database(db: &TpchDb) -> swole_plan::Database {
             .with_column("p_container", ColumnData::Dict(db.part.container.clone()))
             .with_column("p_size", ColumnData::I8(db.part.size.clone())),
     );
-    out.add_table(
-        Table::new("supplier")
-            .with_column("s_nationkey", ColumnData::U32(db.supplier.nation_key.clone())),
-    );
+    out.add_table(Table::new("supplier").with_column(
+        "s_nationkey",
+        ColumnData::U32(db.supplier.nation_key.clone()),
+    ));
     out.add_fk("lineitem", "l_orderkey", "orders")
         .expect("generator guarantees referential integrity");
     out.add_fk("lineitem", "l_partkey", "part")
@@ -81,11 +90,12 @@ mod tests {
         for t in ["lineitem", "orders", "customer", "part", "supplier"] {
             assert!(names.contains(&t), "{t} missing");
         }
-        assert!(catalog.fk_index("lineitem", "l_orderkey", "orders").is_some());
-        assert!(catalog.fk_index("orders", "o_custkey", "customer").is_some());
-        assert_eq!(
-            catalog.table("lineitem").unwrap().len(),
-            db.lineitem.len()
-        );
+        assert!(catalog
+            .fk_index("lineitem", "l_orderkey", "orders")
+            .is_some());
+        assert!(catalog
+            .fk_index("orders", "o_custkey", "customer")
+            .is_some());
+        assert_eq!(catalog.table("lineitem").unwrap().len(), db.lineitem.len());
     }
 }

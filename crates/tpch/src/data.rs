@@ -201,6 +201,7 @@ pub struct TpchDb {
 
 impl TpchDb {
     /// Total payload bytes across the big columns (rough; for reporting).
+    #[allow(clippy::identity_op)] // spelled as width * count per column group
     pub fn approx_bytes(&self) -> usize {
         let l = &self.lineitem;
         l.len() * (4 * 3 + 1 * 3 + 8 + 4 * 4 + 3 * 4) + self.orders.len() * (4 + 4 + 4)

@@ -72,9 +72,26 @@ const SHIPINSTRUCT: [&str; 4] = [
 /// `requests` as a substring, so only deliberately injected comments match
 /// Q13's `%special%requests%` pattern.
 const COMMENT_WORDS: [&str; 20] = [
-    "carefully", "furiously", "blithely", "quickly", "slyly", "deposits", "accounts",
-    "pending", "ironic", "express", "final", "bold", "packages", "foxes", "theodolites",
-    "pinto", "beans", "dependencies", "instructions", "platelets",
+    "carefully",
+    "furiously",
+    "blithely",
+    "quickly",
+    "slyly",
+    "deposits",
+    "accounts",
+    "pending",
+    "ironic",
+    "express",
+    "final",
+    "bold",
+    "packages",
+    "foxes",
+    "theodolites",
+    "pinto",
+    "beans",
+    "dependencies",
+    "instructions",
+    "platelets",
 ];
 
 /// Fraction of `o_comment` values matching Q13's pattern (the NOT LIKE
@@ -120,9 +137,9 @@ pub fn generate(sf: f64, seed: u64) -> TpchDb {
     let type_values: Vec<String> = TYPE_SYL1
         .iter()
         .flat_map(|a| {
-            TYPE_SYL2.iter().flat_map(move |b| {
-                TYPE_SYL3.iter().map(move |c| format!("{a} {b} {c}"))
-            })
+            TYPE_SYL2
+                .iter()
+                .flat_map(move |b| TYPE_SYL3.iter().map(move |c| format!("{a} {b} {c}")))
         })
         .collect();
     let container_values: Vec<String> = CONTAINER_SYL1
@@ -211,7 +228,7 @@ pub fn generate(sf: f64, seed: u64) -> TpchDb {
             // 2100.00] (cents) — the spec ties it to p_retailprice; the
             // magnitude and qty-correlation are what matter downstream.
             l.extended_price
-                .push(qty as i64 * rng.gen_range(90_000..=210_000));
+                .push(qty as i64 * rng.gen_range(90_000i64..=210_000));
             l.discount.push(rng.gen_range(0..=10));
             l.tax.push(rng.gen_range(0..=8));
             l.ship_date.push(ship);
@@ -298,10 +315,26 @@ mod tests {
     #[test]
     fn referential_integrity() {
         let db = tiny();
-        assert!(db.lineitem.order_key.iter().all(|&k| (k as usize) < db.orders.len()));
-        assert!(db.lineitem.part_key.iter().all(|&k| (k as usize) < db.part.len()));
-        assert!(db.lineitem.supp_key.iter().all(|&k| (k as usize) < db.supplier.len()));
-        assert!(db.orders.cust_key.iter().all(|&k| (k as usize) < db.customer.len()));
+        assert!(db
+            .lineitem
+            .order_key
+            .iter()
+            .all(|&k| (k as usize) < db.orders.len()));
+        assert!(db
+            .lineitem
+            .part_key
+            .iter()
+            .all(|&k| (k as usize) < db.part.len()));
+        assert!(db
+            .lineitem
+            .supp_key
+            .iter()
+            .all(|&k| (k as usize) < db.supplier.len()));
+        assert!(db
+            .orders
+            .cust_key
+            .iter()
+            .all(|&k| (k as usize) < db.customer.len()));
         assert!(db.customer.nation_key.iter().all(|&k| k < 25));
         assert!(db.supplier.nation_key.iter().all(|&k| k < 25));
         assert!(db.nation.region_key.iter().all(|&k| k < 5));
@@ -329,7 +362,10 @@ mod tests {
         let q1 = l.ship_date.iter().filter(|&&d| d <= cutoff).count() as f64 / l.len() as f64;
         assert!((0.95..=1.0).contains(&q1), "q1 sel = {q1}");
         // Q6 compound predicate selects ~2 %.
-        let (lo, hi) = (crate::dates::q6_date_lo().days(), crate::dates::q6_date_hi().days());
+        let (lo, hi) = (
+            crate::dates::q6_date_lo().days(),
+            crate::dates::q6_date_hi().days(),
+        );
         let q6 = (0..l.len())
             .filter(|&j| {
                 l.ship_date[j] >= lo
@@ -341,7 +377,10 @@ mod tests {
             / l.len() as f64;
         assert!((0.01..=0.035).contains(&q6), "q6 sel = {q6}");
         // Q4: o_orderdate in one quarter selects ~4 %.
-        let (lo, hi) = (crate::dates::q4_date_lo().days(), crate::dates::q4_date_hi().days());
+        let (lo, hi) = (
+            crate::dates::q4_date_lo().days(),
+            crate::dates::q4_date_hi().days(),
+        );
         let q4 = db
             .orders
             .order_date
@@ -362,7 +401,10 @@ mod tests {
         // Q1 groups: exactly the 4 spec combinations (A/F, N/F, N/O, R/F).
         let mut combos = std::collections::HashSet::new();
         for j in 0..l.len() {
-            combos.insert((l.return_flag.value(j).to_owned(), l.line_status.value(j).to_owned()));
+            combos.insert((
+                l.return_flag.value(j).to_owned(),
+                l.line_status.value(j).to_owned(),
+            ));
         }
         assert_eq!(combos.len(), 4, "{combos:?}");
     }

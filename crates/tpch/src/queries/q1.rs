@@ -10,6 +10,9 @@
 //! that the predicate selects nearly the entire lineitem table means that
 //! SWOLE performs very little wasted work."
 
+// Indexed tile loops below deliberately mirror the paper's C kernels.
+#![allow(clippy::needless_range_loop)]
+
 use crate::dates::q1_ship_cutoff;
 use crate::TpchDb;
 use swole_ht::{AggTable, NULL_KEY};
@@ -77,9 +80,7 @@ fn result_rows(db: &TpchDb, ht: &AggTable) -> Vec<Q1Row> {
             }
         })
         .collect();
-    rows.sort_by(|a, b| {
-        (&a.return_flag, &a.line_status).cmp(&(&b.return_flag, &b.line_status))
-    });
+    rows.sort_by(|a, b| (&a.return_flag, &a.line_status).cmp(&(&b.return_flag, &b.line_status)));
     rows
 }
 
@@ -229,7 +230,10 @@ mod tests {
         // The spec's 4 groups.
         assert_eq!(expected.len(), 4);
         let selected: i64 = expected.iter().map(|r| r.count).sum();
-        assert!(selected as f64 / db.lineitem.len() as f64 > 0.95, "~98% selected");
+        assert!(
+            selected as f64 / db.lineitem.len() as f64 > 0.95,
+            "~98% selected"
+        );
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! SWOLE's **value masking** of the count update adds only a slight benefit
 //! — exactly the paper's observation.
 
+// Indexed tile loops below deliberately mirror the paper's C kernels.
+#![allow(clippy::needless_range_loop)]
+
 use crate::TpchDb;
 use swole_ht::AggTable;
 use swole_kernels::{selvec, tiles, TILE};
@@ -49,7 +52,7 @@ fn histogram(counts: &AggTable) -> Q13Rows {
         }
     }
     let mut rows: Vec<(i64, i64)> = hist.iter().map(|(k, s, _)| (k, s[0])).collect();
-    rows.sort_by(|a, b| (b.1, b.0).cmp(&(a.1, a.0)));
+    rows.sort_by_key(|r| std::cmp::Reverse((r.1, r.0)));
     rows
 }
 
@@ -126,7 +129,7 @@ mod tests {
             *hist.entry(c).or_insert(0) += 1;
         }
         let mut rows: Vec<(i64, i64)> = hist.into_iter().collect();
-        rows.sort_by(|a, b| (b.1, b.0).cmp(&(a.1, a.0)));
+        rows.sort_by_key(|r| std::cmp::Reverse((r.1, r.0)));
         rows
     }
 

@@ -17,7 +17,10 @@
 //! why "SWOLE cannot further improve the performance" — its cost model
 //! falls back to the hybrid plan ([`swole`] documents the decision).
 
-use crate::dates::{q14_date_lo, q14_date_hi};
+// Indexed tile loops below deliberately mirror the paper's C kernels.
+#![allow(clippy::needless_range_loop)]
+
+use crate::dates::{q14_date_hi, q14_date_lo};
 use crate::TpchDb;
 use swole_bitmap::PositionalBitmap;
 use swole_cost::comp::{comp_cycles, ArithOp};
@@ -87,7 +90,12 @@ pub fn hybrid(db: &TpchDb) -> Q14Result {
     let mut idx = [0u32; TILE];
     let (mut promo, mut total) = (0i64, 0i64);
     for (start, len) in tiles(l.len()) {
-        predicate::cmp_between(&l.ship_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
+        predicate::cmp_between(
+            &l.ship_date[start..start + len],
+            lo,
+            hi - 1,
+            &mut cmp[..len],
+        );
         let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
         for &j in &idx[..k] {
             let j = j as usize;
@@ -109,9 +117,8 @@ pub fn swole(db: &TpchDb, params: &CostParams) -> (Q14Result, AggStrategy) {
     let (lo, hi) = (q14_date_lo().days(), q14_date_hi().days());
     // Estimate the date selectivity from generator-known distributions; a
     // real system would sample. ~30 days out of the ~7-year shipdate range.
-    let range_days =
-        (crate::dates::order_date_max().days() + 121 - crate::dates::order_date_min().days())
-            as f64;
+    let range_days = (crate::dates::order_date_max().days() + 121
+        - crate::dates::order_date_min().days()) as f64;
     let sel = (hi - lo) as f64 / range_days;
     let choice = choose_agg(
         params,
@@ -140,8 +147,7 @@ pub fn swole(db: &TpchDb, params: &CostParams) -> (Q14Result, AggStrategy) {
                 );
                 for j in 0..len {
                     let g = start + j;
-                    let rev = l.extended_price[g] * (100 - l.discount[g] as i64)
-                        * cmp[j] as i64;
+                    let rev = l.extended_price[g] * (100 - l.discount[g] as i64) * cmp[j] as i64;
                     total += rev;
                     promo += rev * flags.get_bit(l.part_key[g] as usize) as i64;
                 }
@@ -183,7 +189,11 @@ mod tests {
         assert_eq!(hybrid(&db), expected);
         let (res, strat) = swole(&db, &CostParams::default());
         assert_eq!(res, expected);
-        assert_eq!(strat, AggStrategy::Hybrid, "cost model must decline masking");
+        assert_eq!(
+            strat,
+            AggStrategy::Hybrid,
+            "cost model must decline masking"
+        );
         // PROMO is 1 of 6 type prefixes → ~16.7 %.
         assert!((10.0..=25.0).contains(&expected.promo_pct), "{expected:?}");
     }

@@ -127,7 +127,11 @@ pub fn hybrid(db: &TpchDb) -> Revenue {
     let mut idx = [0u32; TILE];
     let mut sum = 0i64;
     for (start, len) in tiles(l.len()) {
-        predicate::in_code_table(&l.ship_mode.codes()[start..start + len], &modes, &mut cmp[..len]);
+        predicate::in_code_table(
+            &l.ship_mode.codes()[start..start + len],
+            &modes,
+            &mut cmp[..len],
+        );
         predicate::in_code_table(
             &l.ship_instruct.codes()[start..start + len],
             &instr,

@@ -207,9 +207,7 @@ mod tests {
         let mut qualifying: HashMap<u32, i64> = HashMap::new();
         for j in 0..db.orders.len() {
             let ck = db.orders.cust_key[j] as usize;
-            if db.orders.order_date[j] < pivot
-                && db.customer.mktsegment.value(ck) == "BUILDING"
-            {
+            if db.orders.order_date[j] < pivot && db.customer.mktsegment.value(ck) == "BUILDING" {
                 qualifying.insert(j as u32, db.orders.order_date[j] as i64);
             }
         }

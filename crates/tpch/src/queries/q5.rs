@@ -17,7 +17,7 @@
 //! aggregation" — only ~3 % of lineitems survive the join cascade, so the
 //! expensive gathers run over a tiny selection vector.
 
-use crate::dates::{q5_date_lo, q5_date_hi};
+use crate::dates::{q5_date_hi, q5_date_lo};
 use crate::TpchDb;
 use swole_bitmap::PositionalBitmap;
 use swole_ht::AggTable;
@@ -68,7 +68,12 @@ fn baseline(db: &TpchDb, vectorized: bool) -> Q5Rows {
         let mut cmp = [0u8; TILE];
         let mut idx = [0u32; TILE];
         for (start, len) in tiles(o.len()) {
-            predicate::cmp_between(&o.order_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
+            predicate::cmp_between(
+                &o.order_date[start..start + len],
+                lo,
+                hi - 1,
+                &mut cmp[..len],
+            );
             let k = selvec::fill_nobranch(&cmp[..len], start as u32, &mut idx[..len]);
             for &j in &idx[..k] {
                 let j = j as usize;
@@ -140,7 +145,12 @@ pub fn swole(db: &TpchDb) -> Q5Rows {
     let mut bm_orders = PositionalBitmap::new(o.len());
     let mut cmp = [0u8; TILE];
     for (start, len) in tiles(o.len()) {
-        predicate::cmp_between(&o.order_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
+        predicate::cmp_between(
+            &o.order_date[start..start + len],
+            lo,
+            hi - 1,
+            &mut cmp[..len],
+        );
         let custs = &o.cust_key[start..start + len];
         for j in 0..len {
             let bit = cmp[j] as u64 & bm_cust.get_bit(custs[j] as usize);

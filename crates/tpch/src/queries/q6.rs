@@ -7,7 +7,7 @@
 //! the predicate as well as the aggregation" — with **value masking**; the
 //! benefit is limited by ~98 % wasted work, exactly as § IV-A.5 notes.
 
-use crate::dates::{q6_date_lo, q6_date_hi};
+use crate::dates::{q6_date_hi, q6_date_lo};
 use crate::TpchDb;
 use swole_kernels::{predicate, selvec, tiles, TILE};
 
@@ -50,8 +50,18 @@ pub fn hybrid(db: &TpchDb) -> Revenue {
     let mut idx = [0u32; TILE];
     let mut sum = 0i64;
     for (start, len) in tiles(l.len()) {
-        predicate::cmp_between(&l.ship_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
-        predicate::cmp_between(&l.discount[start..start + len], DISC_LO, DISC_HI, &mut tmp[..len]);
+        predicate::cmp_between(
+            &l.ship_date[start..start + len],
+            lo,
+            hi - 1,
+            &mut cmp[..len],
+        );
+        predicate::cmp_between(
+            &l.discount[start..start + len],
+            DISC_LO,
+            DISC_HI,
+            &mut tmp[..len],
+        );
         predicate::and_into(&mut cmp[..len], &tmp[..len]);
         predicate::cmp_lt(&l.quantity[start..start + len], QTY_LIMIT, &mut tmp[..len]);
         predicate::and_into(&mut cmp[..len], &tmp[..len]);
@@ -82,7 +92,12 @@ pub fn swole(db: &TpchDb) -> Revenue {
             merged[j] = disc[j] as i64 * ((disc[j] >= DISC_LO && disc[j] <= DISC_HI) as i64);
         }
         // Remaining conjuncts as a mask.
-        predicate::cmp_between(&l.ship_date[start..start + len], lo, hi - 1, &mut cmp[..len]);
+        predicate::cmp_between(
+            &l.ship_date[start..start + len],
+            lo,
+            hi - 1,
+            &mut cmp[..len],
+        );
         predicate::cmp_lt(&l.quantity[start..start + len], QTY_LIMIT, &mut tmp8[..len]);
         predicate::and_into(&mut cmp[..len], &tmp8[..len]);
         // Value-masked aggregation: sequential reads of extendedprice.

@@ -10,9 +10,7 @@
 use swole::cost::calibrate::{calibrate, CalibrationConfig};
 use swole::cost::choose::{choose_agg, choose_groupjoin, choose_semijoin};
 use swole::cost::comp::{simple_agg_comp, ArithOp};
-use swole::cost::{
-    AggProfile, CostParams, GroupJoinProfile, SemiJoinProfile,
-};
+use swole::cost::{AggProfile, CostParams, GroupJoinProfile, SemiJoinProfile};
 
 fn main() {
     let calibrated = std::env::args().any(|a| a == "--calibrate");
@@ -29,7 +27,10 @@ fn main() {
     };
 
     println!("== Aggregation strategy grid (micro Q2 shape, Fig. 9) ==");
-    println!("{:>10} | {:>5} | {:<14} | explanation", "keys", "sel%", "choice");
+    println!(
+        "{:>10} | {:>5} | {:<14} | explanation",
+        "keys", "sel%", "choice"
+    );
     for keys in [10usize, 1_000, 100_000, 10_000_000] {
         for sel in [10, 50, 90] {
             let choice = choose_agg(
@@ -79,7 +80,12 @@ fn main() {
     }
 
     println!("\n== Groupjoin vs eager aggregation (Fig. 12) ==");
-    for (s_rows, sel) in [(1_000usize, 50), (1_000_000, 5), (1_000_000, 50), (1_000_000, 90)] {
+    for (s_rows, sel) in [
+        (1_000usize, 50),
+        (1_000_000, 5),
+        (1_000_000, 50),
+        (1_000_000, 90),
+    ] {
         let c = choose_groupjoin(
             &params,
             &GroupJoinProfile {

@@ -9,13 +9,19 @@
 use swole::codegen::*;
 
 fn section(title: &str, code: &str) {
-    println!("----- {title} {}", "-".repeat(60usize.saturating_sub(title.len())));
+    println!(
+        "----- {title} {}",
+        "-".repeat(60usize.saturating_sub(title.len()))
+    );
     println!("{code}");
 }
 
 fn main() {
     let q = ScalarAggSpec::paper_example();
-    println!("============ Fig. 1: existing strategies ({}) ============\n", q.sql());
+    println!(
+        "============ Fig. 1: existing strategies ({}) ============\n",
+        q.sql()
+    );
     section("data-centric", &emit_datacentric(&q));
     section("hybrid", &emit_hybrid(&q));
     section("ROF", &emit_rof(&q));
@@ -29,7 +35,10 @@ fn main() {
     section("key masking", &emit_groupby_key_masking(&g));
 
     let rep = ScalarAggSpec::repeated_reference_example();
-    println!("============ Fig. 5: repeated references ({}) ============\n", rep.sql());
+    println!(
+        "============ Fig. 5: repeated references ({}) ============\n",
+        rep.sql()
+    );
     section("value masking (x read twice)", &emit_value_masking(&rep));
     section("access merging (x read once)", &emit_access_merging(&rep));
 

@@ -38,10 +38,16 @@ fn main() {
         let hy = ms(|| q1::hybrid::<Mul>(&db.r, sel));
         let vm = ms(|| q1::value_masking::<Mul>(&db.r, sel));
         let (_, pick) = q1::swole::<Mul>(&db.r, sel, &cost);
-        println!("{sel:>5} {dc:>10.2}ms {hy:>10.2}ms {vm:>12.2}ms {:>16}", pick.name());
+        println!(
+            "{sel:>5} {dc:>10.2}ms {hy:>10.2}ms {vm:>12.2}ms {:>16}",
+            pick.name()
+        );
     }
 
-    println!("\nQ2  group by r_c (|r_c| = {})   (Fig. 9)", db.params.r_c_cardinality);
+    println!(
+        "\nQ2  group by r_c (|r_c| = {})   (Fig. 9)",
+        db.params.r_c_cardinality
+    );
     println!(
         "{:>5} {:>12} {:>12} {:>14} {:>12} {:>16}",
         "SEL%", "datacentric", "hybrid", "value-masking", "key-masking", "chooser picks"
@@ -58,7 +64,10 @@ fn main() {
         );
     }
 
-    println!("\nQ4  R ⋈ S semijoin (|S| = {})   (Fig. 11, SEL2 = 50)", db.s.len());
+    println!(
+        "\nQ4  R ⋈ S semijoin (|S| = {})   (Fig. 11, SEL2 = 50)",
+        db.s.len()
+    );
     println!(
         "{:>5} {:>12} {:>12} {:>18}",
         "SEL1%", "datacentric", "hybrid", "positional-bitmap"
@@ -80,6 +89,9 @@ fn main() {
         let hy = ms(|| q2::checksum(&q5::groupjoin_hybrid(&db.r, &db.s, sel)));
         let ea = ms(|| q2::checksum(&q5::eager_aggregation(&db.r, &db.s, sel)));
         let (_, pick) = q5::swole(&db.r, &db.s, sel, &cost);
-        println!("{sel:>5} {dc:>10.2}ms {hy:>10.2}ms {ea:>16.2}ms {:>18}", format!("{pick:?}"));
+        println!(
+            "{sel:>5} {dc:>10.2}ms {hy:>10.2}ms {ea:>16.2}ms {:>18}",
+            format!("{pick:?}")
+        );
     }
 }

@@ -12,11 +12,21 @@ fn main() {
     let mut db = Database::new();
     db.add_table(
         Table::new("sales")
-            .with_column("price", ColumnData::I32((0..n).map(|i| (i * 37 % 500) as i32).collect()))
-            .with_column("units", ColumnData::I16((0..n).map(|i| (i % 7 + 1) as i16).collect()))
-            .with_column("region", ColumnData::I8((0..n).map(|i| (i % 5) as i8).collect())),
+            .with_column(
+                "price",
+                ColumnData::I32((0..n).map(|i| (i * 37 % 500) as i32).collect()),
+            )
+            .with_column(
+                "units",
+                ColumnData::I16((0..n).map(|i| (i % 7 + 1) as i16).collect()),
+            )
+            .with_column(
+                "region",
+                ColumnData::I8((0..n).map(|i| (i % 5) as i8).collect()),
+            ),
     );
-    let engine = Engine::new(db);
+    // A parallel session: two morsel workers, default cost parameters.
+    let engine = Engine::builder(db).threads(2).build();
 
     // select region, sum(price * units), count(*)
     // from sales where price >= 100 and price < 400 group by region
@@ -53,6 +63,12 @@ fn main() {
                 "ratio_sum",
             )],
         );
-    println!("\nEXPLAIN (compute-bound, selective):\n{}", engine.explain(&heavy).expect("plans"));
-    println!("ratio_sum = {}", engine.query(&heavy).expect("executes").scalar("ratio_sum"));
+    println!(
+        "\nEXPLAIN (compute-bound, selective):\n{}",
+        engine.explain(&heavy).expect("plans")
+    );
+    println!(
+        "ratio_sum = {}",
+        engine.query(&heavy).expect("executes").scalar("ratio_sum")
+    );
 }

@@ -30,7 +30,7 @@ fn main() {
     );
     db.add_table(Table::new("S").with_column("s_x", ColumnData::I8(micro.s.x.clone())));
     db.add_fk("R", "r_fk", "S").expect("FK registers");
-    let engine = Engine::new(db);
+    let engine = Engine::builder(db).threads(2).build();
 
     let queries = [
         // Fig. 7b Q1 at two selectivities: watch the strategy flip.
@@ -56,7 +56,7 @@ fn main() {
             }
         };
         match engine.explain(&plan) {
-            Ok(text) => println!("{}", textwrap(&text)),
+            Ok(report) => println!("{}", textwrap(&report.to_string())),
             Err(e) => {
                 println!("  plan error: {e}\n");
                 continue;

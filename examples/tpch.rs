@@ -61,12 +61,9 @@ fn main() {
     run!("Q5", q::q5::datacentric, q::q5::hybrid, q::q5::swole);
     run!("Q6", q::q6::datacentric, q::q6::hybrid, q::q6::swole);
     run!("Q13", q::q13::datacentric, q::q13::hybrid, q::q13::swole);
-    run!(
-        "Q14",
-        q::q14::datacentric,
-        q::q14::hybrid,
-        |db: &TpchDb| q::q14::swole(db, &params).0
-    );
+    run!("Q14", q::q14::datacentric, q::q14::hybrid, |db: &TpchDb| {
+        q::q14::swole(db, &params).0
+    });
     run!("Q19", q::q19::datacentric, q::q19::hybrid, q::q19::swole);
 
     for (name, dc, hy, sw) in &rows {

@@ -12,26 +12,66 @@ fn tpch_all_strategies_agree_across_seeds() {
     for seed in [1u64, 2, 3] {
         let db = swole_tpch::generate(0.004, seed);
         let params = CostParams::default();
-        assert_eq!(q::q1::datacentric(&db), q::q1::hybrid(&db), "q1 seed {seed}");
+        assert_eq!(
+            q::q1::datacentric(&db),
+            q::q1::hybrid(&db),
+            "q1 seed {seed}"
+        );
         assert_eq!(q::q1::datacentric(&db), q::q1::swole(&db), "q1 seed {seed}");
-        assert_eq!(q::q3::datacentric(&db), q::q3::hybrid(&db), "q3 seed {seed}");
+        assert_eq!(
+            q::q3::datacentric(&db),
+            q::q3::hybrid(&db),
+            "q3 seed {seed}"
+        );
         assert_eq!(q::q3::datacentric(&db), q::q3::swole(&db), "q3 seed {seed}");
-        assert_eq!(q::q4::datacentric(&db), q::q4::hybrid(&db), "q4 seed {seed}");
+        assert_eq!(
+            q::q4::datacentric(&db),
+            q::q4::hybrid(&db),
+            "q4 seed {seed}"
+        );
         assert_eq!(q::q4::datacentric(&db), q::q4::swole(&db), "q4 seed {seed}");
-        assert_eq!(q::q5::datacentric(&db), q::q5::hybrid(&db), "q5 seed {seed}");
+        assert_eq!(
+            q::q5::datacentric(&db),
+            q::q5::hybrid(&db),
+            "q5 seed {seed}"
+        );
         assert_eq!(q::q5::datacentric(&db), q::q5::swole(&db), "q5 seed {seed}");
-        assert_eq!(q::q6::datacentric(&db), q::q6::hybrid(&db), "q6 seed {seed}");
+        assert_eq!(
+            q::q6::datacentric(&db),
+            q::q6::hybrid(&db),
+            "q6 seed {seed}"
+        );
         assert_eq!(q::q6::datacentric(&db), q::q6::swole(&db), "q6 seed {seed}");
-        assert_eq!(q::q13::datacentric(&db), q::q13::hybrid(&db), "q13 seed {seed}");
-        assert_eq!(q::q13::datacentric(&db), q::q13::swole(&db), "q13 seed {seed}");
-        assert_eq!(q::q14::datacentric(&db), q::q14::hybrid(&db), "q14 seed {seed}");
+        assert_eq!(
+            q::q13::datacentric(&db),
+            q::q13::hybrid(&db),
+            "q13 seed {seed}"
+        );
+        assert_eq!(
+            q::q13::datacentric(&db),
+            q::q13::swole(&db),
+            "q13 seed {seed}"
+        );
+        assert_eq!(
+            q::q14::datacentric(&db),
+            q::q14::hybrid(&db),
+            "q14 seed {seed}"
+        );
         assert_eq!(
             q::q14::datacentric(&db),
             q::q14::swole(&db, &params).0,
             "q14 seed {seed}"
         );
-        assert_eq!(q::q19::datacentric(&db), q::q19::hybrid(&db), "q19 seed {seed}");
-        assert_eq!(q::q19::datacentric(&db), q::q19::swole(&db), "q19 seed {seed}");
+        assert_eq!(
+            q::q19::datacentric(&db),
+            q::q19::hybrid(&db),
+            "q19 seed {seed}"
+        );
+        assert_eq!(
+            q::q19::datacentric(&db),
+            q::q19::swole(&db),
+            "q19 seed {seed}"
+        );
     }
 }
 
@@ -57,7 +97,10 @@ fn micro_all_strategies_agree_with_swole_entries() {
             assert_eq!(swole_micro::q1::swole::<Div>(&db.r, sel, &params).0, base);
             // Q2.
             let base = collect_groups(&swole_micro::q2::datacentric(&db.r, sel));
-            assert_eq!(collect_groups(&swole_micro::q2::key_masking(&db.r, sel)), base);
+            assert_eq!(
+                collect_groups(&swole_micro::q2::key_masking(&db.r, sel)),
+                base
+            );
             assert_eq!(
                 collect_groups(&swole_micro::q2::swole(&db.r, sel, 128, &params).0),
                 base

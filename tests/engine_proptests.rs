@@ -1,14 +1,21 @@
-//! Property-based engine validation: for randomly generated tables and
-//! randomly composed (supported-shape) plans, the access-aware engine must
-//! agree with the naive interpreter — regardless of which strategies the
-//! cost model happens to pick.
+//! Randomized engine validation: for randomly generated tables and randomly
+//! composed (supported-shape) plans, the access-aware engine must agree with
+//! the naive interpreter — regardless of which strategies the cost model
+//! happens to pick.
+//!
+//! Formerly written with `proptest`; the offline build replaces it with
+//! seeded `SmallRng` case generation (deterministic, seed printed on
+//! failure).
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use swole::plan::interp;
 use swole::prelude::*;
 
-/// Random database: R(x, a, b, c, fk) and S(y), sizes and domains drawn by
-/// proptest.
+const CASES: u64 = 64;
+
+/// Random database: R(x, a, b, c, fk) and S(y), sizes and domains drawn
+/// from the seeded generator.
 #[derive(Debug, Clone)]
 struct RandomDb {
     x: Vec<i8>,
@@ -20,6 +27,19 @@ struct RandomDb {
 }
 
 impl RandomDb {
+    fn generate(rng: &mut SmallRng) -> RandomDb {
+        let n_r = rng.gen_range(1usize..3000);
+        let n_s = rng.gen_range(1usize..200);
+        RandomDb {
+            x: (0..n_r).map(|_| rng.gen_range(0i8..100)).collect(),
+            a: (0..n_r).map(|_| rng.gen_range(1i32..50)).collect(),
+            b: (0..n_r).map(|_| rng.gen_range(1i32..50)).collect(),
+            c: (0..n_r).map(|_| rng.gen_range(0i16..24)).collect(),
+            fk: (0..n_r).map(|_| rng.gen_range(0u32..n_s as u32)).collect(),
+            s_y: (0..n_s).map(|_| rng.gen_range(0i8..100)).collect(),
+        }
+    }
+
     fn build(&self) -> Database {
         let mut db = Database::new();
         db.add_table(
@@ -36,31 +56,11 @@ impl RandomDb {
     }
 }
 
-fn random_db() -> impl Strategy<Value = RandomDb> {
-    (1usize..3000, 1usize..200).prop_flat_map(|(n_r, n_s)| {
-        (
-            proptest::collection::vec(0i8..100, n_r),
-            proptest::collection::vec(1i32..50, n_r),
-            proptest::collection::vec(1i32..50, n_r),
-            proptest::collection::vec(0i16..24, n_r),
-            proptest::collection::vec(0u32..n_s as u32, n_r),
-            proptest::collection::vec(0i8..100, n_s),
-        )
-            .prop_map(|(x, a, b, c, fk, s_y)| RandomDb {
-                x,
-                a,
-                b,
-                c,
-                fk,
-                s_y,
-            })
-    })
-}
-
-/// A random predicate over R's integer columns.
-fn random_pred() -> impl Strategy<Value = Expr> {
-    let leaf = (0usize..3, any::<i8>(), 0usize..6).prop_map(|(col, lit, op)| {
-        let col = ["x", "a", "c"][col];
+/// A random predicate over R's integer columns: random comparison leaves
+/// composed with And/Or/Not up to the given depth.
+fn random_pred(rng: &mut SmallRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        let col = ["x", "a", "c"][rng.gen_range(0usize..3)];
         let op = [
             CmpOp::Lt,
             CmpOp::Le,
@@ -68,75 +68,68 @@ fn random_pred() -> impl Strategy<Value = Expr> {
             CmpOp::Ge,
             CmpOp::Eq,
             CmpOp::Ne,
-        ][op];
-        Expr::col(col).cmp(op, Expr::lit(lit as i64))
-    });
-    leaf.prop_recursive(2, 6, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
-            inner.prop_map(|e| Expr::Not(Box::new(e))),
-        ]
-    })
+        ][rng.gen_range(0usize..6)];
+        let lit = rng.gen_range(i8::MIN..=i8::MAX) as i64;
+        return Expr::col(col).cmp(op, Expr::lit(lit));
+    }
+    match rng.gen_range(0u32..3) {
+        0 => random_pred(rng, depth - 1).and(random_pred(rng, depth - 1)),
+        1 => random_pred(rng, depth - 1).or(random_pred(rng, depth - 1)),
+        _ => Expr::Not(Box::new(random_pred(rng, depth - 1))),
+    }
 }
 
 /// A random aggregate list (sum/count/min/max over simple expressions).
-fn random_aggs() -> impl Strategy<Value = Vec<AggSpec>> {
-    let one = (0usize..4, 0usize..3).prop_map(|(f, e)| {
-        let expr = match e {
-            0 => Expr::col("a"),
-            1 => Expr::col("a").mul(Expr::col("b")),
-            _ => Expr::Add(Box::new(Expr::col("a")), Box::new(Expr::col("c"))),
-        };
-        match f {
-            0 => AggSpec::sum(expr, "v"),
-            1 => AggSpec::count("v"),
-            2 => AggSpec::min(expr, "v"),
-            _ => AggSpec::max(expr, "v"),
-        }
-    });
-    proptest::collection::vec(one, 1..4).prop_map(|mut aggs| {
-        for (i, a) in aggs.iter_mut().enumerate() {
-            a.name = format!("v{i}");
-        }
-        aggs
-    })
+fn random_aggs(rng: &mut SmallRng) -> Vec<AggSpec> {
+    (0..rng.gen_range(1usize..4))
+        .map(|i| {
+            let expr = match rng.gen_range(0usize..3) {
+                0 => Expr::col("a"),
+                1 => Expr::col("a").mul(Expr::col("b")),
+                _ => Expr::Add(Box::new(Expr::col("a")), Box::new(Expr::col("c"))),
+            };
+            let name = format!("v{i}");
+            match rng.gen_range(0usize..4) {
+                0 => AggSpec::sum(expr, name.as_str()),
+                1 => AggSpec::count(name.as_str()),
+                2 => AggSpec::min(expr, name.as_str()),
+                _ => AggSpec::max(expr, name.as_str()),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn scan_agg_engine_equals_interp(
-        db in random_db(),
-        pred in proptest::option::of(random_pred()),
-        aggs in random_aggs(),
-        group in any::<bool>(),
-    ) {
+#[test]
+fn scan_agg_engine_equals_interp() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x1000 + seed);
+        let db = RandomDb::generate(&mut rng);
         let mut builder = QueryBuilder::scan("R");
-        if let Some(p) = pred {
-            builder = builder.filter(p);
+        if rng.gen_bool(0.7) {
+            builder = builder.filter(random_pred(&mut rng, 2));
         }
+        let group = rng.gen_bool(0.5);
+        let aggs = random_aggs(&mut rng);
         let plan = builder.aggregate(if group { Some("c") } else { None }, aggs);
         let database = db.build();
         let expected = interp::run(&database, &plan).expect("interp");
-        let engine = Engine::new(database);
+        let engine = Engine::builder(database).threads(2).build();
         let got = engine.query(&plan).expect("engine");
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "seed={seed}");
     }
+}
 
-    #[test]
-    fn semijoin_engine_equals_interp(
-        db in random_db(),
-        probe_sel in proptest::option::of(0i8..100),
-        build_sel in 0i8..100,
-        group in any::<bool>(),
-    ) {
+#[test]
+fn semijoin_engine_equals_interp() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x2000 + seed);
+        let db = RandomDb::generate(&mut rng);
+        let group = rng.gen_bool(0.5);
+        let build_sel = rng.gen_range(0i8..100);
         let mut builder = QueryBuilder::scan("R");
-        if let Some(s) = probe_sel {
-            if !group {
-                builder = builder.filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(s as i64)));
-            }
+        if !group && rng.gen_bool(0.7) {
+            let probe_sel = rng.gen_range(0i8..100);
+            builder = builder.filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(probe_sel as i64)));
         }
         let plan = builder
             .semijoin(
@@ -153,8 +146,8 @@ proptest! {
             );
         let database = db.build();
         let expected = interp::run(&database, &plan).expect("interp");
-        let engine = Engine::new(database);
+        let engine = Engine::builder(database).threads(2).build();
         let got = engine.query(&plan).expect("engine");
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "seed={seed}");
     }
 }

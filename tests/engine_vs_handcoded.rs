@@ -42,15 +42,14 @@ fn q_filter(sel: i8) -> Expr {
 #[test]
 fn engine_matches_handcoded_q1() {
     let db = micro();
-    let engine = Engine::new(as_database(&db));
+    let engine = Engine::builder(as_database(&db)).threads(2).build();
     for sel in [0i8, 30, 70, 100] {
         let plan = QueryBuilder::scan("R").filter(q_filter(sel)).aggregate(
             None,
             vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
         );
         let got = engine.query(&plan).expect("engine runs");
-        let expected =
-            swole_micro::q1::value_masking::<swole_kernels::agg::Mul>(&db.r, sel);
+        let expected = swole_micro::q1::value_masking::<swole_kernels::agg::Mul>(&db.r, sel);
         assert_eq!(got.rows[0][0], expected, "sel={sel}");
     }
 }
@@ -58,7 +57,7 @@ fn engine_matches_handcoded_q1() {
 #[test]
 fn engine_matches_handcoded_q2() {
     let db = micro();
-    let engine = Engine::new(as_database(&db));
+    let engine = Engine::builder(as_database(&db)).threads(2).build();
     for sel in [10i8, 50, 90] {
         let plan = QueryBuilder::scan("R").filter(q_filter(sel)).aggregate(
             Some("c"),
@@ -74,7 +73,7 @@ fn engine_matches_handcoded_q2() {
 #[test]
 fn engine_matches_handcoded_q4() {
     let db = micro();
-    let engine = Engine::new(as_database(&db));
+    let engine = Engine::builder(as_database(&db)).threads(2).build();
     let cost = CostParams::default();
     for (sel1, sel2) in [(10i8, 90i8), (90, 10), (50, 50)] {
         let plan = QueryBuilder::scan("R")
@@ -103,7 +102,7 @@ fn engine_matches_handcoded_q4() {
 #[test]
 fn engine_matches_handcoded_q5() {
     let db = micro();
-    let engine = Engine::new(as_database(&db));
+    let engine = Engine::builder(as_database(&db)).threads(2).build();
     for sel in [10i8, 50, 90] {
         let plan = QueryBuilder::scan("R")
             .semijoin(
@@ -125,11 +124,11 @@ fn engine_matches_handcoded_q5() {
 #[test]
 fn engine_explain_names_pullup_techniques() {
     let db = micro();
-    let engine = Engine::new(as_database(&db));
+    let engine = Engine::builder(as_database(&db)).threads(2).build();
     let plan = QueryBuilder::scan("R").filter(q_filter(60)).aggregate(
         Some("c"),
         vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
     );
-    let text = engine.explain(&plan).expect("plans");
+    let text = engine.explain(&plan).expect("plans").to_string();
     assert!(text.contains("masking"), "{text}");
 }

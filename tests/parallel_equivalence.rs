@@ -1,0 +1,240 @@
+//! Morsel-parallel equivalence: every access strategy must produce
+//! **bit-identical** results at every thread count — the merge phase
+//! (commutative scalar folds, `AggTable::merge_from`, sorted group-by
+//! output) makes the thread count invisible in the result.
+//!
+//! Strategies are pinned through the `EngineBuilder` so each loop body is
+//! exercised explicitly rather than at the cost model's whim, and every
+//! result is also cross-checked against the naive interpreter.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swole::plan::interp;
+use swole::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Deterministic database: R(x, a, b, c, fk) → S(y). Large enough that
+/// small morsels split it across many claims.
+fn make_db(seed: u64, n_r: usize, n_s: usize) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("R")
+            .with_column(
+                "x",
+                ColumnData::I8((0..n_r).map(|_| rng.gen_range(0i8..100)).collect()),
+            )
+            .with_column(
+                "a",
+                ColumnData::I32((0..n_r).map(|_| rng.gen_range(1i32..50)).collect()),
+            )
+            .with_column(
+                "b",
+                ColumnData::I32((0..n_r).map(|_| rng.gen_range(1i32..50)).collect()),
+            )
+            .with_column(
+                "c",
+                ColumnData::I16((0..n_r).map(|_| rng.gen_range(0i16..32)).collect()),
+            )
+            .with_column(
+                "fk",
+                ColumnData::U32((0..n_r).map(|_| rng.gen_range(0u32..n_s as u32)).collect()),
+            ),
+    );
+    db.add_table(Table::new("S").with_column(
+        "y",
+        ColumnData::I8((0..n_s).map(|_| rng.gen_range(0i8..100)).collect()),
+    ));
+    db.add_fk("R", "fk", "S").expect("valid by construction");
+    db
+}
+
+/// Run `plan` under every thread count with the given builder tweak,
+/// asserting all results are bit-identical to each other and to the
+/// interpreter.
+fn assert_equivalent(
+    plan: &LogicalPlan,
+    label: &str,
+    configure: impl Fn(EngineBuilder) -> EngineBuilder,
+) {
+    let reference = interp::run(&make_db(42, 50_000, 512), plan).expect("interp");
+    for threads in THREADS {
+        // Small morsels so multi-thread runs split into many claims.
+        let engine = configure(Engine::builder(make_db(42, 50_000, 512)))
+            .threads(threads)
+            .tile_rows(2048)
+            .build();
+        let got = engine.query(plan).expect("engine runs");
+        assert_eq!(got, reference, "{label}, threads={threads}");
+    }
+}
+
+fn scalar_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(60)))
+        .aggregate(
+            None,
+            vec![
+                AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                AggSpec::count("n"),
+            ],
+        )
+}
+
+fn groupby_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(60)))
+        .aggregate(
+            Some("c"),
+            vec![
+                AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                AggSpec::count("n"),
+            ],
+        )
+}
+
+#[test]
+fn scalar_agg_all_strategies_all_thread_counts() {
+    for strategy in [
+        AggStrategy::Hybrid,
+        AggStrategy::ValueMasking,
+        AggStrategy::KeyMasking,
+    ] {
+        assert_equivalent(&scalar_plan(), strategy.name(), |b| {
+            b.agg_strategy(strategy)
+        });
+    }
+}
+
+#[test]
+fn groupby_agg_all_strategies_all_thread_counts() {
+    for strategy in [
+        AggStrategy::Hybrid,
+        AggStrategy::ValueMasking,
+        AggStrategy::KeyMasking,
+    ] {
+        assert_equivalent(&groupby_plan(), strategy.name(), |b| {
+            b.agg_strategy(strategy)
+        });
+    }
+}
+
+#[test]
+fn groupby_min_max_hybrid_all_thread_counts() {
+    let plan = QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(45)))
+        .aggregate(
+            Some("c"),
+            vec![
+                AggSpec::min(Expr::col("a"), "lo"),
+                AggSpec::max(Expr::col("a").mul(Expr::col("b")), "hi"),
+                AggSpec::count("n"),
+            ],
+        );
+    // Min/max force hybrid; the merge path must respect valid flags.
+    assert_equivalent(&plan, "hybrid min/max", |b| b);
+}
+
+#[test]
+fn semijoin_all_strategies_all_thread_counts() {
+    // Wide probe filter → masked probe; narrow → selection-vector probe.
+    for probe_sel in [80i64, 5] {
+        let plan = QueryBuilder::scan("R")
+            .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(probe_sel)))
+            .semijoin(
+                QueryBuilder::scan("S").filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(50))),
+                "fk",
+            )
+            .aggregate(
+                None,
+                vec![
+                    AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                    AggSpec::count("n"),
+                ],
+            );
+        for strategy in [
+            SemiJoinStrategy::Hash,
+            SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional),
+            SemiJoinStrategy::PositionalBitmap(BitmapBuild::SelectionVector),
+        ] {
+            assert_equivalent(
+                &plan,
+                &format!("semijoin {strategy:?}, probe_sel={probe_sel}"),
+                |b| b.semijoin_strategy(strategy),
+            );
+        }
+    }
+}
+
+#[test]
+fn groupjoin_both_strategies_all_thread_counts() {
+    let plan = QueryBuilder::scan("R")
+        .semijoin(
+            QueryBuilder::scan("S").filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(50))),
+            "fk",
+        )
+        .aggregate(
+            Some("fk"),
+            vec![
+                AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                AggSpec::count("n"),
+            ],
+        );
+    for strategy in [
+        GroupJoinStrategy::GroupJoin,
+        GroupJoinStrategy::EagerAggregation,
+    ] {
+        assert_equivalent(&plan, &format!("groupjoin {strategy:?}"), |b| {
+            b.groupjoin_strategy(strategy)
+        });
+    }
+}
+
+#[test]
+fn empty_selection_identical_across_threads() {
+    // Zero qualifying rows: min/max identities must flatten to the
+    // documented all-zero row at every thread count.
+    let plan = QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(-1)))
+        .aggregate(
+            None,
+            vec![
+                AggSpec::sum(Expr::col("a"), "s"),
+                AggSpec::min(Expr::col("a"), "lo"),
+            ],
+        );
+    assert_equivalent(&plan, "empty selection", |b| b);
+}
+
+#[test]
+fn oversubscribed_and_zero_threads() {
+    // threads(0) = all hardware threads; 16 >> cores oversubscribes. Both
+    // must still be exact.
+    let plan = groupby_plan();
+    let reference = interp::run(&make_db(42, 50_000, 512), &plan).expect("interp");
+    for threads in [0usize, 16] {
+        let engine = Engine::builder(make_db(42, 50_000, 512))
+            .threads(threads)
+            .tile_rows(1024)
+            .build();
+        assert!(engine.threads() >= 1);
+        let got = engine.query(&plan).expect("engine runs");
+        assert_eq!(got, reference, "threads param = {threads}");
+    }
+}
+
+#[test]
+fn pinned_strategy_shows_up_in_explain() {
+    let engine = Engine::builder(make_db(7, 4_000, 64))
+        .threads(2)
+        .agg_strategy(AggStrategy::ValueMasking)
+        .build();
+    let report = engine.explain(&groupby_plan()).expect("plans");
+    assert_eq!(report.strategy, "value-masking");
+    assert_eq!(report.threads, 2);
+    assert!(
+        report.decisions.iter().any(|d| d.contains("pinned")),
+        "{report}"
+    );
+}

@@ -10,11 +10,26 @@ fn db() -> Database {
     let segs = ["AUTOMOBILE", "BUILDING", "FURNITURE"];
     db.add_table(
         Table::new("R")
-            .with_column("x", ColumnData::I8((0..n).map(|i| (i * 31 % 100) as i8).collect()))
-            .with_column("a", ColumnData::I32((0..n).map(|i| (i % 43 + 1) as i32).collect()))
-            .with_column("b", ColumnData::I32((0..n).map(|i| (i % 17 + 1) as i32).collect()))
-            .with_column("c", ColumnData::I16((0..n).map(|i| (i % 12) as i16).collect()))
-            .with_column("fk", ColumnData::U32((0..n).map(|i| (i * 7 % 500) as u32).collect()))
+            .with_column(
+                "x",
+                ColumnData::I8((0..n).map(|i| (i * 31 % 100) as i8).collect()),
+            )
+            .with_column(
+                "a",
+                ColumnData::I32((0..n).map(|i| (i % 43 + 1) as i32).collect()),
+            )
+            .with_column(
+                "b",
+                ColumnData::I32((0..n).map(|i| (i % 17 + 1) as i32).collect()),
+            )
+            .with_column(
+                "c",
+                ColumnData::I16((0..n).map(|i| (i % 12) as i16).collect()),
+            )
+            .with_column(
+                "fk",
+                ColumnData::U32((0..n).map(|i| (i * 7 % 500) as u32).collect()),
+            )
             .with_column(
                 "seg",
                 ColumnData::Dict(DictColumn::encode(
@@ -31,10 +46,12 @@ fn db() -> Database {
 }
 
 fn check(sql: &str) -> QueryResult {
-    let plan = parse_sql(sql).unwrap_or_else(|e| panic!("{e} in {sql}")).plan;
+    let plan = parse_sql(sql)
+        .unwrap_or_else(|e| panic!("{e} in {sql}"))
+        .plan;
     let database = db();
     let expected = interp::run(&database, &plan).expect("interp runs");
-    let engine = Engine::new(database);
+    let engine = Engine::builder(database).threads(2).build();
     let got = engine.query(&plan).expect("engine runs");
     assert_eq!(got, expected, "sql: {sql}");
     got
@@ -99,15 +116,25 @@ fn groupjoin_via_sql() {
     assert!(!r.rows.is_empty());
     // Every surviving group's parent must satisfy the S predicate.
     let database = db();
-    let s_y = database.table("S").unwrap().column_required("y").to_i64_vec();
+    let s_y = database
+        .table("S")
+        .unwrap()
+        .column_required("y")
+        .to_i64_vec();
     for row in &r.rows {
-        assert!(s_y[row[0] as usize] < 50, "group {} should be filtered", row[0]);
+        assert!(
+            s_y[row[0] as usize] < 50,
+            "group {} should be filtered",
+            row[0]
+        );
     }
 }
 
 #[test]
 fn sql_matches_builder_api() {
-    let sql_plan = parse_sql("select sum(a * b) as s from R where x < 13").unwrap().plan;
+    let sql_plan = parse_sql("select sum(a * b) as s from R where x < 13")
+        .unwrap()
+        .plan;
     let builder_plan = QueryBuilder::scan("R")
         .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(13)))
         .aggregate(

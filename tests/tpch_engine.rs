@@ -4,19 +4,22 @@
 
 use swole::plan::parse_sql;
 use swole::prelude::*;
-use swole_tpch::queries as q;
 use swole_tpch::catalog::to_database;
+use swole_tpch::queries as q;
 
 fn setup() -> (swole_tpch::TpchDb, Engine) {
     let db = swole_tpch::generate(0.004, 99);
-    let engine = Engine::new(to_database(&db));
+    let engine = Engine::builder(to_database(&db)).threads(2).build();
     (db, engine)
 }
 
 #[test]
 fn q6_engine_matches_handcoded() {
     let (db, engine) = setup();
-    let (lo, hi) = (swole_tpch::q6_date_lo().days(), swole_tpch::q6_date_hi().days());
+    let (lo, hi) = (
+        swole_tpch::q6_date_lo().days(),
+        swole_tpch::q6_date_hi().days(),
+    );
     let sql = format!(
         "select sum(l_extendedprice * l_discount) as revenue from lineitem \
          where l_shipdate >= {lo} and l_shipdate < {hi} \
@@ -64,7 +67,10 @@ fn q4_semijoin_direction_engine() {
     // order qualifies) — the reverse of Q4's EXISTS — so validate it as
     // its own query: revenue of lineitems belonging to Q4-window orders.
     let (db, engine) = setup();
-    let (lo, hi) = (swole_tpch::q4_date_lo().days(), swole_tpch::q4_date_hi().days());
+    let (lo, hi) = (
+        swole_tpch::q4_date_lo().days(),
+        swole_tpch::q4_date_hi().days(),
+    );
     let sql = format!(
         "select sum(lineitem.l_extendedprice) as s, count(*) as n \
          from lineitem, orders \
@@ -99,7 +105,10 @@ fn q14_case_expression_engine() {
     // Q14's numerator via the engine's masked CASE evaluation, denominator
     // as a second aggregate — cross-checked against the hand-coded Q14.
     let (db, engine) = setup();
-    let (lo, hi) = (swole_tpch::q14_date_lo().days(), swole_tpch::q14_date_hi().days());
+    let (lo, hi) = (
+        swole_tpch::q14_date_lo().days(),
+        swole_tpch::q14_date_hi().days(),
+    );
     let sql = format!(
         "select sum(case when p in ('x') then 0 else 0 end) as zero from lineitem \
          where l_shipdate >= {lo} and l_shipdate < {hi}"
