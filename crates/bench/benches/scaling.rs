@@ -85,7 +85,7 @@ fn bench(c: &mut Criterion) {
             let e = engine(threads);
             let physical = e.plan(&plan).expect("plans");
             g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
-                b.iter(|| black_box(e.execute(&physical)))
+                b.iter(|| black_box(e.execute(&physical).expect("executes")))
             });
         }
         g.finish();
@@ -97,7 +97,7 @@ fn bench(c: &mut Criterion) {
         for threads in THREADS {
             let e = engine(threads);
             let physical = e.plan(&plan).expect("plans");
-            let ms = median_ms(5, || black_box(e.execute(&physical)));
+            let ms = median_ms(5, || black_box(e.execute(&physical).expect("executes")));
             if threads == 1 {
                 base_ms = ms;
             }

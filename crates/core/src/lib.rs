@@ -81,8 +81,8 @@ pub use swole_storage as storage;
 
 pub use swole_cost::CostParams;
 pub use swole_plan::{
-    AggFunc, AggSpec, CmpOp, Database, Engine, EngineBuilder, Explain, Expr, LogicalPlan,
-    PlanError, QueryBuilder, QueryResult,
+    AggFunc, AggSpec, CmpOp, Database, Engine, EngineBuilder, ExecHandle, Explain, Expr,
+    LogicalPlan, PlanError, QueryBuilder, QueryResult,
 };
 
 /// Everything a typical user needs.
@@ -91,8 +91,8 @@ pub mod prelude {
         AggStrategy, BitmapBuild, CostParams, GroupJoinStrategy, SemiJoinStrategy,
     };
     pub use swole_plan::{
-        AggFunc, AggSpec, CmpOp, Database, Engine, EngineBuilder, Explain, Expr, LogicalPlan,
-        PlanError, QueryBuilder, QueryResult,
+        AggFunc, AggSpec, CmpOp, Database, Engine, EngineBuilder, ExecHandle, Explain, Expr,
+        LogicalPlan, PlanError, QueryBuilder, QueryResult,
     };
     pub use swole_storage::{ColumnData, Date, Decimal, DictColumn, Table};
 }
@@ -114,7 +114,7 @@ mod tests {
             .filter(Expr::col("x").cmp(CmpOp::Ge, Expr::lit(3)))
             .aggregate(None, vec![AggSpec::sum(Expr::col("v"), "total")]);
         let result = engine.query(&plan).unwrap();
-        assert_eq!(result.scalar("total"), 70);
+        assert_eq!(result.try_scalar("total").unwrap(), 70);
         assert_eq!(result.try_scalar("total"), Ok(70));
         assert!(matches!(
             result.try_scalar("nope"),

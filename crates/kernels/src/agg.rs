@@ -14,9 +14,16 @@ use crate::AsI64;
 
 /// A binary arithmetic operator applied inside an aggregate expression
 /// (the `[OP]` substitution parameter of microbenchmark Q1).
+///
+/// All arithmetic is explicitly wrapping, so debug and release builds (and
+/// builds with `-C overflow-checks=on`) compute bit-identical results;
+/// [`BinOp::apply_checked`] additionally reports wraparound for the
+/// overflow-detecting kernel variants.
 pub trait BinOp {
-    /// Apply the operator to widened operands.
+    /// Apply the operator to widened operands (wrapping on overflow).
     fn apply(a: i64, b: i64) -> i64;
+    /// Apply the operator, reporting whether the result wrapped.
+    fn apply_checked(a: i64, b: i64) -> (i64, bool);
     /// Name used by codegen / reporting.
     const NAME: &'static str;
     /// `true` if the operation is expensive enough to be compute-bound
@@ -29,7 +36,11 @@ pub struct Mul;
 impl BinOp for Mul {
     #[inline(always)]
     fn apply(a: i64, b: i64) -> i64 {
-        a * b
+        a.wrapping_mul(b)
+    }
+    #[inline(always)]
+    fn apply_checked(a: i64, b: i64) -> (i64, bool) {
+        a.overflowing_mul(b)
     }
     const NAME: &'static str = "*";
     const COMPUTE_BOUND: bool = false;
@@ -39,12 +50,18 @@ impl BinOp for Mul {
 ///
 /// Callers must guarantee non-zero divisors: masked strategies evaluate the
 /// division for *every* tuple (that is the point of the pullup) and only
-/// mask the result.
+/// mask the result. Division by zero still panics — in the engine that
+/// panic is contained by the worker isolation domain and triggers the
+/// data-centric retry.
 pub struct Div;
 impl BinOp for Div {
     #[inline(always)]
     fn apply(a: i64, b: i64) -> i64 {
-        a / b
+        a.wrapping_div(b)
+    }
+    #[inline(always)]
+    fn apply_checked(a: i64, b: i64) -> (i64, bool) {
+        a.overflowing_div(b)
     }
     const NAME: &'static str = "/";
     const COMPUTE_BOUND: bool = true;
@@ -62,7 +79,7 @@ pub fn sum_op_datacentric<A: AsI64, B: AsI64, O: BinOp>(
     let mut sum = 0i64;
     for j in 0..a.len() {
         if pred(j) {
-            sum += O::apply(a[j].widen(), b[j].widen());
+            sum = sum.wrapping_add(O::apply(a[j].widen(), b[j].widen()));
         }
     }
     sum
@@ -77,7 +94,7 @@ pub fn sum_op_gather<A: AsI64, B: AsI64, O: BinOp>(a: &[A], b: &[B], idx: &[u32]
     let mut sum = 0i64;
     for &j in idx {
         let j = j as usize;
-        sum += O::apply(a[j].widen(), b[j].widen());
+        sum = sum.wrapping_add(O::apply(a[j].widen(), b[j].widen()));
     }
     sum
 }
@@ -91,9 +108,35 @@ pub fn sum_op_masked<A: AsI64, B: AsI64, O: BinOp>(a: &[A], b: &[B], cmp: &[u8])
     assert_eq!(a.len(), cmp.len());
     let mut sum = 0i64;
     for j in 0..a.len() {
-        sum += O::apply(a[j].widen(), b[j].widen()) * cmp[j] as i64;
+        // The 0/1 mask product cannot overflow; the op and the running sum
+        // wrap explicitly.
+        sum = sum.wrapping_add(O::apply(a[j].widen(), b[j].widen()) * cmp[j] as i64);
     }
     sum
+}
+
+/// Value masking with overflow detection: identical accumulation to
+/// [`sum_op_masked`], but reports whether any *qualifying* tuple's operator
+/// application, or the running sum, wrapped around `i64`. Wraparound in
+/// masked-out (wasted-work) tuples is ignored — it cannot affect the
+/// result.
+#[inline]
+pub fn sum_op_masked_checked<A: AsI64, B: AsI64, O: BinOp>(
+    a: &[A],
+    b: &[B],
+    cmp: &[u8],
+) -> (i64, bool) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), cmp.len());
+    let mut sum = 0i64;
+    let mut overflow = false;
+    for j in 0..a.len() {
+        let (v, op_wrapped) = O::apply_checked(a[j].widen(), b[j].widen());
+        let (s, sum_wrapped) = sum.overflowing_add(v * cmp[j] as i64);
+        sum = s;
+        overflow |= (op_wrapped & (cmp[j] != 0)) | sum_wrapped;
+    }
+    (sum, overflow)
 }
 
 /// **Access merging**, first loop (Fig. 5 bottom): fuse the predicate result
@@ -103,6 +146,7 @@ pub fn sum_op_masked<A: AsI64, B: AsI64, O: BinOp>(a: &[A], b: &[B], cmp: &[u8])
 pub fn merge_lt<T: AsI64 + PartialOrd + Copy>(x: &[T], lit: T, tmp: &mut [i64]) {
     assert_eq!(x.len(), tmp.len());
     for (t, &v) in tmp.iter_mut().zip(x) {
+        // 0/1 mask product: cannot overflow.
         *t = v.widen() * (v < lit) as i64;
     }
 }
@@ -125,7 +169,7 @@ pub fn sum_product_tmp<A: AsI64>(a: &[A], tmp: &[i64]) -> i64 {
     assert_eq!(a.len(), tmp.len());
     let mut sum = 0i64;
     for (&av, &t) in a.iter().zip(tmp) {
-        sum += av.widen() * t;
+        sum = sum.wrapping_add(av.widen().wrapping_mul(t));
     }
     sum
 }
@@ -137,7 +181,7 @@ pub fn sum_product_tmp<A: AsI64>(a: &[A], tmp: &[i64]) -> i64 {
 pub fn sum_square_tmp(tmp: &[i64]) -> i64 {
     let mut sum = 0i64;
     for &t in tmp {
-        sum += t * t;
+        sum = sum.wrapping_add(t.wrapping_mul(t));
     }
     sum
 }
@@ -251,6 +295,26 @@ mod tests {
         let mut via_merge = vec![0i64; x.len()];
         merge_lt(&x, 20, &mut via_merge);
         assert_eq!(via_mask, via_merge);
+    }
+
+    #[test]
+    fn masked_checked_agrees_and_detects_overflow() {
+        // Agrees with the unchecked kernel when nothing overflows.
+        let (x, a, b) = mk_data(1000);
+        let mut cmp = vec![0u8; x.len()];
+        predicate::cmp_lt(&x, 42, &mut cmp);
+        let (sum, ovf) = sum_op_masked_checked::<_, _, Mul>(&a, &b, &cmp);
+        assert!(!ovf);
+        assert_eq!(sum, sum_op_masked::<_, _, Mul>(&a, &b, &cmp));
+        // Overflow in a qualifying tuple is detected...
+        let big = [i64::MAX, 1];
+        let two = [2i64, 1];
+        let (_, ovf) = sum_op_masked_checked::<_, _, Mul>(&big, &two, &[1, 1]);
+        assert!(ovf);
+        // ...but wasted-work overflow in a masked-out tuple is not.
+        let (sum, ovf) = sum_op_masked_checked::<_, _, Mul>(&big, &two, &[0, 1]);
+        assert!(!ovf);
+        assert_eq!(sum, 1);
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //! * **key masking** (Fig. 4 bottom) — mask the *key* to [`NULL_KEY`] so
 //!   filtered tuples hit the single throwaway entry (cached when the
 //!   predicate often fails), and the value needs no masking.
+//!
+//! All accumulation goes through [`AggTable::add`], which uses explicit
+//! wrapping arithmetic (identical results in debug and release) and records
+//! wraparound in the table's sticky overflow flag
+//! ([`AggTable::overflow_detected`]); the operator applications themselves
+//! wrap via [`BinOp::apply`]. Masked strategies aggregate filtered tuples
+//! too, so a detected overflow may be wasted-work noise — callers decide
+//! whether to re-run data-centric.
 
 use crate::agg::BinOp;
 use crate::AsI64;

@@ -2,6 +2,8 @@
 //! execution.
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::catalog::Database;
 use crate::error::PlanError;
@@ -9,6 +11,7 @@ use crate::expr::{AggFunc, Expr};
 use crate::logical::{AggSpec, LogicalPlan};
 use crate::parallel;
 use crate::physical::{PhysicalPlan, Shape};
+use crate::runtime::{self, CancelState, ExecCtx, ExecHandle};
 use crate::stats;
 use swole_bitmap::PositionalBitmap;
 use swole_cost::choose::{choose_agg_mt, choose_groupjoin_mt, choose_semijoin};
@@ -49,8 +52,11 @@ impl QueryResult {
         Ok(self.rows[0][i])
     }
 
-    /// The single value of a one-row result column (panicking convenience
-    /// wrapper over [`try_scalar`](Self::try_scalar) for examples/tests).
+    /// The single value of a one-row result column.
+    ///
+    /// Deprecated: this is a thin panicking wrapper kept for old callers;
+    /// use [`try_scalar`](Self::try_scalar) and handle the error instead.
+    #[deprecated(since = "0.3.0", note = "use `try_scalar` and handle the error")]
     pub fn scalar(&self, column: &str) -> i64 {
         self.try_scalar(column)
             .unwrap_or_else(|e| panic!("scalar({column}): {e}"))
@@ -90,6 +96,10 @@ pub struct Explain {
     pub cost_terms: Vec<(String, f64)>,
     /// The planner's decision trail, one line each.
     pub decisions: Vec<String>,
+    /// Runtime outcome of the session's most recent [`Engine::query`]:
+    /// completion, partial progress at cancellation/deadline, or a recorded
+    /// fallback to the data-centric interpreter. Empty before any query.
+    pub runtime: Vec<String>,
 }
 
 impl fmt::Display for Explain {
@@ -106,6 +116,9 @@ impl fmt::Display for Explain {
         }
         for d in &self.decisions {
             write!(f, "\n  -> {d}")?;
+        }
+        for r in &self.runtime {
+            write!(f, "\n  ~ last run: {r}")?;
         }
         Ok(())
     }
@@ -124,6 +137,8 @@ pub struct EngineBuilder {
     params: CostParams,
     threads: usize,
     morsel_rows: usize,
+    deadline: Option<Duration>,
+    memory_budget: Option<usize>,
     pin_agg: Option<AggStrategy>,
     pin_semijoin: Option<SemiJoinStrategy>,
     pin_groupjoin: Option<GroupJoinStrategy>,
@@ -136,6 +151,8 @@ impl EngineBuilder {
             params: CostParams::default(),
             threads: 1,
             morsel_rows: MORSEL_ROWS,
+            deadline: None,
+            memory_budget: None,
             pin_agg: None,
             pin_semijoin: None,
             pin_groupjoin: None,
@@ -168,6 +185,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Per-query wall-clock deadline. Workers observe it cooperatively at
+    /// morsel boundaries; an expired deadline returns
+    /// [`PlanError::DeadlineExceeded`] with partial-progress counts. A 0ms
+    /// deadline deterministically fails every query before its first
+    /// morsel, at any thread count.
+    pub fn deadline(mut self, deadline: Duration) -> EngineBuilder {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Per-query memory budget in bytes, enforced by a [`crate::MemGauge`]
+    /// charged at every allocation site that scales with input (masks,
+    /// bitmaps, key sets, hash-table growth, worker scratch). A charge that
+    /// would exceed the budget returns [`PlanError::BudgetExceeded`]
+    /// *before* allocating.
+    pub fn memory_budget(mut self, bytes: usize) -> EngineBuilder {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// Pin the scan-aggregation strategy, overriding the cost model
     /// (equivalence tests and experiments).
     pub fn agg_strategy(mut self, strategy: AggStrategy) -> EngineBuilder {
@@ -194,9 +231,13 @@ impl EngineBuilder {
             params: self.params,
             threads: self.threads,
             morsel_rows: self.morsel_rows,
+            deadline: self.deadline,
+            memory_budget: self.memory_budget,
             pin_agg: self.pin_agg,
             pin_semijoin: self.pin_semijoin,
             pin_groupjoin: self.pin_groupjoin,
+            cancel: Arc::new(CancelState::default()),
+            last_run: Mutex::new(Vec::new()),
         }
     }
 }
@@ -217,9 +258,16 @@ pub struct Engine {
     params: CostParams,
     threads: usize,
     morsel_rows: usize,
+    deadline: Option<Duration>,
+    memory_budget: Option<usize>,
     pin_agg: Option<AggStrategy>,
     pin_semijoin: Option<SemiJoinStrategy>,
     pin_groupjoin: Option<GroupJoinStrategy>,
+    /// Session-wide cancellation flag, shared with every [`ExecHandle`].
+    cancel: Arc<CancelState>,
+    /// Runtime report of the most recent `query` (outcome, fallback,
+    /// partial progress) — surfaced through [`Explain::runtime`].
+    last_run: Mutex<Vec<String>>,
 }
 
 impl Engine {
@@ -256,10 +304,88 @@ impl Engine {
         self.morsel_rows
     }
 
-    /// Plan and execute in one step.
+    /// A cancellation token for this session. Clone it to other threads;
+    /// [`ExecHandle::cancel`] stops in-flight (and future) queries at their
+    /// next morsel boundary with [`PlanError::Cancelled`]. Call
+    /// [`ExecHandle::reset`] to accept queries again.
+    pub fn handle(&self) -> ExecHandle {
+        ExecHandle::new(self.cancel.clone())
+    }
+
+    /// Fresh per-query execution context from the session's limits.
+    fn exec_ctx(&self) -> ExecCtx {
+        ExecCtx::new(self.cancel.clone(), self.deadline, self.memory_budget)
+    }
+
+    fn record_run(&self, report: Vec<String>) {
+        if let Ok(mut last) = self.last_run.lock() {
+            *last = report;
+        }
+    }
+
+    /// Plan and execute in one step, with hardened-execution supervision.
+    ///
+    /// The chosen SWOLE strategy runs first. If it fails a *runtime*
+    /// precondition — a worker panic, the memory budget exhausted by pullup
+    /// temporaries, or `i64` overflow detected in a masked aggregate — the
+    /// query is retried once through the data-centric row-at-a-time
+    /// interpreter ([`crate::interp`]), charged against the same memory
+    /// gauge. Cancellation and deadline expiry are not retried. The outcome
+    /// (including any fallback) is recorded and surfaced via
+    /// [`Explain::runtime`] on the next [`Engine::explain`] call.
     pub fn query(&self, plan: &LogicalPlan) -> Result<QueryResult, PlanError> {
         let physical = self.plan(plan)?;
-        Ok(self.execute(&physical))
+        let ctx = self.exec_ctx();
+        let strategy = physical.shape.strategy_name();
+        let mut report = Vec::new();
+        let primary = runtime::isolate(|| self.execute_with(&physical, &ctx));
+        let (done, total) = ctx.progress();
+        match primary {
+            Ok(res) => {
+                report.push(format!(
+                    "{strategy}: ok ({done}/{total} morsels, {} B charged)",
+                    ctx.gauge.used()
+                ));
+                self.record_run(report);
+                Ok(res)
+            }
+            Err(e) if e.is_retryable() => {
+                report.push(format!("{strategy}: {e} ({done}/{total} morsels)"));
+                match self.fallback_datacentric(plan, &ctx) {
+                    Ok(res) => {
+                        report.push("fell back to data-centric interpreter: ok".into());
+                        self.record_run(report);
+                        Ok(res)
+                    }
+                    Err(fe) => {
+                        report.push(format!("data-centric fallback failed: {fe}"));
+                        self.record_run(report);
+                        Err(fe)
+                    }
+                }
+            }
+            Err(e) => {
+                report.push(format!("{strategy}: {e} ({done}/{total} morsels)"));
+                self.record_run(report);
+                Err(e)
+            }
+        }
+    }
+
+    /// Retry a failed query under the data-centric strategy: the
+    /// row-at-a-time interpreter, which allocates no pullup temporaries.
+    /// Its principal footprint — a qualifying-row-id vector — is charged
+    /// against the same gauge, so a budgeted session cannot dodge its
+    /// budget by failing over.
+    fn fallback_datacentric(
+        &self,
+        plan: &LogicalPlan,
+        ctx: &ExecCtx,
+    ) -> Result<QueryResult, PlanError> {
+        ctx.check()?;
+        let rows = plan_rows(&self.db, plan);
+        ctx.gauge.try_charge(rows.saturating_mul(8))?;
+        runtime::isolate(|| crate::interp::run(&self.db, plan))
     }
 
     /// EXPLAIN: plan and return the structured decision report.
@@ -272,6 +398,7 @@ impl Engine {
             morsel_rows: self.morsel_rows,
             cost_terms: physical.cost_terms.clone(),
             decisions: physical.decisions.clone(),
+            runtime: self.last_run.lock().map(|r| r.clone()).unwrap_or_default(),
         })
     }
 
@@ -632,8 +759,24 @@ impl Engine {
     // Execution
     // -----------------------------------------------------------------
 
-    /// Execute a physical plan.
-    pub fn execute(&self, plan: &PhysicalPlan) -> QueryResult {
+    /// Execute a physical plan under panic isolation and the session's
+    /// deadline/budget limits.
+    ///
+    /// Unlike [`Engine::query`] this cannot retry under the data-centric
+    /// strategy (the fallback needs the logical plan), so runtime failures
+    /// surface directly as typed errors.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<QueryResult, PlanError> {
+        let ctx = self.exec_ctx();
+        runtime::isolate(|| self.execute_with(plan, &ctx))
+    }
+
+    /// Execute a physical plan against an execution context. Planner/
+    /// executor drift (a table or FK index dropped after planning)
+    /// propagates as a [`PlanError`] instead of panicking.
+    fn execute_with(&self, plan: &PhysicalPlan, ctx: &ExecCtx) -> Result<QueryResult, PlanError> {
+        // Upfront cooperative check: zero-morsel inputs still observe an
+        // already-expired deadline or cancelled handle.
+        ctx.check()?;
         let opts = ExecOpts {
             threads: self.threads,
             morsel_rows: self.morsel_rows,
@@ -646,10 +789,10 @@ impl Engine {
                 aggs,
                 strategy,
             } => {
-                let t = self.db.table(table).expect("planned table");
+                let t = self.db.table(table)?;
                 match group_by {
-                    None => exec_scalar_agg(t, filter.as_ref(), aggs, *strategy, opts),
-                    Some(g) => exec_groupby_agg(t, filter.as_ref(), g, aggs, *strategy, opts),
+                    None => exec_scalar_agg(t, filter.as_ref(), aggs, *strategy, opts, ctx),
+                    Some(g) => exec_groupby_agg(t, filter.as_ref(), g, aggs, *strategy, opts, ctx),
                 }
             }
             Shape::SemiJoinAgg {
@@ -662,9 +805,9 @@ impl Engine {
                 strategy,
                 probe_masked,
             } => {
-                let probe_t = self.db.table(probe).expect("planned table");
-                let build_t = self.db.table(build).expect("planned table");
-                let fk = self.fk_positions(probe, fk_col, build).expect("planned FK");
+                let probe_t = self.db.table(probe)?;
+                let build_t = self.db.table(build)?;
+                let fk = self.fk_positions(probe, fk_col, build)?;
                 exec_semijoin_agg(
                     probe_t,
                     probe_filter.as_ref(),
@@ -675,6 +818,7 @@ impl Engine {
                     *strategy,
                     *probe_masked,
                     opts,
+                    ctx,
                 )
             }
             Shape::GroupJoinAgg {
@@ -685,9 +829,9 @@ impl Engine {
                 aggs,
                 strategy,
             } => {
-                let probe_t = self.db.table(probe).expect("planned table");
-                let build_t = self.db.table(build).expect("planned table");
-                let fk = self.fk_positions(probe, fk_col, build).expect("planned FK");
+                let probe_t = self.db.table(probe)?;
+                let build_t = self.db.table(build)?;
+                let fk = self.fk_positions(probe, fk_col, build)?;
                 exec_groupjoin_agg(
                     probe_t,
                     build_t,
@@ -697,9 +841,23 @@ impl Engine {
                     aggs,
                     *strategy,
                     opts,
+                    ctx,
                 )
             }
         }
+    }
+}
+
+/// Total base-table rows a plan scans — the footprint estimate charged for
+/// the data-centric fallback's row-id bookkeeping.
+fn plan_rows(db: &Database, plan: &LogicalPlan) -> usize {
+    match plan {
+        LogicalPlan::Scan { table } => db.table(table).map(|t| t.len()).unwrap_or(0),
+        LogicalPlan::Filter { input, .. } => plan_rows(db, input),
+        LogicalPlan::SemiJoin { input, build, .. } => {
+            plan_rows(db, input).saturating_add(plan_rows(db, build))
+        }
+        LogicalPlan::Aggregate { input, .. } => plan_rows(db, input),
     }
 }
 
@@ -744,6 +902,9 @@ fn merge_ops(aggs: &[AggSpec]) -> Vec<MergeOp> {
 struct ScalarAcc {
     acc: Vec<i64>,
     matched: usize,
+    /// Set when a sum accumulation wrapped; surfaced as
+    /// [`PlanError::Overflow`] after the merge.
+    overflow: bool,
     cmp: Vec<u8>,
     idx: Vec<u32>,
     val: Vec<i64>,
@@ -763,25 +924,49 @@ impl ScalarAcc {
         ScalarAcc {
             acc,
             matched: 0,
+            overflow: false,
             cmp: vec![0u8; TILE],
             idx: vec![0u32; TILE],
             val: vec![0i64; TILE],
         }
     }
+
+    /// Bytes of the per-worker scratch buffers, charged at worker init.
+    fn scratch_bytes(n_aggs: usize) -> usize {
+        TILE * (1 + 4 + 8) + n_aggs * 8
+    }
+
+    /// Accumulate a sum term with overflow detection.
+    #[inline]
+    fn add_sum(&mut self, i: usize, v: i64) {
+        let (s, wrapped) = self.acc[i].overflowing_add(v);
+        self.acc[i] = s;
+        self.overflow |= wrapped;
+    }
 }
 
 /// Fold per-worker scalar partials into one accumulator. Zero matches
 /// anywhere leaves min/max at their identities, which the caller flattens
-/// to the documented all-zero row.
-fn merge_scalar_partials(aggs: &[AggSpec], partials: Vec<ScalarAcc>) -> (Vec<i64>, usize) {
+/// to the documented all-zero row. Also folds the workers' overflow flags.
+fn merge_scalar_partials(
+    aggs: &[AggSpec],
+    partials: Vec<ScalarAcc>,
+) -> Result<(Vec<i64>, usize, bool), PlanError> {
     let mut iter = partials.into_iter();
-    let first = iter.next().expect("at least one worker partial");
-    let (mut acc, mut matched) = (first.acc, first.matched);
+    let first = iter
+        .next()
+        .ok_or_else(|| PlanError::ExecutionFailed("no worker partials to merge".into()))?;
+    let (mut acc, mut matched, mut overflow) = (first.acc, first.matched, first.overflow);
     for p in iter {
         matched += p.matched;
+        overflow |= p.overflow;
         for (i, a) in aggs.iter().enumerate() {
             match a.func {
-                AggFunc::Sum | AggFunc::Count => acc[i] += p.acc[i],
+                AggFunc::Sum | AggFunc::Count => {
+                    let (s, wrapped) = acc[i].overflowing_add(p.acc[i]);
+                    acc[i] = s;
+                    overflow |= wrapped;
+                }
                 AggFunc::Min => acc[i] = acc[i].min(p.acc[i]),
                 AggFunc::Max => acc[i] = acc[i].max(p.acc[i]),
             }
@@ -790,7 +975,7 @@ fn merge_scalar_partials(aggs: &[AggSpec], partials: Vec<ScalarAcc>) -> (Vec<i64
     if matched == 0 {
         acc.iter_mut().for_each(|v| *v = 0);
     }
-    (acc, matched)
+    Ok((acc, matched, overflow))
 }
 
 fn exec_scalar_agg(
@@ -799,13 +984,18 @@ fn exec_scalar_agg(
     aggs: &[AggSpec],
     strategy: AggStrategy,
     opts: ExecOpts,
-) -> QueryResult {
+    ctx: &ExecCtx,
+) -> Result<QueryResult, PlanError> {
     let n = table.len();
     let partials = parallel::run_morsels(
+        ctx,
         opts.threads,
         n,
         opts.morsel_rows,
-        || ScalarAcc::new(aggs),
+        || {
+            runtime::charge_or_panic(&ctx.gauge, ScalarAcc::scratch_bytes(aggs.len()));
+            ScalarAcc::new(aggs)
+        },
         |w: &mut ScalarAcc, m_start, m_len| {
             for (start, len) in tiles_in(m_start, m_len) {
                 tile_mask(filter, table, start, &mut w.cmp[..len]);
@@ -817,12 +1007,13 @@ fn exec_scalar_agg(
                                 AggFunc::Sum => {
                                     a.expr.eval_values(table, start, &mut w.val[..len]);
                                     for j in 0..len {
-                                        w.acc[i] += w.val[j] * w.cmp[j] as i64;
+                                        // cmp is 0/1, so the product cannot overflow.
+                                        w.add_sum(i, w.val[j] * w.cmp[j] as i64);
                                     }
                                 }
                                 AggFunc::Count => {
                                     for &c in &w.cmp[..len] {
-                                        w.acc[i] += c as i64;
+                                        w.acc[i] = w.acc[i].wrapping_add(c as i64);
                                     }
                                 }
                                 // Planner never sends min/max down the masked path.
@@ -837,13 +1028,14 @@ fn exec_scalar_agg(
                         w.matched += k;
                         for (i, a) in aggs.iter().enumerate() {
                             match a.func {
-                                AggFunc::Count => w.acc[i] += k as i64,
+                                AggFunc::Count => w.acc[i] = w.acc[i].wrapping_add(k as i64),
                                 _ => {
                                     a.expr.eval_values(table, start, &mut w.val[..len]);
-                                    for &j in &w.idx[..k] {
-                                        let v = w.val[j as usize - start];
+                                    for t in 0..k {
+                                        let j = w.idx[t] as usize;
+                                        let v = w.val[j - start];
                                         match a.func {
-                                            AggFunc::Sum => w.acc[i] += v,
+                                            AggFunc::Sum => w.add_sum(i, v),
                                             AggFunc::Min => w.acc[i] = w.acc[i].min(v),
                                             AggFunc::Max => w.acc[i] = w.acc[i].max(v),
                                             AggFunc::Count => unreachable!(),
@@ -856,18 +1048,26 @@ fn exec_scalar_agg(
                 }
             }
         },
-    );
-    let (acc, _) = merge_scalar_partials(aggs, partials);
-    QueryResult {
+    )?;
+    let (acc, _, overflow) = merge_scalar_partials(aggs, partials)?;
+    if overflow {
+        return Err(PlanError::Overflow(format!(
+            "scalar aggregation under {}",
+            strategy.name()
+        )));
+    }
+    Ok(QueryResult {
         columns: aggs.iter().map(|a| a.name.clone()).collect(),
         rows: vec![acc],
-    }
+    })
 }
 
 /// Thread-local state for group-by aggregation: a private [`AggTable`]
 /// plus per-tile scratch buffers.
 struct GroupAcc {
     ht: AggTable,
+    /// Bytes already charged to the gauge for this worker (scratch + table).
+    charged: usize,
     cmp: Vec<u8>,
     idx: Vec<u32>,
     keys: Vec<i64>,
@@ -879,12 +1079,28 @@ impl GroupAcc {
     fn new(n_aggs: usize) -> GroupAcc {
         GroupAcc {
             ht: AggTable::with_capacity(n_aggs, 64),
+            charged: 0,
             cmp: vec![0u8; TILE],
             idx: vec![0u32; TILE],
             keys: vec![0i64; TILE],
             masked: vec![0i64; TILE],
             vals: vec![vec![0i64; TILE]; n_aggs],
         }
+    }
+
+    fn scratch_bytes(n_aggs: usize) -> usize {
+        TILE * (1 + 4 + 8 + 8) + n_aggs * 8 * TILE
+    }
+}
+
+/// Charge hash-table growth since the last morsel boundary. `AggTable`
+/// grows inside the (infallible) tile loop, so the charge is settled at
+/// morsel granularity; a failed charge panics with the typed error and is
+/// caught by the worker's isolation domain.
+fn charge_growth(gauge: &crate::runtime::MemGauge, charged: &mut usize, now_bytes: usize) {
+    if now_bytes > *charged {
+        runtime::charge_or_panic(gauge, now_bytes - *charged);
+        *charged = now_bytes;
     }
 }
 
@@ -895,15 +1111,22 @@ fn exec_groupby_agg(
     aggs: &[AggSpec],
     strategy: AggStrategy,
     opts: ExecOpts,
-) -> QueryResult {
+    ctx: &ExecCtx,
+) -> Result<QueryResult, PlanError> {
     let n = table.len();
     let n_aggs = aggs.len();
     let key_expr = Expr::col(group_by);
     let partials = parallel::run_morsels(
+        ctx,
         opts.threads,
         n,
         opts.morsel_rows,
-        || GroupAcc::new(n_aggs),
+        || {
+            let mut w = GroupAcc::new(n_aggs);
+            w.charged = GroupAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
+            runtime::charge_or_panic(&ctx.gauge, w.charged);
+            w
+        },
         |w: &mut GroupAcc, m_start, m_len| {
             for (start, len) in tiles_in(m_start, m_len) {
                 tile_mask(filter, table, start, &mut w.cmp[..len]);
@@ -923,12 +1146,19 @@ fn exec_groupby_agg(
                             let fresh = !w.ht.is_valid(off);
                             for (i, a) in aggs.iter().enumerate() {
                                 let v = w.vals[i][j];
-                                let s = &mut w.ht.states_mut()[off + i];
                                 match a.func {
-                                    AggFunc::Sum => *s += v,
-                                    AggFunc::Count => *s += 1,
-                                    AggFunc::Min => *s = if fresh { v } else { (*s).min(v) },
-                                    AggFunc::Max => *s = if fresh { v } else { (*s).max(v) },
+                                    // add() detects wraparound in the table's
+                                    // overflow flag.
+                                    AggFunc::Sum => w.ht.add(off, i, v),
+                                    AggFunc::Count => w.ht.add(off, i, 1),
+                                    AggFunc::Min => {
+                                        let s = &mut w.ht.states_mut()[off + i];
+                                        *s = if fresh { v } else { (*s).min(v) };
+                                    }
+                                    AggFunc::Max => {
+                                        let s = &mut w.ht.states_mut()[off + i];
+                                        *s = if fresh { v } else { (*s).max(v) };
+                                    }
                                 }
                             }
                             w.ht.set_valid(off);
@@ -946,7 +1176,7 @@ fn exec_groupby_agg(
                                         unreachable!("planner invariant")
                                     }
                                 };
-                                w.ht.states_mut()[off + i] += add;
+                                w.ht.add(off, i, add);
                             }
                             w.ht.or_valid(off, w.cmp[j]);
                         }
@@ -967,7 +1197,7 @@ fn exec_groupby_agg(
                                         unreachable!("planner invariant")
                                     }
                                 };
-                                w.ht.states_mut()[off + i] += add;
+                                w.ht.add(off, i, add);
                             }
                             // Branch-free: the throwaway entry's flag is ignored by
                             // the result iterator, so set it unconditionally.
@@ -976,15 +1206,29 @@ fn exec_groupby_agg(
                     }
                 }
             }
+            let now_bytes = GroupAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
+            charge_growth(&ctx.gauge, &mut w.charged, now_bytes);
         },
-    );
+    )?;
     let ops = merge_ops(aggs);
     let mut iter = partials.into_iter();
-    let mut ht = iter.next().expect("at least one worker partial").ht;
+    let mut ht = iter
+        .next()
+        .ok_or_else(|| PlanError::ExecutionFailed("no worker partials to merge".into()))?
+        .ht;
     for p in iter {
         ht.merge_from(&p.ht, &ops);
     }
-    rows_from_table(group_by, aggs, &ht)
+    if ht.overflow_detected() {
+        // Masked strategies aggregate filtered-out tuples too (wasted work,
+        // § III-A), so the wraparound may be spurious — the caller retries
+        // under the data-centric strategy.
+        return Err(PlanError::Overflow(format!(
+            "group-by aggregation under {}",
+            strategy.name()
+        )));
+    }
+    Ok(rows_from_table(group_by, aggs, &ht))
 }
 
 fn rows_from_table(key_name: &str, aggs: &[AggSpec], ht: &AggTable) -> QueryResult {
@@ -1007,9 +1251,15 @@ fn rows_from_table(key_name: &str, aggs: &[AggSpec], ht: &AggTable) -> QueryResu
 /// Evaluate the build-side predicate mask over the whole build table,
 /// splitting the byte buffer into disjoint tile-aligned chunks across
 /// workers.
-fn build_mask(build: &Table, build_filter: Option<&Expr>, threads: usize) -> Vec<u8> {
+fn build_mask(
+    build: &Table,
+    build_filter: Option<&Expr>,
+    threads: usize,
+    ctx: &ExecCtx,
+) -> Result<Vec<u8>, PlanError> {
+    ctx.gauge.try_charge(build.len())?;
     let mut build_cmp = vec![0u8; build.len()];
-    parallel::fill_partitioned(threads, &mut build_cmp, |chunk_start, slice| {
+    parallel::fill_partitioned(ctx, threads, &mut build_cmp, |chunk_start, slice| {
         for (start, len) in tiles(slice.len()) {
             tile_mask(
                 build_filter,
@@ -1018,8 +1268,8 @@ fn build_mask(build: &Table, build_filter: Option<&Expr>, threads: usize) -> Vec
                 &mut slice[start..start + len],
             );
         }
-    });
-    build_cmp
+    })?;
+    Ok(build_cmp)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1033,32 +1283,45 @@ fn exec_semijoin_agg(
     strategy: SemiJoinStrategy,
     probe_masked: bool,
     opts: ExecOpts,
-) -> QueryResult {
-    // Build phase.
+    ctx: &ExecCtx,
+) -> Result<QueryResult, PlanError> {
+    // Build phase. Each pullup temporary (mask bytes, key-set storage,
+    // bitmap words) is charged to the gauge before it is materialized.
     let build_n = build.len();
-    let build_cmp = build_mask(build, build_filter, opts.threads);
+    let build_cmp = build_mask(build, build_filter, opts.threads, ctx)?;
     enum BuildSide {
         Set(KeySet),
         Bitmap(PositionalBitmap),
     }
+    let bitmap_bytes = build_n.div_ceil(64) * 8;
     let side = match strategy {
         SemiJoinStrategy::Hash => {
             let mut set = KeySet::with_capacity(build_n / 2 + 4);
+            let before = set.size_bytes();
+            ctx.gauge.try_charge(before)?;
             for (pos, &c) in build_cmp.iter().enumerate() {
                 if c != 0 {
                     set.insert(pos as i64);
                 }
             }
+            if set.size_bytes() > before {
+                ctx.gauge.try_charge(set.size_bytes() - before)?;
+            }
             BuildSide::Set(set)
         }
-        SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional) => BuildSide::Bitmap(
-            PositionalBitmap::from_predicate_bytes_parallel(&build_cmp, opts.threads),
-        ),
+        SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional) => {
+            ctx.gauge.try_charge(bitmap_bytes)?;
+            BuildSide::Bitmap(PositionalBitmap::from_predicate_bytes_parallel(
+                &build_cmp,
+                opts.threads,
+            ))
+        }
         SemiJoinStrategy::PositionalBitmap(BitmapBuild::SelectionVector) => {
             let mut sel = Vec::new();
             for (start, len) in tiles(build_n) {
                 selvec::append_nobranch(&build_cmp[start..start + len], start as u32, &mut sel);
             }
+            ctx.gauge.try_charge(sel.len() * 4 + bitmap_bytes)?;
             BuildSide::Bitmap(PositionalBitmap::from_selection(build_n, &sel))
         }
     };
@@ -1066,10 +1329,14 @@ fn exec_semijoin_agg(
     // read-only build side.
     let n = probe.len();
     let partials = parallel::run_morsels(
+        ctx,
         opts.threads,
         n,
         opts.morsel_rows,
-        || ScalarAcc::new(aggs),
+        || {
+            runtime::charge_or_panic(&ctx.gauge, ScalarAcc::scratch_bytes(aggs.len()));
+            ScalarAcc::new(aggs)
+        },
         |w: &mut ScalarAcc, m_start, m_len| {
             for (start, len) in tiles_in(m_start, m_len) {
                 tile_mask(probe_filter, probe, start, &mut w.cmp[..len]);
@@ -1085,12 +1352,13 @@ fn exec_semijoin_agg(
                                 AggFunc::Sum => {
                                     a.expr.eval_values(probe, start, &mut w.val[..len]);
                                     for j in 0..len {
-                                        w.acc[i] += w.val[j] * w.cmp[j] as i64;
+                                        // cmp is 0/1, so the product cannot overflow.
+                                        w.add_sum(i, w.val[j] * w.cmp[j] as i64);
                                     }
                                 }
                                 AggFunc::Count => {
                                     for &c in &w.cmp[..len] {
-                                        w.acc[i] += c as i64;
+                                        w.acc[i] = w.acc[i].wrapping_add(c as i64);
                                     }
                                 }
                                 _ => unreachable!("planner invariant"),
@@ -1104,15 +1372,17 @@ fn exec_semijoin_agg(
                             if a.func != AggFunc::Count {
                                 a.expr.eval_values(probe, start, &mut w.val[..len]);
                             }
-                            for &j in &w.idx[..k] {
-                                let pos = fk[j as usize] as usize;
+                            for t in 0..k {
+                                let j = w.idx[t] as usize;
+                                let pos = fk[j] as usize;
                                 let hit = match side {
                                     BuildSide::Set(set) => set.contains(pos as i64) as i64,
                                     BuildSide::Bitmap(bm) => bm.get_bit(pos) as i64,
                                 };
                                 match a.func {
-                                    AggFunc::Sum => w.acc[i] += w.val[j as usize - start] * hit,
-                                    AggFunc::Count => w.acc[i] += hit,
+                                    // hit is 0/1, so the product cannot overflow.
+                                    AggFunc::Sum => w.add_sum(i, w.val[j - start] * hit),
+                                    AggFunc::Count => w.acc[i] = w.acc[i].wrapping_add(hit),
                                     _ => unreachable!("planner invariant"),
                                 }
                                 if i == 0 {
@@ -1124,17 +1394,22 @@ fn exec_semijoin_agg(
                 }
             }
         },
-    );
-    let (acc, _) = merge_scalar_partials(aggs, partials);
-    QueryResult {
+    )?;
+    let (acc, _, overflow) = merge_scalar_partials(aggs, partials)?;
+    if overflow {
+        return Err(PlanError::Overflow("semijoin aggregation".into()));
+    }
+    Ok(QueryResult {
         columns: aggs.iter().map(|a| a.name.clone()).collect(),
         rows: vec![acc],
-    }
+    })
 }
 
 /// Thread-local state for groupjoin execution.
 struct GroupJoinAcc {
     ht: AggTable,
+    /// Bytes already charged to the gauge for this worker.
+    charged: usize,
     vals: Vec<Vec<i64>>,
 }
 
@@ -1142,8 +1417,13 @@ impl GroupJoinAcc {
     fn new(n_aggs: usize, capacity: usize) -> GroupJoinAcc {
         GroupJoinAcc {
             ht: AggTable::with_capacity(n_aggs, capacity),
+            charged: 0,
             vals: vec![vec![0i64; TILE]; n_aggs],
         }
+    }
+
+    fn scratch_bytes(n_aggs: usize) -> usize {
+        n_aggs * 8 * TILE
     }
 }
 
@@ -1157,17 +1437,25 @@ fn exec_groupjoin_agg(
     aggs: &[AggSpec],
     strategy: GroupJoinStrategy,
     opts: ExecOpts,
-) -> QueryResult {
+    ctx: &ExecCtx,
+) -> Result<QueryResult, PlanError> {
     let n_aggs = aggs.len();
     let build_n = build.len();
-    let build_cmp = build_mask(build, build_filter, opts.threads);
+    let build_cmp = build_mask(build, build_filter, opts.threads, ctx)?;
     let capacity = (build_n / 2).max(16);
+    let init = || {
+        let mut w = GroupJoinAcc::new(n_aggs, capacity);
+        w.charged = GroupJoinAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
+        runtime::charge_or_panic(&ctx.gauge, w.charged);
+        w
+    };
     let partials = match strategy {
         GroupJoinStrategy::GroupJoin => parallel::run_morsels(
+            ctx,
             opts.threads,
             probe.len(),
             opts.morsel_rows,
-            || GroupJoinAcc::new(n_aggs, capacity),
+            init,
             |w: &mut GroupJoinAcc, m_start, m_len| {
                 for (start, len) in tiles_in(m_start, m_len) {
                     for (i, a) in aggs.iter().enumerate() {
@@ -1188,19 +1476,22 @@ fn exec_groupjoin_agg(
                                     AggFunc::Count => 1,
                                     _ => unreachable!("planner invariant"),
                                 };
-                                w.ht.states_mut()[off + i] += add;
+                                w.ht.add(off, i, add);
                             }
                             w.ht.set_valid(off);
                         }
                     }
                 }
+                let now_bytes = GroupJoinAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
+                charge_growth(&ctx.gauge, &mut w.charged, now_bytes);
             },
-        ),
+        )?,
         GroupJoinStrategy::EagerAggregation => parallel::run_morsels(
+            ctx,
             opts.threads,
             probe.len(),
             opts.morsel_rows,
-            || GroupJoinAcc::new(n_aggs, capacity),
+            init,
             |w: &mut GroupJoinAcc, m_start, m_len| {
                 for (start, len) in tiles_in(m_start, m_len) {
                     for (i, a) in aggs.iter().enumerate() {
@@ -1216,17 +1507,22 @@ fn exec_groupjoin_agg(
                                 AggFunc::Count => 1,
                                 _ => unreachable!("planner invariant"),
                             };
-                            w.ht.states_mut()[off + i] += add;
+                            w.ht.add(off, i, add);
                         }
                         w.ht.set_valid(off);
                     }
                 }
+                let now_bytes = GroupJoinAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
+                charge_growth(&ctx.gauge, &mut w.charged, now_bytes);
             },
-        ),
+        )?,
     };
     let ops = merge_ops(aggs);
     let mut iter = partials.into_iter();
-    let mut ht = iter.next().expect("at least one worker partial").ht;
+    let mut ht = iter
+        .next()
+        .ok_or_else(|| PlanError::ExecutionFailed("no worker partials to merge".into()))?
+        .ht;
     for p in iter {
         ht.merge_from(&p.ht, &ops);
     }
@@ -1239,5 +1535,10 @@ fn exec_groupjoin_agg(
             }
         }
     }
-    rows_from_table(fk_col, aggs, &ht)
+    if ht.overflow_detected() {
+        // Eager aggregation sums non-qualifying groups before deleting
+        // them, so the wraparound may be spurious — retried data-centric.
+        return Err(PlanError::Overflow("groupjoin aggregation".into()));
+    }
+    Ok(rows_from_table(fk_col, aggs, &ht))
 }

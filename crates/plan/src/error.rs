@@ -35,6 +35,55 @@ pub enum PlanError {
     },
     /// A result-column accessor named a column the result does not have.
     UnknownResultColumn(String),
+    /// A morsel worker panicked (or the executor hit an unexpected state).
+    /// The panic is contained to the query: sibling workers are cancelled
+    /// at their next morsel boundary and the process keeps running.
+    ExecutionFailed(String),
+    /// The query was cancelled through [`crate::ExecHandle::cancel`].
+    Cancelled {
+        /// Morsels fully processed before the cancellation took effect.
+        morsels_done: usize,
+        /// Morsels the execution had scheduled in total.
+        morsels_total: usize,
+    },
+    /// The session deadline ([`crate::EngineBuilder::deadline`]) elapsed
+    /// mid-execution.
+    DeadlineExceeded {
+        /// Morsels fully processed before the deadline tripped.
+        morsels_done: usize,
+        /// Morsels the execution had scheduled in total.
+        morsels_total: usize,
+    },
+    /// A memory charge would push the query past the session budget
+    /// ([`crate::EngineBuilder::memory_budget`]).
+    BudgetExceeded {
+        /// Bytes the failing allocation site asked for.
+        requested: usize,
+        /// Bytes already charged when the request was made.
+        used: usize,
+        /// The session budget in bytes (0 for an injected allocation
+        /// failure).
+        budget: usize,
+    },
+    /// `i64` overflow was detected while aggregating. Pullup strategies do
+    /// wasted work on filtered tuples, so the overflow may be spurious; the
+    /// engine retries such queries under the data-centric strategy.
+    Overflow(String),
+}
+
+impl PlanError {
+    /// `true` for runtime failures the engine may retry once under the
+    /// data-centric fallback strategy (worker panics, budget exhaustion,
+    /// detected overflow). Cancellation and deadline expiry are *not*
+    /// retryable: the caller asked execution to stop.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PlanError::ExecutionFailed(_)
+                | PlanError::BudgetExceeded { .. }
+                | PlanError::Overflow(_)
+        )
+    }
 }
 
 impl fmt::Display for PlanError {
@@ -55,6 +104,33 @@ impl fmt::Display for PlanError {
             PlanError::UnknownResultColumn(c) => {
                 write!(f, "no column named {c} in the result")
             }
+            PlanError::ExecutionFailed(msg) => {
+                write!(f, "execution failed: {msg}")
+            }
+            PlanError::Cancelled {
+                morsels_done,
+                morsels_total,
+            } => write!(
+                f,
+                "query cancelled after {morsels_done}/{morsels_total} morsels"
+            ),
+            PlanError::DeadlineExceeded {
+                morsels_done,
+                morsels_total,
+            } => write!(
+                f,
+                "deadline exceeded after {morsels_done}/{morsels_total} morsels"
+            ),
+            PlanError::BudgetExceeded {
+                requested,
+                used,
+                budget,
+            } => write!(
+                f,
+                "memory budget exceeded: requested {requested} B with {used} B \
+                 charged of a {budget} B budget"
+            ),
+            PlanError::Overflow(what) => write!(f, "i64 overflow detected: {what}"),
         }
     }
 }

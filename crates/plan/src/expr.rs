@@ -261,10 +261,13 @@ impl Expr {
             Expr::Col(name) => table.column_required(name).get_i64(row),
             Expr::Lit(v) => *v,
             Expr::Cmp(op, a, b) => op.apply(a.eval_row(table, row), b.eval_row(table, row)) as i64,
-            Expr::Add(a, b) => a.eval_row(table, row) + b.eval_row(table, row),
-            Expr::Sub(a, b) => a.eval_row(table, row) - b.eval_row(table, row),
-            Expr::Mul(a, b) => a.eval_row(table, row) * b.eval_row(table, row),
-            Expr::Div(a, b) => a.eval_row(table, row) / b.eval_row(table, row),
+            // Explicit wrapping arithmetic: identical results in debug and
+            // release builds (division by zero still panics; the engine's
+            // isolation domain converts that into a typed error).
+            Expr::Add(a, b) => a.eval_row(table, row).wrapping_add(b.eval_row(table, row)),
+            Expr::Sub(a, b) => a.eval_row(table, row).wrapping_sub(b.eval_row(table, row)),
+            Expr::Mul(a, b) => a.eval_row(table, row).wrapping_mul(b.eval_row(table, row)),
+            Expr::Div(a, b) => a.eval_row(table, row).wrapping_div(b.eval_row(table, row)),
             Expr::And(a, b) => (a.eval_row(table, row) != 0 && b.eval_row(table, row) != 0) as i64,
             Expr::Or(a, b) => (a.eval_row(table, row) != 0 || b.eval_row(table, row) != 0) as i64,
             Expr::Not(a) => (a.eval_row(table, row) == 0) as i64,
@@ -373,12 +376,14 @@ impl Expr {
         match self {
             Expr::Col(name) => copy_column(table.column_required(name), start, out),
             Expr::Lit(v) => out.fill(*v),
+            // Arithmetic wraps explicitly — same results under debug,
+            // release, and `-C overflow-checks=on` builds.
             Expr::Add(a, b) => {
                 a.eval_values(table, start, out);
                 let mut rhs = vec![0i64; len];
                 b.eval_values(table, start, &mut rhs);
                 for j in 0..len {
-                    out[j] += rhs[j];
+                    out[j] = out[j].wrapping_add(rhs[j]);
                 }
             }
             Expr::Sub(a, b) => {
@@ -386,7 +391,7 @@ impl Expr {
                 let mut rhs = vec![0i64; len];
                 b.eval_values(table, start, &mut rhs);
                 for j in 0..len {
-                    out[j] -= rhs[j];
+                    out[j] = out[j].wrapping_sub(rhs[j]);
                 }
             }
             Expr::Mul(a, b) => {
@@ -394,7 +399,7 @@ impl Expr {
                 let mut rhs = vec![0i64; len];
                 b.eval_values(table, start, &mut rhs);
                 for j in 0..len {
-                    out[j] *= rhs[j];
+                    out[j] = out[j].wrapping_mul(rhs[j]);
                 }
             }
             Expr::Div(a, b) => {
@@ -402,7 +407,7 @@ impl Expr {
                 let mut rhs = vec![0i64; len];
                 b.eval_values(table, start, &mut rhs);
                 for j in 0..len {
-                    out[j] /= rhs[j];
+                    out[j] = out[j].wrapping_div(rhs[j]);
                 }
             }
             Expr::Case {
@@ -416,6 +421,7 @@ impl Expr {
                 let mut other = vec![0i64; len];
                 otherwise.eval_values(table, start, &mut other);
                 for j in 0..len {
+                    // 0/1 blend: neither product nor their sum can overflow.
                     let m = mask[j] as i64;
                     out[j] = out[j] * m + other[j] * (1 - m);
                 }

@@ -93,9 +93,11 @@ pub fn run(db: &Database, plan: &LogicalPlan) -> Result<QueryResult, PlanError> 
 }
 
 fn accumulate(acc: &mut i64, spec: &AggSpec, table: &swole_storage::Table, row: usize) {
+    // Wrapping accumulation matches the engine's kernels exactly, so
+    // fallback results stay bit-identical even on wraparound inputs.
     match spec.func {
-        AggFunc::Count => *acc += 1,
-        AggFunc::Sum => *acc += spec.expr.eval_row(table, row),
+        AggFunc::Count => *acc = acc.wrapping_add(1),
+        AggFunc::Sum => *acc = acc.wrapping_add(spec.expr.eval_row(table, row)),
         AggFunc::Min => *acc = (*acc).min(spec.expr.eval_row(table, row)),
         AggFunc::Max => *acc = (*acc).max(spec.expr.eval_row(table, row)),
     }

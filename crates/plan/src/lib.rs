@@ -20,6 +20,14 @@
 //! scan → filter → (scalar | group-by) aggregation, FK semijoin +
 //! aggregation, and FK groupjoin. Unsupported shapes return
 //! [`PlanError::Unsupported`] rather than silently falling back.
+//!
+//! Execution is hardened: morsel workers run under panic isolation, a
+//! session can set [`EngineBuilder::deadline`] and
+//! [`EngineBuilder::memory_budget`], in-flight queries can be cancelled
+//! through an [`ExecHandle`], and a pullup strategy that fails a runtime
+//! precondition (panic, budget, detected overflow) is retried once under
+//! the data-centric interpreter — recorded in [`Explain`]. The [`faults`]
+//! module injects such failures for tests.
 
 #![warn(missing_docs)]
 
@@ -27,10 +35,12 @@ mod catalog;
 mod engine;
 mod error;
 pub mod expr;
+pub mod faults;
 pub mod interp;
 mod logical;
 mod parallel;
 pub mod physical;
+mod runtime;
 pub mod sql;
 pub mod stats;
 
@@ -39,4 +49,5 @@ pub use engine::{Engine, EngineBuilder, Explain, QueryResult};
 pub use error::PlanError;
 pub use expr::{AggFunc, CmpOp, Expr};
 pub use logical::{AggSpec, LogicalPlan, QueryBuilder};
+pub use runtime::{ExecHandle, MemGauge};
 pub use sql::{parse as parse_sql, SqlError};

@@ -13,9 +13,21 @@
 //! `threads == 1` runs the same worker body inline on the caller's thread —
 //! no scheduling, no atomics — so single-thread execution has no parallel
 //! tax and multi-thread equivalence is against the genuine sequential path.
+//!
+//! **Hardening:** every worker (and the inline sequential path) runs under
+//! `catch_unwind`. A panic trips the shared [`ExecCtx`], sibling workers
+//! notice at their next morsel boundary and stop claiming, and the panic
+//! surfaces as a typed [`PlanError`] — the process never aborts. The same
+//! morsel boundary is the cooperative cancellation/deadline check, and the
+//! claimed morsel index feeds the fault-injection harness.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use swole_kernels::{morsels, TILE};
+
+use crate::error::PlanError;
+use crate::faults;
+use crate::runtime::{panic_payload_error, ExecCtx};
+use swole_kernels::TILE;
 
 /// A shared dispenser of tile-aligned morsel bounds over `0..n_rows`.
 struct MorselQueue {
@@ -34,80 +46,207 @@ impl MorselQueue {
         }
     }
 
-    /// Claim the next `(start, len)` morsel, or `None` when the scan is
-    /// exhausted.
-    fn claim(&self) -> Option<(usize, usize)> {
+    /// Claim the next `(start, len, index)` morsel, or `None` when the scan
+    /// is exhausted. The index is `start / step`, so a given index names
+    /// the same rows at any thread count — what makes injected faults
+    /// deterministic.
+    fn claim(&self) -> Option<(usize, usize, usize)> {
         let start = self.next.fetch_add(self.step, Ordering::Relaxed);
         if start >= self.n_rows {
             return None;
         }
-        Some((start, self.step.min(self.n_rows - start)))
+        Some((start, self.step.min(self.n_rows - start), start / self.step))
     }
+
+    fn total(&self) -> usize {
+        self.n_rows.div_ceil(self.step)
+    }
+}
+
+/// How a worker left its claim loop.
+enum Exit<T> {
+    /// Queue exhausted; the worker's partial accumulator.
+    Done(T),
+    /// The worker itself hit a failure (panic, cancellation, deadline,
+    /// budget charge).
+    Interrupt(PlanError),
+    /// A sibling tripped the context; this worker stopped early and its
+    /// partial is meaningless.
+    Stopped,
+}
+
+/// Why the claim loop stopped before the queue was exhausted.
+enum Stop {
+    Interrupt(PlanError),
+    Sibling,
+}
+
+/// One worker: init an accumulator, then claim morsels until the queue is
+/// dry, the context trips, or a cooperative check fails. The whole loop —
+/// including `init`, so budget charges for worker scratch are covered —
+/// runs under `catch_unwind`.
+fn run_worker<T, I, B>(ctx: &ExecCtx, queue: &MorselQueue, init: &I, body: &B) -> Exit<T>
+where
+    I: Fn() -> T,
+    B: Fn(&mut T, usize, usize),
+{
+    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<T, Stop> {
+        let mut local = init();
+        loop {
+            if ctx.tripped() {
+                return Err(Stop::Sibling);
+            }
+            if let Err(e) = ctx.check() {
+                return Err(Stop::Interrupt(e));
+            }
+            let Some((start, len, index)) = queue.claim() else {
+                return Ok(local);
+            };
+            faults::maybe_panic_at_morsel(index);
+            body(&mut local, start, len);
+            ctx.morsel_done();
+        }
+    }));
+    match caught {
+        Ok(Ok(local)) => Exit::Done(local),
+        Ok(Err(Stop::Interrupt(e))) => {
+            ctx.trip();
+            Exit::Interrupt(e)
+        }
+        Ok(Err(Stop::Sibling)) => Exit::Stopped,
+        Err(payload) => {
+            ctx.trip();
+            Exit::Interrupt(panic_payload_error(payload))
+        }
+    }
+}
+
+/// Pick the most actionable error when several workers failed at once:
+/// budget exhaustion and overflow identify the *cause*, a generic panic the
+/// symptom, and cancellation/deadline merely the stop request.
+fn pick_error(errors: Vec<PlanError>) -> PlanError {
+    let rank = |e: &PlanError| match e {
+        PlanError::BudgetExceeded { .. } => 0,
+        PlanError::Overflow(_) => 1,
+        PlanError::ExecutionFailed(_) => 2,
+        PlanError::Cancelled { .. } => 3,
+        PlanError::DeadlineExceeded { .. } => 4,
+        _ => 5,
+    };
+    errors
+        .into_iter()
+        .min_by_key(rank)
+        .unwrap_or_else(|| PlanError::ExecutionFailed("worker failed without an error".into()))
 }
 
 /// Run `body` over every morsel of `0..n_rows` on `threads` workers, each
 /// folding into its own `init()`-built accumulator. Returns all per-worker
 /// accumulators (workers that claimed no morsel still return theirs) for
-/// the caller's merge phase.
+/// the caller's merge phase, or the highest-priority failure if any worker
+/// was interrupted.
 pub(crate) fn run_morsels<T, I, B>(
+    ctx: &ExecCtx,
     threads: usize,
     n_rows: usize,
     morsel_rows: usize,
     init: I,
     body: B,
-) -> Vec<T>
+) -> Result<Vec<T>, PlanError>
 where
     T: Send,
     I: Fn() -> T + Sync,
     B: Fn(&mut T, usize, usize) + Sync,
 {
-    if threads <= 1 {
-        let mut local = init();
-        for (start, len) in morsels(n_rows, morsel_rows) {
-            body(&mut local, start, len);
-        }
-        return vec![local];
-    }
     let queue = MorselQueue::new(n_rows, morsel_rows);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let (queue, init, body) = (&queue, &init, &body);
+    ctx.add_morsels_total(queue.total());
+    let exits: Vec<Exit<T>> = if threads <= 1 {
+        vec![run_worker(ctx, &queue, &init, &body)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (ctx, queue, init, body) = (&*ctx, &queue, &init, &body);
+                    scope.spawn(move || run_worker(ctx, queue, init, body))
+                })
+                .collect();
+            handles
+                .into_iter()
+                // The worker caught its own panics, so join never fails.
+                .map(|h| h.join().unwrap_or(Exit::Stopped))
+                .collect()
+        })
+    };
+    let mut partials = Vec::with_capacity(exits.len());
+    let mut errors = Vec::new();
+    let mut stopped = false;
+    for exit in exits {
+        match exit {
+            Exit::Done(t) => partials.push(t),
+            Exit::Interrupt(e) => errors.push(e),
+            Exit::Stopped => stopped = true,
+        }
+    }
+    if !errors.is_empty() {
+        return Err(pick_error(errors));
+    }
+    if stopped {
+        // Tripped by a failure in an earlier phase of the same query.
+        return Err(PlanError::ExecutionFailed(
+            "execution stopped by an earlier failure".into(),
+        ));
+    }
+    Ok(partials)
+}
+
+/// Fill `out` by handing each worker a disjoint contiguous tile-aligned
+/// chunk — for build phases that materialize one byte per row (predicate
+/// masks) and need workers writing straight into the shared buffer. Chunk
+/// workers run under the same panic-isolation domain as morsel workers.
+pub(crate) fn fill_partitioned<B>(
+    ctx: &ExecCtx,
+    threads: usize,
+    out: &mut [u8],
+    body: B,
+) -> Result<(), PlanError>
+where
+    B: Fn(usize, &mut [u8]) + Sync,
+{
+    ctx.check()?;
+    let n = out.len();
+    if threads <= 1 || n < 2 * TILE {
+        return catch_unwind(AssertUnwindSafe(|| body(0, out))).map_err(|payload| {
+            ctx.trip();
+            panic_payload_error(payload)
+        });
+    }
+    let chunk = n.div_ceil(threads).div_ceil(TILE).max(1) * TILE;
+    let results: Vec<Result<(), PlanError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, slice)| {
+                let body = &body;
                 scope.spawn(move || {
-                    let mut local = init();
-                    while let Some((start, len)) = queue.claim() {
-                        body(&mut local, start, len);
-                    }
-                    local
+                    catch_unwind(AssertUnwindSafe(|| body(i * chunk, slice)))
+                        .map_err(panic_payload_error)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("morsel worker panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(PlanError::ExecutionFailed("chunk worker died".into())))
+            })
             .collect()
-    })
-}
-
-/// Fill `out` by handing each worker a disjoint contiguous tile-aligned
-/// chunk — for build phases that materialize one byte per row (predicate
-/// masks) and need workers writing straight into the shared buffer.
-pub(crate) fn fill_partitioned<B>(threads: usize, out: &mut [u8], body: B)
-where
-    B: Fn(usize, &mut [u8]) + Sync,
-{
-    let n = out.len();
-    if threads <= 1 || n < 2 * TILE {
-        body(0, out);
-        return;
-    }
-    let chunk = n.div_ceil(threads).div_ceil(TILE).max(1) * TILE;
-    std::thread::scope(|scope| {
-        for (i, slice) in out.chunks_mut(chunk).enumerate() {
-            let body = &body;
-            scope.spawn(move || body(i * chunk, slice));
-        }
     });
+    let errors: Vec<PlanError> = results.into_iter().filter_map(Result::err).collect();
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        ctx.trip();
+        Err(pick_error(errors))
+    }
 }
 
 #[cfg(test)]
@@ -118,13 +257,16 @@ mod tests {
     fn all_rows_claimed_exactly_once() {
         for threads in [1usize, 2, 7] {
             for n in [0usize, 1, TILE, 10 * TILE + 13] {
+                let ctx = ExecCtx::unbounded();
                 let partials = run_morsels(
+                    &ctx,
                     threads,
                     n,
                     2 * TILE,
                     Vec::new,
                     |seen: &mut Vec<(usize, usize)>, start, len| seen.push((start, len)),
-                );
+                )
+                .expect("no faults armed");
                 let mut all: Vec<_> = partials.into_iter().flatten().collect();
                 all.sort_unstable();
                 let covered: usize = all.iter().map(|&(_, l)| l).sum();
@@ -141,15 +283,59 @@ mod tests {
     #[test]
     fn fill_partitioned_covers_buffer() {
         for threads in [1usize, 3, 8] {
+            let ctx = ExecCtx::unbounded();
             let mut out = vec![0u8; 5 * TILE + 100];
-            fill_partitioned(threads, &mut out, |start, slice| {
+            fill_partitioned(&ctx, threads, &mut out, |start, slice| {
                 for (i, b) in slice.iter_mut().enumerate() {
                     *b = ((start + i) % 251) as u8;
                 }
-            });
+            })
+            .expect("no faults armed");
             for (i, &b) in out.iter().enumerate() {
                 assert_eq!(b, (i % 251) as u8, "threads={threads} i={i}");
             }
         }
+    }
+
+    #[test]
+    fn worker_panic_is_contained() {
+        for threads in [1usize, 4] {
+            let ctx = ExecCtx::unbounded();
+            let err = run_morsels(
+                &ctx,
+                threads,
+                8 * TILE,
+                TILE,
+                || (),
+                |_, start, _| {
+                    if start == 3 * TILE {
+                        panic!("boom at {start}");
+                    }
+                },
+            )
+            .expect_err("panic must surface as an error");
+            match err {
+                PlanError::ExecutionFailed(msg) => assert!(msg.contains("boom"), "{msg}"),
+                other => panic!("unexpected error: {other:?}"),
+            }
+            assert!(ctx.tripped());
+        }
+    }
+
+    #[test]
+    fn typed_panic_payload_passes_through() {
+        let ctx = ExecCtx::unbounded();
+        let err = run_morsels(
+            &ctx,
+            2,
+            4 * TILE,
+            TILE,
+            || (),
+            |_, _, _| {
+                std::panic::panic_any(PlanError::Overflow("synthetic".into()));
+            },
+        )
+        .expect_err("typed panic must surface");
+        assert_eq!(err, PlanError::Overflow("synthetic".into()));
     }
 }

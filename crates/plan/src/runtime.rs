@@ -1,0 +1,239 @@
+//! Execution-hardening runtime: cancellation tokens, deadlines, and memory
+//! budgets.
+//!
+//! One [`ExecCtx`] is created per query and shared by reference with every
+//! morsel worker. Workers consult it at morsel boundaries (cooperative
+//! cancellation — there is no preemption) and charge it before materializing
+//! pullup temporaries (masks, bitmaps, hash tables, per-worker scratch).
+//! All counters are relaxed atomics; the context adds no synchronization to
+//! the tile loops themselves.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::PlanError;
+use crate::faults;
+
+/// Byte-accounting gauge enforcing a per-query memory budget.
+///
+/// The executor charges the gauge at every allocation site that scales with
+/// input size — predicate masks, positional bitmaps, key sets, aggregation
+/// hash tables (including growth), and per-worker tile scratch. A charge
+/// that would push the total past the budget fails with
+/// [`PlanError::BudgetExceeded`] *before* the allocation happens, so a
+/// too-small budget degrades into a typed error instead of an OOM kill.
+///
+/// The gauge lives for one query; bytes are never released, which
+/// overestimates transient peaks but keeps the hot path to a single
+/// `fetch_add`.
+#[derive(Debug)]
+pub struct MemGauge {
+    used: AtomicUsize,
+    /// `usize::MAX` means unlimited.
+    budget: usize,
+}
+
+impl MemGauge {
+    pub(crate) fn new(budget: Option<usize>) -> MemGauge {
+        MemGauge {
+            used: AtomicUsize::new(0),
+            budget: budget.unwrap_or(usize::MAX),
+        }
+    }
+
+    /// Charge `bytes` against the budget. Fails if the budget would be
+    /// exceeded, or if the fault harness has an allocation failure armed
+    /// for this charge.
+    pub fn try_charge(&self, bytes: usize) -> Result<(), PlanError> {
+        if faults::charge_should_fail() {
+            return Err(PlanError::BudgetExceeded {
+                requested: bytes,
+                used: self.used(),
+                budget: 0,
+            });
+        }
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > self.budget {
+            return Err(PlanError::BudgetExceeded {
+                requested: bytes,
+                used: prev,
+                budget: self.budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// Bytes charged so far.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The configured budget, if one was set.
+    pub fn budget(&self) -> Option<usize> {
+        (self.budget != usize::MAX).then_some(self.budget)
+    }
+}
+
+/// Charge the gauge from a context where returning `Err` is impossible
+/// (worker init closures, hash-table growth inside a tile loop). A failed
+/// charge panics with the typed error as payload; the worker's
+/// `catch_unwind` harness downcasts it back to the original `PlanError`.
+pub(crate) fn charge_or_panic(gauge: &MemGauge, bytes: usize) {
+    if let Err(e) = gauge.try_charge(bytes) {
+        std::panic::panic_any(e);
+    }
+}
+
+/// Convert a caught panic payload back into a typed error. Payloads thrown
+/// via `panic_any(PlanError)` (budget charges inside infallible code) pass
+/// through unchanged; string panics become `ExecutionFailed`.
+pub(crate) fn panic_payload_error(payload: Box<dyn std::any::Any + Send>) -> PlanError {
+    if let Some(e) = payload.downcast_ref::<PlanError>() {
+        return e.clone();
+    }
+    let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    };
+    PlanError::ExecutionFailed(msg)
+}
+
+/// Run `f` in a panic-isolation domain: any panic is caught and surfaced
+/// as a typed [`PlanError`] instead of unwinding into the caller.
+///
+/// `AssertUnwindSafe` is sound here because a failed query's state is
+/// discarded wholesale — the engine either retries data-centric on a fresh
+/// context or returns the error; nothing observes half-updated scratch.
+pub(crate) fn isolate<T>(f: impl FnOnce() -> Result<T, PlanError>) -> Result<T, PlanError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(panic_payload_error(payload)),
+    }
+}
+
+/// Shared cancellation flag behind [`ExecHandle`].
+#[derive(Debug, Default)]
+pub(crate) struct CancelState {
+    cancelled: AtomicBool,
+}
+
+/// Cancellation token for an [`crate::Engine`] session.
+///
+/// Obtained from [`crate::Engine::handle`]; cloneable and sendable, so it
+/// can cancel a query running on another thread. Cancellation is
+/// cooperative: workers observe it at their next morsel boundary and the
+/// query returns [`PlanError::Cancelled`] with partial-progress counts.
+/// The flag is sticky — call [`ExecHandle::reset`] before reusing the
+/// engine for further queries.
+#[derive(Debug, Clone)]
+pub struct ExecHandle {
+    state: Arc<CancelState>,
+}
+
+impl ExecHandle {
+    pub(crate) fn new(state: Arc<CancelState>) -> ExecHandle {
+        ExecHandle { state }
+    }
+
+    /// Request cancellation of the session's in-flight (and future)
+    /// queries.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`ExecHandle::cancel`] has been called (and not reset).
+    pub fn is_cancelled(&self) -> bool {
+        self.state.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Clear the cancellation flag so the engine accepts queries again.
+    pub fn reset(&self) {
+        self.state.cancelled.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Per-query execution context: cancellation, deadline, budget, progress.
+pub(crate) struct ExecCtx {
+    cancel: Arc<CancelState>,
+    /// Absolute deadline on the (possibly fault-skewed) deadline clock.
+    deadline: Option<Instant>,
+    /// The query's memory gauge.
+    pub(crate) gauge: MemGauge,
+    /// Set when any worker panics; siblings exit at their next boundary.
+    tripped: AtomicBool,
+    morsels_done: AtomicUsize,
+    morsels_total: AtomicUsize,
+}
+
+impl ExecCtx {
+    pub(crate) fn new(
+        cancel: Arc<CancelState>,
+        deadline: Option<Duration>,
+        budget: Option<usize>,
+    ) -> ExecCtx {
+        ExecCtx {
+            cancel,
+            deadline: deadline.map(|d| Instant::now() + d),
+            gauge: MemGauge::new(budget),
+            tripped: AtomicBool::new(false),
+            morsels_done: AtomicUsize::new(0),
+            morsels_total: AtomicUsize::new(0),
+        }
+    }
+
+    /// A context with no handle, deadline, or budget (unit tests).
+    #[cfg(test)]
+    pub(crate) fn unbounded() -> ExecCtx {
+        ExecCtx::new(Arc::new(CancelState::default()), None, None)
+    }
+
+    /// The cooperative check run at every morsel boundary (and once before
+    /// dispatch, so zero-morsel inputs still observe a 0ms deadline).
+    /// Cancellation wins over deadline expiry when both hold.
+    pub(crate) fn check(&self) -> Result<(), PlanError> {
+        if self.cancel.cancelled.load(Ordering::Relaxed) {
+            return Err(PlanError::Cancelled {
+                morsels_done: self.morsels_done.load(Ordering::Relaxed),
+                morsels_total: self.morsels_total.load(Ordering::Relaxed),
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            if faults::now() >= deadline {
+                return Err(PlanError::DeadlineExceeded {
+                    morsels_done: self.morsels_done.load(Ordering::Relaxed),
+                    morsels_total: self.morsels_total.load(Ordering::Relaxed),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Mark the context failed so sibling workers stop claiming morsels.
+    pub(crate) fn trip(&self) {
+        self.tripped.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn morsel_done(&self) {
+        self.morsels_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_morsels_total(&self, n: usize) {
+        self.morsels_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `(morsels_done, morsels_total)` for progress reporting.
+    pub(crate) fn progress(&self) -> (usize, usize) {
+        (
+            self.morsels_done.load(Ordering::Relaxed),
+            self.morsels_total.load(Ordering::Relaxed),
+        )
+    }
+}

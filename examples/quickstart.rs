@@ -69,6 +69,10 @@ fn main() {
     );
     println!(
         "ratio_sum = {}",
-        engine.query(&heavy).expect("executes").scalar("ratio_sum")
+        engine
+            .query(&heavy)
+            .expect("executes")
+            .try_scalar("ratio_sum")
+            .unwrap()
     );
 }

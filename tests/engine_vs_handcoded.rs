@@ -93,7 +93,7 @@ fn engine_matches_handcoded_q4() {
             physical.semijoin_strategy(),
             Some(SemiJoinStrategy::PositionalBitmap(_))
         ));
-        let got = engine.execute(&physical);
+        let got = engine.execute(&physical).expect("executes");
         let (expected, _) = swole_micro::q4::swole(&db, sel1, sel2, &cost);
         assert_eq!(got.rows[0][0], expected, "sel1={sel1} sel2={sel2}");
     }

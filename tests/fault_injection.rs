@@ -1,0 +1,210 @@
+//! Fault-injection suite: the engine must never abort the process.
+//!
+//! Every test arms a hook from `swole::plan::faults` — a worker panic at a
+//! chosen morsel, an allocation failure at a chosen memory charge, or
+//! deadline-clock skew — and asserts that the query either completes
+//! (possibly via the recorded data-centric fallback, bit-identical to the
+//! interpreter ground truth) or returns a typed [`PlanError`].
+//!
+//! The hooks are process-global, so tests here serialize on a mutex; the
+//! harness itself is one-shot and RAII-disarmed, so a failing test cannot
+//! leak a fault into its neighbours.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+use swole::plan::{faults, interp};
+use swole::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Rows per morsel (pinned via `tile_rows`) and total rows: 8 morsels.
+const MORSEL: usize = 1024;
+const N_ROWS: usize = 8 * MORSEL;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Deterministic R(x, a, b, c, fk) → S(y) database, sized for 8 morsels.
+fn make_db(n_s: usize) -> Database {
+    let mut state = 0x0005_001e_5eed_u64;
+    let mut next = move |m: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("R")
+            .with_column(
+                "x",
+                ColumnData::I8((0..N_ROWS).map(|_| next(100) as i8).collect()),
+            )
+            .with_column(
+                "a",
+                ColumnData::I32((0..N_ROWS).map(|_| next(50) as i32 + 1).collect()),
+            )
+            .with_column(
+                "b",
+                ColumnData::I32((0..N_ROWS).map(|_| next(50) as i32 + 1).collect()),
+            )
+            .with_column(
+                "c",
+                ColumnData::I16((0..N_ROWS).map(|_| next(16) as i16).collect()),
+            )
+            .with_column(
+                "fk",
+                ColumnData::U32((0..N_ROWS).map(|_| next(n_s as u64) as u32).collect()),
+            ),
+    );
+    db.add_table(Table::new("S").with_column(
+        "y",
+        ColumnData::I8((0..n_s).map(|_| next(100) as i8).collect()),
+    ));
+    db
+}
+
+fn engine(threads: usize) -> Engine {
+    Engine::builder(make_db(512))
+        .threads(threads)
+        .tile_rows(MORSEL)
+        .build()
+}
+
+fn groupby_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(60)))
+        .aggregate(
+            Some("c"),
+            vec![
+                AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                AggSpec::count("n"),
+            ],
+        )
+}
+
+fn scalar_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(30)))
+        .aggregate(None, vec![AggSpec::sum(Expr::col("a"), "s")])
+}
+
+fn semijoin_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .semijoin(
+            QueryBuilder::scan("S").filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(50))),
+            "fk",
+        )
+        .aggregate(
+            None,
+            vec![AggSpec::sum(Expr::col("a"), "s"), AggSpec::count("n")],
+        )
+}
+
+#[test]
+fn worker_panic_falls_back_bit_identical() {
+    let _s = serial();
+    for threads in THREADS {
+        let e = engine(threads);
+        for plan in [groupby_plan(), scalar_plan(), semijoin_plan()] {
+            let truth = interp::run(e.database(), &plan).expect("interp runs");
+            let guard = faults::inject_panic_at_morsel(3);
+            let got = e.query(&plan).expect("query recovers via fallback");
+            drop(guard);
+            assert_eq!(got.rows, truth.rows, "threads={threads}");
+            let report = e.explain(&plan).expect("explains").runtime;
+            assert!(
+                report.iter().any(|l| l.contains("injected fault")),
+                "primary failure recorded: {report:?}"
+            );
+            assert!(
+                report
+                    .iter()
+                    .any(|l| l.contains("fell back to data-centric interpreter: ok")),
+                "fallback recorded: {report:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn panic_at_every_morsel_never_aborts() {
+    let _s = serial();
+    let e = engine(4);
+    let plan = groupby_plan();
+    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    for morsel in 0..(N_ROWS / MORSEL) {
+        let guard = faults::inject_panic_at_morsel(morsel);
+        let got = e.query(&plan).expect("query recovers via fallback");
+        drop(guard);
+        assert_eq!(got.rows, truth.rows, "morsel={morsel}");
+    }
+}
+
+#[test]
+fn alloc_failure_falls_back_bit_identical() {
+    let _s = serial();
+    for threads in THREADS {
+        for nth in [0usize, 1, 2] {
+            let e = engine(threads);
+            for plan in [groupby_plan(), semijoin_plan()] {
+                let truth = interp::run(e.database(), &plan).expect("interp runs");
+                let guard = faults::inject_alloc_failure_at_charge(nth);
+                let got = e.query(&plan).expect("query recovers via fallback");
+                drop(guard);
+                assert_eq!(got.rows, truth.rows, "threads={threads} nth={nth}");
+            }
+        }
+    }
+}
+
+#[test]
+fn clock_skew_expires_deadline_without_retry() {
+    let _s = serial();
+    let e = Engine::builder(make_db(512))
+        .threads(2)
+        .tile_rows(MORSEL)
+        .deadline(Duration::from_secs(3600))
+        .build();
+    let plan = groupby_plan();
+    let guard = faults::inject_clock_skew(Duration::from_secs(7200));
+    let err = e
+        .query(&plan)
+        .expect_err("skewed clock expires the deadline");
+    drop(guard);
+    assert!(
+        matches!(err, PlanError::DeadlineExceeded { .. }),
+        "got {err:?}"
+    );
+    // Deadline expiry is not a runtime fault — no fallback attempt.
+    let report = e.explain(&plan).expect("explains").runtime;
+    assert!(
+        !report.iter().any(|l| l.contains("fell back")),
+        "deadline must not trigger fallback: {report:?}"
+    );
+    // With the skew gone the same session (deadlines are per-query) works.
+    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    assert_eq!(e.query(&plan).expect("runs clean").rows, truth.rows);
+}
+
+#[test]
+fn disarmed_hooks_are_free_of_side_effects() {
+    let _s = serial();
+    faults::disarm_all();
+    let e = engine(2);
+    let plan = scalar_plan();
+    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    let got = e.query(&plan).expect("runs");
+    assert_eq!(got.rows, truth.rows);
+    let report = e.explain(&plan).expect("explains").runtime;
+    assert!(
+        report
+            .iter()
+            .any(|l| l.contains(": ok") && l.contains("B charged")),
+        "clean run recorded: {report:?}"
+    );
+}

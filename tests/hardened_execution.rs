@@ -1,0 +1,231 @@
+//! Deadlines, memory budgets, cancellation, and overflow degradation —
+//! the hardened-execution acceptance suite.
+//!
+//! A 0ms deadline or a 1-byte budget must produce the corresponding typed
+//! error deterministically at any thread count; cancellation via
+//! [`ExecHandle`] must stop queries from another thread and be reversible
+//! with [`ExecHandle::reset`]; detected `i64` overflow under a masked
+//! strategy must degrade to the data-centric interpreter with the fallback
+//! recorded in EXPLAIN.
+
+use std::time::Duration;
+use swole::plan::interp;
+use swole::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const MORSEL: usize = 1024;
+const N_ROWS: usize = 4 * MORSEL;
+
+fn make_db() -> Database {
+    let mut state = 0xdead_11eeu64;
+    let mut next = move |m: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("R")
+            .with_column(
+                "x",
+                ColumnData::I8((0..N_ROWS).map(|_| next(100) as i8).collect()),
+            )
+            .with_column(
+                "a",
+                ColumnData::I32((0..N_ROWS).map(|_| next(50) as i32 + 1).collect()),
+            )
+            .with_column(
+                "c",
+                ColumnData::I16((0..N_ROWS).map(|_| next(8) as i16).collect()),
+            ),
+    );
+    db
+}
+
+fn groupby_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(60)))
+        .aggregate(Some("c"), vec![AggSpec::sum(Expr::col("a"), "s")])
+}
+
+fn scalar_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(30)))
+        .aggregate(None, vec![AggSpec::sum(Expr::col("a"), "s")])
+}
+
+#[test]
+fn zero_deadline_is_deterministic_at_any_thread_count() {
+    for threads in THREADS {
+        let e = Engine::builder(make_db())
+            .threads(threads)
+            .tile_rows(MORSEL)
+            .deadline(Duration::ZERO)
+            .build();
+        for plan in [groupby_plan(), scalar_plan()] {
+            match e.query(&plan) {
+                Err(PlanError::DeadlineExceeded {
+                    morsels_done,
+                    morsels_total,
+                }) => assert!(morsels_done <= morsels_total, "threads={threads}"),
+                other => panic!("threads={threads}: expected DeadlineExceeded, got {other:?}"),
+            }
+            let report = e.explain(&plan).expect("explains").runtime;
+            assert!(
+                report.iter().any(|l| l.contains("deadline exceeded")),
+                "outcome recorded: {report:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_byte_budget_is_deterministic_at_any_thread_count() {
+    for threads in THREADS {
+        let e = Engine::builder(make_db())
+            .threads(threads)
+            .tile_rows(MORSEL)
+            .memory_budget(1)
+            .build();
+        for plan in [groupby_plan(), scalar_plan()] {
+            match e.query(&plan) {
+                Err(PlanError::BudgetExceeded { budget, .. }) => {
+                    assert_eq!(budget, 1, "threads={threads}")
+                }
+                other => panic!("threads={threads}: expected BudgetExceeded, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn generous_limits_do_not_interfere() {
+    let e = Engine::builder(make_db())
+        .threads(2)
+        .tile_rows(MORSEL)
+        .deadline(Duration::from_secs(3600))
+        .memory_budget(1 << 30)
+        .build();
+    let plan = groupby_plan();
+    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    assert_eq!(e.query(&plan).expect("runs").rows, truth.rows);
+    let report = e.explain(&plan).expect("explains").runtime;
+    assert!(
+        report
+            .iter()
+            .any(|l| l.contains(": ok") && l.contains("B charged")),
+        "clean run records charged bytes: {report:?}"
+    );
+}
+
+#[test]
+fn cancel_from_another_thread_and_reset() {
+    let e = Engine::builder(make_db())
+        .threads(2)
+        .tile_rows(MORSEL)
+        .build();
+    let plan = groupby_plan();
+
+    // Cancel from a different thread: the token is Clone + Send.
+    let handle = e.handle();
+    std::thread::spawn(move || handle.cancel())
+        .join()
+        .expect("cancel thread");
+    assert!(e.handle().is_cancelled());
+    match e.query(&plan) {
+        Err(PlanError::Cancelled {
+            morsels_done,
+            morsels_total,
+        }) => assert!(morsels_done <= morsels_total),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    let report = e.explain(&plan).expect("explains").runtime;
+    assert!(
+        report.iter().any(|l| l.contains("cancelled")),
+        "cancellation recorded: {report:?}"
+    );
+
+    // The flag is sticky until reset; afterwards the session works again.
+    assert!(matches!(e.query(&plan), Err(PlanError::Cancelled { .. })));
+    e.handle().reset();
+    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    assert_eq!(e.query(&plan).expect("runs after reset").rows, truth.rows);
+}
+
+#[test]
+fn execute_propagates_plan_errors_without_panicking() {
+    // Satellite: `expect("planned table")` is gone — a physical plan
+    // executed against an engine whose catalog lacks the table must return
+    // a typed error, not panic.
+    let e = Engine::builder(make_db()).threads(2).build();
+    let physical = e.plan(&groupby_plan()).expect("plans");
+    let empty = Engine::builder(Database::new()).build();
+    assert!(matches!(
+        empty.execute(&physical),
+        Err(PlanError::UnknownTable(_))
+    ));
+}
+
+#[test]
+fn key_masking_overflow_degrades_to_data_centric() {
+    // Key masking aggregates *every* tuple — filtered rows land on the
+    // throwaway entry with unmasked values. Huge values on filtered rows
+    // wrap the throwaway accumulator (wasted work), the sticky overflow
+    // flag trips, and the engine must re-run data-centric where the true
+    // (qualifying-only) sum is exact.
+    let huge = i64::MAX / 2;
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("R")
+            .with_column("x", ColumnData::I8(vec![0, 99, 99, 99]))
+            .with_column("a", ColumnData::I64(vec![5, huge, huge, huge]))
+            .with_column("c", ColumnData::I16(vec![0, 0, 0, 0])),
+    );
+    let e = Engine::builder(db)
+        .threads(1)
+        .agg_strategy(AggStrategy::KeyMasking)
+        .build();
+    let plan = QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(10)))
+        .aggregate(Some("c"), vec![AggSpec::sum(Expr::col("a"), "s")]);
+    let got = e.query(&plan).expect("recovers via data-centric retry");
+    assert_eq!(got.rows, vec![vec![0, 5]]);
+    let report = e.explain(&plan).expect("explains").runtime;
+    assert!(
+        report.iter().any(|l| l.contains("overflow")),
+        "overflow recorded: {report:?}"
+    );
+    assert!(
+        report
+            .iter()
+            .any(|l| l.contains("fell back to data-centric interpreter: ok")),
+        "fallback recorded: {report:?}"
+    );
+}
+
+#[test]
+fn genuine_overflow_wraps_identically_to_interpreter() {
+    // When the *true* sum wraps, the masked strategy detects it, retries
+    // data-centric, and the interpreter's wrapping accumulation returns the
+    // same wrapped value — bit-identical, never a process abort (which is
+    // what debug builds would do with unchecked `+`).
+    let huge = i64::MAX / 2 + 1;
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("R")
+            .with_column("x", ColumnData::I8(vec![0, 0, 0]))
+            .with_column("a", ColumnData::I64(vec![huge, huge, 2])),
+    );
+    let e = Engine::builder(db).threads(1).build();
+    let plan = QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(10)))
+        .aggregate(None, vec![AggSpec::sum(Expr::col("a"), "s")]);
+    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    let got = e.query(&plan).expect("recovers via data-centric retry");
+    assert_eq!(got.rows, truth.rows);
+    assert_eq!(
+        got.try_scalar("s").unwrap(),
+        huge.wrapping_add(huge).wrapping_add(2)
+    );
+}

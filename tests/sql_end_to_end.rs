@@ -60,8 +60,8 @@ fn check(sql: &str) -> QueryResult {
 #[test]
 fn scalar_aggregate() {
     let r = check("select sum(a * b) as s, count(*) as n from R where x < 40");
-    assert!(r.scalar("s") > 0);
-    assert!(r.scalar("n") > 0);
+    assert!(r.try_scalar("s").unwrap() > 0);
+    assert!(r.try_scalar("n").unwrap() > 0);
 }
 
 #[test]
@@ -80,7 +80,7 @@ fn dictionary_predicates_via_sql() {
     assert_eq!(eq.rows, like.rows);
     let notlike = check("select count(*) as n from R where seg not like 'B%'");
     assert_eq!(
-        notlike.scalar("n") + like.scalar("n"),
+        notlike.try_scalar("n").unwrap() + like.try_scalar("n").unwrap(),
         db().table("R").unwrap().len() as i64
     );
 }
@@ -92,7 +92,10 @@ fn case_expression_via_sql() {
                 sum(case when x < 50 then 0 else a end) as hi from R",
     );
     let total = check("select sum(a) as t from R");
-    assert_eq!(r.scalar("lo") + r.scalar("hi"), total.scalar("t"));
+    assert_eq!(
+        r.try_scalar("lo").unwrap() + r.try_scalar("hi").unwrap(),
+        total.try_scalar("t").unwrap()
+    );
 }
 
 #[test]
@@ -102,8 +105,8 @@ fn semijoin_via_sql() {
          where R.fk = S.rowid and S.y < 30 and R.x < 70",
     );
     let all = check("select sum(a) as s from R where x < 70");
-    assert!(joined.scalar("s") < all.scalar("s"));
-    assert!(joined.scalar("s") > 0);
+    assert!(joined.try_scalar("s").unwrap() < all.try_scalar("s").unwrap());
+    assert!(joined.try_scalar("s").unwrap() > 0);
 }
 
 #[test]

@@ -1,0 +1,144 @@
+//! Fuzz-style robustness tests for the SQL frontend.
+//!
+//! The lexer and parser must return `SqlError` — never panic — on
+//! malformed input. A deterministic LCG drives three generators: token
+//! soups assembled from the grammar's vocabulary, truncations of valid
+//! queries at every byte boundary, and random single-character mutations
+//! of valid queries (including multi-byte characters).
+
+use swole::plan::parse_sql;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, m: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) % m as u64) as usize
+    }
+}
+
+const VALID: [&str; 4] = [
+    "select sum(a * b) as s, count(*) as n from R where x < 60 and y = 1",
+    "select c, sum(a) as s from R where x between 5 and 90 group by c",
+    "select sum(case when f in ('x', 'y') then a else 0 end) as s from R \
+     where not (x >= 10 or y < 3)",
+    "select sum(R.a) as s from R, S where R.fk = S.rowid and S.y < 50",
+];
+
+/// Vocabulary covering every token class plus junk the lexer must reject.
+const VOCAB: [&str; 40] = [
+    "select",
+    "from",
+    "where",
+    "group",
+    "by",
+    "and",
+    "or",
+    "not",
+    "between",
+    "like",
+    "in",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "sum",
+    "count",
+    "min",
+    "max",
+    "as",
+    "(",
+    ")",
+    ",",
+    "*",
+    "+",
+    "-",
+    "/",
+    "<",
+    "<=",
+    "=",
+    "<>",
+    ">=",
+    ">",
+    ".",
+    "'x'",
+    "R",
+    "x",
+    "42",
+    "9999999999999999999",
+];
+
+/// The frontend must produce `Ok` or `Err` — reaching the assert at all
+/// proves no panic; the harness would report the panic otherwise.
+fn must_not_panic(input: &str) {
+    let _ = parse_sql(input);
+}
+
+#[test]
+fn token_soup_never_panics() {
+    let mut rng = Lcg(0xf022_5eed);
+    for _ in 0..2000 {
+        let len = rng.next(24);
+        let soup = (0..len)
+            .map(|_| VOCAB[rng.next(VOCAB.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
+        must_not_panic(&soup);
+    }
+}
+
+#[test]
+fn truncated_queries_never_panic() {
+    for q in VALID {
+        for cut in 0..=q.len() {
+            if q.is_char_boundary(cut) {
+                must_not_panic(&q[..cut]);
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_queries_never_panic() {
+    // Swap one character for something hostile: NUL, quotes, multi-byte
+    // unicode, digits that overflow i64, stray operators.
+    let hostile = [
+        '\0', '\'', '"', ';', 'λ', '∑', '🦀', '9', '(', '%', '\\', '\n',
+    ];
+    let mut rng = Lcg(0xc0ffee);
+    for q in VALID {
+        for _ in 0..400 {
+            let chars: Vec<char> = q.chars().collect();
+            let pos = rng.next(chars.len());
+            let mut mutated: String = chars[..pos].iter().collect();
+            mutated.push(hostile[rng.next(hostile.len())]);
+            mutated.extend(&chars[pos + 1..]);
+            must_not_panic(&mutated);
+        }
+    }
+}
+
+#[test]
+fn pathological_inputs_never_panic() {
+    must_not_panic("");
+    must_not_panic("   \t\n  ");
+    must_not_panic(&"(".repeat(10_000));
+    must_not_panic(&"select ".repeat(500));
+    must_not_panic(&format!("select sum({}) from R", "a + ".repeat(5_000)));
+    must_not_panic("select sum(a) from R where x = 99999999999999999999999999");
+    must_not_panic("select 'unterminated from R");
+    must_not_panic("select sum(a) from R where x in (");
+    must_not_panic("sElEcT CoUnT(*) FrOm R wHeRe");
+}
+
+/// Valid queries still parse — the fuzz corpus is anchored on real inputs.
+#[test]
+fn corpus_queries_parse() {
+    for q in VALID {
+        assert!(parse_sql(q).is_ok(), "corpus query must parse: {q}");
+    }
+}

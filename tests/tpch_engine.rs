@@ -27,7 +27,7 @@ fn q6_engine_matches_handcoded() {
     );
     let plan = parse_sql(&sql).expect("parses").plan;
     let got = engine.query(&plan).expect("runs");
-    assert_eq!(got.scalar("revenue"), q::q6::swole(&db));
+    assert_eq!(got.try_scalar("revenue").unwrap(), q::q6::swole(&db));
 }
 
 #[test]
@@ -84,7 +84,7 @@ fn q4_semijoin_direction_engine() {
         physical.semijoin_strategy(),
         Some(SemiJoinStrategy::PositionalBitmap(_))
     ));
-    let got = engine.execute(&physical);
+    let got = engine.execute(&physical).expect("executes");
     // Reference: row-at-a-time.
     let l = &db.lineitem;
     let (mut s, mut n) = (0i64, 0i64);
@@ -95,8 +95,8 @@ fn q4_semijoin_direction_engine() {
             n += 1;
         }
     }
-    assert_eq!(got.scalar("s"), s);
-    assert_eq!(got.scalar("n"), n);
+    assert_eq!(got.try_scalar("s").unwrap(), s);
+    assert_eq!(got.try_scalar("n").unwrap(), n);
     assert!(n > 0);
 }
 
@@ -126,7 +126,7 @@ fn q14_case_expression_engine() {
     let plan = parse_sql(&sql).expect("parses").plan;
     let got = engine.query(&plan).expect("runs");
     let expected = q::q14::datacentric(&db).total_revenue;
-    assert_eq!(got.scalar("denom"), expected);
+    assert_eq!(got.try_scalar("denom").unwrap(), expected);
 }
 
 #[test]
