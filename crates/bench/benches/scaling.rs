@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use swole_bench::{median_ms, r_rows, s_small};
 use swole_micro::{generate, MicroDb, MicroParams};
-use swole_plan::{AggSpec, CmpOp, Database, Engine, Expr, LogicalPlan, QueryBuilder};
+use swole_plan::{AggSpec, CmpOp, Database, Engine, Expr, LogicalPlan, MetricsLevel, QueryBuilder};
 use swole_storage::{ColumnData, Table};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -70,8 +70,13 @@ fn q2_plan() -> LogicalPlan {
 }
 
 fn engine(threads: usize) -> Engine {
+    engine_at(threads, MetricsLevel::Off)
+}
+
+fn engine_at(threads: usize, level: MetricsLevel) -> Engine {
     Engine::builder(as_database(&micro()))
         .threads(threads)
+        .metrics(level)
         .build()
 }
 
@@ -106,6 +111,35 @@ fn bench(c: &mut Criterion) {
                 base_ms / ms.max(1e-9)
             );
         }
+    }
+
+    // Metrics overhead: the same queries with counters off vs on. The
+    // acceptance budget is <5% for `MetricsLevel::Counters`; printed
+    // informationally (single-run noise on shared containers exceeds the
+    // budget, so this measures rather than gates).
+    for (name, plan) in [("q1_value_masked", q1_plan()), ("q2_groupby", q2_plan())] {
+        for threads in [1, THREADS[THREADS.len() - 1]] {
+            let off = engine_at(threads, MetricsLevel::Off);
+            let on = engine_at(threads, MetricsLevel::Counters);
+            let p_off = off.plan(&plan).expect("plans");
+            let p_on = on.plan(&plan).expect("plans");
+            let ms_off = median_ms(9, || black_box(off.execute(&p_off).expect("executes")));
+            let ms_on = median_ms(9, || black_box(on.execute(&p_on).expect("executes")));
+            println!(
+                "{name}: {threads} thread(s) metrics off {ms_off:8.3} ms, \
+                 counters {ms_on:8.3} ms  overhead {:+.1}%",
+                (ms_on / ms_off.max(1e-9) - 1.0) * 100.0
+            );
+        }
+    }
+
+    // Machine-readable counters for the figure pipeline: one Counters-level
+    // run per query, dumped as JSON.
+    for (name, plan) in [("q1_value_masked", q1_plan()), ("q2_groupby", q2_plan())] {
+        let e = engine_at(1, MetricsLevel::Counters);
+        let res = e.query(&plan).expect("executes");
+        let metrics = res.metrics().expect("counters recorded");
+        println!("metrics_json {name} {}", metrics.to_json());
     }
 }
 

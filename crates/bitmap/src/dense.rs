@@ -176,6 +176,12 @@ impl PositionalBitmap {
         })
     }
 
+    /// Number of 64-bit words backing the bitmap — the unit of sequential
+    /// traffic a positional-bitmap probe pass touches (metrics layer).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
     /// Raw words (used by the compressed encoder).
     pub(crate) fn words(&self) -> &[u64] {
         &self.words

@@ -82,7 +82,7 @@ pub use swole_storage as storage;
 pub use swole_cost::CostParams;
 pub use swole_plan::{
     AggFunc, AggSpec, CmpOp, Database, Engine, EngineBuilder, ExecHandle, Explain, Expr,
-    LogicalPlan, PlanError, QueryBuilder, QueryResult,
+    LogicalPlan, MetricsLevel, OpMetrics, PlanError, QueryBuilder, QueryMetrics, QueryResult,
 };
 
 /// Everything a typical user needs.
@@ -92,7 +92,7 @@ pub mod prelude {
     };
     pub use swole_plan::{
         AggFunc, AggSpec, CmpOp, Database, Engine, EngineBuilder, ExecHandle, Explain, Expr,
-        LogicalPlan, PlanError, QueryBuilder, QueryResult,
+        LogicalPlan, MetricsLevel, PlanError, QueryBuilder, QueryMetrics, QueryResult,
     };
     pub use swole_storage::{ColumnData, Date, Decimal, DictColumn, Table};
 }

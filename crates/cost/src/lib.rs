@@ -23,6 +23,7 @@ pub mod calibrate;
 pub mod choose;
 pub mod comp;
 pub mod model;
+pub mod observed;
 mod params;
 
 pub use choose::{

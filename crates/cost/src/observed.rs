@@ -1,0 +1,88 @@
+//! Predicted-vs-observed cost comparison helpers.
+//!
+//! The choosers in [`crate::choose`] evaluate the paper's formulas against
+//! *estimated* inputs (sampled selectivity, estimated distinct keys). The
+//! metrics layer re-evaluates the same formulas against *observed* inputs
+//! (counter-derived selectivity, the merged hash table's final key count)
+//! and compares. The functions here extract the per-strategy modelled cost
+//! from a chooser decision and quantify the disagreement, so `EXPLAIN
+//! ANALYZE` and `tests/cost_model_validation.rs` share one definition of
+//! "how wrong was the model".
+
+use crate::choose::{AggChoice, AggStrategy, GroupJoinChoice, GroupJoinStrategy};
+
+/// Modelled cost of `strategy` inside an aggregation decision, if the
+/// chooser evaluated it (`KeyMasking` is `None` for scalar aggregates).
+pub fn agg_cost_for(choice: &AggChoice, strategy: AggStrategy) -> Option<f64> {
+    match strategy {
+        AggStrategy::Hybrid => Some(choice.cost_hybrid),
+        AggStrategy::ValueMasking => Some(choice.cost_value_masking),
+        AggStrategy::KeyMasking => choice.cost_key_masking,
+    }
+}
+
+/// Modelled cost of `strategy` inside a groupjoin decision.
+pub fn groupjoin_cost_for(choice: &GroupJoinChoice, strategy: GroupJoinStrategy) -> f64 {
+    match strategy {
+        GroupJoinStrategy::GroupJoin => choice.cost_groupjoin,
+        GroupJoinStrategy::EagerAggregation => choice.cost_eager,
+    }
+}
+
+/// Relative error `|predicted - observed| / observed`, or `None` when the
+/// observed cost is not positive (nothing ran, nothing to compare).
+pub fn relative_error(predicted: f64, observed: f64) -> Option<f64> {
+    (observed > 0.0).then(|| (predicted - observed).abs() / observed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choose::{choose_agg, AggProfile};
+    use crate::CostParams;
+
+    #[test]
+    fn agg_cost_extraction_matches_choice_fields() {
+        let p = CostParams::default();
+        let prof = AggProfile {
+            rows: 1_000_000,
+            selectivity: 0.3,
+            comp: 2.0,
+            n_cols: 2,
+            group_keys: Some(64),
+            n_aggs: 1,
+        };
+        let c = choose_agg(&p, &prof);
+        assert_eq!(agg_cost_for(&c, AggStrategy::Hybrid), Some(c.cost_hybrid));
+        assert_eq!(
+            agg_cost_for(&c, AggStrategy::ValueMasking),
+            Some(c.cost_value_masking)
+        );
+        assert_eq!(
+            agg_cost_for(&c, AggStrategy::KeyMasking),
+            c.cost_key_masking
+        );
+    }
+
+    #[test]
+    fn scalar_agg_has_no_key_masking_cost() {
+        let p = CostParams::default();
+        let prof = AggProfile {
+            rows: 1000,
+            selectivity: 0.5,
+            comp: 1.0,
+            n_cols: 1,
+            group_keys: None,
+            n_aggs: 1,
+        };
+        let c = choose_agg(&p, &prof);
+        assert_eq!(agg_cost_for(&c, AggStrategy::KeyMasking), None);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(110.0, 100.0), Some(0.1));
+        assert_eq!(relative_error(90.0, 100.0), Some(0.1));
+        assert_eq!(relative_error(5.0, 0.0), None);
+    }
+}

@@ -38,6 +38,43 @@ pub enum MergeOp {
     Max,
 }
 
+/// Lifetime access counters for a hash table, read via
+/// [`AggTable::counters`] (or `KeySet::counters`).
+///
+/// Counting happens on the mutation path only (`entry`, `insert`, `grow`),
+/// as plain `u64` adds on cache lines the probe loop already owns — cheap
+/// enough to stay always-on. `probes` and `inserts` are properties of the
+/// update stream, but `probe_steps`, `resizes`, and `bytes_allocated`
+/// depend on insertion *order* and table occupancy, so for thread-local
+/// tables they vary with how rows were partitioned across workers: the
+/// metrics layer reports them as indicative, not deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HtCounters {
+    /// Find-or-insert operations issued.
+    pub probes: u64,
+    /// Extra slots walked past the home slot (linear-probe collisions).
+    pub probe_steps: u64,
+    /// Keys newly inserted (first touch of a distinct key).
+    pub inserts: u64,
+    /// Capacity doublings.
+    pub resizes: u64,
+    /// Cumulative bytes allocated, including the initial arrays and every
+    /// regrow (old arrays are freed, so this is traffic, not residency).
+    pub bytes_allocated: u64,
+}
+
+impl HtCounters {
+    /// Fold another table's counters into this one (summing per-worker
+    /// partial tables for reporting).
+    pub fn merge(&mut self, other: &HtCounters) {
+        self.probes += other.probes;
+        self.probe_steps += other.probe_steps;
+        self.inserts += other.inserts;
+        self.resizes += other.resizes;
+        self.bytes_allocated += other.bytes_allocated;
+    }
+}
+
 /// How [`AggTable::delete`] removes entries.
 ///
 /// Eager aggregation (§ III-E) deletes every key filtered by the join; the
@@ -75,6 +112,7 @@ pub struct AggTable {
     /// Sticky flag set when any additive update or merge wrapped around
     /// `i64` — see [`AggTable::overflow_detected`].
     overflowed: bool,
+    counters: HtCounters,
 }
 
 impl AggTable {
@@ -87,7 +125,7 @@ impl AggTable {
         let cap_log2 = (expected_keys.max(4) * 2)
             .next_power_of_two()
             .trailing_zeros();
-        AggTable {
+        let mut t = AggTable {
             keys: vec![EMPTY; 1 << cap_log2],
             states: vec![0; ((1 << cap_log2) + 1) * n_aggs],
             valid: vec![0; 1 << cap_log2],
@@ -97,7 +135,10 @@ impl AggTable {
             tombstones: 0,
             policy: DeletePolicy::default(),
             overflowed: false,
-        }
+            counters: HtCounters::default(),
+        };
+        t.counters.bytes_allocated = t.size_bytes() as u64;
+        t
     }
 
     /// Select the deletion strategy (defaults to backward shift).
@@ -147,6 +188,7 @@ impl AggTable {
         let mask = self.capacity() - 1;
         let mut slot = slot_for(hash_i64(key), self.cap_log2);
         let mut first_tombstone = usize::MAX;
+        self.counters.probes += 1;
         loop {
             let k = self.keys[slot];
             if k == key {
@@ -161,6 +203,7 @@ impl AggTable {
                 };
                 self.keys[dest] = key;
                 self.len += 1;
+                self.counters.inserts += 1;
                 let off = (dest + 1) * self.n_aggs;
                 self.states[off..off + self.n_aggs].fill(0);
                 self.valid[dest] = 0;
@@ -170,6 +213,7 @@ impl AggTable {
                 first_tombstone = slot;
             }
             slot = (slot + 1) & mask;
+            self.counters.probe_steps += 1;
         }
     }
 
@@ -309,6 +353,13 @@ impl AggTable {
         }
     }
 
+    /// Lifetime access counters (probes, collisions, inserts, regrows,
+    /// allocation traffic). See [`HtCounters`] for which fields are
+    /// partition-order-dependent.
+    pub fn counters(&self) -> HtCounters {
+        self.counters
+    }
+
     fn grow(&mut self) {
         let old_keys = std::mem::take(&mut self.keys);
         let old_states = std::mem::take(&mut self.states);
@@ -320,6 +371,8 @@ impl AggTable {
         self.valid = vec![0; cap];
         self.len = 0;
         self.tombstones = 0;
+        self.counters.resizes += 1;
+        self.counters.bytes_allocated += self.size_bytes() as u64;
         let mask = cap - 1;
         for (slot, &k) in old_keys.iter().enumerate() {
             if k == EMPTY || k == TOMBSTONE {

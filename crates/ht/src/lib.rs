@@ -30,7 +30,7 @@ mod hash;
 mod join_table;
 mod key_set;
 
-pub use agg_table::{AggTable, DeletePolicy, MergeOp, NULL_KEY};
+pub use agg_table::{AggTable, DeletePolicy, HtCounters, MergeOp, NULL_KEY};
 pub use hash::hash_i64;
 pub use join_table::JoinTable;
 pub use key_set::KeySet;

@@ -1,0 +1,130 @@
+//! Access-pattern counters shared by every kernel caller.
+//!
+//! The metrics layer (`swole_plan::metrics`) counts what the paper's cost
+//! models *predict*: how many tuples a strategy touches sequentially, how
+//! many predicate evaluations it performs, and how much of that work is
+//! wasted by a pullup (§ III-A: "the additional work performed on
+//! non-qualifying tuples"). [`AccessCounters`] is the per-worker
+//! accumulator — plain `u64` adds on paths the tile loops already touch, so
+//! counting never changes the access pattern being counted.
+//!
+//! Every field is a sum of per-tile contributions, and tiles partition the
+//! input deterministically regardless of which worker claims which morsel,
+//! so merged totals are bit-identical at any thread count.
+
+/// Per-worker access-pattern counters, merged by field-wise addition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounters {
+    /// Tuples the operator scanned (every tuple of every claimed tile).
+    pub rows_in: u64,
+    /// Tuples that qualified (survived the predicate and/or join).
+    pub rows_out: u64,
+    /// Predicate evaluations performed (0 when there is no filter).
+    pub predicate_evals: u64,
+    /// Lanes processed for tuples that did not qualify — the wasted work a
+    /// pullup accepts in exchange for sequential access. Zero for early-
+    /// filtering (hybrid/data-centric) strategies.
+    pub wasted_lanes: u64,
+    /// Hash-structure probes issued (aggregation-table entries, key-set
+    /// lookups, or bitmap tests, per the operator).
+    pub ht_probes: u64,
+    /// Morsels this worker claimed.
+    pub morsels: u64,
+}
+
+impl AccessCounters {
+    /// Fold another worker's counters into this one (commutative and
+    /// associative, like every accumulator merge in the engine).
+    pub fn merge(&mut self, other: &AccessCounters) {
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.predicate_evals += other.predicate_evals;
+        self.wasted_lanes += other.wasted_lanes;
+        self.ht_probes += other.ht_probes;
+        self.morsels += other.morsels;
+    }
+
+    /// Observed selectivity `rows_out / rows_in`, or `None` before any row
+    /// was scanned.
+    pub fn observed_selectivity(&self) -> Option<f64> {
+        (self.rows_in > 0).then(|| self.rows_out as f64 / self.rows_in as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_fieldwise_addition() {
+        let mut a = AccessCounters {
+            rows_in: 10,
+            rows_out: 4,
+            predicate_evals: 10,
+            wasted_lanes: 6,
+            ht_probes: 10,
+            morsels: 1,
+        };
+        let b = AccessCounters {
+            rows_in: 5,
+            rows_out: 5,
+            predicate_evals: 0,
+            wasted_lanes: 0,
+            ht_probes: 5,
+            morsels: 2,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            AccessCounters {
+                rows_in: 15,
+                rows_out: 9,
+                predicate_evals: 10,
+                wasted_lanes: 6,
+                ht_probes: 15,
+                morsels: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_order_is_invisible() {
+        let parts = [
+            AccessCounters {
+                rows_in: 7,
+                rows_out: 3,
+                ..Default::default()
+            },
+            AccessCounters {
+                rows_in: 2,
+                rows_out: 2,
+                ..Default::default()
+            },
+            AccessCounters {
+                rows_in: 11,
+                rows_out: 0,
+                ..Default::default()
+            },
+        ];
+        let mut fwd = AccessCounters::default();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = AccessCounters::default();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn observed_selectivity_handles_empty() {
+        assert_eq!(AccessCounters::default().observed_selectivity(), None);
+        let c = AccessCounters {
+            rows_in: 8,
+            rows_out: 2,
+            ..Default::default()
+        };
+        assert_eq!(c.observed_selectivity(), Some(0.25));
+    }
+}

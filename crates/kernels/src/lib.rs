@@ -25,10 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod counters;
 pub mod groupby;
 pub mod join;
 pub mod predicate;
 pub mod selvec;
+
+pub use counters::AccessCounters;
 
 /// Number of tuples processed per tile ("we use a vector size of 1024, as
 /// suggested by other recent studies" — paper § IV).

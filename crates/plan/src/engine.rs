@@ -3,12 +3,13 @@
 
 use std::fmt;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::catalog::Database;
 use crate::error::PlanError;
 use crate::expr::{AggFunc, Expr};
 use crate::logical::{AggSpec, LogicalPlan};
+use crate::metrics::{MetricsLevel, OpMetrics, QueryMetrics};
 use crate::parallel;
 use crate::physical::{PhysicalPlan, Shape};
 use crate::runtime::{self, CancelState, ExecCtx, ExecHandle};
@@ -16,11 +17,11 @@ use crate::stats;
 use swole_bitmap::PositionalBitmap;
 use swole_cost::choose::{choose_agg_mt, choose_groupjoin_mt, choose_semijoin};
 use swole_cost::{
-    AggProfile, AggStrategy, BitmapBuild, CostParams, GroupJoinProfile, GroupJoinStrategy,
-    SemiJoinProfile, SemiJoinStrategy,
+    observed, AggProfile, AggStrategy, BitmapBuild, CostParams, GroupJoinProfile,
+    GroupJoinStrategy, SemiJoinProfile, SemiJoinStrategy,
 };
 use swole_ht::{AggTable, KeySet, MergeOp};
-use swole_kernels::{predicate, selvec, tiles, tiles_in, MORSEL_ROWS, TILE};
+use swole_kernels::{predicate, selvec, tiles, tiles_in, AccessCounters, MORSEL_ROWS, TILE};
 use swole_storage::Table;
 
 /// A materialized query result: named columns, row-major `i64` values.
@@ -28,13 +29,27 @@ use swole_storage::Table;
 /// Group-by results are sorted by the group key; dictionary-encoded group
 /// keys come back as codes. A scalar aggregation always yields exactly one
 /// row; with zero qualifying rows, sums and counts are 0 and min/max are 0.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryResult {
     /// Output column names.
     pub columns: Vec<String>,
     /// Rows, each with one value per column.
     pub rows: Vec<Vec<i64>>,
+    /// Metrics snapshot from the execution that produced this result;
+    /// `None` when the session ran with [`MetricsLevel::Off`].
+    pub(crate) metrics: Option<QueryMetrics>,
 }
+
+/// Equality compares the *data* (columns and rows) only — two identical
+/// results are equal even if one carries metrics and the other does not,
+/// so engine-vs-interpreter cross-checks keep working at any level.
+impl PartialEq for QueryResult {
+    fn eq(&self, other: &QueryResult) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
+}
+
+impl Eq for QueryResult {}
 
 impl QueryResult {
     /// The single value of a one-row result column.
@@ -52,14 +67,11 @@ impl QueryResult {
         Ok(self.rows[0][i])
     }
 
-    /// The single value of a one-row result column.
-    ///
-    /// Deprecated: this is a thin panicking wrapper kept for old callers;
-    /// use [`try_scalar`](Self::try_scalar) and handle the error instead.
-    #[deprecated(since = "0.3.0", note = "use `try_scalar` and handle the error")]
-    pub fn scalar(&self, column: &str) -> i64 {
-        self.try_scalar(column)
-            .unwrap_or_else(|e| panic!("scalar({column}): {e}"))
+    /// The metrics snapshot recorded while producing this result, when the
+    /// session (or `EXPLAIN ANALYZE`) executed with
+    /// [`MetricsLevel::Counters`] or higher.
+    pub fn metrics(&self) -> Option<&QueryMetrics> {
+        self.metrics.as_ref()
     }
 
     /// All values of a named column, top to bottom. Rows are stored
@@ -100,6 +112,9 @@ pub struct Explain {
     /// completion, partial progress at cancellation/deadline, or a recorded
     /// fallback to the data-centric interpreter. Empty before any query.
     pub runtime: Vec<String>,
+    /// Per-operator execution metrics — populated by
+    /// [`Engine::explain_analyze`], `None` from plain [`Engine::explain`].
+    pub analyze: Option<QueryMetrics>,
 }
 
 impl fmt::Display for Explain {
@@ -120,6 +135,9 @@ impl fmt::Display for Explain {
         for r in &self.runtime {
             write!(f, "\n  ~ last run: {r}")?;
         }
+        if let Some(a) = &self.analyze {
+            write!(f, "\n  {a}")?;
+        }
         Ok(())
     }
 }
@@ -139,6 +157,7 @@ pub struct EngineBuilder {
     morsel_rows: usize,
     deadline: Option<Duration>,
     memory_budget: Option<usize>,
+    metrics: MetricsLevel,
     pin_agg: Option<AggStrategy>,
     pin_semijoin: Option<SemiJoinStrategy>,
     pin_groupjoin: Option<GroupJoinStrategy>,
@@ -153,6 +172,7 @@ impl EngineBuilder {
             morsel_rows: MORSEL_ROWS,
             deadline: None,
             memory_budget: None,
+            metrics: MetricsLevel::Off,
             pin_agg: None,
             pin_semijoin: None,
             pin_groupjoin: None,
@@ -205,6 +225,17 @@ impl EngineBuilder {
         self
     }
 
+    /// How much every query measures while executing (default
+    /// [`MetricsLevel::Off`]). [`MetricsLevel::Counters`] collects
+    /// per-operator access counters ([`QueryResult::metrics`]);
+    /// [`MetricsLevel::Timings`] adds per-operator and per-query wall
+    /// clock. [`Engine::explain_analyze`] raises the level to at least
+    /// `Timings` for its one execution regardless of this setting.
+    pub fn metrics(mut self, level: MetricsLevel) -> EngineBuilder {
+        self.metrics = level;
+        self
+    }
+
     /// Pin the scan-aggregation strategy, overriding the cost model
     /// (equivalence tests and experiments).
     pub fn agg_strategy(mut self, strategy: AggStrategy) -> EngineBuilder {
@@ -233,6 +264,7 @@ impl EngineBuilder {
             morsel_rows: self.morsel_rows,
             deadline: self.deadline,
             memory_budget: self.memory_budget,
+            metrics: self.metrics,
             pin_agg: self.pin_agg,
             pin_semijoin: self.pin_semijoin,
             pin_groupjoin: self.pin_groupjoin,
@@ -247,6 +279,7 @@ impl EngineBuilder {
 struct ExecOpts {
     threads: usize,
     morsel_rows: usize,
+    level: MetricsLevel,
 }
 
 /// The access-aware query engine: owns a [`Database`] and cost parameters,
@@ -260,6 +293,7 @@ pub struct Engine {
     morsel_rows: usize,
     deadline: Option<Duration>,
     memory_budget: Option<usize>,
+    metrics: MetricsLevel,
     pin_agg: Option<AggStrategy>,
     pin_semijoin: Option<SemiJoinStrategy>,
     pin_groupjoin: Option<GroupJoinStrategy>,
@@ -274,19 +308,6 @@ impl Engine {
     /// Start building an engine session over `db`.
     pub fn builder(db: Database) -> EngineBuilder {
         EngineBuilder::new(db)
-    }
-
-    /// Engine over a database with default cost parameters.
-    #[deprecated(since = "0.2.0", note = "use `Engine::builder(db).build()`")]
-    pub fn new(db: Database) -> Engine {
-        Engine::builder(db).build()
-    }
-
-    /// Use specific (e.g. calibrated) cost parameters.
-    #[deprecated(since = "0.2.0", note = "use `Engine::builder(db).params(p).build()`")]
-    pub fn with_params(mut self, params: CostParams) -> Engine {
-        self.params = params;
-        self
     }
 
     /// The underlying database.
@@ -334,27 +355,51 @@ impl Engine {
     /// (including any fallback) is recorded and surfaced via
     /// [`Explain::runtime`] on the next [`Engine::explain`] call.
     pub fn query(&self, plan: &LogicalPlan) -> Result<QueryResult, PlanError> {
+        self.query_leveled(plan, self.metrics)
+    }
+
+    /// [`Engine::query`] at an explicit metrics level (at least the
+    /// session's), used by `EXPLAIN ANALYZE`.
+    fn query_leveled(
+        &self,
+        plan: &LogicalPlan,
+        level: MetricsLevel,
+    ) -> Result<QueryResult, PlanError> {
         let physical = self.plan(plan)?;
         let ctx = self.exec_ctx();
+        let t0 = level.timing().then(Instant::now);
         let strategy = physical.shape.strategy_name();
         let mut report = Vec::new();
-        let primary = runtime::isolate(|| self.execute_with(&physical, &ctx));
+        let primary = runtime::isolate(|| self.execute_shape(&physical, &ctx, level));
         let (done, total) = ctx.progress();
         match primary {
-            Ok(res) => {
+            Ok((mut res, ops)) => {
                 report.push(format!(
                     "{strategy}: ok ({done}/{total} morsels, {} B charged)",
                     ctx.gauge.used()
                 ));
                 self.record_run(report);
+                self.attach_metrics(&mut res, &physical, ops, &ctx, level, 0, t0);
                 Ok(res)
             }
             Err(e) if e.is_retryable() => {
                 report.push(format!("{strategy}: {e} ({done}/{total} morsels)"));
-                match self.fallback_datacentric(plan, &ctx) {
-                    Ok(res) => {
+                match self.fallback_datacentric(plan, &ctx, level) {
+                    Ok((mut res, op)) => {
                         report.push("fell back to data-centric interpreter: ok".into());
                         self.record_run(report);
+                        // The failed attempt's counters are discarded: the
+                        // interpreter's single operator *replaces* the
+                        // operator list, so rows are never double-counted.
+                        self.attach_metrics(
+                            &mut res,
+                            &physical,
+                            op.into_iter().collect(),
+                            &ctx,
+                            level,
+                            1,
+                            t0,
+                        );
                         Ok(res)
                     }
                     Err(fe) => {
@@ -381,11 +426,21 @@ impl Engine {
         &self,
         plan: &LogicalPlan,
         ctx: &ExecCtx,
-    ) -> Result<QueryResult, PlanError> {
+        level: MetricsLevel,
+    ) -> Result<(QueryResult, Option<OpMetrics>), PlanError> {
         ctx.check()?;
         let rows = plan_rows(&self.db, plan);
         ctx.gauge.try_charge(rows.saturating_mul(8))?;
-        runtime::isolate(|| crate::interp::run(&self.db, plan))
+        runtime::isolate(|| {
+            if level.counting() {
+                let t0 = level.timing().then(Instant::now);
+                let (res, mut op) = crate::interp::run_metered(&self.db, plan)?;
+                op.wall_nanos = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+                Ok((res, Some(op)))
+            } else {
+                crate::interp::run(&self.db, plan).map(|res| (res, None))
+            }
+        })
     }
 
     /// EXPLAIN: plan and return the structured decision report.
@@ -399,7 +454,174 @@ impl Engine {
             cost_terms: physical.cost_terms.clone(),
             decisions: physical.decisions.clone(),
             runtime: self.last_run.lock().map(|r| r.clone()).unwrap_or_default(),
+            analyze: None,
         })
+    }
+
+    /// EXPLAIN ANALYZE: execute the query once at (at least)
+    /// [`MetricsLevel::Timings`] and return the decision report with the
+    /// `analyze` section populated from the run — per-operator access
+    /// counters, hash-table behaviour, wall times, and the cost model's
+    /// prediction re-scored against what execution observed.
+    pub fn explain_analyze(&self, plan: &LogicalPlan) -> Result<Explain, PlanError> {
+        let level = self.metrics.max(MetricsLevel::Timings);
+        let res = self.query_leveled(plan, level)?;
+        let mut ex = self.explain(plan)?;
+        ex.analyze = res.metrics;
+        Ok(ex)
+    }
+
+    /// Assemble and attach the [`QueryMetrics`] snapshot for a finished
+    /// execution (no-op below [`MetricsLevel::Counters`]).
+    #[allow(clippy::too_many_arguments)]
+    fn attach_metrics(
+        &self,
+        res: &mut QueryResult,
+        physical: &PhysicalPlan,
+        operators: Vec<OpMetrics>,
+        ctx: &ExecCtx,
+        level: MetricsLevel,
+        retries: u32,
+        t0: Option<Instant>,
+    ) {
+        if !level.counting() {
+            return;
+        }
+        let (predicted_cost, observed_cost) = self.cost_comparison(&physical.shape, &operators);
+        res.metrics = Some(QueryMetrics {
+            level,
+            estimated_selectivity: self.planned_selectivity(&physical.shape),
+            operators,
+            retries,
+            bytes_charged: ctx.gauge.used() as u64,
+            elapsed_nanos: t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+            predicted_cost,
+            observed_cost,
+        });
+    }
+
+    /// The planner's sampled selectivity estimate for the filter feeding
+    /// the *first* operator (the one whose observed selectivity the
+    /// analyze output compares against).
+    fn planned_selectivity(&self, shape: &Shape) -> Option<f64> {
+        let (table, filter) = match shape {
+            Shape::ScanAgg { table, filter, .. } => (table, filter.as_ref()?),
+            Shape::SemiJoinAgg {
+                build,
+                build_filter,
+                ..
+            } => (build, build_filter.as_ref()?),
+            Shape::GroupJoinAgg {
+                build,
+                build_filter,
+                ..
+            } => (build, build_filter.as_ref()?),
+        };
+        let t = self.db.table(table).ok()?;
+        Some(stats::estimate_selectivity(t, filter))
+    }
+
+    /// Re-score the chosen strategy's cost formula with observed inputs:
+    /// the same model the planner consulted, fed the counter-derived
+    /// selectivity and the merged hash table's actual key count instead of
+    /// estimates. Returns `(predicted, observed)` cycles when the shape
+    /// has a modelled strategy decision (scan-aggregations and groupjoins;
+    /// the semijoin chooser keys on build cardinality, which the planner
+    /// knows exactly, so there is nothing to validate).
+    fn cost_comparison(&self, shape: &Shape, ops: &[OpMetrics]) -> (Option<f64>, Option<f64>) {
+        match shape {
+            Shape::ScanAgg {
+                table,
+                filter,
+                group_by,
+                aggs,
+                strategy,
+            } => {
+                let Ok(t) = self.db.table(table) else {
+                    return (None, None);
+                };
+                if aggs
+                    .iter()
+                    .any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max))
+                {
+                    // min/max force hybrid without consulting the chooser.
+                    return (None, None);
+                }
+                let (comp, n_cols) = agg_comp_cols(aggs, group_by.as_deref());
+                let est_sel = match filter {
+                    Some(f) => stats::estimate_selectivity(t, f),
+                    None => 1.0,
+                };
+                let mut profile = AggProfile {
+                    rows: t.len(),
+                    selectivity: est_sel,
+                    comp,
+                    n_cols,
+                    group_keys: group_by.as_deref().map(|g| stats::estimate_distinct(t, g)),
+                    n_aggs: aggs.len(),
+                };
+                let predicted = observed::agg_cost_for(
+                    &choose_agg_mt(&self.params, &profile, self.threads),
+                    *strategy,
+                );
+                let Some(op) = ops.first() else {
+                    return (predicted, None);
+                };
+                profile.selectivity = op.observed_selectivity().unwrap_or(est_sel);
+                if profile.group_keys.is_some() {
+                    profile.group_keys = Some(op.ht.inserts as usize);
+                }
+                let observed_cost = observed::agg_cost_for(
+                    &choose_agg_mt(&self.params, &profile, self.threads),
+                    *strategy,
+                );
+                (predicted, observed_cost)
+            }
+            Shape::GroupJoinAgg {
+                probe,
+                build,
+                build_filter,
+                aggs,
+                strategy,
+                ..
+            } => {
+                let (Ok(probe_t), Ok(build_t)) = (self.db.table(probe), self.db.table(build))
+                else {
+                    return (None, None);
+                };
+                let est_sel = match build_filter {
+                    Some(f) => stats::estimate_selectivity(build_t, f),
+                    None => 1.0,
+                };
+                let comp: f64 = aggs.iter().map(|a| a.expr.comp_cycles() + 0.5).sum();
+                let mut profile = GroupJoinProfile {
+                    r_rows: probe_t.len(),
+                    r_selectivity: 1.0,
+                    s_rows: build_t.len(),
+                    s_selectivity: est_sel,
+                    join_match_prob: est_sel,
+                    group_keys: build_t.len(),
+                    comp,
+                    n_aggs: aggs.len(),
+                };
+                let predicted = observed::groupjoin_cost_for(
+                    &choose_groupjoin_mt(&self.params, &profile, self.threads),
+                    *strategy,
+                );
+                let Some(build_op) = ops.first() else {
+                    return (Some(predicted), None);
+                };
+                let obs_sel = build_op.observed_selectivity().unwrap_or(est_sel);
+                profile.s_selectivity = obs_sel;
+                profile.join_match_prob = obs_sel;
+                let observed_cost = observed::groupjoin_cost_for(
+                    &choose_groupjoin_mt(&self.params, &profile, self.threads),
+                    *strategy,
+                );
+                (Some(predicted), Some(observed_cost))
+            }
+            Shape::SemiJoinAgg { .. } => (None, None),
+        }
     }
 
     // -----------------------------------------------------------------
@@ -521,20 +743,12 @@ impl Engine {
                 .push("hybrid forced: min/max require extra masking bookkeeping (§ III-A)".into());
             AggStrategy::Hybrid
         } else {
-            let mut cols: Vec<String> = Vec::new();
-            for a in aggs {
-                for c in a.expr.columns() {
-                    if !cols.contains(&c) {
-                        cols.push(c);
-                    }
-                }
-            }
-            let comp: f64 = aggs.iter().map(|a| a.expr.comp_cycles() + 0.5).sum();
+            let (comp, n_cols) = agg_comp_cols(aggs, group_by);
             let profile = AggProfile {
                 rows: table.len(),
                 selectivity,
                 comp,
-                n_cols: cols.len() + group_by.map(|_| 1).unwrap_or(0),
+                n_cols,
                 group_keys,
                 n_aggs: aggs.len(),
             };
@@ -767,19 +981,31 @@ impl Engine {
     /// surface directly as typed errors.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<QueryResult, PlanError> {
         let ctx = self.exec_ctx();
-        runtime::isolate(|| self.execute_with(plan, &ctx))
+        let level = self.metrics;
+        let t0 = level.timing().then(Instant::now);
+        let (mut res, ops) = runtime::isolate(|| self.execute_shape(plan, &ctx, level))?;
+        self.attach_metrics(&mut res, plan, ops, &ctx, level, 0, t0);
+        Ok(res)
     }
 
-    /// Execute a physical plan against an execution context. Planner/
-    /// executor drift (a table or FK index dropped after planning)
-    /// propagates as a [`PlanError`] instead of panicking.
-    fn execute_with(&self, plan: &PhysicalPlan, ctx: &ExecCtx) -> Result<QueryResult, PlanError> {
+    /// Execute a physical plan against an execution context, returning the
+    /// result plus per-operator metrics (empty below
+    /// [`MetricsLevel::Counters`]). Planner/executor drift (a table or FK
+    /// index dropped after planning) propagates as a [`PlanError`] instead
+    /// of panicking.
+    fn execute_shape(
+        &self,
+        plan: &PhysicalPlan,
+        ctx: &ExecCtx,
+        level: MetricsLevel,
+    ) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
         // Upfront cooperative check: zero-morsel inputs still observe an
         // already-expired deadline or cancelled handle.
         ctx.check()?;
         let opts = ExecOpts {
             threads: self.threads,
             morsel_rows: self.morsel_rows,
+            level,
         };
         match &plan.shape {
             Shape::ScanAgg {
@@ -791,8 +1017,25 @@ impl Engine {
             } => {
                 let t = self.db.table(table)?;
                 match group_by {
-                    None => exec_scalar_agg(t, filter.as_ref(), aggs, *strategy, opts, ctx),
-                    Some(g) => exec_groupby_agg(t, filter.as_ref(), g, aggs, *strategy, opts, ctx),
+                    None => exec_scalar_agg(
+                        &format!("agg({table})"),
+                        t,
+                        filter.as_ref(),
+                        aggs,
+                        *strategy,
+                        opts,
+                        ctx,
+                    ),
+                    Some(g) => exec_groupby_agg(
+                        &format!("groupby-agg({table})"),
+                        t,
+                        filter.as_ref(),
+                        g,
+                        aggs,
+                        *strategy,
+                        opts,
+                        ctx,
+                    ),
                 }
             }
             Shape::SemiJoinAgg {
@@ -809,6 +1052,10 @@ impl Engine {
                 let build_t = self.db.table(build)?;
                 let fk = self.fk_positions(probe, fk_col, build)?;
                 exec_semijoin_agg(
+                    SemiJoinNames {
+                        build: &format!("semijoin-build({build})"),
+                        probe: &format!("probe-agg({probe})"),
+                    },
                     probe_t,
                     probe_filter.as_ref(),
                     build_t,
@@ -833,6 +1080,10 @@ impl Engine {
                 let build_t = self.db.table(build)?;
                 let fk = self.fk_positions(probe, fk_col, build)?;
                 exec_groupjoin_agg(
+                    SemiJoinNames {
+                        build: &format!("build-mask({build})"),
+                        probe: &format!("probe-agg({probe})"),
+                    },
                     probe_t,
                     build_t,
                     build_filter.as_ref(),
@@ -846,6 +1097,28 @@ impl Engine {
             }
         }
     }
+}
+
+/// Operator display names for the two-phase (build + probe) shapes.
+struct SemiJoinNames<'a> {
+    build: &'a str,
+    probe: &'a str,
+}
+
+/// The `comp` estimate and distinct-column count of an aggregate list —
+/// shared by the planner's chooser profile and the observed-cost re-scoring
+/// so both feed the model identical inputs.
+fn agg_comp_cols(aggs: &[AggSpec], group_by: Option<&str>) -> (f64, usize) {
+    let mut cols: Vec<String> = Vec::new();
+    for a in aggs {
+        for c in a.expr.columns() {
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+    }
+    let comp: f64 = aggs.iter().map(|a| a.expr.comp_cycles() + 0.5).sum();
+    (comp, cols.len() + group_by.map(|_| 1).unwrap_or(0))
 }
 
 /// Total base-table rows a plan scans — the footprint estimate charged for
@@ -905,6 +1178,8 @@ struct ScalarAcc {
     /// Set when a sum accumulation wrapped; surfaced as
     /// [`PlanError::Overflow`] after the merge.
     overflow: bool,
+    /// Access-pattern counters (only touched at `MetricsLevel::Counters`+).
+    ctr: AccessCounters,
     cmp: Vec<u8>,
     idx: Vec<u32>,
     val: Vec<i64>,
@@ -925,6 +1200,7 @@ impl ScalarAcc {
             acc,
             matched: 0,
             overflow: false,
+            ctr: AccessCounters::default(),
             cmp: vec![0u8; TILE],
             idx: vec![0u32; TILE],
             val: vec![0i64; TILE],
@@ -979,14 +1255,17 @@ fn merge_scalar_partials(
 }
 
 fn exec_scalar_agg(
+    op_name: &str,
     table: &Table,
     filter: Option<&Expr>,
     aggs: &[AggSpec],
     strategy: AggStrategy,
     opts: ExecOpts,
     ctx: &ExecCtx,
-) -> Result<QueryResult, PlanError> {
+) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
     let n = table.len();
+    let counting = opts.level.counting();
+    let t0 = opts.level.timing().then(Instant::now);
     let partials = parallel::run_morsels(
         ctx,
         opts.threads,
@@ -997,11 +1276,25 @@ fn exec_scalar_agg(
             ScalarAcc::new(aggs)
         },
         |w: &mut ScalarAcc, m_start, m_len| {
+            if counting {
+                w.ctr.morsels += 1;
+                w.ctr.rows_in += m_len as u64;
+                if filter.is_some() {
+                    w.ctr.predicate_evals += m_len as u64;
+                }
+            }
             for (start, len) in tiles_in(m_start, m_len) {
                 tile_mask(filter, table, start, &mut w.cmp[..len]);
                 match strategy {
                     AggStrategy::ValueMasking => {
-                        w.matched += predicate::mask_count(&w.cmp[..len]);
+                        let m = predicate::mask_count(&w.cmp[..len]);
+                        w.matched += m;
+                        if counting {
+                            w.ctr.rows_out += m as u64;
+                            // VM aggregates every lane; the non-qualifying
+                            // ones are the pullup's wasted work (§ III-A).
+                            w.ctr.wasted_lanes += (len - m) as u64;
+                        }
                         for (i, a) in aggs.iter().enumerate() {
                             match a.func {
                                 AggFunc::Sum => {
@@ -1026,6 +1319,9 @@ fn exec_scalar_agg(
                         let k =
                             selvec::fill_nobranch(&w.cmp[..len], start as u32, &mut w.idx[..len]);
                         w.matched += k;
+                        if counting {
+                            w.ctr.rows_out += k as u64;
+                        }
                         for (i, a) in aggs.iter().enumerate() {
                             match a.func {
                                 AggFunc::Count => w.acc[i] = w.acc[i].wrapping_add(k as i64),
@@ -1049,6 +1345,16 @@ fn exec_scalar_agg(
             }
         },
     )?;
+    let ops = if counting {
+        let mut op = OpMetrics::named(op_name);
+        for p in &partials {
+            op.access.merge(&p.ctr);
+        }
+        op.wall_nanos = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        vec![op]
+    } else {
+        Vec::new()
+    };
     let (acc, _, overflow) = merge_scalar_partials(aggs, partials)?;
     if overflow {
         return Err(PlanError::Overflow(format!(
@@ -1056,10 +1362,14 @@ fn exec_scalar_agg(
             strategy.name()
         )));
     }
-    Ok(QueryResult {
-        columns: aggs.iter().map(|a| a.name.clone()).collect(),
-        rows: vec![acc],
-    })
+    Ok((
+        QueryResult {
+            columns: aggs.iter().map(|a| a.name.clone()).collect(),
+            rows: vec![acc],
+            metrics: None,
+        },
+        ops,
+    ))
 }
 
 /// Thread-local state for group-by aggregation: a private [`AggTable`]
@@ -1068,6 +1378,8 @@ struct GroupAcc {
     ht: AggTable,
     /// Bytes already charged to the gauge for this worker (scratch + table).
     charged: usize,
+    /// Access-pattern counters (only touched at `MetricsLevel::Counters`+).
+    ctr: AccessCounters,
     cmp: Vec<u8>,
     idx: Vec<u32>,
     keys: Vec<i64>,
@@ -1080,6 +1392,7 @@ impl GroupAcc {
         GroupAcc {
             ht: AggTable::with_capacity(n_aggs, 64),
             charged: 0,
+            ctr: AccessCounters::default(),
             cmp: vec![0u8; TILE],
             idx: vec![0u32; TILE],
             keys: vec![0i64; TILE],
@@ -1104,7 +1417,9 @@ fn charge_growth(gauge: &crate::runtime::MemGauge, charged: &mut usize, now_byte
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_groupby_agg(
+    op_name: &str,
     table: &Table,
     filter: Option<&Expr>,
     group_by: &str,
@@ -1112,9 +1427,11 @@ fn exec_groupby_agg(
     strategy: AggStrategy,
     opts: ExecOpts,
     ctx: &ExecCtx,
-) -> Result<QueryResult, PlanError> {
+) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
     let n = table.len();
     let n_aggs = aggs.len();
+    let counting = opts.level.counting();
+    let t0 = opts.level.timing().then(Instant::now);
     let key_expr = Expr::col(group_by);
     let partials = parallel::run_morsels(
         ctx,
@@ -1128,6 +1445,13 @@ fn exec_groupby_agg(
             w
         },
         |w: &mut GroupAcc, m_start, m_len| {
+            if counting {
+                w.ctr.morsels += 1;
+                w.ctr.rows_in += m_len as u64;
+                if filter.is_some() {
+                    w.ctr.predicate_evals += m_len as u64;
+                }
+            }
             for (start, len) in tiles_in(m_start, m_len) {
                 tile_mask(filter, table, start, &mut w.cmp[..len]);
                 key_expr.eval_values(table, start, &mut w.keys[..len]);
@@ -1140,6 +1464,10 @@ fn exec_groupby_agg(
                     AggStrategy::Hybrid => {
                         let k =
                             selvec::fill_nobranch(&w.cmp[..len], start as u32, &mut w.idx[..len]);
+                        if counting {
+                            w.ctr.rows_out += k as u64;
+                            w.ctr.ht_probes += k as u64;
+                        }
                         for &j in &w.idx[..k] {
                             let j = j as usize - start;
                             let off = w.ht.entry(w.keys[j]);
@@ -1165,6 +1493,15 @@ fn exec_groupby_agg(
                         }
                     }
                     AggStrategy::ValueMasking => {
+                        if counting {
+                            // The one counter the VM kernel does not already
+                            // produce: qualifying-lane count (the budgeted
+                            // extra mask_count per tile).
+                            let m = predicate::mask_count(&w.cmp[..len]);
+                            w.ctr.rows_out += m as u64;
+                            w.ctr.wasted_lanes += (len - m) as u64;
+                            w.ctr.ht_probes += len as u64;
+                        }
                         for j in 0..len {
                             let off = w.ht.entry(w.keys[j]);
                             let m = w.cmp[j] as i64;
@@ -1187,6 +1524,12 @@ fn exec_groupby_agg(
                             &w.cmp[..len],
                             &mut w.masked[..len],
                         );
+                        if counting {
+                            let m = predicate::mask_count(&w.cmp[..len]);
+                            w.ctr.rows_out += m as u64;
+                            w.ctr.wasted_lanes += (len - m) as u64;
+                            w.ctr.ht_probes += len as u64;
+                        }
                         for j in 0..len {
                             let off = w.ht.entry(w.masked[j]);
                             for (i, a) in aggs.iter().enumerate() {
@@ -1210,6 +1553,17 @@ fn exec_groupby_agg(
             charge_growth(&ctx.gauge, &mut w.charged, now_bytes);
         },
     )?;
+    // Snapshot worker counters BEFORE the merge: merge_from probes through
+    // self.entry(), which would contaminate the merged table's counters
+    // with merge traffic that never touched base data.
+    let mut op = counting.then(|| {
+        let mut op = OpMetrics::named(op_name);
+        for p in &partials {
+            op.access.merge(&p.ctr);
+            op.ht.merge(&p.ht.counters());
+        }
+        op
+    });
     let ops = merge_ops(aggs);
     let mut iter = partials.into_iter();
     let mut ht = iter
@@ -1228,7 +1582,17 @@ fn exec_groupby_agg(
             strategy.name()
         )));
     }
-    Ok(rows_from_table(group_by, aggs, &ht))
+    if let Some(op) = op.as_mut() {
+        // Per-worker insert counts depend on the morsel partition (several
+        // workers insert the same key); the merged table's final key count
+        // is the deterministic figure the analyze output reports.
+        op.ht.inserts = ht.len() as u64;
+        op.wall_nanos = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+    }
+    Ok((
+        rows_from_table(group_by, aggs, &ht),
+        op.into_iter().collect(),
+    ))
 }
 
 fn rows_from_table(key_name: &str, aggs: &[AggSpec], ht: &AggTable) -> QueryResult {
@@ -1245,7 +1609,11 @@ fn rows_from_table(key_name: &str, aggs: &[AggSpec], ht: &AggTable) -> QueryResu
     rows.sort_unstable();
     let mut columns = vec![key_name.to_string()];
     columns.extend(aggs.iter().map(|a| a.name.clone()));
-    QueryResult { columns, rows }
+    QueryResult {
+        columns,
+        rows,
+        metrics: None,
+    }
 }
 
 /// Evaluate the build-side predicate mask over the whole build table,
@@ -1274,6 +1642,7 @@ fn build_mask(
 
 #[allow(clippy::too_many_arguments)]
 fn exec_semijoin_agg(
+    names: SemiJoinNames<'_>,
     probe: &Table,
     probe_filter: Option<&Expr>,
     build: &Table,
@@ -1284,10 +1653,12 @@ fn exec_semijoin_agg(
     probe_masked: bool,
     opts: ExecOpts,
     ctx: &ExecCtx,
-) -> Result<QueryResult, PlanError> {
+) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
+    let counting = opts.level.counting();
     // Build phase. Each pullup temporary (mask bytes, key-set storage,
     // bitmap words) is charged to the gauge before it is materialized.
     let build_n = build.len();
+    let build_t0 = opts.level.timing().then(Instant::now);
     let build_cmp = build_mask(build, build_filter, opts.threads, ctx)?;
     enum BuildSide {
         Set(KeySet),
@@ -1325,9 +1696,33 @@ fn exec_semijoin_agg(
             BuildSide::Bitmap(PositionalBitmap::from_selection(build_n, &sel))
         }
     };
+    let build_op = counting.then(|| {
+        let mut op = OpMetrics::named(names.build);
+        op.access.rows_in = build_n as u64;
+        if build_filter.is_some() {
+            op.access.predicate_evals = build_n as u64;
+        }
+        match &side {
+            BuildSide::Set(set) => {
+                // Build positions are distinct, so the set's key count is
+                // exactly the qualifying build rows.
+                op.access.rows_out = set.len() as u64;
+                op.ht.inserts = set.len() as u64;
+                op.ht.bytes_allocated = set.size_bytes() as u64;
+            }
+            BuildSide::Bitmap(bm) => {
+                op.access.rows_out = bm.count_ones() as u64;
+                op.bitmap_bits_set = bm.count_ones() as u64;
+                op.bitmap_words = bm.word_count() as u64;
+            }
+        }
+        op.wall_nanos = build_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        op
+    });
     // Probe phase: scalar accumulation on morsel workers sharing the
     // read-only build side.
     let n = probe.len();
+    let probe_t0 = opts.level.timing().then(Instant::now);
     let partials = parallel::run_morsels(
         ctx,
         opts.threads,
@@ -1338,6 +1733,13 @@ fn exec_semijoin_agg(
             ScalarAcc::new(aggs)
         },
         |w: &mut ScalarAcc, m_start, m_len| {
+            if counting {
+                w.ctr.morsels += 1;
+                w.ctr.rows_in += m_len as u64;
+                if probe_filter.is_some() {
+                    w.ctr.predicate_evals += m_len as u64;
+                }
+            }
             for (start, len) in tiles_in(m_start, m_len) {
                 tile_mask(probe_filter, probe, start, &mut w.cmp[..len]);
                 // Fold the join bit into the mask, per build structure.
@@ -1346,7 +1748,15 @@ fn exec_semijoin_agg(
                         for j in 0..len {
                             w.cmp[j] &= bm.get_bit(fk[start + j] as usize) as u8;
                         }
-                        w.matched += predicate::mask_count(&w.cmp[..len]);
+                        let m = predicate::mask_count(&w.cmp[..len]);
+                        w.matched += m;
+                        if counting {
+                            // Every lane probes the bitmap and is
+                            // aggregated; non-matching lanes are wasted.
+                            w.ctr.ht_probes += len as u64;
+                            w.ctr.rows_out += m as u64;
+                            w.ctr.wasted_lanes += (len - m) as u64;
+                        }
                         for (i, a) in aggs.iter().enumerate() {
                             match a.func {
                                 AggFunc::Sum => {
@@ -1368,6 +1778,11 @@ fn exec_semijoin_agg(
                     (side, _) => {
                         let k =
                             selvec::fill_nobranch(&w.cmp[..len], start as u32, &mut w.idx[..len]);
+                        if counting {
+                            // Only filter-qualifying rows reach the probe;
+                            // join-missed ones still aggregate a zero.
+                            w.ctr.ht_probes += k as u64;
+                        }
                         for (i, a) in aggs.iter().enumerate() {
                             if a.func != AggFunc::Count {
                                 a.expr.eval_values(probe, start, &mut w.val[..len]);
@@ -1387,6 +1802,10 @@ fn exec_semijoin_agg(
                                 }
                                 if i == 0 {
                                     w.matched += hit as usize;
+                                    if counting {
+                                        w.ctr.rows_out += hit as u64;
+                                        w.ctr.wasted_lanes += (1 - hit) as u64;
+                                    }
                                 }
                             }
                         }
@@ -1395,14 +1814,28 @@ fn exec_semijoin_agg(
             }
         },
     )?;
+    let mut op_list = Vec::new();
+    if let Some(build_op) = build_op {
+        let mut probe_op = OpMetrics::named(names.probe);
+        for p in &partials {
+            probe_op.access.merge(&p.ctr);
+        }
+        probe_op.wall_nanos = probe_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        op_list.push(build_op);
+        op_list.push(probe_op);
+    }
     let (acc, _, overflow) = merge_scalar_partials(aggs, partials)?;
     if overflow {
         return Err(PlanError::Overflow("semijoin aggregation".into()));
     }
-    Ok(QueryResult {
-        columns: aggs.iter().map(|a| a.name.clone()).collect(),
-        rows: vec![acc],
-    })
+    Ok((
+        QueryResult {
+            columns: aggs.iter().map(|a| a.name.clone()).collect(),
+            rows: vec![acc],
+            metrics: None,
+        },
+        op_list,
+    ))
 }
 
 /// Thread-local state for groupjoin execution.
@@ -1410,6 +1843,8 @@ struct GroupJoinAcc {
     ht: AggTable,
     /// Bytes already charged to the gauge for this worker.
     charged: usize,
+    /// Access-pattern counters (only touched at `MetricsLevel::Counters`+).
+    ctr: AccessCounters,
     vals: Vec<Vec<i64>>,
 }
 
@@ -1418,6 +1853,7 @@ impl GroupJoinAcc {
         GroupJoinAcc {
             ht: AggTable::with_capacity(n_aggs, capacity),
             charged: 0,
+            ctr: AccessCounters::default(),
             vals: vec![vec![0i64; TILE]; n_aggs],
         }
     }
@@ -1429,6 +1865,7 @@ impl GroupJoinAcc {
 
 #[allow(clippy::too_many_arguments)]
 fn exec_groupjoin_agg(
+    names: SemiJoinNames<'_>,
     probe: &Table,
     build: &Table,
     build_filter: Option<&Expr>,
@@ -1438,10 +1875,23 @@ fn exec_groupjoin_agg(
     strategy: GroupJoinStrategy,
     opts: ExecOpts,
     ctx: &ExecCtx,
-) -> Result<QueryResult, PlanError> {
+) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
     let n_aggs = aggs.len();
+    let counting = opts.level.counting();
     let build_n = build.len();
+    let build_t0 = opts.level.timing().then(Instant::now);
     let build_cmp = build_mask(build, build_filter, opts.threads, ctx)?;
+    let build_op = counting.then(|| {
+        let mut op = OpMetrics::named(names.build);
+        op.access.rows_in = build_n as u64;
+        if build_filter.is_some() {
+            op.access.predicate_evals = build_n as u64;
+        }
+        op.access.rows_out = predicate::mask_count(&build_cmp) as u64;
+        op.wall_nanos = build_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        op
+    });
+    let probe_t0 = opts.level.timing().then(Instant::now);
     let capacity = (build_n / 2).max(16);
     let init = || {
         let mut w = GroupJoinAcc::new(n_aggs, capacity);
@@ -1457,6 +1907,10 @@ fn exec_groupjoin_agg(
             opts.morsel_rows,
             init,
             |w: &mut GroupJoinAcc, m_start, m_len| {
+                if counting {
+                    w.ctr.morsels += 1;
+                    w.ctr.rows_in += m_len as u64;
+                }
                 for (start, len) in tiles_in(m_start, m_len) {
                     for (i, a) in aggs.iter().enumerate() {
                         if a.func != AggFunc::Count {
@@ -1469,6 +1923,10 @@ fn exec_groupjoin_agg(
                         // probing a table pre-populated with qualifying
                         // keys, but sharable read-only across workers.
                         if build_cmp[pos] != 0 {
+                            if counting {
+                                w.ctr.rows_out += 1;
+                                w.ctr.ht_probes += 1;
+                            }
                             let off = w.ht.entry(pos as i64);
                             for (i, a) in aggs.iter().enumerate() {
                                 let add = match a.func {
@@ -1493,6 +1951,10 @@ fn exec_groupjoin_agg(
             opts.morsel_rows,
             init,
             |w: &mut GroupJoinAcc, m_start, m_len| {
+                if counting {
+                    w.ctr.morsels += 1;
+                    w.ctr.rows_in += m_len as u64;
+                }
                 for (start, len) in tiles_in(m_start, m_len) {
                     for (i, a) in aggs.iter().enumerate() {
                         if a.func != AggFunc::Count {
@@ -1500,6 +1962,16 @@ fn exec_groupjoin_agg(
                         }
                     }
                     for j in 0..len {
+                        let pos = fk[start + j] as usize;
+                        if counting {
+                            // Eager aggregation touches every probe row
+                            // (§ III-E); rows whose parent fails the build
+                            // filter are aggregated then deleted — wasted.
+                            let q = (build_cmp[pos] != 0) as u64;
+                            w.ctr.rows_out += q;
+                            w.ctr.wasted_lanes += 1 - q;
+                            w.ctr.ht_probes += 1;
+                        }
                         let off = w.ht.entry(fk[start + j] as i64);
                         for (i, a) in aggs.iter().enumerate() {
                             let add = match a.func {
@@ -1517,6 +1989,16 @@ fn exec_groupjoin_agg(
             },
         )?,
     };
+    // Snapshot worker counters BEFORE the merge (merge_from probes through
+    // self.entry(), which would pollute the counters with merge traffic).
+    let mut probe_op = counting.then(|| {
+        let mut op = OpMetrics::named(names.probe);
+        for p in &partials {
+            op.access.merge(&p.ctr);
+            op.ht.merge(&p.ht.counters());
+        }
+        op
+    });
     let ops = merge_ops(aggs);
     let mut iter = partials.into_iter();
     let mut ht = iter
@@ -1540,5 +2022,15 @@ fn exec_groupjoin_agg(
         // them, so the wraparound may be spurious — retried data-centric.
         return Err(PlanError::Overflow("groupjoin aggregation".into()));
     }
-    Ok(rows_from_table(fk_col, aggs, &ht))
+    let mut op_list = Vec::new();
+    if let (Some(build_op), Some(probe_op)) = (build_op, probe_op.take()) {
+        let mut probe_op = probe_op;
+        // Post-deletion key count: the deterministic number of surviving
+        // groups, regardless of how workers partitioned the probe side.
+        probe_op.ht.inserts = ht.len() as u64;
+        probe_op.wall_nanos = probe_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        op_list.push(build_op);
+        op_list.push(probe_op);
+    }
+    Ok((rows_from_table(fk_col, aggs, &ht), op_list))
 }

@@ -10,10 +10,33 @@ use crate::engine::QueryResult;
 use crate::error::PlanError;
 use crate::expr::AggFunc;
 use crate::logical::{AggSpec, LogicalPlan};
+use crate::metrics::OpMetrics;
 use std::collections::BTreeMap;
 
 /// Execute `plan` naively.
 pub fn run(db: &Database, plan: &LogicalPlan) -> Result<QueryResult, PlanError> {
+    run_metered(db, plan).map(|(res, _)| res)
+}
+
+/// Execute `plan` naively, also reporting the interpreter's access
+/// counters as a single operator (used when the engine falls back to the
+/// data-centric strategy at `MetricsLevel::Counters`+). The interpreter
+/// reads attributes conditionally row-at-a-time, so `wasted_lanes` is
+/// always 0 and `ht_probes` counts the semijoin membership lookups.
+pub fn run_metered(
+    db: &Database,
+    plan: &LogicalPlan,
+) -> Result<(QueryResult, OpMetrics), PlanError> {
+    let mut op = OpMetrics::named("data-centric interpreter");
+    let res = run_inner(db, plan, &mut op)?;
+    Ok((res, op))
+}
+
+fn run_inner(
+    db: &Database,
+    plan: &LogicalPlan,
+    op: &mut OpMetrics,
+) -> Result<QueryResult, PlanError> {
     let LogicalPlan::Aggregate {
         input,
         group_by,
@@ -29,7 +52,8 @@ pub fn run(db: &Database, plan: &LogicalPlan) -> Result<QueryResult, PlanError> 
     }
     let base = input.base_table();
     let table = db.table(base)?;
-    let rows = qualifying_rows(db, input)?;
+    let rows = qualifying_rows(db, input, op)?;
+    op.access.rows_out = rows.len() as u64;
     match group_by {
         None => {
             let mut acc = vec![0i64; aggs.len()];
@@ -52,6 +76,7 @@ pub fn run(db: &Database, plan: &LogicalPlan) -> Result<QueryResult, PlanError> 
             Ok(QueryResult {
                 columns: aggs.iter().map(|a| a.name.clone()).collect(),
                 rows: vec![acc],
+                metrics: None,
             })
         }
         Some(g) => {
@@ -79,6 +104,7 @@ pub fn run(db: &Database, plan: &LogicalPlan) -> Result<QueryResult, PlanError> 
             columns.extend(aggs.iter().map(|a| a.name.clone()));
             Ok(QueryResult {
                 columns,
+                metrics: None,
                 rows: groups
                     .into_iter()
                     .map(|(k, acc)| {
@@ -104,13 +130,24 @@ fn accumulate(acc: &mut i64, spec: &AggSpec, table: &swole_storage::Table, row: 
 }
 
 /// Rows of the plan's base table that survive all filters and semijoins.
-fn qualifying_rows(db: &Database, plan: &LogicalPlan) -> Result<Vec<usize>, PlanError> {
+/// Counter adds are unconditional — the interpreter is the slow path by
+/// design, so a handful of `u64` adds per plan node is noise.
+fn qualifying_rows(
+    db: &Database,
+    plan: &LogicalPlan,
+    op: &mut OpMetrics,
+) -> Result<Vec<usize>, PlanError> {
     match plan {
-        LogicalPlan::Scan { table } => Ok((0..db.table(table)?.len()).collect()),
+        LogicalPlan::Scan { table } => {
+            let n = db.table(table)?.len();
+            op.access.rows_in += n as u64;
+            Ok((0..n).collect())
+        }
         LogicalPlan::Filter { input, predicate } => {
             let table = db.table(input.base_table())?;
             predicate.validate(table)?;
-            let rows = qualifying_rows(db, input)?;
+            let rows = qualifying_rows(db, input, op)?;
+            op.access.predicate_evals += rows.len() as u64;
             Ok(rows
                 .into_iter()
                 .filter(|&r| predicate.eval_row(table, r) != 0)
@@ -123,7 +160,7 @@ fn qualifying_rows(db: &Database, plan: &LogicalPlan) -> Result<Vec<usize>, Plan
         } => {
             let child = db.table(input.base_table())?;
             let parent_name = build.base_table();
-            let surviving = qualifying_rows(db, build)?;
+            let surviving = qualifying_rows(db, build, op)?;
             let parent_set: std::collections::HashSet<usize> = surviving.into_iter().collect();
             let fk = match db.fk_index(input.base_table(), fk_col, parent_name) {
                 Some(idx) => idx.positions().to_vec(),
@@ -140,7 +177,8 @@ fn qualifying_rows(db: &Database, plan: &LogicalPlan) -> Result<Vec<usize>, Plan
                     })?
                     .to_vec(),
             };
-            let rows = qualifying_rows(db, input)?;
+            let rows = qualifying_rows(db, input, op)?;
+            op.access.ht_probes += rows.len() as u64;
             Ok(rows
                 .into_iter()
                 .filter(|&r| parent_set.contains(&(fk[r] as usize)))

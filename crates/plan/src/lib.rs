@@ -38,6 +38,7 @@ pub mod expr;
 pub mod faults;
 pub mod interp;
 mod logical;
+pub mod metrics;
 mod parallel;
 pub mod physical;
 mod runtime;
@@ -49,5 +50,6 @@ pub use engine::{Engine, EngineBuilder, Explain, QueryResult};
 pub use error::PlanError;
 pub use expr::{AggFunc, CmpOp, Expr};
 pub use logical::{AggSpec, LogicalPlan, QueryBuilder};
+pub use metrics::{MetricsLevel, OpMetrics, QueryMetrics};
 pub use runtime::{ExecHandle, MemGauge};
-pub use sql::{parse as parse_sql, SqlError};
+pub use sql::{parse as parse_sql, ExplainMode, SqlError};

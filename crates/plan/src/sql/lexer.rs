@@ -41,9 +41,9 @@ pub(crate) enum Sym {
 
 /// SQL keywords (matched case-insensitively; everything else is an
 /// identifier).
-const KEYWORDS: [&str; 20] = [
+const KEYWORDS: [&str; 22] = [
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "NOT", "AS", "SUM", "COUNT", "MIN",
-    "MAX", "LIKE", "IN", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE",
+    "MAX", "LIKE", "IN", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "EXPLAIN", "ANALYZE",
 ];
 
 /// `END` is also a keyword but handled with the CASE machinery.

@@ -17,6 +17,7 @@
 //! Supported grammar (case-insensitive keywords):
 //!
 //! ```text
+//! stmt    := [EXPLAIN [ANALYZE]] query
 //! query   := SELECT items FROM table [, table] [WHERE conj] [GROUP BY col]
 //! items   := item (',' item)*
 //! item    := col | SUM(expr) | COUNT(*) | MIN(expr) | MAX(expr) [AS name]
@@ -29,11 +30,16 @@
 //! must be `child.fk = parent.rowid` (`rowid` is each table's implicit
 //! dense primary key), other predicates are routed to the side whose
 //! columns they reference, and `GROUP BY fk` selects the groupjoin shape.
+//!
+//! An `EXPLAIN [ANALYZE]` prefix does not change the bound plan; it sets
+//! [`ParsedQuery::explain`] so the caller can route the plan to
+//! [`crate::Engine::explain`] or [`crate::Engine::explain_analyze`]
+//! instead of executing it.
 
 mod lexer;
 mod parser;
 
-pub use parser::{parse, ParsedQuery};
+pub use parser::{parse, ExplainMode, ParsedQuery};
 
 use std::fmt;
 

@@ -6,11 +6,23 @@ use crate::expr::{CmpOp, Expr};
 use crate::logical::{AggSpec, LogicalPlan};
 use crate::AggFunc;
 
+/// How a query asked to be explained rather than executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainMode {
+    /// `EXPLAIN ...`: plan only ([`crate::Engine::explain`]).
+    Plan,
+    /// `EXPLAIN ANALYZE ...`: plan plus execution metrics
+    /// ([`crate::Engine::explain_analyze`]).
+    Analyze,
+}
+
 /// A successfully parsed query.
 #[derive(Debug, Clone)]
 pub struct ParsedQuery {
     /// The bound logical plan (feed it to [`crate::Engine::query`]).
     pub plan: LogicalPlan,
+    /// `Some` when the query was prefixed with `EXPLAIN [ANALYZE]`.
+    pub explain: Option<ExplainMode>,
 }
 
 /// Parse a SQL string into a logical plan. See the module docs for the
@@ -18,9 +30,20 @@ pub struct ParsedQuery {
 pub fn parse(input: &str) -> Result<ParsedQuery, SqlError> {
     let tokens = tokenize(input)?;
     let mut p = Parser { tokens, cursor: 0 };
+    let explain = if p.eat_keyword("EXPLAIN") {
+        if p.eat_keyword("ANALYZE") {
+            Some(ExplainMode::Analyze)
+        } else {
+            Some(ExplainMode::Plan)
+        }
+    } else {
+        None
+    };
     let q = p.parse_query()?;
     p.expect_end()?;
-    bind(q)
+    let mut parsed = bind(q)?;
+    parsed.explain = explain;
+    Ok(parsed)
 }
 
 // ---------------------------------------------------------------------
@@ -630,6 +653,7 @@ fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
                     group_by,
                     aggs,
                 },
+                explain: None,
             })
         }
         2 => {
@@ -744,6 +768,7 @@ fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
                     group_by,
                     aggs,
                 },
+                explain: None,
             })
         }
         n => Err(fail(format!("FROM supports 1 or 2 tables, got {n}"))),
@@ -771,6 +796,20 @@ mod tests {
                 vec![AggSpec::sum(Expr::col("r_a").mul(Expr::col("r_b")), "s")],
             );
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn explain_prefix_modes() {
+        let plain = parse("select sum(r_a) as s from R").unwrap();
+        assert_eq!(plain.explain, None);
+        let ex = parse("explain select sum(r_a) as s from R").unwrap();
+        assert_eq!(ex.explain, Some(ExplainMode::Plan));
+        assert_eq!(ex.plan, plain.plan);
+        let ea = parse("EXPLAIN ANALYZE select sum(r_a) as s from R where r_x < 13").unwrap();
+        assert_eq!(ea.explain, Some(ExplainMode::Analyze));
+        assert_eq!(ea.plan.base_table(), "R");
+        // ANALYZE without EXPLAIN is just an identifier position — error.
+        assert!(parse("analyze select sum(r_a) as s from R").is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! cargo run --release --example sql
 //! ```
 
-use swole::plan::parse_sql;
+use swole::plan::{parse_sql, ExplainMode};
 use swole::prelude::*;
 use swole_micro::{generate, MicroParams};
 
@@ -44,17 +44,39 @@ fn main() {
         // Q5: groupjoin.
         "select R.r_fk, sum(R.r_a * R.r_b) as s from R, S \
          where R.r_fk = S.rowid and S.s_x < 50 group by R.r_fk",
+        // EXPLAIN ANALYZE: execute and report per-operator access counters
+        // plus the cost model's predicted-vs-observed comparison.
+        "explain analyze select r_c, sum(r_a * r_b) as s \
+         from R where r_x < 60 and r_y = 1 group by r_c",
     ];
 
     for sql in queries {
         println!("SQL> {sql}");
-        let plan = match parse_sql(sql) {
-            Ok(p) => p.plan,
+        let parsed = match parse_sql(sql) {
+            Ok(p) => p,
             Err(e) => {
                 println!("  parse error: {e}\n");
                 continue;
             }
         };
+        let plan = parsed.plan;
+        match parsed.explain {
+            Some(ExplainMode::Analyze) => {
+                match engine.explain_analyze(&plan) {
+                    Ok(report) => println!("{}\n", textwrap(&report.to_string())),
+                    Err(e) => println!("  plan error: {e}\n"),
+                }
+                continue;
+            }
+            Some(ExplainMode::Plan) => {
+                match engine.explain(&plan) {
+                    Ok(report) => println!("{}\n", textwrap(&report.to_string())),
+                    Err(e) => println!("  plan error: {e}\n"),
+                }
+                continue;
+            }
+            None => {}
+        }
         match engine.explain(&plan) {
             Ok(report) => println!("{}", textwrap(&report.to_string())),
             Err(e) => {

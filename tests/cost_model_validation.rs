@@ -1,0 +1,258 @@
+//! Validate the cost model against EXPLAIN ANALYZE observations.
+//!
+//! The engine's `QueryMetrics` carries two evaluations of the *same* cost
+//! formula: `predicted_cost` with the planner's sampled estimates, and
+//! `observed_cost` re-evaluated with the measured selectivity and group
+//! count. Two things must hold for the paper's argument to be honest:
+//!
+//! 1. the sampling estimates are good — observed selectivity lands within
+//!    a small error bound of the estimate, so predicted ≈ observed cost;
+//! 2. the chooser's ranking survives contact with reality — the strategy
+//!    it picks is within tolerance of the observed-best strategy when
+//!    every candidate is re-scored with observed inputs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swole::prelude::*;
+use swole_tpch::catalog::to_database;
+
+/// Sampling error bound on selectivity (the stats module samples ~2k rows;
+/// ±0.05 absolute is generous at that sample size).
+const SEL_TOLERANCE: f64 = 0.05;
+
+/// Tolerance on predicted-vs-observed cost. Cost scales roughly linearly
+/// in selectivity, so the selectivity bound plus the distinct-count
+/// estimate's slack lands well inside 25%.
+const COST_TOLERANCE: f64 = 0.25;
+
+fn make_db(seed: u64, n_r: usize) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("R")
+            .with_column(
+                "x",
+                ColumnData::I8((0..n_r).map(|_| rng.gen_range(0i8..100)).collect()),
+            )
+            .with_column(
+                "a",
+                ColumnData::I32((0..n_r).map(|_| rng.gen_range(1i32..50)).collect()),
+            )
+            .with_column(
+                "b",
+                ColumnData::I32((0..n_r).map(|_| rng.gen_range(1i32..50)).collect()),
+            )
+            .with_column(
+                "c",
+                ColumnData::I16((0..n_r).map(|_| rng.gen_range(0i16..64)).collect()),
+            ),
+    );
+    db
+}
+
+fn groupby_plan(cutoff: i64) -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(cutoff)))
+        .aggregate(
+            Some("c"),
+            vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+        )
+}
+
+fn scalar_plan(cutoff: i64) -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(cutoff)))
+        .aggregate(
+            None,
+            vec![AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s")],
+        )
+}
+
+fn counters_engine(configure: impl FnOnce(EngineBuilder) -> EngineBuilder) -> Engine {
+    configure(Engine::builder(make_db(7, 100_000)))
+        .threads(2)
+        .metrics(MetricsLevel::Counters)
+        .build()
+}
+
+#[test]
+fn observed_selectivity_within_estimate_bound() {
+    // Sweep the selectivity range; the sampled estimate must track the
+    // measured truth at every point, scalar and group-by alike.
+    for cutoff in [5i64, 25, 50, 75, 95] {
+        for plan in [scalar_plan(cutoff), groupby_plan(cutoff)] {
+            let engine = counters_engine(|b| b);
+            let res = engine.query(&plan).expect("runs");
+            let m = res.metrics().expect("counters").clone();
+            let est = m
+                .estimated_selectivity
+                .expect("filtered plans report an estimate");
+            let obs = m.operators[0]
+                .observed_selectivity()
+                .expect("rows were scanned");
+            let true_sel = cutoff as f64 / 100.0;
+            assert!(
+                (est - obs).abs() < SEL_TOLERANCE,
+                "cutoff {cutoff}: est {est:.4} vs observed {obs:.4}"
+            );
+            // And the observed value is the ground truth, not another
+            // estimate: the generator is uniform on 0..100.
+            assert!(
+                (obs - true_sel).abs() < 0.02,
+                "cutoff {cutoff}: observed {obs:.4} vs true {true_sel:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn predicted_cost_tracks_observed_cost() {
+    // For every pinned strategy the predicted and observed evaluations of
+    // its formula must agree within COST_TOLERANCE — the only inputs that
+    // change are the estimated selectivity and group count.
+    for strategy in [
+        AggStrategy::Hybrid,
+        AggStrategy::ValueMasking,
+        AggStrategy::KeyMasking,
+    ] {
+        for cutoff in [10i64, 50, 90] {
+            let engine = counters_engine(|b| b.agg_strategy(strategy));
+            let res = engine.query(&groupby_plan(cutoff)).expect("runs");
+            let m = res.metrics().expect("counters").clone();
+            let err = m.cost_relative_error().unwrap_or_else(|| {
+                panic!(
+                    "{} cutoff {cutoff}: missing cost comparison",
+                    strategy.name()
+                )
+            });
+            assert!(
+                err < COST_TOLERANCE,
+                "{} cutoff {cutoff}: predicted {:?} vs observed {:?} (rel err {:.1}%)",
+                strategy.name(),
+                m.predicted_cost,
+                m.observed_cost,
+                err * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn chooser_ranking_survives_observation() {
+    // Re-score every strategy with observed inputs; the strategy the
+    // chooser picked on estimates must be within tolerance of the
+    // observed-best candidate. (It need not *be* the best — estimates can
+    // legitimately flip a near-tie — but it must never be a blowout.)
+    for cutoff in [10i64, 40, 70, 95] {
+        let plan = groupby_plan(cutoff);
+        let mut observed: Vec<(AggStrategy, f64)> = Vec::new();
+        for strategy in [
+            AggStrategy::Hybrid,
+            AggStrategy::ValueMasking,
+            AggStrategy::KeyMasking,
+        ] {
+            let engine = counters_engine(|b| b.agg_strategy(strategy));
+            let res = engine.query(&plan).expect("runs");
+            let m = res.metrics().expect("counters").clone();
+            observed.push((
+                strategy,
+                m.observed_cost
+                    .unwrap_or_else(|| panic!("{} reports observed cost", strategy.name())),
+            ));
+        }
+        let best = observed
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(f64::INFINITY, f64::min);
+        let engine = counters_engine(|b| b);
+        let picked = engine
+            .plan(&plan)
+            .expect("plans")
+            .agg_strategy()
+            .expect("aggregation has a strategy");
+        let picked_cost = observed
+            .iter()
+            .find(|(s, _)| *s == picked)
+            .map(|&(_, c)| c)
+            .expect("picked strategy was scored");
+        assert!(
+            picked_cost <= best * (1.0 + COST_TOLERANCE),
+            "cutoff {cutoff}: chooser picked {} at observed {picked_cost:.3e}, \
+             observed-best is {best:.3e}",
+            picked.name()
+        );
+    }
+}
+
+#[test]
+fn tpch_q6_shape_cost_validation() {
+    // Same validation on real TPC-H data and the paper's Q6 shape, through
+    // the SQL frontend and EXPLAIN ANALYZE path.
+    let db = swole_tpch::generate(0.004, 99);
+    let (lo, hi) = (
+        swole_tpch::q6_date_lo().days(),
+        swole_tpch::q6_date_hi().days(),
+    );
+    let sql = format!(
+        "select sum(l_extendedprice * l_discount) as revenue from lineitem \
+         where l_shipdate >= {lo} and l_shipdate < {hi} \
+           and l_discount between 5 and 7 and l_quantity < 24"
+    );
+    let plan = swole::plan::parse_sql(&sql).expect("parses").plan;
+    let engine = Engine::builder(to_database(&db))
+        .threads(2)
+        .metrics(MetricsLevel::Counters)
+        .build();
+    let res = engine.query(&plan).expect("runs");
+    let m = res.metrics().expect("counters").clone();
+    let est = m.estimated_selectivity.expect("estimate present");
+    let obs = m.operators[0].observed_selectivity().expect("rows scanned");
+    assert!(
+        (est - obs).abs() < SEL_TOLERANCE,
+        "q6: est {est:.4} vs observed {obs:.4}"
+    );
+    if let Some(err) = m.cost_relative_error() {
+        assert!(err < COST_TOLERANCE, "q6: cost rel err {:.1}%", err * 100.0);
+    }
+}
+
+#[test]
+fn tpch_groupjoin_cost_validation() {
+    // Groupjoin path: the build-side selectivity estimate and the
+    // groupjoin cost formulas, validated on orders ⋉ lineitem.
+    let db = swole_tpch::generate(0.004, 99);
+    let (lo, hi) = (
+        swole_tpch::q4_date_lo().days(),
+        swole_tpch::q4_date_hi().days(),
+    );
+    let sql = format!(
+        "select lineitem.l_orderkey, sum(lineitem.l_extendedprice) as s \
+         from lineitem, orders \
+         where lineitem.l_orderkey = orders.rowid \
+           and orders.o_orderdate >= {lo} and orders.o_orderdate < {hi} \
+         group by lineitem.l_orderkey"
+    );
+    let plan = swole::plan::parse_sql(&sql).expect("parses").plan;
+    for strategy in [
+        GroupJoinStrategy::GroupJoin,
+        GroupJoinStrategy::EagerAggregation,
+    ] {
+        let engine = Engine::builder(to_database(&db))
+            .threads(2)
+            .metrics(MetricsLevel::Counters)
+            .groupjoin_strategy(strategy)
+            .build();
+        let res = engine.query(&plan).expect("runs");
+        let m = res.metrics().expect("counters").clone();
+        let err = m
+            .cost_relative_error()
+            .unwrap_or_else(|| panic!("{strategy:?}: missing cost comparison"));
+        assert!(
+            err < COST_TOLERANCE,
+            "{strategy:?}: predicted {:?} vs observed {:?} (rel err {:.1}%)",
+            m.predicted_cost,
+            m.observed_cost,
+            err * 100.0
+        );
+    }
+}

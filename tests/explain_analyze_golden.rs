@@ -1,0 +1,86 @@
+//! Golden snapshots of `EXPLAIN ANALYZE` text on TPC-H query shapes.
+//!
+//! Single-threaded runs with a fixed generator seed make every line of the
+//! report deterministic except wall-clock times; those lines (the only
+//! ones containing `ns`) are normalized to `<time>` before comparison.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test explain_analyze_golden
+//! ```
+
+use swole::plan::parse_sql;
+use swole::prelude::*;
+use swole_tpch::catalog::to_database;
+
+fn engine() -> Engine {
+    // threads(1): hash-table internals (probe chains, resizes) are
+    // partition-dependent, so only a single worker is fully golden.
+    Engine::builder(to_database(&swole_tpch::generate(0.004, 99)))
+        .threads(1)
+        .metrics(MetricsLevel::Timings)
+        .build()
+}
+
+fn normalize(text: &str) -> String {
+    let mut out: Vec<String> = Vec::new();
+    for l in text.lines() {
+        if l.contains(" ns") {
+            let keep = l.split(':').next().unwrap_or(l);
+            out.push(format!("{keep}: <time>"));
+        } else {
+            out.push(l.to_string());
+        }
+    }
+    out.join("\n") + "\n"
+}
+
+fn assert_golden(name: &str, sql: &str) {
+    let plan = parse_sql(sql).expect("parses").plan;
+    let report = engine().explain_analyze(&plan).expect("runs");
+    let got = normalize(&report.to_string());
+    let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR")))
+            .expect("mkdir");
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        got, want,
+        "{name}: EXPLAIN ANALYZE drifted from golden snapshot; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn q6_scalar_aggregation_golden() {
+    let (lo, hi) = (
+        swole_tpch::q6_date_lo().days(),
+        swole_tpch::q6_date_hi().days(),
+    );
+    assert_golden(
+        "q6_explain_analyze",
+        &format!(
+            "explain analyze select sum(l_extendedprice * l_discount) as revenue \
+             from lineitem \
+             where l_shipdate >= {lo} and l_shipdate < {hi} \
+               and l_discount between 5 and 7 and l_quantity < 24"
+        ),
+    );
+}
+
+#[test]
+fn q1_lite_groupby_golden() {
+    let cutoff = swole_tpch::q1_ship_cutoff().days();
+    assert_golden(
+        "q1_lite_explain_analyze",
+        &format!(
+            "explain analyze select l_returnflag, sum(l_quantity) as sq, count(*) as n \
+             from lineitem where l_shipdate <= {cutoff} group by l_returnflag"
+        ),
+    );
+}

@@ -192,6 +192,70 @@ fn clock_skew_expires_deadline_without_retry() {
 }
 
 #[test]
+fn fallback_reports_complete_metrics() {
+    // A fallback run must still produce a full EXPLAIN ANALYZE story: one
+    // retry, the interpreter's counters *replacing* the failed attempt's
+    // (rows are never double-counted), and the same result rows.
+    let _s = serial();
+    for threads in THREADS {
+        let e = Engine::builder(make_db(512))
+            .threads(threads)
+            .tile_rows(MORSEL)
+            .metrics(MetricsLevel::Counters)
+            .build();
+        // Semijoin scans the 512-row build side too; the others only R.
+        let scans = [N_ROWS as u64, N_ROWS as u64, (N_ROWS + 512) as u64];
+        for (plan, scanned) in [groupby_plan(), scalar_plan(), semijoin_plan()]
+            .into_iter()
+            .zip(scans)
+        {
+            let (truth, truth_op) = interp::run_metered(e.database(), &plan).expect("interp runs");
+            let guard = faults::inject_panic_at_morsel(3);
+            let got = e.query(&plan).expect("query recovers via fallback");
+            drop(guard);
+            assert_eq!(got.rows, truth.rows, "threads={threads}");
+            let m = got.metrics().expect("fallback still reports metrics");
+            assert_eq!(m.retries, 1, "threads={threads}");
+            assert_eq!(
+                m.operators.len(),
+                1,
+                "interpreter counters replace the failed attempt's: {:?}",
+                m.operators.iter().map(|o| &o.name).collect::<Vec<_>>()
+            );
+            let op = &m.operators[0];
+            assert_eq!(op.name, "data-centric interpreter");
+            // Identical to a direct interpreter run — nothing from the
+            // aborted SWOLE attempt leaks into the counters.
+            assert_eq!(op.access, truth_op.access, "threads={threads}");
+            assert_eq!(
+                op.access.rows_in, scanned,
+                "each scanned row counted exactly once"
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_run_reports_zero_retries() {
+    let _s = serial();
+    faults::disarm_all();
+    let e = Engine::builder(make_db(512))
+        .threads(2)
+        .tile_rows(MORSEL)
+        .metrics(MetricsLevel::Counters)
+        .build();
+    let m = e
+        .query(&groupby_plan())
+        .expect("runs")
+        .metrics()
+        .expect("counters recorded")
+        .clone();
+    assert_eq!(m.retries, 0);
+    assert_eq!(m.total().rows_in, N_ROWS as u64);
+    assert_eq!(m.total().morsels, (N_ROWS / MORSEL) as u64);
+}
+
+#[test]
 fn disarmed_hooks_are_free_of_side_effects() {
     let _s = serial();
     faults::disarm_all();
