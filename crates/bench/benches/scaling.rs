@@ -141,6 +141,50 @@ fn bench(c: &mut Criterion) {
         let metrics = res.metrics().expect("counters recorded");
         println!("metrics_json {name} {}", metrics.to_json());
     }
+
+    // Prepared vs ad-hoc throughput: the prepared path plans once and then
+    // serves repeats from the session plan cache; the ad-hoc engine runs
+    // with the cache disabled, so every execution re-samples and re-plans.
+    // The gap is the planning overhead the cache amortizes away — measured
+    // on a small relation where that overhead is a visible fraction of the
+    // run (on the 1M-row scaling input execution dwarfs planning and the
+    // comparison reads pure noise). Dumped as one JSON line per query for
+    // the figure pipeline.
+    let small = generate(MicroParams {
+        r_rows: 50_000,
+        s_rows: s_small(),
+        r_c_cardinality: 1 << 10,
+        seed: 8,
+    });
+    for (name, plan) in [("q1_value_masked", q1_plan()), ("q2_groupby", q2_plan())] {
+        let threads = 2;
+        let prepared_engine = Engine::builder(as_database(&small))
+            .threads(threads)
+            .build();
+        let stmt = prepared_engine.prepare(&plan).expect("prepares");
+        let adhoc_engine = Engine::builder(as_database(&small))
+            .threads(threads)
+            .plan_cache_bytes(0)
+            .build();
+
+        // One warm-up each (seeds the cache / faults in the columns), then
+        // median per-execution time over interleaved runs.
+        black_box(stmt.execute().expect("executes"));
+        black_box(adhoc_engine.query(&plan).expect("executes"));
+        let prepared_ms = median_ms(25, || black_box(stmt.execute().expect("executes")));
+        let adhoc_ms = median_ms(25, || {
+            black_box(adhoc_engine.query(&plan).expect("executes"))
+        });
+        let prepared_ops = 1e3 / prepared_ms.max(1e-9);
+        let adhoc_ops = 1e3 / adhoc_ms.max(1e-9);
+        println!(
+            "prepared_vs_adhoc_json {{\"query\":\"{name}\",\"threads\":{threads},\
+             \"prepared_ops_per_sec\":{prepared_ops:.2},\
+             \"adhoc_ops_per_sec\":{adhoc_ops:.2},\
+             \"speedup\":{:.3}}}",
+            prepared_ops / adhoc_ops.max(1e-9)
+        );
+    }
 }
 
 criterion_group!(benches, bench);

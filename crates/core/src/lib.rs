@@ -81,8 +81,9 @@ pub use swole_storage as storage;
 
 pub use swole_cost::CostParams;
 pub use swole_plan::{
-    AggFunc, AggSpec, CmpOp, Database, Engine, EngineBuilder, ExecHandle, Explain, Expr,
-    LogicalPlan, MetricsLevel, OpMetrics, PlanError, QueryBuilder, QueryMetrics, QueryResult,
+    AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine, EngineBuilder, ExecHandle, Explain,
+    Expr, LogicalPlan, MetricsLevel, OpMetrics, ParamSlot, Params, PlanCacheStats, PlanError,
+    PreparedStatement, QueryBuilder, QueryMetrics, QueryResult, Value,
 };
 
 /// Everything a typical user needs.
@@ -91,8 +92,9 @@ pub mod prelude {
         AggStrategy, BitmapBuild, CostParams, GroupJoinStrategy, SemiJoinStrategy,
     };
     pub use swole_plan::{
-        AggFunc, AggSpec, CmpOp, Database, Engine, EngineBuilder, ExecHandle, Explain, Expr,
-        LogicalPlan, MetricsLevel, PlanError, QueryBuilder, QueryMetrics, QueryResult,
+        AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine, EngineBuilder, ExecHandle,
+        Explain, Expr, LogicalPlan, MetricsLevel, ParamSlot, Params, PlanCacheStats, PlanError,
+        PreparedStatement, QueryBuilder, QueryMetrics, QueryResult, Value,
     };
     pub use swole_storage::{ColumnData, Date, Decimal, DictColumn, Table};
 }

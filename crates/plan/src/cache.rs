@@ -1,0 +1,418 @@
+//! Bounded, cost-keyed plan cache behind prepared statements.
+//!
+//! Planning is not free: the planner samples base tables to estimate
+//! selectivities and group counts before pricing strategies, so repeating a
+//! query re-pays the sampling pass every time. The cache memoizes the chosen
+//! [`PhysicalPlan`] keyed on the *canonicalized* logical plan plus the
+//! strategy-relevant execution parameters (thread count), under a byte
+//! budget enforced with the same [`MemGauge`] machinery that hardens
+//! execution.
+//!
+//! Entries are invalidated two ways:
+//!
+//! - **Generation counters** — every table carries a load generation that
+//!   [`crate::Database::load_table`] bumps. A cached plan remembers the
+//!   generations of the tables it touches; a mismatch at lookup drops the
+//!   entry (the data changed, so the sampled statistics are void).
+//! - **Observed drift** — after a metered execution the engine compares the
+//!   planner's estimated selectivity against the measured one (the same
+//!   observed-vs-predicted signal `EXPLAIN ANALYZE` reports). Past the
+//!   drift threshold the entry is marked stale; the next lookup misses and
+//!   re-plans with the observed selectivity as an override, so one skewed
+//!   load cannot make the cache thrash between plan and re-plan.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::physical::PhysicalPlan;
+use crate::runtime::MemGauge;
+
+/// Relative-error threshold past which an observed selectivity invalidates
+/// a cached plan (|predicted − observed| / observed). Generous on purpose:
+/// strategy break-evens are shallow near the observed point, and a small
+/// mis-estimate rarely changes the winning strategy.
+pub(crate) const DRIFT_REL_THRESHOLD: f64 = 0.5;
+
+/// Absolute floor on |predicted − observed| before drift can trigger.
+/// Keeps tiny selectivities (where relative error is noisy) from churning
+/// the cache.
+pub(crate) const DRIFT_ABS_THRESHOLD: f64 = 0.02;
+
+/// Default byte budget for a session's plan cache (see
+/// [`crate::EngineBuilder::plan_cache_bytes`]).
+pub(crate) const DEFAULT_PLAN_CACHE_BYTES: usize = 64 * 1024;
+
+/// Cost-model inputs captured when a plan was cached, so invalidation can
+/// reason about what the planner believed at planning time.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CostSnapshot {
+    /// Estimated selectivity of the probe/filter predicate, when the shape
+    /// has one (the drift check compares this against measurements).
+    pub est_selectivity: Option<f64>,
+    /// Estimated number of distinct group keys, for group-by shapes.
+    pub group_keys: Option<usize>,
+    /// Row counts of every table the plan touches, at planning time.
+    pub cardinalities: Vec<(String, usize)>,
+}
+
+/// One cached plan.
+struct CacheEntry {
+    key: String,
+    plan: Arc<PhysicalPlan>,
+    snapshot: CostSnapshot,
+    /// `(table, generation)` for every table the plan reads.
+    generations: Vec<(String, u64)>,
+    /// Bytes charged against the cache gauge for this entry.
+    bytes: usize,
+    /// `Some(observed)` once drift marked the entry stale; the next lookup
+    /// evicts it and hands the observed selectivity to the re-plan.
+    stale: Option<f64>,
+}
+
+/// Counters behind [`PlanCacheStats`].
+#[derive(Debug, Default, Clone)]
+struct Counters {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// A point-in-time snapshot of plan-cache activity, from
+/// [`crate::Engine::plan_cache_stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan fresh.
+    pub misses: u64,
+    /// Entries dropped to make room under the byte budget.
+    pub evictions: u64,
+    /// Entries dropped because a table generation changed or observed
+    /// selectivity drifted past the threshold.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently charged against the cache budget.
+    pub bytes: usize,
+}
+
+/// Result of a cache probe.
+pub(crate) enum CacheLookup {
+    /// A valid entry: reuse its plan.
+    Hit(Arc<PhysicalPlan>),
+    /// No usable entry; plan fresh. `drift_hint` carries the observed
+    /// selectivity when the miss was caused by drift invalidation, so the
+    /// re-plan can substitute measurement for estimation.
+    Miss {
+        /// Observed selectivity from the drift-invalidated entry, if any.
+        drift_hint: Option<f64>,
+    },
+}
+
+/// The bounded LRU plan cache. One per [`crate::Engine`]; shared by all
+/// clones of the engine and all prepared statements.
+pub(crate) struct PlanCache {
+    /// Byte budget, enforced with the hardened-execution gauge (quiet
+    /// charges: cache bookkeeping must not consume injected faults).
+    gauge: MemGauge,
+    /// `entries` is LRU-ordered: front = least recent, back = most recent.
+    inner: Mutex<Inner>,
+    enabled: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: Vec<CacheEntry>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCache")
+            .field("enabled", &self.enabled)
+            .field("entries", &stats.entries)
+            .field("bytes", &stats.bytes)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// A cache with the given byte budget; `0` disables caching entirely
+    /// (every lookup misses, inserts are dropped).
+    pub(crate) fn new(budget_bytes: usize) -> PlanCache {
+        PlanCache {
+            gauge: MemGauge::new(Some(budget_bytes.max(1))),
+            inner: Mutex::new(Inner::default()),
+            enabled: budget_bytes > 0,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Probe for `key`, validating table generations. A hit moves the entry
+    /// to the back of the LRU order.
+    pub(crate) fn lookup(&self, key: &str, generations: &[(String, u64)]) -> CacheLookup {
+        if !self.enabled {
+            return CacheLookup::Miss { drift_hint: None };
+        }
+        let mut inner = self.lock();
+        let Some(idx) = inner.entries.iter().position(|e| e.key == key) else {
+            inner.counters.misses += 1;
+            return CacheLookup::Miss { drift_hint: None };
+        };
+        let entry = &inner.entries[idx];
+        if entry.generations != generations {
+            let dead = inner.entries.remove(idx);
+            self.gauge.release(dead.bytes);
+            inner.counters.invalidations += 1;
+            inner.counters.misses += 1;
+            return CacheLookup::Miss { drift_hint: None };
+        }
+        if let Some(observed) = entry.stale {
+            let dead = inner.entries.remove(idx);
+            self.gauge.release(dead.bytes);
+            inner.counters.invalidations += 1;
+            inner.counters.misses += 1;
+            return CacheLookup::Miss {
+                drift_hint: Some(observed),
+            };
+        }
+        let entry = inner.entries.remove(idx);
+        let plan = Arc::clone(&entry.plan);
+        inner.entries.push(entry);
+        inner.counters.hits += 1;
+        CacheLookup::Hit(plan)
+    }
+
+    /// Non-mutating probe: would `lookup` hit? Used by `EXPLAIN` to report
+    /// `plan: cached` without perturbing LRU order or counters.
+    pub(crate) fn peek(&self, key: &str, generations: &[(String, u64)]) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let inner = self.lock();
+        inner
+            .entries
+            .iter()
+            .any(|e| e.key == key && e.generations == generations && e.stale.is_none())
+    }
+
+    /// Insert a freshly planned entry, evicting least-recently-used entries
+    /// until it fits the byte budget. An entry bigger than the whole budget
+    /// is silently not cached.
+    pub(crate) fn insert(
+        &self,
+        key: String,
+        plan: Arc<PhysicalPlan>,
+        snapshot: CostSnapshot,
+        generations: Vec<(String, u64)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let bytes = entry_bytes(&key, &plan, &snapshot);
+        let mut inner = self.lock();
+        // Replace any existing entry for the key (e.g. a racing clone of the
+        // engine planned the same statement).
+        if let Some(idx) = inner.entries.iter().position(|e| e.key == key) {
+            let dead = inner.entries.remove(idx);
+            self.gauge.release(dead.bytes);
+        }
+        while self.gauge.try_charge_quiet(bytes).is_err() {
+            if inner.entries.is_empty() {
+                return; // larger than the whole budget: skip caching
+            }
+            let dead = inner.entries.remove(0);
+            self.gauge.release(dead.bytes);
+            inner.counters.evictions += 1;
+        }
+        inner.entries.push(CacheEntry {
+            key,
+            plan,
+            snapshot,
+            generations,
+            bytes,
+            stale: None,
+        });
+    }
+
+    /// Feed a measured selectivity back into the cache. If it diverges from
+    /// the entry's planning-time estimate past the drift thresholds, the
+    /// entry is marked stale; the next lookup misses and re-plans with
+    /// `observed` as a hint.
+    pub(crate) fn observe(&self, key: &str, observed: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        let Some(entry) = inner.entries.iter_mut().find(|e| e.key == key) else {
+            return;
+        };
+        let Some(estimated) = entry.snapshot.est_selectivity else {
+            return;
+        };
+        let abs = (estimated - observed).abs();
+        let drifted = match swole_cost::observed::relative_error(estimated, observed) {
+            Some(rel) => rel > DRIFT_REL_THRESHOLD && abs > DRIFT_ABS_THRESHOLD,
+            // observed ≤ 0 (planner expected rows, none qualified): drift
+            // iff the estimate was materially non-zero.
+            None => abs > DRIFT_ABS_THRESHOLD,
+        };
+        if drifted {
+            entry.stale = Some(observed);
+        }
+    }
+
+    /// Current counters plus residency.
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        let inner = self.lock();
+        PlanCacheStats {
+            hits: inner.counters.hits,
+            misses: inner.counters.misses,
+            evictions: inner.counters.evictions,
+            invalidations: inner.counters.invalidations,
+            entries: inner.entries.len(),
+            bytes: self.gauge.used(),
+        }
+    }
+}
+
+/// Estimated resident size of a cache entry. The plan's `Debug` rendering
+/// tracks its structural size (shape, decision strings, cost terms) closely
+/// enough for budget accounting, without a hand-maintained `size_of` walk;
+/// the snapshot's tables and estimates are charged alongside.
+fn entry_bytes(key: &str, plan: &PhysicalPlan, snapshot: &CostSnapshot) -> usize {
+    let snapshot_bytes: usize = snapshot
+        .cardinalities
+        .iter()
+        .map(|(name, _)| name.len() + 8)
+        .sum::<usize>()
+        + snapshot.group_keys.map_or(0, |_| 8);
+    key.len() + format!("{plan:?}").len() + snapshot_bytes + 128
+}
+
+/// Tracks per-table load generations for cache keying; a thin wrapper so
+/// the engine can collect `(table, generation)` pairs in one pass.
+pub(crate) fn generations_of(db: &crate::catalog::Database, tables: &[&str]) -> Vec<(String, u64)> {
+    let mut seen: HashMap<&str, ()> = HashMap::new();
+    let mut out = Vec::new();
+    for t in tables {
+        if seen.insert(t, ()).is_none() {
+            out.push((t.to_string(), db.generation(t).unwrap_or(0)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{PhysicalPlan, Shape};
+    use swole_cost::AggStrategy;
+
+    fn plan() -> Arc<PhysicalPlan> {
+        Arc::new(PhysicalPlan {
+            shape: Shape::ScanAgg {
+                table: "T".into(),
+                filter: None,
+                group_by: None,
+                aggs: Vec::new(),
+                strategy: AggStrategy::Hybrid,
+            },
+            decisions: vec!["test".into()],
+            cost_terms: Vec::new(),
+        })
+    }
+
+    fn gens(g: u64) -> Vec<(String, u64)> {
+        vec![("T".to_string(), g)]
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = PlanCache::new(1 << 20);
+        assert!(matches!(
+            cache.lookup("q1", &gens(0)),
+            CacheLookup::Miss { drift_hint: None }
+        ));
+        cache.insert("q1".into(), plan(), CostSnapshot::default(), gens(0));
+        assert!(matches!(cache.lookup("q1", &gens(0)), CacheLookup::Hit(_)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn generation_mismatch_invalidates() {
+        let cache = PlanCache::new(1 << 20);
+        cache.insert("q1".into(), plan(), CostSnapshot::default(), gens(0));
+        assert!(matches!(
+            cache.lookup("q1", &gens(1)),
+            CacheLookup::Miss { drift_hint: None }
+        ));
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn drift_marks_stale_and_hints_replan() {
+        let cache = PlanCache::new(1 << 20);
+        let snapshot = CostSnapshot {
+            est_selectivity: Some(0.5),
+            ..CostSnapshot::default()
+        };
+        cache.insert("q1".into(), plan(), snapshot, gens(0));
+        cache.observe("q1", 0.49); // within threshold: still a hit
+        assert!(matches!(cache.lookup("q1", &gens(0)), CacheLookup::Hit(_)));
+        cache.observe("q1", 0.05); // way off: stale
+        match cache.lookup("q1", &gens(0)) {
+            CacheLookup::Miss {
+                drift_hint: Some(h),
+            } => assert!((h - 0.05).abs() < 1e-12),
+            _ => panic!("expected drift miss"),
+        }
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_tiny_budget() {
+        let one = entry_bytes("a", &plan(), &CostSnapshot::default());
+        let cache = PlanCache::new(one + one / 2); // room for one entry only
+        cache.insert("a".into(), plan(), CostSnapshot::default(), gens(0));
+        cache.insert("b".into(), plan(), CostSnapshot::default(), gens(0));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1);
+        assert!(matches!(
+            cache.lookup("a", &gens(0)),
+            CacheLookup::Miss { .. }
+        ));
+        assert!(matches!(cache.lookup("b", &gens(0)), CacheLookup::Hit(_)));
+    }
+
+    #[test]
+    fn zero_budget_disables() {
+        let cache = PlanCache::new(0);
+        cache.insert("a".into(), plan(), CostSnapshot::default(), gens(0));
+        assert!(matches!(
+            cache.lookup("a", &gens(0)),
+            CacheLookup::Miss { .. }
+        ));
+        assert_eq!(cache.stats().entries, 0);
+        assert!(!cache.peek("a", &gens(0)));
+    }
+
+    #[test]
+    fn peek_does_not_perturb() {
+        let cache = PlanCache::new(1 << 20);
+        cache.insert("a".into(), plan(), CostSnapshot::default(), gens(0));
+        assert!(cache.peek("a", &gens(0)));
+        assert!(!cache.peek("a", &gens(9)));
+        assert!(!cache.peek("zzz", &gens(0)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+}

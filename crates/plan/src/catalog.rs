@@ -76,6 +76,41 @@ impl Database {
         Ok(self)
     }
 
+    /// Load (or reload) a table, bumping its generation counter.
+    ///
+    /// If a table with the same name exists its contents are replaced and
+    /// the new contents take `old generation + 1`; otherwise the table is
+    /// added fresh at generation 0. Reloading drops every registered FK
+    /// index that involves the table (the positional index was built from
+    /// the old contents) — re-register with [`Database::add_fk`] after the
+    /// load. Returns the table's new generation.
+    pub fn load_table(&mut self, mut table: Table) -> u64 {
+        let name = table.name().to_string();
+        match self.tables.iter_mut().find(|t| t.name() == name) {
+            Some(slot) => {
+                table.set_generation(slot.generation() + 1);
+                let generation = table.generation();
+                *slot = table;
+                self.fks.retain(|f| f.child != name && f.parent != name);
+                generation
+            }
+            None => {
+                table.set_generation(0);
+                self.tables.push(table);
+                0
+            }
+        }
+    }
+
+    /// The generation counter of a named table, if it exists. Starts at 0
+    /// and is bumped by every [`Database::load_table`] replacement.
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.tables
+            .iter()
+            .find(|t| t.name() == name)
+            .map(|t| t.generation())
+    }
+
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Table, PlanError> {
         self.tables

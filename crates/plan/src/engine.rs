@@ -2,9 +2,13 @@
 //! execution.
 
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 
+use crate::cache::{
+    CacheLookup, CostSnapshot, PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_BYTES,
+};
 use crate::catalog::Database;
 use crate::error::PlanError;
 use crate::expr::{AggFunc, Expr};
@@ -14,6 +18,7 @@ use crate::parallel;
 use crate::physical::{PhysicalPlan, Shape};
 use crate::runtime::{self, CancelState, ExecCtx, ExecHandle};
 use crate::stats;
+use crate::value::Value;
 use swole_bitmap::PositionalBitmap;
 use swole_cost::choose::{choose_agg_mt, choose_groupjoin_mt, choose_semijoin};
 use swole_cost::{
@@ -23,6 +28,7 @@ use swole_cost::{
 use swole_ht::{AggTable, KeySet, MergeOp};
 use swole_kernels::{predicate, selvec, tiles, tiles_in, AccessCounters, MORSEL_ROWS, TILE};
 use swole_storage::Table;
+use swole_storage::{Date, Decimal};
 
 /// A materialized query result: named columns, row-major `i64` values.
 ///
@@ -38,6 +44,10 @@ pub struct QueryResult {
     /// Metrics snapshot from the execution that produced this result;
     /// `None` when the session ran with [`MetricsLevel::Off`].
     pub(crate) metrics: Option<QueryMetrics>,
+    /// Dictionary for the group-key column (column 0) when it was
+    /// dictionary-encoded; lets [`QueryResult::col_str`] decode codes back
+    /// to strings.
+    pub(crate) key_dict: Option<Arc<Vec<String>>>,
 }
 
 /// Equality compares the *data* (columns and rows) only — two identical
@@ -89,6 +99,68 @@ impl QueryResult {
             .position(|c| c == column)
             .ok_or_else(|| PlanError::UnknownResultColumn(column.to_string()))
     }
+
+    /// A named column decoded as fixed-point decimals (the raw `i64`
+    /// values reinterpreted at the storage scale). `None` when no column
+    /// has that name.
+    pub fn col_decimal(&self, column: &str) -> Option<Vec<Decimal>> {
+        let vals = self.col(column)?;
+        Some(vals.into_iter().map(Decimal::from_raw).collect())
+    }
+
+    /// A named column decoded as calendar dates (the raw `i64` values
+    /// reinterpreted as day numbers). `None` when no column has that name.
+    pub fn col_date(&self, column: &str) -> Option<Vec<Date>> {
+        let vals = self.col(column)?;
+        Some(vals.into_iter().map(|v| Date(v as i32)).collect())
+    }
+
+    /// A dictionary-encoded column decoded to strings. Only the group-key
+    /// column of a group-by over a dictionary column carries its
+    /// dictionary; every other column errors with
+    /// [`PlanError::InvalidExpr`].
+    pub fn col_str(&self, column: &str) -> Result<Vec<String>, PlanError> {
+        let i = self.column_index(column)?;
+        if i != 0 {
+            return Err(PlanError::InvalidExpr(format!(
+                "column {column} is an aggregate, not a dictionary-encoded key"
+            )));
+        }
+        let dict = self.key_dict.as_ref().ok_or_else(|| {
+            PlanError::InvalidExpr(format!(
+                "column {column} is not dictionary-encoded (no dictionary to decode through)"
+            ))
+        })?;
+        self.rows
+            .iter()
+            .map(|r| {
+                dict.get(r[i] as usize).cloned().ok_or_else(|| {
+                    PlanError::InvalidExpr(format!(
+                        "code {} out of range for the dictionary of {column}",
+                        r[i]
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// The single value of a one-row result column, typed: a dictionary
+    /// decoded group key comes back as [`Value::Str`], everything else as
+    /// [`Value::Int`] (decimals and dates are raw `i64` at this level —
+    /// use [`QueryResult::col_decimal`] / [`QueryResult::col_date`] when
+    /// the query semantics are known).
+    pub fn try_scalar_value(&self, column: &str) -> Result<Value, PlanError> {
+        let raw = self.try_scalar(column)?;
+        let i = self.column_index(column)?;
+        if i == 0 {
+            if let Some(dict) = self.key_dict.as_ref() {
+                if let Some(s) = dict.get(raw as usize) {
+                    return Ok(Value::Str(s.clone()));
+                }
+            }
+        }
+        Ok(Value::Int(raw))
+    }
 }
 
 /// A structured `EXPLAIN`: what shape the planner picked, which access
@@ -104,6 +176,11 @@ pub struct Explain {
     pub threads: usize,
     /// Rows per parallel work unit (a whole number of tiles).
     pub morsel_rows: usize,
+    /// Where the next execution's plan would come from: `Some("cached")`
+    /// when the session's plan cache holds a valid entry for this query,
+    /// `Some("fresh")` when it would plan from scratch. `None` from
+    /// contexts that bypass the cache.
+    pub plan_source: Option<String>,
     /// Named cost-model terms (cycles) behind the decision.
     pub cost_terms: Vec<(String, f64)>,
     /// The planner's decision trail, one line each.
@@ -126,6 +203,9 @@ impl fmt::Display for Explain {
             "\n  parallelism: {} thread(s), {}-row morsels",
             self.threads, self.morsel_rows
         )?;
+        if let Some(source) = &self.plan_source {
+            write!(f, "\n  plan: {source}")?;
+        }
         for (name, cycles) in &self.cost_terms {
             write!(f, "\n  cost[{name}] = {cycles:.3e} cyc")?;
         }
@@ -158,6 +238,7 @@ pub struct EngineBuilder {
     deadline: Option<Duration>,
     memory_budget: Option<usize>,
     metrics: MetricsLevel,
+    plan_cache_bytes: usize,
     pin_agg: Option<AggStrategy>,
     pin_semijoin: Option<SemiJoinStrategy>,
     pin_groupjoin: Option<GroupJoinStrategy>,
@@ -173,6 +254,7 @@ impl EngineBuilder {
             deadline: None,
             memory_budget: None,
             metrics: MetricsLevel::Off,
+            plan_cache_bytes: DEFAULT_PLAN_CACHE_BYTES,
             pin_agg: None,
             pin_semijoin: None,
             pin_groupjoin: None,
@@ -255,21 +337,34 @@ impl EngineBuilder {
         self
     }
 
+    /// Byte budget for the session's plan cache (default 64 KiB). Cached
+    /// physical plans are byte-accounted against this budget with the same
+    /// [`crate::MemGauge`] machinery that enforces query memory budgets,
+    /// and the least recently used entries are evicted to make room. `0`
+    /// disables plan caching entirely — every query plans from scratch.
+    pub fn plan_cache_bytes(mut self, bytes: usize) -> EngineBuilder {
+        self.plan_cache_bytes = bytes;
+        self
+    }
+
     /// Finish the builder.
     pub fn build(self) -> Engine {
         Engine {
-            db: self.db,
-            params: self.params,
-            threads: self.threads,
-            morsel_rows: self.morsel_rows,
-            deadline: self.deadline,
-            memory_budget: self.memory_budget,
-            metrics: self.metrics,
-            pin_agg: self.pin_agg,
-            pin_semijoin: self.pin_semijoin,
-            pin_groupjoin: self.pin_groupjoin,
-            cancel: Arc::new(CancelState::default()),
-            last_run: Mutex::new(Vec::new()),
+            inner: Arc::new(EngineInner {
+                db: RwLock::new(self.db),
+                params: self.params,
+                threads: self.threads,
+                morsel_rows: self.morsel_rows,
+                deadline: self.deadline,
+                memory_budget: self.memory_budget,
+                metrics: self.metrics,
+                pin_agg: self.pin_agg,
+                pin_semijoin: self.pin_semijoin,
+                pin_groupjoin: self.pin_groupjoin,
+                cancel: Arc::new(CancelState::default()),
+                last_run: Mutex::new(Vec::new()),
+                cache: PlanCache::new(self.plan_cache_bytes),
+            }),
         }
     }
 }
@@ -286,8 +381,19 @@ struct ExecOpts {
 /// plans logical queries through the paper's choosers (thread-aware when
 /// the session is parallel), and executes them with the `swole-kernels`
 /// loop bodies on morsel-driven workers.
+///
+/// An `Engine` is a cheaply cloneable handle (`Arc` internals): clones
+/// share the database, the plan cache, the cancellation flag, and the
+/// session configuration, so one engine can be hammered from many threads
+/// — results are bit-identical at any thread count.
+#[derive(Clone)]
 pub struct Engine {
-    db: Database,
+    inner: Arc<EngineInner>,
+}
+
+/// Shared state behind every [`Engine`] clone and prepared statement.
+pub(crate) struct EngineInner {
+    db: RwLock<Database>,
     params: CostParams,
     threads: usize,
     morsel_rows: usize,
@@ -302,6 +408,19 @@ pub struct Engine {
     /// Runtime report of the most recent `query` (outcome, fallback,
     /// partial progress) — surfaced through [`Explain::runtime`].
     last_run: Mutex<Vec<String>>,
+    /// Bounded, cost-keyed physical-plan cache shared by the session.
+    cache: PlanCache,
+}
+
+/// Optional overrides threaded into planning. Produced when drift
+/// invalidation re-plans a statement: the observed selectivity replaces the
+/// sample estimate, so the re-plan reflects measurement instead of
+/// repeating the mis-estimate (and the cache cannot thrash between the two).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PlanHints {
+    /// Overrides the sampled selectivity of the plan's primary filter (the
+    /// scan filter, or the build-side filter of a join shape).
+    pub selectivity: Option<f64>,
 }
 
 impl Engine {
@@ -310,19 +429,36 @@ impl Engine {
         EngineBuilder::new(db)
     }
 
-    /// The underlying database.
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// Read access to the underlying database. The guard holds a shared
+    /// lock: queries from other engine clones proceed concurrently, but
+    /// [`Engine::load_table`] blocks until the guard drops.
+    pub fn database(&self) -> impl Deref<Target = Database> + '_ {
+        self.inner.read_db()
+    }
+
+    /// Load (or reload) a table through [`Database::load_table`], bumping
+    /// its generation counter — which invalidates every cached plan that
+    /// reads the table. Returns the new generation.
+    pub fn load_table(&self, table: Table) -> u64 {
+        let mut db = self.inner.db.write().unwrap_or_else(|e| e.into_inner());
+        db.load_table(table)
+    }
+
+    /// Register a foreign-key index through [`Database::add_fk`] (needed
+    /// again after [`Engine::load_table`] replaced either side's table).
+    pub fn register_fk(&self, child: &str, fk_col: &str, parent: &str) -> Result<(), PlanError> {
+        let mut db = self.inner.db.write().unwrap_or_else(|e| e.into_inner());
+        db.add_fk(child, fk_col, parent).map(|_| ())
     }
 
     /// Worker threads this session executes with.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.inner.threads
     }
 
     /// Rows per parallel work unit (always a whole number of tiles).
     pub fn morsel_rows(&self) -> usize {
-        self.morsel_rows
+        self.inner.morsel_rows
     }
 
     /// A cancellation token for this session. Clone it to other threads;
@@ -330,7 +466,90 @@ impl Engine {
     /// next morsel boundary with [`PlanError::Cancelled`]. Call
     /// [`ExecHandle::reset`] to accept queries again.
     pub fn handle(&self) -> ExecHandle {
-        ExecHandle::new(self.cancel.clone())
+        ExecHandle::new(self.inner.cancel.clone())
+    }
+
+    /// Activity counters of the session's plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Plan and execute in one step, with hardened-execution supervision.
+    ///
+    /// Planning consults the session's plan cache first: a repeat of a
+    /// cached query (same canonicalized plan, same thread count, unchanged
+    /// table generations, no observed drift) skips sampling and strategy
+    /// choice entirely. The chosen SWOLE strategy runs first. If it fails a
+    /// *runtime* precondition — a worker panic, the memory budget exhausted
+    /// by pullup temporaries, or `i64` overflow detected in a masked
+    /// aggregate — the query is retried once through the data-centric
+    /// row-at-a-time interpreter ([`crate::interp`]), charged against the
+    /// same memory gauge. Cancellation and deadline expiry are not retried.
+    /// The outcome (including any fallback) is recorded and surfaced via
+    /// [`Explain::runtime`] on the next [`Engine::explain`] call.
+    pub fn query(&self, plan: &LogicalPlan) -> Result<QueryResult, PlanError> {
+        let db = self.inner.read_db();
+        self.inner.query_leveled(&db, plan, self.inner.metrics)
+    }
+
+    /// EXPLAIN: plan and return the structured decision report (including
+    /// whether the next execution would reuse a cached plan).
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<Explain, PlanError> {
+        let db = self.inner.read_db();
+        self.inner.explain_for(&db, plan)
+    }
+
+    /// EXPLAIN ANALYZE: execute the query once at (at least)
+    /// [`MetricsLevel::Timings`] and return the decision report with the
+    /// `analyze` section populated from the run — per-operator access
+    /// counters, hash-table behaviour, wall times, and the cost model's
+    /// prediction re-scored against what execution observed.
+    pub fn explain_analyze(&self, plan: &LogicalPlan) -> Result<Explain, PlanError> {
+        let db = self.inner.read_db();
+        let level = self.inner.metrics.max(MetricsLevel::Timings);
+        let res = self.inner.query_leveled(&db, plan, level)?;
+        let mut ex = self.inner.explain_for(&db, plan)?;
+        ex.analyze = res.metrics;
+        Ok(ex)
+    }
+
+    /// Plan a logical query, making every Fig. 2 decision via the cost
+    /// models. Always plans from scratch (the cache is consulted by
+    /// [`Engine::query`] and prepared statements, not here).
+    pub fn plan(&self, plan: &LogicalPlan) -> Result<PhysicalPlan, PlanError> {
+        let db = self.inner.read_db();
+        self.inner.plan_with(&db, plan, PlanHints::default())
+    }
+
+    /// Execute a physical plan under panic isolation and the session's
+    /// deadline/budget limits.
+    ///
+    /// Unlike [`Engine::query`] this cannot retry under the data-centric
+    /// strategy (the fallback needs the logical plan), so runtime failures
+    /// surface directly as typed errors.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<QueryResult, PlanError> {
+        let db = self.inner.read_db();
+        let ctx = self.inner.exec_ctx();
+        let level = self.inner.metrics;
+        let t0 = level.timing().then(Instant::now);
+        let (mut res, ops) = runtime::isolate(|| self.inner.execute_shape(&db, plan, &ctx, level))?;
+        self.inner
+            .attach_metrics(&db, &mut res, plan, ops, &ctx, level, 0, t0);
+        Ok(res)
+    }
+
+    /// Shared state accessor for the prepared-statement layer.
+    pub(crate) fn inner(&self) -> &EngineInner {
+        &self.inner
+    }
+}
+
+impl EngineInner {
+    /// Poison-proof shared read lock on the database. A worker panic while
+    /// holding the lock poisons it, but panics are isolated per query and
+    /// never leave the database half-mutated — readers proceed.
+    pub(crate) fn read_db(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Fresh per-query execution context from the session's limits.
@@ -344,33 +563,74 @@ impl Engine {
         }
     }
 
-    /// Plan and execute in one step, with hardened-execution supervision.
-    ///
-    /// The chosen SWOLE strategy runs first. If it fails a *runtime*
-    /// precondition — a worker panic, the memory budget exhausted by pullup
-    /// temporaries, or `i64` overflow detected in a masked aggregate — the
-    /// query is retried once through the data-centric row-at-a-time
-    /// interpreter ([`crate::interp`]), charged against the same memory
-    /// gauge. Cancellation and deadline expiry are not retried. The outcome
-    /// (including any fallback) is recorded and surfaced via
-    /// [`Explain::runtime`] on the next [`Engine::explain`] call.
-    pub fn query(&self, plan: &LogicalPlan) -> Result<QueryResult, PlanError> {
-        self.query_leveled(plan, self.metrics)
+    /// Plan through the session's cache: hits reuse the stored physical
+    /// plan; misses plan fresh (honouring a drift hint, if the miss came
+    /// from drift invalidation) and insert. Returns the plan and its cache
+    /// key.
+    pub(crate) fn plan_cached(
+        &self,
+        db: &Database,
+        plan: &LogicalPlan,
+    ) -> Result<(Arc<PhysicalPlan>, String), PlanError> {
+        let key = plan_fingerprint(plan, self.threads);
+        let gens = table_generations(db, plan);
+        match self.cache.lookup(&key, &gens) {
+            CacheLookup::Hit(physical) => Ok((physical, key)),
+            CacheLookup::Miss { drift_hint } => {
+                let hints = PlanHints {
+                    selectivity: drift_hint,
+                };
+                let physical = Arc::new(self.plan_with(db, plan, hints)?);
+                let snapshot = self.snapshot_for(db, &physical.shape, drift_hint);
+                self.cache
+                    .insert(key.clone(), Arc::clone(&physical), snapshot, gens);
+                Ok((physical, key))
+            }
+        }
+    }
+
+    /// Cost-model inputs to remember alongside a cached plan.
+    fn snapshot_for(&self, db: &Database, shape: &Shape, hint: Option<f64>) -> CostSnapshot {
+        let est_selectivity = hint.or_else(|| self.planned_selectivity(db, shape));
+        let tables: Vec<&str> = match shape {
+            Shape::ScanAgg { table, .. } => vec![table],
+            Shape::SemiJoinAgg { probe, build, .. } => vec![probe, build],
+            Shape::GroupJoinAgg { probe, build, .. } => vec![probe, build],
+        };
+        let cardinalities = tables
+            .iter()
+            .filter_map(|t| db.table(t).ok().map(|tab| (t.to_string(), tab.len())))
+            .collect();
+        let group_keys = match shape {
+            Shape::ScanAgg {
+                table,
+                group_by: Some(g),
+                ..
+            } => db.table(table).ok().map(|t| stats::estimate_distinct(t, g)),
+            _ => None,
+        };
+        CostSnapshot {
+            est_selectivity,
+            group_keys,
+            cardinalities,
+        }
     }
 
     /// [`Engine::query`] at an explicit metrics level (at least the
-    /// session's), used by `EXPLAIN ANALYZE`.
-    fn query_leveled(
+    /// session's), used by `EXPLAIN ANALYZE` and prepared statements.
+    pub(crate) fn query_leveled(
         &self,
+        db: &Database,
         plan: &LogicalPlan,
         level: MetricsLevel,
     ) -> Result<QueryResult, PlanError> {
-        let physical = self.plan(plan)?;
+        let (physical, cache_key) = self.plan_cached(db, plan)?;
+        let physical = &*physical;
         let ctx = self.exec_ctx();
         let t0 = level.timing().then(Instant::now);
         let strategy = physical.shape.strategy_name();
         let mut report = Vec::new();
-        let primary = runtime::isolate(|| self.execute_shape(&physical, &ctx, level));
+        let primary = runtime::isolate(|| self.execute_shape(db, physical, &ctx, level));
         let (done, total) = ctx.progress();
         match primary {
             Ok((mut res, ops)) => {
@@ -379,12 +639,24 @@ impl Engine {
                     ctx.gauge.used()
                 ));
                 self.record_run(report);
-                self.attach_metrics(&mut res, &physical, ops, &ctx, level, 0, t0);
+                self.attach_metrics(db, &mut res, physical, ops, &ctx, level, 0, t0);
+                // Drift check: feed the measured selectivity back to the
+                // cache so a materially mis-estimated entry re-plans.
+                if level.counting() {
+                    if let Some(obs) = res
+                        .metrics
+                        .as_ref()
+                        .and_then(|m| m.operators.first())
+                        .and_then(|o| o.observed_selectivity())
+                    {
+                        self.cache.observe(&cache_key, obs);
+                    }
+                }
                 Ok(res)
             }
             Err(e) if e.is_retryable() => {
                 report.push(format!("{strategy}: {e} ({done}/{total} morsels)"));
-                match self.fallback_datacentric(plan, &ctx, level) {
+                match self.fallback_datacentric(db, plan, &ctx, level) {
                     Ok((mut res, op)) => {
                         report.push("fell back to data-centric interpreter: ok".into());
                         self.record_run(report);
@@ -392,8 +664,9 @@ impl Engine {
                         // interpreter's single operator *replaces* the
                         // operator list, so rows are never double-counted.
                         self.attach_metrics(
+                            db,
                             &mut res,
-                            &physical,
+                            physical,
                             op.into_iter().collect(),
                             &ctx,
                             level,
@@ -424,33 +697,43 @@ impl Engine {
     /// budget by failing over.
     fn fallback_datacentric(
         &self,
+        db: &Database,
         plan: &LogicalPlan,
         ctx: &ExecCtx,
         level: MetricsLevel,
     ) -> Result<(QueryResult, Option<OpMetrics>), PlanError> {
         ctx.check()?;
-        let rows = plan_rows(&self.db, plan);
+        let rows = plan_rows(db, plan);
         ctx.gauge.try_charge(rows.saturating_mul(8))?;
         runtime::isolate(|| {
             if level.counting() {
                 let t0 = level.timing().then(Instant::now);
-                let (res, mut op) = crate::interp::run_metered(&self.db, plan)?;
+                let (res, mut op) = crate::interp::run_metered(db, plan)?;
                 op.wall_nanos = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
                 Ok((res, Some(op)))
             } else {
-                crate::interp::run(&self.db, plan).map(|res| (res, None))
+                crate::interp::run(db, plan).map(|res| (res, None))
             }
         })
     }
 
-    /// EXPLAIN: plan and return the structured decision report.
-    pub fn explain(&self, plan: &LogicalPlan) -> Result<Explain, PlanError> {
-        let physical = self.plan(plan)?;
+    /// EXPLAIN against a given database view: plan fresh (without touching
+    /// the cache) and report whether the next execution would hit it.
+    pub(crate) fn explain_for(
+        &self,
+        db: &Database,
+        plan: &LogicalPlan,
+    ) -> Result<Explain, PlanError> {
+        let physical = self.plan_with(db, plan, PlanHints::default())?;
+        let key = plan_fingerprint(plan, self.threads);
+        let gens = table_generations(db, plan);
+        let cached = self.cache.peek(&key, &gens);
         Ok(Explain {
             shape: physical.shape.describe(),
             strategy: physical.shape.strategy_name(),
             threads: self.threads,
             morsel_rows: self.morsel_rows,
+            plan_source: Some(if cached { "cached" } else { "fresh" }.to_string()),
             cost_terms: physical.cost_terms.clone(),
             decisions: physical.decisions.clone(),
             runtime: self.last_run.lock().map(|r| r.clone()).unwrap_or_default(),
@@ -458,24 +741,12 @@ impl Engine {
         })
     }
 
-    /// EXPLAIN ANALYZE: execute the query once at (at least)
-    /// [`MetricsLevel::Timings`] and return the decision report with the
-    /// `analyze` section populated from the run — per-operator access
-    /// counters, hash-table behaviour, wall times, and the cost model's
-    /// prediction re-scored against what execution observed.
-    pub fn explain_analyze(&self, plan: &LogicalPlan) -> Result<Explain, PlanError> {
-        let level = self.metrics.max(MetricsLevel::Timings);
-        let res = self.query_leveled(plan, level)?;
-        let mut ex = self.explain(plan)?;
-        ex.analyze = res.metrics;
-        Ok(ex)
-    }
-
     /// Assemble and attach the [`QueryMetrics`] snapshot for a finished
     /// execution (no-op below [`MetricsLevel::Counters`]).
     #[allow(clippy::too_many_arguments)]
     fn attach_metrics(
         &self,
+        db: &Database,
         res: &mut QueryResult,
         physical: &PhysicalPlan,
         operators: Vec<OpMetrics>,
@@ -487,10 +758,10 @@ impl Engine {
         if !level.counting() {
             return;
         }
-        let (predicted_cost, observed_cost) = self.cost_comparison(&physical.shape, &operators);
+        let (predicted_cost, observed_cost) = self.cost_comparison(db, &physical.shape, &operators);
         res.metrics = Some(QueryMetrics {
             level,
-            estimated_selectivity: self.planned_selectivity(&physical.shape),
+            estimated_selectivity: self.planned_selectivity(db, &physical.shape),
             operators,
             retries,
             bytes_charged: ctx.gauge.used() as u64,
@@ -503,7 +774,7 @@ impl Engine {
     /// The planner's sampled selectivity estimate for the filter feeding
     /// the *first* operator (the one whose observed selectivity the
     /// analyze output compares against).
-    fn planned_selectivity(&self, shape: &Shape) -> Option<f64> {
+    fn planned_selectivity(&self, db: &Database, shape: &Shape) -> Option<f64> {
         let (table, filter) = match shape {
             Shape::ScanAgg { table, filter, .. } => (table, filter.as_ref()?),
             Shape::SemiJoinAgg {
@@ -517,7 +788,7 @@ impl Engine {
                 ..
             } => (build, build_filter.as_ref()?),
         };
-        let t = self.db.table(table).ok()?;
+        let t = db.table(table).ok()?;
         Some(stats::estimate_selectivity(t, filter))
     }
 
@@ -528,7 +799,12 @@ impl Engine {
     /// has a modelled strategy decision (scan-aggregations and groupjoins;
     /// the semijoin chooser keys on build cardinality, which the planner
     /// knows exactly, so there is nothing to validate).
-    fn cost_comparison(&self, shape: &Shape, ops: &[OpMetrics]) -> (Option<f64>, Option<f64>) {
+    fn cost_comparison(
+        &self,
+        db: &Database,
+        shape: &Shape,
+        ops: &[OpMetrics],
+    ) -> (Option<f64>, Option<f64>) {
         match shape {
             Shape::ScanAgg {
                 table,
@@ -537,7 +813,7 @@ impl Engine {
                 aggs,
                 strategy,
             } => {
-                let Ok(t) = self.db.table(table) else {
+                let Ok(t) = db.table(table) else {
                     return (None, None);
                 };
                 if aggs
@@ -585,8 +861,7 @@ impl Engine {
                 strategy,
                 ..
             } => {
-                let (Ok(probe_t), Ok(build_t)) = (self.db.table(probe), self.db.table(build))
-                else {
+                let (Ok(probe_t), Ok(build_t)) = (db.table(probe), db.table(build)) else {
                     return (None, None);
                 };
                 let est_sel = match build_filter {
@@ -630,7 +905,12 @@ impl Engine {
 
     /// Plan a logical query, making every Fig. 2 decision via the cost
     /// models.
-    pub fn plan(&self, plan: &LogicalPlan) -> Result<PhysicalPlan, PlanError> {
+    pub(crate) fn plan_with(
+        &self,
+        db: &Database,
+        plan: &LogicalPlan,
+        hints: PlanHints,
+    ) -> Result<PhysicalPlan, PlanError> {
         let LogicalPlan::Aggregate {
             input,
             group_by,
@@ -647,7 +927,7 @@ impl Engine {
         let (core, filter) = split_filters(input);
         match core {
             LogicalPlan::Scan { table } => {
-                self.plan_scan_agg(table, filter, group_by.as_deref(), aggs)
+                self.plan_scan_agg(db, table, filter, group_by.as_deref(), aggs, hints)
             }
             LogicalPlan::SemiJoin {
                 input: probe,
@@ -674,12 +954,14 @@ impl Engine {
                 };
                 match group_by.as_deref() {
                     None => self.plan_semijoin_agg(
+                        db,
                         probe_table,
                         probe_filter,
                         build_table,
                         build_filter,
                         fk_col,
                         aggs,
+                        hints,
                     ),
                     Some(g) if g == fk_col => {
                         if probe_filter.is_some() {
@@ -688,11 +970,13 @@ impl Engine {
                             ));
                         }
                         self.plan_groupjoin_agg(
+                            db,
                             probe_table,
                             build_table,
                             build_filter,
                             fk_col,
                             aggs,
+                            hints,
                         )
                     }
                     Some(other) => Err(PlanError::Unsupported(format!(
@@ -706,14 +990,17 @@ impl Engine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn plan_scan_agg(
         &self,
+        db: &Database,
         table_name: &str,
         filter: Option<Expr>,
         group_by: Option<&str>,
         aggs: &[AggSpec],
+        hints: PlanHints,
     ) -> Result<PhysicalPlan, PlanError> {
-        let table = self.db.table(table_name)?;
+        let table = db.table(table_name)?;
         if let Some(f) = &filter {
             f.validate(table)?;
         }
@@ -730,9 +1017,15 @@ impl Engine {
         }
         let mut decisions = Vec::new();
         let mut cost_terms = Vec::new();
-        let selectivity = match &filter {
-            Some(f) => stats::estimate_selectivity(table, f),
-            None => 1.0,
+        let selectivity = match (hints.selectivity, &filter) {
+            (Some(observed), Some(_)) => {
+                decisions.push(format!(
+                    "σ overridden to {observed:.4} (observed after drift)"
+                ));
+                observed
+            }
+            (_, Some(f)) => stats::estimate_selectivity(table, f),
+            (_, None) => 1.0,
         };
         let group_keys = group_by.map(|g| stats::estimate_distinct(table, g));
         let has_minmax = aggs
@@ -796,17 +1089,20 @@ impl Engine {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn plan_semijoin_agg(
         &self,
+        db: &Database,
         probe: &str,
         probe_filter: Option<Expr>,
         build: &str,
         build_filter: Option<Expr>,
         fk_col: &str,
         aggs: &[AggSpec],
+        hints: PlanHints,
     ) -> Result<PhysicalPlan, PlanError> {
-        let probe_t = self.db.table(probe)?;
-        let build_t = self.db.table(build)?;
+        let probe_t = db.table(probe)?;
+        let build_t = db.table(build)?;
         if let Some(f) = &probe_filter {
             f.validate(probe_t)?;
         }
@@ -821,12 +1117,19 @@ impl Engine {
                 ));
             }
         }
-        self.fk_positions(probe, fk_col, build)?; // validate FK column early
-        let build_sel = match &build_filter {
-            Some(f) => stats::estimate_selectivity(build_t, f),
-            None => 1.0,
+        self.fk_positions(db, probe, fk_col, build)?; // validate FK column early
+        let mut hint_decision = None;
+        let build_sel = match (hints.selectivity, &build_filter) {
+            (Some(observed), Some(_)) => {
+                hint_decision = Some(format!(
+                    "σ_build overridden to {observed:.4} (observed after drift)"
+                ));
+                observed
+            }
+            (_, Some(f)) => stats::estimate_selectivity(build_t, f),
+            (_, None) => 1.0,
         };
-        let has_fk_index = self.db.fk_index(probe, fk_col, build).is_some();
+        let has_fk_index = db.fk_index(probe, fk_col, build).is_some();
         let choice = choose_semijoin(
             &self.params,
             &SemiJoinProfile {
@@ -842,17 +1145,18 @@ impl Engine {
         // Same VM-model threshold as the chooser's build decision: masked
         // probing wins unless the probe predicate is very selective.
         let probe_masked = probe_sel >= 0.125;
-        let mut decisions = vec![
-            format!("σ_build={build_sel:.2} → {}", choice.explanation),
-            format!(
-                "σ_probe={probe_sel:.2} → {} probe",
-                if probe_masked {
-                    "masked"
-                } else {
-                    "selection-vector"
-                }
-            ),
-        ];
+        let mut decisions = vec![format!("σ_build={build_sel:.2} → {}", choice.explanation)];
+        if let Some(d) = hint_decision {
+            decisions.push(d);
+        }
+        decisions.extend([format!(
+            "σ_probe={probe_sel:.2} → {} probe",
+            if probe_masked {
+                "masked"
+            } else {
+                "selection-vector"
+            }
+        )]);
         let strategy = match self.pin_semijoin {
             Some(pin) => {
                 decisions.push("semijoin strategy pinned by the session".to_string());
@@ -876,16 +1180,19 @@ impl Engine {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn plan_groupjoin_agg(
         &self,
+        db: &Database,
         probe: &str,
         build: &str,
         build_filter: Option<Expr>,
         fk_col: &str,
         aggs: &[AggSpec],
+        hints: PlanHints,
     ) -> Result<PhysicalPlan, PlanError> {
-        let probe_t = self.db.table(probe)?;
-        let build_t = self.db.table(build)?;
+        let probe_t = db.table(probe)?;
+        let build_t = db.table(build)?;
         if let Some(f) = &build_filter {
             f.validate(build_t)?;
         }
@@ -897,10 +1204,17 @@ impl Engine {
                 ));
             }
         }
-        self.fk_positions(probe, fk_col, build)?;
-        let s_sel = match &build_filter {
-            Some(f) => stats::estimate_selectivity(build_t, f),
-            None => 1.0,
+        self.fk_positions(db, probe, fk_col, build)?;
+        let mut hint_decision = None;
+        let s_sel = match (hints.selectivity, &build_filter) {
+            (Some(observed), Some(_)) => {
+                hint_decision = Some(format!(
+                    "σ_S overridden to {observed:.4} (observed after drift)"
+                ));
+                observed
+            }
+            (_, Some(f)) => stats::estimate_selectivity(build_t, f),
+            (_, None) => 1.0,
         };
         let comp: f64 = aggs.iter().map(|a| a.expr.comp_cycles() + 0.5).sum();
         let choice = choose_groupjoin_mt(
@@ -921,6 +1235,9 @@ impl Engine {
             "σ_S={s_sel:.2} → {} (groupjoin={:.2e}, eager={:.2e})",
             choice.explanation, choice.cost_groupjoin, choice.cost_eager,
         )];
+        if let Some(d) = hint_decision {
+            decisions.push(d);
+        }
         let strategy = match self.pin_groupjoin {
             Some(pin) => {
                 decisions.push("groupjoin strategy pinned by the session".to_string());
@@ -948,15 +1265,16 @@ impl Engine {
     /// The positional FK mapping probe→parent: the registered FK index if
     /// present, otherwise the raw `u32` FK column (dense parent keys).
     fn fk_positions<'a>(
-        &'a self,
+        &self,
+        db: &'a Database,
         child: &str,
         fk_col: &str,
         parent: &str,
     ) -> Result<&'a [u32], PlanError> {
-        if let Some(idx) = self.db.fk_index(child, fk_col, parent) {
+        if let Some(idx) = db.fk_index(child, fk_col, parent) {
             return Ok(idx.positions());
         }
-        let child_t = self.db.table(child)?;
+        let child_t = db.table(child)?;
         let col = child_t
             .column(fk_col)
             .ok_or_else(|| PlanError::UnknownColumn {
@@ -973,28 +1291,14 @@ impl Engine {
     // Execution
     // -----------------------------------------------------------------
 
-    /// Execute a physical plan under panic isolation and the session's
-    /// deadline/budget limits.
-    ///
-    /// Unlike [`Engine::query`] this cannot retry under the data-centric
-    /// strategy (the fallback needs the logical plan), so runtime failures
-    /// surface directly as typed errors.
-    pub fn execute(&self, plan: &PhysicalPlan) -> Result<QueryResult, PlanError> {
-        let ctx = self.exec_ctx();
-        let level = self.metrics;
-        let t0 = level.timing().then(Instant::now);
-        let (mut res, ops) = runtime::isolate(|| self.execute_shape(plan, &ctx, level))?;
-        self.attach_metrics(&mut res, plan, ops, &ctx, level, 0, t0);
-        Ok(res)
-    }
-
     /// Execute a physical plan against an execution context, returning the
     /// result plus per-operator metrics (empty below
     /// [`MetricsLevel::Counters`]). Planner/executor drift (a table or FK
     /// index dropped after planning) propagates as a [`PlanError`] instead
     /// of panicking.
-    fn execute_shape(
+    pub(crate) fn execute_shape(
         &self,
+        db: &Database,
         plan: &PhysicalPlan,
         ctx: &ExecCtx,
         level: MetricsLevel,
@@ -1015,7 +1319,7 @@ impl Engine {
                 aggs,
                 strategy,
             } => {
-                let t = self.db.table(table)?;
+                let t = db.table(table)?;
                 match group_by {
                     None => exec_scalar_agg(
                         &format!("agg({table})"),
@@ -1048,9 +1352,9 @@ impl Engine {
                 strategy,
                 probe_masked,
             } => {
-                let probe_t = self.db.table(probe)?;
-                let build_t = self.db.table(build)?;
-                let fk = self.fk_positions(probe, fk_col, build)?;
+                let probe_t = db.table(probe)?;
+                let build_t = db.table(build)?;
+                let fk = self.fk_positions(db, probe, fk_col, build)?;
                 exec_semijoin_agg(
                     SemiJoinNames {
                         build: &format!("semijoin-build({build})"),
@@ -1076,9 +1380,9 @@ impl Engine {
                 aggs,
                 strategy,
             } => {
-                let probe_t = self.db.table(probe)?;
-                let build_t = self.db.table(build)?;
-                let fk = self.fk_positions(probe, fk_col, build)?;
+                let probe_t = db.table(probe)?;
+                let build_t = db.table(build)?;
+                let fk = self.fk_positions(db, probe, fk_col, build)?;
                 exec_groupjoin_agg(
                     SemiJoinNames {
                         build: &format!("build-mask({build})"),
@@ -1147,6 +1451,76 @@ fn split_filters(plan: &LogicalPlan) -> (&LogicalPlan, Option<Expr>) {
         }
         other => (other, None),
     }
+}
+
+/// Rebuild a logical plan in a normal form so that semantically equal
+/// plans share one cache key: every chain of `Filter` nodes collapses into
+/// a single node holding the merged conjunction (exactly what the planner
+/// itself sees through [`split_filters`]).
+fn canonicalize(plan: &LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { table } => LogicalPlan::Scan {
+            table: table.clone(),
+        },
+        LogicalPlan::Filter { .. } => {
+            let (core, merged) = split_filters(plan);
+            match merged {
+                Some(predicate) => LogicalPlan::Filter {
+                    input: Box::new(canonicalize(core)),
+                    predicate,
+                },
+                None => canonicalize(core),
+            }
+        }
+        LogicalPlan::SemiJoin {
+            input,
+            build,
+            fk_col,
+        } => LogicalPlan::SemiJoin {
+            input: Box::new(canonicalize(input)),
+            build: Box::new(canonicalize(build)),
+            fk_col: fk_col.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(canonicalize(input)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+    }
+}
+
+/// The plan-cache key: the canonicalized logical plan's debug rendering,
+/// prefixed with the strategy-relevant session knobs (thread count feeds
+/// the multi-threaded groupjoin chooser, so plans picked at different
+/// parallelism must not alias).
+fn plan_fingerprint(plan: &LogicalPlan, threads: usize) -> String {
+    format!("t{threads}:{:?}", canonicalize(plan))
+}
+
+/// Collect the base tables a logical plan touches (depth-first, duplicates
+/// removed by [`cache::generations_of`]).
+fn plan_tables<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a str>) {
+    match plan {
+        LogicalPlan::Scan { table } => out.push(table),
+        LogicalPlan::Filter { input, .. } => plan_tables(input, out),
+        LogicalPlan::SemiJoin { input, build, .. } => {
+            plan_tables(input, out);
+            plan_tables(build, out);
+        }
+        LogicalPlan::Aggregate { input, .. } => plan_tables(input, out),
+    }
+}
+
+/// Snapshot the generation counter of every table a plan reads, for the
+/// plan cache's staleness check.
+fn table_generations(db: &Database, plan: &LogicalPlan) -> Vec<(String, u64)> {
+    let mut tables = Vec::new();
+    plan_tables(plan, &mut tables);
+    crate::cache::generations_of(db, &tables)
 }
 
 /// Evaluate the filter (or all-ones) mask for one tile.
@@ -1367,6 +1741,7 @@ fn exec_scalar_agg(
             columns: aggs.iter().map(|a| a.name.clone()).collect(),
             rows: vec![acc],
             metrics: None,
+            key_dict: None,
         },
         ops,
     ))
@@ -1589,13 +1964,22 @@ fn exec_groupby_agg(
         op.ht.inserts = ht.len() as u64;
         op.wall_nanos = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
     }
+    let key_dict = table
+        .column(group_by)
+        .and_then(|c| c.as_dict())
+        .map(|d| Arc::new(d.dictionary().to_vec()));
     Ok((
-        rows_from_table(group_by, aggs, &ht),
+        rows_from_table(group_by, aggs, &ht, key_dict),
         op.into_iter().collect(),
     ))
 }
 
-fn rows_from_table(key_name: &str, aggs: &[AggSpec], ht: &AggTable) -> QueryResult {
+fn rows_from_table(
+    key_name: &str,
+    aggs: &[AggSpec],
+    ht: &AggTable,
+    key_dict: Option<Arc<Vec<String>>>,
+) -> QueryResult {
     let mut rows: Vec<Vec<i64>> = ht
         .iter()
         .filter(|&(_, _, valid)| valid)
@@ -1613,6 +1997,7 @@ fn rows_from_table(key_name: &str, aggs: &[AggSpec], ht: &AggTable) -> QueryResu
         columns,
         rows,
         metrics: None,
+        key_dict,
     }
 }
 
@@ -1833,6 +2218,7 @@ fn exec_semijoin_agg(
             columns: aggs.iter().map(|a| a.name.clone()).collect(),
             rows: vec![acc],
             metrics: None,
+            key_dict: None,
         },
         op_list,
     ))
@@ -2032,5 +2418,5 @@ fn exec_groupjoin_agg(
         op_list.push(build_op);
         op_list.push(probe_op);
     }
-    Ok((rows_from_table(fk_col, aggs, &ht), op_list))
+    Ok((rows_from_table(fk_col, aggs, &ht, None), op_list))
 }

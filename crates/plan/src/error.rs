@@ -69,6 +69,18 @@ pub enum PlanError {
     /// wasted work on filtered tuples, so the overflow may be spurious; the
     /// engine retries such queries under the data-centric strategy.
     Overflow(String),
+    /// Parameter binding failed: wrong number of values for a prepared
+    /// statement's placeholders, a value of a type the slot cannot accept
+    /// (e.g. a string in arithmetic), or executing a plan that still
+    /// contains unbound placeholders.
+    BindMismatch(String),
+    /// SQL text handed to [`crate::Engine::prepare_sql`] failed to parse.
+    Sql {
+        /// What the parser objected to.
+        message: String,
+        /// Byte offset into the SQL text.
+        position: usize,
+    },
 }
 
 impl PlanError {
@@ -131,6 +143,10 @@ impl fmt::Display for PlanError {
                  charged of a {budget} B budget"
             ),
             PlanError::Overflow(what) => write!(f, "i64 overflow detected: {what}"),
+            PlanError::BindMismatch(what) => write!(f, "bind mismatch: {what}"),
+            PlanError::Sql { message, position } => {
+                write!(f, "sql error at {position}: {message}")
+            }
         }
     }
 }

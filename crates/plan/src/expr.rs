@@ -62,6 +62,11 @@ pub enum Expr {
     Col(String),
     /// Integer literal (dates/decimals are integers in this storage model).
     Lit(i64),
+    /// A prepared-statement placeholder (`?` / `$n` in SQL), identified by
+    /// its 0-based ordinal. Plans containing parameters cannot be planned or
+    /// executed directly — [`crate::PreparedStatement::bind`] substitutes
+    /// every placeholder with a bound value first.
+    Param(usize),
     /// Comparison producing a boolean.
     Cmp(CmpOp, Box<Expr>, Box<Expr>),
     /// Arithmetic: `+`.
@@ -154,7 +159,7 @@ impl Expr {
         };
         match self {
             Expr::Col(name) => push(name),
-            Expr::Lit(_) => {}
+            Expr::Lit(_) | Expr::Param(_) => {}
             Expr::Like { col, .. } | Expr::InList { col, .. } => push(col),
             Expr::Cmp(_, a, b)
             | Expr::Add(a, b)
@@ -184,7 +189,7 @@ impl Expr {
     pub fn comp_cycles(&self) -> f64 {
         use swole_cost::comp::ArithOp;
         match self {
-            Expr::Col(_) | Expr::Lit(_) => 0.0,
+            Expr::Col(_) | Expr::Lit(_) | Expr::Param(_) => 0.0,
             Expr::Cmp(_, a, b) => ArithOp::Cmp.cycles() + a.comp_cycles() + b.comp_cycles(),
             Expr::Add(a, b) | Expr::Sub(a, b) => {
                 ArithOp::AddSub.cycles() + a.comp_cycles() + b.comp_cycles()
@@ -205,9 +210,51 @@ impl Expr {
         }
     }
 
+    /// Placeholder ordinals referenced by this expression, in appearance
+    /// order with duplicates kept.
+    pub fn params(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Param(i) => out.push(*i),
+            Expr::Col(_) | Expr::Lit(_) | Expr::Like { .. } | Expr::InList { .. } => {}
+            Expr::Cmp(_, a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            Expr::Not(a) => a.collect_params(out),
+            Expr::Case {
+                when,
+                then,
+                otherwise,
+            } => {
+                when.collect_params(out);
+                then.collect_params(out);
+                otherwise.collect_params(out);
+            }
+        }
+    }
+
     /// Validate column references and dictionary requirements against a
     /// table.
     pub fn validate(&self, table: &Table) -> Result<(), PlanError> {
+        if let Some(i) = self.params().first() {
+            return Err(PlanError::BindMismatch(format!(
+                "plan still contains unbound placeholder ${} — bind it through \
+                 a prepared statement",
+                i + 1
+            )));
+        }
         for name in self.columns() {
             if table.column(&name).is_none() {
                 return Err(PlanError::UnknownColumn {
@@ -260,6 +307,8 @@ impl Expr {
         match self {
             Expr::Col(name) => table.column_required(name).get_i64(row),
             Expr::Lit(v) => *v,
+            // Unreachable after validation; evaluate defensively as 0.
+            Expr::Param(_) => 0,
             Expr::Cmp(op, a, b) => op.apply(a.eval_row(table, row), b.eval_row(table, row)) as i64,
             // Explicit wrapping arithmetic: identical results in debug and
             // release builds (division by zero still panics; the engine's
@@ -376,6 +425,8 @@ impl Expr {
         match self {
             Expr::Col(name) => copy_column(table.column_required(name), start, out),
             Expr::Lit(v) => out.fill(*v),
+            // Unreachable after validation; evaluate defensively as 0.
+            Expr::Param(_) => out.fill(0),
             // Arithmetic wraps explicitly — same results under debug,
             // release, and `-C overflow-checks=on` builds.
             Expr::Add(a, b) => {

@@ -77,6 +77,7 @@ fn run_inner(
                 columns: aggs.iter().map(|a| a.name.clone()).collect(),
                 rows: vec![acc],
                 metrics: None,
+                key_dict: None,
             })
         }
         Some(g) => {
@@ -105,6 +106,9 @@ fn run_inner(
             Ok(QueryResult {
                 columns,
                 metrics: None,
+                key_dict: key_col
+                    .as_dict()
+                    .map(|d| std::sync::Arc::new(d.dictionary().to_vec())),
                 rows: groups
                     .into_iter()
                     .map(|(k, acc)| {

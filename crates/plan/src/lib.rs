@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod catalog;
 mod engine;
 mod error;
@@ -41,15 +42,20 @@ mod logical;
 pub mod metrics;
 mod parallel;
 pub mod physical;
+mod prepared;
 mod runtime;
 pub mod sql;
 pub mod stats;
+mod value;
 
+pub use cache::PlanCacheStats;
 pub use catalog::Database;
 pub use engine::{Engine, EngineBuilder, Explain, QueryResult};
 pub use error::PlanError;
 pub use expr::{AggFunc, CmpOp, Expr};
 pub use logical::{AggSpec, LogicalPlan, QueryBuilder};
 pub use metrics::{MetricsLevel, OpMetrics, QueryMetrics};
+pub use prepared::{BoundStatement, PreparedStatement};
 pub use runtime::{ExecHandle, MemGauge};
-pub use sql::{parse as parse_sql, ExplainMode, SqlError};
+pub use sql::{parse as parse_sql, ExplainMode, ParamSlot, SqlError};
+pub use value::{Params, Value};

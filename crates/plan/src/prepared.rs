@@ -1,0 +1,441 @@
+//! Prepared statements: plan once, bind many.
+//!
+//! [`Engine::prepare`] (or [`Engine::prepare_sql`] for the SQL frontend's
+//! `?` / `$n` placeholders) captures a logical-plan template against an
+//! engine session. Binding typed [`Params`] substitutes every
+//! [`Expr::Param`] with its value and yields a [`BoundStatement`], whose
+//! `execute` runs through the session's plan cache — so the strategy
+//! choice, sampling, and cost-model work happen once per distinct plan
+//! shape, not once per execution.
+//!
+//! ```
+//! use swole_plan::{Engine, Params};
+//! # use swole_plan::Database;
+//! # use swole_storage::{ColumnData, Table};
+//! # let mut db = Database::new();
+//! # db.add_table(
+//! #     Table::new("R")
+//! #         .with_column("r_a", ColumnData::I32((0..8).collect()))
+//! #         .with_column("r_x", ColumnData::I32((0..8).map(|i| i % 4).collect())),
+//! # );
+//! let e = Engine::builder(db).build();
+//! let stmt = e.prepare_sql("select sum(r_a) as s from R where r_x < ?")?;
+//! let one = stmt.bind(&Params::new().int(2))?.execute()?;
+//! let two = stmt.bind(&Params::new().int(3))?.execute()?;
+//! assert!(two.rows[0][0] >= one.rows[0][0]);
+//! # Ok::<(), swole_plan::PlanError>(())
+//! ```
+
+use crate::engine::{Engine, Explain, QueryResult};
+use crate::error::PlanError;
+use crate::expr::{CmpOp, Expr};
+use crate::logical::{AggSpec, LogicalPlan};
+use crate::value::{Params, Value};
+
+/// A planned statement template bound to an [`Engine`] session.
+///
+/// Cloning is cheap (the template is shared per clone's `Vec` costs only;
+/// the engine handle is an `Arc`), and a prepared statement may be used
+/// from any thread — executions are bit-identical regardless of which
+/// clone or thread runs them.
+#[derive(Clone)]
+pub struct PreparedStatement {
+    engine: Engine,
+    template: LogicalPlan,
+    param_count: usize,
+}
+
+/// A [`PreparedStatement`] with every placeholder substituted, ready to
+/// execute (repeatedly, if desired) against the session's plan cache.
+#[derive(Clone)]
+pub struct BoundStatement {
+    engine: Engine,
+    plan: LogicalPlan,
+}
+
+impl Engine {
+    /// Prepare a logical-plan template for repeated execution.
+    ///
+    /// Placeholder ordinals ([`Expr::Param`]) must be contiguous from 0 —
+    /// a template that mentions `$3` but never `$2` fails with
+    /// [`PlanError::BindMismatch`]. A template without placeholders is
+    /// planned immediately, seeding the session's plan cache; templates
+    /// with placeholders are planned on first execution of each bound
+    /// variant (bound literals feed predicate sampling, so different
+    /// bindings may legitimately choose different strategies).
+    pub fn prepare(&self, plan: &LogicalPlan) -> Result<PreparedStatement, PlanError> {
+        let mut ordinals = Vec::new();
+        plan_params(plan, &mut ordinals);
+        ordinals.sort_unstable();
+        ordinals.dedup();
+        let param_count = ordinals.last().map(|m| m + 1).unwrap_or(0);
+        for (expect, got) in ordinals.iter().enumerate() {
+            if expect != *got {
+                return Err(PlanError::BindMismatch(format!(
+                    "placeholder ${} is never used (placeholders must be contiguous)",
+                    expect + 1
+                )));
+            }
+        }
+        if param_count == 0 {
+            // No placeholders: plan now, so the first execute() is a hit.
+            let inner = self.inner();
+            let db = inner.read_db();
+            inner.plan_cached(&db, plan)?;
+        }
+        Ok(PreparedStatement {
+            engine: self.clone(),
+            template: plan.clone(),
+            param_count,
+        })
+    }
+
+    /// Prepare a SQL statement with `?` or `$n` placeholders.
+    ///
+    /// The text is parsed once; `EXPLAIN` prefixes are rejected (call
+    /// [`BoundStatement::explain`] / [`BoundStatement::explain_analyze`]
+    /// on the bound statement instead).
+    pub fn prepare_sql(&self, sql: &str) -> Result<PreparedStatement, PlanError> {
+        let parsed = crate::sql::parse(sql).map_err(|e| PlanError::Sql {
+            message: e.message,
+            position: e.position,
+        })?;
+        if parsed.explain.is_some() {
+            return Err(PlanError::Unsupported(
+                "EXPLAIN cannot be prepared — prepare the bare query and call \
+                 explain() on the bound statement"
+                    .into(),
+            ));
+        }
+        self.prepare(&parsed.plan)
+    }
+}
+
+impl PreparedStatement {
+    /// Number of placeholders the template expects.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The captured logical-plan template (placeholders intact).
+    pub fn template(&self) -> &LogicalPlan {
+        &self.template
+    }
+
+    /// Substitute placeholders with `params`, in ordinal order.
+    ///
+    /// Fails with [`PlanError::BindMismatch`] on an arity mismatch, or
+    /// when a [`Value::Str`] binds anywhere other than an `=` / `<>`
+    /// comparison against a column (strings live in dictionary columns and
+    /// have no integer encoding the kernels could compare).
+    pub fn bind(&self, params: &Params) -> Result<BoundStatement, PlanError> {
+        if params.len() != self.param_count {
+            return Err(PlanError::BindMismatch(format!(
+                "statement expects {} parameter(s), got {}",
+                self.param_count,
+                params.len()
+            )));
+        }
+        let plan = subst_plan(&self.template, params.values())?;
+        Ok(BoundStatement {
+            engine: self.engine.clone(),
+            plan,
+        })
+    }
+
+    /// Convenience for statements without placeholders:
+    /// `bind(&Params::new())?.execute()`.
+    pub fn execute(&self) -> Result<QueryResult, PlanError> {
+        self.bind(&Params::new())?.execute()
+    }
+}
+
+impl BoundStatement {
+    /// The fully bound logical plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// Execute through the session's plan cache with hardened-execution
+    /// supervision — semantics identical to [`Engine::query`] on the bound
+    /// plan.
+    pub fn execute(&self) -> Result<QueryResult, PlanError> {
+        self.engine.query(&self.plan)
+    }
+
+    /// EXPLAIN the bound plan (reports `plan: cached` once this statement
+    /// has executed and nothing invalidated the entry).
+    pub fn explain(&self) -> Result<Explain, PlanError> {
+        self.engine.explain(&self.plan)
+    }
+
+    /// EXPLAIN ANALYZE the bound plan: execute once with metrics and
+    /// return the report.
+    pub fn explain_analyze(&self) -> Result<Explain, PlanError> {
+        self.engine.explain_analyze(&self.plan)
+    }
+}
+
+/// Collect every placeholder ordinal a plan mentions (filters and
+/// aggregate expressions alike).
+fn plan_params(plan: &LogicalPlan, out: &mut Vec<usize>) {
+    match plan {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Filter { input, predicate } => {
+            out.extend(predicate.params());
+            plan_params(input, out);
+        }
+        LogicalPlan::SemiJoin { input, build, .. } => {
+            plan_params(input, out);
+            plan_params(build, out);
+        }
+        LogicalPlan::Aggregate { input, aggs, .. } => {
+            for a in aggs {
+                out.extend(a.expr.params());
+            }
+            plan_params(input, out);
+        }
+    }
+}
+
+/// Rebuild a plan with every [`Expr::Param`] substituted.
+fn subst_plan(plan: &LogicalPlan, vals: &[Value]) -> Result<LogicalPlan, PlanError> {
+    Ok(match plan {
+        LogicalPlan::Scan { table } => LogicalPlan::Scan {
+            table: table.clone(),
+        },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(subst_plan(input, vals)?),
+            predicate: subst_expr(predicate, vals)?,
+        },
+        LogicalPlan::SemiJoin {
+            input,
+            build,
+            fk_col,
+        } => LogicalPlan::SemiJoin {
+            input: Box::new(subst_plan(input, vals)?),
+            build: Box::new(subst_plan(build, vals)?),
+            fk_col: fk_col.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(subst_plan(input, vals)?),
+            group_by: group_by.clone(),
+            aggs: aggs
+                .iter()
+                .map(|a| {
+                    Ok(AggSpec {
+                        func: a.func,
+                        expr: subst_expr(&a.expr, vals)?,
+                        name: a.name.clone(),
+                    })
+                })
+                .collect::<Result<Vec<_>, PlanError>>()?,
+        },
+    })
+}
+
+/// Substitute placeholders inside one expression.
+///
+/// Integer-encodable values ([`Value::Int`], [`Value::Decimal`],
+/// [`Value::Date`]) become [`Expr::Lit`] of their raw encoding.
+/// [`Value::Str`] has no raw encoding; it is only accepted as
+/// `col = ?` / `col <> ?` (either operand order), which rewrite to the
+/// dictionary predicates `col IN (value)` / `NOT (col IN (value))`.
+fn subst_expr(e: &Expr, vals: &[Value]) -> Result<Expr, PlanError> {
+    Ok(match e {
+        Expr::Param(i) => Expr::Lit(param_raw(*i, vals)?),
+        Expr::Col(_) | Expr::Lit(_) | Expr::Like { .. } | Expr::InList { .. } => e.clone(),
+        Expr::Cmp(op, a, b) => {
+            // String bindings: rewrite `col = $n` (or the mirrored form)
+            // into a one-element dictionary IN-list before the generic
+            // substitution can reject the string.
+            let col_param = match (&**a, &**b) {
+                (Expr::Col(c), Expr::Param(i)) | (Expr::Param(i), Expr::Col(c)) => Some((c, *i)),
+                _ => None,
+            };
+            if let Some((col, i)) = col_param {
+                if let Some(Value::Str(s)) = vals.get(i) {
+                    let in_list = Expr::InList {
+                        col: col.clone(),
+                        values: vec![s.clone()],
+                    };
+                    return match op {
+                        CmpOp::Eq => Ok(in_list),
+                        CmpOp::Ne => Ok(Expr::Not(Box::new(in_list))),
+                        _ => Err(PlanError::BindMismatch(format!(
+                            "string parameter ${} only supports = or <> against \
+                             a dictionary column",
+                            i + 1
+                        ))),
+                    };
+                }
+            }
+            Expr::Cmp(
+                *op,
+                Box::new(subst_expr(a, vals)?),
+                Box::new(subst_expr(b, vals)?),
+            )
+        }
+        Expr::Add(a, b) => bin(Expr::Add, a, b, vals)?,
+        Expr::Sub(a, b) => bin(Expr::Sub, a, b, vals)?,
+        Expr::Mul(a, b) => bin(Expr::Mul, a, b, vals)?,
+        Expr::Div(a, b) => bin(Expr::Div, a, b, vals)?,
+        Expr::And(a, b) => bin(Expr::And, a, b, vals)?,
+        Expr::Or(a, b) => bin(Expr::Or, a, b, vals)?,
+        Expr::Not(a) => Expr::Not(Box::new(subst_expr(a, vals)?)),
+        Expr::Case {
+            when,
+            then,
+            otherwise,
+        } => Expr::Case {
+            when: Box::new(subst_expr(when, vals)?),
+            then: Box::new(subst_expr(then, vals)?),
+            otherwise: Box::new(subst_expr(otherwise, vals)?),
+        },
+    })
+}
+
+fn bin(
+    ctor: fn(Box<Expr>, Box<Expr>) -> Expr,
+    a: &Expr,
+    b: &Expr,
+    vals: &[Value],
+) -> Result<Expr, PlanError> {
+    Ok(ctor(
+        Box::new(subst_expr(a, vals)?),
+        Box::new(subst_expr(b, vals)?),
+    ))
+}
+
+/// The raw `i64` encoding of the value bound to ordinal `i`, or a
+/// [`PlanError::BindMismatch`] for strings (which never reach this path
+/// through the supported rewrites).
+fn param_raw(i: usize, vals: &[Value]) -> Result<i64, PlanError> {
+    let v = vals.get(i).ok_or_else(|| {
+        PlanError::BindMismatch(format!("no value bound for placeholder ${}", i + 1))
+    })?;
+    v.raw_i64().ok_or_else(|| {
+        PlanError::BindMismatch(format!(
+            "string parameter ${} only supports = or <> against a dictionary \
+             column",
+            i + 1
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::QueryBuilder;
+    use swole_storage::{ColumnData, DictColumn, Table};
+
+    fn db() -> crate::Database {
+        let mut db = crate::Database::new();
+        db.add_table(
+            Table::new("R")
+                .with_column("r_a", ColumnData::I32((0..64).collect()))
+                .with_column("r_x", ColumnData::I32((0..64).map(|i| i % 8).collect()))
+                .with_column(
+                    "r_s",
+                    ColumnData::Dict(DictColumn::encode(
+                        &(0..64)
+                            .map(|i| if i % 2 == 0 { "even" } else { "odd" })
+                            .collect::<Vec<_>>(),
+                    )),
+                ),
+        );
+        db
+    }
+
+    fn sum_below(cutoff: Expr) -> LogicalPlan {
+        QueryBuilder::scan("R")
+            .filter(Expr::col("r_x").cmp(CmpOp::Lt, cutoff))
+            .aggregate(None, vec![AggSpec::sum(Expr::col("r_a"), "s")])
+    }
+
+    #[test]
+    fn int_binding_matches_literal_query() {
+        let e = Engine::builder(db()).build();
+        let stmt = e
+            .prepare_sql("select sum(r_a) as s from R where r_x < ?")
+            .unwrap();
+        let bound = stmt.bind(&Params::new().int(3)).unwrap();
+        let direct = e.query(&sum_below(Expr::Lit(3))).unwrap();
+        assert_eq!(bound.execute().unwrap(), direct);
+    }
+
+    #[test]
+    fn str_binding_rewrites_to_dict_predicate() {
+        let e = Engine::builder(db()).build();
+        let stmt = e
+            .prepare_sql("select count(*) as n from R where r_s = $1")
+            .unwrap();
+        let n = stmt
+            .bind(&Params::new().str("even"))
+            .unwrap()
+            .execute()
+            .unwrap();
+        assert_eq!(n.rows[0][0], 32);
+        let ne = e
+            .prepare_sql("select count(*) as n from R where r_s <> $1")
+            .unwrap()
+            .bind(&Params::new().str("even"))
+            .unwrap()
+            .execute()
+            .unwrap();
+        assert_eq!(ne.rows[0][0], 32);
+    }
+
+    #[test]
+    fn arity_and_type_mismatches_are_typed_errors() {
+        let e = Engine::builder(db()).build();
+        let stmt = e
+            .prepare_sql("select sum(r_a) as s from R where r_x < ?")
+            .unwrap();
+        assert!(matches!(
+            stmt.bind(&Params::new()),
+            Err(PlanError::BindMismatch(_))
+        ));
+        assert!(matches!(
+            stmt.bind(&Params::new().int(1).int(2)),
+            Err(PlanError::BindMismatch(_))
+        ));
+        // A string bound into an ordered comparison cannot encode.
+        assert!(matches!(
+            stmt.bind(&Params::new().str("even")),
+            Err(PlanError::BindMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn unbound_template_cannot_execute_directly() {
+        let e = Engine::builder(db()).build();
+        let plan = sum_below(Expr::Param(0));
+        assert!(matches!(e.query(&plan), Err(PlanError::BindMismatch(_))));
+        let stmt = e.prepare(&plan).unwrap();
+        assert_eq!(stmt.param_count(), 1);
+        assert!(stmt.bind(&Params::new().int(4)).unwrap().execute().is_ok());
+    }
+
+    #[test]
+    fn noncontiguous_ordinals_are_rejected() {
+        let e = Engine::builder(db()).build();
+        let plan = sum_below(Expr::Param(2));
+        assert!(matches!(e.prepare(&plan), Err(PlanError::BindMismatch(_))));
+    }
+
+    #[test]
+    fn zero_param_prepare_seeds_the_cache() {
+        let e = Engine::builder(db()).build();
+        let plan = sum_below(Expr::Lit(5));
+        let stmt = e.prepare(&plan).unwrap();
+        assert_eq!(stmt.param_count(), 0);
+        stmt.execute().unwrap();
+        let stats = e.plan_cache_stats();
+        assert!(stats.hits >= 1, "prepare should have seeded the cache");
+    }
+}

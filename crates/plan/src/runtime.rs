@@ -64,6 +64,36 @@ impl MemGauge {
         Ok(())
     }
 
+    /// Charge `bytes` without consulting the fault-injection harness.
+    ///
+    /// Long-lived gauges (the plan cache's byte budget) account bytes for
+    /// the session's lifetime, not one query; an armed allocation fault is
+    /// aimed at execution-path charges and must not be consumed by cache
+    /// bookkeeping.
+    pub(crate) fn try_charge_quiet(&self, bytes: usize) -> Result<(), PlanError> {
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > self.budget {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(PlanError::BudgetExceeded {
+                requested: bytes,
+                used: prev,
+                budget: self.budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// Return previously charged bytes to the budget (cache eviction).
+    /// Only meaningful for long-lived gauges that pair every release with
+    /// an earlier successful charge.
+    pub(crate) fn release(&self, bytes: usize) {
+        let _ = self
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            });
+    }
+
     /// Bytes charged so far.
     pub fn used(&self) -> usize {
         self.used.load(Ordering::Relaxed)

@@ -17,6 +17,9 @@ pub(crate) enum TokenKind {
     Number(i64),
     /// `'...'` string literal (quotes stripped, `''` unescaped).
     Str(String),
+    /// Prepared-statement placeholder: `?` (positional, `None`) or `$n`
+    /// (1-based explicit index, `Some(n)`).
+    Param(Option<usize>),
     /// Punctuation / operator.
     Symbol(Sym),
 }
@@ -90,6 +93,38 @@ pub(crate) fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
             })?;
             out.push(Token {
                 kind: TokenKind::Number(value),
+                pos,
+            });
+        } else if c == '?' {
+            i += 1;
+            out.push(Token {
+                kind: TokenKind::Param(None),
+                pos,
+            });
+        } else if c == '$' {
+            let start = i + 1;
+            i = start;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i == start {
+                return Err(SqlError {
+                    message: "expected a digit after $ (placeholders are $1, $2, ...)".into(),
+                    position: pos,
+                });
+            }
+            let n: usize = input[start..i].parse().map_err(|_| SqlError {
+                message: format!("placeholder index out of range: ${}", &input[start..i]),
+                position: pos,
+            })?;
+            if n == 0 {
+                return Err(SqlError {
+                    message: "placeholder indexes start at $1".into(),
+                    position: pos,
+                });
+            }
+            out.push(Token {
+                kind: TokenKind::Param(Some(n)),
                 pos,
             });
         } else if c == '\'' {
@@ -257,8 +292,28 @@ mod tests {
 
     #[test]
     fn errors_carry_positions() {
-        let err = tokenize("select ?").unwrap_err();
+        let err = tokenize("select #").unwrap_err();
         assert_eq!(err.position, 7);
+    }
+
+    #[test]
+    fn placeholders() {
+        assert_eq!(
+            kinds("where x < ? and y = $2"),
+            vec![
+                TokenKind::Word("WHERE".into()),
+                TokenKind::Word("x".into()),
+                TokenKind::Symbol(Sym::Lt),
+                TokenKind::Param(None),
+                TokenKind::Word("AND".into()),
+                TokenKind::Word("y".into()),
+                TokenKind::Symbol(Sym::Eq),
+                TokenKind::Param(Some(2)),
+            ]
+        );
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("$x").is_err());
+        assert!(tokenize("$0").is_err());
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!            CASE WHEN ... THEN ... ELSE ... END, arithmetic, parentheses
 //! ```
 //!
+//! Predicates may contain placeholders — anonymous `?` (numbered left to
+//! right) or explicit `$1`, `$2`, ... (1-based; the two styles cannot mix,
+//! and ordinals must be contiguous). A query with placeholders cannot be
+//! executed directly; hand it to [`crate::Engine::prepare_sql`] and bind
+//! values through [`crate::PreparedStatement::bind`]. Each occurrence is
+//! recorded in [`ParsedQuery::param_slots`].
+//!
 //! Two-table queries become FK semijoins/groupjoins: the join condition
 //! must be `child.fk = parent.rowid` (`rowid` is each table's implicit
 //! dense primary key), other predicates are routed to the side whose
@@ -39,7 +46,7 @@
 mod lexer;
 mod parser;
 
-pub use parser::{parse, ExplainMode, ParsedQuery};
+pub use parser::{parse, ExplainMode, ParamSlot, ParsedQuery};
 
 use std::fmt;
 

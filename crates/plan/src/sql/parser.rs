@@ -16,20 +16,41 @@ pub enum ExplainMode {
     Analyze,
 }
 
+/// One placeholder occurrence in the SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamSlot {
+    /// 0-based parameter ordinal the slot binds to (`?` placeholders are
+    /// numbered left to right; `$n` maps to ordinal `n - 1`).
+    pub index: usize,
+    /// Byte offset of the placeholder in the SQL text.
+    pub position: usize,
+}
+
 /// A successfully parsed query.
 #[derive(Debug, Clone)]
 pub struct ParsedQuery {
-    /// The bound logical plan (feed it to [`crate::Engine::query`]).
+    /// The bound logical plan (feed it to [`crate::Engine::query`], or to
+    /// [`crate::Engine::prepare`] when it has placeholders).
     pub plan: LogicalPlan,
     /// `Some` when the query was prefixed with `EXPLAIN [ANALYZE]`.
     pub explain: Option<ExplainMode>,
+    /// Placeholder occurrences in appearance order; empty for a fully
+    /// literal query. The number of distinct `index` values is the
+    /// statement's parameter count.
+    pub param_slots: Vec<ParamSlot>,
 }
 
 /// Parse a SQL string into a logical plan. See the module docs for the
 /// supported grammar.
 pub fn parse(input: &str) -> Result<ParsedQuery, SqlError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, cursor: 0 };
+    let mut p = Parser {
+        tokens,
+        cursor: 0,
+        params: Vec::new(),
+        anon_params: 0,
+        numbered_params: false,
+    };
     let explain = if p.eat_keyword("EXPLAIN") {
         if p.eat_keyword("ANALYZE") {
             Some(ExplainMode::Analyze)
@@ -41,9 +62,31 @@ pub fn parse(input: &str) -> Result<ParsedQuery, SqlError> {
     };
     let q = p.parse_query()?;
     p.expect_end()?;
+    check_param_contiguity(&p.params)?;
     let mut parsed = bind(q)?;
     parsed.explain = explain;
+    parsed.param_slots = p.params;
     Ok(parsed)
+}
+
+/// Every ordinal below the highest must be referenced by some slot:
+/// `$1, $3` without a `$2` would make a 3-value bind silently drop one.
+fn check_param_contiguity(slots: &[ParamSlot]) -> Result<(), SqlError> {
+    let Some(max) = slots.iter().map(|s| s.index).max() else {
+        return Ok(());
+    };
+    for ordinal in 0..=max {
+        if !slots.iter().any(|s| s.index == ordinal) {
+            return Err(SqlError {
+                message: format!(
+                    "placeholder ${} is never used (placeholders must be contiguous)",
+                    ordinal + 1
+                ),
+                position: slots.last().map(|s| s.position).unwrap_or(0),
+            });
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -58,6 +101,7 @@ enum PExpr {
     },
     Lit(i64),
     Str(String),
+    Param(usize),
     Cmp(CmpOp, Box<PExpr>, Box<PExpr>),
     Add(Box<PExpr>, Box<PExpr>),
     Sub(Box<PExpr>, Box<PExpr>),
@@ -116,6 +160,12 @@ struct Query {
 struct Parser {
     tokens: Vec<Token>,
     cursor: usize,
+    /// Placeholder occurrences in appearance order.
+    params: Vec<ParamSlot>,
+    /// How many anonymous `?` placeholders have been numbered so far.
+    anon_params: usize,
+    /// `true` once a `$n` placeholder has been seen (styles cannot mix).
+    numbered_params: bool,
 }
 
 impl Parser {
@@ -433,6 +483,34 @@ impl Parser {
                 self.cursor += 1;
                 Ok(PExpr::Str(s))
             }
+            Some(TokenKind::Param(explicit)) => {
+                let position = self.pos();
+                self.cursor += 1;
+                let index = match explicit {
+                    None => {
+                        if self.numbered_params {
+                            return Err(SqlError {
+                                message: "cannot mix ? and $n placeholders in one statement".into(),
+                                position,
+                            });
+                        }
+                        self.anon_params += 1;
+                        self.anon_params - 1
+                    }
+                    Some(n) => {
+                        if self.anon_params > 0 {
+                            return Err(SqlError {
+                                message: "cannot mix ? and $n placeholders in one statement".into(),
+                                position,
+                            });
+                        }
+                        self.numbered_params = true;
+                        n - 1
+                    }
+                };
+                self.params.push(ParamSlot { index, position });
+                Ok(PExpr::Param(index))
+            }
             Some(TokenKind::Symbol(Sym::LParen)) => {
                 self.cursor += 1;
                 let inner = self.parse_or()?;
@@ -478,7 +556,7 @@ fn tables_of(e: &PExpr, out: &mut Vec<Option<String>>) {
                 out.push(table.clone());
             }
         }
-        PExpr::Lit(_) | PExpr::Str(_) => {}
+        PExpr::Lit(_) | PExpr::Str(_) | PExpr::Param(_) => {}
         PExpr::Cmp(_, a, b)
         | PExpr::Add(a, b)
         | PExpr::Sub(a, b)
@@ -513,6 +591,7 @@ fn to_expr(e: &PExpr, pos: usize) -> Result<Expr, SqlError> {
     Ok(match e {
         PExpr::Col { name, .. } => Expr::Col(name.clone()),
         PExpr::Lit(v) => Expr::Lit(*v),
+        PExpr::Param(i) => Expr::Param(*i),
         PExpr::Str(s) => {
             return Err(fail(format!(
                 "string literal '{s}' is only valid with =, <>, LIKE or IN"
@@ -654,6 +733,7 @@ fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
                     aggs,
                 },
                 explain: None,
+                param_slots: Vec::new(),
             })
         }
         2 => {
@@ -769,6 +849,7 @@ fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
                     aggs,
                 },
                 explain: None,
+                param_slots: Vec::new(),
             })
         }
         n => Err(fail(format!("FROM supports 1 or 2 tables, got {n}"))),
@@ -996,5 +1077,62 @@ mod tests {
         assert!(parse("SELECT SUM(a) FROM t WHERE x < 1 GROUP BY c").is_ok());
         let ok = parse("SeLeCt sum(a) As s FrOm t WhErE x BeTwEeN 1 AnD 2");
         assert!(ok.is_ok(), "{ok:?}");
+    }
+
+    #[test]
+    fn anonymous_placeholders_number_left_to_right() {
+        let parsed = parse("select sum(a) from T where x < ? and y >= ?").unwrap();
+        assert_eq!(parsed.param_slots.len(), 2);
+        assert_eq!(parsed.param_slots[0].index, 0);
+        assert_eq!(parsed.param_slots[1].index, 1);
+        let LogicalPlan::Aggregate { input, .. } = parsed.plan else {
+            panic!()
+        };
+        let LogicalPlan::Filter { predicate, .. } = *input else {
+            panic!()
+        };
+        let Expr::And(a, b) = predicate else { panic!() };
+        assert!(matches!(*a, Expr::Cmp(CmpOp::Lt, _, _)));
+        let Expr::Cmp(CmpOp::Ge, _, rhs) = *b else {
+            panic!()
+        };
+        assert_eq!(*rhs, Expr::Param(1));
+    }
+
+    #[test]
+    fn numbered_placeholders_may_repeat() {
+        let parsed = parse("select sum(a) from T where x >= $1 and y < $2 and z <> $1").unwrap();
+        assert_eq!(parsed.param_slots.len(), 3);
+        let ordinals: Vec<usize> = parsed.param_slots.iter().map(|s| s.index).collect();
+        assert_eq!(ordinals, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn placeholder_styles_cannot_mix() {
+        let err = parse("select sum(a) from T where x < ? and y = $2").unwrap_err();
+        assert!(err.message.contains("mix"), "{err}");
+        let err = parse("select sum(a) from T where x < $1 and y = ?").unwrap_err();
+        assert!(err.message.contains("mix"), "{err}");
+    }
+
+    #[test]
+    fn placeholder_ordinals_must_be_contiguous() {
+        let err = parse("select sum(a) from T where x < $1 and y = $3").unwrap_err();
+        assert!(err.message.contains("$2"), "{err}");
+        assert!(parse("select sum(a) from T where x < $2").is_err());
+    }
+
+    #[test]
+    fn placeholders_route_through_joins() {
+        let parsed = parse(
+            "select sum(R.r_a) from R, S \
+             where R.r_fk = S.rowid and S.s_x < $1 and R.r_x < $2",
+        )
+        .unwrap();
+        assert_eq!(parsed.param_slots.len(), 2);
+        let LogicalPlan::Aggregate { input, .. } = parsed.plan else {
+            panic!()
+        };
+        assert!(matches!(*input, LogicalPlan::SemiJoin { .. }));
     }
 }

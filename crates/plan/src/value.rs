@@ -1,0 +1,185 @@
+//! Typed values for parameter binding and typed result decoding.
+//!
+//! The kernels and [`crate::QueryResult::rows`] stay raw `i64` — decimals
+//! are fixed-point raw units, dates are day numbers, strings are dictionary
+//! codes. [`Value`] is the typed boundary on both sides of a prepared
+//! statement: [`Params`] carries typed inputs into
+//! [`crate::PreparedStatement::bind`], and the typed `QueryResult`
+//! accessors (`col_decimal`, `col_date`, `col_str`, `try_scalar_value`)
+//! decode outputs without leaking the encodings to callers.
+
+use std::fmt;
+
+use swole_storage::{Date, Decimal};
+
+/// A typed scalar crossing the engine boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Plain 64-bit integer.
+    Int(i64),
+    /// Fixed-point decimal (stored as raw units, scale 100).
+    Decimal(Decimal),
+    /// Calendar date (stored as days since the storage epoch).
+    Date(Date),
+    /// String — comparable only against dictionary-encoded columns.
+    Str(String),
+}
+
+impl Value {
+    /// The raw `i64` this value encodes to in the storage model, or `None`
+    /// for strings (which bind through dictionary predicates, not
+    /// literals).
+    pub fn raw_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Decimal(d) => Some(d.raw()),
+            Value::Date(d) => Some(d.days() as i64),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Decimal(_) => "decimal",
+            Value::Date(_) => "date",
+            Value::Str(_) => "str",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Decimal(d) => write!(f, "{d}"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<Decimal> for Value {
+    fn from(v: Decimal) -> Value {
+        Value::Decimal(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(v: Date) -> Value {
+        Value::Date(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Ordered parameter values for a prepared statement, built fluently:
+///
+/// ```
+/// use swole_plan::{Params, Value};
+/// use swole_storage::Date;
+/// let params = Params::new()
+///     .int(24)
+///     .date(Date::parse("1994-01-01").unwrap())
+///     .str("PROMO");
+/// assert_eq!(params.len(), 3);
+/// assert_eq!(params.values()[0], Value::Int(24));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Params {
+    values: Vec<Value>,
+}
+
+impl Params {
+    /// No parameters (statements without placeholders).
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Append a typed value.
+    pub fn value(mut self, v: impl Into<Value>) -> Params {
+        self.values.push(v.into());
+        self
+    }
+
+    /// Append an integer.
+    pub fn int(self, v: i64) -> Params {
+        self.value(v)
+    }
+
+    /// Append a fixed-point decimal.
+    pub fn decimal(self, v: Decimal) -> Params {
+        self.value(v)
+    }
+
+    /// Append a date.
+    pub fn date(self, v: Date) -> Params {
+        self.value(v)
+    }
+
+    /// Append a string.
+    pub fn str(self, v: impl Into<String>) -> Params {
+        self.value(v.into())
+    }
+
+    /// Number of values bound so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no values have been bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The bound values in placeholder order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+impl From<Vec<Value>> for Params {
+    fn from(values: Vec<Value>) -> Params {
+        Params { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_encoding_matches_storage_model() {
+        assert_eq!(Value::Int(7).raw_i64(), Some(7));
+        assert_eq!(Value::Decimal(Decimal::new(12, 34)).raw_i64(), Some(1234));
+        let d = Date::parse("1992-01-01").unwrap();
+        assert_eq!(Value::Date(d).raw_i64(), Some(d.days() as i64));
+        assert_eq!(Value::Str("x".into()).raw_i64(), None);
+    }
+
+    #[test]
+    fn builder_collects_in_order() {
+        let p = Params::new().int(1).str("a").decimal(Decimal::new(0, 5));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.values()[1], Value::Str("a".into()));
+        assert!(!p.is_empty());
+        assert!(Params::new().is_empty());
+    }
+}

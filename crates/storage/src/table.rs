@@ -11,6 +11,7 @@ pub struct Table {
     name: String,
     columns: Vec<(String, ColumnData)>,
     len: usize,
+    generation: u64,
 }
 
 impl Table {
@@ -20,12 +21,26 @@ impl Table {
             name: name.into(),
             columns: Vec::new(),
             len: 0,
+            generation: 0,
         }
     }
 
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Data generation counter: 0 for a freshly built table, bumped by the
+    /// catalog every time a load replaces this table's contents. Plan caches
+    /// compare generations to detect that a cached plan was costed against
+    /// stale data.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Overwrite the generation counter (catalog reload bookkeeping).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// Number of rows.

@@ -1,4 +1,5 @@
-//! Quickstart: build a table, run an access-aware query, read the EXPLAIN.
+//! Quickstart: build a table, prepare a statement, run it with different
+//! bindings, and read the EXPLAIN (including the plan-cache verdict).
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -28,29 +29,34 @@ fn main() {
     // A parallel session: two morsel workers, default cost parameters.
     let engine = Engine::builder(db).threads(2).build();
 
-    // select region, sum(price * units), count(*)
-    // from sales where price >= 100 and price < 400 group by region
-    let plan = QueryBuilder::scan("sales")
-        .filter(
-            Expr::col("price")
-                .cmp(CmpOp::Ge, Expr::lit(100))
-                .and(Expr::col("price").cmp(CmpOp::Lt, Expr::lit(400))),
+    // Prepare once: revenue per region inside a price band. The price
+    // bounds are placeholders, bound per execution with typed params.
+    let stmt = engine
+        .prepare_sql(
+            "select region, sum(price * units) as revenue, count(*) as n \
+             from sales where price >= ? and price < ? group by region",
         )
-        .aggregate(
-            Some("region"),
-            vec![
-                AggSpec::sum(Expr::col("price").mul(Expr::col("units")), "revenue"),
-                AggSpec::count("n"),
-            ],
-        );
+        .expect("prepares");
 
-    println!("EXPLAIN:\n{}\n", engine.explain(&plan).expect("plans"));
+    let bound = stmt
+        .bind(&Params::new().int(100).int(400))
+        .expect("two int params");
+    println!("EXPLAIN:\n{}\n", bound.explain().expect("plans"));
 
-    let result = engine.query(&plan).expect("executes");
+    let result = bound.execute().expect("executes");
     println!("{:>8} {:>14} {:>8}", "region", "revenue", "n");
     for row in &result.rows {
         println!("{:>8} {:>14} {:>8}", row[0], row[1], row[2]);
     }
+
+    // Re-binding the same values hits the session's plan cache: planning
+    // (sampling + strategy choice) is skipped, and EXPLAIN says so.
+    let again = stmt
+        .bind(&Params::new().int(100).int(400))
+        .expect("rebinds");
+    let report = again.explain().expect("plans");
+    println!("\nplan cache: {:?}", engine.plan_cache_stats());
+    println!("second EXPLAIN plan source: {:?}", report.plan_source);
 
     // The same data, a compute-heavy aggregate: the cost model now prefers
     // early filtering (hybrid) over a pullup.

@@ -91,6 +91,28 @@ fn main() {
             result.rows.len()
         );
     }
+
+    // Prepared statements: the same Q1 shape with the selectivity knob as
+    // a placeholder. Each distinct binding is planned once (the bound
+    // literal feeds predicate sampling); repeats hit the plan cache.
+    let stmt = engine
+        .prepare_sql("select sum(r_a * r_b) as s from R where r_x < $1 and r_y = $2")
+        .expect("prepares");
+    for cutoff in [5i64, 75, 5, 75] {
+        let res = stmt
+            .bind(&Params::new().int(cutoff).int(1))
+            .expect("binds")
+            .execute()
+            .expect("executes");
+        println!(
+            "prepared r_x < {cutoff}: s = {}",
+            res.try_scalar("s").unwrap()
+        );
+    }
+    println!(
+        "plan cache after prepared runs: {:?}",
+        engine.plan_cache_stats()
+    );
 }
 
 fn textwrap(text: &str) -> String {

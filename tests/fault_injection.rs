@@ -111,7 +111,7 @@ fn worker_panic_falls_back_bit_identical() {
     for threads in THREADS {
         let e = engine(threads);
         for plan in [groupby_plan(), scalar_plan(), semijoin_plan()] {
-            let truth = interp::run(e.database(), &plan).expect("interp runs");
+            let truth = interp::run(&e.database(), &plan).expect("interp runs");
             let guard = faults::inject_panic_at_morsel(3);
             let got = e.query(&plan).expect("query recovers via fallback");
             drop(guard);
@@ -136,7 +136,7 @@ fn panic_at_every_morsel_never_aborts() {
     let _s = serial();
     let e = engine(4);
     let plan = groupby_plan();
-    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    let truth = interp::run(&e.database(), &plan).expect("interp runs");
     for morsel in 0..(N_ROWS / MORSEL) {
         let guard = faults::inject_panic_at_morsel(morsel);
         let got = e.query(&plan).expect("query recovers via fallback");
@@ -152,7 +152,7 @@ fn alloc_failure_falls_back_bit_identical() {
         for nth in [0usize, 1, 2] {
             let e = engine(threads);
             for plan in [groupby_plan(), semijoin_plan()] {
-                let truth = interp::run(e.database(), &plan).expect("interp runs");
+                let truth = interp::run(&e.database(), &plan).expect("interp runs");
                 let guard = faults::inject_alloc_failure_at_charge(nth);
                 let got = e.query(&plan).expect("query recovers via fallback");
                 drop(guard);
@@ -187,7 +187,7 @@ fn clock_skew_expires_deadline_without_retry() {
         "deadline must not trigger fallback: {report:?}"
     );
     // With the skew gone the same session (deadlines are per-query) works.
-    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    let truth = interp::run(&e.database(), &plan).expect("interp runs");
     assert_eq!(e.query(&plan).expect("runs clean").rows, truth.rows);
 }
 
@@ -209,7 +209,7 @@ fn fallback_reports_complete_metrics() {
             .into_iter()
             .zip(scans)
         {
-            let (truth, truth_op) = interp::run_metered(e.database(), &plan).expect("interp runs");
+            let (truth, truth_op) = interp::run_metered(&e.database(), &plan).expect("interp runs");
             let guard = faults::inject_panic_at_morsel(3);
             let got = e.query(&plan).expect("query recovers via fallback");
             drop(guard);
@@ -261,7 +261,7 @@ fn disarmed_hooks_are_free_of_side_effects() {
     faults::disarm_all();
     let e = engine(2);
     let plan = scalar_plan();
-    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    let truth = interp::run(&e.database(), &plan).expect("interp runs");
     let got = e.query(&plan).expect("runs");
     assert_eq!(got.rows, truth.rows);
     let report = e.explain(&plan).expect("explains").runtime;

@@ -108,7 +108,7 @@ fn generous_limits_do_not_interfere() {
         .memory_budget(1 << 30)
         .build();
     let plan = groupby_plan();
-    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    let truth = interp::run(&e.database(), &plan).expect("interp runs");
     assert_eq!(e.query(&plan).expect("runs").rows, truth.rows);
     let report = e.explain(&plan).expect("explains").runtime;
     assert!(
@@ -149,7 +149,7 @@ fn cancel_from_another_thread_and_reset() {
     // The flag is sticky until reset; afterwards the session works again.
     assert!(matches!(e.query(&plan), Err(PlanError::Cancelled { .. })));
     e.handle().reset();
-    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    let truth = interp::run(&e.database(), &plan).expect("interp runs");
     assert_eq!(e.query(&plan).expect("runs after reset").rows, truth.rows);
 }
 
@@ -221,7 +221,7 @@ fn genuine_overflow_wraps_identically_to_interpreter() {
     let plan = QueryBuilder::scan("R")
         .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(10)))
         .aggregate(None, vec![AggSpec::sum(Expr::col("a"), "s")]);
-    let truth = interp::run(e.database(), &plan).expect("interp runs");
+    let truth = interp::run(&e.database(), &plan).expect("interp runs");
     let got = e.query(&plan).expect("recovers via data-centric retry");
     assert_eq!(got.rows, truth.rows);
     assert_eq!(

@@ -28,6 +28,23 @@ fn q6_engine_matches_handcoded() {
     let plan = parse_sql(&sql).expect("parses").plan;
     let got = engine.query(&plan).expect("runs");
     assert_eq!(got.try_scalar("revenue").unwrap(), q::q6::swole(&db));
+
+    // Typed accessors: decode a raw decimal sum and a raw date min without
+    // touching the i64 encodings by hand.
+    let sql = format!(
+        "select sum(l_extendedprice) as sp, min(l_shipdate) as d0 from lineitem \
+         where l_shipdate >= {lo} and l_shipdate < {hi}"
+    );
+    let plan = parse_sql(&sql).expect("parses").plan;
+    let got = engine.query(&plan).expect("runs");
+    let sp = got.col_decimal("sp").expect("column exists");
+    assert_eq!(sp[0].raw(), got.try_scalar("sp").unwrap());
+    let d0 = got.col_date("d0").expect("column exists");
+    assert!(d0[0].days() >= lo && (d0[0].days()) < hi);
+    assert_eq!(
+        got.try_scalar_value("sp").unwrap(),
+        swole::Value::Int(got.try_scalar("sp").unwrap())
+    );
 }
 
 #[test]
@@ -59,6 +76,17 @@ fn q1_lite_engine_matches_handcoded_counts() {
         .map(|(code, (sq, n))| vec![code, sq, n])
         .collect();
     assert_eq!(got.rows, expected);
+    // The group key is dictionary-encoded; the typed accessor decodes the
+    // codes back to the flag strings in key order.
+    let flags = got.col_str("l_returnflag").expect("decodes");
+    let expected_flags: Vec<String> = got
+        .rows
+        .iter()
+        .map(|r| dict[r[0] as usize].clone())
+        .collect();
+    assert_eq!(flags, expected_flags);
+    // Aggregates are not dictionary-encoded: decoding them is a typed error.
+    assert!(got.col_str("n").is_err());
 }
 
 #[test]
@@ -139,4 +167,12 @@ fn orders_priority_histogram_engine() {
     assert_eq!(got.rows.len(), 5, "five priorities");
     let total: i64 = got.rows.iter().map(|r| r[1]).sum();
     assert_eq!(total, db.orders.len() as i64);
+    // Typed decode: five distinct priority strings, no raw codes leaking.
+    let names = got.col_str("o_orderpriority").expect("decodes");
+    assert_eq!(names.len(), 5);
+    let distinct: std::collections::BTreeSet<&String> = names.iter().collect();
+    assert_eq!(distinct.len(), 5);
+    for n in &names {
+        assert!(!n.is_empty());
+    }
 }
