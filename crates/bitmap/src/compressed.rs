@@ -1,5 +1,11 @@
 //! Block-compressed positional bitmap.
 
+// Bitmap invariant: positions are validated (or asserted) against
+// `len` before word/bit arithmetic, so `pos / 64` indexes in-bounds
+// and shift amounts are < 64 by construction (dev/test profiles carry
+// overflow checks).
+#![allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+
 use crate::dense::PositionalBitmap;
 
 /// Positions per compressed block (a block is `BLOCK_WORDS` 64-bit words).

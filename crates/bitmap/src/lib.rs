@@ -14,7 +14,9 @@
 //! block compression so the size/probe-cost trade-off can be measured
 //! (`ablations` bench).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 
 mod compressed;
 mod dense;

@@ -17,7 +17,9 @@
 //! so the reproduction keeps the paper's artifact — code — first-class.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod access;
 mod emit;
 mod spec;
 

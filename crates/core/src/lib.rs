@@ -83,7 +83,8 @@ pub use swole_cost::CostParams;
 pub use swole_plan::{
     AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine, EngineBuilder, ExecHandle, Explain,
     Expr, LogicalPlan, MetricsLevel, OpMetrics, ParamSlot, Params, PlanCacheStats, PlanError,
-    PreparedStatement, QueryBuilder, QueryMetrics, QueryResult, Value,
+    PreparedStatement, QueryBuilder, QueryMetrics, QueryResult, Value, VerifyError,
+    VerifyErrorKind, VerifyLevel, VerifyReport,
 };
 
 /// Everything a typical user needs.
@@ -94,7 +95,8 @@ pub mod prelude {
     pub use swole_plan::{
         AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine, EngineBuilder, ExecHandle,
         Explain, Expr, LogicalPlan, MetricsLevel, ParamSlot, Params, PlanCacheStats, PlanError,
-        PreparedStatement, QueryBuilder, QueryMetrics, QueryResult, Value,
+        PreparedStatement, QueryBuilder, QueryMetrics, QueryResult, Value, VerifyError,
+        VerifyErrorKind, VerifyLevel, VerifyReport,
     };
     pub use swole_storage::{ColumnData, Date, Decimal, DictColumn, Table};
 }

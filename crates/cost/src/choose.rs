@@ -30,6 +30,17 @@ impl AggStrategy {
             AggStrategy::KeyMasking => "key-masking",
         }
     }
+
+    /// The cost-term label under which plans record this strategy's price.
+    /// Single source of truth for the planner's `cost_terms` entries and the
+    /// static verifier's cost-term cross-check.
+    pub fn cost_term(self) -> &'static str {
+        match self {
+            AggStrategy::Hybrid => "agg.hybrid",
+            AggStrategy::ValueMasking => "agg.value-masking",
+            AggStrategy::KeyMasking => "agg.key-masking",
+        }
+    }
 }
 
 /// What the chooser needs to know about an aggregation pipeline.
@@ -147,6 +158,16 @@ pub enum SemiJoinStrategy {
     PositionalBitmap(BitmapBuild),
 }
 
+impl SemiJoinStrategy {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SemiJoinStrategy::Hash => "hash",
+            SemiJoinStrategy::PositionalBitmap(_) => "positional-bitmap",
+        }
+    }
+}
+
 /// Inputs for the semijoin chooser.
 #[derive(Debug, Clone, Copy)]
 pub struct SemiJoinProfile {
@@ -208,6 +229,25 @@ pub enum GroupJoinStrategy {
     /// Eager aggregation: unconditional aggregate on the probe side, then
     /// delete non-qualifying keys.
     EagerAggregation,
+}
+
+impl GroupJoinStrategy {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GroupJoinStrategy::GroupJoin => "groupjoin",
+            GroupJoinStrategy::EagerAggregation => "eager-aggregation",
+        }
+    }
+
+    /// The cost-term label under which plans record this strategy's price
+    /// (see [`AggStrategy::cost_term`]).
+    pub fn cost_term(self) -> &'static str {
+        match self {
+            GroupJoinStrategy::GroupJoin => "groupjoin",
+            GroupJoinStrategy::EagerAggregation => "eager-aggregation",
+        }
+    }
 }
 
 /// Inputs for the groupjoin chooser.

@@ -14,6 +14,9 @@ pub fn hash_i64(key: i64) -> u64 {
 /// Reduce a hash to a slot index for a power-of-two capacity, using the
 /// high bits (the well-mixed ones for a multiplicative hash).
 #[inline(always)]
+// `capacity_log2` is the log2 of a usize capacity, so it is ≤ 64 and the
+// shift amount cannot underflow (a 0-capacity table is never constructed).
+#[allow(clippy::arithmetic_side_effects)]
 pub(crate) fn slot_for(hash: u64, capacity_log2: u32) -> usize {
     (hash >> (64 - capacity_log2)) as usize
 }

@@ -1,5 +1,12 @@
 //! Equijoin hash table.
 
+// Open-addressing invariant: every probe index is produced by
+// `slot_for` (high bits of the hash shifted down to the power-of-two
+// capacity) or by `& (capacity - 1)` wrap-around, so slot indexing is
+// in-bounds by construction and probe arithmetic is bounded by the
+// capacity (dev/test profiles carry overflow checks).
+#![allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+
 use crate::hash::{hash_i64, slot_for};
 
 /// A multimap from `i64` join keys to `u32` row ids, built once on the build
@@ -150,13 +157,14 @@ mod tests {
 
     #[test]
     fn growth_keeps_all_entries() {
+        let rows = if cfg!(miri) { 500u32 } else { 10_000u32 };
         let mut t = JoinTable::with_capacity(4);
-        for row in 0..10_000u32 {
+        for row in 0..rows {
             t.insert((row % 97) as i64, row);
         }
         for k in 0..97i64 {
             let n = t.probe(k).count();
-            let expected = (0..10_000u32).filter(|r| (r % 97) as i64 == k).count();
+            let expected = (0..rows).filter(|r| (r % 97) as i64 == k).count();
             assert_eq!(n, expected, "key {k}");
         }
     }

@@ -1,5 +1,12 @@
 //! Hash set of join keys.
 
+// Open-addressing invariant: every probe index is produced by
+// `slot_for` (high bits of the hash shifted down to the power-of-two
+// capacity) or by `& (capacity - 1)` wrap-around, so slot indexing is
+// in-bounds by construction and probe arithmetic is bounded by the
+// capacity (dev/test profiles carry overflow checks).
+#![allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+
 use crate::hash::{hash_i64, slot_for};
 
 /// An open-addressing set of `i64` keys.
@@ -116,12 +123,13 @@ mod tests {
 
     #[test]
     fn growth_retains_members() {
+        let n = if cfg!(miri) { 300i64 } else { 5000i64 };
         let mut s = KeySet::with_capacity(2);
-        for k in 0..5000i64 {
+        for k in 0..n {
             s.insert(k * 3);
         }
-        assert_eq!(s.len(), 5000);
-        for k in 0..5000i64 {
+        assert_eq!(s.len(), n as usize);
+        for k in 0..n {
             assert!(s.contains(k * 3));
             assert!(!s.contains(k * 3 + 1));
         }

@@ -23,7 +23,9 @@
 //! and a lookup in a table larger than cache is almost certainly a miss,
 //! which is precisely the regime the cost models reason about.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 
 mod agg_table;
 mod hash;

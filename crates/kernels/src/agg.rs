@@ -10,6 +10,12 @@
 //! * **access merging** (§ III-C) — fuse the predicate result into the value
 //!   of the shared attribute so it is read once.
 
+// Tile-loop kernels: index arithmetic is bounded by slice lengths
+// (debug_assert'd) and accumulators follow the paper's convention of
+// unchecked 64-bit adds (overflow is detected once per tile by the
+// engine, not per lane; dev/test profiles carry overflow checks).
+#![allow(clippy::arithmetic_side_effects)]
+
 use crate::AsI64;
 
 /// A binary arithmetic operator applied inside an aggregate expression

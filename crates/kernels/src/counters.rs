@@ -36,12 +36,12 @@ impl AccessCounters {
     /// Fold another worker's counters into this one (commutative and
     /// associative, like every accumulator merge in the engine).
     pub fn merge(&mut self, other: &AccessCounters) {
-        self.rows_in += other.rows_in;
-        self.rows_out += other.rows_out;
-        self.predicate_evals += other.predicate_evals;
-        self.wasted_lanes += other.wasted_lanes;
-        self.ht_probes += other.ht_probes;
-        self.morsels += other.morsels;
+        self.rows_in = self.rows_in.saturating_add(other.rows_in);
+        self.rows_out = self.rows_out.saturating_add(other.rows_out);
+        self.predicate_evals = self.predicate_evals.saturating_add(other.predicate_evals);
+        self.wasted_lanes = self.wasted_lanes.saturating_add(other.wasted_lanes);
+        self.ht_probes = self.ht_probes.saturating_add(other.ht_probes);
+        self.morsels = self.morsels.saturating_add(other.morsels);
     }
 
     /// Observed selectivity `rows_out / rows_in`, or `None` before any row

@@ -19,6 +19,12 @@
 //! too, so a detected overflow may be wasted-work noise — callers decide
 //! whether to re-run data-centric.
 
+// Tile-loop kernels: index arithmetic is bounded by slice lengths
+// (debug_assert'd) and accumulators follow the paper's convention of
+// unchecked 64-bit adds (overflow is detected once per tile by the
+// engine, not per lane; dev/test profiles carry overflow checks).
+#![allow(clippy::arithmetic_side_effects)]
+
 use crate::agg::BinOp;
 use crate::AsI64;
 use swole_ht::{AggTable, NULL_KEY};

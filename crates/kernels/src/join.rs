@@ -6,6 +6,12 @@
 //! **positional bitmaps** probed through the foreign-key index, or reverse
 //! build and probe sides entirely with **eager aggregation**.
 
+// Tile-loop kernels: index arithmetic is bounded by slice lengths
+// (debug_assert'd) and accumulators follow the paper's convention of
+// unchecked 64-bit adds (overflow is detected once per tile by the
+// engine, not per lane; dev/test profiles carry overflow checks).
+#![allow(clippy::arithmetic_side_effects)]
+
 use crate::agg::BinOp;
 use crate::AsI64;
 use swole_bitmap::PositionalBitmap;

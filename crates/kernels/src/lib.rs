@@ -22,7 +22,9 @@
 //! sees exact trip counts and can auto-vectorize the branch-free loops; the
 //! tile length is [`TILE`] = 1024 values, matching the paper's vector size.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::arithmetic_side_effects)]
 
 pub mod agg;
 pub mod counters;
@@ -42,7 +44,7 @@ pub const TILE: usize = 1024;
 /// pattern in every pseudocode fragment of the paper).
 pub fn tiles(n: usize) -> impl Iterator<Item = (usize, usize)> {
     (0..n).step_by(TILE).map(move |start| {
-        let len = TILE.min(n - start);
+        let len = TILE.min(n.saturating_sub(start));
         (start, len)
     })
 }
@@ -60,9 +62,9 @@ pub const MORSEL_ROWS: usize = 64 * TILE;
 /// (`TILE` is a multiple of 64). `morsel_rows` is rounded up to a whole
 /// number of tiles.
 pub fn morsels(n: usize, morsel_rows: usize) -> impl Iterator<Item = (usize, usize)> {
-    let step = morsel_rows.div_ceil(TILE).max(1) * TILE;
+    let step = morsel_rows.div_ceil(TILE).max(1).saturating_mul(TILE);
     (0..n).step_by(step).map(move |start| {
-        let len = step.min(n - start);
+        let len = step.min(n.saturating_sub(start));
         (start, len)
     })
 }
@@ -71,7 +73,7 @@ pub fn morsels(n: usize, morsel_rows: usize) -> impl Iterator<Item = (usize, usi
 /// `start..start + len` — [`tiles`] shifted to a sub-range, for workers
 /// that process one claimed morsel at a time.
 pub fn tiles_in(start: usize, len: usize) -> impl Iterator<Item = (usize, usize)> {
-    tiles(len).map(move |(s, l)| (start + s, l))
+    tiles(len).map(move |(s, l)| (start.saturating_add(s), l))
 }
 
 /// Integer types a column kernel can widen to `i64` accumulators.

@@ -7,6 +7,12 @@
 //! selectivities while a branching form can win at the extremes — the
 //! `ablations` bench measures the trade-off.
 
+// Tile-loop kernels: index arithmetic is bounded by slice lengths
+// (debug_assert'd) and accumulators follow the paper's convention of
+// unchecked 64-bit adds (overflow is detected once per tile by the
+// engine, not per lane; dev/test profiles carry overflow checks).
+#![allow(clippy::arithmetic_side_effects)]
+
 /// No-branch (predicated) construction: `idx[k] = j; k += cmp[j]`.
 ///
 /// Replaces the control dependency with a data dependency; the store happens
@@ -41,12 +47,11 @@ pub fn fill_branch(cmp: &[u8], base: u32, idx: &mut [u32]) -> usize {
 /// operators almost always run fixed-trip-count loops.
 #[inline]
 pub fn append_nobranch(cmp: &[u8], base: u32, idx: &mut Vec<u32>) {
-    idx.reserve(cmp.len());
     let start = idx.len();
-    // Write through the spare capacity predicated, then fix the length.
-    unsafe {
-        idx.set_len(start + cmp.len());
-    }
+    // Extend to full width (the resize is a memset over reserved capacity,
+    // amortized away by Vec's doubling), write predicated, then trim to the
+    // qualifying count.
+    idx.resize(start + cmp.len(), 0);
     let k = fill_nobranch(cmp, base, &mut idx[start..]);
     idx.truncate(start + k);
 }

@@ -24,6 +24,8 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use swole_verify::VerifyLevel;
+
 use crate::physical::PhysicalPlan;
 use crate::runtime::MemGauge;
 
@@ -67,6 +69,10 @@ struct CacheEntry {
     /// `Some(observed)` once drift marked the entry stale; the next lookup
     /// evicts it and hands the observed selectivity to the re-plan.
     stale: Option<f64>,
+    /// Strongest [`VerifyLevel`] this plan has passed. Verification runs
+    /// once per fingerprint: a hit at or below this level skips it, a hit
+    /// above re-verifies and upgrades via [`PlanCache::note_verified`].
+    verified: VerifyLevel,
 }
 
 /// Counters behind [`PlanCacheStats`].
@@ -99,8 +105,9 @@ pub struct PlanCacheStats {
 
 /// Result of a cache probe.
 pub(crate) enum CacheLookup {
-    /// A valid entry: reuse its plan.
-    Hit(Arc<PhysicalPlan>),
+    /// A valid entry: reuse its plan. Carries the strongest verification
+    /// level the plan has already passed.
+    Hit(Arc<PhysicalPlan>, VerifyLevel),
     /// No usable entry; plan fresh. `drift_hint` carries the observed
     /// selectivity when the miss was caused by drift invalidation, so the
     /// re-plan can substitute measurement for estimation.
@@ -183,9 +190,10 @@ impl PlanCache {
         }
         let entry = inner.entries.remove(idx);
         let plan = Arc::clone(&entry.plan);
+        let verified = entry.verified;
         inner.entries.push(entry);
         inner.counters.hits += 1;
-        CacheLookup::Hit(plan)
+        CacheLookup::Hit(plan, verified)
     }
 
     /// Non-mutating probe: would `lookup` hit? Used by `EXPLAIN` to report
@@ -210,6 +218,7 @@ impl PlanCache {
         plan: Arc<PhysicalPlan>,
         snapshot: CostSnapshot,
         generations: Vec<(String, u64)>,
+        verified: VerifyLevel,
     ) {
         if !self.enabled {
             return;
@@ -237,7 +246,20 @@ impl PlanCache {
             generations,
             bytes,
             stale: None,
+            verified,
         });
+    }
+
+    /// Record that the plan cached under `key` has now passed verification
+    /// at `level`. Levels only ratchet upward.
+    pub(crate) fn note_verified(&self, key: &str, level: VerifyLevel) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(entry) = inner.entries.iter_mut().find(|e| e.key == key) {
+            entry.verified = entry.verified.max(level);
+        }
     }
 
     /// Feed a measured selectivity back into the cache. If it diverges from
@@ -339,8 +361,14 @@ mod tests {
             cache.lookup("q1", &gens(0)),
             CacheLookup::Miss { drift_hint: None }
         ));
-        cache.insert("q1".into(), plan(), CostSnapshot::default(), gens(0));
-        assert!(matches!(cache.lookup("q1", &gens(0)), CacheLookup::Hit(_)));
+        cache.insert(
+            "q1".into(),
+            plan(),
+            CostSnapshot::default(),
+            gens(0),
+            VerifyLevel::Off,
+        );
+        assert!(matches!(cache.lookup("q1", &gens(0)), CacheLookup::Hit(..)));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
     }
@@ -348,7 +376,13 @@ mod tests {
     #[test]
     fn generation_mismatch_invalidates() {
         let cache = PlanCache::new(1 << 20);
-        cache.insert("q1".into(), plan(), CostSnapshot::default(), gens(0));
+        cache.insert(
+            "q1".into(),
+            plan(),
+            CostSnapshot::default(),
+            gens(0),
+            VerifyLevel::Off,
+        );
         assert!(matches!(
             cache.lookup("q1", &gens(1)),
             CacheLookup::Miss { drift_hint: None }
@@ -364,9 +398,9 @@ mod tests {
             est_selectivity: Some(0.5),
             ..CostSnapshot::default()
         };
-        cache.insert("q1".into(), plan(), snapshot, gens(0));
+        cache.insert("q1".into(), plan(), snapshot, gens(0), VerifyLevel::Off);
         cache.observe("q1", 0.49); // within threshold: still a hit
-        assert!(matches!(cache.lookup("q1", &gens(0)), CacheLookup::Hit(_)));
+        assert!(matches!(cache.lookup("q1", &gens(0)), CacheLookup::Hit(..)));
         cache.observe("q1", 0.05); // way off: stale
         match cache.lookup("q1", &gens(0)) {
             CacheLookup::Miss {
@@ -381,8 +415,20 @@ mod tests {
     fn lru_eviction_under_tiny_budget() {
         let one = entry_bytes("a", &plan(), &CostSnapshot::default());
         let cache = PlanCache::new(one + one / 2); // room for one entry only
-        cache.insert("a".into(), plan(), CostSnapshot::default(), gens(0));
-        cache.insert("b".into(), plan(), CostSnapshot::default(), gens(0));
+        cache.insert(
+            "a".into(),
+            plan(),
+            CostSnapshot::default(),
+            gens(0),
+            VerifyLevel::Off,
+        );
+        cache.insert(
+            "b".into(),
+            plan(),
+            CostSnapshot::default(),
+            gens(0),
+            VerifyLevel::Off,
+        );
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 1);
@@ -390,13 +436,19 @@ mod tests {
             cache.lookup("a", &gens(0)),
             CacheLookup::Miss { .. }
         ));
-        assert!(matches!(cache.lookup("b", &gens(0)), CacheLookup::Hit(_)));
+        assert!(matches!(cache.lookup("b", &gens(0)), CacheLookup::Hit(..)));
     }
 
     #[test]
     fn zero_budget_disables() {
         let cache = PlanCache::new(0);
-        cache.insert("a".into(), plan(), CostSnapshot::default(), gens(0));
+        cache.insert(
+            "a".into(),
+            plan(),
+            CostSnapshot::default(),
+            gens(0),
+            VerifyLevel::Off,
+        );
         assert!(matches!(
             cache.lookup("a", &gens(0)),
             CacheLookup::Miss { .. }
@@ -408,7 +460,13 @@ mod tests {
     #[test]
     fn peek_does_not_perturb() {
         let cache = PlanCache::new(1 << 20);
-        cache.insert("a".into(), plan(), CostSnapshot::default(), gens(0));
+        cache.insert(
+            "a".into(),
+            plan(),
+            CostSnapshot::default(),
+            gens(0),
+            VerifyLevel::Off,
+        );
         assert!(cache.peek("a", &gens(0)));
         assert!(!cache.peek("a", &gens(9)));
         assert!(!cache.peek("zzz", &gens(0)));

@@ -29,6 +29,7 @@ use swole_ht::{AggTable, KeySet, MergeOp};
 use swole_kernels::{predicate, selvec, tiles, tiles_in, AccessCounters, MORSEL_ROWS, TILE};
 use swole_storage::Table;
 use swole_storage::{Date, Decimal};
+use swole_verify::{VerifyLevel, VerifyReport};
 
 /// A materialized query result: named columns, row-major `i64` values.
 ///
@@ -192,6 +193,9 @@ pub struct Explain {
     /// Per-operator execution metrics — populated by
     /// [`Engine::explain_analyze`], `None` from plain [`Engine::explain`].
     pub analyze: Option<QueryMetrics>,
+    /// Static-verification pass summary — populated by
+    /// [`Engine::explain_verify`], empty from plain [`Engine::explain`].
+    pub verification: Vec<String>,
 }
 
 impl fmt::Display for Explain {
@@ -218,6 +222,9 @@ impl fmt::Display for Explain {
         if let Some(a) = &self.analyze {
             write!(f, "\n  {a}")?;
         }
+        for v in &self.verification {
+            write!(f, "\n  verify: {v}")?;
+        }
         Ok(())
     }
 }
@@ -239,6 +246,7 @@ pub struct EngineBuilder {
     memory_budget: Option<usize>,
     metrics: MetricsLevel,
     plan_cache_bytes: usize,
+    verify: VerifyLevel,
     pin_agg: Option<AggStrategy>,
     pin_semijoin: Option<SemiJoinStrategy>,
     pin_groupjoin: Option<GroupJoinStrategy>,
@@ -255,6 +263,7 @@ impl EngineBuilder {
             memory_budget: None,
             metrics: MetricsLevel::Off,
             plan_cache_bytes: DEFAULT_PLAN_CACHE_BYTES,
+            verify: VerifyLevel::default_for_build(),
             pin_agg: None,
             pin_semijoin: None,
             pin_groupjoin: None,
@@ -347,6 +356,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Static-verification level for every plan this session composes
+    /// (default: [`VerifyLevel::Structural`] in debug builds,
+    /// [`VerifyLevel::Off`] in release builds).
+    ///
+    /// Verification runs once per plan, at plan time — never per morsel or
+    /// per tile — and its verdict is cached alongside the plan, so a cache
+    /// hit re-verifies only if the session demands a *stricter* level than
+    /// the one already established. `Structural` runs the schema/type and
+    /// domain-discipline passes; `Full` adds the access-signature
+    /// cross-check against the cost model and the resource-accounting
+    /// audit. An ill-formed plan fails with [`PlanError::Verification`]
+    /// before any execution starts.
+    pub fn verify(mut self, level: VerifyLevel) -> EngineBuilder {
+        self.verify = level;
+        self
+    }
+
     /// Finish the builder.
     pub fn build(self) -> Engine {
         Engine {
@@ -358,6 +384,7 @@ impl EngineBuilder {
                 deadline: self.deadline,
                 memory_budget: self.memory_budget,
                 metrics: self.metrics,
+                verify: self.verify,
                 pin_agg: self.pin_agg,
                 pin_semijoin: self.pin_semijoin,
                 pin_groupjoin: self.pin_groupjoin,
@@ -400,6 +427,7 @@ pub(crate) struct EngineInner {
     deadline: Option<Duration>,
     memory_budget: Option<usize>,
     metrics: MetricsLevel,
+    verify: VerifyLevel,
     pin_agg: Option<AggStrategy>,
     pin_semijoin: Option<SemiJoinStrategy>,
     pin_groupjoin: Option<GroupJoinStrategy>,
@@ -521,6 +549,35 @@ impl Engine {
         self.inner.plan_with(&db, plan, PlanHints::default())
     }
 
+    /// Statically verify the plan this query would compose, at
+    /// [`VerifyLevel::Full`] regardless of the session's configured level.
+    ///
+    /// Plans from scratch (without touching the cache), lowers the composed
+    /// physical plan to the verification IR, and runs all four passes:
+    /// schema/type soundness, domain discipline of masks/selection
+    /// vectors/bitmaps, access-signature consistency with the composed
+    /// kernels and the cost model, and resource-accounting coverage. An
+    /// ill-formed plan returns [`PlanError::Verification`] with the typed
+    /// [`VerifyError`](swole_verify::VerifyError) and its plan-path
+    /// provenance.
+    pub fn verify_plan(&self, plan: &LogicalPlan) -> Result<VerifyReport, PlanError> {
+        let db = self.inner.read_db();
+        let physical = self.inner.plan_with(&db, plan, PlanHints::default())?;
+        crate::verify::verify_physical(&db, &physical, VerifyLevel::Full)
+    }
+
+    /// EXPLAIN VERIFY: the decision report of [`Engine::explain`] with the
+    /// `verification` section populated by a [`VerifyLevel::Full`] pass
+    /// over the composed plan (one summary line per pass).
+    pub fn explain_verify(&self, plan: &LogicalPlan) -> Result<Explain, PlanError> {
+        let db = self.inner.read_db();
+        let physical = self.inner.plan_with(&db, plan, PlanHints::default())?;
+        let report = crate::verify::verify_physical(&db, &physical, VerifyLevel::Full)?;
+        let mut ex = self.inner.explain_for(&db, plan)?;
+        ex.verification = report.lines.clone();
+        Ok(ex)
+    }
+
     /// Execute a physical plan under panic isolation and the session's
     /// deadline/budget limits.
     ///
@@ -575,15 +632,32 @@ impl EngineInner {
         let key = plan_fingerprint(plan, self.threads);
         let gens = table_generations(db, plan);
         match self.cache.lookup(&key, &gens) {
-            CacheLookup::Hit(physical) => Ok((physical, key)),
+            CacheLookup::Hit(physical, verified) => {
+                // The cached verdict travels with the plan: re-verify only
+                // when this session demands a stricter level than the one
+                // the entry was already checked at.
+                if verified < self.verify {
+                    crate::verify::verify_physical(db, &physical, self.verify)?;
+                    self.cache.note_verified(&key, self.verify);
+                }
+                Ok((physical, key))
+            }
             CacheLookup::Miss { drift_hint } => {
                 let hints = PlanHints {
                     selectivity: drift_hint,
                 };
                 let physical = Arc::new(self.plan_with(db, plan, hints)?);
+                if self.verify > VerifyLevel::Off {
+                    crate::verify::verify_physical(db, &physical, self.verify)?;
+                }
                 let snapshot = self.snapshot_for(db, &physical.shape, drift_hint);
-                self.cache
-                    .insert(key.clone(), Arc::clone(&physical), snapshot, gens);
+                self.cache.insert(
+                    key.clone(),
+                    Arc::clone(&physical),
+                    snapshot,
+                    gens,
+                    self.verify,
+                );
                 Ok((physical, key))
             }
         }
@@ -738,6 +812,7 @@ impl EngineInner {
             decisions: physical.decisions.clone(),
             runtime: self.last_run.lock().map(|r| r.clone()).unwrap_or_default(),
             analyze: None,
+            verification: Vec::new(),
         })
     }
 
@@ -1046,10 +1121,16 @@ impl EngineInner {
                 n_aggs: aggs.len(),
             };
             let choice = choose_agg_mt(&self.params, &profile, self.threads);
-            cost_terms.push(("agg.hybrid".to_string(), choice.cost_hybrid));
-            cost_terms.push(("agg.value-masking".to_string(), choice.cost_value_masking));
+            cost_terms.push((
+                AggStrategy::Hybrid.cost_term().to_string(),
+                choice.cost_hybrid,
+            ));
+            cost_terms.push((
+                AggStrategy::ValueMasking.cost_term().to_string(),
+                choice.cost_value_masking,
+            ));
             if let Some(km) = choice.cost_key_masking {
-                cost_terms.push(("agg.key-masking".to_string(), km));
+                cost_terms.push((AggStrategy::KeyMasking.cost_term().to_string(), km));
             }
             decisions.push(format!(
                 "σ={selectivity:.2} → {} (hybrid={:.2e}, vm={:.2e}{})",
@@ -1256,8 +1337,14 @@ impl EngineInner {
             },
             decisions,
             cost_terms: vec![
-                ("groupjoin".to_string(), choice.cost_groupjoin),
-                ("eager-aggregation".to_string(), choice.cost_eager),
+                (
+                    GroupJoinStrategy::GroupJoin.cost_term().to_string(),
+                    choice.cost_groupjoin,
+                ),
+                (
+                    GroupJoinStrategy::EagerAggregation.cost_term().to_string(),
+                    choice.cost_eager,
+                ),
             ],
         })
     }

@@ -81,6 +81,10 @@ pub enum PlanError {
         /// Byte offset into the SQL text.
         position: usize,
     },
+    /// The composed physical plan failed static verification
+    /// ([`crate::EngineBuilder::verify`]). Not retryable: the plan itself is
+    /// ill-formed, so re-running it cannot help.
+    Verification(swole_verify::VerifyError),
 }
 
 impl PlanError {
@@ -146,6 +150,9 @@ impl fmt::Display for PlanError {
             PlanError::BindMismatch(what) => write!(f, "bind mismatch: {what}"),
             PlanError::Sql { message, position } => {
                 write!(f, "sql error at {position}: {message}")
+            }
+            PlanError::Verification(err) => {
+                write!(f, "plan verification failed: {err}")
             }
         }
     }

@@ -18,11 +18,14 @@
 //! concurrently with each other; serialize them with a `Mutex` (see
 //! `tests/fault_injection.rs`).
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Morsel index at which a worker panic fires (`-1` = disarmed).
 static PANIC_AT_MORSEL: AtomicI64 = AtomicI64::new(-1);
+/// One-shot flag making the next plan lowered for static verification report
+/// an allocation site that skips its memory charge.
+static UNCHARGED_ALLOC: AtomicBool = AtomicBool::new(false);
 /// Countdown of memory charges until one fails (`-1` = disarmed; the charge
 /// observing `0` fails and disarms the hook).
 static ALLOC_FAIL_COUNTDOWN: AtomicI64 = AtomicI64::new(-1);
@@ -47,6 +50,7 @@ pub fn disarm_all() {
     PANIC_AT_MORSEL.store(-1, Ordering::SeqCst);
     ALLOC_FAIL_COUNTDOWN.store(-1, Ordering::SeqCst);
     CLOCK_SKEW_MS.store(0, Ordering::SeqCst);
+    UNCHARGED_ALLOC.store(false, Ordering::SeqCst);
 }
 
 /// Arm a one-shot worker panic at morsel `index` (zero-based, in claim
@@ -63,6 +67,21 @@ pub fn inject_panic_at_morsel(index: usize) -> FaultGuard {
 pub fn inject_alloc_failure_at_charge(nth: usize) -> FaultGuard {
     ALLOC_FAIL_COUNTDOWN.store(nth as i64, Ordering::SeqCst);
     FaultGuard { _priv: () }
+}
+
+/// Arm a one-shot uncharged-allocation fault: the next plan lowered for
+/// static verification presents one allocation site as *not* charging the
+/// memory gauge, so a `VerifyLevel::Full` pass must reject it with
+/// `VerifyError` kind `UnchargedAllocation`. Exercises the verifier's
+/// resource-accounting pass end-to-end through the engine.
+pub fn inject_uncharged_alloc() -> FaultGuard {
+    UNCHARGED_ALLOC.store(true, Ordering::SeqCst);
+    FaultGuard { _priv: () }
+}
+
+/// Plan-time hook: `true` exactly once after [`inject_uncharged_alloc`].
+pub(crate) fn take_uncharged_alloc() -> bool {
+    UNCHARGED_ALLOC.swap(false, Ordering::SeqCst)
 }
 
 /// Skew the deadline clock forward by `by`, making in-flight deadlines

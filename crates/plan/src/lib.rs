@@ -47,6 +47,7 @@ mod runtime;
 pub mod sql;
 pub mod stats;
 mod value;
+mod verify;
 
 pub use cache::PlanCacheStats;
 pub use catalog::Database;
@@ -58,4 +59,5 @@ pub use metrics::{MetricsLevel, OpMetrics, QueryMetrics};
 pub use prepared::{BoundStatement, PreparedStatement};
 pub use runtime::{ExecHandle, MemGauge};
 pub use sql::{parse as parse_sql, ExplainMode, ParamSlot, SqlError};
+pub use swole_verify::{VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport};
 pub use value::{Params, Value};

@@ -44,9 +44,9 @@ pub(crate) enum Sym {
 
 /// SQL keywords (matched case-insensitively; everything else is an
 /// identifier).
-const KEYWORDS: [&str; 22] = [
+const KEYWORDS: [&str; 23] = [
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "NOT", "AS", "SUM", "COUNT", "MIN",
-    "MAX", "LIKE", "IN", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "EXPLAIN", "ANALYZE",
+    "MAX", "LIKE", "IN", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "EXPLAIN", "ANALYZE", "VERIFY",
 ];
 
 /// `END` is also a keyword but handled with the CASE machinery.

@@ -17,7 +17,7 @@
 //! Supported grammar (case-insensitive keywords):
 //!
 //! ```text
-//! stmt    := [EXPLAIN [ANALYZE]] query
+//! stmt    := [EXPLAIN [ANALYZE | VERIFY]] query
 //! query   := SELECT items FROM table [, table] [WHERE conj] [GROUP BY col]
 //! items   := item (',' item)*
 //! item    := col | SUM(expr) | COUNT(*) | MIN(expr) | MAX(expr) [AS name]
@@ -38,10 +38,10 @@
 //! dense primary key), other predicates are routed to the side whose
 //! columns they reference, and `GROUP BY fk` selects the groupjoin shape.
 //!
-//! An `EXPLAIN [ANALYZE]` prefix does not change the bound plan; it sets
-//! [`ParsedQuery::explain`] so the caller can route the plan to
-//! [`crate::Engine::explain`] or [`crate::Engine::explain_analyze`]
-//! instead of executing it.
+//! An `EXPLAIN [ANALYZE | VERIFY]` prefix does not change the bound plan;
+//! it sets [`ParsedQuery::explain`] so the caller can route the plan to
+//! [`crate::Engine::explain`], [`crate::Engine::explain_analyze`], or
+//! [`crate::Engine::explain_verify`] instead of executing it.
 
 mod lexer;
 mod parser;

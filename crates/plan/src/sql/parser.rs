@@ -14,6 +14,9 @@ pub enum ExplainMode {
     /// `EXPLAIN ANALYZE ...`: plan plus execution metrics
     /// ([`crate::Engine::explain_analyze`]).
     Analyze,
+    /// `EXPLAIN VERIFY ...`: plan plus a full static-verification pass
+    /// ([`crate::Engine::explain_verify`]).
+    Verify,
 }
 
 /// One placeholder occurrence in the SQL text.
@@ -54,6 +57,8 @@ pub fn parse(input: &str) -> Result<ParsedQuery, SqlError> {
     let explain = if p.eat_keyword("EXPLAIN") {
         if p.eat_keyword("ANALYZE") {
             Some(ExplainMode::Analyze)
+        } else if p.eat_keyword("VERIFY") {
+            Some(ExplainMode::Verify)
         } else {
             Some(ExplainMode::Plan)
         }
@@ -889,8 +894,12 @@ mod tests {
         let ea = parse("EXPLAIN ANALYZE select sum(r_a) as s from R where r_x < 13").unwrap();
         assert_eq!(ea.explain, Some(ExplainMode::Analyze));
         assert_eq!(ea.plan.base_table(), "R");
-        // ANALYZE without EXPLAIN is just an identifier position — error.
+        let ev = parse("explain verify select sum(r_a) as s from R where r_x < 13").unwrap();
+        assert_eq!(ev.explain, Some(ExplainMode::Verify));
+        assert_eq!(ev.plan.base_table(), "R");
+        // ANALYZE/VERIFY without EXPLAIN are just identifier positions — error.
         assert!(parse("analyze select sum(r_a) as s from R").is_err());
+        assert!(parse("verify select sum(r_a) as s from R").is_err());
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Lowering composed physical plans into the static-verification IR.
+//!
+//! The verifier (`swole-verify`) is deliberately ignorant of the planner's
+//! internals: it checks a neutral [`Program`] of tables, foreign keys, and
+//! per-operator expressions/artifacts/allocation sites. This module is the
+//! bridge — it renders each [`Shape`] the way execution actually runs it
+//! (which artifacts each stage materializes, at what scope and domain, and
+//! which allocation sites charge the [`crate::MemGauge`]), so the verifier's
+//! verdict is about the real composed kernels, not a parallel description.
+//!
+//! The lowering consults [`crate::faults::take_uncharged_alloc`]: an armed
+//! uncharged-allocation fault presents the first allocation site as not
+//! charging the gauge, which a `VerifyLevel::Full` pass must reject.
+
+use swole_kernels::TILE;
+use swole_storage::DataType;
+use swole_verify::ir::{
+    Alloc, Artifact, ArtifactKind, BoundExpr, ColType, ColumnDecl, ExprRole, FkDecl, FkRef, Import,
+    Op, Program, Scope, StrategyRef, TableDecl, VExpr,
+};
+use swole_verify::{VerifyLevel, VerifyReport};
+
+use crate::catalog::Database;
+use crate::error::PlanError;
+use crate::expr::Expr;
+use crate::faults;
+use crate::logical::AggSpec;
+use crate::physical::{PhysicalPlan, Shape};
+use swole_cost::{AggStrategy, SemiJoinStrategy};
+
+/// Lower `plan` and verify it at `level`. `Off` is a no-op by construction
+/// in the engine (callers guard it), but is honoured here too.
+pub(crate) fn verify_physical(
+    db: &Database,
+    plan: &PhysicalPlan,
+    level: VerifyLevel,
+) -> Result<VerifyReport, PlanError> {
+    let program = program_for(db, plan)?;
+    swole_verify::verify(&program, level).map_err(PlanError::Verification)
+}
+
+/// Lower a composed physical plan into the verification IR.
+pub(crate) fn program_for(db: &Database, plan: &PhysicalPlan) -> Result<Program, PlanError> {
+    let fault_uncharged = faults::take_uncharged_alloc();
+    let mut program = match &plan.shape {
+        Shape::ScanAgg {
+            table,
+            filter,
+            group_by,
+            aggs,
+            strategy,
+        } => lower_scan_agg(
+            db,
+            plan,
+            table,
+            filter.as_ref(),
+            group_by.as_deref(),
+            aggs,
+            *strategy,
+        )?,
+        Shape::SemiJoinAgg {
+            probe,
+            probe_filter,
+            build,
+            build_filter,
+            fk_col,
+            aggs,
+            strategy,
+            probe_masked,
+        } => lower_semijoin_agg(
+            db,
+            probe,
+            probe_filter.as_ref(),
+            build,
+            build_filter.as_ref(),
+            fk_col,
+            aggs,
+            *strategy,
+            *probe_masked,
+        )?,
+        Shape::GroupJoinAgg {
+            probe,
+            build,
+            build_filter,
+            fk_col,
+            aggs,
+            strategy,
+        } => lower_groupjoin_agg(
+            db,
+            plan,
+            probe,
+            build,
+            build_filter.as_ref(),
+            fk_col,
+            aggs,
+            *strategy,
+        )?,
+    };
+    if fault_uncharged {
+        if let Some(alloc) = program.ops.first_mut().and_then(|op| op.allocs.first_mut()) {
+            alloc.charged = false;
+        }
+    }
+    Ok(program)
+}
+
+/// A table declaration from the live catalog, with storage types collapsed
+/// to the verifier's view (all signed widths are `Int`).
+fn table_decl(db: &Database, name: &str) -> Result<TableDecl, PlanError> {
+    let t = db.table(name)?;
+    let columns = t
+        .column_names()
+        .map(|c| ColumnDecl {
+            name: c.to_string(),
+            ty: match t.column(c).map(|col| col.data_type()) {
+                Some(DataType::U32) => ColType::U32,
+                Some(DataType::Dict) => ColType::Dict,
+                _ => ColType::Int,
+            },
+        })
+        .collect();
+    Ok(TableDecl {
+        name: name.to_string(),
+        rows: t.len(),
+        columns,
+    })
+}
+
+/// Lower a planner expression. Structure is preserved only as far as the
+/// verifier's checks need: column references, dictionary predicates,
+/// parameter slots, and which sub-trees are arithmetic contexts.
+fn lower_expr(e: &Expr) -> VExpr {
+    match e {
+        Expr::Col(c) => VExpr::Col(c.clone()),
+        Expr::Lit(_) => VExpr::Lit,
+        Expr::Param(i) => VExpr::Param(*i),
+        Expr::Cmp(_, a, b) => VExpr::Cmp(vec![lower_expr(a), lower_expr(b)]),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+            VExpr::Arith(vec![lower_expr(a), lower_expr(b)])
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => VExpr::Bool(vec![lower_expr(a), lower_expr(b)]),
+        Expr::Not(a) => VExpr::Bool(vec![lower_expr(a)]),
+        Expr::Like { col, .. } | Expr::InList { col, .. } => VExpr::DictPredicate(col.clone()),
+        Expr::Case {
+            when,
+            then,
+            otherwise,
+        } => VExpr::Case(vec![
+            lower_expr(when),
+            lower_expr(then),
+            lower_expr(otherwise),
+        ]),
+    }
+}
+
+fn agg_inputs(aggs: &[AggSpec]) -> Vec<BoundExpr> {
+    aggs.iter()
+        .map(|a| BoundExpr {
+            role: ExprRole::AggInput,
+            expr: lower_expr(&a.expr),
+        })
+        .collect()
+}
+
+fn cost_term_names(plan: &PhysicalPlan) -> Vec<String> {
+    plan.cost_terms
+        .iter()
+        .map(|(name, _)| name.clone())
+        .collect()
+}
+
+fn tile_mask_artifact(table: &str) -> Artifact {
+    Artifact {
+        kind: ArtifactKind::ValueMask,
+        table: table.to_string(),
+        rows: TILE,
+        scope: Scope::Tile,
+    }
+}
+
+fn lower_scan_agg(
+    db: &Database,
+    plan: &PhysicalPlan,
+    table: &str,
+    filter: Option<&Expr>,
+    group_by: Option<&str>,
+    aggs: &[AggSpec],
+    strategy: AggStrategy,
+) -> Result<Program, PlanError> {
+    let decl = table_decl(db, table)?;
+    let rows = decl.rows;
+    let grouped = group_by.is_some();
+    let name = if grouped {
+        format!("groupby-agg({table})")
+    } else {
+        format!("agg({table})")
+    };
+    let mut op = Op::new(&name, "/scan-agg", table, rows);
+    if let Some(f) = filter {
+        op.exprs.push(BoundExpr {
+            role: ExprRole::Predicate,
+            expr: lower_expr(f),
+        });
+    }
+    op.exprs.extend(agg_inputs(aggs));
+    if let Some(g) = group_by {
+        op.exprs.push(BoundExpr {
+            role: ExprRole::GroupKey,
+            expr: VExpr::Col(g.to_string()),
+        });
+    }
+    op.strategy = Some(StrategyRef::Agg { strategy, grouped });
+    op.cost_terms = cost_term_names(plan);
+    // Every strategy evaluates the predicate into the tile-scoped `cmp`
+    // mask; hybrid compacts it into a tile selection vector, grouped key
+    // masking folds it into the tile key buffer.
+    op.locals.push(tile_mask_artifact(table));
+    match (strategy, grouped) {
+        (AggStrategy::Hybrid, _) | (AggStrategy::KeyMasking, false) => {
+            op.locals.push(Artifact {
+                kind: ArtifactKind::SelectionVector,
+                table: table.to_string(),
+                rows: TILE,
+                scope: Scope::Tile,
+            });
+        }
+        (AggStrategy::KeyMasking, true) => {
+            op.locals.push(Artifact {
+                kind: ArtifactKind::KeyMask,
+                table: table.to_string(),
+                rows: TILE,
+                scope: Scope::Tile,
+            });
+        }
+        (AggStrategy::ValueMasking, _) => {}
+    }
+    op.allocs.push(Alloc {
+        site: "worker-scratch".to_string(),
+        charged: true,
+    });
+    if grouped {
+        op.allocs.push(Alloc {
+            site: "agg-table".to_string(),
+            charged: true,
+        });
+    }
+    Ok(Program {
+        tables: vec![decl],
+        fks: Vec::new(),
+        ops: vec![op],
+        tile_rows: TILE,
+    })
+}
+
+/// The FK edge a probe shape traverses: the registered index when present,
+/// otherwise the raw `u32` column's dense-key mapping onto the build table.
+fn fk_decl(db: &Database, probe: &str, fk_col: &str, build: &str) -> Result<FkDecl, PlanError> {
+    let probe_rows = db.table(probe)?.len();
+    let parent_rows = match db.fk_index(probe, fk_col, build) {
+        Some(idx) => idx.parent_len(),
+        None => db.table(build)?.len(),
+    };
+    Ok(FkDecl {
+        child: probe.to_string(),
+        fk_col: fk_col.to_string(),
+        parent: build.to_string(),
+        child_rows: probe_rows,
+        parent_rows,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_semijoin_agg(
+    db: &Database,
+    probe: &str,
+    probe_filter: Option<&Expr>,
+    build: &str,
+    build_filter: Option<&Expr>,
+    fk_col: &str,
+    aggs: &[AggSpec],
+    strategy: SemiJoinStrategy,
+    probe_masked: bool,
+) -> Result<Program, PlanError> {
+    let probe_decl = table_decl(db, probe)?;
+    let build_decl = table_decl(db, build)?;
+    let (probe_rows, build_rows) = (probe_decl.rows, build_decl.rows);
+    let fk = fk_decl(db, probe, fk_col, build)?;
+
+    let mut build_op = Op::new(
+        &format!("semijoin-build({build})"),
+        "/semijoin-agg/build",
+        build,
+        build_rows,
+    );
+    if let Some(f) = build_filter {
+        build_op.exprs.push(BoundExpr {
+            role: ExprRole::Predicate,
+            expr: lower_expr(f),
+        });
+    }
+    build_op.strategy = Some(StrategyRef::SemiJoinBuild(strategy));
+    // The build predicate materializes over the whole build table before the
+    // membership structure is derived from it.
+    build_op.locals.push(Artifact {
+        kind: ArtifactKind::ValueMask,
+        table: build.to_string(),
+        rows: build_rows,
+        scope: Scope::Plan,
+    });
+    build_op.allocs.push(Alloc {
+        site: "build-mask".to_string(),
+        charged: true,
+    });
+    let import_kind = match strategy {
+        SemiJoinStrategy::Hash => {
+            build_op.exports.push(Artifact {
+                kind: ArtifactKind::KeySet,
+                table: build.to_string(),
+                rows: build_rows,
+                scope: Scope::Plan,
+            });
+            build_op.allocs.push(Alloc {
+                site: "key-set".to_string(),
+                charged: true,
+            });
+            ArtifactKind::KeySet
+        }
+        SemiJoinStrategy::PositionalBitmap(bmb) => {
+            if bmb == swole_cost::BitmapBuild::SelectionVector {
+                build_op.locals.push(Artifact {
+                    kind: ArtifactKind::SelectionVector,
+                    table: build.to_string(),
+                    rows: build_rows,
+                    scope: Scope::Plan,
+                });
+                build_op.allocs.push(Alloc {
+                    site: "selection-vector".to_string(),
+                    charged: true,
+                });
+            }
+            build_op.exports.push(Artifact {
+                kind: ArtifactKind::PositionalBitmap,
+                table: build.to_string(),
+                rows: build_rows,
+                scope: Scope::Plan,
+            });
+            build_op.allocs.push(Alloc {
+                site: "positional-bitmap".to_string(),
+                charged: true,
+            });
+            ArtifactKind::PositionalBitmap
+        }
+    };
+
+    let mut probe_op = Op::new(
+        &format!("probe-agg({probe})"),
+        "/semijoin-agg/probe",
+        probe,
+        probe_rows,
+    );
+    if let Some(f) = probe_filter {
+        probe_op.exprs.push(BoundExpr {
+            role: ExprRole::Predicate,
+            expr: lower_expr(f),
+        });
+    }
+    probe_op.exprs.extend(agg_inputs(aggs));
+    probe_op.strategy = Some(StrategyRef::SemiJoinProbe {
+        strategy,
+        probe_masked,
+    });
+    probe_op.imports.push(Import {
+        kind: import_kind,
+        table: build.to_string(),
+        via_fk: Some(FkRef {
+            child: probe.to_string(),
+            fk_col: fk_col.to_string(),
+            parent: build.to_string(),
+        }),
+    });
+    probe_op.locals.push(tile_mask_artifact(probe));
+    if !probe_masked {
+        probe_op.locals.push(Artifact {
+            kind: ArtifactKind::SelectionVector,
+            table: probe.to_string(),
+            rows: TILE,
+            scope: Scope::Tile,
+        });
+    }
+    probe_op.allocs.push(Alloc {
+        site: "worker-scratch".to_string(),
+        charged: true,
+    });
+
+    Ok(Program {
+        tables: vec![probe_decl, build_decl],
+        fks: vec![fk],
+        ops: vec![build_op, probe_op],
+        tile_rows: TILE,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_groupjoin_agg(
+    db: &Database,
+    plan: &PhysicalPlan,
+    probe: &str,
+    build: &str,
+    build_filter: Option<&Expr>,
+    fk_col: &str,
+    aggs: &[AggSpec],
+    strategy: swole_cost::GroupJoinStrategy,
+) -> Result<Program, PlanError> {
+    let probe_decl = table_decl(db, probe)?;
+    let build_decl = table_decl(db, build)?;
+    let (probe_rows, build_rows) = (probe_decl.rows, build_decl.rows);
+    let fk = fk_decl(db, probe, fk_col, build)?;
+
+    // Both variants materialize the qualifying mask over the build side:
+    // groupjoin consults it per probe row, eager aggregation uses it to
+    // delete non-qualifying groups after the merge.
+    let mut build_op = Op::new(
+        &format!("build-mask({build})"),
+        "/groupjoin-agg/build",
+        build,
+        build_rows,
+    );
+    if let Some(f) = build_filter {
+        build_op.exprs.push(BoundExpr {
+            role: ExprRole::Predicate,
+            expr: lower_expr(f),
+        });
+    }
+    build_op.strategy = Some(StrategyRef::GroupJoinBuild);
+    build_op.exports.push(Artifact {
+        kind: ArtifactKind::ValueMask,
+        table: build.to_string(),
+        rows: build_rows,
+        scope: Scope::Plan,
+    });
+    build_op.allocs.push(Alloc {
+        site: "build-mask".to_string(),
+        charged: true,
+    });
+
+    let mut probe_op = Op::new(
+        &format!("probe-agg({probe})"),
+        "/groupjoin-agg/probe",
+        probe,
+        probe_rows,
+    );
+    probe_op.exprs.extend(agg_inputs(aggs));
+    probe_op.exprs.push(BoundExpr {
+        role: ExprRole::GroupKey,
+        expr: VExpr::Col(fk_col.to_string()),
+    });
+    probe_op.strategy = Some(StrategyRef::GroupJoin(strategy));
+    probe_op.cost_terms = cost_term_names(plan);
+    probe_op.imports.push(Import {
+        kind: ArtifactKind::ValueMask,
+        table: build.to_string(),
+        via_fk: Some(FkRef {
+            child: probe.to_string(),
+            fk_col: fk_col.to_string(),
+            parent: build.to_string(),
+        }),
+    });
+    probe_op.allocs.push(Alloc {
+        site: "worker-scratch".to_string(),
+        charged: true,
+    });
+    probe_op.allocs.push(Alloc {
+        site: "agg-table".to_string(),
+        charged: true,
+    });
+
+    Ok(Program {
+        tables: vec![probe_decl, build_decl],
+        fks: vec![fk],
+        ops: vec![build_op, probe_op],
+        tile_rows: TILE,
+    })
+}

@@ -1,0 +1,327 @@
+//! Neutral verification IR.
+//!
+//! The engine lowers a composed physical plan into a [`Program`]: the tables
+//! and foreign keys it touches, plus one [`Op`] per pipeline stage carrying
+//! its expressions, the pullup artifacts it produces/consumes, the strategy it
+//! committed to, and its allocation sites. The IR is deliberately independent
+//! of the planner's internal `Shape` so ill-formed programs can be constructed
+//! directly in tests.
+
+use std::fmt;
+
+use swole_codegen::access::AccessSig;
+use swole_cost::{AggStrategy, GroupJoinStrategy, SemiJoinStrategy};
+
+/// Verifier-visible column type, collapsed from the storage layer's
+/// physical types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// Any signed integer width (i8/i16/i32/i64), including decimals and
+    /// dates stored as scaled/epoch integers.
+    Int,
+    /// Unsigned 32-bit (raw FK key columns).
+    U32,
+    /// Dictionary-encoded string codes.
+    Dict,
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColType::Int => "int",
+            ColType::U32 => "u32",
+            ColType::Dict => "dict",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A column declaration inside a [`TableDecl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDecl {
+    /// Column name.
+    pub name: String,
+    /// Verifier-visible type.
+    pub ty: ColType,
+}
+
+/// A table the program touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDecl {
+    /// Table name.
+    pub name: String,
+    /// Row count at plan time (the domain of masks/bitmaps over this table).
+    pub rows: usize,
+    /// Column declarations.
+    pub columns: Vec<ColumnDecl>,
+}
+
+impl TableDecl {
+    /// Look up a column's type by name.
+    #[must_use]
+    pub fn col_type(&self, name: &str) -> Option<ColType> {
+        self.columns.iter().find(|c| c.name == name).map(|c| c.ty)
+    }
+}
+
+/// A foreign-key edge the program probes through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FkDecl {
+    /// Child (probe-side) table.
+    pub child: String,
+    /// FK column on the child.
+    pub fk_col: String,
+    /// Parent (build-side) table.
+    pub parent: String,
+    /// Child row count.
+    pub child_rows: usize,
+    /// Parent row count — the domain positional artifacts must be sized to.
+    pub parent_rows: usize,
+}
+
+/// A reference to a foreign-key edge, used by [`Import`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FkRef {
+    /// Child (probe-side) table.
+    pub child: String,
+    /// FK column on the child.
+    pub fk_col: String,
+    /// Parent (build-side) table.
+    pub parent: String,
+}
+
+/// Expression tree as the verifier sees it: enough structure for column,
+/// type, and binding checks without the planner's evaluation semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VExpr {
+    /// Column reference (resolved against the operator's table).
+    Col(String),
+    /// Literal constant.
+    Lit,
+    /// Unbound parameter placeholder (always an error by plan time).
+    Param(usize),
+    /// Dictionary predicate (`LIKE`, `IN (...)`) over a column; the column
+    /// must be dictionary-encoded.
+    DictPredicate(String),
+    /// Comparison over sub-expressions.
+    Cmp(Vec<VExpr>),
+    /// Arithmetic over sub-expressions (dictionary codes are not valid here).
+    Arith(Vec<VExpr>),
+    /// Boolean connective over sub-expressions.
+    Bool(Vec<VExpr>),
+    /// CASE expression: conditions and branch values interleaved.
+    Case(Vec<VExpr>),
+}
+
+/// The role an expression plays in its operator, which determines the type
+/// contexts pass 1 enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprRole {
+    /// Filter predicate (boolean context).
+    Predicate,
+    /// Aggregate input (numeric context — dictionary codes rejected).
+    AggInput,
+    /// Group-by key (any column type).
+    GroupKey,
+}
+
+/// An expression bound to its role in an operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundExpr {
+    /// Role in the operator.
+    pub role: ExprRole,
+    /// The expression tree.
+    pub expr: VExpr,
+}
+
+/// The kinds of pullup artifacts operators materialize and exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// Dense index list of qualifying lanes (hybrid strategy prepass).
+    SelectionVector,
+    /// 0/1 multiplier mask over values (value-masking strategy).
+    ValueMask,
+    /// Mask folded into the aggregation key (key-masking strategy).
+    KeyMask,
+    /// Bit-per-parent-row qualifying bitmap (positional semijoin).
+    PositionalBitmap,
+    /// Hash set of qualifying build keys (hash semijoin).
+    KeySet,
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArtifactKind::SelectionVector => "selection vector",
+            ArtifactKind::ValueMask => "value mask",
+            ArtifactKind::KeyMask => "key mask",
+            ArtifactKind::PositionalBitmap => "positional bitmap",
+            ArtifactKind::KeySet => "key set",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The lifetime/visibility scope of an artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Lives within one tile of one worker; may never cross operators.
+    Tile,
+    /// Lives within one morsel of one worker; may never cross operators.
+    Morsel,
+    /// Materialized once per plan; the only scope allowed to cross operators.
+    Plan,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scope::Tile => "tile",
+            Scope::Morsel => "morsel",
+            Scope::Plan => "plan",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A pullup artifact an operator materializes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// Kind of artifact.
+    pub kind: ArtifactKind,
+    /// Table whose row positions form the artifact's domain.
+    pub table: String,
+    /// Rows the artifact covers.
+    pub rows: usize,
+    /// Lifetime scope.
+    pub scope: Scope,
+}
+
+/// An artifact an operator consumes from an earlier operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Import {
+    /// Kind of artifact expected.
+    pub kind: ArtifactKind,
+    /// Domain table the artifact must cover.
+    pub table: String,
+    /// FK edge the consumer indexes the artifact through, if positional.
+    pub via_fk: Option<FkRef>,
+}
+
+/// A heap allocation site reachable from the operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alloc {
+    /// Site name (e.g. "worker-scratch", "positional-bitmap").
+    pub site: String,
+    /// Whether the site charges the engine's `MemGauge` before allocating.
+    pub charged: bool,
+}
+
+/// Which composed-kernel strategy an operator committed to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyRef {
+    /// Scan-aggregate (scalar or grouped) under an aggregation strategy.
+    Agg {
+        /// Chosen aggregation strategy.
+        strategy: AggStrategy,
+        /// Whether the operator aggregates by group key.
+        grouped: bool,
+    },
+    /// Build side of a semijoin.
+    SemiJoinBuild(SemiJoinStrategy),
+    /// Probe side of a semijoin.
+    SemiJoinProbe {
+        /// Chosen semijoin strategy.
+        strategy: SemiJoinStrategy,
+        /// Whether the probe folds the membership test into a value mask
+        /// (predicate pullup) instead of a selection vector.
+        probe_masked: bool,
+    },
+    /// Probe side of a groupjoin (or its eager-aggregation alternative).
+    GroupJoin(GroupJoinStrategy),
+    /// Build side of a groupjoin (mask materialization only).
+    GroupJoinBuild,
+}
+
+/// One pipeline stage of the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// Operator name (e.g. "groupby-agg(lineitem)").
+    pub name: String,
+    /// Plan-path provenance for error messages (e.g. "/semijoin-agg/probe").
+    pub path: String,
+    /// Table the operator scans.
+    pub table: String,
+    /// Rows the operator scans.
+    pub rows: usize,
+    /// Expressions evaluated by the operator, tagged with their role.
+    pub exprs: Vec<BoundExpr>,
+    /// Strategy the operator committed to, if it composes kernels.
+    pub strategy: Option<StrategyRef>,
+    /// Declared access signature override. `None` means "as the cost model
+    /// assumes for the strategy's cost term" — the normal lowering; tests use
+    /// `Some` to simulate a drifted declaration.
+    pub declared: Option<AccessSig>,
+    /// Cost terms the plan carries for this operator (may be empty for
+    /// operators the model does not price, e.g. forced min/max strategies).
+    pub cost_terms: Vec<String>,
+    /// Artifacts materialized and consumed only within this operator.
+    pub locals: Vec<Artifact>,
+    /// Artifacts materialized here for later operators (must be plan-scoped).
+    pub exports: Vec<Artifact>,
+    /// Artifacts consumed from earlier operators.
+    pub imports: Vec<Import>,
+    /// Heap allocation sites reachable from this operator.
+    pub allocs: Vec<Alloc>,
+}
+
+impl Op {
+    /// A minimal well-formed operator over `table`, for building programs
+    /// incrementally (used by the engine lowering and by tests).
+    #[must_use]
+    pub fn new(name: &str, path: &str, table: &str, rows: usize) -> Self {
+        Op {
+            name: name.to_string(),
+            path: path.to_string(),
+            table: table.to_string(),
+            rows,
+            exprs: Vec::new(),
+            strategy: None,
+            declared: None,
+            cost_terms: Vec::new(),
+            locals: Vec::new(),
+            exports: Vec::new(),
+            imports: Vec::new(),
+            allocs: Vec::new(),
+        }
+    }
+}
+
+/// A complete lowered plan: the unit of verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Tables the plan touches.
+    pub tables: Vec<TableDecl>,
+    /// Foreign-key edges the plan probes through.
+    pub fks: Vec<FkDecl>,
+    /// Pipeline stages in execution order.
+    pub ops: Vec<Op>,
+    /// Tile width tile-scoped artifacts must be sized to.
+    pub tile_rows: usize,
+}
+
+impl Program {
+    /// Look up a table declaration by name.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&TableDecl> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Look up a foreign-key declaration by (child, fk_col, parent).
+    #[must_use]
+    pub fn fk(&self, child: &str, fk_col: &str, parent: &str) -> Option<&FkDecl> {
+        self.fks
+            .iter()
+            .find(|f| f.child == child && f.fk_col == fk_col && f.parent == parent)
+    }
+}

@@ -48,6 +48,10 @@ fn main() {
         // plus the cost model's predicted-vs-observed comparison.
         "explain analyze select r_c, sum(r_a * r_b) as s \
          from R where r_x < 60 and r_y = 1 group by r_c",
+        // EXPLAIN VERIFY: run the static plan verifier's four passes over
+        // the composed plan and report what each checked.
+        "explain verify select sum(R.r_a * R.r_b) as s from R, S \
+         where R.r_fk = S.rowid and R.r_x < 50 and S.s_x < 50",
     ];
 
     for sql in queries {
@@ -63,6 +67,13 @@ fn main() {
         match parsed.explain {
             Some(ExplainMode::Analyze) => {
                 match engine.explain_analyze(&plan) {
+                    Ok(report) => println!("{}\n", textwrap(&report.to_string())),
+                    Err(e) => println!("  plan error: {e}\n"),
+                }
+                continue;
+            }
+            Some(ExplainMode::Verify) => {
+                match engine.explain_verify(&plan) {
                     Ok(report) => println!("{}\n", textwrap(&report.to_string())),
                     Err(e) => println!("  plan error: {e}\n"),
                 }

@@ -1,0 +1,292 @@
+//! Run the static plan verifier over the full plan corpus: SQL renditions
+//! of the paper's eight TPC-H queries plus the five microbenchmark queries,
+//! verified at [`VerifyLevel::Full`] for every thread count in {1, 2, 8}
+//! under three strategy regimes (cost-model default, pullups pinned,
+//! baselines pinned).
+//!
+//! ```text
+//! cargo run --release --example verify_corpus
+//! ```
+//!
+//! Exits non-zero if any plan fails verification — `scripts/verify_corpus.sh`
+//! wires this into CI as the corpus gate.
+
+use swole::plan::parse_sql;
+use swole::prelude::*;
+use swole_micro::{generate as micro_generate, MicroParams};
+use swole_tpch::catalog::to_database;
+
+/// A strategy regime: which techniques (if any) are pinned on the builder.
+struct Regime {
+    name: &'static str,
+    agg: Option<AggStrategy>,
+    semijoin: Option<SemiJoinStrategy>,
+    groupjoin: Option<GroupJoinStrategy>,
+}
+
+const REGIMES: [Regime; 3] = [
+    // Let the Fig. 2 cost models choose.
+    Regime {
+        name: "cost-model",
+        agg: None,
+        semijoin: None,
+        groupjoin: None,
+    },
+    // Every pullup technique pinned on.
+    Regime {
+        name: "pullup",
+        agg: Some(AggStrategy::ValueMasking),
+        semijoin: Some(SemiJoinStrategy::PositionalBitmap(
+            BitmapBuild::Unconditional,
+        )),
+        groupjoin: Some(GroupJoinStrategy::GroupJoin),
+    },
+    // Every baseline pinned on.
+    Regime {
+        name: "baseline",
+        agg: Some(AggStrategy::Hybrid),
+        semijoin: Some(SemiJoinStrategy::Hash),
+        groupjoin: Some(GroupJoinStrategy::EagerAggregation),
+    },
+];
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The Fig. 7a microbenchmark catalog (same schema as `examples/sql.rs`).
+fn micro_db() -> Database {
+    let micro = micro_generate(MicroParams {
+        r_rows: 100_000,
+        s_rows: 1 << 10,
+        r_c_cardinality: 1 << 10,
+        seed: 3,
+    });
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("R")
+            .with_column("r_a", ColumnData::I32(micro.r.a.clone()))
+            .with_column("r_b", ColumnData::I32(micro.r.b.clone()))
+            .with_column("r_c", ColumnData::I32(micro.r.c.clone()))
+            .with_column("r_x", ColumnData::I8(micro.r.x.clone()))
+            .with_column("r_y", ColumnData::I8(micro.r.y.clone()))
+            .with_column("r_fk", ColumnData::U32(micro.r.fk.clone())),
+    );
+    db.add_table(Table::new("S").with_column("s_x", ColumnData::I8(micro.s.x)));
+    db.add_fk("R", "r_fk", "S").expect("FK registers");
+    db
+}
+
+/// The paper's microbenchmark queries (Fig. 7b Q1 at two selectivities,
+/// Q2 group-by, Q4 semijoin, Q5 groupjoin).
+fn micro_queries() -> Vec<(String, String)> {
+    [
+        (
+            "micro-q1-low",
+            "select sum(r_a * r_b) as s from R where r_x < 5 and r_y = 1",
+        ),
+        (
+            "micro-q1-high",
+            "select sum(r_a * r_b) as s from R where r_x < 75 and r_y = 1",
+        ),
+        (
+            "micro-q2",
+            "select r_c, sum(r_a * r_b) as s from R where r_x < 60 and r_y = 1 group by r_c",
+        ),
+        (
+            "micro-q4",
+            "select sum(R.r_a * R.r_b) as s from R, S \
+             where R.r_fk = S.rowid and R.r_x < 50 and S.s_x < 50",
+        ),
+        (
+            "micro-q5",
+            "select R.r_fk, sum(R.r_a * R.r_b) as s from R, S \
+             where R.r_fk = S.rowid and S.s_x < 50 group by R.r_fk",
+        ),
+    ]
+    .into_iter()
+    .map(|(n, q)| (n.to_string(), q.to_string()))
+    .collect()
+}
+
+/// The TPC-H catalog at a small scale factor (plan shapes do not depend on
+/// the row counts, only on the schema and registered FK indexes).
+fn tpch_db() -> Database {
+    to_database(&swole_tpch::generate(0.004, 99))
+}
+
+/// Engine-shape renditions of the paper's eight TPC-H queries
+/// (Q1, Q3, Q4, Q5, Q6, Q13, Q14, Q19).
+fn tpch_queries() -> Vec<(String, String)> {
+    let q1 = swole_tpch::q1_ship_cutoff().days();
+    let q3 = swole_tpch::q3_date().days();
+    let (q4_lo, q4_hi) = (
+        swole_tpch::q4_date_lo().days(),
+        swole_tpch::q4_date_hi().days(),
+    );
+    let (q5_lo, q5_hi) = (
+        swole_tpch::q5_date_lo().days(),
+        swole_tpch::q5_date_hi().days(),
+    );
+    let (q6_lo, q6_hi) = (
+        swole_tpch::q6_date_lo().days(),
+        swole_tpch::q6_date_hi().days(),
+    );
+    let (q14_lo, q14_hi) = (
+        swole_tpch::q14_date_lo().days(),
+        swole_tpch::q14_date_hi().days(),
+    );
+    vec![
+        (
+            "tpch-q1".to_string(),
+            format!(
+                "select l_returnflag, sum(l_quantity) as sum_qty, count(*) as n \
+                 from lineitem where l_shipdate <= {q1} group by l_returnflag"
+            ),
+        ),
+        (
+            "tpch-q3".to_string(),
+            format!(
+                "select sum(lineitem.l_extendedprice) as revenue, count(*) as n \
+                 from lineitem, orders \
+                 where lineitem.l_orderkey = orders.rowid \
+                   and lineitem.l_shipdate > {q3} and orders.o_orderdate < {q3}"
+            ),
+        ),
+        (
+            "tpch-q4".to_string(),
+            format!(
+                "select sum(lineitem.l_extendedprice) as s, count(*) as n \
+                 from lineitem, orders \
+                 where lineitem.l_orderkey = orders.rowid \
+                   and orders.o_orderdate >= {q4_lo} and orders.o_orderdate < {q4_hi}"
+            ),
+        ),
+        (
+            "tpch-q5".to_string(),
+            format!(
+                "select sum(lineitem.l_extendedprice) as revenue \
+                 from lineitem, supplier \
+                 where lineitem.l_suppkey = supplier.rowid \
+                   and lineitem.l_shipdate >= {q5_lo} and lineitem.l_shipdate < {q5_hi} \
+                   and supplier.s_nationkey < 5"
+            ),
+        ),
+        (
+            "tpch-q6".to_string(),
+            format!(
+                "select sum(l_extendedprice * l_discount) as revenue from lineitem \
+                 where l_shipdate >= {q6_lo} and l_shipdate < {q6_hi} \
+                   and l_discount between 5 and 7 and l_quantity < 24"
+            ),
+        ),
+        (
+            "tpch-q13".to_string(),
+            "select orders.o_custkey, count(*) as n \
+             from orders, customer \
+             where orders.o_custkey = customer.rowid \
+               and customer.c_mktsegment in ('BUILDING') \
+             group by orders.o_custkey"
+                .to_string(),
+        ),
+        (
+            "tpch-q14".to_string(),
+            format!(
+                "select sum(case when l_discount > 5 then l_extendedprice else 0 end) as promo, \
+                        sum(l_extendedprice) as total \
+                 from lineitem \
+                 where l_shipdate >= {q14_lo} and l_shipdate < {q14_hi}"
+            ),
+        ),
+        (
+            "tpch-q19".to_string(),
+            "select sum(lineitem.l_extendedprice) as revenue \
+             from lineitem, part \
+             where lineitem.l_partkey = part.rowid \
+               and part.p_container in ('SM CASE', 'SM BOX') \
+               and lineitem.l_quantity < 11"
+                .to_string(),
+        ),
+    ]
+}
+
+/// Verify every query of one corpus under one (threads, regime) engine.
+/// Returns the number of failures.
+fn verify_corpus(
+    corpus: &str,
+    db: Database,
+    queries: &[(String, String)],
+    threads: usize,
+    regime: &Regime,
+) -> usize {
+    let mut builder = Engine::builder(db)
+        .threads(threads)
+        .verify(VerifyLevel::Full);
+    if let Some(s) = regime.agg {
+        builder = builder.agg_strategy(s);
+    }
+    if let Some(s) = regime.semijoin {
+        builder = builder.semijoin_strategy(s);
+    }
+    if let Some(s) = regime.groupjoin {
+        builder = builder.groupjoin_strategy(s);
+    }
+    let engine = builder.build();
+
+    let mut failures = 0;
+    for (name, sql) in queries {
+        let plan = match parse_sql(sql) {
+            Ok(parsed) => parsed.plan,
+            Err(e) => {
+                println!(
+                    "FAIL {corpus}/{name} t={threads} {}: parse error: {e}",
+                    regime.name
+                );
+                failures += 1;
+                continue;
+            }
+        };
+        match engine.verify_plan(&plan) {
+            Ok(report) => {
+                assert_eq!(report.level, VerifyLevel::Full);
+                println!(
+                    "ok   {corpus}/{name} t={threads} regime={} ({} ops, {} passes)",
+                    regime.name,
+                    report.ops,
+                    report.lines.len(),
+                );
+            }
+            Err(e) => {
+                println!(
+                    "FAIL {corpus}/{name} t={threads} regime={}: {e}",
+                    regime.name
+                );
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
+fn main() {
+    let micro_queries = micro_queries();
+    let tpch_queries = tpch_queries();
+    let mut failures = 0;
+    let mut plans = 0;
+    for threads in THREAD_COUNTS {
+        for regime in &REGIMES {
+            failures += verify_corpus("micro", micro_db(), &micro_queries, threads, regime);
+            failures += verify_corpus("tpch", tpch_db(), &tpch_queries, threads, regime);
+            plans += micro_queries.len() + tpch_queries.len();
+        }
+    }
+    println!();
+    if failures > 0 {
+        println!("verify_corpus: {failures}/{plans} plans FAILED verification");
+        std::process::exit(1);
+    }
+    println!(
+        "verify_corpus: all {plans} plans verified at {:?} across {} thread counts x {} regimes",
+        VerifyLevel::Full,
+        THREAD_COUNTS.len(),
+        REGIMES.len(),
+    );
+}

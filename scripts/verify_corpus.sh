@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Verify the full plan corpus (8 TPC-H renditions + 5 microbenchmark
+# queries) with the static plan verifier at VerifyLevel::Full, for every
+# thread count in {1, 2, 8} under three strategy regimes (cost-model
+# default, pullups pinned, baselines pinned).
+#
+# Exits non-zero if any plan fails verification. CI runs this as the
+# corpus gate; locally it is the quickest way to smoke-test a planner or
+# verifier change against every shape the engine can produce.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --example verify_corpus
