@@ -1,0 +1,270 @@
+//! Multi-query session-server benchmark: N concurrent clients share one
+//! `Engine` (worker pool + plan cache), each executing prepared statements
+//! in a loop. Reports per-client-count P50/P99 latency and aggregate
+//! throughput, and writes the machine-readable summary to a JSON file.
+//!
+//! ```text
+//! cargo run --release -p swole-bench --bin concurrency
+//! cargo run --release -p swole-bench --bin concurrency -- --smoke --out BENCH_PR6.json
+//! ```
+//!
+//! Every result is checked bit-identical against a solo run of the same
+//! statement — the bench doubles as a determinism gate at every
+//! concurrency level.
+
+use std::sync::Barrier;
+use std::thread;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swole::prelude::*;
+
+const CLIENT_COUNTS: [usize; 4] = [1, 8, 64, 256];
+
+struct Opts {
+    smoke: bool,
+    out: String,
+    workers: usize,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: std::env::var("SWOLE_SMOKE").is_ok(),
+        out: "BENCH_PR6.json".to_string(),
+        workers: thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => opts.out = args.next().expect("--out needs a path"),
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a number")
+            }
+            other => {
+                eprintln!("unknown argument {other}; see module docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Deterministic database: R(x, a, b, c, fk) → S(y).
+fn make_db(seed: u64, n_r: usize, n_s: usize) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("R")
+            .with_column(
+                "x",
+                ColumnData::I8((0..n_r).map(|_| rng.gen_range(0i8..100)).collect()),
+            )
+            .with_column(
+                "a",
+                ColumnData::I32((0..n_r).map(|_| rng.gen_range(1i32..50)).collect()),
+            )
+            .with_column(
+                "b",
+                ColumnData::I32((0..n_r).map(|_| rng.gen_range(1i32..50)).collect()),
+            )
+            .with_column(
+                "c",
+                ColumnData::I16((0..n_r).map(|_| rng.gen_range(0i16..32)).collect()),
+            )
+            .with_column(
+                "fk",
+                ColumnData::U32((0..n_r).map(|_| rng.gen_range(0u32..n_s as u32)).collect()),
+            ),
+    );
+    db.add_table(Table::new("S").with_column(
+        "y",
+        ColumnData::I8((0..n_s).map(|_| rng.gen_range(0i8..100)).collect()),
+    ));
+    db.add_fk("R", "fk", "S").expect("valid by construction");
+    db
+}
+
+/// The statement mix every client cycles through — one plan per access
+/// strategy family so the shared plan cache and every loop body are hot.
+fn workload() -> Vec<LogicalPlan> {
+    let filter = |lit: i64| Expr::col("x").cmp(CmpOp::Lt, Expr::lit(lit));
+    let aggs = || {
+        vec![
+            AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+            AggSpec::count("n"),
+        ]
+    };
+    vec![
+        QueryBuilder::scan("R")
+            .filter(filter(60))
+            .aggregate(None, aggs()),
+        QueryBuilder::scan("R")
+            .filter(filter(60))
+            .aggregate(Some("c"), aggs()),
+        QueryBuilder::scan("R")
+            .filter(filter(40))
+            .semijoin(
+                QueryBuilder::scan("S").filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(50))),
+                "fk",
+            )
+            .aggregate(None, aggs()),
+        QueryBuilder::scan("R")
+            .semijoin(
+                QueryBuilder::scan("S").filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(50))),
+                "fk",
+            )
+            .aggregate(Some("fk"), aggs()),
+    ]
+}
+
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+struct Point {
+    clients: usize,
+    ops: usize,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// One storm: `clients` sessions on `engine`, `ops_per_client` prepared
+/// executions each, every result asserted bit-identical to `refs`.
+fn run_storm(
+    engine: &Engine,
+    clients: usize,
+    ops_per_client: usize,
+    refs: &[QueryResult],
+) -> Point {
+    let plans = workload();
+    let barrier = Barrier::new(clients + 1);
+    let mut latencies: Vec<u64> = thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let (engine, plans, barrier) = (&engine, &plans, &barrier);
+                s.spawn(move || {
+                    let session = engine.session();
+                    let stmts: Vec<PreparedStatement> = plans
+                        .iter()
+                        .map(|p| session.prepare(p).expect("prepares"))
+                        .collect();
+                    barrier.wait();
+                    let mut lat = Vec::with_capacity(ops_per_client);
+                    for op in 0..ops_per_client {
+                        let i = (c + op) % stmts.len();
+                        let t0 = Instant::now();
+                        let got = stmts[i].execute().expect("executes");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        assert_eq!(got, refs[i], "client {c} op {op} diverged from solo");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        barrier.wait();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    latencies.sort_unstable();
+    let ops = latencies.len();
+    Point {
+        clients,
+        ops,
+        wall_ms: 0.0,     // filled by the caller, which times the storm
+        ops_per_sec: 0.0, // filled by the caller
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let (n_r, n_s) = if opts.smoke {
+        (20_000, 256)
+    } else {
+        (200_000, 1024)
+    };
+
+    // Solo reference: a single-threaded scoped engine over the same data.
+    let solo = Engine::builder(make_db(0xB6, n_r, n_s)).threads(1).build();
+    let refs: Vec<QueryResult> = workload()
+        .iter()
+        .map(|p| solo.query(p).expect("solo run"))
+        .collect();
+
+    let engine = Engine::builder(make_db(0xB6, n_r, n_s))
+        .worker_pool(opts.workers)
+        .build();
+    eprintln!(
+        "concurrency bench: {n_r} rows, worker pool = {}, mode = {}",
+        opts.workers,
+        if opts.smoke { "smoke" } else { "full" }
+    );
+
+    let mut points = Vec::new();
+    for clients in CLIENT_COUNTS {
+        let ops_per_client = if opts.smoke {
+            (64 / clients).max(1)
+        } else {
+            (2048 / clients).max(4)
+        };
+        let t0 = Instant::now();
+        let mut p = run_storm(&engine, clients, ops_per_client, &refs);
+        let wall = t0.elapsed();
+        p.wall_ms = wall.as_secs_f64() * 1_000.0;
+        p.ops_per_sec = p.ops as f64 / wall.as_secs_f64();
+        eprintln!(
+            "clients={:>3}  ops={:>5}  wall={:>8.1} ms  {:>8.1} ops/s  p50={:>8.1} us  p99={:>8.1} us",
+            p.clients, p.ops, p.wall_ms, p.ops_per_sec, p.p50_us, p.p99_us
+        );
+        points.push(p);
+    }
+
+    let stats = engine.plan_cache_stats();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"concurrency\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if opts.smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"rows_r\": {n_r},\n"));
+    json.push_str(&format!("  \"rows_s\": {n_s},\n"));
+    json.push_str(&format!("  \"worker_pool\": {},\n", opts.workers));
+    json.push_str(&format!(
+        "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},\n",
+        stats.hits, stats.misses, stats.entries
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"ops\": {}, \"wall_ms\": {:.3}, \
+             \"ops_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
+            p.clients,
+            p.ops,
+            p.wall_ms,
+            p.ops_per_sec,
+            p.p50_us,
+            p.p99_us,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&opts.out, &json).expect("write summary");
+    eprintln!("wrote {}", opts.out);
+}

@@ -81,10 +81,11 @@ pub use swole_storage as storage;
 
 pub use swole_cost::CostParams;
 pub use swole_plan::{
-    AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine, EngineBuilder, ExecHandle, Explain,
-    Expr, LogicalPlan, MetricsLevel, OpMetrics, ParamSlot, Params, PlanCacheStats, PlanError,
-    PreparedStatement, QueryBuilder, QueryMetrics, QueryResult, Value, VerifyError,
-    VerifyErrorKind, VerifyLevel, VerifyReport,
+    AdmissionConfig, AdmissionError, AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine,
+    EngineBuilder, ExecHandle, Explain, Expr, LogicalPlan, MemoryPolicy, MemoryPoolStats,
+    MetricsLevel, OpMetrics, ParamSlot, Params, PlanCacheStats, PlanError, PreparedStatement,
+    Priority, QueryBuilder, QueryMetrics, QueryOptions, QueryResult, Session, StrategyOverrides,
+    Value, VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport,
 };
 
 /// Everything a typical user needs.
@@ -93,10 +94,11 @@ pub mod prelude {
         AggStrategy, BitmapBuild, CostParams, GroupJoinStrategy, SemiJoinStrategy,
     };
     pub use swole_plan::{
-        AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine, EngineBuilder, ExecHandle,
-        Explain, Expr, LogicalPlan, MetricsLevel, ParamSlot, Params, PlanCacheStats, PlanError,
-        PreparedStatement, QueryBuilder, QueryMetrics, QueryResult, Value, VerifyError,
-        VerifyErrorKind, VerifyLevel, VerifyReport,
+        AdmissionConfig, AdmissionError, AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine,
+        EngineBuilder, ExecHandle, Explain, Expr, LogicalPlan, MemoryPolicy, MemoryPoolStats,
+        MetricsLevel, ParamSlot, Params, PlanCacheStats, PlanError, PreparedStatement, Priority,
+        QueryBuilder, QueryMetrics, QueryOptions, QueryResult, Session, StrategyOverrides, Value,
+        VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport,
     };
     pub use swole_storage::{ColumnData, Date, Decimal, DictColumn, Table};
 }

@@ -27,7 +27,7 @@ use std::sync::{Arc, Mutex};
 use swole_verify::VerifyLevel;
 
 use crate::physical::PhysicalPlan;
-use crate::runtime::MemGauge;
+use swole_runtime::MemGauge;
 
 /// Relative-error threshold past which an observed selectivity invalidates
 /// a cached plan (|predicted − observed| / observed). Generous on purpose:

@@ -1,14 +1,21 @@
 //! The catalog: named tables plus registered foreign-key indexes.
 
+use std::sync::Arc;
+
 use crate::error::PlanError;
 use swole_storage::{FkIndex, Table};
 
 /// An in-memory database: tables and the foreign-key (positional) indexes
 /// built for referential integrity — the indexes § III-D's positional
 /// bitmaps probe through.
+///
+/// Tables and indexes are `Arc`-owned: execution pins the ones a query
+/// touches, so shared-pool workers (whose closures outlive the submitting
+/// call stack) read immutable snapshots even if another session reloads a
+/// table mid-flight.
 #[derive(Debug, Default)]
 pub struct Database {
-    tables: Vec<Table>,
+    tables: Vec<Arc<Table>>,
     fks: Vec<FkEntry>,
 }
 
@@ -17,7 +24,7 @@ struct FkEntry {
     child: String,
     fk_col: String,
     parent: String,
-    index: FkIndex,
+    index: Arc<FkIndex>,
 }
 
 impl Database {
@@ -33,7 +40,7 @@ impl Database {
             "duplicate table {}",
             table.name()
         );
-        self.tables.push(table);
+        self.tables.push(Arc::new(table));
         self
     }
 
@@ -71,7 +78,7 @@ impl Database {
             child: child.to_string(),
             fk_col: fk_col.to_string(),
             parent: parent.to_string(),
-            index: FkIndex::from_dense(positions, parent_len),
+            index: Arc::new(FkIndex::from_dense(positions, parent_len)),
         });
         Ok(self)
     }
@@ -90,13 +97,15 @@ impl Database {
             Some(slot) => {
                 table.set_generation(slot.generation() + 1);
                 let generation = table.generation();
-                *slot = table;
+                // Replace the Arc, never the pointee: in-flight queries
+                // (and pool workers) keep reading their pinned snapshot.
+                *slot = Arc::new(table);
                 self.fks.retain(|f| f.child != name && f.parent != name);
                 generation
             }
             None => {
                 table.set_generation(0);
-                self.tables.push(table);
+                self.tables.push(Arc::new(table));
                 0
             }
         }
@@ -116,6 +125,18 @@ impl Database {
         self.tables
             .iter()
             .find(|t| t.name() == name)
+            .map(|t| t.as_ref())
+            .ok_or_else(|| PlanError::UnknownTable(name.to_string()))
+    }
+
+    /// Look up a table as a shared, immutable snapshot. Execution pins the
+    /// snapshot for a query's lifetime; [`Database::load_table`] swaps the
+    /// slot without touching outstanding pins.
+    pub fn table_arc(&self, name: &str) -> Result<Arc<Table>, PlanError> {
+        self.tables
+            .iter()
+            .find(|t| t.name() == name)
+            .cloned()
             .ok_or_else(|| PlanError::UnknownTable(name.to_string()))
     }
 
@@ -125,7 +146,20 @@ impl Database {
         self.fks
             .iter()
             .find(|f| f.child == child && f.fk_col == fk_col && f.parent == parent)
-            .map(|f| &f.index)
+            .map(|f| f.index.as_ref())
+    }
+
+    /// [`Database::fk_index`] as a shared snapshot, for execution to pin.
+    pub(crate) fn fk_index_arc(
+        &self,
+        child: &str,
+        fk_col: &str,
+        parent: &str,
+    ) -> Option<Arc<FkIndex>> {
+        self.fks
+            .iter()
+            .find(|f| f.child == child && f.fk_col == fk_col && f.parent == parent)
+            .map(|f| Arc::clone(&f.index))
     }
 
     /// All table names.

@@ -1,5 +1,5 @@
 //! The engine: access-aware planning and morsel-parallel tile-at-a-time
-//! execution.
+//! execution on the shared `swole-runtime` substrate.
 
 use std::fmt;
 use std::ops::Deref;
@@ -14,9 +14,8 @@ use crate::error::PlanError;
 use crate::expr::{AggFunc, Expr};
 use crate::logical::{AggSpec, LogicalPlan};
 use crate::metrics::{MetricsLevel, OpMetrics, QueryMetrics};
-use crate::parallel;
 use crate::physical::{PhysicalPlan, Shape};
-use crate::runtime::{self, CancelState, ExecCtx, ExecHandle};
+use crate::session::QueryOptions;
 use crate::stats;
 use crate::value::Value;
 use swole_bitmap::PositionalBitmap;
@@ -27,9 +26,25 @@ use swole_cost::{
 };
 use swole_ht::{AggTable, KeySet, MergeOp};
 use swole_kernels::{predicate, selvec, tiles, tiles_in, AccessCounters, MORSEL_ROWS, TILE};
-use swole_storage::Table;
-use swole_storage::{Date, Decimal};
+use swole_runtime::{
+    charge_or_panic, AdmissionConfig, AdmissionController, AdmissionPermit, CancelState, ExecCtx,
+    ExecHandle, Executor, GlobalMemoryPool, MemGauge, MemoryPolicy, MemoryPoolStats, Priority,
+};
+use swole_storage::{Date, Decimal, FkIndex, Table};
 use swole_verify::{VerifyLevel, VerifyReport};
+
+/// Run `f` under panic isolation: a panic anywhere inside (submitter-side
+/// evaluation, merge code, or a worker payload re-thrown by the executor)
+/// is contained to the query and surfaced as a typed [`PlanError`].
+fn isolate<T>(f: impl FnOnce() -> Result<T, PlanError>) -> Result<T, PlanError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => match payload.downcast::<PlanError>() {
+            Ok(e) => Err(*e),
+            Err(p) => Err(swole_runtime::panic_payload_error(p).into()),
+        },
+    }
+}
 
 /// A materialized query result: named columns, row-major `i64` values.
 ///
@@ -229,8 +244,51 @@ impl fmt::Display for Explain {
     }
 }
 
-/// Builder for [`Engine`] sessions: database, cost parameters, parallelism,
-/// and (for testing/experiments) pinned strategies.
+/// Strategy pins that override the cost model, for equivalence tests and
+/// experiments. `None` fields (the default) leave the paper's Fig. 2
+/// choosers in charge; a `Some` pins that pipeline's strategy for every
+/// query of the session. Set through [`EngineBuilder::strategies`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StrategyOverrides {
+    /// Pin the scan-aggregation strategy. Pinning a masked strategy while
+    /// the aggregate list contains min/max fails at plan time (those
+    /// require hybrid).
+    pub agg: Option<AggStrategy>,
+    /// Pin the semijoin build/probe strategy.
+    pub semijoin: Option<SemiJoinStrategy>,
+    /// Pin the groupjoin strategy.
+    pub groupjoin: Option<GroupJoinStrategy>,
+}
+
+impl StrategyOverrides {
+    /// Overrides pinning only the scan-aggregation strategy.
+    pub fn pin_agg(s: AggStrategy) -> StrategyOverrides {
+        StrategyOverrides {
+            agg: Some(s),
+            ..StrategyOverrides::default()
+        }
+    }
+
+    /// Overrides pinning only the semijoin strategy.
+    pub fn pin_semijoin(s: SemiJoinStrategy) -> StrategyOverrides {
+        StrategyOverrides {
+            semijoin: Some(s),
+            ..StrategyOverrides::default()
+        }
+    }
+
+    /// Overrides pinning only the groupjoin strategy.
+    pub fn pin_groupjoin(s: GroupJoinStrategy) -> StrategyOverrides {
+        StrategyOverrides {
+            groupjoin: Some(s),
+            ..StrategyOverrides::default()
+        }
+    }
+}
+
+/// Builder for [`Engine`] sessions: database, cost parameters, parallelism
+/// (scoped threads or a shared worker pool), memory hierarchy, admission
+/// control, and per-query option defaults.
 ///
 /// ```
 /// # use swole_plan::{Database, Engine};
@@ -247,9 +305,11 @@ pub struct EngineBuilder {
     metrics: MetricsLevel,
     plan_cache_bytes: usize,
     verify: VerifyLevel,
-    pin_agg: Option<AggStrategy>,
-    pin_semijoin: Option<SemiJoinStrategy>,
-    pin_groupjoin: Option<GroupJoinStrategy>,
+    strategies: StrategyOverrides,
+    worker_pool: Option<usize>,
+    global_budget: Option<usize>,
+    memory_policy: MemoryPolicy,
+    admission: Option<AdmissionConfig>,
 }
 
 impl EngineBuilder {
@@ -264,9 +324,11 @@ impl EngineBuilder {
             metrics: MetricsLevel::Off,
             plan_cache_bytes: DEFAULT_PLAN_CACHE_BYTES,
             verify: VerifyLevel::default_for_build(),
-            pin_agg: None,
-            pin_semijoin: None,
-            pin_groupjoin: None,
+            strategies: StrategyOverrides::default(),
+            worker_pool: None,
+            global_budget: None,
+            memory_policy: MemoryPolicy::default(),
+            admission: None,
         }
     }
 
@@ -277,7 +339,9 @@ impl EngineBuilder {
     }
 
     /// Number of worker threads for execution (default 1 = sequential).
-    /// `0` means "use all available hardware parallelism".
+    /// `0` means "use all available hardware parallelism". Without
+    /// [`EngineBuilder::worker_pool`], each query spawns this many scoped
+    /// workers for its own lifetime.
     pub fn threads(mut self, threads: usize) -> EngineBuilder {
         self.threads = if threads == 0 {
             std::thread::available_parallelism()
@@ -286,6 +350,22 @@ impl EngineBuilder {
         } else {
             threads
         };
+        self
+    }
+
+    /// Execute every query of this session on one fixed pool of `workers`
+    /// persistent threads instead of per-query scoped workers. Concurrent
+    /// queries multiplex over the pool morsel-by-morsel (higher
+    /// [`Priority`] classes are drained first), so N clients share the
+    /// machine instead of oversubscribing it N-fold. Results stay
+    /// bit-identical to scoped execution: morsel boundaries are identical
+    /// and every merge is commutative and associative. Also sets the
+    /// session's planning parallelism ([`EngineBuilder::threads`]) to
+    /// `workers`.
+    pub fn worker_pool(mut self, workers: usize) -> EngineBuilder {
+        let workers = workers.max(1);
+        self.worker_pool = Some(workers);
+        self.threads = workers;
         self
     }
 
@@ -300,7 +380,8 @@ impl EngineBuilder {
     /// morsel boundaries; an expired deadline returns
     /// [`PlanError::DeadlineExceeded`] with partial-progress counts. A 0ms
     /// deadline deterministically fails every query before its first
-    /// morsel, at any thread count.
+    /// morsel, at any thread count. Overridable per call through
+    /// [`QueryOptions::deadline`].
     pub fn deadline(mut self, deadline: Duration) -> EngineBuilder {
         self.deadline = Some(deadline);
         self
@@ -310,9 +391,39 @@ impl EngineBuilder {
     /// charged at every allocation site that scales with input (masks,
     /// bitmaps, key sets, hash-table growth, worker scratch). A charge that
     /// would exceed the budget returns [`PlanError::BudgetExceeded`]
-    /// *before* allocating.
+    /// *before* allocating. Overridable per call through
+    /// [`QueryOptions::memory_budget`].
     pub fn memory_budget(mut self, bytes: usize) -> EngineBuilder {
         self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Engine-wide memory budget in bytes shared by every concurrent
+    /// query. Each query's gauge forwards its charges to this pool
+    /// (global-first, so the engine total can never exceed the budget);
+    /// how the pool arbitrates between queries is set by
+    /// [`EngineBuilder::memory_policy`]. A charge the pool refuses fails
+    /// that query with [`PlanError::BudgetExceeded`].
+    pub fn global_memory_budget(mut self, bytes: usize) -> EngineBuilder {
+        self.global_budget = Some(bytes);
+        self
+    }
+
+    /// Arbitration policy for [`EngineBuilder::global_memory_budget`]
+    /// (default [`MemoryPolicy::Greedy`]).
+    pub fn memory_policy(mut self, policy: MemoryPolicy) -> EngineBuilder {
+        self.memory_policy = policy;
+        self
+    }
+
+    /// Bound how many queries may execute (and wait) simultaneously.
+    /// Arrivals beyond `max_concurrent` running plus `queue_depth` waiting
+    /// are rejected with [`PlanError::Admission`] instead of queueing
+    /// unboundedly; waiters are admitted by [`Priority`] class, and a
+    /// waiter whose deadline expires in the queue is rejected without ever
+    /// executing.
+    pub fn admission(mut self, cfg: AdmissionConfig) -> EngineBuilder {
+        self.admission = Some(cfg);
         self
     }
 
@@ -322,27 +433,16 @@ impl EngineBuilder {
     /// [`MetricsLevel::Timings`] adds per-operator and per-query wall
     /// clock. [`Engine::explain_analyze`] raises the level to at least
     /// `Timings` for its one execution regardless of this setting.
+    /// Overridable per call through [`QueryOptions::metrics`].
     pub fn metrics(mut self, level: MetricsLevel) -> EngineBuilder {
         self.metrics = level;
         self
     }
 
-    /// Pin the scan-aggregation strategy, overriding the cost model
-    /// (equivalence tests and experiments).
-    pub fn agg_strategy(mut self, strategy: AggStrategy) -> EngineBuilder {
-        self.pin_agg = Some(strategy);
-        self
-    }
-
-    /// Pin the semijoin strategy, overriding the cost model.
-    pub fn semijoin_strategy(mut self, strategy: SemiJoinStrategy) -> EngineBuilder {
-        self.pin_semijoin = Some(strategy);
-        self
-    }
-
-    /// Pin the groupjoin strategy, overriding the cost model.
-    pub fn groupjoin_strategy(mut self, strategy: GroupJoinStrategy) -> EngineBuilder {
-        self.pin_groupjoin = Some(strategy);
+    /// Pin access strategies, overriding the cost model (equivalence tests
+    /// and experiments). Fields left `None` keep the choosers in charge.
+    pub fn strategies(mut self, overrides: StrategyOverrides) -> EngineBuilder {
+        self.strategies = overrides;
         self
     }
 
@@ -367,7 +467,8 @@ impl EngineBuilder {
     /// domain-discipline passes; `Full` adds the access-signature
     /// cross-check against the cost model and the resource-accounting
     /// audit. An ill-formed plan fails with [`PlanError::Verification`]
-    /// before any execution starts.
+    /// before any execution starts. Overridable per call through
+    /// [`QueryOptions::verify`].
     pub fn verify(mut self, level: VerifyLevel) -> EngineBuilder {
         self.verify = level;
         self
@@ -375,6 +476,10 @@ impl EngineBuilder {
 
     /// Finish the builder.
     pub fn build(self) -> Engine {
+        let executor = match self.worker_pool {
+            Some(w) => Executor::pool(w),
+            None => Executor::scoped(self.threads),
+        };
         Engine {
             inner: Arc::new(EngineInner {
                 db: RwLock::new(self.db),
@@ -385,9 +490,14 @@ impl EngineBuilder {
                 memory_budget: self.memory_budget,
                 metrics: self.metrics,
                 verify: self.verify,
-                pin_agg: self.pin_agg,
-                pin_semijoin: self.pin_semijoin,
-                pin_groupjoin: self.pin_groupjoin,
+                strategies: self.strategies,
+                executor,
+                admission: self
+                    .admission
+                    .map(|cfg| Arc::new(AdmissionController::new(cfg))),
+                global: self
+                    .global_budget
+                    .map(|b| Arc::new(GlobalMemoryPool::new(b, self.memory_policy))),
                 cancel: Arc::new(CancelState::default()),
                 last_run: Mutex::new(Vec::new()),
                 cache: PlanCache::new(self.plan_cache_bytes),
@@ -398,27 +508,41 @@ impl EngineBuilder {
 
 /// Execution options threaded into every operator.
 #[derive(Clone, Copy)]
-struct ExecOpts {
+struct ExecOpts<'a> {
+    executor: &'a Executor,
     threads: usize,
     morsel_rows: usize,
     level: MetricsLevel,
 }
 
+/// Per-call limits resolved against the session defaults.
+struct ResolvedOpts {
+    deadline: Option<Duration>,
+    memory_budget: Option<usize>,
+    metrics: MetricsLevel,
+    verify: VerifyLevel,
+    priority: Priority,
+}
+
 /// The access-aware query engine: owns a [`Database`] and cost parameters,
 /// plans logical queries through the paper's choosers (thread-aware when
 /// the session is parallel), and executes them with the `swole-kernels`
-/// loop bodies on morsel-driven workers.
+/// loop bodies on morsel-driven workers — per-query scoped threads by
+/// default, or one fixed shared pool with [`EngineBuilder::worker_pool`].
 ///
 /// An `Engine` is a cheaply cloneable handle (`Arc` internals): clones
-/// share the database, the plan cache, the cancellation flag, and the
-/// session configuration, so one engine can be hammered from many threads
-/// — results are bit-identical at any thread count.
+/// share the database, the plan cache, the worker pool, the cancellation
+/// flag, and the session configuration, so one engine can be hammered from
+/// many threads — results are bit-identical at any thread count and any
+/// concurrency. [`Engine::session`] carves out per-client scopes with
+/// their own cancellation and option defaults.
 #[derive(Clone)]
 pub struct Engine {
     inner: Arc<EngineInner>,
 }
 
-/// Shared state behind every [`Engine`] clone and prepared statement.
+/// Shared state behind every [`Engine`] clone, session, and prepared
+/// statement.
 pub(crate) struct EngineInner {
     db: RwLock<Database>,
     params: CostParams,
@@ -428,10 +552,15 @@ pub(crate) struct EngineInner {
     memory_budget: Option<usize>,
     metrics: MetricsLevel,
     verify: VerifyLevel,
-    pin_agg: Option<AggStrategy>,
-    pin_semijoin: Option<SemiJoinStrategy>,
-    pin_groupjoin: Option<GroupJoinStrategy>,
-    /// Session-wide cancellation flag, shared with every [`ExecHandle`].
+    strategies: StrategyOverrides,
+    /// Where morsels run: per-query scoped workers or the shared pool.
+    executor: Executor,
+    /// Concurrency limiter; `None` admits everything immediately.
+    admission: Option<Arc<AdmissionController>>,
+    /// Engine-wide memory budget every query's gauge draws from.
+    global: Option<Arc<GlobalMemoryPool>>,
+    /// Engine-wide cancellation scope, shared with every [`ExecHandle`]
+    /// from [`Engine::handle`] (sessions get their own scope).
     cancel: Arc<CancelState>,
     /// Runtime report of the most recent `query` (outcome, fallback,
     /// partial progress) — surfaced through [`Explain::runtime`].
@@ -466,7 +595,8 @@ impl Engine {
 
     /// Load (or reload) a table through [`Database::load_table`], bumping
     /// its generation counter — which invalidates every cached plan that
-    /// reads the table. Returns the new generation.
+    /// reads the table. Returns the new generation. In-flight queries keep
+    /// reading the snapshot they pinned at execution start.
     pub fn load_table(&self, table: Table) -> u64 {
         let mut db = self.inner.db.write().unwrap_or_else(|e| e.into_inner());
         db.load_table(table)
@@ -489,10 +619,20 @@ impl Engine {
         self.inner.morsel_rows
     }
 
-    /// A cancellation token for this session. Clone it to other threads;
-    /// [`ExecHandle::cancel`] stops in-flight (and future) queries at their
-    /// next morsel boundary with [`PlanError::Cancelled`]. Call
-    /// [`ExecHandle::reset`] to accept queries again.
+    /// `true` when this engine executes on a shared worker pool
+    /// ([`EngineBuilder::worker_pool`]) instead of per-query scoped
+    /// threads.
+    pub fn uses_worker_pool(&self) -> bool {
+        self.inner.executor.is_pool()
+    }
+
+    /// A cancellation token for the engine-wide scope. Clone it to other
+    /// threads; [`ExecHandle::cancel`] stops in-flight (and future) queries
+    /// at their next morsel boundary with [`PlanError::Cancelled`]. Call
+    /// [`ExecHandle::reset`] to accept queries again. Cancellation is
+    /// sticky *per scope*: this handle governs queries issued directly on
+    /// the engine, while each [`Engine::session`] has an independent scope
+    /// reachable through [`crate::Session::handle`].
     pub fn handle(&self) -> ExecHandle {
         ExecHandle::new(self.inner.cancel.clone())
     }
@@ -500,6 +640,18 @@ impl Engine {
     /// Activity counters of the session's plan cache.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.inner.cache.stats()
+    }
+
+    /// Live usage of the engine-wide memory pool, when
+    /// [`EngineBuilder::global_memory_budget`] configured one.
+    pub fn global_memory_stats(&self) -> Option<MemoryPoolStats> {
+        self.inner.global.as_ref().map(|g| g.stats())
+    }
+
+    /// `(running, queued)` under admission control, when
+    /// [`EngineBuilder::admission`] configured it.
+    pub fn admission_in_flight(&self) -> Option<(usize, usize)> {
+        self.inner.admission.as_ref().map(|a| a.in_flight())
     }
 
     /// Plan and execute in one step, with hardened-execution supervision.
@@ -512,12 +664,24 @@ impl Engine {
     /// by pullup temporaries, or `i64` overflow detected in a masked
     /// aggregate — the query is retried once through the data-centric
     /// row-at-a-time interpreter ([`crate::interp`]), charged against the
-    /// same memory gauge. Cancellation and deadline expiry are not retried.
-    /// The outcome (including any fallback) is recorded and surfaced via
-    /// [`Explain::runtime`] on the next [`Engine::explain`] call.
+    /// same memory gauge. Cancellation, deadline expiry, and admission
+    /// rejection are not retried. The outcome (including any fallback) is
+    /// recorded and surfaced via [`Explain::runtime`] on the next
+    /// [`Engine::explain`] call.
     pub fn query(&self, plan: &LogicalPlan) -> Result<QueryResult, PlanError> {
+        self.query_with(plan, &QueryOptions::default())
+    }
+
+    /// [`Engine::query`] with per-call option overrides; fields left unset
+    /// fall back to the builder's session defaults.
+    pub fn query_with(
+        &self,
+        plan: &LogicalPlan,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, PlanError> {
         let db = self.inner.read_db();
-        self.inner.query_leveled(&db, plan, self.inner.metrics)
+        self.inner
+            .query_leveled(&db, plan, &self.inner.cancel, opts, None)
     }
 
     /// EXPLAIN: plan and return the structured decision report (including
@@ -533,9 +697,23 @@ impl Engine {
     /// counters, hash-table behaviour, wall times, and the cost model's
     /// prediction re-scored against what execution observed.
     pub fn explain_analyze(&self, plan: &LogicalPlan) -> Result<Explain, PlanError> {
+        self.explain_analyze_with(plan, &QueryOptions::default())
+    }
+
+    /// [`Engine::explain_analyze`] with per-call option overrides.
+    pub fn explain_analyze_with(
+        &self,
+        plan: &LogicalPlan,
+        opts: &QueryOptions,
+    ) -> Result<Explain, PlanError> {
         let db = self.inner.read_db();
-        let level = self.inner.metrics.max(MetricsLevel::Timings);
-        let res = self.inner.query_leveled(&db, plan, level)?;
+        let res = self.inner.query_leveled(
+            &db,
+            plan,
+            &self.inner.cancel,
+            opts,
+            Some(MetricsLevel::Timings),
+        )?;
         let mut ex = self.inner.explain_for(&db, plan)?;
         ex.analyze = res.metrics;
         Ok(ex)
@@ -585,19 +763,29 @@ impl Engine {
     /// strategy (the fallback needs the logical plan), so runtime failures
     /// surface directly as typed errors.
     pub fn execute(&self, plan: &PhysicalPlan) -> Result<QueryResult, PlanError> {
-        let db = self.inner.read_db();
-        let ctx = self.inner.exec_ctx();
-        let level = self.inner.metrics;
-        let t0 = level.timing().then(Instant::now);
-        let (mut res, ops) = runtime::isolate(|| self.inner.execute_shape(&db, plan, &ctx, level))?;
-        self.inner
-            .attach_metrics(&db, &mut res, plan, ops, &ctx, level, 0, t0);
-        Ok(res)
+        self.execute_with(plan, &QueryOptions::default())
     }
 
-    /// Shared state accessor for the prepared-statement layer.
+    /// [`Engine::execute`] with per-call option overrides.
+    pub fn execute_with(
+        &self,
+        plan: &PhysicalPlan,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, PlanError> {
+        let db = self.inner.read_db();
+        self.inner
+            .execute_physical(&db, plan, &self.inner.cancel, opts)
+    }
+
+    /// Shared state accessor for the session and prepared-statement layers.
     pub(crate) fn inner(&self) -> &EngineInner {
         &self.inner
+    }
+
+    /// The engine-wide cancellation scope (sessions replace it with their
+    /// own).
+    pub(crate) fn cancel_scope(&self) -> &Arc<CancelState> {
+        &self.inner.cancel
     }
 }
 
@@ -609,9 +797,57 @@ impl EngineInner {
         self.db.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Fresh per-query execution context from the session's limits.
-    fn exec_ctx(&self) -> ExecCtx {
-        ExecCtx::new(self.cancel.clone(), self.deadline, self.memory_budget)
+    /// The session's default static-verification level (for callers that
+    /// plan outside [`EngineInner::query_leveled`]).
+    pub(crate) fn verify_level(&self) -> VerifyLevel {
+        self.verify
+    }
+
+    /// Resolve per-call options against the session defaults.
+    fn resolve(&self, opts: &QueryOptions) -> ResolvedOpts {
+        ResolvedOpts {
+            deadline: opts.deadline.or(self.deadline),
+            memory_budget: opts.memory_budget.or(self.memory_budget),
+            metrics: opts.metrics.unwrap_or(self.metrics),
+            verify: opts.verify.unwrap_or(self.verify),
+            priority: opts.priority.unwrap_or_default(),
+        }
+    }
+
+    /// Pass admission control (a no-op without a configured controller).
+    /// The returned permit holds the execution slot until dropped — through
+    /// any fallback retry, so a rejected-then-retried query cannot double
+    /// its slot usage.
+    fn admit(
+        &self,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> Result<Option<AdmissionPermit>, PlanError> {
+        match &self.admission {
+            Some(ctl) => ctl
+                .admit(priority, deadline)
+                .map(Some)
+                .map_err(PlanError::Admission),
+            None => Ok(None),
+        }
+    }
+
+    /// Fresh per-query execution context: its gauge draws from the
+    /// engine-wide pool (if any), and its lifetime spans the primary
+    /// attempt *and* any data-centric fallback.
+    fn exec_ctx(
+        &self,
+        cancel: &Arc<CancelState>,
+        r: &ResolvedOpts,
+        deadline_at: Option<Instant>,
+    ) -> Arc<ExecCtx> {
+        Arc::new(ExecCtx::new(
+            Arc::clone(cancel),
+            deadline_at,
+            r.memory_budget,
+            self.global.clone(),
+            r.priority,
+        ))
     }
 
     fn record_run(&self, report: Vec<String>) {
@@ -628,17 +864,18 @@ impl EngineInner {
         &self,
         db: &Database,
         plan: &LogicalPlan,
+        verify: VerifyLevel,
     ) -> Result<(Arc<PhysicalPlan>, String), PlanError> {
         let key = plan_fingerprint(plan, self.threads);
         let gens = table_generations(db, plan);
         match self.cache.lookup(&key, &gens) {
             CacheLookup::Hit(physical, verified) => {
                 // The cached verdict travels with the plan: re-verify only
-                // when this session demands a stricter level than the one
-                // the entry was already checked at.
-                if verified < self.verify {
-                    crate::verify::verify_physical(db, &physical, self.verify)?;
-                    self.cache.note_verified(&key, self.verify);
+                // when this call demands a stricter level than the one the
+                // entry was already checked at.
+                if verified < verify {
+                    crate::verify::verify_physical(db, &physical, verify)?;
+                    self.cache.note_verified(&key, verify);
                 }
                 Ok((physical, key))
             }
@@ -647,17 +884,12 @@ impl EngineInner {
                     selectivity: drift_hint,
                 };
                 let physical = Arc::new(self.plan_with(db, plan, hints)?);
-                if self.verify > VerifyLevel::Off {
-                    crate::verify::verify_physical(db, &physical, self.verify)?;
+                if verify > VerifyLevel::Off {
+                    crate::verify::verify_physical(db, &physical, verify)?;
                 }
                 let snapshot = self.snapshot_for(db, &physical.shape, drift_hint);
-                self.cache.insert(
-                    key.clone(),
-                    Arc::clone(&physical),
-                    snapshot,
-                    gens,
-                    self.verify,
-                );
+                self.cache
+                    .insert(key.clone(), Arc::clone(&physical), snapshot, gens, verify);
                 Ok((physical, key))
             }
         }
@@ -690,21 +922,33 @@ impl EngineInner {
         }
     }
 
-    /// [`Engine::query`] at an explicit metrics level (at least the
-    /// session's), used by `EXPLAIN ANALYZE` and prepared statements.
+    /// [`Engine::query`] against an explicit cancellation scope and
+    /// per-call options — the one entry point every façade (engine,
+    /// session, prepared statement, `EXPLAIN ANALYZE`) funnels through.
+    /// `floor` raises the effective metrics level (used by
+    /// `EXPLAIN ANALYZE`).
     pub(crate) fn query_leveled(
         &self,
         db: &Database,
         plan: &LogicalPlan,
-        level: MetricsLevel,
+        cancel: &Arc<CancelState>,
+        opts: &QueryOptions,
+        floor: Option<MetricsLevel>,
     ) -> Result<QueryResult, PlanError> {
-        let (physical, cache_key) = self.plan_cached(db, plan)?;
+        let r = self.resolve(opts);
+        let level = floor.map_or(r.metrics, |f| r.metrics.max(f));
+        // The deadline anchors *before* admission: time spent waiting in
+        // the queue counts against it, and an expired waiter is rejected
+        // without ever holding a slot.
+        let deadline_at = r.deadline.map(|d| Instant::now() + d);
+        let _permit = self.admit(r.priority, deadline_at)?;
+        let (physical, cache_key) = self.plan_cached(db, plan, r.verify)?;
         let physical = &*physical;
-        let ctx = self.exec_ctx();
+        let ctx = self.exec_ctx(cancel, &r, deadline_at);
         let t0 = level.timing().then(Instant::now);
         let strategy = physical.shape.strategy_name();
         let mut report = Vec::new();
-        let primary = runtime::isolate(|| self.execute_shape(db, physical, &ctx, level));
+        let primary = isolate(|| self.execute_shape(db, physical, &ctx, level));
         let (done, total) = ctx.progress();
         match primary {
             Ok((mut res, ops)) => {
@@ -764,6 +1008,26 @@ impl EngineInner {
         }
     }
 
+    /// [`Engine::execute`] against an explicit cancellation scope and
+    /// per-call options (no cache, no fallback).
+    pub(crate) fn execute_physical(
+        &self,
+        db: &Database,
+        plan: &PhysicalPlan,
+        cancel: &Arc<CancelState>,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, PlanError> {
+        let r = self.resolve(opts);
+        let deadline_at = r.deadline.map(|d| Instant::now() + d);
+        let _permit = self.admit(r.priority, deadline_at)?;
+        let ctx = self.exec_ctx(cancel, &r, deadline_at);
+        let level = r.metrics;
+        let t0 = level.timing().then(Instant::now);
+        let (mut res, ops) = isolate(|| self.execute_shape(db, plan, &ctx, level))?;
+        self.attach_metrics(db, &mut res, plan, ops, &ctx, level, 0, t0);
+        Ok(res)
+    }
+
     /// Retry a failed query under the data-centric strategy: the
     /// row-at-a-time interpreter, which allocates no pullup temporaries.
     /// Its principal footprint — a qualifying-row-id vector — is charged
@@ -779,7 +1043,7 @@ impl EngineInner {
         ctx.check()?;
         let rows = plan_rows(db, plan);
         ctx.gauge.try_charge(rows.saturating_mul(8))?;
-        runtime::isolate(|| {
+        isolate(|| {
             if level.counting() {
                 let t0 = level.timing().then(Instant::now);
                 let (res, mut op) = crate::interp::run_metered(db, plan)?;
@@ -1144,7 +1408,7 @@ impl EngineInner {
             ));
             choice.strategy
         };
-        let strategy = match self.pin_agg {
+        let strategy = match self.strategies.agg {
             Some(pin) => {
                 if has_minmax && pin != AggStrategy::Hybrid {
                     return Err(PlanError::Unsupported(format!(
@@ -1238,7 +1502,7 @@ impl EngineInner {
                 "selection-vector"
             }
         )]);
-        let strategy = match self.pin_semijoin {
+        let strategy = match self.strategies.semijoin {
             Some(pin) => {
                 decisions.push("semijoin strategy pinned by the session".to_string());
                 pin
@@ -1319,7 +1583,7 @@ impl EngineInner {
         if let Some(d) = hint_decision {
             decisions.push(d);
         }
-        let strategy = match self.pin_groupjoin {
+        let strategy = match self.strategies.groupjoin {
             Some(pin) => {
                 decisions.push("groupjoin strategy pinned by the session".to_string());
                 pin
@@ -1349,8 +1613,10 @@ impl EngineInner {
         })
     }
 
-    /// The positional FK mapping probe→parent: the registered FK index if
-    /// present, otherwise the raw `u32` FK column (dense parent keys).
+    /// The positional FK mapping probe→parent as a borrow: the registered
+    /// FK index if present, otherwise the raw `u32` FK column (dense parent
+    /// keys). Plan-time validation only — execution pins an owned
+    /// [`FkSource`] instead.
     fn fk_positions<'a>(
         &self,
         db: &'a Database,
@@ -1374,6 +1640,33 @@ impl EngineInner {
         })
     }
 
+    /// [`EngineInner::fk_positions`] as an owned snapshot execution can
+    /// pin: shared-pool worker closures outlive the submitting call stack,
+    /// so they must not borrow from the database guard.
+    fn fk_source(
+        &self,
+        db: &Database,
+        child: &str,
+        fk_col: &str,
+        parent: &str,
+    ) -> Result<FkSource, PlanError> {
+        if let Some(idx) = db.fk_index_arc(child, fk_col, parent) {
+            return Ok(FkSource::Index(idx));
+        }
+        let t = db.table_arc(child)?;
+        let col = t.column(fk_col).ok_or_else(|| PlanError::UnknownColumn {
+            table: child.to_string(),
+            column: fk_col.to_string(),
+        })?;
+        if col.as_u32().is_none() {
+            return Err(PlanError::MissingFkIndex {
+                child: child.to_string(),
+                fk_column: fk_col.to_string(),
+            });
+        }
+        Ok(FkSource::Column(t, fk_col.to_string()))
+    }
+
     // -----------------------------------------------------------------
     // Execution
     // -----------------------------------------------------------------
@@ -1382,18 +1675,20 @@ impl EngineInner {
     /// result plus per-operator metrics (empty below
     /// [`MetricsLevel::Counters`]). Planner/executor drift (a table or FK
     /// index dropped after planning) propagates as a [`PlanError`] instead
-    /// of panicking.
+    /// of panicking. Input tables and FK indexes are pinned as `Arc`
+    /// snapshots for the query's lifetime.
     pub(crate) fn execute_shape(
         &self,
         db: &Database,
         plan: &PhysicalPlan,
-        ctx: &ExecCtx,
+        ctx: &Arc<ExecCtx>,
         level: MetricsLevel,
     ) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
         // Upfront cooperative check: zero-morsel inputs still observe an
         // already-expired deadline or cancelled handle.
         ctx.check()?;
         let opts = ExecOpts {
+            executor: &self.executor,
             threads: self.threads,
             morsel_rows: self.morsel_rows,
             level,
@@ -1406,11 +1701,11 @@ impl EngineInner {
                 aggs,
                 strategy,
             } => {
-                let t = db.table(table)?;
+                let t = db.table_arc(table)?;
                 match group_by {
                     None => exec_scalar_agg(
                         &format!("agg({table})"),
-                        t,
+                        &t,
                         filter.as_ref(),
                         aggs,
                         *strategy,
@@ -1419,7 +1714,7 @@ impl EngineInner {
                     ),
                     Some(g) => exec_groupby_agg(
                         &format!("groupby-agg({table})"),
-                        t,
+                        &t,
                         filter.as_ref(),
                         g,
                         aggs,
@@ -1439,19 +1734,19 @@ impl EngineInner {
                 strategy,
                 probe_masked,
             } => {
-                let probe_t = db.table(probe)?;
-                let build_t = db.table(build)?;
-                let fk = self.fk_positions(db, probe, fk_col, build)?;
+                let probe_t = db.table_arc(probe)?;
+                let build_t = db.table_arc(build)?;
+                let fk = self.fk_source(db, probe, fk_col, build)?;
                 exec_semijoin_agg(
                     SemiJoinNames {
                         build: &format!("semijoin-build({build})"),
                         probe: &format!("probe-agg({probe})"),
                     },
-                    probe_t,
+                    &probe_t,
                     probe_filter.as_ref(),
-                    build_t,
+                    &build_t,
                     build_filter.as_ref(),
-                    fk,
+                    &fk,
                     aggs,
                     *strategy,
                     *probe_masked,
@@ -1467,18 +1762,18 @@ impl EngineInner {
                 aggs,
                 strategy,
             } => {
-                let probe_t = db.table(probe)?;
-                let build_t = db.table(build)?;
-                let fk = self.fk_positions(db, probe, fk_col, build)?;
+                let probe_t = db.table_arc(probe)?;
+                let build_t = db.table_arc(build)?;
+                let fk = self.fk_source(db, probe, fk_col, build)?;
                 exec_groupjoin_agg(
                     SemiJoinNames {
                         build: &format!("build-mask({build})"),
                         probe: &format!("probe-agg({probe})"),
                     },
-                    probe_t,
-                    build_t,
+                    &probe_t,
+                    &build_t,
                     build_filter.as_ref(),
-                    fk,
+                    &fk,
                     fk_col,
                     aggs,
                     *strategy,
@@ -1490,10 +1785,40 @@ impl EngineInner {
     }
 }
 
-/// Operator display names for the two-phase (build + probe) shapes.
+/// Operator display names for the two-phase join shapes.
 struct SemiJoinNames<'a> {
     build: &'a str,
     probe: &'a str,
+}
+
+/// The positional FK mapping, pinned as owned data so shared-pool worker
+/// closures (which outlive the submitting call stack) can read it without
+/// borrowing from the database guard.
+#[derive(Clone)]
+enum FkSource {
+    /// A registered FK index.
+    Index(Arc<FkIndex>),
+    /// The raw `u32` FK column of the (pinned, immutable) child table —
+    /// validated at construction, so `slice` cannot fail.
+    Column(Arc<Table>, String),
+}
+
+impl FkSource {
+    fn slice(&self) -> &[u32] {
+        match self {
+            FkSource::Index(idx) => idx.positions(),
+            FkSource::Column(t, col) => t
+                .column(col)
+                .and_then(|c| c.as_u32())
+                .expect("validated u32 FK column on an immutable table"),
+        }
+    }
+}
+
+/// The semijoin build side, shared read-only across probe workers.
+enum BuildSide {
+    Set(KeySet),
+    Bitmap(PositionalBitmap),
 }
 
 /// The `comp` estimate and distinct-column count of an aggregate list —
@@ -1620,7 +1945,8 @@ fn tile_mask(filter: Option<&Expr>, table: &Table, start: usize, cmp: &mut [u8])
 
 /// Per-worker merge operators for an aggregate list (all of which are
 /// commutative and associative, making the merge order — and therefore the
-/// thread count — invisible in the result).
+/// thread count *and* the pool's morsel interleaving — invisible in the
+/// result).
 fn merge_ops(aggs: &[AggSpec]) -> Vec<MergeOp> {
     aggs.iter()
         .map(|a| match a.func {
@@ -1717,26 +2043,31 @@ fn merge_scalar_partials(
 
 fn exec_scalar_agg(
     op_name: &str,
-    table: &Table,
+    table: &Arc<Table>,
     filter: Option<&Expr>,
     aggs: &[AggSpec],
     strategy: AggStrategy,
-    opts: ExecOpts,
-    ctx: &ExecCtx,
+    opts: ExecOpts<'_>,
+    ctx: &Arc<ExecCtx>,
 ) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
     let n = table.len();
     let counting = opts.level.counting();
     let t0 = opts.level.timing().then(Instant::now);
-    let partials = parallel::run_morsels(
-        ctx,
-        opts.threads,
-        n,
-        opts.morsel_rows,
-        || {
-            runtime::charge_or_panic(&ctx.gauge, ScalarAcc::scratch_bytes(aggs.len()));
-            ScalarAcc::new(aggs)
-        },
-        |w: &mut ScalarAcc, m_start, m_len| {
+    let aggs_arc: Arc<[AggSpec]> = aggs.to_vec().into();
+    let init = {
+        let ctx = Arc::clone(ctx);
+        let aggs = Arc::clone(&aggs_arc);
+        move || {
+            charge_or_panic(&ctx.gauge, ScalarAcc::scratch_bytes(aggs.len()));
+            ScalarAcc::new(&aggs)
+        }
+    };
+    let body = {
+        let table = Arc::clone(table);
+        let filter = filter.cloned();
+        let aggs = Arc::clone(&aggs_arc);
+        move |w: &mut ScalarAcc, m_start: usize, m_len: usize| {
+            let filter = filter.as_ref();
             if counting {
                 w.ctr.morsels += 1;
                 w.ctr.rows_in += m_len as u64;
@@ -1745,7 +2076,7 @@ fn exec_scalar_agg(
                 }
             }
             for (start, len) in tiles_in(m_start, m_len) {
-                tile_mask(filter, table, start, &mut w.cmp[..len]);
+                tile_mask(filter, &table, start, &mut w.cmp[..len]);
                 match strategy {
                     AggStrategy::ValueMasking => {
                         let m = predicate::mask_count(&w.cmp[..len]);
@@ -1759,7 +2090,7 @@ fn exec_scalar_agg(
                         for (i, a) in aggs.iter().enumerate() {
                             match a.func {
                                 AggFunc::Sum => {
-                                    a.expr.eval_values(table, start, &mut w.val[..len]);
+                                    a.expr.eval_values(&table, start, &mut w.val[..len]);
                                     for j in 0..len {
                                         // cmp is 0/1, so the product cannot overflow.
                                         w.add_sum(i, w.val[j] * w.cmp[j] as i64);
@@ -1787,7 +2118,7 @@ fn exec_scalar_agg(
                             match a.func {
                                 AggFunc::Count => w.acc[i] = w.acc[i].wrapping_add(k as i64),
                                 _ => {
-                                    a.expr.eval_values(table, start, &mut w.val[..len]);
+                                    a.expr.eval_values(&table, start, &mut w.val[..len]);
                                     for t in 0..k {
                                         let j = w.idx[t] as usize;
                                         let v = w.val[j - start];
@@ -1804,8 +2135,11 @@ fn exec_scalar_agg(
                     }
                 }
             }
-        },
-    )?;
+        }
+    };
+    let partials = opts
+        .executor
+        .run_morsels(ctx, n, opts.morsel_rows, init, body)?;
     let ops = if counting {
         let mut op = OpMetrics::named(op_name);
         for p in &partials {
@@ -1872,9 +2206,9 @@ impl GroupAcc {
 /// grows inside the (infallible) tile loop, so the charge is settled at
 /// morsel granularity; a failed charge panics with the typed error and is
 /// caught by the worker's isolation domain.
-fn charge_growth(gauge: &crate::runtime::MemGauge, charged: &mut usize, now_bytes: usize) {
+fn charge_growth(gauge: &MemGauge, charged: &mut usize, now_bytes: usize) {
     if now_bytes > *charged {
-        runtime::charge_or_panic(gauge, now_bytes - *charged);
+        charge_or_panic(gauge, now_bytes - *charged);
         *charged = now_bytes;
     }
 }
@@ -1882,31 +2216,35 @@ fn charge_growth(gauge: &crate::runtime::MemGauge, charged: &mut usize, now_byte
 #[allow(clippy::too_many_arguments)]
 fn exec_groupby_agg(
     op_name: &str,
-    table: &Table,
+    table: &Arc<Table>,
     filter: Option<&Expr>,
     group_by: &str,
     aggs: &[AggSpec],
     strategy: AggStrategy,
-    opts: ExecOpts,
-    ctx: &ExecCtx,
+    opts: ExecOpts<'_>,
+    ctx: &Arc<ExecCtx>,
 ) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
     let n = table.len();
     let n_aggs = aggs.len();
     let counting = opts.level.counting();
     let t0 = opts.level.timing().then(Instant::now);
-    let key_expr = Expr::col(group_by);
-    let partials = parallel::run_morsels(
-        ctx,
-        opts.threads,
-        n,
-        opts.morsel_rows,
-        || {
+    let init = {
+        let ctx = Arc::clone(ctx);
+        move || {
             let mut w = GroupAcc::new(n_aggs);
             w.charged = GroupAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
-            runtime::charge_or_panic(&ctx.gauge, w.charged);
+            charge_or_panic(&ctx.gauge, w.charged);
             w
-        },
-        |w: &mut GroupAcc, m_start, m_len| {
+        }
+    };
+    let body = {
+        let ctx = Arc::clone(ctx);
+        let table = Arc::clone(table);
+        let filter = filter.cloned();
+        let key_expr = Expr::col(group_by);
+        let aggs: Arc<[AggSpec]> = aggs.to_vec().into();
+        move |w: &mut GroupAcc, m_start: usize, m_len: usize| {
+            let filter = filter.as_ref();
             if counting {
                 w.ctr.morsels += 1;
                 w.ctr.rows_in += m_len as u64;
@@ -1915,11 +2253,11 @@ fn exec_groupby_agg(
                 }
             }
             for (start, len) in tiles_in(m_start, m_len) {
-                tile_mask(filter, table, start, &mut w.cmp[..len]);
-                key_expr.eval_values(table, start, &mut w.keys[..len]);
+                tile_mask(filter, &table, start, &mut w.cmp[..len]);
+                key_expr.eval_values(&table, start, &mut w.keys[..len]);
                 for (i, a) in aggs.iter().enumerate() {
                     if a.func != AggFunc::Count {
-                        a.expr.eval_values(table, start, &mut w.vals[i][..len]);
+                        a.expr.eval_values(&table, start, &mut w.vals[i][..len]);
                     }
                 }
                 match strategy {
@@ -2013,8 +2351,11 @@ fn exec_groupby_agg(
             }
             let now_bytes = GroupAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
             charge_growth(&ctx.gauge, &mut w.charged, now_bytes);
-        },
-    )?;
+        }
+    };
+    let partials = opts
+        .executor
+        .run_morsels(ctx, n, opts.morsel_rows, init, body)?;
     // Snapshot worker counters BEFORE the merge: merge_from probes through
     // self.entry(), which would contaminate the merged table's counters
     // with merge traffic that never touched base data.
@@ -2088,54 +2429,65 @@ fn rows_from_table(
     }
 }
 
-/// Evaluate the build-side predicate mask over the whole build table,
-/// splitting the byte buffer into disjoint tile-aligned chunks across
-/// workers.
+/// Evaluate the build-side predicate mask over the whole build table on
+/// morsel workers. Each worker produces `(offset, bytes)` segments for the
+/// morsels it claimed; the segments form an exact disjoint cover of the
+/// table, so stitching them back is byte-identical to a sequential
+/// evaluation regardless of which worker claimed what.
 fn build_mask(
-    build: &Table,
+    build: &Arc<Table>,
     build_filter: Option<&Expr>,
-    threads: usize,
-    ctx: &ExecCtx,
+    opts: ExecOpts<'_>,
+    ctx: &Arc<ExecCtx>,
 ) -> Result<Vec<u8>, PlanError> {
-    ctx.gauge.try_charge(build.len())?;
-    let mut build_cmp = vec![0u8; build.len()];
-    parallel::fill_partitioned(ctx, threads, &mut build_cmp, |chunk_start, slice| {
-        for (start, len) in tiles(slice.len()) {
-            tile_mask(
-                build_filter,
-                build,
-                chunk_start + start,
-                &mut slice[start..start + len],
-            );
+    let n = build.len();
+    ctx.gauge.try_charge(n)?;
+    let body = {
+        let build = Arc::clone(build);
+        let filter = build_filter.cloned();
+        move |segs: &mut Vec<(usize, Vec<u8>)>, m_start: usize, m_len: usize| {
+            let mut seg = vec![0u8; m_len];
+            for (start, len) in tiles_in(m_start, m_len) {
+                tile_mask(
+                    filter.as_ref(),
+                    &build,
+                    start,
+                    &mut seg[start - m_start..start - m_start + len],
+                );
+            }
+            segs.push((m_start, seg));
         }
-    })?;
-    Ok(build_cmp)
+    };
+    let partials = opts
+        .executor
+        .run_morsels(ctx, n, opts.morsel_rows, Vec::new, body)?;
+    let mut mask = vec![0u8; n];
+    for (start, seg) in partials.into_iter().flatten() {
+        mask[start..start + seg.len()].copy_from_slice(&seg);
+    }
+    Ok(mask)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn exec_semijoin_agg(
     names: SemiJoinNames<'_>,
-    probe: &Table,
+    probe: &Arc<Table>,
     probe_filter: Option<&Expr>,
-    build: &Table,
+    build: &Arc<Table>,
     build_filter: Option<&Expr>,
-    fk: &[u32],
+    fk: &FkSource,
     aggs: &[AggSpec],
     strategy: SemiJoinStrategy,
     probe_masked: bool,
-    opts: ExecOpts,
-    ctx: &ExecCtx,
+    opts: ExecOpts<'_>,
+    ctx: &Arc<ExecCtx>,
 ) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
     let counting = opts.level.counting();
     // Build phase. Each pullup temporary (mask bytes, key-set storage,
     // bitmap words) is charged to the gauge before it is materialized.
     let build_n = build.len();
     let build_t0 = opts.level.timing().then(Instant::now);
-    let build_cmp = build_mask(build, build_filter, opts.threads, ctx)?;
-    enum BuildSide {
-        Set(KeySet),
-        Bitmap(PositionalBitmap),
-    }
+    let build_cmp = build_mask(build, build_filter, opts, ctx)?;
     let bitmap_bytes = build_n.div_ceil(64) * 8;
     let side = match strategy {
         SemiJoinStrategy::Hash => {
@@ -2195,16 +2547,25 @@ fn exec_semijoin_agg(
     // read-only build side.
     let n = probe.len();
     let probe_t0 = opts.level.timing().then(Instant::now);
-    let partials = parallel::run_morsels(
-        ctx,
-        opts.threads,
-        n,
-        opts.morsel_rows,
-        || {
-            runtime::charge_or_panic(&ctx.gauge, ScalarAcc::scratch_bytes(aggs.len()));
-            ScalarAcc::new(aggs)
-        },
-        |w: &mut ScalarAcc, m_start, m_len| {
+    let aggs_arc: Arc<[AggSpec]> = aggs.to_vec().into();
+    let init = {
+        let ctx = Arc::clone(ctx);
+        let aggs = Arc::clone(&aggs_arc);
+        move || {
+            charge_or_panic(&ctx.gauge, ScalarAcc::scratch_bytes(aggs.len()));
+            ScalarAcc::new(&aggs)
+        }
+    };
+    let side = Arc::new(side);
+    let body = {
+        let probe = Arc::clone(probe);
+        let probe_filter = probe_filter.cloned();
+        let aggs = Arc::clone(&aggs_arc);
+        let side = Arc::clone(&side);
+        let fk_src = fk.clone();
+        move |w: &mut ScalarAcc, m_start: usize, m_len: usize| {
+            let probe_filter = probe_filter.as_ref();
+            let fk = fk_src.slice();
             if counting {
                 w.ctr.morsels += 1;
                 w.ctr.rows_in += m_len as u64;
@@ -2213,9 +2574,9 @@ fn exec_semijoin_agg(
                 }
             }
             for (start, len) in tiles_in(m_start, m_len) {
-                tile_mask(probe_filter, probe, start, &mut w.cmp[..len]);
+                tile_mask(probe_filter, &probe, start, &mut w.cmp[..len]);
                 // Fold the join bit into the mask, per build structure.
-                match (&side, probe_masked) {
+                match (&*side, probe_masked) {
                     (BuildSide::Bitmap(bm), true) => {
                         for j in 0..len {
                             w.cmp[j] &= bm.get_bit(fk[start + j] as usize) as u8;
@@ -2232,7 +2593,7 @@ fn exec_semijoin_agg(
                         for (i, a) in aggs.iter().enumerate() {
                             match a.func {
                                 AggFunc::Sum => {
-                                    a.expr.eval_values(probe, start, &mut w.val[..len]);
+                                    a.expr.eval_values(&probe, start, &mut w.val[..len]);
                                     for j in 0..len {
                                         // cmp is 0/1, so the product cannot overflow.
                                         w.add_sum(i, w.val[j] * w.cmp[j] as i64);
@@ -2257,7 +2618,7 @@ fn exec_semijoin_agg(
                         }
                         for (i, a) in aggs.iter().enumerate() {
                             if a.func != AggFunc::Count {
-                                a.expr.eval_values(probe, start, &mut w.val[..len]);
+                                a.expr.eval_values(&probe, start, &mut w.val[..len]);
                             }
                             for t in 0..k {
                                 let j = w.idx[t] as usize;
@@ -2284,8 +2645,11 @@ fn exec_semijoin_agg(
                     }
                 }
             }
-        },
-    )?;
+        }
+    };
+    let partials = opts
+        .executor
+        .run_morsels(ctx, n, opts.morsel_rows, init, body)?;
     let mut op_list = Vec::new();
     if let Some(build_op) = build_op {
         let mut probe_op = OpMetrics::named(names.probe);
@@ -2339,21 +2703,21 @@ impl GroupJoinAcc {
 #[allow(clippy::too_many_arguments)]
 fn exec_groupjoin_agg(
     names: SemiJoinNames<'_>,
-    probe: &Table,
-    build: &Table,
+    probe: &Arc<Table>,
+    build: &Arc<Table>,
     build_filter: Option<&Expr>,
-    fk: &[u32],
+    fk: &FkSource,
     fk_col: &str,
     aggs: &[AggSpec],
     strategy: GroupJoinStrategy,
-    opts: ExecOpts,
-    ctx: &ExecCtx,
+    opts: ExecOpts<'_>,
+    ctx: &Arc<ExecCtx>,
 ) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
     let n_aggs = aggs.len();
     let counting = opts.level.counting();
     let build_n = build.len();
     let build_t0 = opts.level.timing().then(Instant::now);
-    let build_cmp = build_mask(build, build_filter, opts.threads, ctx)?;
+    let build_cmp = Arc::new(build_mask(build, build_filter, opts, ctx)?);
     let build_op = counting.then(|| {
         let mut op = OpMetrics::named(names.build);
         op.access.rows_in = build_n as u64;
@@ -2366,41 +2730,71 @@ fn exec_groupjoin_agg(
     });
     let probe_t0 = opts.level.timing().then(Instant::now);
     let capacity = (build_n / 2).max(16);
-    let init = || {
-        let mut w = GroupJoinAcc::new(n_aggs, capacity);
-        w.charged = GroupJoinAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
-        runtime::charge_or_panic(&ctx.gauge, w.charged);
-        w
+    let init = {
+        let ctx = Arc::clone(ctx);
+        move || {
+            let mut w = GroupJoinAcc::new(n_aggs, capacity);
+            w.charged = GroupJoinAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
+            charge_or_panic(&ctx.gauge, w.charged);
+            w
+        }
     };
-    let partials = match strategy {
-        GroupJoinStrategy::GroupJoin => parallel::run_morsels(
-            ctx,
-            opts.threads,
-            probe.len(),
-            opts.morsel_rows,
-            init,
-            |w: &mut GroupJoinAcc, m_start, m_len| {
-                if counting {
-                    w.ctr.morsels += 1;
-                    w.ctr.rows_in += m_len as u64;
+    let body = {
+        let ctx = Arc::clone(ctx);
+        let probe = Arc::clone(probe);
+        let aggs: Arc<[AggSpec]> = aggs.to_vec().into();
+        let build_cmp = Arc::clone(&build_cmp);
+        let fk_src = fk.clone();
+        move |w: &mut GroupJoinAcc, m_start: usize, m_len: usize| {
+            let fk = fk_src.slice();
+            if counting {
+                w.ctr.morsels += 1;
+                w.ctr.rows_in += m_len as u64;
+            }
+            for (start, len) in tiles_in(m_start, m_len) {
+                for (i, a) in aggs.iter().enumerate() {
+                    if a.func != AggFunc::Count {
+                        a.expr.eval_values(&probe, start, &mut w.vals[i][..len]);
+                    }
                 }
-                for (start, len) in tiles_in(m_start, m_len) {
-                    for (i, a) in aggs.iter().enumerate() {
-                        if a.func != AggFunc::Count {
-                            a.expr.eval_values(probe, start, &mut w.vals[i][..len]);
+                match strategy {
+                    GroupJoinStrategy::GroupJoin => {
+                        for j in 0..len {
+                            let pos = fk[start + j] as usize;
+                            // Membership via the build mask: equivalent to
+                            // probing a table pre-populated with qualifying
+                            // keys, but sharable read-only across workers.
+                            if build_cmp[pos] != 0 {
+                                if counting {
+                                    w.ctr.rows_out += 1;
+                                    w.ctr.ht_probes += 1;
+                                }
+                                let off = w.ht.entry(pos as i64);
+                                for (i, a) in aggs.iter().enumerate() {
+                                    let add = match a.func {
+                                        AggFunc::Sum => w.vals[i][j],
+                                        AggFunc::Count => 1,
+                                        _ => unreachable!("planner invariant"),
+                                    };
+                                    w.ht.add(off, i, add);
+                                }
+                                w.ht.set_valid(off);
+                            }
                         }
                     }
-                    for j in 0..len {
-                        let pos = fk[start + j] as usize;
-                        // Membership via the build mask: equivalent to
-                        // probing a table pre-populated with qualifying
-                        // keys, but sharable read-only across workers.
-                        if build_cmp[pos] != 0 {
+                    GroupJoinStrategy::EagerAggregation => {
+                        for j in 0..len {
+                            let pos = fk[start + j] as usize;
                             if counting {
-                                w.ctr.rows_out += 1;
+                                // Eager aggregation touches every probe row
+                                // (§ III-E); rows whose parent fails the build
+                                // filter are aggregated then deleted — wasted.
+                                let q = (build_cmp[pos] != 0) as u64;
+                                w.ctr.rows_out += q;
+                                w.ctr.wasted_lanes += 1 - q;
                                 w.ctr.ht_probes += 1;
                             }
-                            let off = w.ht.entry(pos as i64);
+                            let off = w.ht.entry(fk[start + j] as i64);
                             for (i, a) in aggs.iter().enumerate() {
                                 let add = match a.func {
                                     AggFunc::Sum => w.vals[i][j],
@@ -2413,55 +2807,14 @@ fn exec_groupjoin_agg(
                         }
                     }
                 }
-                let now_bytes = GroupJoinAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
-                charge_growth(&ctx.gauge, &mut w.charged, now_bytes);
-            },
-        )?,
-        GroupJoinStrategy::EagerAggregation => parallel::run_morsels(
-            ctx,
-            opts.threads,
-            probe.len(),
-            opts.morsel_rows,
-            init,
-            |w: &mut GroupJoinAcc, m_start, m_len| {
-                if counting {
-                    w.ctr.morsels += 1;
-                    w.ctr.rows_in += m_len as u64;
-                }
-                for (start, len) in tiles_in(m_start, m_len) {
-                    for (i, a) in aggs.iter().enumerate() {
-                        if a.func != AggFunc::Count {
-                            a.expr.eval_values(probe, start, &mut w.vals[i][..len]);
-                        }
-                    }
-                    for j in 0..len {
-                        let pos = fk[start + j] as usize;
-                        if counting {
-                            // Eager aggregation touches every probe row
-                            // (§ III-E); rows whose parent fails the build
-                            // filter are aggregated then deleted — wasted.
-                            let q = (build_cmp[pos] != 0) as u64;
-                            w.ctr.rows_out += q;
-                            w.ctr.wasted_lanes += 1 - q;
-                            w.ctr.ht_probes += 1;
-                        }
-                        let off = w.ht.entry(fk[start + j] as i64);
-                        for (i, a) in aggs.iter().enumerate() {
-                            let add = match a.func {
-                                AggFunc::Sum => w.vals[i][j],
-                                AggFunc::Count => 1,
-                                _ => unreachable!("planner invariant"),
-                            };
-                            w.ht.add(off, i, add);
-                        }
-                        w.ht.set_valid(off);
-                    }
-                }
-                let now_bytes = GroupJoinAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
-                charge_growth(&ctx.gauge, &mut w.charged, now_bytes);
-            },
-        )?,
+            }
+            let now_bytes = GroupJoinAcc::scratch_bytes(n_aggs) + w.ht.size_bytes();
+            charge_growth(&ctx.gauge, &mut w.charged, now_bytes);
+        }
     };
+    let partials = opts
+        .executor
+        .run_morsels(ctx, probe.len(), opts.morsel_rows, init, body)?;
     // Snapshot worker counters BEFORE the merge (merge_from probes through
     // self.entry(), which would pollute the counters with merge traffic).
     let mut probe_op = counting.then(|| {

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use swole_runtime::{AdmissionError, RuntimeError};
+
 /// Errors surfaced by planning or execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanError {
@@ -65,6 +67,12 @@ pub enum PlanError {
         /// failure).
         budget: usize,
     },
+    /// Admission control rejected the query before execution started: all
+    /// execution slots were busy and the bounded wait queue was full, or
+    /// the query's deadline expired before a slot freed up (see
+    /// [`crate::EngineBuilder::admission`]). Not retryable — retrying
+    /// through the fallback would bypass the very limit that rejected it.
+    Admission(AdmissionError),
     /// `i64` overflow was detected while aggregating. Pullup strategies do
     /// wasted work on filtered tuples, so the overflow may be spurious; the
     /// engine retries such queries under the data-centric strategy.
@@ -146,6 +154,7 @@ impl fmt::Display for PlanError {
                 "memory budget exceeded: requested {requested} B with {used} B \
                  charged of a {budget} B budget"
             ),
+            PlanError::Admission(err) => write!(f, "admission rejected: {err}"),
             PlanError::Overflow(what) => write!(f, "i64 overflow detected: {what}"),
             PlanError::BindMismatch(what) => write!(f, "bind mismatch: {what}"),
             PlanError::Sql { message, position } => {
@@ -159,3 +168,41 @@ impl fmt::Display for PlanError {
 }
 
 impl std::error::Error for PlanError {}
+
+/// Lift a shared-runtime failure into the engine's error space. Worker
+/// panics surface as [`PlanError::ExecutionFailed`]; everything else maps
+/// onto its structurally identical variant.
+impl From<RuntimeError> for PlanError {
+    fn from(e: RuntimeError) -> PlanError {
+        match e {
+            RuntimeError::Cancelled {
+                morsels_done,
+                morsels_total,
+            } => PlanError::Cancelled {
+                morsels_done,
+                morsels_total,
+            },
+            RuntimeError::DeadlineExceeded {
+                morsels_done,
+                morsels_total,
+            } => PlanError::DeadlineExceeded {
+                morsels_done,
+                morsels_total,
+            },
+            RuntimeError::BudgetExceeded {
+                requested,
+                used,
+                budget,
+            } => PlanError::BudgetExceeded {
+                requested,
+                used,
+                budget,
+            },
+            RuntimeError::Admission(err) => PlanError::Admission(err),
+            RuntimeError::Panic(msg) => PlanError::ExecutionFailed(msg),
+            RuntimeError::Stopped => {
+                PlanError::ExecutionFailed("execution stopped by an earlier failure".into())
+            }
+        }
+    }
+}

@@ -40,10 +40,9 @@ pub mod faults;
 pub mod interp;
 mod logical;
 pub mod metrics;
-mod parallel;
 pub mod physical;
 mod prepared;
-mod runtime;
+mod session;
 pub mod sql;
 pub mod stats;
 mod value;
@@ -51,13 +50,16 @@ mod verify;
 
 pub use cache::PlanCacheStats;
 pub use catalog::Database;
-pub use engine::{Engine, EngineBuilder, Explain, QueryResult};
+pub use engine::{Engine, EngineBuilder, Explain, QueryResult, StrategyOverrides};
 pub use error::PlanError;
 pub use expr::{AggFunc, CmpOp, Expr};
 pub use logical::{AggSpec, LogicalPlan, QueryBuilder};
 pub use metrics::{MetricsLevel, OpMetrics, QueryMetrics};
 pub use prepared::{BoundStatement, PreparedStatement};
-pub use runtime::{ExecHandle, MemGauge};
+pub use session::{QueryOptions, Session};
 pub use sql::{parse as parse_sql, ExplainMode, ParamSlot, SqlError};
+pub use swole_runtime::{
+    AdmissionConfig, AdmissionError, ExecHandle, MemGauge, MemoryPolicy, MemoryPoolStats, Priority,
+};
 pub use swole_verify::{VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport};
 pub use value::{Params, Value};

@@ -26,13 +26,21 @@
 //! # Ok::<(), swole_plan::PlanError>(())
 //! ```
 
+use std::sync::Arc;
+
 use crate::engine::{Engine, Explain, QueryResult};
 use crate::error::PlanError;
 use crate::expr::{CmpOp, Expr};
 use crate::logical::{AggSpec, LogicalPlan};
+use crate::session::QueryOptions;
 use crate::value::{Params, Value};
+use swole_runtime::CancelState;
 
 /// A planned statement template bound to an [`Engine`] session.
+///
+/// A prepared statement carries the cancellation scope and
+/// [`QueryOptions`] defaults of whoever prepared it: [`Engine::prepare`]
+/// uses the engine-wide scope, [`crate::Session::prepare`] the session's.
 ///
 /// Cloning is cheap (the template is shared per clone's `Vec` costs only;
 /// the engine handle is an `Arc`), and a prepared statement may be used
@@ -43,6 +51,8 @@ pub struct PreparedStatement {
     engine: Engine,
     template: LogicalPlan,
     param_count: usize,
+    scope: Arc<CancelState>,
+    defaults: QueryOptions,
 }
 
 /// A [`PreparedStatement`] with every placeholder substituted, ready to
@@ -51,6 +61,8 @@ pub struct PreparedStatement {
 pub struct BoundStatement {
     engine: Engine,
     plan: LogicalPlan,
+    scope: Arc<CancelState>,
+    defaults: QueryOptions,
 }
 
 impl Engine {
@@ -64,6 +76,38 @@ impl Engine {
     /// variant (bound literals feed predicate sampling, so different
     /// bindings may legitimately choose different strategies).
     pub fn prepare(&self, plan: &LogicalPlan) -> Result<PreparedStatement, PlanError> {
+        PreparedStatement::compile(
+            self,
+            plan,
+            Arc::clone(self.cancel_scope()),
+            QueryOptions::default(),
+        )
+    }
+
+    /// Prepare a SQL statement with `?` or `$n` placeholders.
+    ///
+    /// The text is parsed once; `EXPLAIN` prefixes are rejected (call
+    /// [`BoundStatement::explain`] / [`BoundStatement::explain_analyze`]
+    /// on the bound statement instead).
+    pub fn prepare_sql(&self, sql: &str) -> Result<PreparedStatement, PlanError> {
+        PreparedStatement::compile_sql(
+            self,
+            sql,
+            Arc::clone(self.cancel_scope()),
+            QueryOptions::default(),
+        )
+    }
+}
+
+impl PreparedStatement {
+    /// Validate the template and (for placeholder-free templates) seed the
+    /// plan cache. Shared by the engine- and session-level `prepare`.
+    pub(crate) fn compile(
+        engine: &Engine,
+        plan: &LogicalPlan,
+        scope: Arc<CancelState>,
+        defaults: QueryOptions,
+    ) -> Result<PreparedStatement, PlanError> {
         let mut ordinals = Vec::new();
         plan_params(plan, &mut ordinals);
         ordinals.sort_unstable();
@@ -79,23 +123,28 @@ impl Engine {
         }
         if param_count == 0 {
             // No placeholders: plan now, so the first execute() is a hit.
-            let inner = self.inner();
+            let inner = engine.inner();
             let db = inner.read_db();
-            inner.plan_cached(&db, plan)?;
+            let verify = defaults.verify.unwrap_or_else(|| inner.verify_level());
+            inner.plan_cached(&db, plan, verify)?;
         }
         Ok(PreparedStatement {
-            engine: self.clone(),
+            engine: engine.clone(),
             template: plan.clone(),
             param_count,
+            scope,
+            defaults,
         })
     }
 
-    /// Prepare a SQL statement with `?` or `$n` placeholders.
-    ///
-    /// The text is parsed once; `EXPLAIN` prefixes are rejected (call
-    /// [`BoundStatement::explain`] / [`BoundStatement::explain_analyze`]
-    /// on the bound statement instead).
-    pub fn prepare_sql(&self, sql: &str) -> Result<PreparedStatement, PlanError> {
+    /// [`PreparedStatement::compile`] from SQL text (rejecting `EXPLAIN`
+    /// prefixes).
+    pub(crate) fn compile_sql(
+        engine: &Engine,
+        sql: &str,
+        scope: Arc<CancelState>,
+        defaults: QueryOptions,
+    ) -> Result<PreparedStatement, PlanError> {
         let parsed = crate::sql::parse(sql).map_err(|e| PlanError::Sql {
             message: e.message,
             position: e.position,
@@ -107,11 +156,9 @@ impl Engine {
                     .into(),
             ));
         }
-        self.prepare(&parsed.plan)
+        PreparedStatement::compile(engine, &parsed.plan, scope, defaults)
     }
-}
 
-impl PreparedStatement {
     /// Number of placeholders the template expects.
     pub fn param_count(&self) -> usize {
         self.param_count
@@ -140,6 +187,8 @@ impl PreparedStatement {
         Ok(BoundStatement {
             engine: self.engine.clone(),
             plan,
+            scope: Arc::clone(&self.scope),
+            defaults: self.defaults,
         })
     }
 
@@ -158,9 +207,20 @@ impl BoundStatement {
 
     /// Execute through the session's plan cache with hardened-execution
     /// supervision — semantics identical to [`Engine::query`] on the bound
-    /// plan.
+    /// plan, under the scope and option defaults this statement was
+    /// prepared with.
     pub fn execute(&self) -> Result<QueryResult, PlanError> {
-        self.engine.query(&self.plan)
+        self.execute_with(&QueryOptions::default())
+    }
+
+    /// [`BoundStatement::execute`] with per-call option overrides (fields
+    /// left `None` fall back to the preparing scope's defaults, then the
+    /// engine's).
+    pub fn execute_with(&self, opts: &QueryOptions) -> Result<QueryResult, PlanError> {
+        let merged = opts.or(&self.defaults);
+        let inner = self.engine.inner();
+        let db = inner.read_db();
+        inner.query_leveled(&db, &self.plan, &self.scope, &merged, None)
     }
 
     /// EXPLAIN the bound plan (reports `plan: cached` once this statement
@@ -170,9 +230,26 @@ impl BoundStatement {
     }
 
     /// EXPLAIN ANALYZE the bound plan: execute once with metrics and
-    /// return the report.
+    /// return the report, under this statement's scope and defaults.
     pub fn explain_analyze(&self) -> Result<Explain, PlanError> {
-        self.engine.explain_analyze(&self.plan)
+        self.explain_analyze_with(&QueryOptions::default())
+    }
+
+    /// [`BoundStatement::explain_analyze`] with per-call option overrides.
+    pub fn explain_analyze_with(&self, opts: &QueryOptions) -> Result<Explain, PlanError> {
+        let merged = opts.or(&self.defaults);
+        let inner = self.engine.inner();
+        let db = inner.read_db();
+        let res = inner.query_leveled(
+            &db,
+            &self.plan,
+            &self.scope,
+            &merged,
+            Some(crate::metrics::MetricsLevel::Timings),
+        )?;
+        let mut ex = inner.explain_for(&db, &self.plan)?;
+        ex.analyze = res.metrics;
+        Ok(ex)
     }
 }
 

@@ -1,0 +1,247 @@
+//! Sessions: per-client scopes over one shared [`Engine`].
+//!
+//! An [`Engine`] is already safe to share across threads, but everything
+//! issued directly on it shares one cancellation scope and the builder's
+//! option defaults. A [`Session`] carves out a client-sized scope: its own
+//! sticky cancellation flag (cancelling one client never touches another)
+//! and its own [`QueryOptions`] defaults, while the database, plan cache,
+//! worker pool, global memory budget, and admission controller stay shared
+//! engine-wide.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::{Engine, QueryResult};
+use crate::error::PlanError;
+use crate::logical::LogicalPlan;
+use crate::metrics::MetricsLevel;
+use crate::physical::PhysicalPlan;
+use crate::prepared::PreparedStatement;
+use crate::value::Params;
+use swole_runtime::{CancelState, ExecHandle, Priority};
+use swole_verify::VerifyLevel;
+
+/// Per-query execution options. Every field is optional: `None` falls back
+/// to the session's defaults ([`Session::with_defaults`]), which in turn
+/// fall back to the engine builder's settings. Construct with the builder
+/// methods:
+///
+/// ```
+/// # use std::time::Duration;
+/// # use swole_plan::{MetricsLevel, QueryOptions};
+/// let opts = QueryOptions::new()
+///     .deadline(Duration::from_millis(50))
+///     .metrics(MetricsLevel::Counters);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Wall-clock deadline for this query, measured from submission —
+    /// queue time under admission control counts against it.
+    pub deadline: Option<Duration>,
+    /// Per-query memory budget in bytes (its charges still also draw from
+    /// the engine-wide pool, when one is configured).
+    pub memory_budget: Option<usize>,
+    /// Metrics collection level for this query.
+    pub metrics: Option<MetricsLevel>,
+    /// Static-verification level for this query's plan.
+    pub verify: Option<VerifyLevel>,
+    /// Admission and scheduling priority class for this query.
+    pub priority: Option<Priority>,
+}
+
+impl QueryOptions {
+    /// Options with every field unset (all session defaults apply).
+    pub fn new() -> QueryOptions {
+        QueryOptions::default()
+    }
+
+    /// Set the wall-clock deadline.
+    pub fn deadline(mut self, deadline: Duration) -> QueryOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the per-query memory budget in bytes.
+    pub fn memory_budget(mut self, bytes: usize) -> QueryOptions {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Set the metrics collection level.
+    pub fn metrics(mut self, level: MetricsLevel) -> QueryOptions {
+        self.metrics = Some(level);
+        self
+    }
+
+    /// Set the static-verification level.
+    pub fn verify(mut self, level: VerifyLevel) -> QueryOptions {
+        self.verify = Some(level);
+        self
+    }
+
+    /// Set the priority class.
+    pub fn priority(mut self, priority: Priority) -> QueryOptions {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// Field-wise fallback: every field set in `self` wins, every unset
+    /// field takes `base`'s value. Used to resolve per-call options
+    /// against session defaults.
+    pub fn or(self, base: &QueryOptions) -> QueryOptions {
+        QueryOptions {
+            deadline: self.deadline.or(base.deadline),
+            memory_budget: self.memory_budget.or(base.memory_budget),
+            metrics: self.metrics.or(base.metrics),
+            verify: self.verify.or(base.verify),
+            priority: self.priority.or(base.priority),
+        }
+    }
+}
+
+/// A per-client scope over a shared [`Engine`]: its own cancellation flag
+/// and its own [`QueryOptions`] defaults, with everything else — database,
+/// plan cache, worker pool, global memory budget, admission — shared.
+///
+/// Sessions are cheap to create (one allocation) and cheap to clone;
+/// clones share the *same* scope. Create one per client/connection:
+///
+/// ```
+/// # use swole_plan::{Database, Engine};
+/// let engine = Engine::builder(Database::new()).build();
+/// let alice = engine.session();
+/// let bob = engine.session();
+/// // Cancelling alice's queries leaves bob (and the engine scope) alone.
+/// alice.handle().cancel();
+/// ```
+#[derive(Clone)]
+pub struct Session {
+    engine: Engine,
+    cancel: Arc<CancelState>,
+    defaults: QueryOptions,
+}
+
+impl Engine {
+    /// Open a new session: an independent cancellation scope with its own
+    /// per-query option defaults. See [`Session`].
+    pub fn session(&self) -> Session {
+        Session {
+            engine: self.clone(),
+            cancel: Arc::new(CancelState::default()),
+            defaults: QueryOptions::default(),
+        }
+    }
+}
+
+impl Session {
+    /// Replace this session's option defaults (fields left `None` still
+    /// fall back to the engine builder's settings).
+    pub fn with_defaults(mut self, defaults: QueryOptions) -> Session {
+        self.defaults = defaults;
+        self
+    }
+
+    /// This session's option defaults.
+    pub fn defaults(&self) -> &QueryOptions {
+        &self.defaults
+    }
+
+    /// The shared engine this session scopes.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// A cancellation token for *this session's* scope. Cancellation is
+    /// sticky within the scope — in-flight and future queries of this
+    /// session fail with [`PlanError::Cancelled`] until
+    /// [`ExecHandle::reset`] — and invisible outside it: other sessions
+    /// and the engine-wide scope keep running.
+    pub fn handle(&self) -> ExecHandle {
+        ExecHandle::new(self.cancel.clone())
+    }
+
+    /// [`Engine::query`] under this session's scope and defaults.
+    pub fn query(&self, plan: &LogicalPlan) -> Result<QueryResult, PlanError> {
+        self.query_with(plan, &QueryOptions::default())
+    }
+
+    /// [`Session::query`] with per-call overrides (fields left `None`
+    /// fall back to the session defaults, then the engine's).
+    pub fn query_with(
+        &self,
+        plan: &LogicalPlan,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, PlanError> {
+        let merged = opts.or(&self.defaults);
+        let inner = self.engine.inner();
+        let db = inner.read_db();
+        inner.query_leveled(&db, plan, &self.cancel, &merged, None)
+    }
+
+    /// [`Engine::execute`] under this session's scope and defaults.
+    pub fn execute(&self, plan: &PhysicalPlan) -> Result<QueryResult, PlanError> {
+        self.execute_with(plan, &QueryOptions::default())
+    }
+
+    /// [`Session::execute`] with per-call overrides.
+    pub fn execute_with(
+        &self,
+        plan: &PhysicalPlan,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, PlanError> {
+        let merged = opts.or(&self.defaults);
+        let inner = self.engine.inner();
+        let db = inner.read_db();
+        inner.execute_physical(&db, plan, &self.cancel, &merged)
+    }
+
+    /// [`Engine::explain_analyze`] under this session's scope and
+    /// defaults.
+    pub fn explain_analyze(&self, plan: &LogicalPlan) -> Result<crate::engine::Explain, PlanError> {
+        self.explain_analyze_with(plan, &QueryOptions::default())
+    }
+
+    /// [`Session::explain_analyze`] with per-call overrides.
+    pub fn explain_analyze_with(
+        &self,
+        plan: &LogicalPlan,
+        opts: &QueryOptions,
+    ) -> Result<crate::engine::Explain, PlanError> {
+        let merged = opts.or(&self.defaults);
+        let inner = self.engine.inner();
+        let db = inner.read_db();
+        let res = inner.query_leveled(
+            &db,
+            plan,
+            &self.cancel,
+            &merged,
+            Some(MetricsLevel::Timings),
+        )?;
+        let mut ex = inner.explain_for(&db, plan)?;
+        ex.analyze = res.metrics;
+        Ok(ex)
+    }
+
+    /// [`Engine::prepare`] scoped to this session: statements bound from
+    /// the returned handle execute under the session's cancellation scope
+    /// and option defaults.
+    pub fn prepare(&self, template: &LogicalPlan) -> Result<PreparedStatement, PlanError> {
+        PreparedStatement::compile(
+            &self.engine,
+            template,
+            Arc::clone(&self.cancel),
+            self.defaults,
+        )
+    }
+
+    /// [`Engine::prepare_sql`] scoped to this session.
+    pub fn prepare_sql(&self, sql: &str) -> Result<PreparedStatement, PlanError> {
+        PreparedStatement::compile_sql(&self.engine, sql, Arc::clone(&self.cancel), self.defaults)
+    }
+
+    /// Convenience: prepare, bind `params`, and execute in one call, all
+    /// under this session's scope.
+    pub fn query_sql(&self, sql: &str, params: &Params) -> Result<QueryResult, PlanError> {
+        self.prepare_sql(sql)?.bind(params)?.execute()
+    }
+}

@@ -1,0 +1,315 @@
+//! Admission control: a bounded, priority-ordered gate in front of
+//! execution.
+//!
+//! A server multiplexing one worker pool across many clients needs to say
+//! *no* early: past the concurrency limit, queries wait in a bounded queue
+//! ordered by [`Priority`] class (FIFO within a class); past the queue
+//! bound, or once a query's deadline can no longer be met, admission fails
+//! immediately with a typed [`AdmissionError`] instead of letting work
+//! pile up invisibly.
+//!
+//! Admission hands out RAII [`AdmissionPermit`]s: dropping the permit —
+//! normal return, error, or panic unwinding — frees the slot and wakes the
+//! best queued waiter.
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::faults;
+
+/// Scheduling/admission priority class. Higher classes are admitted first
+/// and their stages are drained first by the shared pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work: bulk jobs, maintenance scans.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Latency-sensitive interactive queries.
+    High,
+}
+
+/// Why admission rejected a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// All execution slots are busy and the wait queue is at capacity.
+    QueueFull {
+        /// Configured concurrent-execution slots.
+        max_concurrent: usize,
+        /// Configured wait-queue bound.
+        queue_depth: usize,
+    },
+    /// The query's deadline expired before an execution slot freed up;
+    /// running it would only waste the slot.
+    DeadlineBeforeStart,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull {
+                max_concurrent,
+                queue_depth,
+            } => write!(
+                f,
+                "all {max_concurrent} execution slots busy and the wait \
+                 queue ({queue_depth} deep) is full"
+            ),
+            AdmissionError::DeadlineBeforeStart => {
+                write!(f, "deadline expired while waiting for an execution slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Configuration for an [`AdmissionController`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Queries allowed to execute simultaneously (at least 1).
+    pub max_concurrent: usize,
+    /// Queries allowed to wait for a slot before new arrivals are
+    /// rejected with [`AdmissionError::QueueFull`]. `0` means reject the
+    /// moment all slots are busy.
+    pub queue_depth: usize,
+}
+
+impl AdmissionConfig {
+    /// `max_concurrent` execution slots with a default 64-deep wait queue.
+    pub fn new(max_concurrent: usize) -> AdmissionConfig {
+        AdmissionConfig {
+            max_concurrent: max_concurrent.max(1),
+            queue_depth: 64,
+        }
+    }
+
+    /// Override the wait-queue bound.
+    pub fn queue_depth(mut self, depth: usize) -> AdmissionConfig {
+        self.queue_depth = depth;
+        self
+    }
+}
+
+struct Ticket {
+    priority: Priority,
+    seq: u64,
+}
+
+#[derive(Default)]
+struct AdmitState {
+    running: usize,
+    queued: Vec<Ticket>,
+    next_seq: u64,
+}
+
+impl AdmitState {
+    /// The queued ticket that should be admitted next: highest priority,
+    /// then earliest arrival.
+    fn head(&self) -> Option<u64> {
+        self.queued
+            .iter()
+            .max_by_key(|t| (t.priority, std::cmp::Reverse(t.seq)))
+            .map(|t| t.seq)
+    }
+
+    fn remove(&mut self, seq: u64) {
+        self.queued.retain(|t| t.seq != seq);
+    }
+}
+
+/// The admission gate. Shared (via `Arc`) between the engine front door
+/// and every outstanding [`AdmissionPermit`].
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    state: Mutex<AdmitState>,
+    cv: Condvar,
+}
+
+impl AdmissionController {
+    /// A controller enforcing `cfg`.
+    pub fn new(cfg: AdmissionConfig) -> AdmissionController {
+        AdmissionController {
+            cfg,
+            state: Mutex::new(AdmitState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// `(running, queued)` for observability and tests.
+    pub fn in_flight(&self) -> (usize, usize) {
+        let st = self.state.lock().expect("admission state");
+        (st.running, st.queued.len())
+    }
+
+    /// Wait for an execution slot. Returns immediately when one is free
+    /// (and no higher-claim query is queued); otherwise joins the bounded
+    /// wait queue. Fails fast when the queue is full or when `deadline`
+    /// expires before a slot frees up — a query that cannot start before
+    /// its deadline is rejected rather than admitted to die.
+    pub fn admit(
+        self: &Arc<Self>,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> Result<AdmissionPermit, AdmissionError> {
+        let mut st = self.state.lock().expect("admission state");
+        if st.running < self.cfg.max_concurrent && st.queued.is_empty() {
+            st.running += 1;
+            return Ok(AdmissionPermit {
+                ctrl: Arc::clone(self),
+            });
+        }
+        if deadline.is_some_and(|d| faults::now() >= d) {
+            return Err(AdmissionError::DeadlineBeforeStart);
+        }
+        if st.queued.len() >= self.cfg.queue_depth {
+            return Err(AdmissionError::QueueFull {
+                max_concurrent: self.cfg.max_concurrent,
+                queue_depth: self.cfg.queue_depth,
+            });
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queued.push(Ticket { priority, seq });
+        loop {
+            if st.running < self.cfg.max_concurrent && st.head() == Some(seq) {
+                st.remove(seq);
+                st.running += 1;
+                // More slots may be free for the next head.
+                self.cv.notify_all();
+                return Ok(AdmissionPermit {
+                    ctrl: Arc::clone(self),
+                });
+            }
+            st = match deadline {
+                Some(d) => {
+                    let now = faults::now();
+                    if now >= d {
+                        st.remove(seq);
+                        // Our departure may unblock a lower-priority head.
+                        self.cv.notify_all();
+                        return Err(AdmissionError::DeadlineBeforeStart);
+                    }
+                    let (guard, _) = self.cv.wait_timeout(st, d - now).expect("admission state");
+                    guard
+                }
+                None => self.cv.wait(st).expect("admission state"),
+            };
+        }
+    }
+}
+
+/// RAII execution slot handed out by [`AdmissionController::admit`].
+/// Dropping it frees the slot and wakes the best queued waiter.
+pub struct AdmissionPermit {
+    ctrl: Arc<AdmissionController>,
+}
+
+impl fmt::Debug for AdmissionPermit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdmissionPermit").finish_non_exhaustive()
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut st = self.ctrl.state.lock().expect("admission state");
+        st.running = st.running.saturating_sub(1);
+        drop(st);
+        self.ctrl.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn slots_are_bounded_and_queue_rejects_when_full() {
+        let ctrl = Arc::new(AdmissionController::new(
+            AdmissionConfig::new(1).queue_depth(0),
+        ));
+        let held = ctrl.admit(Priority::Normal, None).expect("first in");
+        let err = ctrl
+            .admit(Priority::Normal, None)
+            .expect_err("no slot, no queue");
+        assert_eq!(
+            err,
+            AdmissionError::QueueFull {
+                max_concurrent: 1,
+                queue_depth: 0,
+            }
+        );
+        drop(held);
+        let _second = ctrl.admit(Priority::Normal, None).expect("slot freed");
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_without_queueing() {
+        let ctrl = Arc::new(AdmissionController::new(
+            AdmissionConfig::new(1).queue_depth(8),
+        ));
+        let _held = ctrl.admit(Priority::Normal, None).expect("first in");
+        let past = Instant::now() - Duration::from_millis(1);
+        let err = ctrl
+            .admit(Priority::Normal, Some(past))
+            .expect_err("deadline already gone");
+        assert_eq!(err, AdmissionError::DeadlineBeforeStart);
+        assert_eq!(ctrl.in_flight(), (1, 0), "rejected query must not linger");
+    }
+
+    #[test]
+    fn queued_deadline_expires_while_waiting() {
+        let ctrl = Arc::new(AdmissionController::new(
+            AdmissionConfig::new(1).queue_depth(8),
+        ));
+        let _held = ctrl.admit(Priority::Normal, None).expect("first in");
+        let soon = Instant::now() + Duration::from_millis(20);
+        let err = ctrl
+            .admit(Priority::Normal, Some(soon))
+            .expect_err("slot never frees");
+        assert_eq!(err, AdmissionError::DeadlineBeforeStart);
+        assert_eq!(ctrl.in_flight(), (1, 0));
+    }
+
+    #[test]
+    fn higher_priority_waiters_are_admitted_first() {
+        let ctrl = Arc::new(AdmissionController::new(
+            AdmissionConfig::new(1).queue_depth(8),
+        ));
+        let held = ctrl.admit(Priority::Normal, None).expect("first in");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let spawn = |prio: Priority, tag: &'static str| {
+            let ctrl = Arc::clone(&ctrl);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                let permit = ctrl.admit(prio, None).expect("eventually admitted");
+                order.lock().expect("order").push(tag);
+                // Hold briefly so admission order is observable.
+                std::thread::sleep(Duration::from_millis(5));
+                drop(permit);
+            })
+        };
+        let low = spawn(Priority::Low, "low");
+        // Make sure the low-priority ticket is queued first.
+        while ctrl.in_flight().1 < 1 {
+            std::thread::yield_now();
+        }
+        let high = spawn(Priority::High, "high");
+        while ctrl.in_flight().1 < 2 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        low.join().expect("low waiter");
+        high.join().expect("high waiter");
+        assert_eq!(*order.lock().expect("order"), vec!["high", "low"]);
+    }
+}

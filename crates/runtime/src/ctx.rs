@@ -1,0 +1,212 @@
+//! Per-query execution context: cancellation, deadlines, budgets,
+//! progress.
+//!
+//! One [`ExecCtx`] is created per query and shared (via `Arc`) with every
+//! morsel worker. Workers consult it at morsel boundaries (cooperative
+//! cancellation — there is no preemption) and charge its gauge before
+//! materializing temporaries (masks, bitmaps, hash tables, per-worker
+//! scratch). All counters are relaxed atomics; the context adds no
+//! synchronization to the tile loops themselves.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::admission::Priority;
+use crate::error::RuntimeError;
+use crate::faults;
+use crate::gauge::{GlobalMemoryPool, MemGauge};
+
+/// Shared cancellation flag behind [`ExecHandle`]. One `CancelState` scopes
+/// cancellation: every query started under the same state observes the
+/// same flag, and queries under a different state are untouched.
+#[derive(Debug, Default)]
+pub struct CancelState {
+    cancelled: AtomicBool,
+}
+
+/// Cancellation token for an engine session.
+///
+/// Cloneable and sendable, so it can cancel a query running on another
+/// thread. Cancellation is cooperative: workers observe it at their next
+/// morsel boundary and the query returns [`RuntimeError::Cancelled`] with
+/// partial-progress counts.
+///
+/// The flag is **sticky per scope**: once cancelled, every current *and
+/// future* query under the same scope (engine or session) fails until
+/// [`ExecHandle::reset`] clears it. It never leaks across scopes — each
+/// session carries its own `CancelState`, so cancelling one session does
+/// not affect queries admitted on the engine or on other sessions.
+#[derive(Debug, Clone)]
+pub struct ExecHandle {
+    state: Arc<CancelState>,
+}
+
+impl ExecHandle {
+    /// Wrap a cancel scope in a handle.
+    pub fn new(state: Arc<CancelState>) -> ExecHandle {
+        ExecHandle { state }
+    }
+
+    /// Request cancellation of the scope's in-flight (and future) queries.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`ExecHandle::cancel`] has been called (and not reset).
+    pub fn is_cancelled(&self) -> bool {
+        self.state.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Clear the cancellation flag so the scope accepts queries again.
+    pub fn reset(&self) {
+        self.state.cancelled.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Per-query execution context: cancellation, deadline, budget, progress.
+///
+/// Registers with the global memory pool (if any) on creation and returns
+/// its held bytes on drop, so pool accounting is correct even when a query
+/// errors out mid-flight.
+pub struct ExecCtx {
+    cancel: Arc<CancelState>,
+    /// Absolute deadline on the (possibly fault-skewed) deadline clock.
+    deadline: Option<Instant>,
+    /// The query's memory gauge.
+    pub gauge: MemGauge,
+    priority: Priority,
+    global: Option<Arc<GlobalMemoryPool>>,
+    /// Set when any worker panics; siblings exit at their next boundary.
+    tripped: AtomicBool,
+    morsels_done: AtomicUsize,
+    morsels_total: AtomicUsize,
+}
+
+impl ExecCtx {
+    /// A context for one query. `deadline` is absolute; compute it from
+    /// the query's timeout *before* admission so time spent queued counts
+    /// against it.
+    pub fn new(
+        cancel: Arc<CancelState>,
+        deadline: Option<Instant>,
+        budget: Option<usize>,
+        global: Option<Arc<GlobalMemoryPool>>,
+        priority: Priority,
+    ) -> ExecCtx {
+        if let Some(pool) = &global {
+            pool.register();
+        }
+        ExecCtx {
+            cancel,
+            deadline,
+            gauge: MemGauge::hierarchical(budget, global.clone()),
+            priority,
+            global,
+            tripped: AtomicBool::new(false),
+            morsels_done: AtomicUsize::new(0),
+            morsels_total: AtomicUsize::new(0),
+        }
+    }
+
+    /// A context with no handle, deadline, or budget (tests, benches).
+    pub fn unbounded() -> ExecCtx {
+        ExecCtx::new(
+            Arc::new(CancelState::default()),
+            None,
+            None,
+            None,
+            Priority::Normal,
+        )
+    }
+
+    /// The cooperative check run at every morsel boundary (and once before
+    /// dispatch, so zero-morsel inputs still observe a 0ms deadline).
+    /// Cancellation wins over deadline expiry when both hold.
+    pub fn check(&self) -> Result<(), RuntimeError> {
+        if self.cancel.cancelled.load(Ordering::Relaxed) {
+            return Err(RuntimeError::Cancelled {
+                morsels_done: self.morsels_done.load(Ordering::Relaxed),
+                morsels_total: self.morsels_total.load(Ordering::Relaxed),
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            if faults::now() >= deadline {
+                return Err(RuntimeError::DeadlineExceeded {
+                    morsels_done: self.morsels_done.load(Ordering::Relaxed),
+                    morsels_total: self.morsels_total.load(Ordering::Relaxed),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Mark the context failed so sibling workers stop claiming morsels.
+    pub fn trip(&self) {
+        self.tripped.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a worker (or an earlier phase) has failed.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Record one fully processed morsel.
+    pub fn morsel_done(&self) {
+        self.morsels_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` morsels to the scheduled total (once per stage).
+    pub fn add_morsels_total(&self, n: usize) {
+        self.morsels_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `(morsels_done, morsels_total)` for progress reporting.
+    pub fn progress(&self) -> (usize, usize) {
+        (
+            self.morsels_done.load(Ordering::Relaxed),
+            self.morsels_total.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The query's admission/scheduling priority class.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+}
+
+impl Drop for ExecCtx {
+    fn drop(&mut self) {
+        if let Some(pool) = &self.global {
+            pool.unregister(self.gauge.parent_charged());
+        }
+    }
+}
+
+/// Charge the gauge from a context where returning `Err` is impossible
+/// (worker init closures, hash-table growth inside a tile loop). A failed
+/// charge panics with the typed error as payload; the worker's
+/// `catch_unwind` harness downcasts it back to the original
+/// [`RuntimeError`].
+pub fn charge_or_panic(gauge: &MemGauge, bytes: usize) {
+    if let Err(e) = gauge.try_charge(bytes) {
+        std::panic::panic_any(e);
+    }
+}
+
+/// Convert a caught panic payload back into a typed error. Payloads thrown
+/// via `panic_any(RuntimeError)` (budget charges inside infallible code)
+/// pass through unchanged; string panics become [`RuntimeError::Panic`].
+pub fn panic_payload_error(payload: Box<dyn std::any::Any + Send>) -> RuntimeError {
+    if let Some(e) = payload.downcast_ref::<RuntimeError>() {
+        return e.clone();
+    }
+    let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    };
+    RuntimeError::Panic(msg)
+}

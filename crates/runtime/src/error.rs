@@ -1,0 +1,100 @@
+//! Typed runtime failures.
+
+use std::fmt;
+
+use crate::admission::AdmissionError;
+
+/// Failures surfaced by the execution runtime. The query layer
+/// (`swole-plan`) converts these into its own error type; nothing here
+/// knows about plans or SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The query was cancelled through an [`crate::ExecHandle`].
+    Cancelled {
+        /// Morsels fully processed before the cancellation took effect.
+        morsels_done: usize,
+        /// Morsels the execution had scheduled in total.
+        morsels_total: usize,
+    },
+    /// The query's deadline elapsed mid-execution.
+    DeadlineExceeded {
+        /// Morsels fully processed before the deadline tripped.
+        morsels_done: usize,
+        /// Morsels the execution had scheduled in total.
+        morsels_total: usize,
+    },
+    /// A memory charge would push a gauge (or the global pool) past its
+    /// budget.
+    BudgetExceeded {
+        /// Bytes the failing allocation site asked for.
+        requested: usize,
+        /// Bytes already charged against the failing budget.
+        used: usize,
+        /// The failing budget in bytes (0 for an injected allocation
+        /// failure).
+        budget: usize,
+    },
+    /// The query was rejected before execution started.
+    Admission(AdmissionError),
+    /// A worker panicked; the panic was contained to the stage and its
+    /// message captured here.
+    Panic(String),
+    /// The stage stopped because an earlier phase of the same query
+    /// tripped the context; no error of its own was recorded.
+    Stopped,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Cancelled {
+                morsels_done,
+                morsels_total,
+            } => write!(
+                f,
+                "query cancelled after {morsels_done}/{morsels_total} morsels"
+            ),
+            RuntimeError::DeadlineExceeded {
+                morsels_done,
+                morsels_total,
+            } => write!(
+                f,
+                "deadline exceeded after {morsels_done}/{morsels_total} morsels"
+            ),
+            RuntimeError::BudgetExceeded {
+                requested,
+                used,
+                budget,
+            } => write!(
+                f,
+                "memory budget exceeded: requested {requested} B with {used} B \
+                 charged of a {budget} B budget"
+            ),
+            RuntimeError::Admission(e) => write!(f, "admission rejected: {e}"),
+            RuntimeError::Panic(msg) => write!(f, "worker panicked: {msg}"),
+            RuntimeError::Stopped => {
+                write!(f, "execution stopped by an earlier failure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Pick the most actionable error when several workers failed at once:
+/// budget exhaustion identifies the *cause*, a generic panic the symptom,
+/// and cancellation/deadline merely the stop request.
+pub(crate) fn pick_error(errors: Vec<RuntimeError>) -> RuntimeError {
+    let rank = |e: &RuntimeError| match e {
+        RuntimeError::BudgetExceeded { .. } => 0,
+        RuntimeError::Panic(_) => 1,
+        RuntimeError::Admission(_) => 2,
+        RuntimeError::Cancelled { .. } => 3,
+        RuntimeError::DeadlineExceeded { .. } => 4,
+        RuntimeError::Stopped => 5,
+    };
+    errors
+        .into_iter()
+        .min_by_key(rank)
+        .unwrap_or_else(|| RuntimeError::Panic("worker failed without an error".into()))
+}

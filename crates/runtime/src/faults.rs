@@ -1,0 +1,128 @@
+//! Fault-injection harness for hardening tests.
+//!
+//! The hooks here let tests force the failures the execution-hardening
+//! layer exists to contain — a worker panic at a chosen morsel index, an
+//! allocation failure at a chosen memory charge, or clock skew that makes
+//! deadlines fire early — without conditional compilation. Every hook is a
+//! process-global that is **disarmed by default** and costs one relaxed
+//! atomic load on the hot path, so the harness is always compiled in and
+//! release binaries behave identically unless a test arms it.
+//!
+//! Arming returns a [`FaultGuard`]; dropping the guard disarms every hook,
+//! so a panicking test cannot leak a fault into its neighbours. Panic and
+//! allocation faults are additionally *one-shot*: they disarm themselves
+//! the moment they fire, so the engine's retry-under-fallback path does not
+//! re-trip the same fault.
+//!
+//! Because the hooks are process-global, tests that arm them must not run
+//! concurrently with each other; serialize them with a `Mutex` (see
+//! `tests/fault_injection.rs` in the workspace root).
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Morsel index at which a worker panic fires (`-1` = disarmed).
+static PANIC_AT_MORSEL: AtomicI64 = AtomicI64::new(-1);
+/// One-shot flag making the next plan lowered for static verification report
+/// an allocation site that skips its memory charge.
+static UNCHARGED_ALLOC: AtomicBool = AtomicBool::new(false);
+/// Countdown of memory charges until one fails (`-1` = disarmed; the charge
+/// observing `0` fails and disarms the hook).
+static ALLOC_FAIL_COUNTDOWN: AtomicI64 = AtomicI64::new(-1);
+/// Milliseconds added to every deadline-clock read (`0` = no skew).
+static CLOCK_SKEW_MS: AtomicU64 = AtomicU64::new(0);
+
+/// RAII guard returned by the `inject_*` functions; disarms **all** fault
+/// hooks when dropped.
+#[must_use = "faults stay armed only while the guard is alive"]
+pub struct FaultGuard {
+    _priv: (),
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        disarm_all();
+    }
+}
+
+/// Disarm every fault hook immediately (also done by [`FaultGuard::drop`]).
+pub fn disarm_all() {
+    PANIC_AT_MORSEL.store(-1, Ordering::SeqCst);
+    ALLOC_FAIL_COUNTDOWN.store(-1, Ordering::SeqCst);
+    CLOCK_SKEW_MS.store(0, Ordering::SeqCst);
+    UNCHARGED_ALLOC.store(false, Ordering::SeqCst);
+}
+
+/// Arm a one-shot worker panic at morsel `index` (zero-based, in claim
+/// order). Morsel indices are derived from row offsets, so the same index
+/// denotes the same rows at any thread count — and on the shared pool.
+pub fn inject_panic_at_morsel(index: usize) -> FaultGuard {
+    PANIC_AT_MORSEL.store(index as i64, Ordering::SeqCst);
+    FaultGuard { _priv: () }
+}
+
+/// Arm a one-shot allocation failure: the `nth` memory charge (zero-based)
+/// made through a [`crate::MemGauge`] after this call reports
+/// [`crate::RuntimeError::BudgetExceeded`] regardless of the actual budget.
+pub fn inject_alloc_failure_at_charge(nth: usize) -> FaultGuard {
+    ALLOC_FAIL_COUNTDOWN.store(nth as i64, Ordering::SeqCst);
+    FaultGuard { _priv: () }
+}
+
+/// Arm a one-shot uncharged-allocation fault: the next plan lowered for
+/// static verification presents one allocation site as *not* charging the
+/// memory gauge, so a full verification pass must reject it. Exercises the
+/// verifier's resource-accounting pass end-to-end through the engine.
+pub fn inject_uncharged_alloc() -> FaultGuard {
+    UNCHARGED_ALLOC.store(true, Ordering::SeqCst);
+    FaultGuard { _priv: () }
+}
+
+/// Plan-time hook: `true` exactly once after [`inject_uncharged_alloc`].
+/// Consulted by the plan layer when lowering a plan for static
+/// verification; not a hot-path hook.
+pub fn take_uncharged_alloc() -> bool {
+    UNCHARGED_ALLOC.swap(false, Ordering::SeqCst)
+}
+
+/// Skew the deadline clock forward by `by`, making in-flight deadlines
+/// appear already elapsed. Stays armed until the guard drops.
+pub fn inject_clock_skew(by: Duration) -> FaultGuard {
+    CLOCK_SKEW_MS.store(by.as_millis() as u64, Ordering::SeqCst);
+    FaultGuard { _priv: () }
+}
+
+/// Hot-path hook: panic if a one-shot panic is armed for this morsel.
+pub(crate) fn maybe_panic_at_morsel(index: usize) {
+    let target = PANIC_AT_MORSEL.load(Ordering::Relaxed);
+    if target >= 0
+        && target as usize == index
+        && PANIC_AT_MORSEL
+            .compare_exchange(target, -1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    {
+        panic!("injected fault: worker panic at morsel {index}");
+    }
+}
+
+/// Hot-path hook: `true` exactly once, on the charge the countdown reaches.
+pub(crate) fn charge_should_fail() -> bool {
+    if ALLOC_FAIL_COUNTDOWN.load(Ordering::Relaxed) < 0 {
+        return false;
+    }
+    ALLOC_FAIL_COUNTDOWN
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+            if v < 0 {
+                None
+            } else {
+                Some(v - 1)
+            }
+        })
+        .map(|prev| prev == 0)
+        .unwrap_or(false)
+}
+
+/// The deadline clock: wall time plus any injected skew.
+pub(crate) fn now() -> Instant {
+    Instant::now() + Duration::from_millis(CLOCK_SKEW_MS.load(Ordering::Relaxed))
+}

@@ -1,0 +1,740 @@
+//! Morsel-driven executors: per-query scoped workers and the shared pool.
+//!
+//! Both executors partition each scan into tile-aligned morsels claimed
+//! from a shared atomic counter — classic morsel-driven scheduling: cheap
+//! dynamic load balancing, no work queues — and fold rows into
+//! **thread-local** accumulators (scalar slots, hash tables, bitmaps). The
+//! caller merges the per-worker partials; because every merge (i64 add,
+//! min, max, bitmap OR) is commutative and associative, and group-by
+//! output is sorted, results are bit-identical at any thread count *and*
+//! at any pool concurrency.
+//!
+//! [`Executor::Scoped`] is the original model: `threads` workers on
+//! `std::thread::scope`, joined before the stage returns; `threads == 1`
+//! runs the worker body inline on the caller's thread, so single-thread
+//! execution has no parallel tax.
+//!
+//! [`Executor::Pool`] multiplexes morsels from N concurrent queries over a
+//! fixed [`WorkerPool`]. Each stage keeps its own private [`MorselQueue`]
+//! (identical partitioning to solo execution); pool workers round-robin
+//! across registered stages within the highest present [`Priority`] class,
+//! claiming **one morsel per visit** so a long scan cannot monopolize the
+//! pool. Accumulators live in a per-stage free list: a worker checks one
+//! out per morsel and returns it afterwards, so the number of partials
+//! stays bounded by the number of threads that ever touched the stage.
+//! The submitting thread participates in its own stage, which both bounds
+//! latency under load and guarantees progress if the pool is saturated.
+//!
+//! **Hardening:** every morsel body (and accumulator init) runs under
+//! `catch_unwind`. A panic trips the stage's [`ExecCtx`], sibling claims
+//! stop at the next boundary, and the panic surfaces as a typed
+//! [`RuntimeError`] — the process (and the pool's worker threads) keep
+//! running. The same morsel boundary is the cooperative
+//! cancellation/deadline check, and the claimed morsel index feeds the
+//! fault-injection harness.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::admission::Priority;
+use crate::ctx::{panic_payload_error, ExecCtx};
+use crate::error::{pick_error, RuntimeError};
+use crate::faults;
+use swole_kernels::TILE;
+
+/// A shared dispenser of tile-aligned morsel bounds over `0..n_rows`.
+struct MorselQueue {
+    next: AtomicUsize,
+    n_rows: usize,
+    /// Rows per claim; always a whole number of tiles.
+    step: usize,
+}
+
+impl MorselQueue {
+    fn new(n_rows: usize, morsel_rows: usize) -> MorselQueue {
+        MorselQueue {
+            next: AtomicUsize::new(0),
+            n_rows,
+            step: morsel_rows.div_ceil(TILE).max(1) * TILE,
+        }
+    }
+
+    /// Claim the next `(start, len, index)` morsel, or `None` when the scan
+    /// is exhausted. The index is `start / step`, so a given index names
+    /// the same rows at any thread count — what makes injected faults
+    /// deterministic.
+    fn claim(&self) -> Option<(usize, usize, usize)> {
+        let start = self.next.fetch_add(self.step, Ordering::Relaxed);
+        if start >= self.n_rows {
+            return None;
+        }
+        Some((start, self.step.min(self.n_rows - start), start / self.step))
+    }
+
+    fn total(&self) -> usize {
+        self.n_rows.div_ceil(self.step)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scoped executor (per-query worker threads)
+// ---------------------------------------------------------------------------
+
+/// How a scoped worker left its claim loop.
+enum Exit<T> {
+    /// Queue exhausted; the worker's partial accumulator.
+    Done(T),
+    /// The worker itself hit a failure (panic, cancellation, deadline,
+    /// budget charge).
+    Interrupt(RuntimeError),
+    /// A sibling tripped the context; this worker stopped early and its
+    /// partial is meaningless.
+    Stopped,
+}
+
+/// Why the claim loop stopped before the queue was exhausted.
+enum Stop {
+    Interrupt(RuntimeError),
+    Sibling,
+}
+
+/// One scoped worker: init an accumulator, then claim morsels until the
+/// queue is dry, the context trips, or a cooperative check fails. The
+/// whole loop — including `init`, so budget charges for worker scratch are
+/// covered — runs under `catch_unwind`.
+fn run_worker<T, I, B>(ctx: &ExecCtx, queue: &MorselQueue, init: &I, body: &B) -> Exit<T>
+where
+    I: Fn() -> T,
+    B: Fn(&mut T, usize, usize),
+{
+    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<T, Stop> {
+        let mut local = init();
+        loop {
+            if ctx.tripped() {
+                return Err(Stop::Sibling);
+            }
+            if let Err(e) = ctx.check() {
+                return Err(Stop::Interrupt(e));
+            }
+            let Some((start, len, index)) = queue.claim() else {
+                return Ok(local);
+            };
+            faults::maybe_panic_at_morsel(index);
+            body(&mut local, start, len);
+            ctx.morsel_done();
+        }
+    }));
+    match caught {
+        Ok(Ok(local)) => Exit::Done(local),
+        Ok(Err(Stop::Interrupt(e))) => {
+            ctx.trip();
+            Exit::Interrupt(e)
+        }
+        Ok(Err(Stop::Sibling)) => Exit::Stopped,
+        Err(payload) => {
+            ctx.trip();
+            Exit::Interrupt(panic_payload_error(payload))
+        }
+    }
+}
+
+fn run_scoped<T, I, B>(
+    ctx: &ExecCtx,
+    threads: usize,
+    queue: &MorselQueue,
+    init: &I,
+    body: &B,
+) -> Result<Vec<T>, RuntimeError>
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    B: Fn(&mut T, usize, usize) + Sync,
+{
+    let exits: Vec<Exit<T>> = if threads <= 1 {
+        vec![run_worker(ctx, queue, init, body)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(move || run_worker(ctx, queue, init, body)))
+                .collect();
+            handles
+                .into_iter()
+                // The worker caught its own panics, so join never fails.
+                .map(|h| h.join().unwrap_or(Exit::Stopped))
+                .collect()
+        })
+    };
+    let mut partials = Vec::with_capacity(exits.len());
+    let mut errors = Vec::new();
+    let mut stopped = false;
+    for exit in exits {
+        match exit {
+            Exit::Done(t) => partials.push(t),
+            Exit::Interrupt(e) => errors.push(e),
+            Exit::Stopped => stopped = true,
+        }
+    }
+    if !errors.is_empty() {
+        return Err(pick_error(errors));
+    }
+    if stopped {
+        // Tripped by a failure in an earlier phase of the same query.
+        return Err(RuntimeError::Stopped);
+    }
+    Ok(partials)
+}
+
+// ---------------------------------------------------------------------------
+// Shared worker pool
+// ---------------------------------------------------------------------------
+
+/// A registered unit of pool work: one stage of one query. Pool workers
+/// only see this type-erased face; the accumulator type stays with the
+/// submitting thread.
+trait StageTask: Send + Sync {
+    /// Claim and process at most one morsel. `false` means the stage has
+    /// no further work for this worker (exhausted, failed, or tripped) and
+    /// should be dropped from the registry.
+    fn step(&self) -> bool;
+}
+
+/// Stage state shared between the submitter and pool workers.
+struct Stage<T, I, B> {
+    ctx: Arc<ExecCtx>,
+    queue: MorselQueue,
+    init: I,
+    body: B,
+    /// Idle accumulators. A worker checks one out per morsel (creating one
+    /// via `init` only when the list is empty) and returns it afterwards,
+    /// so partial count ≤ distinct threads that ever ran a morsel.
+    free: Mutex<Vec<T>>,
+    errors: Mutex<Vec<RuntimeError>>,
+    /// Morsels currently being processed. Incremented *before* claiming,
+    /// so an observer that sees the queue dry and `outstanding == 0` knows
+    /// no claimed morsel is still mid-flight.
+    outstanding: AtomicUsize,
+    exhausted: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl<T, I, B> Stage<T, I, B>
+where
+    T: Send + 'static,
+    I: Fn() -> T + Send + Sync + 'static,
+    B: Fn(&mut T, usize, usize) + Send + Sync + 'static,
+{
+    fn new(ctx: Arc<ExecCtx>, queue: MorselQueue, init: I, body: B) -> Stage<T, I, B> {
+        Stage {
+            ctx,
+            queue,
+            init,
+            body,
+            free: Mutex::new(Vec::new()),
+            errors: Mutex::new(Vec::new()),
+            outstanding: AtomicUsize::new(0),
+            exhausted: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn checkout(&self) -> T {
+        if let Some(acc) = self.free.lock().expect("stage free list").pop() {
+            return acc;
+        }
+        (self.init)()
+    }
+
+    fn fail(&self, e: RuntimeError) {
+        self.ctx.trip();
+        self.errors.lock().expect("stage error list").push(e);
+        self.exhausted.store(true, Ordering::Release);
+        self.maybe_finish();
+    }
+
+    /// Signal the submitter once no further morsel can be (or is being)
+    /// processed. Safe against late claimers: `outstanding` is raised
+    /// before any claim, and the queue is monotonic, so once it reports
+    /// dry with `outstanding == 0` no partial can appear afterwards on the
+    /// success path.
+    fn maybe_finish(&self) {
+        let stop = self.exhausted.load(Ordering::Acquire) || self.ctx.tripped();
+        if !stop || self.outstanding.load(Ordering::Acquire) != 0 {
+            return;
+        }
+        let mut done = self.done.lock().expect("stage done flag");
+        if !*done {
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn wait_done(&self) {
+        let mut done = self.done.lock().expect("stage done flag");
+        while !*done {
+            done = self.done_cv.wait(done).expect("stage done flag");
+        }
+    }
+
+    /// Drain partials and errors (submitter only, after `wait_done`).
+    fn finish(&self) -> (Vec<T>, Vec<RuntimeError>) {
+        let partials = std::mem::take(&mut *self.free.lock().expect("stage free list"));
+        let errors = std::mem::take(&mut *self.errors.lock().expect("stage error list"));
+        (partials, errors)
+    }
+}
+
+impl<T, I, B> StageTask for Stage<T, I, B>
+where
+    T: Send + 'static,
+    I: Fn() -> T + Send + Sync + 'static,
+    B: Fn(&mut T, usize, usize) + Send + Sync + 'static,
+{
+    fn step(&self) -> bool {
+        if self.ctx.tripped() || self.exhausted.load(Ordering::Acquire) {
+            self.maybe_finish();
+            return false;
+        }
+        if let Err(e) = self.ctx.check() {
+            self.fail(e);
+            return false;
+        }
+        // Reserve before claiming so a concurrent observer cannot see the
+        // queue dry with this morsel still mid-flight.
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        let Some((start, len, index)) = self.queue.claim() else {
+            self.exhausted.store(true, Ordering::Release);
+            self.outstanding.fetch_sub(1, Ordering::AcqRel);
+            self.maybe_finish();
+            return false;
+        };
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            faults::maybe_panic_at_morsel(index);
+            let mut acc = self.checkout();
+            (self.body)(&mut acc, start, len);
+            self.ctx.morsel_done();
+            self.free.lock().expect("stage free list").push(acc);
+        }));
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        match run {
+            Ok(()) => {
+                self.maybe_finish();
+                true
+            }
+            Err(payload) => {
+                self.fail(panic_payload_error(payload));
+                false
+            }
+        }
+    }
+}
+
+struct RegisteredStage {
+    id: u64,
+    priority: Priority,
+    task: Arc<dyn StageTask>,
+}
+
+#[derive(Default)]
+struct Registry {
+    stages: Vec<RegisteredStage>,
+    next_id: u64,
+    rr: usize,
+}
+
+struct PoolShared {
+    registry: Mutex<Registry>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A fixed set of persistent worker threads multiplexing morsels from
+/// every stage registered with the pool.
+///
+/// Workers pick the next stage by [`Priority`] class (higher classes
+/// starve lower ones by design) and round-robin within the class, running
+/// one morsel per visit. Dropping the pool shuts the workers down; stages
+/// in flight still complete because their submitting threads keep
+/// stepping.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `workers` persistent threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            registry: Mutex::new(Registry::default()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("swole-pool-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+        }
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn register(&self, priority: Priority, task: Arc<dyn StageTask>) -> u64 {
+        let mut reg = self.shared.registry.lock().expect("pool registry");
+        let id = reg.next_id;
+        reg.next_id += 1;
+        reg.stages.push(RegisteredStage { id, priority, task });
+        drop(reg);
+        self.shared.work_cv.notify_all();
+        id
+    }
+
+    fn unregister(&self, id: u64) {
+        let mut reg = self.shared.registry.lock().expect("pool registry");
+        reg.stages.retain(|s| s.id != id);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    while let Some((id, task)) = next_task(&shared) {
+        if !task.step() {
+            // Stage out of work; drop it from the registry so idle workers
+            // stop revisiting it (the submitter's unregister is a no-op
+            // then).
+            let mut reg = shared.registry.lock().expect("pool registry");
+            reg.stages.retain(|s| s.id != id);
+        }
+    }
+}
+
+fn next_task(shared: &PoolShared) -> Option<(u64, Arc<dyn StageTask>)> {
+    let mut reg = shared.registry.lock().expect("pool registry");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        if let Some(pick) = pick_stage(&mut reg) {
+            return Some(pick);
+        }
+        reg = shared.work_cv.wait(reg).expect("pool registry");
+    }
+}
+
+/// Round-robin over the stages of the highest priority class present.
+fn pick_stage(reg: &mut Registry) -> Option<(u64, Arc<dyn StageTask>)> {
+    let top = reg.stages.iter().map(|s| s.priority).max()?;
+    let class: Vec<usize> = reg
+        .stages
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.priority == top)
+        .map(|(i, _)| i)
+        .collect();
+    let chosen = class[reg.rr % class.len()];
+    reg.rr = reg.rr.wrapping_add(1);
+    let stage = &reg.stages[chosen];
+    Some((stage.id, Arc::clone(&stage.task)))
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Where a query's morsels run.
+pub enum Executor {
+    /// Per-query scoped workers: `threads` threads spawned per stage and
+    /// joined before it returns (`<= 1` runs inline on the caller).
+    Scoped {
+        /// Worker threads per stage.
+        threads: usize,
+    },
+    /// A fixed shared pool multiplexing morsels from all concurrent
+    /// queries.
+    Pool(WorkerPool),
+}
+
+impl Executor {
+    /// The scoped (per-query threads) executor.
+    pub fn scoped(threads: usize) -> Executor {
+        Executor::Scoped {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A shared-pool executor with `workers` persistent threads.
+    pub fn pool(workers: usize) -> Executor {
+        Executor::Pool(WorkerPool::new(workers))
+    }
+
+    /// `true` when queries share a fixed worker pool.
+    pub fn is_pool(&self) -> bool {
+        matches!(self, Executor::Pool(_))
+    }
+
+    /// Run `body` over every morsel of `0..n_rows`, folding into
+    /// `init()`-built accumulators. Returns all per-worker accumulators
+    /// (at least one, even for zero-row inputs) for the caller's merge
+    /// phase, or the highest-priority failure if any worker was
+    /// interrupted.
+    ///
+    /// The closures must be `'static` because pool workers outlive the
+    /// call stack; capture table data via `Arc`.
+    pub fn run_morsels<T, I, B>(
+        &self,
+        ctx: &Arc<ExecCtx>,
+        n_rows: usize,
+        morsel_rows: usize,
+        init: I,
+        body: B,
+    ) -> Result<Vec<T>, RuntimeError>
+    where
+        T: Send + 'static,
+        I: Fn() -> T + Send + Sync + 'static,
+        B: Fn(&mut T, usize, usize) + Send + Sync + 'static,
+    {
+        let queue = MorselQueue::new(n_rows, morsel_rows);
+        ctx.add_morsels_total(queue.total());
+        match self {
+            Executor::Scoped { threads } => run_scoped(ctx, *threads, &queue, &init, &body),
+            Executor::Pool(pool) => run_pooled(pool, ctx, queue, init, body),
+        }
+    }
+}
+
+fn run_pooled<T, I, B>(
+    pool: &WorkerPool,
+    ctx: &Arc<ExecCtx>,
+    queue: MorselQueue,
+    init: I,
+    body: B,
+) -> Result<Vec<T>, RuntimeError>
+where
+    T: Send + 'static,
+    I: Fn() -> T + Send + Sync + 'static,
+    B: Fn(&mut T, usize, usize) + Send + Sync + 'static,
+{
+    let stage = Arc::new(Stage::new(Arc::clone(ctx), queue, init, body));
+    let id = pool.register(ctx.priority(), Arc::clone(&stage) as Arc<dyn StageTask>);
+    // The submitting thread works its own stage too: progress is
+    // guaranteed even if every pool worker is busy on other queries.
+    while stage.step() {}
+    stage.wait_done();
+    pool.unregister(id);
+    let (mut partials, errors) = stage.finish();
+    if !errors.is_empty() {
+        return Err(pick_error(errors));
+    }
+    if ctx.tripped() {
+        // Tripped by a failure in an earlier phase of the same query.
+        return Err(RuntimeError::Stopped);
+    }
+    if partials.is_empty() {
+        // Zero-morsel input: materialize one accumulator so the caller's
+        // merge phase has a seed, under the same panic isolation (init may
+        // charge the gauge).
+        match catch_unwind(AssertUnwindSafe(|| (stage.init)())) {
+            Ok(acc) => partials.push(acc),
+            Err(payload) => return Err(panic_payload_error(payload)),
+        }
+    }
+    Ok(partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CancelState;
+    use crate::ExecHandle;
+
+    fn executors() -> Vec<(&'static str, Executor)> {
+        vec![
+            ("scoped-1", Executor::scoped(1)),
+            ("scoped-4", Executor::scoped(4)),
+            ("pool-3", Executor::pool(3)),
+        ]
+    }
+
+    #[test]
+    fn all_rows_claimed_exactly_once() {
+        for (name, exec) in executors() {
+            for n in [0usize, 1, TILE, 10 * TILE + 13] {
+                let ctx = Arc::new(ExecCtx::unbounded());
+                let partials = exec
+                    .run_morsels(
+                        &ctx,
+                        n,
+                        2 * TILE,
+                        Vec::new,
+                        |seen: &mut Vec<(usize, usize)>, start, len| seen.push((start, len)),
+                    )
+                    .expect("no faults armed");
+                let mut all: Vec<_> = partials.into_iter().flatten().collect();
+                all.sort_unstable();
+                let covered: usize = all.iter().map(|&(_, l)| l).sum();
+                assert_eq!(covered, n, "exec={name} n={n}");
+                let mut end = 0;
+                for (s, l) in all {
+                    assert_eq!(s, end, "exec={name} n={n}");
+                    end = s + l;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained() {
+        for (name, exec) in executors() {
+            let ctx = Arc::new(ExecCtx::unbounded());
+            let err = exec
+                .run_morsels(
+                    &ctx,
+                    8 * TILE,
+                    TILE,
+                    || (),
+                    |_, start, _| {
+                        if start == 3 * TILE {
+                            panic!("boom at {start}");
+                        }
+                    },
+                )
+                .expect_err("panic must surface as an error");
+            match err {
+                RuntimeError::Panic(msg) => assert!(msg.contains("boom"), "exec={name}: {msg}"),
+                other => panic!("exec={name}: unexpected error: {other:?}"),
+            }
+            assert!(ctx.tripped(), "exec={name}");
+        }
+    }
+
+    #[test]
+    fn typed_panic_payload_passes_through() {
+        for (name, exec) in executors() {
+            let ctx = Arc::new(ExecCtx::unbounded());
+            let err = exec
+                .run_morsels(
+                    &ctx,
+                    4 * TILE,
+                    TILE,
+                    || (),
+                    |_, _, _| {
+                        std::panic::panic_any(RuntimeError::BudgetExceeded {
+                            requested: 1,
+                            used: 2,
+                            budget: 3,
+                        });
+                    },
+                )
+                .expect_err("typed panic must surface");
+            assert_eq!(
+                err,
+                RuntimeError::BudgetExceeded {
+                    requested: 1,
+                    used: 2,
+                    budget: 3,
+                },
+                "exec={name}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_is_observed_at_morsel_boundaries() {
+        for (name, exec) in executors() {
+            let cancel = Arc::new(CancelState::default());
+            ExecHandle::new(Arc::clone(&cancel)).cancel();
+            let ctx = Arc::new(ExecCtx::new(cancel, None, None, None, Priority::Normal));
+            let err = exec
+                .run_morsels(&ctx, 4 * TILE, TILE, || (), |_, _, _| {})
+                .expect_err("pre-cancelled ctx must refuse work");
+            assert!(
+                matches!(err, RuntimeError::Cancelled { .. }),
+                "exec={name}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_runs_concurrent_stages_to_identical_results() {
+        let exec = Arc::new(Executor::pool(3));
+        let n = 64 * TILE + 7;
+        let solo: i64 = (0..n as i64).sum();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let exec = Arc::clone(&exec);
+                std::thread::spawn(move || {
+                    let ctx = Arc::new(ExecCtx::unbounded());
+                    let partials = exec
+                        .run_morsels(
+                            &ctx,
+                            n,
+                            2 * TILE,
+                            || 0i64,
+                            |acc, start, len| {
+                                for i in start..start + len {
+                                    *acc += i as i64;
+                                }
+                            },
+                        )
+                        .expect("no faults armed");
+                    partials.into_iter().sum::<i64>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("client thread"), solo);
+        }
+    }
+
+    #[test]
+    fn pool_failure_in_one_stage_leaves_others_untouched() {
+        let exec = Arc::new(Executor::pool(2));
+        let n = 32 * TILE;
+        let good = {
+            let exec = Arc::clone(&exec);
+            std::thread::spawn(move || {
+                let ctx = Arc::new(ExecCtx::unbounded());
+                exec.run_morsels(
+                    &ctx,
+                    n,
+                    TILE,
+                    || 0usize,
+                    |acc, _, len| {
+                        *acc += len;
+                    },
+                )
+                .map(|p| p.into_iter().sum::<usize>())
+            })
+        };
+        let ctx = Arc::new(ExecCtx::unbounded());
+        let err = exec
+            .run_morsels(
+                &ctx,
+                n,
+                TILE,
+                || (),
+                |_, start, _| {
+                    if start >= 8 * TILE {
+                        panic!("stage-local failure");
+                    }
+                },
+            )
+            .expect_err("panicking stage must fail");
+        assert!(matches!(err, RuntimeError::Panic(_)));
+        assert_eq!(good.join().expect("good stage thread"), Ok(n));
+    }
+}

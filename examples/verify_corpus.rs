@@ -217,19 +217,15 @@ fn verify_corpus(
     threads: usize,
     regime: &Regime,
 ) -> usize {
-    let mut builder = Engine::builder(db)
+    let engine = Engine::builder(db)
         .threads(threads)
-        .verify(VerifyLevel::Full);
-    if let Some(s) = regime.agg {
-        builder = builder.agg_strategy(s);
-    }
-    if let Some(s) = regime.semijoin {
-        builder = builder.semijoin_strategy(s);
-    }
-    if let Some(s) = regime.groupjoin {
-        builder = builder.groupjoin_strategy(s);
-    }
-    let engine = builder.build();
+        .verify(VerifyLevel::Full)
+        .strategies(StrategyOverrides {
+            agg: regime.agg,
+            semijoin: regime.semijoin,
+            groupjoin: regime.groupjoin,
+        })
+        .build();
 
     let mut failures = 0;
     for (name, sql) in queries {

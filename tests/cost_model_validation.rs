@@ -116,7 +116,7 @@ fn predicted_cost_tracks_observed_cost() {
         AggStrategy::KeyMasking,
     ] {
         for cutoff in [10i64, 50, 90] {
-            let engine = counters_engine(|b| b.agg_strategy(strategy));
+            let engine = counters_engine(|b| b.strategies(StrategyOverrides::pin_agg(strategy)));
             let res = engine.query(&groupby_plan(cutoff)).expect("runs");
             let m = res.metrics().expect("counters").clone();
             let err = m.cost_relative_error().unwrap_or_else(|| {
@@ -151,7 +151,7 @@ fn chooser_ranking_survives_observation() {
             AggStrategy::ValueMasking,
             AggStrategy::KeyMasking,
         ] {
-            let engine = counters_engine(|b| b.agg_strategy(strategy));
+            let engine = counters_engine(|b| b.strategies(StrategyOverrides::pin_agg(strategy)));
             let res = engine.query(&plan).expect("runs");
             let m = res.metrics().expect("counters").clone();
             observed.push((
@@ -240,7 +240,7 @@ fn tpch_groupjoin_cost_validation() {
         let engine = Engine::builder(to_database(&db))
             .threads(2)
             .metrics(MetricsLevel::Counters)
-            .groupjoin_strategy(strategy)
+            .strategies(StrategyOverrides::pin_groupjoin(strategy))
             .build();
         let res = engine.query(&plan).expect("runs");
         let m = res.metrics().expect("counters").clone();

@@ -184,7 +184,7 @@ fn key_masking_overflow_degrades_to_data_centric() {
     );
     let e = Engine::builder(db)
         .threads(1)
-        .agg_strategy(AggStrategy::KeyMasking)
+        .strategies(StrategyOverrides::pin_agg(AggStrategy::KeyMasking))
         .build();
     let plan = QueryBuilder::scan("R")
         .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(10)))

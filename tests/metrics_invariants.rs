@@ -159,7 +159,7 @@ fn scalar_agg_counters_thread_invariant() {
         AggStrategy::KeyMasking,
     ] {
         assert_counters_thread_invariant(&scalar_plan(), strategy.name(), |b| {
-            b.agg_strategy(strategy)
+            b.strategies(StrategyOverrides::pin_agg(strategy))
         });
     }
 }
@@ -172,7 +172,7 @@ fn groupby_agg_counters_thread_invariant() {
         AggStrategy::KeyMasking,
     ] {
         assert_counters_thread_invariant(&groupby_plan(), strategy.name(), |b| {
-            b.agg_strategy(strategy)
+            b.strategies(StrategyOverrides::pin_agg(strategy))
         });
     }
 }
@@ -185,7 +185,7 @@ fn semijoin_counters_thread_invariant() {
         SemiJoinStrategy::PositionalBitmap(BitmapBuild::SelectionVector),
     ] {
         assert_counters_thread_invariant(&semijoin_plan(), &format!("{strategy:?}"), |b| {
-            b.semijoin_strategy(strategy)
+            b.strategies(StrategyOverrides::pin_semijoin(strategy))
         });
     }
 }
@@ -197,7 +197,7 @@ fn groupjoin_counters_thread_invariant() {
         GroupJoinStrategy::EagerAggregation,
     ] {
         assert_counters_thread_invariant(&groupjoin_plan(), &format!("{strategy:?}"), |b| {
-            b.groupjoin_strategy(strategy)
+            b.strategies(StrategyOverrides::pin_groupjoin(strategy))
         });
     }
 }
@@ -215,7 +215,9 @@ fn strategies_agree_on_rows_out() {
         AggStrategy::ValueMasking,
         AggStrategy::KeyMasking,
     ] {
-        let m = run_counters(&plan, 2, |b| b.agg_strategy(strategy));
+        let m = run_counters(&plan, 2, |b| {
+            b.strategies(StrategyOverrides::pin_agg(strategy))
+        });
         let total = m.total();
         assert_eq!(
             total.rows_out,
@@ -237,10 +239,16 @@ fn wasted_lanes_iff_pullup() {
     // non-qualifying tuple. The masking pullups aggregate everything and
     // cancel the non-qualifiers — exactly rows_in - rows_out wasted lanes.
     let plan = groupby_plan();
-    let hybrid = run_counters(&plan, 2, |b| b.agg_strategy(AggStrategy::Hybrid)).total();
+    let hybrid = run_counters(&plan, 2, |b| {
+        b.strategies(StrategyOverrides::pin_agg(AggStrategy::Hybrid))
+    })
+    .total();
     assert_eq!(hybrid.wasted_lanes, 0, "hybrid never wastes a lane");
     for strategy in [AggStrategy::ValueMasking, AggStrategy::KeyMasking] {
-        let t = run_counters(&plan, 2, |b| b.agg_strategy(strategy)).total();
+        let t = run_counters(&plan, 2, |b| {
+            b.strategies(StrategyOverrides::pin_agg(strategy))
+        })
+        .total();
         assert!(t.wasted_lanes > 0, "{} is a pullup", strategy.name());
         assert_eq!(
             t.wasted_lanes,
@@ -267,7 +275,7 @@ fn groupby_ht_inserts_is_group_count() {
         let engine = Engine::builder(make_db(42, 50_000, 512))
             .threads(4)
             .tile_rows(2048)
-            .agg_strategy(strategy)
+            .strategies(StrategyOverrides::pin_agg(strategy))
             .metrics(MetricsLevel::Counters)
             .build();
         let res = engine.query(&groupby_plan()).expect("runs");
@@ -307,8 +315,8 @@ fn metrics_levels_gate_collection() {
 #[test]
 fn semijoin_build_and_probe_reported_separately() {
     let m = run_counters(&semijoin_plan(), 2, |b| {
-        b.semijoin_strategy(SemiJoinStrategy::PositionalBitmap(
-            BitmapBuild::Unconditional,
+        b.strategies(StrategyOverrides::pin_semijoin(
+            SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional),
         ))
     });
     let build = m.op("semijoin-build(S)").expect("build op present");

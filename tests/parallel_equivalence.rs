@@ -102,7 +102,7 @@ fn scalar_agg_all_strategies_all_thread_counts() {
         AggStrategy::KeyMasking,
     ] {
         assert_equivalent(&scalar_plan(), strategy.name(), |b| {
-            b.agg_strategy(strategy)
+            b.strategies(StrategyOverrides::pin_agg(strategy))
         });
     }
 }
@@ -115,7 +115,7 @@ fn groupby_agg_all_strategies_all_thread_counts() {
         AggStrategy::KeyMasking,
     ] {
         assert_equivalent(&groupby_plan(), strategy.name(), |b| {
-            b.agg_strategy(strategy)
+            b.strategies(StrategyOverrides::pin_agg(strategy))
         });
     }
 }
@@ -161,7 +161,7 @@ fn semijoin_all_strategies_all_thread_counts() {
             assert_equivalent(
                 &plan,
                 &format!("semijoin {strategy:?}, probe_sel={probe_sel}"),
-                |b| b.semijoin_strategy(strategy),
+                |b| b.strategies(StrategyOverrides::pin_semijoin(strategy)),
             );
         }
     }
@@ -186,7 +186,7 @@ fn groupjoin_both_strategies_all_thread_counts() {
         GroupJoinStrategy::EagerAggregation,
     ] {
         assert_equivalent(&plan, &format!("groupjoin {strategy:?}"), |b| {
-            b.groupjoin_strategy(strategy)
+            b.strategies(StrategyOverrides::pin_groupjoin(strategy))
         });
     }
 }
@@ -228,7 +228,7 @@ fn oversubscribed_and_zero_threads() {
 fn pinned_strategy_shows_up_in_explain() {
     let engine = Engine::builder(make_db(7, 4_000, 64))
         .threads(2)
-        .agg_strategy(AggStrategy::ValueMasking)
+        .strategies(StrategyOverrides::pin_agg(AggStrategy::ValueMasking))
         .build();
     let report = engine.explain(&groupby_plan()).expect("plans");
     assert_eq!(report.strategy, "value-masking");

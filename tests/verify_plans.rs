@@ -194,7 +194,9 @@ fn every_pinned_strategy_verifies() {
         AggStrategy::KeyMasking,
     ] {
         for plan in [&scalar, &grouped] {
-            let engine = Engine::builder(mk_db()).agg_strategy(strategy).build();
+            let engine = Engine::builder(mk_db())
+                .strategies(StrategyOverrides::pin_agg(strategy))
+                .build();
             engine
                 .verify_plan(plan)
                 .unwrap_or_else(|e| panic!("agg {strategy:?}: {e}"));
@@ -213,7 +215,9 @@ fn every_pinned_strategy_verifies() {
         SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional),
         SemiJoinStrategy::PositionalBitmap(BitmapBuild::SelectionVector),
     ] {
-        let engine = Engine::builder(mk_db()).semijoin_strategy(strategy).build();
+        let engine = Engine::builder(mk_db())
+            .strategies(StrategyOverrides::pin_semijoin(strategy))
+            .build();
         engine
             .verify_plan(&semijoin)
             .unwrap_or_else(|e| panic!("semijoin {strategy:?}: {e}"));
@@ -230,7 +234,7 @@ fn every_pinned_strategy_verifies() {
         GroupJoinStrategy::EagerAggregation,
     ] {
         let engine = Engine::builder(mk_db())
-            .groupjoin_strategy(strategy)
+            .strategies(StrategyOverrides::pin_groupjoin(strategy))
             .build();
         engine
             .verify_plan(&groupjoin)
