@@ -5,12 +5,17 @@
 //!
 //! ```text
 //! cargo run --release -p swole-bench --bin concurrency
-//! cargo run --release -p swole-bench --bin concurrency -- --smoke --out BENCH_PR6.json
+//! cargo run --release -p swole-bench --bin concurrency -- --smoke --out BENCH_PR7.json
 //! ```
 //!
 //! Every result is checked bit-identical against a solo run of the same
 //! statement — the bench doubles as a determinism gate at every
 //! concurrency level.
+//!
+//! The final phase measures shutdown under load: 64 clients hammer a
+//! fresh engine while the main thread calls [`Engine::shutdown`], and the
+//! report records how long the drain took, how many in-flight queries it
+//! waited for, and that nothing had to be hard-aborted.
 
 use std::sync::Barrier;
 use std::thread;
@@ -31,7 +36,7 @@ struct Opts {
 fn parse_args() -> Opts {
     let mut opts = Opts {
         smoke: std::env::var("SWOLE_SMOKE").is_ok(),
-        out: "BENCH_PR6.json".to_string(),
+        out: "BENCH_PR7.json".to_string(),
         workers: thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(2),
@@ -192,6 +197,88 @@ fn run_storm(
     }
 }
 
+struct DrainPoint {
+    clients: usize,
+    ok_ops: usize,
+    drained: usize,
+    aborted: usize,
+    clean: bool,
+    drain_ms: f64,
+}
+
+/// Shutdown under load: `clients` sessions hammer a fresh engine until it
+/// turns them away, while the main thread initiates a graceful drain a
+/// beat after the storm is at full pressure. Every completed query is
+/// still checked bit-identical, and every rejection must be the typed
+/// shutdown error — the drain is a correctness gate, not just a timer.
+fn run_drain(opts: &Opts, n_r: usize, n_s: usize, refs: &[QueryResult]) -> DrainPoint {
+    const DRAIN_CLIENTS: usize = 64;
+    let engine = Engine::builder(make_db(0xB6, n_r, n_s))
+        .worker_pool(opts.workers)
+        .admission(AdmissionConfig::new(opts.workers.max(2)))
+        .build();
+    let plans = workload();
+    let barrier = Barrier::new(DRAIN_CLIENTS + 1);
+    let (report, ok_ops) = thread::scope(|s| {
+        let handles: Vec<_> = (0..DRAIN_CLIENTS)
+            .map(|c| {
+                let (engine, plans, barrier) = (&engine, &plans, &barrier);
+                s.spawn(move || {
+                    let session = engine.session();
+                    let stmts: Vec<PreparedStatement> = plans
+                        .iter()
+                        .map(|p| session.prepare(p).expect("prepares"))
+                        .collect();
+                    barrier.wait();
+                    let mut ok_ops = 0usize;
+                    for op in 0.. {
+                        let i = (c + op) % stmts.len();
+                        match stmts[i].execute() {
+                            Ok(got) => {
+                                assert_eq!(got, refs[i], "client {c} op {op} diverged");
+                                ok_ops += 1;
+                            }
+                            Err(PlanError::Admission(AdmissionError::Shutdown)) => break,
+                            Err(other) => panic!("client {c}: untyped drain error {other}"),
+                        }
+                    }
+                    ok_ops
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Let the storm reach steady state before pulling the plug.
+        thread::sleep(std::time::Duration::from_millis(if opts.smoke {
+            50
+        } else {
+            500
+        }));
+        let report = engine.shutdown(Some(std::time::Duration::from_secs(30)));
+        let ok_ops = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum();
+        (report, ok_ops)
+    });
+    assert_eq!(engine.live_pool_workers(), 0, "drain joins the pool");
+    eprintln!(
+        "shutdown: clients={DRAIN_CLIENTS}  ok_ops={ok_ops}  drained={}  aborted={}  \
+         clean={}  drain={:.1} ms",
+        report.drained,
+        report.aborted,
+        report.clean,
+        report.wait.as_secs_f64() * 1_000.0
+    );
+    DrainPoint {
+        clients: DRAIN_CLIENTS,
+        ok_ops,
+        drained: report.drained,
+        aborted: report.aborted,
+        clean: report.clean,
+        drain_ms: report.wait.as_secs_f64() * 1_000.0,
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let (n_r, n_s) = if opts.smoke {
@@ -235,6 +322,8 @@ fn main() {
         points.push(p);
     }
 
+    let drain = run_drain(&opts, n_r, n_s, &refs);
+
     let stats = engine.plan_cache_stats();
     let mut json = String::new();
     json.push_str("{\n");
@@ -264,7 +353,13 @@ fn main() {
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"shutdown\": {{\"clients\": {}, \"ok_ops\": {}, \"drained\": {}, \
+         \"aborted\": {}, \"clean\": {}, \"drain_ms\": {:.3}}}\n",
+        drain.clients, drain.ok_ops, drain.drained, drain.aborted, drain.clean, drain.drain_ms
+    ));
+    json.push_str("}\n");
     std::fs::write(&opts.out, &json).expect("write summary");
     eprintln!("wrote {}", opts.out);
 }

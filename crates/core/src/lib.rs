@@ -84,8 +84,8 @@ pub use swole_plan::{
     AdmissionConfig, AdmissionError, AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine,
     EngineBuilder, ExecHandle, Explain, Expr, LogicalPlan, MemoryPolicy, MemoryPoolStats,
     MetricsLevel, OpMetrics, ParamSlot, Params, PlanCacheStats, PlanError, PreparedStatement,
-    Priority, QueryBuilder, QueryMetrics, QueryOptions, QueryResult, Session, StrategyOverrides,
-    Value, VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport,
+    Priority, QueryBuilder, QueryMetrics, QueryOptions, QueryResult, Session, ShutdownReport,
+    StrategyOverrides, Value, VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport,
 };
 
 /// Everything a typical user needs.
@@ -97,8 +97,8 @@ pub mod prelude {
         AdmissionConfig, AdmissionError, AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine,
         EngineBuilder, ExecHandle, Explain, Expr, LogicalPlan, MemoryPolicy, MemoryPoolStats,
         MetricsLevel, ParamSlot, Params, PlanCacheStats, PlanError, PreparedStatement, Priority,
-        QueryBuilder, QueryMetrics, QueryOptions, QueryResult, Session, StrategyOverrides, Value,
-        VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport,
+        QueryBuilder, QueryMetrics, QueryOptions, QueryResult, Session, ShutdownReport,
+        StrategyOverrides, Value, VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport,
     };
     pub use swole_storage::{ColumnData, Date, Decimal, DictColumn, Table};
 }

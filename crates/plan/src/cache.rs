@@ -44,6 +44,53 @@ pub(crate) const DRIFT_ABS_THRESHOLD: f64 = 0.02;
 /// [`crate::EngineBuilder::plan_cache_bytes`]).
 pub(crate) const DEFAULT_PLAN_CACHE_BYTES: usize = 64 * 1024;
 
+/// Consecutive interpreter-fallback executions of one plan fingerprint
+/// after which its circuit opens: the engine then skips the doomed primary
+/// strategy and goes straight to the data-centric interpreter, so a
+/// persistently failing query class stops paying double execution cost.
+pub(crate) const BREAKER_OPEN_AFTER: u32 = 3;
+
+/// While a circuit is open, every Nth arrival probes the primary strategy
+/// again (half-open); a probe success closes the circuit.
+pub(crate) const BREAKER_PROBE_EVERY: u64 = 8;
+
+/// Cap on tracked failing fingerprints; closed entries are swept when the
+/// map would grow past this.
+const BREAKER_MAX_TRACKED: usize = 256;
+
+/// Verdict for one query arriving at its plan's fallback circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BreakerDecision {
+    /// Circuit closed: run the primary strategy normally.
+    Closed,
+    /// Circuit open: skip the primary, go straight to the interpreter.
+    Open,
+    /// Circuit open, but this arrival re-tries the primary (half-open
+    /// probe); success closes the circuit.
+    Probe,
+}
+
+/// Per-fingerprint circuit state. Only *failing* fingerprints are tracked:
+/// a plan that has never fallen back carries no entry.
+#[derive(Debug, Default, Clone)]
+struct BreakerState {
+    consecutive_fallbacks: u32,
+    open: bool,
+    /// Arrivals since the circuit opened (drives the probe cadence).
+    open_hits: u64,
+}
+
+/// Activity of the interpreter-fallback circuit breaker, from
+/// [`crate::Engine::fallback_breaker_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FallbackBreakerStats {
+    /// Plan fingerprints whose circuit is currently open.
+    pub open_circuits: usize,
+    /// Executions that skipped their primary strategy because the circuit
+    /// was open (probes not included).
+    pub short_circuits: u64,
+}
+
 /// Cost-model inputs captured when a plan was cached, so invalidation can
 /// reason about what the planner believed at planning time.
 #[derive(Debug, Clone, Default)]
@@ -126,6 +173,12 @@ pub(crate) struct PlanCache {
     /// `entries` is LRU-ordered: front = least recent, back = most recent.
     inner: Mutex<Inner>,
     enabled: bool,
+    /// Fallback circuit breakers, keyed by plan fingerprint. Independent
+    /// of the plan entries (and of `enabled`): breaker state must survive
+    /// cache eviction, or an evicted-but-broken plan would re-pay the
+    /// doomed primary on every execution.
+    breakers: Mutex<HashMap<String, BreakerState>>,
+    short_circuits: std::sync::atomic::AtomicU64,
 }
 
 #[derive(Default)]
@@ -153,6 +206,8 @@ impl PlanCache {
             gauge: MemGauge::new(Some(budget_bytes.max(1))),
             inner: Mutex::new(Inner::default()),
             enabled: budget_bytes > 0,
+            breakers: Mutex::new(HashMap::new()),
+            short_circuits: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -286,6 +341,62 @@ impl PlanCache {
         };
         if drifted {
             entry.stale = Some(observed);
+        }
+    }
+
+    /// Consult the fallback circuit for `key` before running its primary
+    /// strategy. An untracked (never-fallen-back) fingerprint is `Closed`
+    /// without allocating an entry.
+    pub(crate) fn breaker_check(&self, key: &str) -> BreakerDecision {
+        let mut map = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(st) = map.get_mut(key) else {
+            return BreakerDecision::Closed;
+        };
+        if !st.open {
+            return BreakerDecision::Closed;
+        }
+        st.open_hits += 1;
+        if st.open_hits % BREAKER_PROBE_EVERY == 0 {
+            BreakerDecision::Probe
+        } else {
+            self.short_circuits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            BreakerDecision::Open
+        }
+    }
+
+    /// The primary strategy succeeded for `key`: close (and forget) its
+    /// circuit. A successful half-open probe lands here too.
+    pub(crate) fn breaker_primary_ok(&self, key: &str) {
+        let mut map = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+        map.remove(key);
+    }
+
+    /// The query fell back to the interpreter (the primary failed a
+    /// retryable runtime precondition). Returns `true` when this consecutive
+    /// failure is the one that opened the circuit.
+    pub(crate) fn breaker_fallback_ran(&self, key: &str) -> bool {
+        let mut map = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+        if !map.contains_key(key) && map.len() >= BREAKER_MAX_TRACKED {
+            map.retain(|_, st| st.open);
+        }
+        let st = map.entry(key.to_string()).or_default();
+        st.consecutive_fallbacks += 1;
+        if !st.open && st.consecutive_fallbacks >= BREAKER_OPEN_AFTER {
+            st.open = true;
+            return true;
+        }
+        false
+    }
+
+    /// Point-in-time breaker activity.
+    pub(crate) fn breaker_stats(&self) -> FallbackBreakerStats {
+        let map = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+        FallbackBreakerStats {
+            open_circuits: map.values().filter(|s| s.open).count(),
+            short_circuits: self
+                .short_circuits
+                .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -455,6 +566,38 @@ mod tests {
         ));
         assert_eq!(cache.stats().entries, 0);
         assert!(!cache.peek("a", &gens(0)));
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_fallbacks_probes_and_closes() {
+        let cache = PlanCache::new(1 << 20);
+        assert_eq!(cache.breaker_check("q"), BreakerDecision::Closed);
+        for _ in 0..BREAKER_OPEN_AFTER - 1 {
+            assert!(!cache.breaker_fallback_ran("q"));
+            assert_eq!(cache.breaker_check("q"), BreakerDecision::Closed);
+        }
+        assert!(cache.breaker_fallback_ran("q"), "third failure opens");
+        let mut probes = 0;
+        for i in 1..=(2 * BREAKER_PROBE_EVERY) {
+            match cache.breaker_check("q") {
+                BreakerDecision::Probe => {
+                    probes += 1;
+                    assert_eq!(i % BREAKER_PROBE_EVERY, 0);
+                }
+                BreakerDecision::Open => {}
+                BreakerDecision::Closed => panic!("open circuit reported closed"),
+            }
+        }
+        assert_eq!(probes, 2);
+        let stats = cache.breaker_stats();
+        assert_eq!(stats.open_circuits, 1);
+        assert_eq!(stats.short_circuits, 2 * BREAKER_PROBE_EVERY - 2);
+        // A primary success (e.g. a half-open probe) closes the circuit.
+        cache.breaker_primary_ok("q");
+        assert_eq!(cache.breaker_check("q"), BreakerDecision::Closed);
+        assert_eq!(cache.breaker_stats().open_circuits, 0);
+        // Other fingerprints were never affected.
+        assert_eq!(cache.breaker_check("other"), BreakerDecision::Closed);
     }
 
     #[test]

@@ -3,11 +3,12 @@
 
 use std::fmt;
 use std::ops::Deref;
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, Weak};
 use std::time::{Duration, Instant};
 
 use crate::cache::{
-    CacheLookup, CostSnapshot, PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_BYTES,
+    BreakerDecision, CacheLookup, CostSnapshot, FallbackBreakerStats, PlanCache, PlanCacheStats,
+    DEFAULT_PLAN_CACHE_BYTES,
 };
 use crate::catalog::Database;
 use crate::error::PlanError;
@@ -27,8 +28,9 @@ use swole_cost::{
 use swole_ht::{AggTable, KeySet, MergeOp};
 use swole_kernels::{predicate, selvec, tiles, tiles_in, AccessCounters, MORSEL_ROWS, TILE};
 use swole_runtime::{
-    charge_or_panic, AdmissionConfig, AdmissionController, AdmissionPermit, CancelState, ExecCtx,
-    ExecHandle, Executor, GlobalMemoryPool, MemGauge, MemoryPolicy, MemoryPoolStats, Priority,
+    charge_or_panic, AdmissionConfig, AdmissionController, AdmissionError, AdmissionPermit,
+    CancelState, ExecCtx, ExecHandle, Executor, GlobalMemoryPool, MemGauge, MemoryPolicy,
+    MemoryPoolStats, Priority,
 };
 use swole_storage::{Date, Decimal, FkIndex, Table};
 use swole_verify::{VerifyLevel, VerifyReport};
@@ -310,6 +312,7 @@ pub struct EngineBuilder {
     global_budget: Option<usize>,
     memory_policy: MemoryPolicy,
     admission: Option<AdmissionConfig>,
+    stall_window: Option<Duration>,
 }
 
 impl EngineBuilder {
@@ -329,6 +332,7 @@ impl EngineBuilder {
             global_budget: None,
             memory_policy: MemoryPolicy::default(),
             admission: None,
+            stall_window: None,
         }
     }
 
@@ -427,6 +431,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Arm the per-query watchdog: a query that completes no morsel for
+    /// `window` straight is cancelled with [`PlanError::Stalled`] (with
+    /// partial-progress counts) instead of wedging an execution slot until
+    /// its deadline — or forever, when it has none. The watchdog is
+    /// cooperative, observed at morsel boundaries by every worker of the
+    /// query, so it catches schedule starvation and pathologically slow
+    /// progress, not a single wedged morsel body. Off by default;
+    /// overridable per call through [`QueryOptions::stall_window`].
+    pub fn stall_window(mut self, window: Duration) -> EngineBuilder {
+        self.stall_window = Some(window);
+        self
+    }
+
     /// How much every query measures while executing (default
     /// [`MetricsLevel::Off`]). [`MetricsLevel::Counters`] collects
     /// per-operator access counters ([`QueryResult::metrics`]);
@@ -501,9 +518,112 @@ impl EngineBuilder {
                 cancel: Arc::new(CancelState::default()),
                 last_run: Mutex::new(Vec::new()),
                 cache: PlanCache::new(self.plan_cache_bytes),
+                stall_window: self.stall_window,
+                lifecycle: Lifecycle::new(),
             }),
         }
     }
+}
+
+/// Engine lifecycle phases. `Running` admits queries; `Draining` and
+/// `Stopped` reject them at the front door with a typed shutdown error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Draining,
+    Stopped,
+}
+
+/// Tracks every in-flight query so [`Engine::shutdown`] can drain them —
+/// and, past the drain deadline, hard-abort them through their contexts.
+struct Lifecycle {
+    state: Mutex<LifecycleState>,
+    /// Signalled whenever a query exits (its [`QueryGuard`] drops).
+    cv: Condvar,
+}
+
+struct LifecycleState {
+    phase: Phase,
+    next_id: u64,
+    /// Live query contexts, held weakly: execution owns the strong `Arc`,
+    /// so a query that finished between the deadline check and the abort
+    /// simply fails to upgrade.
+    live: Vec<(u64, Weak<ExecCtx>)>,
+}
+
+impl Lifecycle {
+    fn new() -> Lifecycle {
+        Lifecycle {
+            state: Mutex::new(LifecycleState {
+                phase: Phase::Running,
+                next_id: 0,
+                live: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Front-door gate, entered before admission: counts the query as in
+    /// flight (the returned guard un-counts it on drop, success or error)
+    /// or rejects it when the engine is draining or stopped. The rejection
+    /// reuses [`AdmissionError::Shutdown`] so callers see one shutdown
+    /// error whether or not an admission controller is configured.
+    fn enter(&self) -> Result<QueryGuard<'_>, PlanError> {
+        let mut st = self.state.lock().expect("engine lifecycle");
+        if st.phase != Phase::Running {
+            return Err(PlanError::Admission(AdmissionError::Shutdown));
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.live.push((id, Weak::new()));
+        Ok(QueryGuard {
+            lifecycle: self,
+            id,
+        })
+    }
+}
+
+/// RAII presence of one query in the lifecycle registry.
+struct QueryGuard<'a> {
+    lifecycle: &'a Lifecycle,
+    id: u64,
+}
+
+impl QueryGuard<'_> {
+    /// Register the query's execution context so a deadline-abort can
+    /// reach it (queries still queued in admission have no context yet and
+    /// exit through the flushed queue instead).
+    fn attach(&self, ctx: &Arc<ExecCtx>) {
+        let mut st = self.lifecycle.state.lock().expect("engine lifecycle");
+        if let Some(slot) = st.live.iter_mut().find(|(id, _)| *id == self.id) {
+            slot.1 = Arc::downgrade(ctx);
+        }
+    }
+}
+
+impl Drop for QueryGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.lifecycle.state.lock().expect("engine lifecycle");
+        st.live.retain(|(id, _)| *id != self.id);
+        drop(st);
+        self.lifecycle.cv.notify_all();
+    }
+}
+
+/// What [`Engine::shutdown`] did, for operators and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Queries in flight when the drain began that exited on their own
+    /// (completed, failed, or were flushed from the admission queue).
+    pub drained: usize,
+    /// Queries hard-aborted (with [`PlanError::Shutdown`]) because the
+    /// drain deadline passed first.
+    pub aborted: usize,
+    /// `true` when nothing had to be aborted and the worker pool joined
+    /// within the deadline.
+    pub clean: bool,
+    /// Wall-clock duration of the whole shutdown.
+    pub wait: Duration,
 }
 
 /// Execution options threaded into every operator.
@@ -522,6 +642,7 @@ struct ResolvedOpts {
     metrics: MetricsLevel,
     verify: VerifyLevel,
     priority: Priority,
+    stall: Option<Duration>,
 }
 
 /// The access-aware query engine: owns a [`Database`] and cost parameters,
@@ -567,6 +688,24 @@ pub(crate) struct EngineInner {
     last_run: Mutex<Vec<String>>,
     /// Bounded, cost-keyed physical-plan cache shared by the session.
     cache: PlanCache,
+    /// Session default for the per-query stall watchdog.
+    stall_window: Option<Duration>,
+    /// Drain/abort bookkeeping behind [`Engine::shutdown`].
+    lifecycle: Lifecycle,
+}
+
+/// The last engine handle going away routes through the graceful-drain
+/// tail: close admission, join the pool workers. No query can still be in
+/// flight — every execution path holds an `Arc<EngineInner>` clone — so
+/// this never blocks on a drain, only on workers finishing their current
+/// morsel.
+impl Drop for EngineInner {
+    fn drop(&mut self) {
+        if let Some(ctl) = &self.admission {
+            ctl.close();
+        }
+        self.executor.shutdown(None);
+    }
 }
 
 /// Optional overrides threaded into planning. Produced when drift
@@ -642,6 +781,13 @@ impl Engine {
         self.inner.cache.stats()
     }
 
+    /// Activity of the interpreter-fallback circuit breaker: how many plan
+    /// classes are currently short-circuited past their primary strategy,
+    /// and how many executions have skipped it.
+    pub fn fallback_breaker_stats(&self) -> FallbackBreakerStats {
+        self.inner.cache.breaker_stats()
+    }
+
     /// Live usage of the engine-wide memory pool, when
     /// [`EngineBuilder::global_memory_budget`] configured one.
     pub fn global_memory_stats(&self) -> Option<MemoryPoolStats> {
@@ -652,6 +798,105 @@ impl Engine {
     /// [`EngineBuilder::admission`] configured it.
     pub fn admission_in_flight(&self) -> Option<(usize, usize)> {
         self.inner.admission.as_ref().map(|a| a.in_flight())
+    }
+
+    /// Queries currently inside the engine (queued in admission or
+    /// executing), as tracked by the lifecycle gate. `0` on an idle or
+    /// stopped engine.
+    pub fn queries_in_flight(&self) -> usize {
+        self.inner
+            .lifecycle
+            .state
+            .lock()
+            .expect("engine lifecycle")
+            .live
+            .len()
+    }
+
+    /// Worker threads of the shared pool still running (`0` for scoped
+    /// sessions and after [`Engine::shutdown`]).
+    pub fn live_pool_workers(&self) -> usize {
+        self.inner.executor.live_workers()
+    }
+
+    /// Gracefully shut the engine down: stop admitting queries, drain the
+    /// ones in flight, and join the worker-pool threads.
+    ///
+    /// The sequence: (1) the lifecycle gate flips to draining, so new
+    /// arrivals on *any* façade (engine, session, prepared statement) fail
+    /// with [`PlanError::Admission`]/[`AdmissionError::Shutdown`]; (2) the
+    /// admission queue is closed, flushing waiters with the same typed
+    /// error; (3) in-flight queries run to completion — or, once
+    /// `deadline` passes, are hard-aborted and surface
+    /// [`PlanError::Shutdown`] with partial-progress counts (`None` waits
+    /// indefinitely); (4) pool workers are joined, so no `swole-pool-*`
+    /// thread survives. Every aborted query still releases its admission
+    /// slot and global-memory reservation through the normal RAII paths.
+    ///
+    /// Idempotent: later calls (and queries racing them) observe the
+    /// stopped state. Clones of this engine share the shutdown — it is an
+    /// engine-wide, not per-handle, transition.
+    pub fn shutdown(&self, deadline: Option<Duration>) -> ShutdownReport {
+        let t0 = Instant::now();
+        let deadline_at = deadline.map(|d| t0 + d);
+        {
+            let mut st = self.inner.lifecycle.state.lock().expect("engine lifecycle");
+            if st.phase == Phase::Stopped {
+                return ShutdownReport {
+                    drained: 0,
+                    aborted: 0,
+                    clean: true,
+                    wait: t0.elapsed(),
+                };
+            }
+            st.phase = Phase::Draining;
+        }
+        // Flush queued waiters with the typed shutdown rejection; their
+        // lifecycle guards drop as they exit, which counts them drained.
+        if let Some(ctl) = &self.inner.admission {
+            ctl.close();
+        }
+        let mut aborted = 0usize;
+        let mut st = self.inner.lifecycle.state.lock().expect("engine lifecycle");
+        let started_with = st.live.len();
+        if let Some(at) = deadline_at {
+            while !st.live.is_empty() {
+                let now = Instant::now();
+                if now >= at {
+                    break;
+                }
+                let (guard, _) = self
+                    .inner
+                    .lifecycle
+                    .cv
+                    .wait_timeout(st, at - now)
+                    .expect("engine lifecycle");
+                st = guard;
+            }
+            // Deadline passed with queries still live: abort them through
+            // their contexts; each observes RuntimeError::Shutdown at its
+            // next morsel boundary and exits through its normal error
+            // path (releasing permit, gauge, and lifecycle slot).
+            for (_, weak) in &st.live {
+                if let Some(ctx) = weak.upgrade() {
+                    ctx.abort();
+                    ctx.trip();
+                    aborted += 1;
+                }
+            }
+        }
+        while !st.live.is_empty() {
+            st = self.inner.lifecycle.cv.wait(st).expect("engine lifecycle");
+        }
+        st.phase = Phase::Stopped;
+        drop(st);
+        let pool_clean = self.inner.executor.shutdown(deadline_at);
+        ShutdownReport {
+            drained: started_with - aborted,
+            aborted,
+            clean: aborted == 0 && pool_clean,
+            wait: t0.elapsed(),
+        }
     }
 
     /// Plan and execute in one step, with hardened-execution supervision.
@@ -811,6 +1056,7 @@ impl EngineInner {
             metrics: opts.metrics.unwrap_or(self.metrics),
             verify: opts.verify.unwrap_or(self.verify),
             priority: opts.priority.unwrap_or_default(),
+            stall: opts.stall_window.or(self.stall_window),
         }
     }
 
@@ -841,13 +1087,16 @@ impl EngineInner {
         r: &ResolvedOpts,
         deadline_at: Option<Instant>,
     ) -> Arc<ExecCtx> {
-        Arc::new(ExecCtx::new(
-            Arc::clone(cancel),
-            deadline_at,
-            r.memory_budget,
-            self.global.clone(),
-            r.priority,
-        ))
+        Arc::new(
+            ExecCtx::new(
+                Arc::clone(cancel),
+                deadline_at,
+                r.memory_budget,
+                self.global.clone(),
+                r.priority,
+            )
+            .with_stall_window(r.stall),
+        )
     }
 
     fn record_run(&self, report: Vec<String>) {
@@ -937,6 +1186,9 @@ impl EngineInner {
     ) -> Result<QueryResult, PlanError> {
         let r = self.resolve(opts);
         let level = floor.map_or(r.metrics, |f| r.metrics.max(f));
+        // Lifecycle gate first: a draining/stopped engine rejects before
+        // the query can queue in admission or touch the cache.
+        let gate = self.lifecycle.enter()?;
         // The deadline anchors *before* admission: time spent waiting in
         // the queue counts against it, and an expired waiter is rejected
         // without ever holding a slot.
@@ -945,13 +1197,48 @@ impl EngineInner {
         let (physical, cache_key) = self.plan_cached(db, plan, r.verify)?;
         let physical = &*physical;
         let ctx = self.exec_ctx(cancel, &r, deadline_at);
+        gate.attach(&ctx);
         let t0 = level.timing().then(Instant::now);
         let strategy = physical.shape.strategy_name();
         let mut report = Vec::new();
+        // Consult this plan class's fallback circuit: once it has failed
+        // its primary strategy [`BREAKER_OPEN_AFTER`] times in a row, skip
+        // the doomed attempt and go straight to the interpreter so the
+        // class stops paying double execution cost.
+        let breaker = self.cache.breaker_check(&cache_key);
+        if breaker == BreakerDecision::Open {
+            report.push(format!("{strategy}: skipped, fallback circuit open"));
+            return match self.fallback_datacentric(db, plan, &ctx, level) {
+                Ok((mut res, op)) => {
+                    report.push("data-centric interpreter: ok".into());
+                    self.record_run(report);
+                    self.attach_metrics(
+                        db,
+                        &mut res,
+                        physical,
+                        op.into_iter().collect(),
+                        &ctx,
+                        level,
+                        0,
+                        t0,
+                    );
+                    Ok(res)
+                }
+                Err(fe) => {
+                    report.push(format!("data-centric fallback failed: {fe}"));
+                    self.record_run(report);
+                    Err(fe)
+                }
+            };
+        }
+        if breaker == BreakerDecision::Probe {
+            report.push(format!("{strategy}: probing, fallback circuit half-open"));
+        }
         let primary = isolate(|| self.execute_shape(db, physical, &ctx, level));
         let (done, total) = ctx.progress();
         match primary {
             Ok((mut res, ops)) => {
+                self.cache.breaker_primary_ok(&cache_key);
                 report.push(format!(
                     "{strategy}: ok ({done}/{total} morsels, {} B charged)",
                     ctx.gauge.used()
@@ -974,6 +1261,9 @@ impl EngineInner {
             }
             Err(e) if e.is_retryable() => {
                 report.push(format!("{strategy}: {e} ({done}/{total} morsels)"));
+                if self.cache.breaker_fallback_ran(&cache_key) {
+                    report.push("fallback circuit opened for this plan".into());
+                }
                 match self.fallback_datacentric(db, plan, &ctx, level) {
                     Ok((mut res, op)) => {
                         report.push("fell back to data-centric interpreter: ok".into());
@@ -1018,9 +1308,11 @@ impl EngineInner {
         opts: &QueryOptions,
     ) -> Result<QueryResult, PlanError> {
         let r = self.resolve(opts);
+        let gate = self.lifecycle.enter()?;
         let deadline_at = r.deadline.map(|d| Instant::now() + d);
         let _permit = self.admit(r.priority, deadline_at)?;
         let ctx = self.exec_ctx(cancel, &r, deadline_at);
+        gate.attach(&ctx);
         let level = r.metrics;
         let t0 = level.timing().then(Instant::now);
         let (mut res, ops) = isolate(|| self.execute_shape(db, plan, &ctx, level))?;

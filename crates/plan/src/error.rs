@@ -67,6 +67,29 @@ pub enum PlanError {
         /// failure).
         budget: usize,
     },
+    /// The query stopped making progress: no morsel completed within the
+    /// configured watchdog window ([`crate::EngineBuilder::stall_window`]),
+    /// so the engine cancelled it rather than let it wedge an execution
+    /// slot. Not retryable — a stalled plan would stall again.
+    Stalled {
+        /// Morsels fully processed before the stall was detected.
+        morsels_done: usize,
+        /// Morsels the execution had scheduled in total.
+        morsels_total: usize,
+        /// The watchdog window that elapsed without progress, in ms.
+        window_ms: u64,
+    },
+    /// The engine is shutting down: either admission refused the query at
+    /// the front door, or an in-flight query was hard-aborted after the
+    /// drain deadline passed (see [`crate::Engine::shutdown`]). Retry
+    /// against a different (or restarted) engine, not this one.
+    Shutdown {
+        /// Morsels fully processed before the abort took effect (0 when
+        /// rejected at admission).
+        morsels_done: usize,
+        /// Morsels the execution had scheduled in total.
+        morsels_total: usize,
+    },
     /// Admission control rejected the query before execution started: all
     /// execution slots were busy and the bounded wait queue was full, or
     /// the query's deadline expired before a slot freed up (see
@@ -99,7 +122,9 @@ impl PlanError {
     /// `true` for runtime failures the engine may retry once under the
     /// data-centric fallback strategy (worker panics, budget exhaustion,
     /// detected overflow). Cancellation and deadline expiry are *not*
-    /// retryable: the caller asked execution to stop.
+    /// retryable: the caller asked execution to stop. Neither are
+    /// [`PlanError::Stalled`] (a stalled plan would stall again) or
+    /// [`PlanError::Shutdown`] (the engine is going away).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -144,6 +169,23 @@ impl fmt::Display for PlanError {
             } => write!(
                 f,
                 "deadline exceeded after {morsels_done}/{morsels_total} morsels"
+            ),
+            PlanError::Stalled {
+                morsels_done,
+                morsels_total,
+                window_ms,
+            } => write!(
+                f,
+                "query stalled: no morsel completed within {window_ms} ms \
+                 ({morsels_done}/{morsels_total} morsels done)"
+            ),
+            PlanError::Shutdown {
+                morsels_done,
+                morsels_total,
+            } => write!(
+                f,
+                "query aborted by engine shutdown after \
+                 {morsels_done}/{morsels_total} morsels"
             ),
             PlanError::BudgetExceeded {
                 requested,
@@ -197,6 +239,22 @@ impl From<RuntimeError> for PlanError {
                 requested,
                 used,
                 budget,
+            },
+            RuntimeError::Stalled {
+                morsels_done,
+                morsels_total,
+                window_ms,
+            } => PlanError::Stalled {
+                morsels_done,
+                morsels_total,
+                window_ms,
+            },
+            RuntimeError::Shutdown {
+                morsels_done,
+                morsels_total,
+            } => PlanError::Shutdown {
+                morsels_done,
+                morsels_total,
             },
             RuntimeError::Admission(err) => PlanError::Admission(err),
             RuntimeError::Panic(msg) => PlanError::ExecutionFailed(msg),

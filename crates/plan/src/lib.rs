@@ -48,9 +48,9 @@ pub mod stats;
 mod value;
 mod verify;
 
-pub use cache::PlanCacheStats;
+pub use cache::{FallbackBreakerStats, PlanCacheStats};
 pub use catalog::Database;
-pub use engine::{Engine, EngineBuilder, Explain, QueryResult, StrategyOverrides};
+pub use engine::{Engine, EngineBuilder, Explain, QueryResult, ShutdownReport, StrategyOverrides};
 pub use error::PlanError;
 pub use expr::{AggFunc, CmpOp, Expr};
 pub use logical::{AggSpec, LogicalPlan, QueryBuilder};

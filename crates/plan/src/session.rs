@@ -47,6 +47,10 @@ pub struct QueryOptions {
     pub verify: Option<VerifyLevel>,
     /// Admission and scheduling priority class for this query.
     pub priority: Option<Priority>,
+    /// Watchdog window for this query: if no morsel completes within it,
+    /// the query fails with [`PlanError::Stalled`] instead of wedging an
+    /// execution slot.
+    pub stall_window: Option<Duration>,
 }
 
 impl QueryOptions {
@@ -85,6 +89,12 @@ impl QueryOptions {
         self
     }
 
+    /// Set the watchdog stall window.
+    pub fn stall_window(mut self, window: Duration) -> QueryOptions {
+        self.stall_window = Some(window);
+        self
+    }
+
     /// Field-wise fallback: every field set in `self` wins, every unset
     /// field takes `base`'s value. Used to resolve per-call options
     /// against session defaults.
@@ -95,6 +105,7 @@ impl QueryOptions {
             metrics: self.metrics.or(base.metrics),
             verify: self.verify.or(base.verify),
             priority: self.priority.or(base.priority),
+            stall_window: self.stall_window.or(base.stall_window),
         }
     }
 }

@@ -8,9 +8,9 @@
 //! scratch). All counters are relaxed atomics; the context adds no
 //! synchronization to the tile loops themselves.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::admission::Priority;
 use crate::error::RuntimeError;
@@ -79,8 +79,22 @@ pub struct ExecCtx {
     global: Option<Arc<GlobalMemoryPool>>,
     /// Set when any worker panics; siblings exit at their next boundary.
     tripped: AtomicBool,
+    /// Set by [`ExecCtx::abort`] when engine shutdown hard-aborts the
+    /// query; observed at the next morsel boundary as
+    /// [`RuntimeError::Shutdown`].
+    aborted: AtomicBool,
     morsels_done: AtomicUsize,
     morsels_total: AtomicUsize,
+    /// Watchdog window: if no morsel completes for this long, the next
+    /// cooperative check fails with [`RuntimeError::Stalled`]. `None`
+    /// disables the watchdog (the default).
+    stall_window: Option<Duration>,
+    /// When the context was created, on the unskewed clock; the heartbeat
+    /// below is measured from here.
+    started: Instant,
+    /// Watchdog heartbeat: milliseconds from `started` (on the possibly
+    /// fault-skewed deadline clock) at which the last morsel completed.
+    last_progress_ms: AtomicU64,
 }
 
 impl ExecCtx {
@@ -104,9 +118,23 @@ impl ExecCtx {
             priority,
             global,
             tripped: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
             morsels_done: AtomicUsize::new(0),
             morsels_total: AtomicUsize::new(0),
+            stall_window: None,
+            started: Instant::now(),
+            last_progress_ms: AtomicU64::new(0),
         }
+    }
+
+    /// Arm the per-query watchdog: if no morsel completes within `window`,
+    /// the next cooperative check fails with [`RuntimeError::Stalled`].
+    /// The stall clock is the fault-skewable deadline clock, so injected
+    /// clock skew exercises the watchdog deterministically. Call before
+    /// sharing the context (typically right after [`ExecCtx::new`]).
+    pub fn with_stall_window(mut self, window: Option<Duration>) -> ExecCtx {
+        self.stall_window = window;
+        self
     }
 
     /// A context with no handle, deadline, or budget (tests, benches).
@@ -122,13 +150,33 @@ impl ExecCtx {
 
     /// The cooperative check run at every morsel boundary (and once before
     /// dispatch, so zero-morsel inputs still observe a 0ms deadline).
-    /// Cancellation wins over deadline expiry when both hold.
+    /// Precedence when several stop conditions hold at once: shutdown
+    /// abort, then cancellation, then a watchdog stall, then deadline
+    /// expiry — most-specific first.
     pub fn check(&self) -> Result<(), RuntimeError> {
+        if self.aborted.load(Ordering::Relaxed) {
+            return Err(RuntimeError::Shutdown {
+                morsels_done: self.morsels_done.load(Ordering::Relaxed),
+                morsels_total: self.morsels_total.load(Ordering::Relaxed),
+            });
+        }
         if self.cancel.cancelled.load(Ordering::Relaxed) {
             return Err(RuntimeError::Cancelled {
                 morsels_done: self.morsels_done.load(Ordering::Relaxed),
                 morsels_total: self.morsels_total.load(Ordering::Relaxed),
             });
+        }
+        if let Some(window) = self.stall_window {
+            let elapsed = faults::now().saturating_duration_since(self.started);
+            let last = self.last_progress_ms.load(Ordering::Relaxed);
+            let idle_ms = (elapsed.as_millis() as u64).saturating_sub(last);
+            if idle_ms > window.as_millis() as u64 {
+                return Err(RuntimeError::Stalled {
+                    morsels_done: self.morsels_done.load(Ordering::Relaxed),
+                    morsels_total: self.morsels_total.load(Ordering::Relaxed),
+                    window_ms: window.as_millis() as u64,
+                });
+            }
         }
         if let Some(deadline) = self.deadline {
             if faults::now() >= deadline {
@@ -151,9 +199,27 @@ impl ExecCtx {
         self.tripped.load(Ordering::Relaxed)
     }
 
-    /// Record one fully processed morsel.
+    /// Hard-abort the query for engine shutdown: every worker observes
+    /// [`RuntimeError::Shutdown`] at its next morsel boundary. Unlike
+    /// [`ExecHandle::cancel`] this is per-query, not per-scope, and cannot
+    /// be reset.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Relaxed);
+    }
+
+    /// Record one fully processed morsel. This is the watchdog heartbeat:
+    /// the stall clock restarts from here. The heartbeat is recorded
+    /// *before* the chaos harness is notified, so a scheduled clock-skew
+    /// event fires strictly after it — making watchdog trips under chaos
+    /// deterministic.
     pub fn morsel_done(&self) {
         self.morsels_done.fetch_add(1, Ordering::Relaxed);
+        if self.stall_window.is_some() {
+            let elapsed = faults::now().saturating_duration_since(self.started);
+            self.last_progress_ms
+                .fetch_max(elapsed.as_millis() as u64, Ordering::Relaxed);
+        }
+        faults::note_morsel_done();
     }
 
     /// Add `n` morsels to the scheduled total (once per stage).

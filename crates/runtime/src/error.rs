@@ -23,6 +23,25 @@ pub enum RuntimeError {
         /// Morsels the execution had scheduled in total.
         morsels_total: usize,
     },
+    /// The query stopped making progress: no morsel completed within the
+    /// configured watchdog window ([`crate::ExecCtx::with_stall_window`]),
+    /// so the watchdog cancelled it rather than let it wedge a pool slot.
+    Stalled {
+        /// Morsels fully processed before the stall was detected.
+        morsels_done: usize,
+        /// Morsels the execution had scheduled in total.
+        morsels_total: usize,
+        /// The watchdog window that elapsed without progress, in ms.
+        window_ms: u64,
+    },
+    /// The engine began shutting down and hard-aborted this in-flight
+    /// query after the drain deadline passed.
+    Shutdown {
+        /// Morsels fully processed before the abort took effect.
+        morsels_done: usize,
+        /// Morsels the execution had scheduled in total.
+        morsels_total: usize,
+    },
     /// A memory charge would push a gauge (or the global pool) past its
     /// budget.
     BudgetExceeded {
@@ -70,6 +89,23 @@ impl fmt::Display for RuntimeError {
                 "memory budget exceeded: requested {requested} B with {used} B \
                  charged of a {budget} B budget"
             ),
+            RuntimeError::Stalled {
+                morsels_done,
+                morsels_total,
+                window_ms,
+            } => write!(
+                f,
+                "query stalled: no morsel completed within {window_ms} ms \
+                 ({morsels_done}/{morsels_total} morsels done)"
+            ),
+            RuntimeError::Shutdown {
+                morsels_done,
+                morsels_total,
+            } => write!(
+                f,
+                "query aborted by engine shutdown after \
+                 {morsels_done}/{morsels_total} morsels"
+            ),
             RuntimeError::Admission(e) => write!(f, "admission rejected: {e}"),
             RuntimeError::Panic(msg) => write!(f, "worker panicked: {msg}"),
             RuntimeError::Stopped => {
@@ -90,8 +126,10 @@ pub(crate) fn pick_error(errors: Vec<RuntimeError>) -> RuntimeError {
         RuntimeError::Panic(_) => 1,
         RuntimeError::Admission(_) => 2,
         RuntimeError::Cancelled { .. } => 3,
-        RuntimeError::DeadlineExceeded { .. } => 4,
-        RuntimeError::Stopped => 5,
+        RuntimeError::Shutdown { .. } => 4,
+        RuntimeError::Stalled { .. } => 5,
+        RuntimeError::DeadlineExceeded { .. } => 6,
+        RuntimeError::Stopped => 7,
     };
     errors
         .into_iter()

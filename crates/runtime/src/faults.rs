@@ -17,8 +17,22 @@
 //! Because the hooks are process-global, tests that arm them must not run
 //! concurrently with each other; serialize them with a `Mutex` (see
 //! `tests/fault_injection.rs` in the workspace root).
+//!
+//! ## Chaos schedules
+//!
+//! The one-shot hooks compose into [`ChaosSchedule`]s: deterministic,
+//! LCG-seeded *sequences* of faults — several worker panics, allocation
+//! failures at chosen charge indices, admission stalls, and clock-skew
+//! jumps fired after chosen morsel counts — armed all at once with
+//! [`ChaosSchedule::inject`]. The same seed always produces the same event
+//! list, and every event keys off a deterministic index (morsel index =
+//! `start / step`, process-wide charge count, process-wide morsel count),
+//! so a failing soak run is replayable from its printed seed alone. The
+//! hot path stays one relaxed atomic load: schedule state is only
+//! consulted while [`schedule_active`] is set.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Morsel index at which a worker panic fires (`-1` = disarmed).
@@ -31,6 +45,136 @@ static UNCHARGED_ALLOC: AtomicBool = AtomicBool::new(false);
 static ALLOC_FAIL_COUNTDOWN: AtomicI64 = AtomicI64::new(-1);
 /// Milliseconds added to every deadline-clock read (`0` = no skew).
 static CLOCK_SKEW_MS: AtomicU64 = AtomicU64::new(0);
+/// Fast-path flag: `true` while a [`ChaosSchedule`] is armed, so the
+/// per-morsel and per-charge hooks only take the schedule lock when a soak
+/// test is actually running.
+static SCHEDULE_ACTIVE: AtomicBool = AtomicBool::new(false);
+/// The armed chaos schedule's mutable state (consumed events are removed).
+static SCHEDULE: Mutex<Option<ScheduleState>> = Mutex::new(None);
+
+/// One fault in a [`ChaosSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Panic the worker that claims morsel `morsel` (one-shot per event;
+    /// a schedule may carry several at different indices).
+    WorkerPanic {
+        /// Zero-based morsel index, in claim order within a stage.
+        morsel: usize,
+    },
+    /// Fail the `charge`-th memory charge (zero-based, counted process-wide
+    /// from the moment the schedule is armed).
+    AllocFailure {
+        /// Zero-based charge index.
+        charge: usize,
+    },
+    /// After `after_morsels` morsels have completed process-wide, skew the
+    /// deadline clock forward by `ms` milliseconds (cumulative with any
+    /// other skew).
+    ClockSkew {
+        /// Process-wide completed-morsel count that triggers the skew.
+        after_morsels: usize,
+        /// Milliseconds to add to the deadline clock.
+        ms: u64,
+    },
+    /// Stall the next admission attempt by `ms` milliseconds before it
+    /// reaches the controller (one-shot per event).
+    AdmissionStall {
+        /// Milliseconds the admitting thread sleeps.
+        ms: u64,
+    },
+}
+
+/// Mutable view of an armed schedule; events are removed as they fire.
+#[derive(Default)]
+struct ScheduleState {
+    /// Morsel indices that panic (one entry consumed per firing).
+    panics: Vec<usize>,
+    /// Charge indices that fail, against `charges_seen`.
+    alloc_failures: Vec<usize>,
+    /// `(after_morsels, ms)` skew triggers, against `morsels_seen`.
+    skews: Vec<(usize, u64)>,
+    /// Pending admission-stall durations, consumed FIFO.
+    admission_stalls: Vec<u64>,
+    /// Memory charges observed since arming.
+    charges_seen: usize,
+    /// Morsels completed since arming.
+    morsels_seen: usize,
+}
+
+/// A deterministic, seeded sequence of faults. Generate one with
+/// [`ChaosSchedule::from_seed`] (same seed ⇒ same events, forever) or
+/// build the event list by hand, then arm it with
+/// [`ChaosSchedule::inject`]. Like the one-shot hooks, schedules are
+/// process-global: tests arming them must serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// The seed this schedule was generated from (0 for hand-built ones).
+    pub seed: u64,
+    /// The faults, in generation order.
+    pub events: Vec<ChaosEvent>,
+}
+
+/// Multiplier/increment from Knuth's MMIX LCG — full 2^64 period, and the
+/// whole reason a soak failure is replayable from its seed.
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+impl ChaosSchedule {
+    /// Derive a schedule of 2–5 faults from `seed`. Indices are kept small
+    /// (morsels < 48, charges < 24, skew ≤ 8 s, stalls ≤ 20 ms) so every
+    /// event has a real chance to fire against the soak workload; which
+    /// kinds appear, and where, is entirely seed-driven.
+    pub fn from_seed(seed: u64) -> ChaosSchedule {
+        let mut s = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let n_events = 2 + (lcg_next(&mut s) % 4) as usize;
+        let events = (0..n_events)
+            .map(|_| match lcg_next(&mut s) % 4 {
+                0 => ChaosEvent::WorkerPanic {
+                    morsel: (lcg_next(&mut s) % 48) as usize,
+                },
+                1 => ChaosEvent::AllocFailure {
+                    charge: (lcg_next(&mut s) % 24) as usize,
+                },
+                2 => ChaosEvent::ClockSkew {
+                    after_morsels: (lcg_next(&mut s) % 64) as usize,
+                    ms: 1000 + lcg_next(&mut s) % 7000,
+                },
+                _ => ChaosEvent::AdmissionStall {
+                    ms: 1 + lcg_next(&mut s) % 20,
+                },
+            })
+            .collect();
+        ChaosSchedule { seed, events }
+    }
+
+    /// Arm every event of this schedule at once. The returned guard disarms
+    /// the whole harness (schedule and one-shot hooks) on drop.
+    pub fn inject(&self) -> FaultGuard {
+        let mut state = ScheduleState::default();
+        for ev in &self.events {
+            match *ev {
+                ChaosEvent::WorkerPanic { morsel } => state.panics.push(morsel),
+                ChaosEvent::AllocFailure { charge } => state.alloc_failures.push(charge),
+                ChaosEvent::ClockSkew { after_morsels, ms } => {
+                    state.skews.push((after_morsels, ms));
+                }
+                ChaosEvent::AdmissionStall { ms } => state.admission_stalls.push(ms),
+            }
+        }
+        *SCHEDULE.lock().expect("chaos schedule") = Some(state);
+        SCHEDULE_ACTIVE.store(true, Ordering::SeqCst);
+        FaultGuard { _priv: () }
+    }
+}
+
+/// `true` while a [`ChaosSchedule`] is armed.
+pub fn schedule_active() -> bool {
+    SCHEDULE_ACTIVE.load(Ordering::Relaxed)
+}
 
 /// RAII guard returned by the `inject_*` functions; disarms **all** fault
 /// hooks when dropped.
@@ -51,6 +195,8 @@ pub fn disarm_all() {
     ALLOC_FAIL_COUNTDOWN.store(-1, Ordering::SeqCst);
     CLOCK_SKEW_MS.store(0, Ordering::SeqCst);
     UNCHARGED_ALLOC.store(false, Ordering::SeqCst);
+    SCHEDULE_ACTIVE.store(false, Ordering::SeqCst);
+    *SCHEDULE.lock().expect("chaos schedule") = None;
 }
 
 /// Arm a one-shot worker panic at morsel `index` (zero-based, in claim
@@ -92,7 +238,8 @@ pub fn inject_clock_skew(by: Duration) -> FaultGuard {
     FaultGuard { _priv: () }
 }
 
-/// Hot-path hook: panic if a one-shot panic is armed for this morsel.
+/// Hot-path hook: panic if a one-shot panic (or a schedule event) is armed
+/// for this morsel.
 pub(crate) fn maybe_panic_at_morsel(index: usize) {
     let target = PANIC_AT_MORSEL.load(Ordering::Relaxed);
     if target >= 0
@@ -103,10 +250,33 @@ pub(crate) fn maybe_panic_at_morsel(index: usize) {
     {
         panic!("injected fault: worker panic at morsel {index}");
     }
+    if SCHEDULE_ACTIVE.load(Ordering::Relaxed) {
+        let mut fire = false;
+        if let Some(state) = SCHEDULE.lock().expect("chaos schedule").as_mut() {
+            if let Some(pos) = state.panics.iter().position(|&m| m == index) {
+                state.panics.swap_remove(pos);
+                fire = true;
+            }
+        }
+        if fire {
+            panic!("injected fault: scheduled worker panic at morsel {index}");
+        }
+    }
 }
 
-/// Hot-path hook: `true` exactly once, on the charge the countdown reaches.
+/// Hot-path hook: `true` exactly once, on the charge the countdown reaches
+/// (or on a charge index named by an armed schedule).
 pub(crate) fn charge_should_fail() -> bool {
+    if SCHEDULE_ACTIVE.load(Ordering::Relaxed) {
+        if let Some(state) = SCHEDULE.lock().expect("chaos schedule").as_mut() {
+            let seen = state.charges_seen;
+            state.charges_seen += 1;
+            if let Some(pos) = state.alloc_failures.iter().position(|&c| c == seen) {
+                state.alloc_failures.swap_remove(pos);
+                return true;
+            }
+        }
+    }
     if ALLOC_FAIL_COUNTDOWN.load(Ordering::Relaxed) < 0 {
         return false;
     }
@@ -120,6 +290,48 @@ pub(crate) fn charge_should_fail() -> bool {
         })
         .map(|prev| prev == 0)
         .unwrap_or(false)
+}
+
+/// Progress hook: called once per completed morsel so schedule clock-skew
+/// events can fire at deterministic morsel counts. No-op (one relaxed
+/// load) unless a schedule is armed.
+pub(crate) fn note_morsel_done() {
+    if !SCHEDULE_ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Some(state) = SCHEDULE.lock().expect("chaos schedule").as_mut() {
+        state.morsels_seen += 1;
+        let seen = state.morsels_seen;
+        let mut i = 0;
+        while i < state.skews.len() {
+            if state.skews[i].0 < seen {
+                let (_, ms) = state.skews.swap_remove(i);
+                CLOCK_SKEW_MS.fetch_add(ms, Ordering::SeqCst);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Admission hook: take the next scheduled stall duration, if any. The
+/// caller sleeps *outside* the admission lock so a stalled arrival cannot
+/// block permit releases.
+pub(crate) fn take_admission_stall() -> Option<Duration> {
+    if !SCHEDULE_ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    SCHEDULE
+        .lock()
+        .expect("chaos schedule")
+        .as_mut()
+        .and_then(|state| {
+            if state.admission_stalls.is_empty() {
+                None
+            } else {
+                Some(Duration::from_millis(state.admission_stalls.remove(0)))
+            }
+        })
 }
 
 /// The deadline clock: wall time plus any injected skew.

@@ -32,10 +32,43 @@
 //! running. The same morsel boundary is the cooperative
 //! cancellation/deadline check, and the claimed morsel index feeds the
 //! fault-injection harness.
+//!
+//! **Lifecycle:** [`WorkerPool::shutdown`] stops the workers and *joins*
+//! them — no detached `swole-pool-*` thread survives a drain. Dropping the
+//! pool routes through the same path, so the last engine handle going away
+//! can never leak a worker thread.
+//!
+//! # Memory-ordering contract
+//!
+//! Every atomic in this module is annotated at its use site; the summary:
+//!
+//! - **Accumulator/partial data** is never published through an atomic at
+//!   all: it moves through `Mutex<Vec<T>>` (`Stage::free`), and scoped
+//!   workers hand theirs over via `join()`. The atomics below only gate
+//!   *control flow*, which is why most of them can be `Relaxed`.
+//! - `MorselQueue::next` — `Relaxed`. A pure claim ticket: `fetch_add` is
+//!   atomic at any ordering, so ranges are disjoint; no worker reads data
+//!   another worker wrote based on it.
+//! - `Stage::outstanding` / `Stage::exhausted` — `Release`/`Acquire`
+//!   pairs. These two *are* load-bearing: `maybe_finish` may run on a pool
+//!   worker while the submitter sleeps in `wait_done`, and the
+//!   done-signalling decision (queue dry **and** nothing mid-flight) must
+//!   observe the claim reservations of every other worker. The actual
+//!   wake-up then travels through the `done` mutex + condvar.
+//! - Pool shutdown — **not an atomic anymore**: a plain `bool` inside the
+//!   registry mutex. The flag is only ever read under the same mutex the
+//!   workers sleep on (`next_task`), so mutex acquire/release orders it,
+//!   and setting it under the lock before `notify_all` closes the classic
+//!   missed-wakeup race a lock-free store allowed in principle.
+//! - `ExecCtx` flags (`tripped`, cancellation) are `Relaxed`/`SeqCst` in
+//!   `ctx.rs`; here they only short-circuit claim loops, never publish
+//!   data.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::admission::Priority;
 use crate::ctx::{panic_payload_error, ExecCtx};
@@ -65,6 +98,9 @@ impl MorselQueue {
     /// the same rows at any thread count — what makes injected faults
     /// deterministic.
     fn claim(&self) -> Option<(usize, usize, usize)> {
+        // Relaxed suffices: `fetch_add` hands out disjoint ranges at any
+        // ordering, and no cross-thread data depends on *when* a claim
+        // becomes visible — claimed rows are read-only table data.
         let start = self.next.fetch_add(self.step, Ordering::Relaxed);
         if start >= self.n_rows {
             return None;
@@ -197,6 +233,11 @@ trait StageTask: Send + Sync {
     /// no further work for this worker (exhausted, failed, or tripped) and
     /// should be dropped from the registry.
     fn step(&self) -> bool;
+
+    /// Hard-abort the stage for pool shutdown: trip its context so every
+    /// participant (including the submitting thread) observes a typed
+    /// [`RuntimeError::Shutdown`] at its next morsel boundary.
+    fn abort(&self);
 }
 
 /// Stage state shared between the submitter and pool workers.
@@ -250,6 +291,10 @@ where
     fn fail(&self, e: RuntimeError) {
         self.ctx.trip();
         self.errors.lock().expect("stage error list").push(e);
+        // Release pairs with the Acquire in `maybe_finish`/`step`: a
+        // thread that sees `exhausted` also sees the error pushed above
+        // (the error Mutex alone would suffice for the data, but the flag
+        // must not be visible *before* the trip/push).
         self.exhausted.store(true, Ordering::Release);
         self.maybe_finish();
     }
@@ -260,6 +305,10 @@ where
     /// dry with `outstanding == 0` no partial can appear afterwards on the
     /// success path.
     fn maybe_finish(&self) {
+        // Acquire on both flags: observing `exhausted`/`outstanding == 0`
+        // must also observe the accumulator returns (free-list pushes) of
+        // the workers that got the stage there, so `finish()` drains
+        // complete partials.
         let stop = self.exhausted.load(Ordering::Acquire) || self.ctx.tripped();
         if !stop || self.outstanding.load(Ordering::Acquire) != 0 {
             return;
@@ -302,7 +351,11 @@ where
             return false;
         }
         // Reserve before claiming so a concurrent observer cannot see the
-        // queue dry with this morsel still mid-flight.
+        // queue dry with this morsel still mid-flight. AcqRel: the raise
+        // must be ordered before the claim (program order holds it there,
+        // but the RMW also makes it globally visible before any observer
+        // can see the queue dry), and the matching `fetch_sub` releases
+        // the body's writes to whoever observes `outstanding == 0`.
         self.outstanding.fetch_add(1, Ordering::AcqRel);
         let Some((start, len, index)) = self.queue.claim() else {
             self.exhausted.store(true, Ordering::Release);
@@ -329,6 +382,17 @@ where
             }
         }
     }
+
+    fn abort(&self) {
+        // Mark the query shutdown-aborted, then trip so workers already
+        // past their `check()` still stop claiming. The submitter (or a
+        // worker) records the typed error at its next boundary via
+        // `check()`; `maybe_finish` wakes a submitter that is already
+        // asleep in `wait_done` with nothing outstanding.
+        self.ctx.abort();
+        self.ctx.trip();
+        self.maybe_finish();
+    }
 }
 
 struct RegisteredStage {
@@ -342,12 +406,22 @@ struct Registry {
     stages: Vec<RegisteredStage>,
     next_id: u64,
     rr: usize,
+    /// Plain bool, not an atomic: only ever read/written under this mutex
+    /// (the one workers sleep on), so setting it before `notify_all`
+    /// cannot race with a worker deciding to wait — see the module-level
+    /// memory-ordering contract.
+    shutdown: bool,
+    /// Worker threads that have not yet exited `worker_loop`. Drained to
+    /// zero (under `exit_cv`) before `shutdown` joins the handles.
+    live_workers: usize,
 }
 
 struct PoolShared {
     registry: Mutex<Registry>,
     work_cv: Condvar,
-    shutdown: AtomicBool,
+    /// Signalled by each worker as it exits; `shutdown` waits on it until
+    /// `live_workers` reaches zero.
+    exit_cv: Condvar,
 }
 
 /// A fixed set of persistent worker threads multiplexing morsels from
@@ -355,12 +429,16 @@ struct PoolShared {
 ///
 /// Workers pick the next stage by [`Priority`] class (higher classes
 /// starve lower ones by design) and round-robin within the class, running
-/// one morsel per visit. Dropping the pool shuts the workers down; stages
-/// in flight still complete because their submitting threads keep
-/// stepping.
+/// one morsel per visit. [`WorkerPool::shutdown`] (and `Drop`, which
+/// routes through it) stops the workers and joins them; stages registered
+/// after shutdown still complete because their submitting threads keep
+/// stepping — they just run submitter-only.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     workers: usize,
+    /// Join handles for the spawned workers, drained exactly once by
+    /// [`WorkerPool::shutdown`].
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl WorkerPool {
@@ -370,21 +448,99 @@ impl WorkerPool {
         let shared = Arc::new(PoolShared {
             registry: Mutex::new(Registry::default()),
             work_cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
+            exit_cv: Condvar::new(),
         });
+        // Account for the workers before spawning them so a shutdown racing
+        // pool construction still waits for every thread.
+        shared.registry.lock().expect("pool registry").live_workers = workers;
+        let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("swole-pool-{i}"))
-                .spawn(move || worker_loop(shared))
-                .expect("spawn pool worker");
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("swole-pool-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker"),
+            );
         }
-        WorkerPool { shared, workers }
+        WorkerPool {
+            shared,
+            workers,
+            handles: Mutex::new(handles),
+        }
     }
 
     /// Number of worker threads in the pool.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Worker threads that have not yet exited (for leak checks; `0` after
+    /// a completed [`WorkerPool::shutdown`]).
+    pub fn live_workers(&self) -> usize {
+        self.shared
+            .registry
+            .lock()
+            .expect("pool registry")
+            .live_workers
+    }
+
+    /// Stop and join every worker thread.
+    ///
+    /// Without a deadline, waits for workers to finish their current
+    /// morsel and exit — in-flight stages keep completing through their
+    /// submitting threads. With a deadline, waits until then for a clean
+    /// exit; if workers are still busy when it passes, every registered
+    /// stage is hard-aborted (its query surfaces
+    /// [`RuntimeError::Shutdown`] at the next morsel boundary) and the
+    /// join then completes. Returns `true` when the drain finished without
+    /// aborting anything. Idempotent: later calls see no live workers and
+    /// return immediately.
+    pub fn shutdown(&self, deadline: Option<Instant>) -> bool {
+        {
+            let mut reg = self.shared.registry.lock().expect("pool registry");
+            reg.shutdown = true;
+        }
+        // Notify *after* releasing the lock so woken workers can take it.
+        self.shared.work_cv.notify_all();
+        let mut clean = true;
+        let mut reg = self.shared.registry.lock().expect("pool registry");
+        if let Some(deadline) = deadline {
+            while reg.live_workers > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .exit_cv
+                    .wait_timeout(reg, deadline - now)
+                    .expect("pool registry");
+                reg = guard;
+            }
+            if reg.live_workers > 0 {
+                // Deadline passed with workers still on morsels: abort the
+                // registered stages so every participant bails at its next
+                // boundary with a typed error. Cooperative — a morsel body
+                // that never returns would still wedge the join below.
+                clean = false;
+                for stage in &reg.stages {
+                    stage.task.abort();
+                }
+            }
+        }
+        while reg.live_workers > 0 {
+            reg = self.shared.exit_cv.wait(reg).expect("pool registry");
+        }
+        drop(reg);
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool handles"));
+        for handle in handles {
+            // Workers contain their panics via catch_unwind in step(), so
+            // join failures are not expected; swallow rather than poison a
+            // drain.
+            let _ = handle.join();
+        }
+        clean
     }
 
     fn register(&self, priority: Priority, task: Arc<dyn StageTask>) -> u64 {
@@ -405,8 +561,10 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.work_cv.notify_all();
+        // Route through the graceful path: stop admission of new morsels
+        // to pool threads and *join* them, so dropping the last engine
+        // handle cannot leak a detached `swole-pool-*` thread.
+        self.shutdown(None);
     }
 }
 
@@ -420,12 +578,20 @@ fn worker_loop(shared: Arc<PoolShared>) {
             reg.stages.retain(|s| s.id != id);
         }
     }
+    // Shutdown observed: account this thread out and wake the joiner.
+    let mut reg = shared.registry.lock().expect("pool registry");
+    reg.live_workers -= 1;
+    drop(reg);
+    shared.exit_cv.notify_all();
 }
 
 fn next_task(shared: &PoolShared) -> Option<(u64, Arc<dyn StageTask>)> {
     let mut reg = shared.registry.lock().expect("pool registry");
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        // Plain bool read: we hold the registry mutex, the only place the
+        // flag is written, so no atomic is needed and the set-then-notify
+        // in `shutdown` cannot slip between this check and the wait below.
+        if reg.shutdown {
             return None;
         }
         if let Some(pick) = pick_stage(&mut reg) {
@@ -486,6 +652,25 @@ impl Executor {
         matches!(self, Executor::Pool(_))
     }
 
+    /// Stop and join any persistent worker threads. A no-op (`true`) for
+    /// the scoped executor, whose workers never outlive a stage; see
+    /// [`WorkerPool::shutdown`] for pool semantics.
+    pub fn shutdown(&self, deadline: Option<Instant>) -> bool {
+        match self {
+            Executor::Scoped { .. } => true,
+            Executor::Pool(pool) => pool.shutdown(deadline),
+        }
+    }
+
+    /// Persistent worker threads still running (`0` for scoped executors
+    /// and for pools after a completed shutdown).
+    pub fn live_workers(&self) -> usize {
+        match self {
+            Executor::Scoped { .. } => 0,
+            Executor::Pool(pool) => pool.live_workers(),
+        }
+    }
+
     /// Run `body` over every morsel of `0..n_rows`, folding into
     /// `init()`-built accumulators. Returns all per-worker accumulators
     /// (at least one, even for zero-row inputs) for the caller's merge
@@ -535,6 +720,16 @@ where
     while stage.step() {}
     stage.wait_done();
     pool.unregister(id);
+    // A pool worker may still hold a transient clone of the stage from its
+    // last visit (it drops it right after removing the stage from the
+    // registry). Wait it out before returning: the stage owns the query's
+    // `ExecCtx`, and resource release (global-memory charges, pool
+    // registration) must be observable the moment this call returns, not
+    // a beat later. The visits left are claim-nothing exits, so this spin
+    // is microseconds at worst.
+    while Arc::strong_count(&stage) > 1 {
+        std::thread::yield_now();
+    }
     let (mut partials, errors) = stage.finish();
     if !errors.is_empty() {
         return Err(pick_error(errors));
@@ -671,9 +866,16 @@ mod tests {
     #[test]
     fn pool_runs_concurrent_stages_to_identical_results() {
         let exec = Arc::new(Executor::pool(3));
-        let n = 64 * TILE + 7;
+        // Miri interprets every accumulator iteration; shrink the row
+        // count (and the client herd) so the interleavings still get
+        // explored without minutes of interpretation.
+        let (n, clients) = if cfg!(miri) {
+            (4 * TILE + 7, 2)
+        } else {
+            (64 * TILE + 7, 8)
+        };
         let solo: i64 = (0..n as i64).sum();
-        let handles: Vec<_> = (0..8)
+        let handles: Vec<_> = (0..clients)
             .map(|_| {
                 let exec = Arc::clone(&exec);
                 std::thread::spawn(move || {
@@ -698,6 +900,37 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().expect("client thread"), solo);
         }
+    }
+
+    #[test]
+    fn shutdown_joins_all_workers_and_is_idempotent() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.live_workers(), 3);
+        assert!(pool.shutdown(None), "idle pool drains cleanly");
+        assert_eq!(pool.live_workers(), 0);
+        assert!(pool.shutdown(None), "second shutdown is a no-op");
+        assert!(pool.shutdown(Some(Instant::now())), "deadline form too");
+    }
+
+    #[test]
+    fn stages_after_shutdown_run_submitter_only() {
+        let exec = Executor::pool(2);
+        assert!(exec.shutdown(None));
+        assert_eq!(exec.live_workers(), 0);
+        let ctx = Arc::new(ExecCtx::unbounded());
+        let n = 8 * TILE;
+        let partials = exec
+            .run_morsels(
+                &ctx,
+                n,
+                TILE,
+                || 0usize,
+                |acc, _, len| {
+                    *acc += len;
+                },
+            )
+            .expect("submitter keeps stepping after pool shutdown");
+        assert_eq!(partials.into_iter().sum::<usize>(), n);
     }
 
     #[test]

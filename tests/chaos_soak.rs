@@ -1,0 +1,303 @@
+//! Chaos soak: seeded fault schedules against every executor shape.
+//!
+//! Each soak iteration arms a [`ChaosSchedule`] — an LCG-derived sequence
+//! of worker panics, allocation failures, admission stalls, and clock-skew
+//! jumps — and runs the standard workload at {1, 2, 8} threads on both the
+//! scoped executor and the shared worker pool. The contract under chaos is
+//! the hardened-execution contract:
+//!
+//! 1. every query either returns rows **bit-identical** to the interpreter
+//!    ground truth or a **typed** runtime error — never a wrong answer,
+//!    never a process abort;
+//! 2. nothing leaks: after the schedule drops, admission shows zero
+//!    running/queued, the global memory pool shows zero bytes charged and
+//!    zero registered queries, and shutdown joins every pool worker;
+//! 3. a failing run is replayable from its printed seed alone (asserted
+//!    directly for the single-threaded executor, where even the error
+//!    text must be identical across replays).
+//!
+//! Fault hooks are process-global, so every test here serializes on the
+//! same mutex as the rest of the suite's fault tests.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+use swole::plan::faults::{self, ChaosSchedule};
+use swole::plan::interp;
+use swole::prelude::*;
+
+/// Seeds per executor/thread-count combination. The fixed CI matrix runs
+/// exactly these; the nightly job layers random seeds on top.
+const SEEDS: u64 = 32;
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Rows per morsel (pinned via `tile_rows`) and total rows: 8 morsels.
+const MORSEL: usize = 1024;
+const N_ROWS: usize = 8 * MORSEL;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Deterministic R(x, a, b, c, fk) → S(y) database, sized for 8 morsels.
+fn make_db(n_s: usize) -> Database {
+    let mut state = 0x0007_c4a0_5eed_u64;
+    let mut next = move |m: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("R")
+            .with_column(
+                "x",
+                ColumnData::I8((0..N_ROWS).map(|_| next(100) as i8).collect()),
+            )
+            .with_column(
+                "a",
+                ColumnData::I32((0..N_ROWS).map(|_| next(50) as i32 + 1).collect()),
+            )
+            .with_column(
+                "b",
+                ColumnData::I32((0..N_ROWS).map(|_| next(50) as i32 + 1).collect()),
+            )
+            .with_column(
+                "c",
+                ColumnData::I16((0..N_ROWS).map(|_| next(16) as i16).collect()),
+            )
+            .with_column(
+                "fk",
+                ColumnData::U32((0..N_ROWS).map(|_| next(n_s as u64) as u32).collect()),
+            ),
+    );
+    db.add_table(Table::new("S").with_column(
+        "y",
+        ColumnData::I8((0..n_s).map(|_| next(100) as i8).collect()),
+    ));
+    db
+}
+
+fn groupby_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(60)))
+        .aggregate(
+            Some("c"),
+            vec![
+                AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                AggSpec::count("n"),
+            ],
+        )
+}
+
+fn scalar_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(30)))
+        .aggregate(None, vec![AggSpec::sum(Expr::col("a"), "s")])
+}
+
+fn semijoin_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .semijoin(
+            QueryBuilder::scan("S").filter(Expr::col("y").cmp(CmpOp::Lt, Expr::lit(50))),
+            "fk",
+        )
+        .aggregate(
+            None,
+            vec![AggSpec::sum(Expr::col("a"), "s"), AggSpec::count("n")],
+        )
+}
+
+/// `true` for the error variants a chaos schedule is allowed to surface:
+/// runtime failures of the query's own execution. Planner errors (unknown
+/// table, unsupported shape, verification) would mean the fault harness
+/// corrupted state it must not touch.
+fn is_typed_runtime_error(err: &PlanError) -> bool {
+    matches!(
+        err,
+        PlanError::ExecutionFailed(_)
+            | PlanError::BudgetExceeded { .. }
+            | PlanError::Stalled { .. }
+            | PlanError::Shutdown { .. }
+            | PlanError::DeadlineExceeded { .. }
+            | PlanError::Cancelled { .. }
+            | PlanError::Admission(_)
+            | PlanError::Overflow(_)
+    )
+}
+
+/// Names of live threads spawned by the shared worker pool, read from the
+/// kernel's per-task `comm` (Linux only; empty elsewhere, which degrades
+/// the thread-leak assertion to a no-op rather than a false failure).
+fn live_pool_thread_names() -> Vec<String> {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return Vec::new();
+    };
+    tasks
+        .filter_map(|t| t.ok())
+        .filter_map(|t| std::fs::read_to_string(t.path().join("comm")).ok())
+        .map(|name| name.trim().to_string())
+        .filter(|name| name.starts_with("swole-pool"))
+        .collect()
+}
+
+/// One engine per (executor, threads) cell of the soak matrix. Admission
+/// and a global memory budget are always on so the leak assertions have
+/// gauges to read; the stall window is generous enough that only injected
+/// clock skew can trip it.
+fn soak_engine(pool: bool, threads: usize) -> Engine {
+    let b = Engine::builder(make_db(512))
+        .tile_rows(MORSEL)
+        .admission(AdmissionConfig::new(2))
+        .global_memory_budget(64 << 20)
+        .stall_window(Duration::from_secs(10));
+    if pool {
+        b.worker_pool(threads).build()
+    } else {
+        b.threads(threads).build()
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "spawns OS threads and measures wall-clock time")]
+fn seeded_chaos_schedules_never_corrupt_or_leak() {
+    let _s = serial();
+    faults::disarm_all();
+    let plans = [groupby_plan(), scalar_plan(), semijoin_plan()];
+    let db = make_db(512);
+    let truths: Vec<QueryResult> = plans
+        .iter()
+        .map(|p| interp::run(&db, p).expect("interpreter ground truth"))
+        .collect();
+    drop(db);
+
+    // Seeds can also arrive from the environment (the nightly CI job sets
+    // CHAOS_SEED to a random value and prints it for replay).
+    let extra_seed: Option<u64> = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let seeds: Vec<u64> = (0..SEEDS).chain(extra_seed).collect();
+
+    for pool in [false, true] {
+        for &threads in &THREADS {
+            for &seed in &seeds {
+                let schedule = ChaosSchedule::from_seed(seed);
+                let tag = format!(
+                    "seed={seed} threads={threads} executor={} events={:?}",
+                    if pool { "pool" } else { "scoped" },
+                    schedule.events
+                );
+                let e = soak_engine(pool, threads);
+                let guard = schedule.inject();
+                for (plan, truth) in plans.iter().zip(&truths) {
+                    match e.query(plan) {
+                        Ok(got) => assert_eq!(got.rows, truth.rows, "wrong rows under {tag}"),
+                        Err(err) => assert!(
+                            is_typed_runtime_error(&err),
+                            "untyped error {err:?} under {tag}"
+                        ),
+                    }
+                }
+                drop(guard);
+                assert!(!faults::schedule_active(), "guard drop disarms: {tag}");
+
+                // Leak audit: every permit, gauge charge, and lifecycle
+                // slot must be back by the time the queries returned.
+                assert_eq!(e.queries_in_flight(), 0, "lifecycle slot leaked: {tag}");
+                assert_eq!(
+                    e.admission_in_flight(),
+                    Some((0, 0)),
+                    "admission permit leaked: {tag}"
+                );
+                let mem = e.global_memory_stats().expect("global pool configured");
+                assert_eq!(
+                    (mem.used, mem.active),
+                    (0, 0),
+                    "memory charge leaked: {tag} ({mem:?})"
+                );
+
+                let report = e.shutdown(Some(Duration::from_secs(10)));
+                assert!(
+                    report.clean && report.aborted == 0,
+                    "shutdown not clean: {report:?} under {tag}"
+                );
+                assert_eq!(e.live_pool_workers(), 0, "pool thread survived: {tag}");
+            }
+        }
+    }
+    assert_eq!(
+        live_pool_thread_names(),
+        Vec::<String>::new(),
+        "no swole-pool-* OS thread may outlive its engine"
+    );
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "spawns OS threads and measures wall-clock time")]
+fn chaos_replay_single_thread_is_bit_identical() {
+    let _s = serial();
+    faults::disarm_all();
+    let plans = [groupby_plan(), scalar_plan(), semijoin_plan()];
+
+    // Single-threaded execution makes the whole fault interleaving
+    // deterministic: morsel claim order, process-wide charge order, and
+    // skew trigger points are all fixed, so a replay must reproduce not
+    // just the Ok/Err outcome but the exact rows and exact error text.
+    // No stall window here: whether a near-window cumulative skew trips
+    // the watchdog would depend on real elapsed milliseconds, which is
+    // the one thing a replay cannot reproduce.
+    let run_once = |seed: u64| -> Vec<String> {
+        let e = Engine::builder(make_db(512))
+            .tile_rows(MORSEL)
+            .threads(1)
+            .admission(AdmissionConfig::new(2))
+            .global_memory_budget(64 << 20)
+            .build();
+        let guard = ChaosSchedule::from_seed(seed).inject();
+        let outcomes = plans
+            .iter()
+            .map(|plan| match e.query(plan) {
+                Ok(got) => format!("ok: {:?}", got.rows),
+                Err(err) => format!("err: {err}"),
+            })
+            .collect();
+        drop(guard);
+        e.shutdown(Some(Duration::from_secs(10)));
+        outcomes
+    };
+
+    for seed in [3u64, 7, 11, 23, 31] {
+        assert_eq!(
+            ChaosSchedule::from_seed(seed).events,
+            ChaosSchedule::from_seed(seed).events,
+            "seed derivation must be pure"
+        );
+        let first = run_once(seed);
+        let replay = run_once(seed);
+        assert_eq!(first, replay, "seed={seed} replay diverged");
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "spawns OS threads and measures wall-clock time")]
+fn dropped_schedule_leaves_engine_pristine() {
+    let _s = serial();
+    faults::disarm_all();
+    let plan = groupby_plan();
+    let e = soak_engine(true, 4);
+    let truth = interp::run(&e.database(), &plan).expect("interpreter ground truth");
+
+    // Arm a schedule, let it wreak havoc, drop it mid-flight of nothing:
+    // the very next query must run clean and bit-identical.
+    let guard = ChaosSchedule::from_seed(0xdead_beef).inject();
+    let _ = e.query(&plan);
+    drop(guard);
+    assert!(!faults::schedule_active());
+    let got = e.query(&plan).expect("clean run after guard drop");
+    assert_eq!(got.rows, truth.rows);
+    let report = e.shutdown(None);
+    assert!(report.clean, "unbounded drain always joins: {report:?}");
+}

@@ -1,0 +1,465 @@
+//! Server lifecycle: graceful drain, deadline abort, watchdog, shedding,
+//! and the interpreter-fallback circuit breaker, end to end.
+//!
+//! These tests exercise [`Engine::shutdown`] and its satellites the way an
+//! operator would hit them: clients hammering a shared engine while it
+//! drains, a wedged query hard-aborted past the drain deadline, a stalled
+//! query cancelled by the progress watchdog, overload shed with a
+//! structured retry hint, and a persistently failing plan class
+//! short-circuited past its doomed primary strategy.
+//!
+//! Several tests arm process-global fault hooks or scan `/proc` for pool
+//! threads, so everything here serializes on one mutex.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+use swole::plan::faults::{self, ChaosEvent, ChaosSchedule};
+use swole::plan::interp;
+use swole::prelude::*;
+
+/// Rows per morsel (pinned via `tile_rows`) and total rows: 8 morsels.
+const MORSEL: usize = 1024;
+const N_ROWS: usize = 8 * MORSEL;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Deterministic R(x, a, b, c, fk) → S(y) database with `n_rows` rows of R.
+fn make_db(n_rows: usize, n_s: usize) -> Database {
+    let mut state = 0x0007_11fe_5eed_u64;
+    let mut next = move |m: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    };
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("R")
+            .with_column(
+                "x",
+                ColumnData::I8((0..n_rows).map(|_| next(100) as i8).collect()),
+            )
+            .with_column(
+                "a",
+                ColumnData::I32((0..n_rows).map(|_| next(50) as i32 + 1).collect()),
+            )
+            .with_column(
+                "b",
+                ColumnData::I32((0..n_rows).map(|_| next(50) as i32 + 1).collect()),
+            )
+            .with_column(
+                "c",
+                ColumnData::I16((0..n_rows).map(|_| next(16) as i16).collect()),
+            )
+            .with_column(
+                "fk",
+                ColumnData::U32((0..n_rows).map(|_| next(n_s as u64) as u32).collect()),
+            ),
+    );
+    db.add_table(Table::new("S").with_column(
+        "y",
+        ColumnData::I8((0..n_s).map(|_| next(100) as i8).collect()),
+    ));
+    db
+}
+
+fn groupby_plan() -> LogicalPlan {
+    QueryBuilder::scan("R")
+        .filter(Expr::col("x").cmp(CmpOp::Lt, Expr::lit(60)))
+        .aggregate(
+            Some("c"),
+            vec![
+                AggSpec::sum(Expr::col("a").mul(Expr::col("b")), "s"),
+                AggSpec::count("n"),
+            ],
+        )
+}
+
+/// Names of live `swole-pool-*` threads (Linux `/proc` scan; empty
+/// elsewhere, degrading the assertion to a no-op).
+fn live_pool_thread_names() -> Vec<String> {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return Vec::new();
+    };
+    tasks
+        .filter_map(|t| t.ok())
+        .filter_map(|t| std::fs::read_to_string(t.path().join("comm")).ok())
+        .map(|name| name.trim().to_string())
+        .filter(|name| name.starts_with("swole-pool"))
+        .collect()
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "spawns OS threads and measures wall-clock time")]
+fn graceful_shutdown_drains_hammering_clients() {
+    let _s = serial();
+    faults::disarm_all();
+    const CLIENTS: usize = 8;
+    let e = Engine::builder(make_db(N_ROWS, 512))
+        .worker_pool(4)
+        .tile_rows(MORSEL)
+        .admission(AdmissionConfig::new(2))
+        .global_memory_budget(64 << 20)
+        .build();
+    let plan = groupby_plan();
+    let truth = interp::run(&e.database(), &plan).expect("interpreter ground truth");
+
+    let start = Arc::new(Barrier::new(CLIENTS + 1));
+    let ok_runs = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let e = e.clone();
+            let plan = plan.clone();
+            let truth_rows = truth.rows.clone();
+            let start = start.clone();
+            let ok_runs = ok_runs.clone();
+            std::thread::spawn(move || {
+                start.wait();
+                // Hammer until the engine turns us away, then report how
+                // the rejection was typed.
+                loop {
+                    match e.query(&plan) {
+                        Ok(got) => {
+                            assert_eq!(got.rows, truth_rows, "wrong rows under drain");
+                            ok_runs.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(err) => return err,
+                    }
+                }
+            })
+        })
+        .collect();
+
+    start.wait();
+    // Let the herd build up real in-flight state before pulling the plug.
+    while ok_runs.load(Ordering::Relaxed) < CLIENTS {
+        std::thread::yield_now();
+    }
+    let report = e.shutdown(Some(Duration::from_secs(30)));
+    assert!(
+        report.clean && report.aborted == 0,
+        "in-flight queries finish well inside the deadline: {report:?}"
+    );
+    assert!(report.wait <= Duration::from_secs(30));
+
+    for h in handles {
+        let err = h.join().expect("client thread");
+        assert!(
+            matches!(err, PlanError::Admission(AdmissionError::Shutdown)),
+            "drain rejection must be typed: {err:?}"
+        );
+    }
+    assert!(ok_runs.load(Ordering::Relaxed) >= CLIENTS);
+
+    // Fully quiesced: no lifecycle slots, no permits, no charges, no
+    // threads — and later shutdowns are no-ops.
+    assert_eq!(e.queries_in_flight(), 0);
+    assert_eq!(e.admission_in_flight(), Some((0, 0)));
+    let mem = e.global_memory_stats().expect("global pool configured");
+    assert_eq!((mem.used, mem.active), (0, 0), "{mem:?}");
+    assert_eq!(e.live_pool_workers(), 0);
+    assert_eq!(live_pool_thread_names(), Vec::<String>::new());
+    let again = e.shutdown(Some(Duration::from_secs(1)));
+    assert!(again.clean && again.drained == 0 && again.aborted == 0);
+
+    // A clone shares the stopped state: the front door stays shut.
+    let err = e.clone().query(&plan).expect_err("stopped engine rejects");
+    assert!(matches!(
+        err,
+        PlanError::Admission(AdmissionError::Shutdown)
+    ));
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "spawns OS threads and measures wall-clock time")]
+fn shutdown_deadline_hard_aborts_inflight_query() {
+    let _s = serial();
+    faults::disarm_all();
+    // A deliberately slow query: one thread grinding 256 morsels, so the
+    // zero-length drain deadline reliably expires mid-flight. The abort
+    // reaches the query through its ExecCtx at a morsel boundary, so the
+    // race where it finishes first is possible but rare; retry a few
+    // times and require at least one observed abort.
+    let plan = groupby_plan();
+    for attempt in 0..20 {
+        let e = Engine::builder(make_db(512 * MORSEL, 512))
+            .threads(1)
+            .tile_rows(MORSEL)
+            .global_memory_budget(64 << 20)
+            .build();
+        let worker = {
+            let e = e.clone();
+            let plan = plan.clone();
+            std::thread::spawn(move || e.query(&plan))
+        };
+        while e.queries_in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        // Give planning a moment to attach the execution context.
+        std::thread::sleep(Duration::from_millis(1));
+        let report = e.shutdown(Some(Duration::ZERO));
+        let result = worker.join().expect("client thread");
+        assert_eq!(e.queries_in_flight(), 0);
+        let mem = e.global_memory_stats().expect("global pool configured");
+        assert_eq!(
+            (mem.used, mem.active),
+            (0, 0),
+            "abort leaked memory charges: {mem:?}"
+        );
+        if report.aborted == 1 {
+            assert!(!report.clean, "an abort is never a clean shutdown");
+            assert_eq!(report.drained, 0);
+            match result {
+                Err(PlanError::Shutdown {
+                    morsels_done,
+                    morsels_total,
+                }) => {
+                    assert!(
+                        morsels_done < morsels_total,
+                        "abort must interrupt, not trail, the query \
+                         ({morsels_done}/{morsels_total})"
+                    );
+                }
+                other => panic!("aborted query must surface PlanError::Shutdown: {other:?}"),
+            }
+            return;
+        }
+        // Lost the race: the query drained before the abort could land.
+        assert!(result.is_ok(), "drained query still succeeds: {result:?}");
+        assert_eq!(report.drained, 1, "attempt {attempt}: {report:?}");
+    }
+    panic!("zero-deadline shutdown never aborted the in-flight query in 20 attempts");
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "relies on wall-clock progress timing")]
+fn engine_drop_routes_through_graceful_drain() {
+    let _s = serial();
+    faults::disarm_all();
+    let e = Engine::builder(make_db(N_ROWS, 512))
+        .worker_pool(4)
+        .tile_rows(MORSEL)
+        .admission(AdmissionConfig::new(2))
+        .build();
+    let plan = groupby_plan();
+    e.query(&plan).expect("warm the pool");
+    assert_eq!(e.live_pool_workers(), 4);
+    // The kernel names each task as the thread starts running, so a
+    // just-spawned worker may not show its comm yet; at least one has
+    // certainly run the warm query.
+    assert!(
+        !live_pool_thread_names().is_empty(),
+        "pool threads visible while the engine lives"
+    );
+    // Dropping the last handle must run the drain tail: admission closes
+    // and every pool worker is joined — no detached threads left behind.
+    let clone = e.clone();
+    drop(e);
+    assert_eq!(
+        clone.live_pool_workers(),
+        4,
+        "a surviving clone keeps the pool alive"
+    );
+    drop(clone);
+    assert_eq!(
+        live_pool_thread_names(),
+        Vec::<String>::new(),
+        "Drop must join every swole-pool-* thread"
+    );
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "relies on wall-clock progress timing")]
+fn watchdog_cancels_stalled_query_with_typed_error() {
+    let _s = serial();
+    faults::disarm_all();
+    let e = Engine::builder(make_db(N_ROWS, 512))
+        .threads(2)
+        .tile_rows(MORSEL)
+        .stall_window(Duration::from_secs(30))
+        .build();
+    let plan = groupby_plan();
+    let truth = interp::run(&e.database(), &plan).expect("interpreter ground truth");
+
+    // Morsel-progress heartbeats are recorded *before* the chaos hook
+    // fires, so a scheduled clock-skew jump lands strictly after the last
+    // heartbeat: the next progress check sees a 10-minute gap against a
+    // 30-second window and cancels the query as stalled.
+    let schedule = ChaosSchedule {
+        seed: 0,
+        events: vec![ChaosEvent::ClockSkew {
+            after_morsels: 2,
+            ms: 600_000,
+        }],
+    };
+    let guard = schedule.inject();
+    let err = e.query(&plan).expect_err("skewed clock trips the watchdog");
+    drop(guard);
+    match err {
+        PlanError::Stalled {
+            morsels_done,
+            morsels_total,
+            window_ms,
+        } => {
+            assert_eq!(window_ms, 30_000);
+            assert!(
+                morsels_done >= 1 && morsels_done < morsels_total,
+                "stall interrupts mid-query: {morsels_done}/{morsels_total}"
+            );
+        }
+        other => panic!("expected PlanError::Stalled, got {other:?}"),
+    }
+
+    // A stalled plan would stall again: no fallback attempt, and the
+    // outcome is on the EXPLAIN ANALYZE record.
+    let report = e.explain(&plan).expect("explains").runtime;
+    assert!(
+        report.iter().any(|l| l.contains("stalled")),
+        "stall recorded: {report:?}"
+    );
+    assert!(
+        !report.iter().any(|l| l.contains("fell back")),
+        "stall must not trigger fallback: {report:?}"
+    );
+
+    // The engine survives its wedged query; the same session runs clean.
+    assert_eq!(e.query(&plan).expect("clean rerun").rows, truth.rows);
+    assert_eq!(e.queries_in_flight(), 0);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "spawns OS threads and measures wall-clock time")]
+fn overload_sheds_with_structured_retry_hint() {
+    let _s = serial();
+    faults::disarm_all();
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 32;
+    // One execution slot and a zero-tolerance shed threshold: once the
+    // controller has service times, any arrival that would have to queue
+    // is shed instead.
+    let e = Engine::builder(make_db(N_ROWS, 512))
+        .threads(2)
+        .tile_rows(MORSEL)
+        .admission(
+            AdmissionConfig::new(1)
+                .queue_depth(8)
+                .shed_after(Duration::ZERO),
+        )
+        .build();
+    let plan = groupby_plan();
+    // Warm the P99 service-time ring — a cold controller never sheds.
+    for _ in 0..4 {
+        e.query(&plan).expect("warmup");
+    }
+
+    let start = Arc::new(Barrier::new(CLIENTS));
+    let shed = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let e = e.clone();
+            let plan = plan.clone();
+            let start = start.clone();
+            let shed = shed.clone();
+            std::thread::spawn(move || {
+                start.wait();
+                for _ in 0..ROUNDS {
+                    match e.query(&plan) {
+                        Ok(_) => {}
+                        Err(PlanError::Admission(AdmissionError::Overloaded {
+                            retry_after_ms,
+                            ..
+                        })) => {
+                            // The structured backoff contract: clients
+                            // always get a usable (≥ 1 ms) retry hint,
+                            // even for sub-millisecond service times.
+                            assert!(retry_after_ms >= 1);
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected error under overload: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    assert!(
+        shed.load(Ordering::Relaxed) > 0,
+        "4 clients on 1 slot with a zero shed threshold must shed"
+    );
+    assert_eq!(e.admission_in_flight(), Some((0, 0)));
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "relies on wall-clock progress timing")]
+fn breaker_short_circuits_persistently_failing_plan() {
+    let _s = serial();
+    faults::disarm_all();
+    let e = Engine::builder(make_db(N_ROWS, 512))
+        .threads(2)
+        .tile_rows(MORSEL)
+        .build();
+    let plan = groupby_plan();
+    let truth = interp::run(&e.database(), &plan).expect("interpreter ground truth");
+
+    // Three consecutive primary failures (fresh injected panic each run,
+    // every one recovered through the interpreter) open the circuit.
+    for i in 0..3 {
+        let guard = faults::inject_panic_at_morsel(0);
+        let got = e.query(&plan).expect("fallback recovers");
+        drop(guard);
+        assert_eq!(got.rows, truth.rows, "fallback run {i}");
+    }
+    let report = e.explain(&plan).expect("explains").runtime;
+    assert!(
+        report
+            .iter()
+            .any(|l| l.contains("fallback circuit opened for this plan")),
+        "third strike announces the open circuit: {report:?}"
+    );
+    let stats = e.fallback_breaker_stats();
+    assert_eq!(stats.open_circuits, 1);
+
+    // Faults disarmed, but the open circuit routes execution straight to
+    // the interpreter — no doubled execution cost on a doomed primary.
+    let got = e.query(&plan).expect("short-circuited run");
+    assert_eq!(got.rows, truth.rows);
+    let report = e.explain(&plan).expect("explains").runtime;
+    assert!(
+        report
+            .iter()
+            .any(|l| l.contains("skipped, fallback circuit open")),
+        "short-circuit recorded: {report:?}"
+    );
+    assert!(
+        e.fallback_breaker_stats().short_circuits >= 1,
+        "{:?}",
+        e.fallback_breaker_stats()
+    );
+
+    // Half-open probing: every 8th arrival at the open circuit retries
+    // the primary; with the fault gone, the probe succeeds and closes it.
+    for _ in 0..8 {
+        let got = e.query(&plan).expect("runs while circuit decays");
+        assert_eq!(got.rows, truth.rows);
+    }
+    assert_eq!(
+        e.fallback_breaker_stats().open_circuits,
+        0,
+        "successful probe closes the circuit"
+    );
+    // Closed circuit: the primary runs again, cleanly.
+    e.query(&plan).expect("clean primary run");
+    let report = e.explain(&plan).expect("explains").runtime;
+    assert!(
+        !report.iter().any(|l| l.contains("circuit")),
+        "closed circuit leaves no breaker trace: {report:?}"
+    );
+}
