@@ -166,6 +166,50 @@ pub fn groupjoin_build_signature() -> AccessSig {
     }
 }
 
+/// Signature of a window operator under `strategy`.
+///
+/// The filter prepass is a sequential mask evaluation either way, and the
+/// partition/order keys are gathered through the sorted selection vector.
+/// The strategies differ on the frame inputs: the sequential frame scan
+/// reads each sorted value exactly once (`state += v[pos]` as `pos`
+/// advances), re-evaluation re-reads frame rows conditionally for every
+/// output row (`for f in frame { acc += v[f] }`).
+#[must_use]
+pub fn window_signature(strategy: swole_cost::WindowStrategy) -> AccessSig {
+    AccessSig {
+        predicate: Some(Access::Sequential),
+        agg_input: Some(match strategy {
+            swole_cost::WindowStrategy::SequentialFrameScan => Access::Sequential,
+            swole_cost::WindowStrategy::ConditionalReeval => Access::Conditional,
+        }),
+        group_key: Some(Access::Conditional),
+        structure: None,
+    }
+}
+
+/// Signature of the ORDER BY post-operator: result rows are re-read through
+/// the sort permutation (conditional, order-dependent positions).
+#[must_use]
+pub fn sort_signature() -> AccessSig {
+    AccessSig {
+        predicate: None,
+        agg_input: None,
+        group_key: Some(Access::Conditional),
+        structure: None,
+    }
+}
+
+/// Signature of the LIMIT post-operator: a sequential prefix truncation.
+#[must_use]
+pub fn limit_signature() -> AccessSig {
+    AccessSig {
+        predicate: None,
+        agg_input: None,
+        group_key: None,
+        structure: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,51 @@
+//! The conformance suite: every corpus script runs five ways (compiled
+//! engine at 1/2/8 threads, shared worker pool, interpreter oracle) and
+//! every record must be bit-identical across runs and match its expected
+//! block. `UPDATE_CONFORM=1 cargo test -p swole-conform` regenerates the
+//! expected blocks; `CONFORM_SUMMARY=<path>` writes the per-file summary
+//! CI uploads as the failure artifact.
+
+use swole_conform::{update_requested, write_summary, Harness};
+
+#[test]
+fn corpus_is_bit_identical_across_all_runners() {
+    let harness = Harness::new();
+    let outcomes = harness.run_corpus();
+
+    assert!(
+        outcomes.len() >= 30,
+        "conformance corpus shrank below 30 files ({} found)",
+        outcomes.len()
+    );
+
+    let mut failed = 0usize;
+    for o in &outcomes {
+        let name = o.path.file_name().unwrap().to_string_lossy();
+        if o.failures.is_empty() {
+            let note = if o.rewritten { " (rewritten)" } else { "" };
+            println!("ok   {name} ({} records){note}", o.records);
+        } else {
+            failed += 1;
+            println!("FAIL {name}");
+            for f in &o.failures {
+                println!("     {f}");
+            }
+        }
+    }
+
+    if let Ok(path) = std::env::var("CONFORM_SUMMARY") {
+        write_summary(&outcomes, std::path::Path::new(&path)).expect("summary writes");
+    }
+
+    assert_eq!(
+        failed,
+        0,
+        "{failed}/{} conformance files failed{}",
+        outcomes.len(),
+        if update_requested() {
+            ""
+        } else {
+            " (UPDATE_CONFORM=1 regenerates expected blocks)"
+        }
+    );
+}

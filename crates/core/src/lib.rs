@@ -82,23 +82,25 @@ pub use swole_storage as storage;
 pub use swole_cost::CostParams;
 pub use swole_plan::{
     AdmissionConfig, AdmissionError, AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine,
-    EngineBuilder, ExecHandle, Explain, Expr, LogicalPlan, MemoryPolicy, MemoryPoolStats,
-    MetricsLevel, OpMetrics, ParamSlot, Params, PlanCacheStats, PlanError, PreparedStatement,
-    Priority, QueryBuilder, QueryMetrics, QueryOptions, QueryResult, Session, ShutdownReport,
-    StrategyOverrides, Value, VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport,
+    EngineBuilder, ExecHandle, Explain, Expr, FrameSpec, LogicalPlan, MemoryPolicy,
+    MemoryPoolStats, MetricsLevel, OpMetrics, ParamSlot, Params, PlanCacheStats, PlanError,
+    PreparedStatement, Priority, QueryBuilder, QueryMetrics, QueryOptions, QueryResult, Session,
+    ShutdownReport, SortKey, StrategyOverrides, Value, VerifyError, VerifyErrorKind, VerifyLevel,
+    VerifyReport, WindowFnSpec, WindowFunc,
 };
 
 /// Everything a typical user needs.
 pub mod prelude {
     pub use swole_cost::{
-        AggStrategy, BitmapBuild, CostParams, GroupJoinStrategy, SemiJoinStrategy,
+        AggStrategy, BitmapBuild, CostParams, GroupJoinStrategy, SemiJoinStrategy, WindowStrategy,
     };
     pub use swole_plan::{
         AdmissionConfig, AdmissionError, AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine,
-        EngineBuilder, ExecHandle, Explain, Expr, LogicalPlan, MemoryPolicy, MemoryPoolStats,
-        MetricsLevel, ParamSlot, Params, PlanCacheStats, PlanError, PreparedStatement, Priority,
-        QueryBuilder, QueryMetrics, QueryOptions, QueryResult, Session, ShutdownReport,
-        StrategyOverrides, Value, VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport,
+        EngineBuilder, ExecHandle, Explain, Expr, FrameSpec, LogicalPlan, MemoryPolicy,
+        MemoryPoolStats, MetricsLevel, ParamSlot, Params, PlanCacheStats, PlanError,
+        PreparedStatement, Priority, QueryBuilder, QueryMetrics, QueryOptions, QueryResult,
+        Session, ShutdownReport, SortKey, StrategyOverrides, Value, VerifyError, VerifyErrorKind,
+        VerifyLevel, VerifyReport, WindowFnSpec, WindowFunc,
     };
     pub use swole_storage::{ColumnData, Date, Decimal, DictColumn, Table};
 }

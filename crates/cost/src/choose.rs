@@ -340,6 +340,131 @@ pub fn choose_groupjoin(p: &CostParams, prof: &GroupJoinProfile) -> GroupJoinCho
     }
 }
 
+/// Window-function strategies: how the per-row frame state is produced
+/// once the qualifying rows are sorted into partition/order position.
+///
+/// This is the paper's sequential-vs-conditional access trade transplanted
+/// to window frames: a running accumulator touches each input value exactly
+/// once in sorted (sequential) order, while re-evaluation walks every frame
+/// row again for every output row (conditional, frame-dependent access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowStrategy {
+    /// One sequential pass per partition: accumulate on entry, and for
+    /// bounded `ROWS k PRECEDING` frames subtract the evicted value —
+    /// wrapping add/sub are exact inverses, so the running state is
+    /// bit-identical to recomputing the frame from scratch.
+    SequentialFrameScan,
+    /// Re-evaluate the frame for every output row: no carried state, frame
+    /// values are re-read (conditionally, per output row) each time.
+    ConditionalReeval,
+}
+
+impl WindowStrategy {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WindowStrategy::SequentialFrameScan => "seq-frame-scan",
+            WindowStrategy::ConditionalReeval => "frame-reeval",
+        }
+    }
+
+    /// The cost-term label under which plans record this strategy's price
+    /// (see [`AggStrategy::cost_term`]).
+    pub fn cost_term(self) -> &'static str {
+        match self {
+            WindowStrategy::SequentialFrameScan => "window.seq-frame",
+            WindowStrategy::ConditionalReeval => "window.reeval",
+        }
+    }
+}
+
+/// Inputs for the window-strategy chooser.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowProfile {
+    /// Input rows before the filter.
+    pub rows: usize,
+    /// Estimated filter selectivity (qualifying fraction).
+    pub selectivity: f64,
+    /// Estimated distinct partition keys (1 when unpartitioned).
+    pub partitions: usize,
+    /// Frame rows per output row: `Some(k+1)` for `ROWS k PRECEDING`,
+    /// `None` for an unbounded (growing or whole-partition) frame.
+    pub frame_rows: Option<usize>,
+    /// Number of window functions sharing the frame.
+    pub n_funcs: usize,
+}
+
+/// Decision + evidence for a window operator.
+#[derive(Debug, Clone)]
+pub struct WindowChoice {
+    /// Winning strategy.
+    pub strategy: WindowStrategy,
+    /// Modelled sequential-frame-scan cost.
+    pub cost_seq_frame: f64,
+    /// Modelled conditional-re-evaluation cost.
+    pub cost_reeval: f64,
+    /// One-line justification.
+    pub explanation: String,
+}
+
+/// Choose between the sequential frame scan and per-row frame
+/// re-evaluation. Both run on the *sorted* qualifying rows, so the
+/// decision is purely about frame-state access: the sequential scan pays a
+/// constant number of sequential touches per row (accumulate, plus an
+/// evict for bounded frames), re-evaluation pays one conditional read per
+/// frame row per output row. Re-evaluation can only win when frames are
+/// tiny; the chooser keeps it honest rather than hard-coding the winner.
+pub fn choose_window(p: &CostParams, prof: &WindowProfile) -> WindowChoice {
+    let nq = (prof.rows as f64 * prof.selectivity).max(1.0);
+    let funcs = prof.n_funcs.max(1) as f64;
+    // Average frame length re-evaluation walks per output row.
+    let avg_frame = match prof.frame_rows {
+        Some(k) => k.max(1) as f64,
+        // A growing (unbounded-preceding) frame averages half the
+        // partition; a whole-partition frame reads all of it. Half is the
+        // conservative (cheaper) figure, so re-eval is not unfairly ruled
+        // out.
+        None => (nq / prof.partitions.max(1) as f64 / 2.0).max(1.0),
+    };
+    // Sequential scan: accumulate each row once; bounded frames also evict
+    // one value per row (the subtract-on-evict touch).
+    let touches = if prof.frame_rows.is_some() { 2.0 } else { 1.0 };
+    let cost_seq = nq * touches * p.read_seq * funcs;
+    let cost_reeval = nq * avg_frame * p.read_cond * funcs;
+    let (strategy, explanation) = if cost_seq <= cost_reeval {
+        (
+            WindowStrategy::SequentialFrameScan,
+            format!(
+                "seq-frame-scan: running state touches each value {}x sequentially \
+                 vs {avg_frame:.1} conditional frame reads per row",
+                touches as u64
+            ),
+        )
+    } else {
+        (
+            WindowStrategy::ConditionalReeval,
+            format!(
+                "frame-reeval: frames are tiny ({avg_frame:.1} rows), re-reading \
+                 beats carrying running state"
+            ),
+        )
+    };
+    WindowChoice {
+        strategy,
+        cost_seq_frame: cost_seq,
+        cost_reeval,
+        explanation,
+    }
+}
+
+/// Modelled cost of sorting `rows` qualifying rows on `keys` sort keys —
+/// the `sort.rows` cost term attached to ORDER BY (and the window
+/// operator's internal partition/order sort).
+pub fn sort_cost(p: &CostParams, rows: usize, keys: usize) -> f64 {
+    let n = rows.max(1) as f64;
+    n * n.log2().max(1.0) * p.read_seq * keys.max(1) as f64
+}
+
 /// Thread-aware aggregation chooser for the morsel-parallel executor.
 ///
 /// Each candidate's scan cost divides across `threads` workers, and the

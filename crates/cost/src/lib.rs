@@ -28,6 +28,7 @@ mod params;
 
 pub use choose::{
     AggChoice, AggProfile, AggStrategy, BitmapBuild, GroupJoinChoice, GroupJoinProfile,
-    GroupJoinStrategy, SemiJoinChoice, SemiJoinProfile, SemiJoinStrategy,
+    GroupJoinStrategy, SemiJoinChoice, SemiJoinProfile, SemiJoinStrategy, WindowChoice,
+    WindowProfile, WindowStrategy,
 };
 pub use params::CostParams;

@@ -456,6 +456,7 @@ mod tests {
                 aggs: Vec::new(),
                 strategy: AggStrategy::Hybrid,
             },
+            post: Vec::new(),
             decisions: vec!["test".into()],
             cost_terms: Vec::new(),
         })

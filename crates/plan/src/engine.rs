@@ -13,17 +13,17 @@ use crate::cache::{
 use crate::catalog::Database;
 use crate::error::PlanError;
 use crate::expr::{AggFunc, Expr};
-use crate::logical::{AggSpec, LogicalPlan};
+use crate::logical::{AggSpec, FrameSpec, LogicalPlan, SortKey, WindowFnSpec, WindowFunc};
 use crate::metrics::{MetricsLevel, OpMetrics, QueryMetrics};
-use crate::physical::{PhysicalPlan, Shape};
+use crate::physical::{PhysicalPlan, PostOp, Shape};
 use crate::session::QueryOptions;
 use crate::stats;
 use crate::value::Value;
 use swole_bitmap::PositionalBitmap;
-use swole_cost::choose::{choose_agg_mt, choose_groupjoin_mt, choose_semijoin};
+use swole_cost::choose::{choose_agg_mt, choose_groupjoin_mt, choose_semijoin, sort_cost};
 use swole_cost::{
     observed, AggProfile, AggStrategy, BitmapBuild, CostParams, GroupJoinProfile,
-    GroupJoinStrategy, SemiJoinProfile, SemiJoinStrategy,
+    GroupJoinStrategy, SemiJoinProfile, SemiJoinStrategy, WindowProfile, WindowStrategy,
 };
 use swole_ht::{AggTable, KeySet, MergeOp};
 use swole_kernels::{predicate, selvec, tiles, tiles_in, AccessCounters, MORSEL_ROWS, TILE};
@@ -80,6 +80,18 @@ impl PartialEq for QueryResult {
 impl Eq for QueryResult {}
 
 impl QueryResult {
+    /// Build a bare result from columns and rows (no metrics, no key
+    /// dictionary) — for tests and external harnesses that need a
+    /// comparison baseline.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<i64>>) -> QueryResult {
+        QueryResult {
+            columns,
+            rows,
+            metrics: None,
+            key_dict: None,
+        }
+    }
+
     /// The single value of a one-row result column.
     ///
     /// Errors with [`PlanError::NotScalar`] when the result has more or
@@ -92,7 +104,14 @@ impl QueryResult {
             });
         }
         let i = self.column_index(column)?;
-        Ok(self.rows[0][i])
+        self.rows[0]
+            .get(i)
+            .copied()
+            .ok_or(PlanError::IndexOutOfRange {
+                axis: "column",
+                index: i,
+                len: self.rows[0].len(),
+            })
     }
 
     /// The metrics snapshot recorded while producing this result, when the
@@ -171,6 +190,32 @@ impl QueryResult {
         let raw = self.try_scalar(column)?;
         let i = self.column_index(column)?;
         if i == 0 {
+            if let Some(dict) = self.key_dict.as_ref() {
+                if let Some(s) = dict.get(raw as usize) {
+                    return Ok(Value::Str(s.clone()));
+                }
+            }
+        }
+        Ok(Value::Int(raw))
+    }
+
+    /// The value at (`row`, `col`) by position, typed like
+    /// [`QueryResult::try_scalar_value`]. Out-of-range indices are typed
+    /// [`PlanError::IndexOutOfRange`] errors, never panics — callers
+    /// walking results positionally (the conformance harness, cursors) can
+    /// probe past the edge safely.
+    pub fn value(&self, row: usize, col: usize) -> Result<Value, PlanError> {
+        let r = self.rows.get(row).ok_or(PlanError::IndexOutOfRange {
+            axis: "row",
+            index: row,
+            len: self.rows.len(),
+        })?;
+        let raw = *r.get(col).ok_or(PlanError::IndexOutOfRange {
+            axis: "column",
+            index: col,
+            len: r.len(),
+        })?;
+        if col == 0 {
             if let Some(dict) = self.key_dict.as_ref() {
                 if let Some(s) = dict.get(raw as usize) {
                     return Ok(Value::Str(s.clone()));
@@ -260,6 +305,8 @@ pub struct StrategyOverrides {
     pub semijoin: Option<SemiJoinStrategy>,
     /// Pin the groupjoin strategy.
     pub groupjoin: Option<GroupJoinStrategy>,
+    /// Pin the window frame-state strategy.
+    pub window: Option<WindowStrategy>,
 }
 
 impl StrategyOverrides {
@@ -283,6 +330,14 @@ impl StrategyOverrides {
     pub fn pin_groupjoin(s: GroupJoinStrategy) -> StrategyOverrides {
         StrategyOverrides {
             groupjoin: Some(s),
+            ..StrategyOverrides::default()
+        }
+    }
+
+    /// Overrides pinning only the window frame-state strategy.
+    pub fn pin_window(s: WindowStrategy) -> StrategyOverrides {
+        StrategyOverrides {
+            window: Some(s),
             ..StrategyOverrides::default()
         }
     }
@@ -1151,6 +1206,7 @@ impl EngineInner {
             Shape::ScanAgg { table, .. } => vec![table],
             Shape::SemiJoinAgg { probe, build, .. } => vec![probe, build],
             Shape::GroupJoinAgg { probe, build, .. } => vec![probe, build],
+            Shape::WindowScan { table, .. } => vec![table],
         };
         let cardinalities = tables
             .iter()
@@ -1359,7 +1415,7 @@ impl EngineInner {
         let gens = table_generations(db, plan);
         let cached = self.cache.peek(&key, &gens);
         Ok(Explain {
-            shape: physical.shape.describe(),
+            shape: physical.describe(),
             strategy: physical.shape.strategy_name(),
             threads: self.threads,
             morsel_rows: self.morsel_rows,
@@ -1418,6 +1474,7 @@ impl EngineInner {
                 build_filter,
                 ..
             } => (build, build_filter.as_ref()?),
+            Shape::WindowScan { table, filter, .. } => (table, filter.as_ref()?),
         };
         let t = db.table(table).ok()?;
         Some(stats::estimate_selectivity(t, filter))
@@ -1526,7 +1583,33 @@ impl EngineInner {
                 );
                 (Some(predicted), Some(observed_cost))
             }
-            Shape::SemiJoinAgg { .. } => (None, None),
+            Shape::SemiJoinAgg { .. } | Shape::WindowScan { .. } => (None, None),
+        }
+    }
+
+    /// Rough result-row estimate for pricing post-operators.
+    fn est_result_rows(&self, db: &Database, shape: &Shape) -> usize {
+        match shape {
+            Shape::ScanAgg {
+                table, group_by, ..
+            } => match group_by {
+                None => 1,
+                Some(g) => db
+                    .table(table)
+                    .ok()
+                    .map(|t| stats::estimate_distinct(t, g))
+                    .unwrap_or(1),
+            },
+            Shape::SemiJoinAgg { .. } => 1,
+            Shape::GroupJoinAgg { build, .. } => db.table(build).ok().map(|t| t.len()).unwrap_or(1),
+            Shape::WindowScan { table, filter, .. } => {
+                let Ok(t) = db.table(table) else { return 1 };
+                let sel = filter
+                    .as_ref()
+                    .map(|f| stats::estimate_selectivity(t, f))
+                    .unwrap_or(1.0);
+                ((t.len() as f64) * sel).ceil().max(1.0) as usize
+            }
         }
     }
 
@@ -1542,6 +1625,94 @@ impl EngineInner {
         plan: &LogicalPlan,
         hints: PlanHints,
     ) -> Result<PhysicalPlan, PlanError> {
+        // Peel result-level post-operators (ORDER BY / LIMIT) off the top;
+        // they run over the materialized result of the core pipeline.
+        let mut post = Vec::new();
+        let mut core = plan;
+        loop {
+            match core {
+                LogicalPlan::Limit { input, n } => {
+                    post.push(PostOp::Limit { n: *n });
+                    core = input;
+                }
+                LogicalPlan::OrderBy { input, keys } => {
+                    if keys.is_empty() {
+                        return Err(PlanError::Unsupported("empty ORDER BY key list".into()));
+                    }
+                    post.push(PostOp::Sort { keys: keys.clone() });
+                    core = input;
+                }
+                _ => break,
+            }
+        }
+        post.reverse(); // application order: innermost node applies first
+        let mut physical = self.plan_core(db, core, hints)?;
+        // ORDER BY keys must name output columns of the core pipeline.
+        let out_cols = shape_output_columns(&physical.shape);
+        for p in &post {
+            match p {
+                PostOp::Sort { keys } => {
+                    for k in keys {
+                        if !out_cols.contains(&k.column) {
+                            return Err(PlanError::UnknownResultColumn(k.column.clone()));
+                        }
+                    }
+                    let est_rows = self.est_result_rows(db, &physical.shape);
+                    let cost = sort_cost(&self.params, est_rows, keys.len());
+                    physical.cost_terms.push(("sort.rows".to_string(), cost));
+                    physical.decisions.push(format!(
+                        "order by {} key(s) over ~{est_rows} result rows ({cost:.2e} cyc)",
+                        keys.len()
+                    ));
+                }
+                PostOp::Limit { n } => {
+                    physical
+                        .decisions
+                        .push(format!("limit {n} (prefix truncation)"));
+                    physical
+                        .cost_terms
+                        .push(("limit.rows".to_string(), *n as f64));
+                }
+            }
+        }
+        physical.post = post;
+        Ok(physical)
+    }
+
+    /// Plan the core pipeline (everything under the post-operators).
+    fn plan_core(
+        &self,
+        db: &Database,
+        plan: &LogicalPlan,
+        hints: PlanHints,
+    ) -> Result<PhysicalPlan, PlanError> {
+        if let LogicalPlan::Window {
+            input,
+            partition_by,
+            order_by,
+            frame,
+            funcs,
+            select,
+        } = plan
+        {
+            let (core, filter) = split_filters(input);
+            let LogicalPlan::Scan { table } = core else {
+                return Err(PlanError::Unsupported(
+                    "window input must be scan(+filter)".into(),
+                ));
+            };
+            return self.plan_window(
+                db,
+                table,
+                filter,
+                partition_by.as_deref(),
+                order_by,
+                *frame,
+                funcs,
+                select,
+                hints,
+            );
+        }
         let LogicalPlan::Aggregate {
             input,
             group_by,
@@ -1549,7 +1720,7 @@ impl EngineInner {
         } = plan
         else {
             return Err(PlanError::Unsupported(
-                "top-level node must be an aggregation".into(),
+                "top-level node must be an aggregation or window".into(),
             ));
         };
         if aggs.is_empty() {
@@ -1662,21 +1833,27 @@ impl EngineInner {
         let has_minmax = aggs
             .iter()
             .any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max));
+        let (comp, n_cols) = agg_comp_cols(aggs, group_by);
+        let profile = AggProfile {
+            rows: table.len(),
+            selectivity,
+            comp,
+            n_cols,
+            group_keys,
+            n_aggs: aggs.len(),
+        };
+        let choice = choose_agg_mt(&self.params, &profile, self.threads);
         let chosen = if has_minmax {
             decisions
                 .push("hybrid forced: min/max require extra masking bookkeeping (§ III-A)".into());
+            // The forced path must still be priced: the verifier
+            // cross-checks every strategy against its cost term.
+            cost_terms.push((
+                AggStrategy::Hybrid.cost_term().to_string(),
+                choice.cost_hybrid,
+            ));
             AggStrategy::Hybrid
         } else {
-            let (comp, n_cols) = agg_comp_cols(aggs, group_by);
-            let profile = AggProfile {
-                rows: table.len(),
-                selectivity,
-                comp,
-                n_cols,
-                group_keys,
-                n_aggs: aggs.len(),
-            };
-            let choice = choose_agg_mt(&self.params, &profile, self.threads);
             cost_terms.push((
                 AggStrategy::Hybrid.cost_term().to_string(),
                 choice.cost_hybrid,
@@ -1721,6 +1898,137 @@ impl EngineInner {
                 aggs: aggs.to_vec(),
                 strategy,
             },
+            post: Vec::new(),
+            decisions,
+            cost_terms,
+        })
+    }
+
+    /// Plan a window pipeline: validate the surface, then let the chooser
+    /// pick between the sequential frame scan and conditional re-evaluation
+    /// (the same access trade as § III-A, over sorted frames).
+    #[allow(clippy::too_many_arguments)]
+    fn plan_window(
+        &self,
+        db: &Database,
+        table_name: &str,
+        filter: Option<Expr>,
+        partition_by: Option<&str>,
+        order_by: &[SortKey],
+        frame: FrameSpec,
+        funcs: &[WindowFnSpec],
+        select: &[String],
+        hints: PlanHints,
+    ) -> Result<PhysicalPlan, PlanError> {
+        let table = db.table(table_name)?;
+        if let Some(f) = &filter {
+            f.validate(table)?;
+        }
+        for col in select
+            .iter()
+            .map(String::as_str)
+            .chain(order_by.iter().map(|k| k.column.as_str()))
+            .chain(partition_by)
+        {
+            if table.column(col).is_none() {
+                return Err(PlanError::UnknownColumn {
+                    table: table_name.to_string(),
+                    column: col.to_string(),
+                });
+            }
+        }
+        let mut seen: Vec<&str> = select.iter().map(String::as_str).collect();
+        for f in funcs {
+            if let Some(e) = &f.expr {
+                e.validate(table)?;
+            }
+            if seen.contains(&f.name.as_str()) {
+                return Err(PlanError::Unsupported(format!(
+                    "duplicate output column {} in the window select list",
+                    f.name
+                )));
+            }
+            seen.push(&f.name);
+        }
+        let mut decisions = Vec::new();
+        let mut cost_terms = Vec::new();
+        let selectivity = match (hints.selectivity, &filter) {
+            (Some(observed), Some(_)) => {
+                decisions.push(format!(
+                    "σ overridden to {observed:.4} (observed after drift)"
+                ));
+                observed
+            }
+            (_, Some(f)) => stats::estimate_selectivity(table, f),
+            (_, None) => 1.0,
+        };
+        let strategy = if funcs.is_empty() {
+            decisions.push("projection: no window functions to frame".into());
+            // Price the degenerate projection as one sequential pass so the
+            // verifier's strategy/cost-term cross-check still holds.
+            cost_terms.push((
+                WindowStrategy::SequentialFrameScan.cost_term().to_string(),
+                table.len() as f64 * selectivity,
+            ));
+            WindowStrategy::SequentialFrameScan
+        } else {
+            let profile = WindowProfile {
+                rows: table.len(),
+                selectivity,
+                partitions: partition_by
+                    .map(|p| stats::estimate_distinct(table, p))
+                    .unwrap_or(1)
+                    .max(1),
+                frame_rows: match frame {
+                    FrameSpec::Preceding(k) => Some(k),
+                    FrameSpec::WholePartition | FrameSpec::UnboundedPreceding => None,
+                },
+                n_funcs: funcs.len(),
+            };
+            let choice = swole_cost::choose::choose_window(&self.params, &profile);
+            cost_terms.push((
+                WindowStrategy::SequentialFrameScan.cost_term().to_string(),
+                choice.cost_seq_frame,
+            ));
+            cost_terms.push((
+                WindowStrategy::ConditionalReeval.cost_term().to_string(),
+                choice.cost_reeval,
+            ));
+            decisions.push(format!(
+                "σ={selectivity:.2} → {} (seq-frame={:.2e}, reeval={:.2e})",
+                choice.explanation, choice.cost_seq_frame, choice.cost_reeval,
+            ));
+            match self.strategies.window {
+                Some(pin) => {
+                    decisions.push(format!(
+                        "window strategy pinned to {} by the session",
+                        pin.name()
+                    ));
+                    pin
+                }
+                None => choice.strategy,
+            }
+        };
+        // The sort feeding the frames is priced like the result sort: keys
+        // are (partition, order) and it runs over the qualifying rows.
+        if !funcs.is_empty() || !order_by.is_empty() {
+            let est_rows = ((table.len() as f64) * selectivity).ceil() as usize;
+            let n_keys = order_by.len() + usize::from(partition_by.is_some());
+            let cost = sort_cost(&self.params, est_rows, n_keys.max(1));
+            cost_terms.push(("window.sort".to_string(), cost));
+        }
+        Ok(PhysicalPlan {
+            shape: Shape::WindowScan {
+                table: table_name.to_string(),
+                filter,
+                partition_by: partition_by.map(str::to_string),
+                order_by: order_by.to_vec(),
+                frame,
+                funcs: funcs.to_vec(),
+                select: select.to_vec(),
+                strategy,
+            },
+            post: Vec::new(),
             decisions,
             cost_terms,
         })
@@ -1812,6 +2120,7 @@ impl EngineInner {
                 strategy,
                 probe_masked,
             },
+            post: Vec::new(),
             decisions,
             cost_terms: Vec::new(),
         })
@@ -1891,6 +2200,7 @@ impl EngineInner {
                 aggs: aggs.to_vec(),
                 strategy,
             },
+            post: Vec::new(),
             decisions,
             cost_terms: vec![
                 (
@@ -1985,7 +2295,7 @@ impl EngineInner {
             morsel_rows: self.morsel_rows,
             level,
         };
-        match &plan.shape {
+        let (mut res, mut ops) = match &plan.shape {
             Shape::ScanAgg {
                 table,
                 filter,
@@ -2073,8 +2383,96 @@ impl EngineInner {
                     ctx,
                 )
             }
+            Shape::WindowScan {
+                table,
+                filter,
+                partition_by,
+                order_by,
+                frame,
+                funcs,
+                select,
+                strategy,
+            } => {
+                let t = db.table_arc(table)?;
+                exec_window(
+                    &format!("window({table})"),
+                    &t,
+                    filter.as_ref(),
+                    partition_by.as_deref(),
+                    order_by,
+                    *frame,
+                    funcs,
+                    select,
+                    *strategy,
+                    opts,
+                    ctx,
+                )
+            }
+        }?;
+        apply_post_ops(&plan.post, &mut res, &mut ops, level, ctx)?;
+        Ok((res, ops))
+    }
+}
+
+/// Apply the plan's result-level post-operators (`ORDER BY`, `LIMIT`) to a
+/// materialized result, in order. The sort is stable over the core
+/// pipeline's (already deterministic) row order, so ties are deterministic
+/// at any thread count.
+fn apply_post_ops(
+    post: &[PostOp],
+    res: &mut QueryResult,
+    ops: &mut Vec<OpMetrics>,
+    level: MetricsLevel,
+    ctx: &Arc<ExecCtx>,
+) -> Result<(), PlanError> {
+    let counting = level.counting();
+    for p in post {
+        ctx.check()?;
+        let t0 = level.timing().then(Instant::now);
+        let rows_in = res.rows.len() as u64;
+        match p {
+            PostOp::Sort { keys } => {
+                let mut key_idx = Vec::with_capacity(keys.len());
+                for k in keys {
+                    key_idx.push((res.column_index(&k.column)?, k.desc));
+                }
+                // The permutation vector is the sort's one materialized
+                // artifact; charge it like any other selection vector.
+                ctx.gauge.try_charge(res.rows.len().saturating_mul(4))?;
+                let mut perm: Vec<u32> = (0..res.rows.len() as u32).collect();
+                perm.sort_by(|&a, &b| {
+                    let (ra, rb) = (&res.rows[a as usize], &res.rows[b as usize]);
+                    for &(i, desc) in &key_idx {
+                        let ord = ra[i].cmp(&rb[i]);
+                        let ord = if desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    a.cmp(&b) // deterministic tie-break: pre-sort position
+                });
+                res.rows = perm
+                    .into_iter()
+                    .map(|i| std::mem::take(&mut res.rows[i as usize]))
+                    .collect();
+            }
+            PostOp::Limit { n } => {
+                res.rows.truncate(*n);
+            }
+        }
+        if counting {
+            let name = match p {
+                PostOp::Sort { .. } => "sort",
+                PostOp::Limit { .. } => "limit",
+            };
+            let mut op = OpMetrics::named(name);
+            op.access.rows_in = rows_in;
+            op.access.rows_out = res.rows.len() as u64;
+            op.wall_nanos = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+            ops.push(op);
         }
     }
+    Ok(())
 }
 
 /// Operator display names for the two-phase join shapes.
@@ -2138,7 +2536,31 @@ fn plan_rows(db: &Database, plan: &LogicalPlan) -> usize {
         LogicalPlan::SemiJoin { input, build, .. } => {
             plan_rows(db, input).saturating_add(plan_rows(db, build))
         }
-        LogicalPlan::Aggregate { input, .. } => plan_rows(db, input),
+        LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Window { input, .. }
+        | LogicalPlan::OrderBy { input, .. }
+        | LogicalPlan::Limit { input, .. } => plan_rows(db, input),
+    }
+}
+
+/// Output column names of a planned core shape, for validating post-op
+/// sort keys at plan time.
+fn shape_output_columns(shape: &Shape) -> Vec<String> {
+    match shape {
+        Shape::ScanAgg { group_by, aggs, .. } => group_by
+            .iter()
+            .cloned()
+            .chain(aggs.iter().map(|a| a.name.clone()))
+            .collect(),
+        Shape::SemiJoinAgg { aggs, .. } => aggs.iter().map(|a| a.name.clone()).collect(),
+        Shape::GroupJoinAgg { fk_col, aggs, .. } => std::iter::once(fk_col.clone())
+            .chain(aggs.iter().map(|a| a.name.clone()))
+            .collect(),
+        Shape::WindowScan { select, funcs, .. } => select
+            .iter()
+            .cloned()
+            .chain(funcs.iter().map(|f| f.name.clone()))
+            .collect(),
     }
 }
 
@@ -2194,6 +2616,29 @@ fn canonicalize(plan: &LogicalPlan) -> LogicalPlan {
             group_by: group_by.clone(),
             aggs: aggs.clone(),
         },
+        LogicalPlan::Window {
+            input,
+            partition_by,
+            order_by,
+            frame,
+            funcs,
+            select,
+        } => LogicalPlan::Window {
+            input: Box::new(canonicalize(input)),
+            partition_by: partition_by.clone(),
+            order_by: order_by.clone(),
+            frame: *frame,
+            funcs: funcs.clone(),
+            select: select.clone(),
+        },
+        LogicalPlan::OrderBy { input, keys } => LogicalPlan::OrderBy {
+            input: Box::new(canonicalize(input)),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(canonicalize(input)),
+            n: *n,
+        },
     }
 }
 
@@ -2215,7 +2660,10 @@ fn plan_tables<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a str>) {
             plan_tables(input, out);
             plan_tables(build, out);
         }
-        LogicalPlan::Aggregate { input, .. } => plan_tables(input, out),
+        LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Window { input, .. }
+        | LogicalPlan::OrderBy { input, .. }
+        | LogicalPlan::Limit { input, .. } => plan_tables(input, out),
     }
 }
 
@@ -3151,4 +3599,298 @@ fn exec_groupjoin_agg(
         op_list.push(probe_op);
     }
     Ok((rows_from_table(fk_col, aggs, &ht, None), op_list))
+}
+
+/// Thread-local state for the window operator's parallel filter phase:
+/// per-morsel qualifying-row segments, stitched by offset afterwards.
+struct WinScan {
+    segs: Vec<(usize, Vec<u32>)>,
+    ctr: AccessCounters,
+    cmp: Vec<u8>,
+}
+
+/// Evaluate `expr` for the (ascending) qualifying row ids, tile at a time,
+/// reusing the engine's tile evaluation so dictionary codes, decimals and
+/// CASE expressions behave exactly as on the aggregate paths.
+fn gather_expr(table: &Arc<Table>, expr: &Expr, row_ids: &[u32]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(row_ids.len());
+    let mut buf = vec![0i64; TILE];
+    let mut i = 0;
+    for (start, len) in tiles(table.len()) {
+        if i >= row_ids.len() {
+            break;
+        }
+        let end = start + len;
+        if (row_ids[i] as usize) >= end {
+            continue;
+        }
+        expr.eval_values(table, start, &mut buf[..len]);
+        while i < row_ids.len() && (row_ids[i] as usize) < end {
+            out.push(buf[row_ids[i] as usize - start]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when two qualifying rows are window-order peers (equal on every
+/// order key; direction is irrelevant for equality).
+fn order_peers(ord: &[Vec<i64>], a: usize, b: usize) -> bool {
+    ord.iter().all(|k| k[a] == k[b])
+}
+
+/// Execute a window pipeline: parallel filter to a selection vector, then
+/// a deterministic sequential sort + frame pass. Frame sums use wrapping
+/// arithmetic, and the sequential frame scan's subtract-on-evict is the
+/// exact inverse of its add (mod 2^64), so both strategies produce
+/// bit-identical outputs at any thread count.
+#[allow(clippy::too_many_arguments)]
+fn exec_window(
+    op_name: &str,
+    table: &Arc<Table>,
+    filter: Option<&Expr>,
+    partition_by: Option<&str>,
+    order_by: &[SortKey],
+    frame: FrameSpec,
+    funcs: &[WindowFnSpec],
+    select: &[String],
+    strategy: WindowStrategy,
+    opts: ExecOpts<'_>,
+    ctx: &Arc<ExecCtx>,
+) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
+    let n = table.len();
+    let counting = opts.level.counting();
+    let t0 = opts.level.timing().then(Instant::now);
+    // Phase 1: qualifying-row selection vector, produced on morsel workers.
+    // Segments disjointly cover the table, so stitching them by offset is
+    // identical to a sequential scan regardless of who claimed what.
+    ctx.gauge.try_charge(n.saturating_mul(4))?;
+    let init = {
+        let ctx = Arc::clone(ctx);
+        move || {
+            charge_or_panic(&ctx.gauge, TILE);
+            WinScan {
+                segs: Vec::new(),
+                ctr: AccessCounters::default(),
+                cmp: vec![0u8; TILE],
+            }
+        }
+    };
+    let body = {
+        let table = Arc::clone(table);
+        let filter = filter.cloned();
+        move |w: &mut WinScan, m_start: usize, m_len: usize| {
+            let filter = filter.as_ref();
+            if counting {
+                w.ctr.morsels += 1;
+                w.ctr.rows_in += m_len as u64;
+                if filter.is_some() {
+                    w.ctr.predicate_evals += m_len as u64;
+                }
+            }
+            let mut seg = Vec::new();
+            for (start, len) in tiles_in(m_start, m_len) {
+                tile_mask(filter, &table, start, &mut w.cmp[..len]);
+                selvec::append_nobranch(&w.cmp[..len], start as u32, &mut seg);
+            }
+            if counting {
+                w.ctr.rows_out += seg.len() as u64;
+            }
+            w.segs.push((m_start, seg));
+        }
+    };
+    let partials = opts
+        .executor
+        .run_morsels(ctx, n, opts.morsel_rows, init, body)?;
+    let mut op = counting.then(|| OpMetrics::named(op_name));
+    let mut segs = Vec::new();
+    for p in partials {
+        if let Some(op) = op.as_mut() {
+            op.access.merge(&p.ctr);
+        }
+        segs.extend(p.segs);
+    }
+    segs.sort_unstable_by_key(|(start, _)| *start);
+    let row_ids: Vec<u32> = segs.into_iter().flat_map(|(_, seg)| seg).collect();
+    let m = row_ids.len();
+
+    // Phase 2: materialize partition key, order keys, projected columns and
+    // function inputs for the qualifying rows (charged up front).
+    let n_mat = 1 + order_by.len() + select.len() + funcs.len();
+    ctx.gauge
+        .try_charge(m.saturating_mul(8).saturating_mul(n_mat))?;
+    let part: Vec<i64> = match partition_by {
+        Some(p) => gather_expr(table, &Expr::col(p), &row_ids),
+        None => vec![0; m],
+    };
+    let ord: Vec<Vec<i64>> = order_by
+        .iter()
+        .map(|k| gather_expr(table, &Expr::col(&k.column), &row_ids))
+        .collect();
+    let sel_cols: Vec<Vec<i64>> = select
+        .iter()
+        .map(|c| gather_expr(table, &Expr::col(c), &row_ids))
+        .collect();
+    let inputs: Vec<Vec<i64>> = funcs
+        .iter()
+        .map(|f| match &f.expr {
+            Some(e) => gather_expr(table, e, &row_ids),
+            None => vec![1; m],
+        })
+        .collect();
+
+    // Phase 3: the window order — (partition, order keys, row id). The
+    // trailing row id breaks every tie, so the permutation is unique and
+    // the comparator total: `sort_unstable` is deterministic here.
+    let mut perm: Vec<u32> = (0..m as u32).collect();
+    perm.sort_unstable_by(|&ai, &bi| {
+        let (a, b) = (ai as usize, bi as usize);
+        let mut o = part[a].cmp(&part[b]);
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+        for (k, key) in order_by.iter().zip(&ord) {
+            o = key[a].cmp(&key[b]);
+            if k.desc {
+                o = o.reverse();
+            }
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        row_ids[a].cmp(&row_ids[b])
+    });
+
+    // Phase 4: frame computation per partition run, in window order.
+    // `extra_touches` counts frame-state reads beyond one sequential pass —
+    // the window analogue of wasted lanes (re-evaluation re-reads, and the
+    // sliding frame's evictions), reported deterministically.
+    let mut outputs: Vec<Vec<i64>> = funcs.iter().map(|_| vec![0i64; m]).collect();
+    let mut extra_touches: u64 = 0;
+    let mut run_start = 0usize;
+    while run_start < m {
+        let mut run_end = run_start + 1;
+        while run_end < m && part[perm[run_end] as usize] == part[perm[run_start] as usize] {
+            run_end += 1;
+        }
+        let len = run_end - run_start;
+        for (fi, f) in funcs.iter().enumerate() {
+            let val = |i: usize| -> i64 {
+                match f.func {
+                    WindowFunc::Sum => inputs[fi][perm[run_start + i] as usize],
+                    _ => 1,
+                }
+            };
+            match f.func {
+                WindowFunc::RowNumber => {
+                    for i in 0..len {
+                        outputs[fi][run_start + i] = (i + 1) as i64;
+                    }
+                }
+                WindowFunc::Rank => {
+                    let mut rank = 1i64;
+                    for i in 0..len {
+                        if i > 0
+                            && !order_peers(
+                                &ord,
+                                perm[run_start + i - 1] as usize,
+                                perm[run_start + i] as usize,
+                            )
+                        {
+                            rank = (i + 1) as i64;
+                        }
+                        outputs[fi][run_start + i] = rank;
+                    }
+                }
+                WindowFunc::Sum | WindowFunc::Count => match strategy {
+                    WindowStrategy::SequentialFrameScan => match frame {
+                        FrameSpec::WholePartition => {
+                            let mut total = 0i64;
+                            for i in 0..len {
+                                total = total.wrapping_add(val(i));
+                            }
+                            for i in 0..len {
+                                outputs[fi][run_start + i] = total;
+                            }
+                        }
+                        FrameSpec::UnboundedPreceding => {
+                            let mut acc = 0i64;
+                            for i in 0..len {
+                                acc = acc.wrapping_add(val(i));
+                                outputs[fi][run_start + i] = acc;
+                            }
+                        }
+                        FrameSpec::Preceding(k) => {
+                            let mut acc = 0i64;
+                            for i in 0..len {
+                                acc = acc.wrapping_add(val(i));
+                                if i > k {
+                                    // Exact inverse of the add (mod 2^64):
+                                    // evicting restores the k-row frame sum
+                                    // bit-for-bit.
+                                    acc = acc.wrapping_sub(val(i - k - 1));
+                                    extra_touches += 1;
+                                }
+                                outputs[fi][run_start + i] = acc;
+                            }
+                        }
+                    },
+                    WindowStrategy::ConditionalReeval => {
+                        for i in 0..len {
+                            let lo = match frame {
+                                FrameSpec::WholePartition => 0,
+                                FrameSpec::UnboundedPreceding => 0,
+                                FrameSpec::Preceding(k) => i.saturating_sub(k),
+                            };
+                            let hi = match frame {
+                                FrameSpec::WholePartition => len - 1,
+                                _ => i,
+                            };
+                            let mut acc = 0i64;
+                            for j in lo..=hi {
+                                acc = acc.wrapping_add(val(j));
+                            }
+                            extra_touches += (hi - lo) as u64;
+                            outputs[fi][run_start + i] = acc;
+                        }
+                    }
+                },
+            }
+        }
+        run_start = run_end;
+    }
+
+    // Phase 5: assemble rows in window order (itself deterministic).
+    let mut rows = Vec::with_capacity(m);
+    for i in 0..m {
+        let src = perm[i] as usize;
+        let mut row = Vec::with_capacity(select.len() + funcs.len());
+        for c in &sel_cols {
+            row.push(c[src]);
+        }
+        for out in &outputs {
+            row.push(out[i]);
+        }
+        rows.push(row);
+    }
+    let mut columns: Vec<String> = select.to_vec();
+    columns.extend(funcs.iter().map(|f| f.name.clone()));
+    let key_dict = select
+        .first()
+        .and_then(|c| table.column(c))
+        .and_then(|c| c.as_dict())
+        .map(|d| Arc::new(d.dictionary().to_vec()));
+    if let Some(op) = op.as_mut() {
+        op.access.wasted_lanes += extra_touches;
+        op.wall_nanos = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+    }
+    Ok((
+        QueryResult {
+            columns,
+            rows,
+            metrics: None,
+            key_dict,
+        },
+        op.into_iter().collect(),
+    ))
 }

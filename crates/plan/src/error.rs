@@ -37,6 +37,16 @@ pub enum PlanError {
     },
     /// A result-column accessor named a column the result does not have.
     UnknownResultColumn(String),
+    /// A positional result accessor was given an index outside the result
+    /// (or a malformed result is narrower than its column list claims).
+    IndexOutOfRange {
+        /// Which axis the index ran past: `"row"` or `"column"`.
+        axis: &'static str,
+        /// The out-of-range index the caller passed.
+        index: usize,
+        /// The number of valid positions on that axis.
+        len: usize,
+    },
     /// A morsel worker panicked (or the executor hit an unexpected state).
     /// The panic is contained to the query: sibling workers are cancelled
     /// at their next morsel boundary and the process keeps running.
@@ -152,6 +162,9 @@ impl fmt::Display for PlanError {
             }
             PlanError::UnknownResultColumn(c) => {
                 write!(f, "no column named {c} in the result")
+            }
+            PlanError::IndexOutOfRange { axis, index, len } => {
+                write!(f, "{axis} index {index} out of range (result has {len})")
             }
             PlanError::ExecutionFailed(msg) => {
                 write!(f, "execution failed: {msg}")

@@ -8,8 +8,8 @@
 use crate::catalog::Database;
 use crate::engine::QueryResult;
 use crate::error::PlanError;
-use crate::expr::AggFunc;
-use crate::logical::{AggSpec, LogicalPlan};
+use crate::expr::{AggFunc, Expr};
+use crate::logical::{AggSpec, FrameSpec, LogicalPlan, SortKey, WindowFunc};
 use crate::metrics::OpMetrics;
 use std::collections::BTreeMap;
 
@@ -32,11 +32,79 @@ pub fn run_metered(
     Ok((res, op))
 }
 
+/// Result-level post-operators peeled off the top of the plan, mirroring
+/// the engine's `PostOp` handling so fallback results stay bit-identical.
+enum Post {
+    Sort(Vec<SortKey>),
+    Limit(usize),
+}
+
 fn run_inner(
     db: &Database,
     plan: &LogicalPlan,
     op: &mut OpMetrics,
 ) -> Result<QueryResult, PlanError> {
+    // Peel ORDER BY / LIMIT wrappers, innermost-first after the reverse.
+    let mut node = plan;
+    let mut post = Vec::new();
+    loop {
+        match node {
+            LogicalPlan::Limit { input, n } => {
+                post.push(Post::Limit(*n));
+                node = input;
+            }
+            LogicalPlan::OrderBy { input, keys } => {
+                if keys.is_empty() {
+                    return Err(PlanError::Unsupported(
+                        "ORDER BY needs at least one key".into(),
+                    ));
+                }
+                post.push(Post::Sort(keys.clone()));
+                node = input;
+            }
+            _ => break,
+        }
+    }
+    post.reverse();
+    let mut res = run_core(db, node, op)?;
+    for p in &post {
+        match p {
+            Post::Sort(keys) => {
+                let mut key_idx = Vec::with_capacity(keys.len());
+                for k in keys {
+                    key_idx.push((res.column_index(&k.column)?, k.desc));
+                }
+                let mut perm: Vec<u32> = (0..res.rows.len() as u32).collect();
+                perm.sort_by(|&a, &b| {
+                    let (ra, rb) = (&res.rows[a as usize], &res.rows[b as usize]);
+                    for &(i, desc) in &key_idx {
+                        let ord = ra[i].cmp(&rb[i]);
+                        let ord = if desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    a.cmp(&b) // deterministic tie-break: pre-sort position
+                });
+                res.rows = perm
+                    .into_iter()
+                    .map(|i| std::mem::take(&mut res.rows[i as usize]))
+                    .collect();
+            }
+            Post::Limit(n) => res.rows.truncate(*n),
+        }
+    }
+    Ok(res)
+}
+
+fn run_core(
+    db: &Database,
+    plan: &LogicalPlan,
+    op: &mut OpMetrics,
+) -> Result<QueryResult, PlanError> {
+    if let LogicalPlan::Window { .. } = plan {
+        return run_window(db, plan, op);
+    }
     let LogicalPlan::Aggregate {
         input,
         group_by,
@@ -44,7 +112,7 @@ fn run_inner(
     } = plan
     else {
         return Err(PlanError::Unsupported(
-            "top-level node must be an aggregation".into(),
+            "top-level node must be an aggregation or window".into(),
         ));
     };
     if aggs.is_empty() {
@@ -52,6 +120,9 @@ fn run_inner(
     }
     let base = input.base_table();
     let table = db.table(base)?;
+    for a in aggs {
+        a.expr.validate(table)?;
+    }
     let rows = qualifying_rows(db, input, op)?;
     op.access.rows_out = rows.len() as u64;
     match group_by {
@@ -122,6 +193,170 @@ fn run_inner(
     }
 }
 
+/// Naive window execution: sort the qualifying rows by (partition, order
+/// keys, row id), then re-scan every frame per output row with wrapping
+/// arithmetic. Wrapping addition is associative and its subtraction an
+/// exact inverse (mod 2^64), so this matches both engine frame strategies
+/// bit-for-bit.
+fn run_window(
+    db: &Database,
+    plan: &LogicalPlan,
+    op: &mut OpMetrics,
+) -> Result<QueryResult, PlanError> {
+    let LogicalPlan::Window {
+        input,
+        partition_by,
+        order_by,
+        frame,
+        funcs,
+        select,
+    } = plan
+    else {
+        unreachable!("run_window called on a non-window plan");
+    };
+    let base = input.base_table();
+    let table = db.table(base)?;
+    for c in select
+        .iter()
+        .map(String::as_str)
+        .chain(order_by.iter().map(|k| k.column.as_str()))
+        .chain(partition_by.as_deref())
+    {
+        if table.column(c).is_none() {
+            return Err(PlanError::UnknownColumn {
+                table: base.to_string(),
+                column: c.to_string(),
+            });
+        }
+    }
+    let mut names: Vec<&str> = select.iter().map(String::as_str).collect();
+    names.extend(funcs.iter().map(|f| f.name.as_str()));
+    for (i, n) in names.iter().enumerate() {
+        if names[..i].contains(n) {
+            return Err(PlanError::Unsupported(format!(
+                "duplicate output column name {n}"
+            )));
+        }
+    }
+    for f in funcs {
+        if let Some(e) = &f.expr {
+            e.validate(table)?;
+        }
+    }
+    let rows = qualifying_rows(db, input, op)?;
+    op.access.rows_out = rows.len() as u64;
+    let m = rows.len();
+    let eval_col = |name: &str| -> Vec<i64> {
+        let e = Expr::col(name);
+        rows.iter().map(|&r| e.eval_row(table, r)).collect()
+    };
+    let part: Vec<i64> = match partition_by {
+        Some(p) => eval_col(p),
+        None => vec![0; m],
+    };
+    let ord: Vec<Vec<i64>> = order_by.iter().map(|k| eval_col(&k.column)).collect();
+    let sel_cols: Vec<Vec<i64>> = select.iter().map(|c| eval_col(c)).collect();
+    let inputs: Vec<Vec<i64>> = funcs
+        .iter()
+        .map(|f| match &f.expr {
+            Some(e) => rows.iter().map(|&r| e.eval_row(table, r)).collect(),
+            None => vec![1; m],
+        })
+        .collect();
+    // Window order: (partition, order keys, base row id) — the same total
+    // order the engine sorts by.
+    let mut perm: Vec<usize> = (0..m).collect();
+    perm.sort_by(|&a, &b| {
+        let mut o = part[a].cmp(&part[b]);
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+        for (k, key) in order_by.iter().zip(&ord) {
+            o = key[a].cmp(&key[b]);
+            if k.desc {
+                o = o.reverse();
+            }
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        rows[a].cmp(&rows[b])
+    });
+    let mut outputs: Vec<Vec<i64>> = funcs.iter().map(|_| vec![0i64; m]).collect();
+    let mut run_start = 0;
+    while run_start < m {
+        let mut run_end = run_start + 1;
+        while run_end < m && part[perm[run_end]] == part[perm[run_start]] {
+            run_end += 1;
+        }
+        let len = run_end - run_start;
+        for (fi, f) in funcs.iter().enumerate() {
+            match f.func {
+                WindowFunc::RowNumber => {
+                    for i in 0..len {
+                        outputs[fi][run_start + i] = (i + 1) as i64;
+                    }
+                }
+                WindowFunc::Rank => {
+                    let mut rank = 1i64;
+                    for i in 0..len {
+                        let peer = i > 0
+                            && ord
+                                .iter()
+                                .all(|k| k[perm[run_start + i - 1]] == k[perm[run_start + i]]);
+                        if i > 0 && !peer {
+                            rank = (i + 1) as i64;
+                        }
+                        outputs[fi][run_start + i] = rank;
+                    }
+                }
+                WindowFunc::Sum | WindowFunc::Count => {
+                    for i in 0..len {
+                        let (lo, hi) = match frame {
+                            FrameSpec::WholePartition => (0, len - 1),
+                            FrameSpec::UnboundedPreceding => (0, i),
+                            FrameSpec::Preceding(k) => (i.saturating_sub(*k), i),
+                        };
+                        let mut acc = 0i64;
+                        for j in lo..=hi {
+                            acc = acc.wrapping_add(match f.func {
+                                WindowFunc::Sum => inputs[fi][perm[run_start + j]],
+                                _ => 1,
+                            });
+                        }
+                        outputs[fi][run_start + i] = acc;
+                    }
+                }
+            }
+        }
+        run_start = run_end;
+    }
+    let mut out_rows = Vec::with_capacity(m);
+    for i in 0..m {
+        let src = perm[i];
+        let mut row = Vec::with_capacity(select.len() + funcs.len());
+        for c in &sel_cols {
+            row.push(c[src]);
+        }
+        for o in &outputs {
+            row.push(o[i]);
+        }
+        out_rows.push(row);
+    }
+    let mut columns: Vec<String> = select.clone();
+    columns.extend(funcs.iter().map(|f| f.name.clone()));
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+        metrics: None,
+        key_dict: select
+            .first()
+            .and_then(|c| table.column(c))
+            .and_then(|c| c.as_dict())
+            .map(|d| std::sync::Arc::new(d.dictionary().to_vec())),
+    })
+}
+
 fn accumulate(acc: &mut i64, spec: &AggSpec, table: &swole_storage::Table, row: usize) {
     // Wrapping accumulation matches the engine's kernels exactly, so
     // fallback results stay bit-identical even on wraparound inputs.
@@ -188,6 +423,11 @@ fn qualifying_rows(
                 .filter(|&r| parent_set.contains(&(fk[r] as usize)))
                 .collect())
         }
-        LogicalPlan::Aggregate { .. } => Err(PlanError::Unsupported("nested aggregation".into())),
+        LogicalPlan::Aggregate { .. }
+        | LogicalPlan::Window { .. }
+        | LogicalPlan::OrderBy { .. }
+        | LogicalPlan::Limit { .. } => Err(PlanError::Unsupported(
+            "nested aggregation or window".into(),
+        )),
     }
 }

@@ -53,7 +53,10 @@ pub use catalog::Database;
 pub use engine::{Engine, EngineBuilder, Explain, QueryResult, ShutdownReport, StrategyOverrides};
 pub use error::PlanError;
 pub use expr::{AggFunc, CmpOp, Expr};
-pub use logical::{AggSpec, LogicalPlan, QueryBuilder};
+pub use logical::{
+    limit, order_by, AggSpec, FrameSpec, LogicalPlan, QueryBuilder, SortKey, WindowFnSpec,
+    WindowFunc,
+};
 pub use metrics::{MetricsLevel, OpMetrics, QueryMetrics};
 pub use prepared::{BoundStatement, PreparedStatement};
 pub use session::{QueryOptions, Session};

@@ -51,6 +51,112 @@ impl AggSpec {
     }
 }
 
+/// One sort key in an `ORDER BY` clause or window ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// Column the key orders by (an output column for `ORDER BY`, a base
+    /// column for window orderings).
+    pub column: String,
+    /// Descending order when true (`DESC`); ascending otherwise.
+    pub desc: bool,
+}
+
+impl SortKey {
+    /// An ascending key on `column`.
+    pub fn asc(column: impl Into<String>) -> SortKey {
+        SortKey {
+            column: column.into(),
+            desc: false,
+        }
+    }
+
+    /// A descending key on `column`.
+    pub fn desc(column: impl Into<String>) -> SortKey {
+        SortKey {
+            column: column.into(),
+            desc: true,
+        }
+    }
+}
+
+/// A window function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowFunc {
+    /// 1-based position within the partition in window order.
+    RowNumber,
+    /// 1 + number of strictly-preceding rows in window order; peers (rows
+    /// with equal order keys) share a rank.
+    Rank,
+    /// Running/framed sum of the input expression (wrapping arithmetic).
+    Sum,
+    /// Running/framed row count.
+    Count,
+}
+
+/// One window function in a query's select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowFnSpec {
+    /// Window function.
+    pub func: WindowFunc,
+    /// Input expression (`None` for `ROW_NUMBER`, `RANK`, `COUNT(*)`).
+    pub expr: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+}
+
+impl WindowFnSpec {
+    /// `ROW_NUMBER() OVER (...) as name`.
+    pub fn row_number(name: impl Into<String>) -> WindowFnSpec {
+        WindowFnSpec {
+            func: WindowFunc::RowNumber,
+            expr: None,
+            name: name.into(),
+        }
+    }
+
+    /// `RANK() OVER (...) as name`.
+    pub fn rank(name: impl Into<String>) -> WindowFnSpec {
+        WindowFnSpec {
+            func: WindowFunc::Rank,
+            expr: None,
+            name: name.into(),
+        }
+    }
+
+    /// `SUM(expr) OVER (...) as name`.
+    pub fn sum(expr: Expr, name: impl Into<String>) -> WindowFnSpec {
+        WindowFnSpec {
+            func: WindowFunc::Sum,
+            expr: Some(expr),
+            name: name.into(),
+        }
+    }
+
+    /// `COUNT(*) OVER (...) as name`.
+    pub fn count(name: impl Into<String>) -> WindowFnSpec {
+        WindowFnSpec {
+            func: WindowFunc::Count,
+            expr: None,
+            name: name.into(),
+        }
+    }
+}
+
+/// The rows-frame a window function aggregates over.
+///
+/// Frames are ROWS-based (positional), never RANGE-based: with no window
+/// `ORDER BY` the frame is the whole partition; with an `ORDER BY` it
+/// defaults to `UNBOUNDED PRECEDING .. CURRENT ROW`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameSpec {
+    /// Every row of the partition (no window `ORDER BY`).
+    WholePartition,
+    /// `ROWS UNBOUNDED PRECEDING .. CURRENT ROW` (running frame).
+    UnboundedPreceding,
+    /// `ROWS k PRECEDING .. CURRENT ROW` (sliding frame of `k + 1` rows).
+    Preceding(usize),
+}
+
 /// A logical query plan (relational-algebra tree).
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogicalPlan {
@@ -87,6 +193,37 @@ pub enum LogicalPlan {
         /// Aggregates to compute.
         aggs: Vec<AggSpec>,
     },
+    /// Window computation over the qualifying rows of the input: projects
+    /// `select` base columns plus one output column per window function.
+    Window {
+        /// Input plan (scan + optional filter).
+        input: Box<LogicalPlan>,
+        /// `PARTITION BY` column, if any.
+        partition_by: Option<String>,
+        /// Window `ORDER BY` keys (empty means partition order = row order).
+        order_by: Vec<SortKey>,
+        /// Rows-frame the functions aggregate over.
+        frame: FrameSpec,
+        /// Window functions to compute (may be empty: plain projection).
+        funcs: Vec<WindowFnSpec>,
+        /// Base columns projected alongside the window outputs.
+        select: Vec<String>,
+    },
+    /// Result re-ordering by output columns (deterministic: ties broken by
+    /// pre-sort row position).
+    OrderBy {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys naming output columns of the input.
+        keys: Vec<SortKey>,
+    },
+    /// Result prefix truncation.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum rows to keep.
+        n: usize,
+    },
 }
 
 impl LogicalPlan {
@@ -96,7 +233,10 @@ impl LogicalPlan {
             LogicalPlan::Scan { table } => table,
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::SemiJoin { input, .. }
-            | LogicalPlan::Aggregate { input, .. } => input.base_table(),
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Window { input, .. }
+            | LogicalPlan::OrderBy { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.base_table(),
         }
     }
 }
@@ -157,9 +297,44 @@ impl QueryBuilder {
         }
     }
 
+    /// Terminal window computation; returns the finished plan.
+    pub fn window(
+        self,
+        partition_by: Option<&str>,
+        order_by: Vec<SortKey>,
+        frame: FrameSpec,
+        funcs: Vec<WindowFnSpec>,
+        select: Vec<String>,
+    ) -> LogicalPlan {
+        LogicalPlan::Window {
+            input: Box::new(self.plan),
+            partition_by: partition_by.map(str::to_string),
+            order_by,
+            frame,
+            funcs,
+            select,
+        }
+    }
+
     /// The plan built so far, without a terminal aggregation.
     pub fn build(self) -> LogicalPlan {
         self.plan
+    }
+}
+
+/// Wrap a finished plan in a result-level `ORDER BY`.
+pub fn order_by(plan: LogicalPlan, keys: Vec<SortKey>) -> LogicalPlan {
+    LogicalPlan::OrderBy {
+        input: Box::new(plan),
+        keys,
+    }
+}
+
+/// Wrap a finished plan in a `LIMIT`.
+pub fn limit(plan: LogicalPlan, n: usize) -> LogicalPlan {
+    LogicalPlan::Limit {
+        input: Box::new(plan),
+        n,
     }
 }
 

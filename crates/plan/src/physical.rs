@@ -2,13 +2,26 @@
 //! planner made, with their cost-model evidence.
 
 use crate::expr::Expr;
-use crate::logical::AggSpec;
-use swole_cost::{AggStrategy, GroupJoinStrategy, SemiJoinStrategy};
+use crate::logical::{AggSpec, FrameSpec, SortKey, WindowFnSpec};
+use swole_cost::{AggStrategy, GroupJoinStrategy, SemiJoinStrategy, WindowStrategy};
+
+/// A result-level post-operator applied after the core pipeline: `ORDER BY`
+/// and `LIMIT` run over the materialized result rows, never over base tables.
+#[derive(Debug, Clone)]
+pub(crate) enum PostOp {
+    /// Re-sort the result rows by output columns (stable: ties keep the
+    /// pre-sort order, which is itself deterministic).
+    Sort { keys: Vec<SortKey> },
+    /// Keep the first `n` result rows.
+    Limit { n: usize },
+}
 
 /// A planned, executable query with its decision trail.
 #[derive(Debug, Clone)]
 pub struct PhysicalPlan {
     pub(crate) shape: Shape,
+    /// Result-level post-operators (`ORDER BY`, `LIMIT`) in application order.
+    pub(crate) post: Vec<PostOp>,
     /// One line per decision the planner took, with the cost-model
     /// justification — what `EXPLAIN` prints.
     pub decisions: Vec<String>,
@@ -21,13 +34,46 @@ pub struct PhysicalPlan {
 impl PhysicalPlan {
     /// Render the plan as EXPLAIN text.
     pub fn explain(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&self.shape.describe());
+        let mut out = self.describe();
         for d in &self.decisions {
             out.push_str("\n  -> ");
             out.push_str(d);
         }
         out
+    }
+
+    /// The one-line plan rendering: post-operators outermost-first, then
+    /// the core shape.
+    pub(crate) fn describe(&self) -> String {
+        let mut out = String::new();
+        for p in self.post.iter().rev() {
+            match p {
+                PostOp::Sort { keys } => {
+                    out.push_str("OrderBy[");
+                    for (i, k) in keys.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&k.column);
+                        out.push_str(if k.desc { " desc" } else { " asc" });
+                    }
+                    out.push_str("] <- ");
+                }
+                PostOp::Limit { n } => {
+                    out.push_str(&format!("Limit[{n}] <- "));
+                }
+            }
+        }
+        out.push_str(&self.shape.describe());
+        out
+    }
+
+    /// The window strategy chosen, if this plan has a window pipeline.
+    pub fn window_strategy(&self) -> Option<WindowStrategy> {
+        match &self.shape {
+            Shape::WindowScan { strategy, .. } => Some(*strategy),
+            _ => None,
+        }
     }
 
     /// The aggregation strategy chosen, if this plan has an aggregation
@@ -90,6 +136,18 @@ pub(crate) enum Shape {
         aggs: Vec<AggSpec>,
         strategy: GroupJoinStrategy,
     },
+    /// scan → filter? → sort by (partition, order, row) → window functions.
+    /// With no functions this degenerates to a row projection.
+    WindowScan {
+        table: String,
+        filter: Option<Expr>,
+        partition_by: Option<String>,
+        order_by: Vec<SortKey>,
+        frame: FrameSpec,
+        funcs: Vec<WindowFnSpec>,
+        select: Vec<String>,
+        strategy: WindowStrategy,
+    },
 }
 
 impl Shape {
@@ -117,6 +175,15 @@ impl Shape {
                 GroupJoinStrategy::GroupJoin => "groupjoin".to_string(),
                 GroupJoinStrategy::EagerAggregation => "eager-aggregation".to_string(),
             },
+            Shape::WindowScan {
+                strategy, funcs, ..
+            } => {
+                if funcs.is_empty() {
+                    "projection".to_string()
+                } else {
+                    strategy.name().to_string()
+                }
+            }
         }
     }
 
@@ -170,6 +237,32 @@ impl Shape {
                     GroupJoinStrategy::EagerAggregation => "eager-aggregation",
                 },
             ),
+            Shape::WindowScan {
+                table,
+                filter,
+                partition_by,
+                funcs,
+                strategy,
+                ..
+            } => {
+                if funcs.is_empty() {
+                    format!(
+                        "Project <- {}Scan {table}",
+                        if filter.is_some() { "Filter <- " } else { "" },
+                    )
+                } else {
+                    format!(
+                        "Window[{}] ({} fns{}) <- {}Scan {table}",
+                        strategy.name(),
+                        funcs.len(),
+                        partition_by
+                            .as_ref()
+                            .map(|p| format!(", partition by {p}"))
+                            .unwrap_or_default(),
+                        if filter.is_some() { "Filter <- " } else { "" },
+                    )
+                }
+            }
         }
     }
 }

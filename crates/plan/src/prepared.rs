@@ -272,6 +272,17 @@ fn plan_params(plan: &LogicalPlan, out: &mut Vec<usize>) {
             }
             plan_params(input, out);
         }
+        LogicalPlan::Window { input, funcs, .. } => {
+            for f in funcs {
+                if let Some(e) = &f.expr {
+                    out.extend(e.params());
+                }
+            }
+            plan_params(input, out);
+        }
+        LogicalPlan::OrderBy { input, .. } | LogicalPlan::Limit { input, .. } => {
+            plan_params(input, out);
+        }
     }
 }
 
@@ -311,6 +322,38 @@ fn subst_plan(plan: &LogicalPlan, vals: &[Value]) -> Result<LogicalPlan, PlanErr
                     })
                 })
                 .collect::<Result<Vec<_>, PlanError>>()?,
+        },
+        LogicalPlan::Window {
+            input,
+            partition_by,
+            order_by,
+            frame,
+            funcs,
+            select,
+        } => LogicalPlan::Window {
+            input: Box::new(subst_plan(input, vals)?),
+            partition_by: partition_by.clone(),
+            order_by: order_by.clone(),
+            frame: *frame,
+            funcs: funcs
+                .iter()
+                .map(|w| {
+                    Ok(crate::logical::WindowFnSpec {
+                        func: w.func,
+                        expr: w.expr.as_ref().map(|e| subst_expr(e, vals)).transpose()?,
+                        name: w.name.clone(),
+                    })
+                })
+                .collect::<Result<Vec<_>, PlanError>>()?,
+            select: select.clone(),
+        },
+        LogicalPlan::OrderBy { input, keys } => LogicalPlan::OrderBy {
+            input: Box::new(subst_plan(input, vals)?),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(subst_plan(input, vals)?),
+            n: *n,
         },
     })
 }

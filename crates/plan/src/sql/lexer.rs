@@ -44,9 +44,40 @@ pub(crate) enum Sym {
 
 /// SQL keywords (matched case-insensitively; everything else is an
 /// identifier).
-const KEYWORDS: [&str; 23] = [
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "NOT", "AS", "SUM", "COUNT", "MIN",
-    "MAX", "LIKE", "IN", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "EXPLAIN", "ANALYZE", "VERIFY",
+const KEYWORDS: [&str; 33] = [
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "SUM",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "LIKE",
+    "IN",
+    "BETWEEN",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "EXPLAIN",
+    "ANALYZE",
+    "VERIFY",
+    "ORDER",
+    "LIMIT",
+    "OVER",
+    "PARTITION",
+    "ROWS",
+    "PRECEDING",
+    "ASC",
+    "DESC",
+    "ROW_NUMBER",
+    "RANK",
 ];
 
 /// `END` is also a keyword but handled with the CASE machinery.

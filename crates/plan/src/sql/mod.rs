@@ -19,12 +19,23 @@
 //! ```text
 //! stmt    := [EXPLAIN [ANALYZE | VERIFY]] query
 //! query   := SELECT items FROM table [, table] [WHERE conj] [GROUP BY col]
+//!            [ORDER BY sort] [LIMIT n]
 //! items   := item (',' item)*
 //! item    := col | SUM(expr) | COUNT(*) | MIN(expr) | MAX(expr) [AS name]
+//!          | wfn OVER over [AS name]
+//! wfn     := ROW_NUMBER() | RANK() | SUM(expr) | COUNT(*)
+//! over    := '(' [PARTITION BY col] [ORDER BY sort] [ROWS n PRECEDING] ')'
+//! sort    := col [ASC | DESC] (',' col [ASC | DESC])*
 //! conj    := pred (AND pred)*
 //! pred    := expr with comparisons, OR, NOT, BETWEEN, LIKE, IN (...),
 //!            CASE WHEN ... THEN ... ELSE ... END, arithmetic, parentheses
 //! ```
+//!
+//! Window functions are single-table only and every window item in a query
+//! must share one `OVER` clause (one sort, one frame). A select list of
+//! bare columns with no aggregates and no `GROUP BY` binds as a plain
+//! projection. Result-level `ORDER BY` names output columns and breaks
+//! ties by pre-sort position, so results stay deterministic.
 //!
 //! Predicates may contain placeholders — anonymous `?` (numbered left to
 //! right) or explicit `$1`, `$2`, ... (1-based; the two styles cannot mix,

@@ -3,7 +3,7 @@
 use super::lexer::{tokenize, Sym, Token, TokenKind};
 use super::SqlError;
 use crate::expr::{CmpOp, Expr};
-use crate::logical::{AggSpec, LogicalPlan};
+use crate::logical::{AggSpec, FrameSpec, LogicalPlan, SortKey, WindowFnSpec, WindowFunc};
 use crate::AggFunc;
 
 /// How a query asked to be explained rather than executed.
@@ -147,6 +147,23 @@ enum SelectItem {
         alias: Option<String>,
         pos: usize,
     },
+    /// Window function with its OVER clause and optional alias.
+    Window {
+        func: WindowFunc,
+        expr: Option<PExpr>, // Some only for SUM
+        alias: Option<String>,
+        over: OverSpec,
+        pos: usize,
+    },
+}
+
+/// A parsed `OVER (...)` clause (qualifiers are stripped: window queries
+/// are single-table).
+#[derive(Debug, Clone, PartialEq)]
+struct OverSpec {
+    partition_by: Option<String>,
+    order_by: Vec<(String, bool)>,
+    rows_preceding: Option<i64>,
 }
 
 #[derive(Debug, Clone)]
@@ -155,6 +172,10 @@ struct Query {
     tables: Vec<String>,
     predicate: Option<PExpr>,
     group_by: Option<(Option<String>, String)>,
+    /// Result-level `ORDER BY` keys: output-column name + `DESC` flag.
+    order_by: Vec<(String, bool)>,
+    /// Result-level `LIMIT`.
+    limit: Option<i64>,
     pos: usize,
 }
 
@@ -278,17 +299,115 @@ impl Parser {
         } else {
             None
         };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            self.parse_sort_keys()?
+        } else {
+            Vec::new()
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.bump() {
+                Some(TokenKind::Number(n)) => Some(n),
+                _ => return self.err("LIMIT requires an integer literal"),
+            }
+        } else {
+            None
+        };
         Ok(Query {
             items,
             tables,
             predicate,
             group_by,
+            order_by,
+            limit,
             pos,
+        })
+    }
+
+    /// `col [ASC|DESC] [, ...]` — shared by result-level and window
+    /// `ORDER BY` clauses (qualifiers accepted and stripped).
+    fn parse_sort_keys(&mut self) -> Result<Vec<(String, bool)>, SqlError> {
+        let mut keys = Vec::new();
+        loop {
+            let (_, c) = self.parse_qualified()?;
+            let desc = if self.eat_keyword("DESC") {
+                true
+            } else {
+                self.eat_keyword("ASC");
+                false
+            };
+            keys.push((c, desc));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(keys)
+    }
+
+    /// The parenthesized window specification after `OVER`.
+    fn parse_over(&mut self) -> Result<OverSpec, SqlError> {
+        self.expect_symbol(Sym::LParen)?;
+        let partition_by = if self.eat_keyword("PARTITION") {
+            self.expect_keyword("BY")?;
+            let (_, c) = self.parse_qualified()?;
+            Some(c)
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            self.parse_sort_keys()?
+        } else {
+            Vec::new()
+        };
+        let rows_preceding = if self.eat_keyword("ROWS") {
+            let k = match self.bump() {
+                Some(TokenKind::Number(n)) => n,
+                _ => return self.err("ROWS frame requires an integer row count"),
+            };
+            self.expect_keyword("PRECEDING")?;
+            Some(k)
+        } else {
+            None
+        };
+        self.expect_symbol(Sym::RParen)?;
+        Ok(OverSpec {
+            partition_by,
+            order_by,
+            rows_preceding,
         })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
         let pos = self.pos();
+        // Window-only functions: ROW_NUMBER() / RANK() require OVER.
+        let wfunc = match self.peek() {
+            Some(TokenKind::Word(w)) => match w.as_str() {
+                "ROW_NUMBER" => Some(WindowFunc::RowNumber),
+                "RANK" => Some(WindowFunc::Rank),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(wf) = wfunc {
+            self.cursor += 1;
+            self.expect_symbol(Sym::LParen)?;
+            self.expect_symbol(Sym::RParen)?;
+            self.expect_keyword("OVER")?;
+            let over = self.parse_over()?;
+            let alias = if self.eat_keyword("AS") {
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            return Ok(SelectItem::Window {
+                func: wf,
+                expr: None,
+                alias,
+                over,
+                pos,
+            });
+        }
         let func = match self.peek() {
             Some(TokenKind::Word(w)) => match w.as_str() {
                 "SUM" => Some(AggFunc::Sum),
@@ -308,6 +427,34 @@ impl Parser {
                 Some(self.parse_add()?)
             };
             self.expect_symbol(Sym::RParen)?;
+            // `SUM(e) OVER (...)` / `COUNT(*) OVER (...)` are window
+            // functions, not aggregates.
+            if self.eat_keyword("OVER") {
+                let wf = match func {
+                    AggFunc::Sum => WindowFunc::Sum,
+                    AggFunc::Count => WindowFunc::Count,
+                    AggFunc::Min | AggFunc::Max => {
+                        return self.err("MIN/MAX are not supported as window functions")
+                    }
+                };
+                if wf == WindowFunc::Sum && expr.is_none() {
+                    return self.err("SUM window function requires an argument");
+                }
+                let over = self.parse_over()?;
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
+                return Ok(SelectItem::Window {
+                    func: wf,
+                    // COUNT counts frame rows; any argument is ignored.
+                    expr: if wf == WindowFunc::Sum { expr } else { None },
+                    alias,
+                    over,
+                    pos,
+                });
+            }
             let alias = if self.eat_keyword("AS") {
                 Some(self.expect_ident()?)
             } else {
@@ -703,6 +850,12 @@ fn agg_specs(items: &[SelectItem], group_by: Option<&str>) -> Result<Vec<AggSpec
                     name,
                 });
             }
+            SelectItem::Window { pos, .. } => {
+                return Err(SqlError {
+                    message: "window functions cannot be combined with GROUP BY".into(),
+                    position: *pos,
+                });
+            }
         }
     }
     if aggs.is_empty() {
@@ -714,14 +867,149 @@ fn agg_specs(items: &[SelectItem], group_by: Option<&str>) -> Result<Vec<AggSpec
     Ok(aggs)
 }
 
+/// Wrap a bound core plan in the query's result-level `ORDER BY` / `LIMIT`.
+fn wrap_post(mut plan: LogicalPlan, q: &Query) -> LogicalPlan {
+    if !q.order_by.is_empty() {
+        plan = LogicalPlan::OrderBy {
+            input: Box::new(plan),
+            keys: q
+                .order_by
+                .iter()
+                .map(|(c, desc)| SortKey {
+                    column: c.clone(),
+                    desc: *desc,
+                })
+                .collect(),
+        };
+    }
+    if let Some(n) = q.limit {
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            n: n.max(0) as usize,
+        };
+    }
+    plan
+}
+
+/// Bind a single-table window/projection query: bare columns become the
+/// projection, window items the function list. All window functions must
+/// share one OVER clause (one sort, one frame).
+fn bind_window(q: &Query, table: String) -> Result<LogicalPlan, SqlError> {
+    let fail = |message: String| SqlError {
+        message,
+        position: q.pos,
+    };
+    if q.group_by.is_some() {
+        return Err(fail(
+            "window functions cannot be combined with GROUP BY".into(),
+        ));
+    }
+    let mut select = Vec::new();
+    let mut funcs = Vec::new();
+    let mut over: Option<&OverSpec> = None;
+    let mut auto = 0usize;
+    for item in &q.items {
+        match item {
+            SelectItem::Key { name, .. } => select.push(name.clone()),
+            SelectItem::Agg { .. } => {
+                return Err(fail(
+                    "cannot mix plain aggregates and window functions \
+                     (did you mean SUM(..) OVER (..)?)"
+                        .into(),
+                ))
+            }
+            SelectItem::Window {
+                func,
+                expr,
+                alias,
+                over: o,
+                pos,
+            } => {
+                match over {
+                    None => over = Some(o),
+                    Some(prev) if prev == o => {}
+                    Some(_) => {
+                        return Err(fail(
+                            "all window functions in one query must share the same \
+                             OVER clause"
+                                .into(),
+                        ))
+                    }
+                }
+                let name = alias.clone().unwrap_or_else(|| {
+                    auto += 1;
+                    format!("w{auto}")
+                });
+                funcs.push(WindowFnSpec {
+                    func: *func,
+                    expr: expr.as_ref().map(|e| to_expr(e, *pos)).transpose()?,
+                    name,
+                });
+            }
+        }
+    }
+    let (partition_by, order_by, frame) = match over {
+        Some(o) => {
+            let frame = match o.rows_preceding {
+                Some(k) => FrameSpec::Preceding(k.max(0) as usize),
+                None if o.order_by.is_empty() => FrameSpec::WholePartition,
+                None => FrameSpec::UnboundedPreceding,
+            };
+            (
+                o.partition_by.clone(),
+                o.order_by
+                    .iter()
+                    .map(|(c, desc)| SortKey {
+                        column: c.clone(),
+                        desc: *desc,
+                    })
+                    .collect(),
+                frame,
+            )
+        }
+        // Pure projection: no window order, whole-partition frame.
+        None => (None, Vec::new(), FrameSpec::WholePartition),
+    };
+    let mut input = LogicalPlan::Scan { table };
+    if let Some(pred) = &q.predicate {
+        input = LogicalPlan::Filter {
+            input: Box::new(input),
+            predicate: to_expr(pred, q.pos)?,
+        };
+    }
+    Ok(LogicalPlan::Window {
+        input: Box::new(input),
+        partition_by,
+        order_by,
+        frame,
+        funcs,
+        select,
+    })
+}
+
 fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
     let fail = |message: String| SqlError {
         message,
         position: q.pos,
     };
+    let has_window = q
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Window { .. }));
+    let has_agg = q.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
     match q.tables.len() {
         1 => {
             let table = q.tables[0].clone();
+            // Window functions — or a bare-column projection — take the
+            // window path; aggregates keep the aggregation path.
+            if has_window || (!has_agg && q.group_by.is_none()) {
+                let plan = bind_window(&q, table)?;
+                return Ok(ParsedQuery {
+                    plan: wrap_post(plan, &q),
+                    explain: None,
+                    param_slots: Vec::new(),
+                });
+            }
             let group_by = q.group_by.as_ref().map(|(_, c)| c.clone());
             let aggs = agg_specs(&q.items, group_by.as_deref())?;
             let mut input = LogicalPlan::Scan { table };
@@ -732,16 +1020,24 @@ fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
                 };
             }
             Ok(ParsedQuery {
-                plan: LogicalPlan::Aggregate {
-                    input: Box::new(input),
-                    group_by,
-                    aggs,
-                },
+                plan: wrap_post(
+                    LogicalPlan::Aggregate {
+                        input: Box::new(input),
+                        group_by,
+                        aggs,
+                    },
+                    &q,
+                ),
                 explain: None,
                 param_slots: Vec::new(),
             })
         }
         2 => {
+            if has_window {
+                return Err(fail(
+                    "window functions are only supported over a single table".into(),
+                ));
+            }
             let predicate = q
                 .predicate
                 .clone()
@@ -844,15 +1140,18 @@ fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
                 };
             }
             Ok(ParsedQuery {
-                plan: LogicalPlan::Aggregate {
-                    input: Box::new(LogicalPlan::SemiJoin {
-                        input: Box::new(probe),
-                        build: Box::new(build),
-                        fk_col,
-                    }),
-                    group_by,
-                    aggs,
-                },
+                plan: wrap_post(
+                    LogicalPlan::Aggregate {
+                        input: Box::new(LogicalPlan::SemiJoin {
+                            input: Box::new(probe),
+                            build: Box::new(build),
+                            fk_col,
+                        }),
+                        group_by,
+                        aggs,
+                    },
+                    &q,
+                ),
                 explain: None,
                 param_slots: Vec::new(),
             })
@@ -1043,9 +1342,11 @@ mod tests {
         assert!(parse("select from T").is_err());
         assert!(parse("select sum(a) from").is_err());
         assert!(parse("select sum(a) from T where").is_err());
+        // A bare-column select is a projection (window path), not an error.
+        assert!(parse("select a from T").is_ok());
         assert!(
-            parse("select a from T").is_err(),
-            "bare column without group by"
+            parse("select a, sum(b) from T").is_err(),
+            "bare column mixed with an aggregate and no group by"
         );
         assert!(
             parse("select sum(a) from T extra").is_err(),
@@ -1129,6 +1430,107 @@ mod tests {
         let err = parse("select sum(a) from T where x < $1 and y = $3").unwrap_err();
         assert!(err.message.contains("$2"), "{err}");
         assert!(parse("select sum(a) from T where x < $2").is_err());
+    }
+
+    #[test]
+    fn window_functions_bind() {
+        let plan = parse(
+            "select r_c, row_number() over (partition by r_c order by r_a desc) as rn, \
+             sum(r_a) over (partition by r_c order by r_a desc) as running \
+             from R where r_x < 13",
+        )
+        .unwrap()
+        .plan;
+        let LogicalPlan::Window {
+            partition_by,
+            order_by,
+            frame,
+            funcs,
+            select,
+            ..
+        } = plan
+        else {
+            panic!("expected a window plan")
+        };
+        assert_eq!(partition_by.as_deref(), Some("r_c"));
+        assert_eq!(order_by.len(), 1);
+        assert_eq!(order_by[0].column, "r_a");
+        assert!(order_by[0].desc);
+        assert_eq!(frame, FrameSpec::UnboundedPreceding);
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[0].name, "rn");
+        assert_eq!(funcs[1].name, "running");
+        assert_eq!(select, vec!["r_c".to_string()]);
+    }
+
+    #[test]
+    fn window_frames_and_defaults() {
+        // ROWS k PRECEDING.
+        let plan = parse("select sum(v) over (order by k rows 3 preceding) from T")
+            .unwrap()
+            .plan;
+        let LogicalPlan::Window { frame, funcs, .. } = plan else {
+            panic!()
+        };
+        assert_eq!(frame, FrameSpec::Preceding(3));
+        assert_eq!(funcs[0].name, "w1", "auto-named window output");
+        // No ORDER BY in OVER -> whole partition.
+        let plan = parse("select count(*) over (partition by g) from T")
+            .unwrap()
+            .plan;
+        let LogicalPlan::Window { frame, .. } = plan else {
+            panic!()
+        };
+        assert_eq!(frame, FrameSpec::WholePartition);
+    }
+
+    #[test]
+    fn order_by_and_limit_wrap_any_query() {
+        let plan = parse("select g, count(*) as n from T group by g order by n desc, g limit 5")
+            .unwrap()
+            .plan;
+        let LogicalPlan::Limit { input, n } = plan else {
+            panic!("LIMIT must be outermost")
+        };
+        assert_eq!(n, 5);
+        let LogicalPlan::OrderBy { input, keys } = *input else {
+            panic!("ORDER BY inside LIMIT")
+        };
+        assert_eq!(keys.len(), 2);
+        assert!(keys[0].desc);
+        assert_eq!(keys[1].column, "g");
+        assert!(!keys[1].desc);
+        assert!(matches!(*input, LogicalPlan::Aggregate { .. }));
+        // Bare projection with LIMIT only.
+        let plan = parse("select a from T limit 10").unwrap().plan;
+        let LogicalPlan::Limit { input, .. } = plan else {
+            panic!()
+        };
+        assert!(matches!(*input, LogicalPlan::Window { .. }));
+    }
+
+    #[test]
+    fn window_grammar_errors() {
+        // ROW_NUMBER without OVER.
+        assert!(parse("select row_number() from T").is_err());
+        // MIN/MAX are not window functions.
+        let err = parse("select min(a) over (partition by g) from T").unwrap_err();
+        assert!(err.message.contains("MIN/MAX"), "{err}");
+        // Mixed OVER clauses.
+        let err =
+            parse("select sum(a) over (partition by g), count(*) over (partition by h) from T")
+                .unwrap_err();
+        assert!(err.message.contains("same"), "{err}");
+        // Window + GROUP BY.
+        assert!(parse("select g, count(*) over (partition by g) from T group by g").is_err());
+        // Window over a join.
+        assert!(parse(
+            "select row_number() over (partition by R.r_c) from R, S \
+                   where R.r_fk = S.rowid"
+        )
+        .is_err());
+        // LIMIT requires an integer literal.
+        assert!(parse("select a from T limit x").is_err());
     }
 
     #[test]

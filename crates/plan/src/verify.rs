@@ -24,9 +24,9 @@ use crate::catalog::Database;
 use crate::error::PlanError;
 use crate::expr::Expr;
 use crate::faults;
-use crate::logical::AggSpec;
-use crate::physical::{PhysicalPlan, Shape};
-use swole_cost::{AggStrategy, SemiJoinStrategy};
+use crate::logical::{AggSpec, SortKey, WindowFnSpec};
+use crate::physical::{PhysicalPlan, PostOp, Shape};
+use swole_cost::{AggStrategy, SemiJoinStrategy, WindowStrategy};
 
 /// Lower `plan` and verify it at `level`. `Off` is a no-op by construction
 /// in the engine (callers guard it), but is honoured here too.
@@ -95,7 +95,51 @@ pub(crate) fn program_for(db: &Database, plan: &PhysicalPlan) -> Result<Program,
             aggs,
             *strategy,
         )?,
+        Shape::WindowScan {
+            table,
+            filter,
+            partition_by,
+            order_by,
+            funcs,
+            strategy,
+            ..
+        } => lower_window_scan(
+            db,
+            plan,
+            table,
+            filter.as_ref(),
+            partition_by.as_deref(),
+            order_by,
+            funcs,
+            *strategy,
+        )?,
     };
+    // Result-level post-operators run over the materialized result but are
+    // still part of the composed plan: lower them so ORDER BY / LIMIT
+    // queries pass through the same gate as the core pipeline.
+    if let Some(base) = program.tables.first() {
+        let (tname, trows) = (base.name.clone(), base.rows);
+        for p in &plan.post {
+            match p {
+                PostOp::Sort { .. } => {
+                    let mut op = Op::new(&format!("sort({tname})"), "/post/sort", &tname, trows);
+                    op.strategy = Some(StrategyRef::Sort);
+                    op.cost_terms = vec!["sort.rows".to_string()];
+                    op.allocs.push(Alloc {
+                        site: "sort-selection-vector".to_string(),
+                        charged: true,
+                    });
+                    program.ops.push(op);
+                }
+                PostOp::Limit { .. } => {
+                    let mut op = Op::new(&format!("limit({tname})"), "/post/limit", &tname, trows);
+                    op.strategy = Some(StrategyRef::Limit);
+                    op.cost_terms = vec!["limit.rows".to_string()];
+                    program.ops.push(op);
+                }
+            }
+        }
+    }
     if fault_uncharged {
         if let Some(alloc) = program.ops.first_mut().and_then(|op| op.allocs.first_mut()) {
             alloc.charged = false;
@@ -244,6 +288,74 @@ fn lower_scan_agg(
             charged: true,
         });
     }
+    Ok(Program {
+        tables: vec![decl],
+        fks: Vec::new(),
+        ops: vec![op],
+        tile_rows: TILE,
+    })
+}
+
+/// Lower a window pipeline. The parallel filter phase materializes a
+/// tile-scoped predicate mask and stitches the qualifying rows into a
+/// plan-scoped selection vector (the window sort's input domain); function
+/// inputs are aggregate-input contexts and the partition/order keys are
+/// group keys, so pass 1 enforces the same typing as grouped aggregation.
+#[allow(clippy::too_many_arguments)]
+fn lower_window_scan(
+    db: &Database,
+    plan: &PhysicalPlan,
+    table: &str,
+    filter: Option<&Expr>,
+    partition_by: Option<&str>,
+    order_by: &[SortKey],
+    funcs: &[WindowFnSpec],
+    strategy: WindowStrategy,
+) -> Result<Program, PlanError> {
+    let decl = table_decl(db, table)?;
+    let rows = decl.rows;
+    let mut op = Op::new(&format!("window({table})"), "/window-scan", table, rows);
+    if let Some(f) = filter {
+        op.exprs.push(BoundExpr {
+            role: ExprRole::Predicate,
+            expr: lower_expr(f),
+        });
+    }
+    for f in funcs {
+        if let Some(e) = &f.expr {
+            op.exprs.push(BoundExpr {
+                role: ExprRole::AggInput,
+                expr: lower_expr(e),
+            });
+        }
+    }
+    for c in partition_by
+        .iter()
+        .copied()
+        .chain(order_by.iter().map(|k| k.column.as_str()))
+    {
+        op.exprs.push(BoundExpr {
+            role: ExprRole::GroupKey,
+            expr: VExpr::Col(c.to_string()),
+        });
+    }
+    op.strategy = Some(StrategyRef::Window { strategy });
+    op.cost_terms = cost_term_names(plan);
+    op.locals.push(tile_mask_artifact(table));
+    op.locals.push(Artifact {
+        kind: ArtifactKind::SelectionVector,
+        table: table.to_string(),
+        rows,
+        scope: Scope::Plan,
+    });
+    op.allocs.push(Alloc {
+        site: "worker-scratch".to_string(),
+        charged: true,
+    });
+    op.allocs.push(Alloc {
+        site: "selection-vector".to_string(),
+        charged: true,
+    });
     Ok(Program {
         tables: vec![decl],
         fks: Vec::new(),

@@ -10,7 +10,7 @@
 use std::fmt;
 
 use swole_codegen::access::AccessSig;
-use swole_cost::{AggStrategy, GroupJoinStrategy, SemiJoinStrategy};
+use swole_cost::{AggStrategy, GroupJoinStrategy, SemiJoinStrategy, WindowStrategy};
 
 /// Verifier-visible column type, collapsed from the storage layer's
 /// physical types.
@@ -241,6 +241,15 @@ pub enum StrategyRef {
     GroupJoin(GroupJoinStrategy),
     /// Build side of a groupjoin (mask materialization only).
     GroupJoinBuild,
+    /// Window operator over sorted qualifying rows.
+    Window {
+        /// Chosen frame-state strategy.
+        strategy: WindowStrategy,
+    },
+    /// ORDER BY post-operator (result re-ordering).
+    Sort,
+    /// LIMIT post-operator (prefix truncation).
+    Limit,
 }
 
 /// One pipeline stage of the plan.

@@ -8,7 +8,7 @@
 //! ([`modelled_signature`]), so drift in either layer is caught.
 
 use swole_codegen::access::{self, Access, AccessSig};
-use swole_cost::{AggStrategy, GroupJoinStrategy};
+use swole_cost::{AggStrategy, GroupJoinStrategy, WindowStrategy};
 
 use crate::ir::{Artifact, ArtifactKind, ExprRole, Op, Program, Scope, StrategyRef, VExpr};
 use crate::{VerifyError, VerifyErrorKind};
@@ -386,6 +386,34 @@ pub fn modelled_signature(strategy: &StrategyRef) -> AccessSig {
             group_key: None,
             structure: None,
         },
+        // Window frames: the sequential frame scan walks the sorted run once
+        // with running accumulators (sequential function-input reads), while
+        // conditional re-evaluation re-reads each output row's frame through
+        // row offsets (conditional reads). Partition/order keys are compared
+        // per row-boundary either way (conditional — only on run edges).
+        StrategyRef::Window { strategy } => AccessSig {
+            predicate: Some(Access::Sequential),
+            agg_input: Some(match strategy {
+                WindowStrategy::SequentialFrameScan => Access::Sequential,
+                WindowStrategy::ConditionalReeval => Access::Conditional,
+            }),
+            group_key: Some(Access::Conditional),
+            structure: None,
+        },
+        // Sort reorders materialized result rows by key comparison only.
+        StrategyRef::Sort => AccessSig {
+            predicate: None,
+            agg_input: None,
+            group_key: Some(Access::Conditional),
+            structure: None,
+        },
+        // Limit truncates the result prefix; it touches no table data.
+        StrategyRef::Limit => AccessSig {
+            predicate: None,
+            agg_input: None,
+            group_key: None,
+            structure: None,
+        },
     }
 }
 
@@ -401,6 +429,9 @@ pub fn expected_cost_term(strategy: &StrategyRef) -> Option<&'static str> {
         } => Some(AggStrategy::Hybrid.cost_term()),
         StrategyRef::Agg { strategy, .. } => Some(strategy.cost_term()),
         StrategyRef::GroupJoin(g) => Some(g.cost_term()),
+        StrategyRef::Window { strategy } => Some(strategy.cost_term()),
+        StrategyRef::Sort => Some("sort.rows"),
+        StrategyRef::Limit => Some("limit.rows"),
         // Semijoin build/probe costs are folded into the chooser profile and
         // carry no plan-level term today.
         StrategyRef::SemiJoinBuild(_)
@@ -419,6 +450,9 @@ fn derived_signature(strategy: &StrategyRef) -> AccessSig {
         } => access::semijoin_probe_signature(*strategy, *probe_masked),
         StrategyRef::GroupJoin(g) => access::groupjoin_probe_signature(*g),
         StrategyRef::GroupJoinBuild => access::groupjoin_build_signature(),
+        StrategyRef::Window { strategy } => access::window_signature(*strategy),
+        StrategyRef::Sort => access::sort_signature(),
+        StrategyRef::Limit => access::limit_signature(),
     }
 }
 
@@ -487,6 +521,9 @@ fn strategy_label(strategy: &StrategyRef) -> &'static str {
         StrategyRef::SemiJoinBuild(s) | StrategyRef::SemiJoinProbe { strategy: s, .. } => s.name(),
         StrategyRef::GroupJoin(g) => g.name(),
         StrategyRef::GroupJoinBuild => "groupjoin-build",
+        StrategyRef::Window { strategy } => strategy.name(),
+        StrategyRef::Sort => "sort",
+        StrategyRef::Limit => "limit",
     }
 }
 
@@ -946,6 +983,14 @@ mod tests {
         refs.push(StrategyRef::GroupJoin(GroupJoinStrategy::GroupJoin));
         refs.push(StrategyRef::GroupJoin(GroupJoinStrategy::EagerAggregation));
         refs.push(StrategyRef::GroupJoinBuild);
+        for w in [
+            WindowStrategy::SequentialFrameScan,
+            WindowStrategy::ConditionalReeval,
+        ] {
+            refs.push(StrategyRef::Window { strategy: w });
+        }
+        refs.push(StrategyRef::Sort);
+        refs.push(StrategyRef::Limit);
         for r in refs {
             assert_eq!(
                 modelled_signature(&r),

@@ -22,6 +22,7 @@ struct Regime {
     agg: Option<AggStrategy>,
     semijoin: Option<SemiJoinStrategy>,
     groupjoin: Option<GroupJoinStrategy>,
+    window: Option<WindowStrategy>,
 }
 
 const REGIMES: [Regime; 3] = [
@@ -31,6 +32,7 @@ const REGIMES: [Regime; 3] = [
         agg: None,
         semijoin: None,
         groupjoin: None,
+        window: None,
     },
     // Every pullup technique pinned on.
     Regime {
@@ -40,6 +42,7 @@ const REGIMES: [Regime; 3] = [
             BitmapBuild::Unconditional,
         )),
         groupjoin: Some(GroupJoinStrategy::GroupJoin),
+        window: Some(WindowStrategy::SequentialFrameScan),
     },
     // Every baseline pinned on.
     Regime {
@@ -47,6 +50,7 @@ const REGIMES: [Regime; 3] = [
         agg: Some(AggStrategy::Hybrid),
         semijoin: Some(SemiJoinStrategy::Hash),
         groupjoin: Some(GroupJoinStrategy::EagerAggregation),
+        window: Some(WindowStrategy::ConditionalReeval),
     },
 ];
 
@@ -100,6 +104,23 @@ fn micro_queries() -> Vec<(String, String)> {
             "micro-q5",
             "select R.r_fk, sum(R.r_a * R.r_b) as s from R, S \
              where R.r_fk = S.rowid and S.s_x < 50 group by R.r_fk",
+        ),
+        // Window functions and ORDER BY/LIMIT post-operators.
+        (
+            "micro-w1",
+            "select r_c, row_number() over (partition by r_c order by r_a desc) as rn, \
+             sum(r_a) over (partition by r_c order by r_a desc) as running \
+             from R where r_x < 50 order by r_c, rn limit 100",
+        ),
+        (
+            "micro-w2",
+            "select r_c, sum(r_b) over (partition by r_c order by r_a rows 5 preceding) as s \
+             from R where r_y = 1",
+        ),
+        (
+            "micro-topn",
+            "select r_c, sum(r_a * r_b) as s from R where r_y = 1 group by r_c \
+             order by s desc limit 10",
         ),
     ]
     .into_iter()
@@ -224,6 +245,7 @@ fn verify_corpus(
             agg: regime.agg,
             semijoin: regime.semijoin,
             groupjoin: regime.groupjoin,
+            window: regime.window,
         })
         .build();
 

@@ -84,3 +84,68 @@ fn q1_lite_groupby_golden() {
         ),
     );
 }
+
+const WINDOW_SQL: &str = "select l_orderkey, \
+     row_number() over (partition by l_returnflag order by l_orderkey) as rn, \
+     sum(l_quantity) over (partition by l_returnflag order by l_orderkey) as rq \
+     from lineitem where l_shipdate < 9000 order by l_orderkey, rn limit 12";
+
+/// Window + ORDER BY + LIMIT pipeline: the report must carry one counter
+/// line per physical stage (window, sort, limit) plus the window strategy's
+/// cost terms.
+#[test]
+fn window_topn_golden() {
+    assert_golden(
+        "window_topn_explain_analyze",
+        &format!("explain analyze {WINDOW_SQL}"),
+    );
+}
+
+/// The window pipeline's row counters are thread-invariant: `rows_in`,
+/// `rows_out`, and `predicate_evals` per stage match exactly at 1, 2, and
+/// 8 threads (morsel claims and wall times may differ — those describe the
+/// schedule, not the data).
+#[test]
+fn window_counters_are_thread_invariant() {
+    let tpch = swole_tpch::generate(0.004, 99);
+    let plan = parse_sql(&format!("explain analyze {WINDOW_SQL}"))
+        .expect("parses")
+        .plan;
+    let mut per_thread = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let engine = Engine::builder(to_database(&tpch))
+            .threads(threads)
+            .metrics(MetricsLevel::Counters)
+            .build();
+        let report = engine.explain_analyze(&plan).expect("runs");
+        let metrics = report.analyze.as_ref().expect("analyze carries metrics");
+        let counters: Vec<(String, u64, u64, u64)> = metrics
+            .operators
+            .iter()
+            .map(|op| {
+                (
+                    op.name.clone(),
+                    op.access.rows_in,
+                    op.access.rows_out,
+                    op.access.predicate_evals,
+                )
+            })
+            .collect();
+        assert!(
+            counters.iter().any(|(n, ..)| n.starts_with("window")),
+            "window stage must report counters at {threads} thread(s): {counters:?}"
+        );
+        assert!(
+            counters.iter().any(|(n, ..)| n == "limit"),
+            "limit stage must report counters at {threads} thread(s): {counters:?}"
+        );
+        per_thread.push((threads, counters));
+    }
+    let (_, baseline) = &per_thread[0];
+    for (threads, counters) in &per_thread[1..] {
+        assert_eq!(
+            counters, baseline,
+            "stage counters drifted between 1 and {threads} thread(s)"
+        );
+    }
+}

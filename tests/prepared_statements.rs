@@ -205,6 +205,59 @@ fn shared_statement_hammered_from_four_threads_is_bit_identical() {
 }
 
 #[test]
+fn positional_value_access_errors_are_typed_not_panics() {
+    let engine = Engine::builder(micro_db()).build();
+    let grouped = engine
+        .query(
+            &swole::plan::parse_sql("select r_mode, count(*) as n from R group by r_mode")
+                .expect("parses")
+                .plan,
+        )
+        .expect("runs");
+    assert_eq!(grouped.rows.len(), 3);
+
+    // In-range: the dictionary key decodes as Str, aggregates as Int.
+    assert!(matches!(grouped.value(0, 0), Ok(Value::Str(_))));
+    assert!(matches!(grouped.value(2, 1), Ok(Value::Int(_))));
+
+    // One past the last row: a typed row-axis error carrying the bound.
+    match grouped.value(3, 0) {
+        Err(PlanError::IndexOutOfRange { axis, index, len }) => {
+            assert_eq!((axis, index, len), ("row", 3, 3));
+        }
+        other => panic!("expected a typed row error, got {other:?}"),
+    }
+    // One past the last column on a valid row: the column axis.
+    match grouped.value(0, 2) {
+        Err(PlanError::IndexOutOfRange { axis, index, len }) => {
+            assert_eq!((axis, index, len), ("column", 2, 2));
+        }
+        other => panic!("expected a typed column error, got {other:?}"),
+    }
+    // Far past either edge stays an error, never a panic.
+    assert!(grouped.value(usize::MAX, 0).is_err());
+    assert!(grouped.value(0, usize::MAX).is_err());
+
+    // The errors render the offending index and the bound for debugging.
+    let msg = grouped.value(9, 9).unwrap_err().to_string();
+    assert!(msg.contains('9'), "message names the index: {msg}");
+
+    // An empty result errors on any row, including row 0.
+    let empty = engine
+        .query(
+            &swole::plan::parse_sql("select r_a from R where r_a < 0 order by r_a")
+                .expect("parses")
+                .plan,
+        )
+        .expect("runs");
+    assert_eq!(empty.rows.len(), 0);
+    assert!(matches!(
+        empty.value(0, 0),
+        Err(PlanError::IndexOutOfRange { axis: "row", .. })
+    ));
+}
+
+#[test]
 fn q6_prepared_matches_adhoc_at_one_two_eight_threads() {
     let tpch = swole_tpch::generate(0.004, 99);
     let (lo, hi) = (swole_tpch::q6_date_lo(), swole_tpch::q6_date_hi());

@@ -5,6 +5,12 @@
 //! soups assembled from the grammar's vocabulary, truncations of valid
 //! queries at every byte boundary, and random single-character mutations
 //! of valid queries (including multi-byte characters).
+//!
+//! The differential mode goes further: structured random queries run
+//! through the conformance harness's five runners, and any disagreement
+//! is **minimized and emitted as a ready-to-commit `.slt` file** (under
+//! `target/fuzz-corpus/`, or `$FUZZ_SLT_DIR`) so the repro lands in
+//! `tests/conformance/` instead of dying with the panic message.
 
 use swole::plan::parse_sql;
 
@@ -141,4 +147,225 @@ fn corpus_queries_parse() {
     for q in VALID {
         assert!(parse_sql(q).is_ok(), "corpus query must parse: {q}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Differential mode: random structured queries against the five-way
+// conformance harness, with `.slt` emission on failure.
+// ---------------------------------------------------------------------------
+
+/// A structurally valid random query over the conformance fixture's `T`
+/// table, kept as parts so minimization can drop clauses independently.
+#[derive(Clone)]
+struct GenQuery {
+    items: Vec<String>,
+    predicate: Option<String>,
+    group_by: Option<String>,
+    order_by: Option<String>,
+    limit: Option<usize>,
+}
+
+impl GenQuery {
+    fn render(&self) -> String {
+        let mut sql = format!("select {} from T", self.items.join(", "));
+        if let Some(p) = &self.predicate {
+            sql.push_str(&format!(" where {p}"));
+        }
+        if let Some(g) = &self.group_by {
+            sql.push_str(&format!(" group by {g}"));
+        }
+        if let Some(o) = &self.order_by {
+            sql.push_str(&format!(" order by {o}"));
+        }
+        if let Some(n) = self.limit {
+            sql.push_str(&format!(" limit {n}"));
+        }
+        sql
+    }
+
+    /// Structurally simpler variants, most aggressive first.
+    fn reductions(&self) -> Vec<GenQuery> {
+        let mut out = Vec::new();
+        if self.items.len() > 1 {
+            for i in 0..self.items.len() {
+                let mut q = self.clone();
+                q.items.remove(i);
+                out.push(q);
+            }
+        }
+        for field in 0..4 {
+            let mut q = self.clone();
+            let changed = match field {
+                0 => q.predicate.take().is_some(),
+                1 => q.order_by.take().is_some(),
+                2 => q.limit.take().is_some(),
+                _ => q.group_by.take().is_some(),
+            };
+            if changed {
+                out.push(q);
+            }
+        }
+        out
+    }
+}
+
+fn gen_predicate(rng: &mut Lcg) -> String {
+    let atoms = [
+        "k < 600",
+        "v > 0",
+        "h between 50 and 400",
+        "g = 3",
+        "v <> 0 and h < 250",
+        "not (g = 0)",
+        "tag in ('alpha', 'beta')",
+        "tag like 'g%'",
+    ];
+    match rng.next(3) {
+        0 => atoms[rng.next(atoms.len())].to_string(),
+        1 => format!(
+            "{} and {}",
+            atoms[rng.next(atoms.len())],
+            atoms[rng.next(atoms.len())]
+        ),
+        _ => format!(
+            "{} or {}",
+            atoms[rng.next(atoms.len())],
+            atoms[rng.next(atoms.len())]
+        ),
+    }
+}
+
+fn gen_query(rng: &mut Lcg) -> GenQuery {
+    let shape = rng.next(3);
+    let predicate = (rng.next(3) != 0).then(|| gen_predicate(rng));
+    match shape {
+        // Scalar / grouped aggregation.
+        0 => {
+            let grouped = rng.next(2) == 0;
+            let mut items = Vec::new();
+            if grouped {
+                items.push("g".to_string());
+            }
+            let aggs = ["sum(v)", "count(*)", "min(h)", "max(v)", "sum(v + h)"];
+            let n = 1 + rng.next(2);
+            for i in 0..n {
+                items.push(format!("{} as a{i}", aggs[rng.next(aggs.len())]));
+            }
+            GenQuery {
+                items,
+                predicate,
+                group_by: grouped.then(|| "g".to_string()),
+                order_by: (rng.next(2) == 0).then(|| "a0 desc".to_string()),
+                limit: (rng.next(2) == 0).then(|| 1 + rng.next(20)),
+            }
+        }
+        // Window functions sharing one OVER clause.
+        1 => {
+            let over = match rng.next(3) {
+                0 => "(partition by g order by k)",
+                1 => "(partition by g order by k rows 4 preceding)",
+                _ => "(order by k)",
+            };
+            let fns = ["row_number()", "rank()", "sum(v)", "count(*)"];
+            let mut items = vec!["k".to_string()];
+            let n = 1 + rng.next(2);
+            for i in 0..n {
+                items.push(format!("{} over {over} as w{i}", fns[rng.next(fns.len())]));
+            }
+            GenQuery {
+                items,
+                predicate,
+                group_by: None,
+                order_by: Some("k".to_string()),
+                limit: (rng.next(2) == 0).then(|| 5 + rng.next(40)),
+            }
+        }
+        // Bare projection.
+        _ => GenQuery {
+            items: vec!["k".to_string(), "v".to_string()],
+            predicate,
+            group_by: None,
+            order_by: (rng.next(2) == 0).then(|| "v, k".to_string()),
+            limit: (rng.next(2) == 0).then(|| 1 + rng.next(30)),
+        },
+    }
+}
+
+/// Shrink a failing query: greedily apply the first reduction that still
+/// fails, until none does.
+fn minimize(harness: &swole_conform::Harness, failing: GenQuery) -> GenQuery {
+    let mut current = failing;
+    'outer: loop {
+        for candidate in current.reductions() {
+            if harness.differential_check(&candidate.render()).is_err() {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+/// Render a failing query as a ready-to-commit `.slt` file and return its
+/// path. The expected block holds the 1-thread engine's output (or the
+/// record becomes `statement error`), so a reviewer can diff runners
+/// directly from the file.
+fn emit_slt(harness: &swole_conform::Harness, sql: &str, detail: &str, case: usize) -> String {
+    use std::fmt::Write as _;
+    let dir = std::env::var("FUZZ_SLT_DIR")
+        .unwrap_or_else(|_| format!("{}/target/fuzz-corpus", env!("CARGO_MANIFEST_DIR")));
+    std::fs::create_dir_all(&dir).expect("fuzz corpus dir creates");
+    let mut text = String::new();
+    writeln!(
+        text,
+        "# Emitted by sql_fuzz differential mode (case {case})."
+    )
+    .unwrap();
+    writeln!(text, "# Runners disagreed: {detail}").unwrap();
+    match harness.engine_result(sql) {
+        Ok(result) => {
+            let types = swole_conform::types_of(&result);
+            writeln!(text, "query {types} rowsort").unwrap();
+            writeln!(text, "{sql}").unwrap();
+            writeln!(text, "----").unwrap();
+            for line in swole_conform::render(&result, swole_conform::SortMode::RowSort) {
+                writeln!(text, "{line}").unwrap();
+            }
+        }
+        Err(err) => {
+            writeln!(text, "statement error").unwrap();
+            writeln!(text, "{sql}").unwrap();
+            writeln!(text, "# engine-t1 error: {err}").unwrap();
+        }
+    }
+    let path = format!("{dir}/fuzz_{case:04}.slt");
+    std::fs::write(&path, text).expect("fuzz .slt writes");
+    path
+}
+
+/// Differential fuzz: every generated query must be bit-identical across
+/// the compiled engines and the interpreter oracle, or fail uniformly
+/// with a typed error. Disagreements are minimized and emitted as `.slt`
+/// repro files rather than only panicking.
+#[test]
+fn differential_fuzz_emits_slt_repros() {
+    let harness = swole_conform::Harness::new();
+    let mut rng = Lcg(0xd1ff_5eed);
+    let mut emitted = Vec::new();
+    for case in 0..120 {
+        let query = gen_query(&mut rng);
+        let sql = query.render();
+        if let Err(detail) = harness.differential_check(&sql) {
+            let minimized = minimize(&harness, query);
+            let min_sql = minimized.render();
+            let detail = harness.differential_check(&min_sql).err().unwrap_or(detail);
+            emitted.push(emit_slt(&harness, &min_sql, &detail, case));
+        }
+    }
+    assert!(
+        emitted.is_empty(),
+        "{} differential failures; minimized repros emitted:\n  {}",
+        emitted.len(),
+        emitted.join("\n  ")
+    );
 }
