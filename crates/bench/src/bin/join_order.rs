@@ -1,0 +1,264 @@
+//! Join-ordering benchmark: how much the probe order of a multi-way FK
+//! join matters, and what the subset-DP enumerator costs at plan time.
+//!
+//! ```text
+//! cargo run --release -p swole-bench --bin join_order
+//! cargo run --release -p swole-bench --bin join_order -- --smoke --out BENCH_PR9.json
+//! ```
+//!
+//! Phase 1 executes a three-dimension star query under **every**
+//! enumerated probe order (pinned through [`StrategyOverrides`]), checks
+//! all orders return bit-identical rows, and compares the DP-chosen
+//! order's wall time against the best and worst enumerated orders — the
+//! committed JSON is the regression gate that the cost model keeps
+//! picking a good order.
+//!
+//! Phase 2 times [`swole_cost::choose_join_order`] itself across edge
+//! counts: exact DP up to [`swole_cost::JOIN_DP_LIMIT`] edges, greedy
+//! rank beyond, in microseconds per planning call.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swole::cost::{choose_join_order, CostParams, JoinEdgeProfile, JoinGraphProfile};
+use swole::plan::parse_sql;
+use swole::prelude::*;
+
+struct Opts {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: std::env::var("SWOLE_SMOKE").is_ok(),
+        out: "BENCH_PR9.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => opts.out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument {other}; see module docs");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Star catalog where order matters: three dimensions whose filters pass
+/// ~90%, ~50%, and ~2% of the fact table. Probing the selective edge
+/// first shrinks every later membership test's input by 50x; probing it
+/// last drags (almost) the whole fact table through two useless probes.
+fn make_db(seed: u64, n_fact: usize) -> Database {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dims: [(&str, usize); 3] = [("d_wide", 16), ("d_half", 1024), ("d_narrow", 64)];
+    let mut db = Database::new();
+    let mut fact = Table::new("fact").with_column(
+        "f_v",
+        ColumnData::I32((0..n_fact).map(|_| rng.gen_range(0i32..1000)).collect()),
+    );
+    for (name, card) in dims {
+        fact = fact.with_column(
+            format!("fk_{name}").as_str(),
+            ColumnData::U32(
+                (0..n_fact)
+                    .map(|_| rng.gen_range(0u32..card as u32))
+                    .collect(),
+            ),
+        );
+    }
+    db.add_table(fact);
+    for (name, card) in dims {
+        db.add_table(Table::new(name).with_column(
+            "val",
+            ColumnData::I32((0..card).map(|_| rng.gen_range(0i32..100)).collect()),
+        ));
+    }
+    for (name, _) in dims {
+        db.add_fk("fact", &format!("fk_{name}"), name)
+            .expect("FK values valid by construction");
+    }
+    db
+}
+
+const SQL: &str = "select sum(fact.f_v) as s, count(*) as n \
+    from fact, d_wide, d_half, d_narrow \
+    where fact.fk_d_wide = d_wide.rowid and fact.fk_d_half = d_half.rowid \
+    and fact.fk_d_narrow = d_narrow.rowid \
+    and d_wide.val < 90 and d_half.val < 50 and d_narrow.val < 2";
+
+const ORDERS: [[&str; 3]; 6] = [
+    ["d_narrow", "d_half", "d_wide"],
+    ["d_narrow", "d_wide", "d_half"],
+    ["d_half", "d_narrow", "d_wide"],
+    ["d_half", "d_wide", "d_narrow"],
+    ["d_wide", "d_narrow", "d_half"],
+    ["d_wide", "d_half", "d_narrow"],
+];
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Median wall time of `query` on `engine` over `reps` runs (one warmup).
+fn time_query(engine: &Engine, plan: &LogicalPlan, reps: usize) -> (QueryResult, f64) {
+    let result = engine.query(plan).expect("bench query executes");
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = engine.query(plan).expect("bench query executes");
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(r.rows, result.rows, "nondeterministic bench query");
+    }
+    (result, median_ms(&mut samples))
+}
+
+/// Synthetic profile for plan-time measurement: `n` direct edges with
+/// spread selectivities over mid-sized build sides.
+fn synthetic_profile(n: usize, fact_rows: usize) -> JoinGraphProfile {
+    JoinGraphProfile {
+        fact_rows,
+        fact_selectivity: 0.8,
+        edges: (0..n)
+            .map(|i| JoinEdgeProfile {
+                parent: format!("d{i}"),
+                selectivity: 0.05 + 0.9 * (i as f64) / (n.max(2) - 1) as f64,
+                has_fk_index: true,
+                build_bytes: (64 << i) / 8,
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let (n_fact, reps) = if opts.smoke { (200_000, 3) } else { (2_000_000, 5) };
+    let threads = 8usize;
+    let plan = parse_sql(SQL).expect("bench SQL parses").plan;
+
+    // Phase 1: every enumerated order, pinned; then the DP default.
+    let mut per_order = Vec::new();
+    let mut baseline: Option<QueryResult> = None;
+    for order in ORDERS {
+        let overrides = StrategyOverrides::default()
+            .join_order(order.iter().map(|s| s.to_string()).collect());
+        let engine = Engine::builder(make_db(4242, n_fact))
+            .threads(threads)
+            .strategies(overrides)
+            .build();
+        let (result, ms) = time_query(&engine, &plan, reps);
+        match &baseline {
+            Some(b) => assert_eq!(result.rows, b.rows, "order {order:?} changes the answer"),
+            None => baseline = Some(result),
+        }
+        println!("order {:28} {ms:9.3} ms", order.join(" -> "));
+        per_order.push((order.join(" -> "), ms));
+    }
+    let dp_engine = Engine::builder(make_db(4242, n_fact))
+        .threads(threads)
+        .build();
+    let (dp_result, dp_ms) = time_query(&dp_engine, &plan, reps);
+    assert_eq!(
+        dp_result.rows,
+        baseline.expect("at least one order ran").rows,
+        "DP order changes the answer"
+    );
+    let ex = dp_engine.explain(&plan).expect("explain");
+    let dp_order = ex.join_order.expect("multi-way joins report an order");
+    println!("dp    {dp_order:28} {dp_ms:9.3} ms");
+
+    let best = per_order
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("orders ran");
+    let worst = per_order
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("orders ran");
+    assert!(
+        dp_ms < worst.1,
+        "DP-chosen order ({dp_ms:.3} ms) must beat the worst enumerated \
+         order {} ({:.3} ms)",
+        worst.0,
+        worst.1
+    );
+
+    // Phase 2: plan-time cost of the enumerator itself.
+    let params = CostParams::default();
+    let mut plan_times = Vec::new();
+    for n_edges in 3..=8usize {
+        let profile = synthetic_profile(n_edges, n_fact);
+        let iters = 2000usize;
+        let t0 = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..iters {
+            sink += choose_join_order(&params, &profile).order.len();
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        assert_eq!(sink, n_edges * iters, "enumerator returned a short order");
+        let method = choose_join_order(&params, &profile).method.name().to_string();
+        println!("plan  {n_edges} edges ({method:6}) {us:9.3} us/call");
+        plan_times.push((n_edges, method, us));
+    }
+
+    // Hand-rolled JSON, matching the other committed bench artifacts.
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"join_order\",").unwrap();
+    writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if opts.smoke { "smoke" } else { "full" }
+    )
+    .unwrap();
+    writeln!(json, "  \"fact_rows\": {n_fact},").unwrap();
+    writeln!(json, "  \"threads\": {threads},").unwrap();
+    writeln!(json, "  \"orders\": [").unwrap();
+    for (i, (order, ms)) in per_order.iter().enumerate() {
+        let comma = if i + 1 < per_order.len() { "," } else { "" };
+        writeln!(json, "    {{\"order\": \"{order}\", \"wall_ms\": {ms:.3}}}{comma}").unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(
+        json,
+        "  \"dp\": {{\"order\": \"{dp_order}\", \"wall_ms\": {dp_ms:.3}}},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"best\": {{\"order\": \"{}\", \"wall_ms\": {:.3}}},",
+        best.0, best.1
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"worst\": {{\"order\": \"{}\", \"wall_ms\": {:.3}}},",
+        worst.0, worst.1
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"speedup_dp_vs_worst\": {:.2},",
+        worst.1 / dp_ms
+    )
+    .unwrap();
+    writeln!(json, "  \"plan_time\": [").unwrap();
+    for (i, (n, method, us)) in plan_times.iter().enumerate() {
+        let comma = if i + 1 < plan_times.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"edges\": {n}, \"method\": \"{method}\", \"us_per_call\": {us:.3}}}{comma}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&opts.out, &json).expect("bench JSON writes");
+    println!("wrote {}", opts.out);
+}

@@ -161,6 +161,12 @@ impl Lcg {
 ///   (8 groups), `h` (i16 coverage), `tag` (dictionary strings).
 /// * `big` (64 rows) — `m` near `i64::MAX / 64`, so `SUM(m)` overflows
 ///   deterministically on every execution path.
+/// * `fact` (4000 rows) with dimensions `dim1` (16 rows), `dim2`
+///   (200 rows), `dim3` (8 rows) and grandparent `dim4` (32 rows) — the
+///   multi-way join fixture. `f_d1` is skewed (nine of ten rows land on
+///   three dim1 keys), `f_d2`/`f_d3` are uniform, and `dim2.d2_fk`
+///   chains into `dim4` so star, chain, and mixed join shapes all have
+///   registered FK paths.
 pub fn fixture_db() -> Database {
     let mut db = swole_tpch::catalog::to_database(&swole_tpch::generate(0.002, 42));
     let mut rng = Lcg(0x5eed_c0ff_ee00_0001);
@@ -218,6 +224,59 @@ pub fn fixture_db() -> Database {
 
     let big: Vec<i64> = (0..64).map(|i| i64::MAX / 64 + i).collect();
     db.add_table(Table::new("big").with_column("m", ColumnData::I64(big)));
+
+    // Multi-way join fixture: one fact table over three dimensions plus a
+    // grandparent chained off dim2. Appended after every existing table so
+    // the shared LCG stream (and therefore all prior expected blocks)
+    // stays byte-stable.
+    let f = 4000usize;
+    let mut f_v = Vec::with_capacity(f);
+    let mut f_x = Vec::with_capacity(f);
+    let mut f_d1 = Vec::with_capacity(f);
+    let mut f_d2 = Vec::with_capacity(f);
+    let mut f_d3 = Vec::with_capacity(f);
+    for _ in 0..f {
+        f_v.push(rng.below(100) as i32);
+        f_x.push(rng.below(100) as i32);
+        // Skewed NDV: nine of ten foreign keys land on three dim1 rows.
+        let d1 = if rng.below(10) < 9 {
+            rng.below(3)
+        } else {
+            rng.below(16)
+        };
+        f_d1.push(d1 as u32);
+        f_d2.push(rng.below(200) as u32);
+        f_d3.push(rng.below(8) as u32);
+    }
+    db.add_table(
+        Table::new("fact")
+            .with_column("f_v", ColumnData::I32(f_v))
+            .with_column("f_x", ColumnData::I32(f_x))
+            .with_column("f_d1", ColumnData::U32(f_d1))
+            .with_column("f_d2", ColumnData::U32(f_d2))
+            .with_column("f_d3", ColumnData::U32(f_d3)),
+    );
+    let d1_v: Vec<i32> = (0..16).map(|_| rng.below(100) as i32).collect();
+    db.add_table(Table::new("dim1").with_column("d1_v", ColumnData::I32(d1_v)));
+    let mut d2_v = Vec::with_capacity(200);
+    let mut d2_fk = Vec::with_capacity(200);
+    for _ in 0..200 {
+        d2_v.push(rng.below(100) as i32);
+        d2_fk.push(rng.below(32) as u32);
+    }
+    db.add_table(
+        Table::new("dim2")
+            .with_column("d2_v", ColumnData::I32(d2_v))
+            .with_column("d2_fk", ColumnData::U32(d2_fk)),
+    );
+    let d3_v: Vec<i32> = (0..8).map(|_| rng.below(100) as i32).collect();
+    db.add_table(Table::new("dim3").with_column("d3_v", ColumnData::I32(d3_v)));
+    let d4_v: Vec<i32> = (0..32).map(|_| rng.below(100) as i32).collect();
+    db.add_table(Table::new("dim4").with_column("d4_v", ColumnData::I32(d4_v)));
+    db.add_fk("fact", "f_d1", "dim1").expect("fact.f_d1 -> dim1 registers");
+    db.add_fk("fact", "f_d2", "dim2").expect("fact.f_d2 -> dim2 registers");
+    db.add_fk("fact", "f_d3", "dim3").expect("fact.f_d3 -> dim3 registers");
+    db.add_fk("dim2", "d2_fk", "dim4").expect("dim2.d2_fk -> dim4 registers");
     db
 }
 

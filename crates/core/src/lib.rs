@@ -95,12 +95,13 @@ pub mod prelude {
         AggStrategy, BitmapBuild, CostParams, GroupJoinStrategy, SemiJoinStrategy, WindowStrategy,
     };
     pub use swole_plan::{
-        AdmissionConfig, AdmissionError, AggFunc, AggSpec, BoundStatement, CmpOp, Database, Engine,
-        EngineBuilder, ExecHandle, Explain, Expr, FrameSpec, LogicalPlan, MemoryPolicy,
-        MemoryPoolStats, MetricsLevel, ParamSlot, Params, PlanCacheStats, PlanError,
-        PreparedStatement, Priority, QueryBuilder, QueryMetrics, QueryOptions, QueryResult,
-        Session, ShutdownReport, SortKey, StrategyOverrides, Value, VerifyError, VerifyErrorKind,
-        VerifyLevel, VerifyReport, WindowFnSpec, WindowFunc,
+        AdmissionConfig, AdmissionError, AggFunc, AggSpec, BoundStatement, CmpOp, ColumnStats,
+        Database, Engine, EngineBuilder, ExecHandle, Explain, Expr, FrameSpec, JoinEdgeExplain,
+        LogicalPlan, MemoryPolicy, MemoryPoolStats, MetricsLevel, ParamSlot, Params,
+        PlanCacheStats, PlanError, PreparedStatement, Priority, QueryBuilder, QueryMetrics,
+        QueryOptions, QueryResult, Session, ShutdownReport, SortKey, StatsMode, StrategyOverrides,
+        TableStats, Value, VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport, WindowFnSpec,
+        WindowFunc,
     };
     pub use swole_storage::{ColumnData, Date, Decimal, DictColumn, Table};
 }

@@ -525,6 +525,216 @@ pub fn choose_groupjoin_mt(
     c
 }
 
+/// Largest join-edge count for which the order enumerator runs exact
+/// subset dynamic programming; beyond it the greedy rank order is used.
+pub const JOIN_DP_LIMIT: usize = 6;
+
+/// How a multi-way join probe order was determined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOrderMethod {
+    /// Exact subset-DP enumeration (≤ [`JOIN_DP_LIMIT`] edges).
+    Dp,
+    /// Greedy rank order (cheapest selectivity-per-cycle first).
+    Greedy,
+    /// Order pinned by a caller override.
+    Pinned,
+}
+
+impl JoinOrderMethod {
+    /// Short name used by `EXPLAIN` ("order: dp/greedy/pinned").
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinOrderMethod::Dp => "dp",
+            JoinOrderMethod::Greedy => "greedy",
+            JoinOrderMethod::Pinned => "pinned",
+        }
+    }
+}
+
+/// One join edge (fact → parent membership test) as the order enumerator
+/// prices it.
+#[derive(Debug, Clone)]
+pub struct JoinEdgeProfile {
+    /// Build-side (parent) table name — for explanations.
+    pub parent: String,
+    /// Fraction of probe rows expected to survive this edge's membership
+    /// test (clamped to `[0, 1]`).
+    pub selectivity: f64,
+    /// `true` if the probe goes through a foreign-key index (positional
+    /// bitmap); `false` means a hash key-set probe.
+    pub has_fk_index: bool,
+    /// Bytes of the build-side membership structure — decides the cache
+    /// level a hash probe hits.
+    pub build_bytes: usize,
+}
+
+/// The whole join graph from the fact table's point of view.
+#[derive(Debug, Clone)]
+pub struct JoinGraphProfile {
+    /// Fact-table rows.
+    pub fact_rows: usize,
+    /// Selectivity of the fact table's own filter.
+    pub fact_selectivity: f64,
+    /// The edges to order.
+    pub edges: Vec<JoinEdgeProfile>,
+}
+
+/// Decision + evidence for a join probe order.
+#[derive(Debug, Clone)]
+pub struct JoinOrderChoice {
+    /// Probe order as indices into [`JoinGraphProfile::edges`].
+    pub order: Vec<usize>,
+    /// How the order was found.
+    pub method: JoinOrderMethod,
+    /// Modelled probe cycles of the chosen order.
+    pub cost: f64,
+    /// Modelled probe cycles of the worst enumerated order (DP) or the
+    /// reversed greedy order (fallback) — the spread EXPLAIN reports.
+    pub worst_cost: f64,
+    /// One-line justification.
+    pub explanation: String,
+}
+
+/// Per-candidate-row probe cycles for one edge: a positional-bitmap probe
+/// is an indexed gather plus a bit test; a hash probe pays the lookup at
+/// whatever cache level the key set occupies.
+fn edge_probe_cycles(p: &CostParams, e: &JoinEdgeProfile) -> f64 {
+    if e.has_fk_index {
+        p.read_cond + p.read_seq
+    } else {
+        p.read_cond + p.ht_lookup(e.build_bytes)
+    }
+}
+
+/// Cost of probing the edges in `order`: each edge is paid once per row
+/// still alive when it runs, so selective edges want to run early and
+/// expensive edges late.
+fn order_cost(p: &CostParams, prof: &JoinGraphProfile, order: &[usize]) -> f64 {
+    let mut alive = prof.fact_rows as f64 * prof.fact_selectivity.clamp(0.0, 1.0);
+    let mut total = 0.0;
+    for &i in order {
+        let e = &prof.edges[i];
+        total += alive * edge_probe_cycles(p, e);
+        alive *= e.selectivity.clamp(0.0, 1.0);
+    }
+    total
+}
+
+/// Cost (cycles) of probing the graph's edges in an explicit `order` —
+/// the same formula [`choose_join_order`] optimizes, exposed so callers
+/// can re-score a pinned or already-chosen order against observed
+/// selectivities.
+pub fn join_order_cost(p: &CostParams, prof: &JoinGraphProfile, order: &[usize]) -> f64 {
+    order_cost(p, prof, order)
+}
+
+/// Greedy rank order: ascending `cycles / (1 − selectivity)` — the classic
+/// predicate-sequencing rank, cheap-and-selective first.
+fn greedy_order(p: &CostParams, prof: &JoinGraphProfile) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..prof.edges.len()).collect();
+    order.sort_by(|&a, &b| {
+        let rank = |i: usize| {
+            let e = &prof.edges[i];
+            let drop = (1.0 - e.selectivity.clamp(0.0, 1.0)).max(1e-9);
+            edge_probe_cycles(p, e) / drop
+        };
+        rank(a)
+            .partial_cmp(&rank(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| prof.edges[a].parent.cmp(&prof.edges[b].parent))
+    });
+    order
+}
+
+/// Choose a probe order for a multi-way FK join: exact subset DP for up to
+/// [`JOIN_DP_LIMIT`] edges, greedy rank order beyond. The DP state is the
+/// set of edges already probed; the surviving cardinality entering the next
+/// edge is order-independent (a product of selectivities), which makes the
+/// subset recurrence exact for this cost shape.
+pub fn choose_join_order(p: &CostParams, prof: &JoinGraphProfile) -> JoinOrderChoice {
+    let n = prof.edges.len();
+    if n == 0 {
+        return JoinOrderChoice {
+            order: Vec::new(),
+            method: JoinOrderMethod::Dp,
+            cost: 0.0,
+            worst_cost: 0.0,
+            explanation: "no join edges".into(),
+        };
+    }
+    if n > JOIN_DP_LIMIT {
+        let order = greedy_order(p, prof);
+        let cost = order_cost(p, prof, &order);
+        let reversed: Vec<usize> = order.iter().rev().copied().collect();
+        let worst_cost = order_cost(p, prof, &reversed);
+        return JoinOrderChoice {
+            order,
+            method: JoinOrderMethod::Greedy,
+            cost,
+            worst_cost,
+            explanation: format!(
+                "greedy rank order over {n} edges (> dp limit {JOIN_DP_LIMIT}): \
+                 {cost:.1e} cyc vs {worst_cost:.1e} reversed"
+            ),
+        };
+    }
+
+    // Subset DP, simultaneously tracking the cheapest and the most
+    // expensive completion so EXPLAIN can report the enumerated spread.
+    let base = prof.fact_rows as f64 * prof.fact_selectivity.clamp(0.0, 1.0);
+    let full = (1usize << n) - 1;
+    let mut best = vec![f64::INFINITY; 1 << n];
+    let mut worst = vec![f64::NEG_INFINITY; 1 << n];
+    let mut best_last = vec![usize::MAX; 1 << n];
+    best[0] = 0.0;
+    worst[0] = 0.0;
+    for mask in 1..=full {
+        // Cardinality alive after probing the edges *not* in `mask` is
+        // irrelevant; what matters is the rows alive *entering* the last
+        // edge of `mask`, i.e. after the edges of `mask \ {e}` ran.
+        for e in 0..n {
+            if mask & (1 << e) == 0 {
+                continue;
+            }
+            let prev = mask & !(1 << e);
+            let mut alive = base;
+            for o in 0..n {
+                if prev & (1 << o) != 0 {
+                    alive *= prof.edges[o].selectivity.clamp(0.0, 1.0);
+                }
+            }
+            let step = alive * edge_probe_cycles(p, &prof.edges[e]);
+            if best[prev] + step < best[mask] {
+                best[mask] = best[prev] + step;
+                best_last[mask] = e;
+            }
+            if worst[prev] + step > worst[mask] {
+                worst[mask] = worst[prev] + step;
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    while mask != 0 {
+        let e = best_last[mask];
+        order.push(e);
+        mask &= !(1 << e);
+    }
+    order.reverse();
+    JoinOrderChoice {
+        order,
+        method: JoinOrderMethod::Dp,
+        cost: best[full],
+        worst_cost: worst[full],
+        explanation: format!(
+            "dp over {} orders of {n} edges: best {:.1e} cyc, worst {:.1e} cyc",
+            (1..=n).product::<usize>(),
+            best[full],
+            worst[full]
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,6 +742,119 @@ mod tests {
 
     fn p() -> CostParams {
         CostParams::default()
+    }
+
+    fn edge(parent: &str, selectivity: f64, has_fk_index: bool, build_bytes: usize) -> JoinEdgeProfile {
+        JoinEdgeProfile {
+            parent: parent.into(),
+            selectivity,
+            has_fk_index,
+            build_bytes,
+        }
+    }
+
+    #[test]
+    fn join_order_puts_selective_edges_first() {
+        let prof = JoinGraphProfile {
+            fact_rows: 1_000_000,
+            fact_selectivity: 1.0,
+            edges: vec![
+                edge("wide", 0.9, true, 1024),
+                edge("narrow", 0.01, true, 1024),
+                edge("mid", 0.5, true, 1024),
+            ],
+        };
+        let c = choose_join_order(&p(), &prof);
+        assert_eq!(c.method, JoinOrderMethod::Dp);
+        // Equal probe cost per edge → pure selectivity ordering.
+        assert_eq!(c.order, vec![1, 2, 0], "{}", c.explanation);
+        assert!(c.cost < c.worst_cost, "{}", c.explanation);
+    }
+
+    #[test]
+    fn join_order_defers_expensive_probes() {
+        // A selective but expensive hash probe (big key set, no FK index)
+        // can lose the front slot to a slightly less selective bitmap probe.
+        let prof = JoinGraphProfile {
+            fact_rows: 1_000_000,
+            fact_selectivity: 1.0,
+            edges: vec![
+                edge("hash_big", 0.4, false, 64 << 20),
+                edge("bitmap", 0.5, true, 1024),
+            ],
+        };
+        let c = choose_join_order(&p(), &prof);
+        assert_eq!(c.order[0], 1, "{}", c.explanation);
+    }
+
+    #[test]
+    fn join_order_dp_matches_brute_force() {
+        let prof = JoinGraphProfile {
+            fact_rows: 500_000,
+            fact_selectivity: 0.7,
+            edges: vec![
+                edge("a", 0.3, true, 512),
+                edge("b", 0.8, false, 2 << 20),
+                edge("c", 0.1, false, 256),
+                edge("d", 0.6, true, 4096),
+            ],
+        };
+        let c = choose_join_order(&p(), &prof);
+        // Brute-force all 24 permutations.
+        let mut best = f64::INFINITY;
+        let mut worst = f64::NEG_INFINITY;
+        let idx = [0usize, 1, 2, 3];
+        for a in idx {
+            for b in idx {
+                for cc in idx {
+                    for d in idx {
+                        let perm = [a, b, cc, d];
+                        let mut seen = [false; 4];
+                        if perm.iter().any(|&i| std::mem::replace(&mut seen[i], true)) {
+                            continue;
+                        }
+                        let cost = order_cost(&p(), &prof, &perm);
+                        best = best.min(cost);
+                        worst = worst.max(cost);
+                    }
+                }
+            }
+        }
+        assert!((c.cost - best).abs() < best * 1e-9, "{} vs {best}", c.cost);
+        assert!(
+            (c.worst_cost - worst).abs() < worst * 1e-9,
+            "{} vs {worst}",
+            c.worst_cost
+        );
+        assert!((order_cost(&p(), &prof, &c.order) - best).abs() < best * 1e-9);
+    }
+
+    #[test]
+    fn join_order_greedy_beyond_dp_limit() {
+        let edges: Vec<JoinEdgeProfile> = (0..8)
+            .map(|i| edge(&format!("t{i}"), 0.1 + 0.1 * i as f64, true, 1024))
+            .collect();
+        let prof = JoinGraphProfile {
+            fact_rows: 100_000,
+            fact_selectivity: 1.0,
+            edges,
+        };
+        let c = choose_join_order(&p(), &prof);
+        assert_eq!(c.method, JoinOrderMethod::Greedy);
+        assert_eq!(c.order, (0..8).collect::<Vec<_>>(), "{}", c.explanation);
+        assert!(c.cost <= c.worst_cost);
+    }
+
+    #[test]
+    fn join_order_empty_graph() {
+        let prof = JoinGraphProfile {
+            fact_rows: 10,
+            fact_selectivity: 1.0,
+            edges: vec![],
+        };
+        let c = choose_join_order(&p(), &prof);
+        assert!(c.order.is_empty());
+        assert_eq!(c.cost, 0.0);
     }
 
     #[test]

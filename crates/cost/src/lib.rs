@@ -27,8 +27,10 @@ pub mod observed;
 mod params;
 
 pub use choose::{
-    AggChoice, AggProfile, AggStrategy, BitmapBuild, GroupJoinChoice, GroupJoinProfile,
-    GroupJoinStrategy, SemiJoinChoice, SemiJoinProfile, SemiJoinStrategy, WindowChoice,
-    WindowProfile, WindowStrategy,
+    choose_join_order, join_order_cost, AggChoice, AggProfile, AggStrategy, BitmapBuild,
+    GroupJoinChoice,
+    GroupJoinProfile, GroupJoinStrategy, JoinEdgeProfile, JoinGraphProfile, JoinOrderChoice,
+    JoinOrderMethod, SemiJoinChoice, SemiJoinProfile, SemiJoinStrategy, WindowChoice,
+    WindowProfile, WindowStrategy, JOIN_DP_LIMIT,
 };
 pub use params::CostParams;

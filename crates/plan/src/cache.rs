@@ -459,6 +459,7 @@ mod tests {
             post: Vec::new(),
             decisions: vec!["test".into()],
             cost_terms: Vec::new(),
+            shortcut: None,
         })
     }
 

@@ -15,15 +15,16 @@ use crate::error::PlanError;
 use crate::expr::{AggFunc, Expr};
 use crate::logical::{AggSpec, FrameSpec, LogicalPlan, SortKey, WindowFnSpec, WindowFunc};
 use crate::metrics::{MetricsLevel, OpMetrics, QueryMetrics};
-use crate::physical::{PhysicalPlan, PostOp, Shape};
+use crate::physical::{JoinEdge, PhysicalPlan, PostOp, Shape};
 use crate::session::QueryOptions;
 use crate::stats;
 use crate::value::Value;
 use swole_bitmap::PositionalBitmap;
 use swole_cost::choose::{choose_agg_mt, choose_groupjoin_mt, choose_semijoin, sort_cost};
 use swole_cost::{
-    observed, AggProfile, AggStrategy, BitmapBuild, CostParams, GroupJoinProfile,
-    GroupJoinStrategy, SemiJoinProfile, SemiJoinStrategy, WindowProfile, WindowStrategy,
+    choose_join_order, join_order_cost, observed, AggProfile, AggStrategy, BitmapBuild,
+    CostParams, GroupJoinProfile, GroupJoinStrategy, JoinEdgeProfile, JoinGraphProfile,
+    JoinOrderMethod, SemiJoinProfile, SemiJoinStrategy, WindowProfile, WindowStrategy,
 };
 use swole_ht::{AggTable, KeySet, MergeOp};
 use swole_kernels::{predicate, selvec, tiles, tiles_in, AccessCounters, MORSEL_ROWS, TILE};
@@ -226,6 +227,28 @@ impl QueryResult {
     }
 }
 
+/// One edge of a multi-way join as `EXPLAIN` renders it: the build-side
+/// table, the FK that reaches it, nesting depth (0 = direct fact edge),
+/// the membership structure, and estimated vs observed cardinality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEdgeExplain {
+    /// Build-side (parent) table of the edge.
+    pub parent: String,
+    /// FK column on the probe side pointing into `parent`.
+    pub fk_col: String,
+    /// Nesting depth: 0 for direct fact edges, 1+ for chain edges that
+    /// restrict a parent.
+    pub depth: usize,
+    /// Membership structure built for the edge (`key-set` or
+    /// `positional-bitmap`).
+    pub build_side: String,
+    /// Estimated rows surviving the edge's membership test.
+    pub est_rows: u64,
+    /// Rows actually surviving the edge in the last `EXPLAIN ANALYZE` run;
+    /// `None` from plain `EXPLAIN`.
+    pub observed_rows: Option<u64>,
+}
+
 /// A structured `EXPLAIN`: what shape the planner picked, which access
 /// strategy drives the loop body, the parallelism degree, and the
 /// cost-model evidence. `Display` renders the classic indented text.
@@ -258,6 +281,35 @@ pub struct Explain {
     /// Static-verification pass summary — populated by
     /// [`Engine::explain_verify`], empty from plain [`Engine::explain`].
     pub verification: Vec<String>,
+    /// How a multi-way join's probe order was determined (`dp`, `greedy`,
+    /// or `pinned`); `None` for other shapes.
+    pub join_order: Option<String>,
+    /// The multi-way join tree, one entry per edge in probe order (nested
+    /// chain edges follow their parent, indented by `depth`). Empty for
+    /// other shapes.
+    pub join_tree: Vec<JoinEdgeExplain>,
+}
+
+impl Explain {
+    /// Fill `observed_rows` on the join tree from an `EXPLAIN ANALYZE`
+    /// metrics snapshot: each probe-side edge reports an operator named
+    /// `multijoin-probe(<parent>)` whose `rows_out` is the edge's actual
+    /// surviving cardinality.
+    fn fill_join_observed(&mut self) {
+        let Some(m) = &self.analyze else { return };
+        for e in &mut self.join_tree {
+            // Nested chain edges have no probe op — their observed
+            // cardinality is the qualifying parent rows of their build op.
+            let name = if e.depth == 0 {
+                format!("multijoin-probe({})", e.parent)
+            } else {
+                format!("multijoin-build({})", e.parent)
+            };
+            if let Some(op) = m.operators.iter().find(|o| o.name == name) {
+                e.observed_rows = Some(op.access.rows_out);
+            }
+        }
+    }
 }
 
 impl fmt::Display for Explain {
@@ -281,6 +333,23 @@ impl fmt::Display for Explain {
         for r in &self.runtime {
             write!(f, "\n  ~ last run: {r}")?;
         }
+        if let Some(order) = &self.join_order {
+            write!(f, "\n  join order: {order}")?;
+        }
+        for e in &self.join_tree {
+            write!(
+                f,
+                "\n  {}edge {} -> {} [{}] est {} rows",
+                "  ".repeat(e.depth),
+                e.fk_col,
+                e.parent,
+                e.build_side,
+                e.est_rows
+            )?;
+            if let Some(obs) = e.observed_rows {
+                write!(f, ", observed {obs} rows")?;
+            }
+        }
         if let Some(a) = &self.analyze {
             write!(f, "\n  {a}")?;
         }
@@ -292,21 +361,33 @@ impl fmt::Display for Explain {
 }
 
 /// Strategy pins that override the cost model, for equivalence tests and
-/// experiments. `None` fields (the default) leave the paper's Fig. 2
-/// choosers in charge; a `Some` pins that pipeline's strategy for every
-/// query of the session. Set through [`EngineBuilder::strategies`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// experiments. `None` / empty fields (the default) leave the paper's
+/// Fig. 2 choosers — and the join-order enumerator — in charge; a set
+/// field pins that decision for every query of the session. Set through
+/// [`EngineBuilder::strategies`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StrategyOverrides {
     /// Pin the scan-aggregation strategy. Pinning a masked strategy while
     /// the aggregate list contains min/max fails at plan time (those
     /// require hybrid).
     pub agg: Option<AggStrategy>,
-    /// Pin the semijoin build/probe strategy.
+    /// Pin the semijoin build/probe strategy. In a multi-way join this pins
+    /// every edge's membership structure; per-edge pins
+    /// ([`StrategyOverrides::build_side`]) take precedence.
     pub semijoin: Option<SemiJoinStrategy>,
     /// Pin the groupjoin strategy.
     pub groupjoin: Option<GroupJoinStrategy>,
     /// Pin the window frame-state strategy.
     pub window: Option<WindowStrategy>,
+    /// Pin the multi-way join probe order: build-side table names in the
+    /// order their membership tests must run. Must name every direct edge
+    /// of the query's join graph exactly once; plans that don't match fail
+    /// at plan time.
+    pub join_order: Option<Vec<String>>,
+    /// Per-edge build-side pins for multi-way joins: for the edge whose
+    /// build side is the named table, use the given membership structure
+    /// instead of the cost model's per-edge choice.
+    pub build_sides: Vec<(String, SemiJoinStrategy)>,
 }
 
 impl StrategyOverrides {
@@ -341,6 +422,36 @@ impl StrategyOverrides {
             ..StrategyOverrides::default()
         }
     }
+
+    /// Pin the multi-way join probe order (build-side table names, probe
+    /// order first-to-last). Builder-style: composes with other pins.
+    pub fn join_order(mut self, order: Vec<String>) -> StrategyOverrides {
+        self.join_order = Some(order);
+        self
+    }
+
+    /// Pin the membership structure for the multi-way join edge whose
+    /// build side is `table`. Builder-style: composes with other pins.
+    pub fn build_side(mut self, table: impl Into<String>, s: SemiJoinStrategy) -> StrategyOverrides {
+        self.build_sides.push((table.into(), s));
+        self
+    }
+
+    /// Cache-key suffix for the pins that change plan structure: two
+    /// queries differing only in join-order/build-side pins must not share
+    /// a cached plan.
+    fn fingerprint_suffix(&self) -> String {
+        let mut out = String::new();
+        if let Some(order) = &self.join_order {
+            out.push_str(":jo[");
+            out.push_str(&order.join(","));
+            out.push(']');
+        }
+        for (t, s) in &self.build_sides {
+            out.push_str(&format!(":bs[{t}={s:?}]"));
+        }
+        out
+    }
 }
 
 /// Builder for [`Engine`] sessions: database, cost parameters, parallelism
@@ -368,6 +479,7 @@ pub struct EngineBuilder {
     memory_policy: MemoryPolicy,
     admission: Option<AdmissionConfig>,
     stall_window: Option<Duration>,
+    stats_mode: stats::StatsMode,
 }
 
 impl EngineBuilder {
@@ -388,6 +500,7 @@ impl EngineBuilder {
             memory_policy: MemoryPolicy::default(),
             admission: None,
             stall_window: None,
+            stats_mode: stats::StatsMode::default(),
         }
     }
 
@@ -518,6 +631,16 @@ impl EngineBuilder {
         self
     }
 
+    /// How the session collects and maintains catalog statistics (default
+    /// [`stats::StatsMode::OnLoad`]): `Off` falls back to per-query
+    /// sampling, `OnLoad` snapshots every table at registration/reload, and
+    /// `Adaptive` additionally folds observed selectivities from metered
+    /// runs back into the stats.
+    pub fn stats(mut self, mode: stats::StatsMode) -> EngineBuilder {
+        self.stats_mode = mode;
+        self
+    }
+
     /// Byte budget for the session's plan cache (default 64 KiB). Cached
     /// physical plans are byte-accounted against this budget with the same
     /// [`crate::MemGauge`] machinery that enforces query memory budgets,
@@ -552,6 +675,18 @@ impl EngineBuilder {
             Some(w) => Executor::pool(w),
             None => Executor::scoped(self.threads),
         };
+        let table_stats = if self.stats_mode == stats::StatsMode::Off {
+            std::collections::HashMap::new()
+        } else {
+            let names: Vec<String> = self.db.table_names().map(str::to_string).collect();
+            names
+                .into_iter()
+                .map(|n| {
+                    let s = stats::collect_table_stats(self.db.table(&n).expect("registered"));
+                    (n, s)
+                })
+                .collect()
+        };
         Engine {
             inner: Arc::new(EngineInner {
                 db: RwLock::new(self.db),
@@ -563,6 +698,8 @@ impl EngineBuilder {
                 metrics: self.metrics,
                 verify: self.verify,
                 strategies: self.strategies,
+                stats_mode: self.stats_mode,
+                table_stats: RwLock::new(table_stats),
                 executor,
                 admission: self
                     .admission
@@ -729,6 +866,11 @@ pub(crate) struct EngineInner {
     metrics: MetricsLevel,
     verify: VerifyLevel,
     strategies: StrategyOverrides,
+    /// How catalog statistics are collected and maintained.
+    stats_mode: stats::StatsMode,
+    /// Catalog statistics per table, keyed by table name. Refreshed lazily
+    /// when a table's generation counter moves past the snapshot's.
+    table_stats: RwLock<std::collections::HashMap<String, stats::TableStats>>,
     /// Where morsels run: per-query scoped workers or the shared pool.
     executor: Executor,
     /// Concurrency limiter; `None` admits everything immediately.
@@ -792,8 +934,36 @@ impl Engine {
     /// reads the table. Returns the new generation. In-flight queries keep
     /// reading the snapshot they pinned at execution start.
     pub fn load_table(&self, table: Table) -> u64 {
+        let name = table.name().to_string();
         let mut db = self.inner.db.write().unwrap_or_else(|e| e.into_inner());
-        db.load_table(table)
+        let generation = db.load_table(table);
+        if self.inner.stats_mode != stats::StatsMode::Off {
+            let fresh = stats::collect_table_stats(db.table(&name).expect("just loaded"));
+            let mut map = self
+                .inner
+                .table_stats
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            map.insert(name, fresh);
+        }
+        generation
+    }
+
+    /// The session's statistics snapshot for `table`: row count, per-column
+    /// min/max/NDV, dictionary cardinalities, and — under
+    /// [`stats::StatsMode::Adaptive`] — the most recent observed filter
+    /// selectivity. Refreshes lazily when the table's generation counter
+    /// moved since collection. Errors with [`PlanError::UnknownTable`] for
+    /// unregistered tables; returns `None` under [`stats::StatsMode::Off`].
+    pub fn table_stats(&self, table: &str) -> Result<Option<stats::TableStats>, PlanError> {
+        let db = self.inner.read_db();
+        db.table(table)?;
+        Ok(self.inner.stats_for(&db, table))
+    }
+
+    /// How this session collects and maintains catalog statistics.
+    pub fn stats_mode(&self) -> stats::StatsMode {
+        self.inner.stats_mode
     }
 
     /// Register a foreign-key index through [`Database::add_fk`] (needed
@@ -1016,6 +1186,7 @@ impl Engine {
         )?;
         let mut ex = self.inner.explain_for(&db, plan)?;
         ex.analyze = res.metrics;
+        ex.fill_join_observed();
         Ok(ex)
     }
 
@@ -1097,6 +1268,43 @@ impl EngineInner {
         self.db.read().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Current statistics snapshot for `name`, refreshed if the table's
+    /// generation moved past the snapshot's. `None` when statistics are
+    /// off or the table is unknown.
+    fn stats_for(&self, db: &Database, name: &str) -> Option<stats::TableStats> {
+        if self.stats_mode == stats::StatsMode::Off {
+            return None;
+        }
+        let generation = db.generation(name)?;
+        {
+            let map = self.table_stats.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(s) = map.get(name) {
+                if s.fresh_for(generation) {
+                    return Some(s.clone());
+                }
+            }
+        }
+        let fresh = stats::collect_table_stats(db.table(name).ok()?);
+        let mut map = self.table_stats.write().unwrap_or_else(|e| e.into_inner());
+        let entry = map.entry(name.to_string()).or_insert_with(|| fresh.clone());
+        if !entry.fresh_for(generation) {
+            *entry = fresh.clone();
+        }
+        Some(entry.clone())
+    }
+
+    /// Fold an observed filter selectivity back into `name`'s statistics
+    /// ([`stats::StatsMode::Adaptive`] only).
+    fn observe_selectivity(&self, name: &str, observed: f64) {
+        if self.stats_mode != stats::StatsMode::Adaptive {
+            return;
+        }
+        let mut map = self.table_stats.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(s) = map.get_mut(name) {
+            s.observed_selectivity = Some(observed);
+        }
+    }
+
     /// The session's default static-verification level (for callers that
     /// plan outside [`EngineInner::query_leveled`]).
     pub(crate) fn verify_level(&self) -> VerifyLevel {
@@ -1170,7 +1378,7 @@ impl EngineInner {
         plan: &LogicalPlan,
         verify: VerifyLevel,
     ) -> Result<(Arc<PhysicalPlan>, String), PlanError> {
-        let key = plan_fingerprint(plan, self.threads);
+        let key = self.cache_key(plan);
         let gens = table_generations(db, plan);
         match self.cache.lookup(&key, &gens) {
             CacheLookup::Hit(physical, verified) => {
@@ -1199,6 +1407,15 @@ impl EngineInner {
         }
     }
 
+    /// Session plan-cache key: the logical-plan fingerprint plus any
+    /// structural strategy pins (join order, per-edge build sides) that
+    /// change what the planner would produce.
+    fn cache_key(&self, plan: &LogicalPlan) -> String {
+        let mut key = plan_fingerprint(plan, self.threads);
+        key.push_str(&self.strategies.fingerprint_suffix());
+        key
+    }
+
     /// Cost-model inputs to remember alongside a cached plan.
     fn snapshot_for(&self, db: &Database, shape: &Shape, hint: Option<f64>) -> CostSnapshot {
         let est_selectivity = hint.or_else(|| self.planned_selectivity(db, shape));
@@ -1207,6 +1424,21 @@ impl EngineInner {
             Shape::SemiJoinAgg { probe, build, .. } => vec![probe, build],
             Shape::GroupJoinAgg { probe, build, .. } => vec![probe, build],
             Shape::WindowScan { table, .. } => vec![table],
+            Shape::MultiJoinAgg { fact, edges, .. } => {
+                let mut names = vec![fact.clone()];
+                for e in edges {
+                    e.tables(&mut names);
+                }
+                let cardinalities = names
+                    .iter()
+                    .filter_map(|t| db.table(t).ok().map(|tab| (t.clone(), tab.len())))
+                    .collect();
+                return CostSnapshot {
+                    est_selectivity,
+                    group_keys: None,
+                    cardinalities,
+                };
+            }
         };
         let cardinalities = tables
             .iter()
@@ -1311,6 +1543,13 @@ impl EngineInner {
                         .and_then(|o| o.observed_selectivity())
                     {
                         self.cache.observe(&cache_key, obs);
+                        // Adaptive statistics: the measured selectivity also
+                        // updates the catalog snapshot of the plan's primary
+                        // filtered table, so *future* plans (not just this
+                        // cache entry) are costed against reality.
+                        if let Some(t) = primary_stats_table(&physical.shape) {
+                            self.observe_selectivity(t, obs);
+                        }
                     }
                 }
                 Ok(res)
@@ -1411,9 +1650,10 @@ impl EngineInner {
         plan: &LogicalPlan,
     ) -> Result<Explain, PlanError> {
         let physical = self.plan_with(db, plan, PlanHints::default())?;
-        let key = plan_fingerprint(plan, self.threads);
+        let key = self.cache_key(plan);
         let gens = table_generations(db, plan);
         let cached = self.cache.peek(&key, &gens);
+        let (join_order, join_tree) = self.explain_join_tree(db, &physical.shape);
         Ok(Explain {
             shape: physical.describe(),
             strategy: physical.shape.strategy_name(),
@@ -1424,8 +1664,63 @@ impl EngineInner {
             decisions: physical.decisions.clone(),
             runtime: self.last_run.lock().map(|r| r.clone()).unwrap_or_default(),
             analyze: None,
+            join_order,
+            join_tree,
             verification: Vec::new(),
         })
+    }
+
+    /// Structured join-tree rendering for `EXPLAIN`: the probe order plus
+    /// one entry per edge with its estimated cardinality. Direct edges
+    /// estimate surviving *fact* rows cumulatively along the probe order;
+    /// nested (chain) edges estimate their parent table's qualifying rows.
+    fn explain_join_tree(
+        &self,
+        db: &Database,
+        shape: &Shape,
+    ) -> (Option<String>, Vec<JoinEdgeExplain>) {
+        let Shape::MultiJoinAgg {
+            fact,
+            fact_filter,
+            edges,
+            order_method,
+            ..
+        } = shape
+        else {
+            return (None, Vec::new());
+        };
+        let order = format!(
+            "{} ({})",
+            edges
+                .iter()
+                .map(|e| e.parent.as_str())
+                .collect::<Vec<_>>()
+                .join(" -> "),
+            order_method.name()
+        );
+        let fact_rows = db.table(fact).map(|t| t.len()).unwrap_or(0) as f64;
+        let fact_sel = match fact_filter {
+            Some(f) => db
+                .table(fact)
+                .map(|t| stats::estimate_selectivity(t, f))
+                .unwrap_or(1.0),
+            None => 1.0,
+        };
+        let mut tree = Vec::new();
+        let mut alive = fact_rows * fact_sel;
+        for e in edges {
+            alive *= e.est_selectivity;
+            tree.push(JoinEdgeExplain {
+                parent: e.parent.clone(),
+                fk_col: e.fk_col.clone(),
+                depth: 0,
+                build_side: e.strategy.name().to_string(),
+                est_rows: alive.round() as u64,
+                observed_rows: None,
+            });
+            explain_nested_edges(db, &e.children, 1, &mut tree);
+        }
+        (Some(order), tree)
     }
 
     /// Assemble and attach the [`QueryMetrics`] snapshot for a finished
@@ -1475,6 +1770,11 @@ impl EngineInner {
                 ..
             } => (build, build_filter.as_ref()?),
             Shape::WindowScan { table, filter, .. } => (table, filter.as_ref()?),
+            // The first operator of a multi-way join is the first edge's
+            // build: its planned selectivity is the edge estimate.
+            Shape::MultiJoinAgg { edges, .. } => {
+                return edges.first().map(|e| e.est_selectivity);
+            }
         };
         let t = db.table(table).ok()?;
         Some(stats::estimate_selectivity(t, filter))
@@ -1583,8 +1883,91 @@ impl EngineInner {
                 );
                 (Some(predicted), Some(observed_cost))
             }
+            Shape::MultiJoinAgg {
+                fact,
+                fact_filter,
+                edges,
+                ..
+            } => {
+                let Ok(fact_t) = db.table(fact) else {
+                    return (None, None);
+                };
+                let est_fact_sel = fact_filter
+                    .as_ref()
+                    .map(|f| stats::estimate_selectivity(fact_t, f))
+                    .unwrap_or(1.0);
+                let Some(mut profile) = self.multijoin_profile(db, fact, est_fact_sel, edges)
+                else {
+                    return (None, None);
+                };
+                let order: Vec<usize> = (0..profile.edges.len()).collect();
+                let predicted = join_order_cost(&self.params, &profile, &order);
+                // Re-score the same order with the per-edge selectivities the
+                // probe actually observed.
+                let mut any = false;
+                for (i, e) in edges.iter().enumerate() {
+                    let name = format!("multijoin-probe({})", e.parent);
+                    if let Some(op) = ops.iter().find(|o| o.name == name) {
+                        if op.access.rows_in > 0 {
+                            profile.edges[i].selectivity =
+                                op.access.rows_out as f64 / op.access.rows_in as f64;
+                            any = true;
+                        }
+                    }
+                }
+                if let Some(first) = edges.first() {
+                    let name = format!("multijoin-probe({})", first.parent);
+                    if let Some(op) = ops.iter().find(|o| o.name == name) {
+                        if fact_t.len() > 0 {
+                            profile.fact_selectivity =
+                                op.access.rows_in as f64 / fact_t.len() as f64;
+                        }
+                    }
+                }
+                if !any {
+                    return (Some(predicted), None);
+                }
+                let observed_cost = join_order_cost(&self.params, &profile, &order);
+                (Some(predicted), Some(observed_cost))
+            }
             Shape::SemiJoinAgg { .. } | Shape::WindowScan { .. } => (None, None),
         }
+    }
+
+    /// Cost-model profile of a multi-way join's direct edges, with the
+    /// shape's estimated selectivities and membership-structure footprints.
+    fn multijoin_profile(
+        &self,
+        db: &Database,
+        fact: &str,
+        fact_selectivity: f64,
+        edges: &[JoinEdge],
+    ) -> Option<JoinGraphProfile> {
+        let fact_rows = db.table(fact).ok()?.len();
+        let edges_p = edges
+            .iter()
+            .map(|e| {
+                let parent_rows = db.table(&e.parent).map(|t| t.len()).unwrap_or(0);
+                let has_fk_index = db.fk_index(fact, &e.fk_col, &e.parent).is_some();
+                let build_bytes = match e.strategy {
+                    SemiJoinStrategy::Hash => {
+                        (((parent_rows as f64 * e.est_selectivity).ceil() as usize).max(1)) * 16
+                    }
+                    SemiJoinStrategy::PositionalBitmap(_) => parent_rows.div_ceil(64) * 8,
+                };
+                JoinEdgeProfile {
+                    parent: e.parent.clone(),
+                    selectivity: e.est_selectivity,
+                    has_fk_index,
+                    build_bytes,
+                }
+            })
+            .collect();
+        Some(JoinGraphProfile {
+            fact_rows,
+            fact_selectivity,
+            edges: edges_p,
+        })
     }
 
     /// Rough result-row estimate for pricing post-operators.
@@ -1600,7 +1983,7 @@ impl EngineInner {
                     .map(|t| stats::estimate_distinct(t, g))
                     .unwrap_or(1),
             },
-            Shape::SemiJoinAgg { .. } => 1,
+            Shape::SemiJoinAgg { .. } | Shape::MultiJoinAgg { .. } => 1,
             Shape::GroupJoinAgg { build, .. } => db.table(build).ok().map(|t| t.len()).unwrap_or(1),
             Shape::WindowScan { table, filter, .. } => {
                 let Ok(t) = db.table(table) else { return 1 };
@@ -1737,6 +2120,19 @@ impl EngineInner {
                 fk_col,
             } => {
                 let (probe_core, mut probe_filter) = split_filters(probe);
+                // More than one join edge anywhere in the tree routes to the
+                // multi-way planner; the plain two-table shapes below stay in
+                // charge of single-edge queries.
+                if matches!(probe_core, LogicalPlan::SemiJoin { .. })
+                    || join_depth(build) > 0
+                {
+                    if let Some(g) = group_by.as_deref() {
+                        return Err(PlanError::Unsupported(format!(
+                            "group by {g} over a multi-way join"
+                        )));
+                    }
+                    return self.plan_multijoin_agg(db, core, filter, aggs);
+                }
                 if let Some(extra) = filter {
                     probe_filter = Some(match probe_filter {
                         Some(f) => f.and(extra),
@@ -1890,6 +2286,14 @@ impl EngineInner {
             }
             None => chosen,
         };
+        // Statistics shortcut: an unfiltered, ungrouped COUNT/MIN/MAX list
+        // whose every answer is exact in a fresh catalog snapshot skips the
+        // scan entirely (the shape is kept for EXPLAIN and verification).
+        let shortcut = if filter.is_none() && group_by.is_none() {
+            self.stats_shortcut(db, table_name, aggs, &mut decisions)
+        } else {
+            None
+        };
         Ok(PhysicalPlan {
             shape: Shape::ScanAgg {
                 table: table_name.to_string(),
@@ -1901,7 +2305,43 @@ impl EngineInner {
             post: Vec::new(),
             decisions,
             cost_terms,
+            shortcut,
         })
+    }
+
+    /// The one result row of an aggregate list answerable from catalog
+    /// statistics alone: `COUNT` is the exact row count, `MIN`/`MAX` on a
+    /// bare column are the exact column bounds. Any other aggregate — or a
+    /// stale/missing snapshot — declines.
+    fn stats_shortcut(
+        &self,
+        db: &Database,
+        table: &str,
+        aggs: &[AggSpec],
+        decisions: &mut Vec<String>,
+    ) -> Option<Vec<i64>> {
+        let generation = db.generation(table)?;
+        let s = self.stats_for(db, table)?;
+        if !s.fresh_for(generation) {
+            return None;
+        }
+        let mut row = Vec::with_capacity(aggs.len());
+        for a in aggs {
+            let v = match (a.func, &a.expr) {
+                (AggFunc::Count, _) => s.rows as i64,
+                // Zero-row semantics match execution: min/max are 0 when
+                // nothing qualifies.
+                (AggFunc::Min, Expr::Col(c)) => s.column(c)?.min,
+                (AggFunc::Max, Expr::Col(c)) => s.column(c)?.max,
+                _ => return None,
+            };
+            row.push(v);
+        }
+        decisions.push(format!(
+            "answered from catalog statistics (stats mode {}, generation {generation}): scan skipped",
+            self.stats_mode.name()
+        ));
+        Some(row)
     }
 
     /// Plan a window pipeline: validate the surface, then let the chooser
@@ -2031,6 +2471,7 @@ impl EngineInner {
             post: Vec::new(),
             decisions,
             cost_terms,
+            shortcut: None,
         })
     }
 
@@ -2123,6 +2564,189 @@ impl EngineInner {
             post: Vec::new(),
             decisions,
             cost_terms: Vec::new(),
+            shortcut: None,
+        })
+    }
+
+    /// Plan a multi-way FK join aggregation: decompose the nested semijoin
+    /// tree into a join graph (fact plus direct and chain edges), estimate
+    /// per-edge selectivities from statistics and sampling, choose the
+    /// probe order (exact subset DP up to [`swole_cost::JOIN_DP_LIMIT`]
+    /// direct edges, greedy rank beyond, session pin override), and pick
+    /// each edge's membership structure with the semijoin cost model.
+    fn plan_multijoin_agg(
+        &self,
+        db: &Database,
+        core: &LogicalPlan,
+        outer_filter: Option<Expr>,
+        aggs: &[AggSpec],
+    ) -> Result<PhysicalPlan, PlanError> {
+        let (fact, mut fact_filter, raw_edges) = extract_join_tree(core)?;
+        if let Some(extra) = outer_filter {
+            fact_filter = Some(match fact_filter {
+                Some(f) => f.and(extra),
+                None => extra,
+            });
+        }
+        let fact_t = db.table(&fact)?;
+        if let Some(f) = &fact_filter {
+            f.validate(fact_t)?;
+        }
+        for a in aggs {
+            a.expr.validate(fact_t)?;
+        }
+        let mut decisions = Vec::new();
+        let mut edges = Vec::with_capacity(raw_edges.len());
+        for e in raw_edges {
+            edges.push(self.lower_join_edge(db, &fact, e, &mut decisions)?);
+        }
+        let fact_sel = match &fact_filter {
+            Some(f) => stats::estimate_selectivity(fact_t, f),
+            None => 1.0,
+        };
+        let profile = self
+            .multijoin_profile(db, &fact, fact_sel, &edges)
+            .expect("fact table resolved above");
+        let choice = choose_join_order(&self.params, &profile);
+        let (order_idx, method) = match &self.strategies.join_order {
+            Some(pin) => {
+                let mut idx = Vec::with_capacity(pin.len());
+                for name in pin {
+                    let Some(i) = edges.iter().position(|e| &e.parent == name) else {
+                        return Err(PlanError::Unsupported(format!(
+                            "join-order pin names {name}, which is not a build side of this query"
+                        )));
+                    };
+                    if idx.contains(&i) {
+                        return Err(PlanError::Unsupported(format!(
+                            "join-order pin names {name} twice"
+                        )));
+                    }
+                    idx.push(i);
+                }
+                if idx.len() != edges.len() {
+                    return Err(PlanError::Unsupported(format!(
+                        "join-order pin must name every build side ({} of {} named)",
+                        idx.len(),
+                        edges.len()
+                    )));
+                }
+                decisions.push(format!(
+                    "join order pinned by the session: {}",
+                    pin.join(" -> ")
+                ));
+                (idx, JoinOrderMethod::Pinned)
+            }
+            None => (choice.order.clone(), choice.method),
+        };
+        let chosen_cost = join_order_cost(&self.params, &profile, &order_idx);
+        decisions.push(format!(
+            "σ_fact={fact_sel:.2}, {} → probe order {} ({})",
+            choice.explanation,
+            order_idx
+                .iter()
+                .map(|&i| edges[i].parent.as_str())
+                .collect::<Vec<_>>()
+                .join(" -> "),
+            method.name(),
+        ));
+        let cost_terms = vec![
+            ("join.order".to_string(), chosen_cost),
+            ("join.order.best".to_string(), choice.cost),
+            ("join.order.worst".to_string(), choice.worst_cost),
+        ];
+        let edges: Vec<JoinEdge> = order_idx.into_iter().map(|i| edges[i].clone()).collect();
+        Ok(PhysicalPlan {
+            shape: Shape::MultiJoinAgg {
+                fact,
+                fact_filter,
+                edges,
+                aggs: aggs.to_vec(),
+                order_method: method,
+            },
+            post: Vec::new(),
+            decisions,
+            cost_terms,
+            shortcut: None,
+        })
+    }
+
+    /// Lower one raw join edge: validate the FK path and the parent
+    /// filter, estimate the fraction of probe rows surviving the edge (own
+    /// filter × nested children, with adaptive observed-selectivity
+    /// feedback when available), and choose the membership structure.
+    fn lower_join_edge(
+        &self,
+        db: &Database,
+        child: &str,
+        e: RawEdge,
+        decisions: &mut Vec<String>,
+    ) -> Result<JoinEdge, PlanError> {
+        let parent_t = db.table(&e.parent)?;
+        if let Some(f) = &e.parent_filter {
+            f.validate(parent_t)?;
+        }
+        self.fk_positions(db, child, &e.fk_col, &e.parent)?;
+        let mut children = Vec::with_capacity(e.children.len());
+        for c in e.children {
+            children.push(self.lower_join_edge(db, &e.parent, c, decisions)?);
+        }
+        let own = match &e.parent_filter {
+            Some(f) => {
+                let sampled = stats::estimate_selectivity(parent_t, f);
+                match self
+                    .stats_for(db, &e.parent)
+                    .and_then(|s| s.observed_selectivity)
+                {
+                    Some(obs) if self.stats_mode == stats::StatsMode::Adaptive => {
+                        decisions.push(format!(
+                            "σ({}) = {obs:.4} from adaptive statistics (sampled {sampled:.4})",
+                            e.parent
+                        ));
+                        obs
+                    }
+                    _ => sampled,
+                }
+            }
+            None => 1.0,
+        };
+        let est_selectivity = children
+            .iter()
+            .fold(own, |s, c| s * c.est_selectivity)
+            .clamp(0.0, 1.0);
+        let has_fk_index = db.fk_index(child, &e.fk_col, &e.parent).is_some();
+        let choice = choose_semijoin(
+            &self.params,
+            &SemiJoinProfile {
+                build_rows: parent_t.len(),
+                build_selectivity: est_selectivity,
+                has_fk_index,
+            },
+        );
+        let strategy = if let Some((_, pin)) = self
+            .strategies
+            .build_sides
+            .iter()
+            .find(|(t, _)| t == &e.parent)
+        {
+            decisions.push(format!("build side {} pinned by the session", e.parent));
+            *pin
+        } else if let Some(pin) = self.strategies.semijoin {
+            pin
+        } else {
+            choice.strategy
+        };
+        decisions.push(format!(
+            "edge {child}.{} -> {} σ={est_selectivity:.2}: {}",
+            e.fk_col, e.parent, choice.explanation
+        ));
+        Ok(JoinEdge {
+            parent: e.parent,
+            parent_filter: e.parent_filter,
+            fk_col: e.fk_col,
+            strategy,
+            children,
+            est_selectivity,
         })
     }
 
@@ -2212,6 +2836,7 @@ impl EngineInner {
                     choice.cost_eager,
                 ),
             ],
+            shortcut: None,
         })
     }
 
@@ -2269,6 +2894,31 @@ impl EngineInner {
         Ok(FkSource::Column(t, fk_col.to_string()))
     }
 
+    /// Pin every table and FK column of a join forest as `Arc` snapshots
+    /// for the query's lifetime, recursing through chain edges (each
+    /// nested edge's FK lives on its *parent* table, i.e. the child of
+    /// that nested edge).
+    fn bind_join_edges(
+        &self,
+        db: &Database,
+        child: &str,
+        edges: &[JoinEdge],
+    ) -> Result<Vec<BoundEdge>, PlanError> {
+        edges
+            .iter()
+            .map(|e| {
+                Ok(BoundEdge {
+                    parent: e.parent.clone(),
+                    parent_t: db.table_arc(&e.parent)?,
+                    parent_filter: e.parent_filter.clone(),
+                    fk: self.fk_source(db, child, &e.fk_col, &e.parent)?,
+                    strategy: e.strategy,
+                    children: self.bind_join_edges(db, &e.parent, &e.children)?,
+                })
+            })
+            .collect()
+    }
+
     // -----------------------------------------------------------------
     // Execution
     // -----------------------------------------------------------------
@@ -2289,6 +2939,24 @@ impl EngineInner {
         // Upfront cooperative check: zero-morsel inputs still observe an
         // already-expired deadline or cancelled handle.
         ctx.check()?;
+        if let Some(row) = &plan.shortcut {
+            // Statistics-backed answer: the planner proved the result from
+            // the catalog, so no table access happens at all.
+            let mut res = QueryResult {
+                columns: shape_output_columns(&plan.shape),
+                rows: vec![row.clone()],
+                metrics: None,
+                key_dict: None,
+            };
+            let mut ops = Vec::new();
+            if level.counting() {
+                let mut op = OpMetrics::named("stats-shortcut");
+                op.access.rows_out = 1;
+                ops.push(op);
+            }
+            apply_post_ops(&plan.post, &mut res, &mut ops, level, ctx)?;
+            return Ok((res, ops));
+        }
         let opts = ExecOpts {
             executor: &self.executor,
             threads: self.threads,
@@ -2352,6 +3020,25 @@ impl EngineInner {
                     aggs,
                     *strategy,
                     *probe_masked,
+                    opts,
+                    ctx,
+                )
+            }
+            Shape::MultiJoinAgg {
+                fact,
+                fact_filter,
+                edges,
+                aggs,
+                ..
+            } => {
+                let fact_t = db.table_arc(fact)?;
+                let bound = self.bind_join_edges(db, fact, edges)?;
+                exec_multijoin_agg(
+                    fact,
+                    &fact_t,
+                    fact_filter.as_ref(),
+                    &bound,
+                    aggs,
                     opts,
                     ctx,
                 )
@@ -2511,6 +3198,19 @@ enum BuildSide {
     Bitmap(PositionalBitmap),
 }
 
+/// One multi-way join edge with its tables and FK column pinned as `Arc`
+/// snapshots, so execution cannot drift from the catalog mid-query.
+struct BoundEdge {
+    parent: String,
+    parent_t: Arc<Table>,
+    parent_filter: Option<Expr>,
+    /// FK on the *child* side of this edge (the fact for direct edges, the
+    /// intermediate parent for chain edges).
+    fk: FkSource,
+    strategy: SemiJoinStrategy,
+    children: Vec<BoundEdge>,
+}
+
 /// The `comp` estimate and distinct-column count of an aggregate list —
 /// shared by the planner's chooser profile and the observed-cost re-scoring
 /// so both feed the model identical inputs.
@@ -2552,7 +3252,9 @@ fn shape_output_columns(shape: &Shape) -> Vec<String> {
             .cloned()
             .chain(aggs.iter().map(|a| a.name.clone()))
             .collect(),
-        Shape::SemiJoinAgg { aggs, .. } => aggs.iter().map(|a| a.name.clone()).collect(),
+        Shape::SemiJoinAgg { aggs, .. } | Shape::MultiJoinAgg { aggs, .. } => {
+            aggs.iter().map(|a| a.name.clone()).collect()
+        }
         Shape::GroupJoinAgg { fk_col, aggs, .. } => std::iter::once(fk_col.clone())
             .chain(aggs.iter().map(|a| a.name.clone()))
             .collect(),
@@ -2561,6 +3263,115 @@ fn shape_output_columns(shape: &Shape) -> Vec<String> {
             .cloned()
             .chain(funcs.iter().map(|f| f.name.clone()))
             .collect(),
+    }
+}
+
+/// One edge of a join graph as extracted from the logical plan, before
+/// selectivity estimation and strategy choice.
+struct RawEdge {
+    parent: String,
+    parent_filter: Option<Expr>,
+    fk_col: String,
+    children: Vec<RawEdge>,
+}
+
+/// Number of semijoin edges anywhere in `plan`'s tree (filters peeled).
+fn join_depth(plan: &LogicalPlan) -> usize {
+    match plan {
+        LogicalPlan::Filter { input, .. } => join_depth(input),
+        LogicalPlan::SemiJoin { input, build, .. } => 1 + join_depth(input) + join_depth(build),
+        _ => 0,
+    }
+}
+
+/// Decompose a nested semijoin tree into its join graph: the base table,
+/// the merged filter over the base's own columns, and the edges hanging
+/// off the base (each recursively carrying its own chain edges). Nodes
+/// other than scan/filter/semijoin are unsupported.
+fn extract_join_tree(plan: &LogicalPlan) -> Result<(String, Option<Expr>, Vec<RawEdge>), PlanError> {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let (table, filter, edges) = extract_join_tree(input)?;
+            let merged = match filter {
+                Some(f) => f.and(predicate.clone()),
+                None => predicate.clone(),
+            };
+            Ok((table, Some(merged), edges))
+        }
+        LogicalPlan::Scan { table } => Ok((table.clone(), None, Vec::new())),
+        LogicalPlan::SemiJoin {
+            input,
+            build,
+            fk_col,
+        } => {
+            let (table, filter, mut edges) = extract_join_tree(input)?;
+            let (parent, parent_filter, children) = extract_join_tree(build)?;
+            edges.push(RawEdge {
+                parent,
+                parent_filter,
+                fk_col: fk_col.clone(),
+                children,
+            });
+            Ok((table, filter, edges))
+        }
+        other => Err(PlanError::Unsupported(format!(
+            "multi-way join over {other:?}"
+        ))),
+    }
+}
+
+/// The table whose filter drives the plan's *first* operator — the one an
+/// observed selectivity is attributed to under adaptive statistics.
+fn primary_stats_table(shape: &Shape) -> Option<&str> {
+    match shape {
+        Shape::ScanAgg {
+            table,
+            filter: Some(_),
+            ..
+        } => Some(table),
+        Shape::SemiJoinAgg {
+            build,
+            build_filter: Some(_),
+            ..
+        } => Some(build),
+        Shape::GroupJoinAgg {
+            build,
+            build_filter: Some(_),
+            ..
+        } => Some(build),
+        Shape::WindowScan {
+            table,
+            filter: Some(_),
+            ..
+        } => Some(table),
+        Shape::MultiJoinAgg { edges, .. } => edges
+            .first()
+            .filter(|e| e.parent_filter.is_some())
+            .map(|e| e.parent.as_str()),
+        _ => None,
+    }
+}
+
+/// Flatten nested (chain) join edges into `JoinEdgeExplain` entries; a
+/// nested edge's estimated cardinality is its parent table's qualifying
+/// rows, matching what its `multijoin-build` op observes.
+fn explain_nested_edges(
+    db: &Database,
+    children: &[JoinEdge],
+    depth: usize,
+    out: &mut Vec<JoinEdgeExplain>,
+) {
+    for c in children {
+        let parent_rows = db.table(&c.parent).map(|t| t.len()).unwrap_or(0) as f64;
+        out.push(JoinEdgeExplain {
+            parent: c.parent.clone(),
+            fk_col: c.fk_col.clone(),
+            depth,
+            build_side: c.strategy.name().to_string(),
+            est_rows: (parent_rows * c.est_selectivity).round() as u64,
+            observed_rows: None,
+        });
+        explain_nested_edges(db, &c.children, depth + 1, out);
     }
 }
 
@@ -3403,6 +4214,274 @@ fn exec_semijoin_agg(
     let (acc, _, overflow) = merge_scalar_partials(aggs, partials)?;
     if overflow {
         return Err(PlanError::Overflow("semijoin aggregation".into()));
+    }
+    Ok((
+        QueryResult {
+            columns: aggs.iter().map(|a| a.name.clone()).collect(),
+            rows: vec![acc],
+            metrics: None,
+            key_dict: None,
+        },
+        op_list,
+    ))
+}
+
+/// Qualifying mask of a join edge's parent: the parent's own filter ANDed
+/// with every nested child edge's mask, folded through the child's FK
+/// gather. Pushes one `multijoin-build(<parent>)` op for this edge, then
+/// the nested edges' ops in order.
+fn edge_parent_mask(
+    e: &BoundEdge,
+    opts: ExecOpts<'_>,
+    ctx: &Arc<ExecCtx>,
+    ops: &mut Vec<OpMetrics>,
+) -> Result<Vec<u8>, PlanError> {
+    let t0 = opts.level.timing().then(Instant::now);
+    let mut mask = build_mask(&e.parent_t, e.parent_filter.as_ref(), opts, ctx)?;
+    let mut nested_ops = Vec::new();
+    for c in &e.children {
+        let child_mask = edge_parent_mask(c, opts, ctx, &mut nested_ops)?;
+        let fk = c.fk.slice();
+        // The fold runs over the parent (dimension) table, which the cost
+        // model already priced into the edge's build cost.
+        for (i, m) in mask.iter_mut().enumerate() {
+            *m &= child_mask[fk[i] as usize];
+        }
+    }
+    if opts.level.counting() {
+        let mut op = OpMetrics::named(&format!("multijoin-build({})", e.parent));
+        op.access.rows_in = e.parent_t.len() as u64;
+        if e.parent_filter.is_some() {
+            op.access.predicate_evals = e.parent_t.len() as u64;
+        }
+        op.access.rows_out = predicate::mask_count(&mask) as u64;
+        op.wall_nanos = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        ops.push(op);
+        ops.append(&mut nested_ops);
+    }
+    Ok(mask)
+}
+
+/// Materialize one direct edge's membership structure from its (fully
+/// chain-restricted) parent mask, charging the gauge exactly like the
+/// two-table semijoin build. Enriches the edge's own build op with the
+/// structure's footprint.
+fn build_edge_side(
+    e: &BoundEdge,
+    opts: ExecOpts<'_>,
+    ctx: &Arc<ExecCtx>,
+    ops: &mut Vec<OpMetrics>,
+) -> Result<BuildSide, PlanError> {
+    let self_op_at = ops.len();
+    let mask = edge_parent_mask(e, opts, ctx, ops)?;
+    let n = e.parent_t.len();
+    let bitmap_bytes = n.div_ceil(64) * 8;
+    let side = match e.strategy {
+        SemiJoinStrategy::Hash => {
+            let mut set = KeySet::with_capacity(n / 2 + 4);
+            let before = set.size_bytes();
+            ctx.gauge.try_charge(before)?;
+            for (pos, &c) in mask.iter().enumerate() {
+                if c != 0 {
+                    set.insert(pos as i64);
+                }
+            }
+            if set.size_bytes() > before {
+                ctx.gauge.try_charge(set.size_bytes() - before)?;
+            }
+            BuildSide::Set(set)
+        }
+        SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional) => {
+            ctx.gauge.try_charge(bitmap_bytes)?;
+            BuildSide::Bitmap(PositionalBitmap::from_predicate_bytes_parallel(
+                &mask,
+                opts.threads,
+            ))
+        }
+        SemiJoinStrategy::PositionalBitmap(BitmapBuild::SelectionVector) => {
+            let mut sel = Vec::new();
+            for (start, len) in tiles(n) {
+                selvec::append_nobranch(&mask[start..start + len], start as u32, &mut sel);
+            }
+            ctx.gauge.try_charge(sel.len() * 4 + bitmap_bytes)?;
+            BuildSide::Bitmap(PositionalBitmap::from_selection(n, &sel))
+        }
+    };
+    if let Some(op) = ops.get_mut(self_op_at) {
+        match &side {
+            BuildSide::Set(set) => {
+                op.ht.inserts = set.len() as u64;
+                op.ht.bytes_allocated = set.size_bytes() as u64;
+            }
+            BuildSide::Bitmap(bm) => {
+                op.bitmap_bits_set = bm.count_ones() as u64;
+                op.bitmap_words = bm.word_count() as u64;
+            }
+        }
+    }
+    Ok(side)
+}
+
+/// Thread-local state for multi-way join probing: the scalar accumulator
+/// plus per-edge survivor counters for the `multijoin-probe(<parent>)` ops.
+struct MultiJoinAcc {
+    s: ScalarAcc,
+    edge_in: Vec<u64>,
+    edge_out: Vec<u64>,
+}
+
+/// Execute a multi-way FK join + scalar aggregation: build one membership
+/// structure per direct edge (chains folded into the parent mask first),
+/// then narrow each fact tile's selection vector edge-by-edge in the
+/// planned probe order and aggregate the survivors.
+///
+/// The surviving row *set* per tile is order-independent (each edge is a
+/// pure membership filter), so results are bit-identical across probe
+/// orders and thread counts.
+fn exec_multijoin_agg(
+    fact_name: &str,
+    fact: &Arc<Table>,
+    fact_filter: Option<&Expr>,
+    edges: &[BoundEdge],
+    aggs: &[AggSpec],
+    opts: ExecOpts<'_>,
+    ctx: &Arc<ExecCtx>,
+) -> Result<(QueryResult, Vec<OpMetrics>), PlanError> {
+    let counting = opts.level.counting();
+    let n_edges = edges.len();
+    let mut op_list = Vec::new();
+    let mut sides = Vec::with_capacity(n_edges);
+    for e in edges {
+        sides.push(build_edge_side(e, opts, ctx, &mut op_list)?);
+    }
+    let sides = Arc::new(sides);
+    let n = fact.len();
+    let probe_t0 = opts.level.timing().then(Instant::now);
+    let aggs_arc: Arc<[AggSpec]> = aggs.to_vec().into();
+    let init = {
+        let ctx = Arc::clone(ctx);
+        let aggs = Arc::clone(&aggs_arc);
+        move || {
+            charge_or_panic(
+                &ctx.gauge,
+                ScalarAcc::scratch_bytes(aggs.len()) + n_edges * 16,
+            );
+            MultiJoinAcc {
+                s: ScalarAcc::new(&aggs),
+                edge_in: vec![0u64; n_edges],
+                edge_out: vec![0u64; n_edges],
+            }
+        }
+    };
+    let body = {
+        let fact = Arc::clone(fact);
+        let fact_filter = fact_filter.cloned();
+        let aggs = Arc::clone(&aggs_arc);
+        let sides = Arc::clone(&sides);
+        let fks: Vec<FkSource> = edges.iter().map(|e| e.fk.clone()).collect();
+        move |w: &mut MultiJoinAcc, m_start: usize, m_len: usize| {
+            let fact_filter = fact_filter.as_ref();
+            if counting {
+                w.s.ctr.morsels += 1;
+                w.s.ctr.rows_in += m_len as u64;
+                if fact_filter.is_some() {
+                    w.s.ctr.predicate_evals += m_len as u64;
+                }
+            }
+            for (start, len) in tiles_in(m_start, m_len) {
+                tile_mask(fact_filter, &fact, start, &mut w.s.cmp[..len]);
+                let mut k = selvec::fill_nobranch(&w.s.cmp[..len], start as u32, &mut w.s.idx[..len]);
+                let filtered = k;
+                for (ei, side) in sides.iter().enumerate() {
+                    if k == 0 {
+                        // Later edges see zero rows; skipping their zero
+                        // counter increments leaves identical totals.
+                        break;
+                    }
+                    if counting {
+                        w.edge_in[ei] += k as u64;
+                        w.s.ctr.ht_probes += k as u64;
+                    }
+                    let fk = fks[ei].slice();
+                    let mut kk = 0usize;
+                    // In-place compaction: kk trails t, so reads never see
+                    // an overwritten slot.
+                    for t in 0..k {
+                        let j = w.s.idx[t] as usize;
+                        let pos = fk[j] as usize;
+                        let hit = match side {
+                            BuildSide::Set(set) => set.contains(pos as i64) as usize,
+                            BuildSide::Bitmap(bm) => bm.get_bit(pos) as usize,
+                        };
+                        w.s.idx[kk] = w.s.idx[t];
+                        kk += hit;
+                    }
+                    if counting {
+                        w.edge_out[ei] += kk as u64;
+                    }
+                    k = kk;
+                }
+                if counting {
+                    w.s.ctr.rows_out += k as u64;
+                    w.s.ctr.wasted_lanes += (filtered - k) as u64;
+                }
+                w.s.matched += k;
+                for (i, a) in aggs.iter().enumerate() {
+                    if a.func != AggFunc::Count {
+                        a.expr.eval_values(&fact, start, &mut w.s.val[..len]);
+                    }
+                    for t in 0..k {
+                        let j = w.s.idx[t] as usize;
+                        match a.func {
+                            AggFunc::Sum => w.s.add_sum(i, w.s.val[j - start]),
+                            AggFunc::Count => w.s.acc[i] = w.s.acc[i].wrapping_add(1),
+                            // Survivors are fully narrowed before
+                            // accumulation, so min/max see only real
+                            // qualifying rows.
+                            AggFunc::Min => {
+                                let v = w.s.val[j - start];
+                                if v < w.s.acc[i] {
+                                    w.s.acc[i] = v;
+                                }
+                            }
+                            AggFunc::Max => {
+                                let v = w.s.val[j - start];
+                                if v > w.s.acc[i] {
+                                    w.s.acc[i] = v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+    let partials = opts
+        .executor
+        .run_morsels(ctx, n, opts.morsel_rows, init, body)?;
+    if counting {
+        let probe_nanos = probe_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        for (ei, e) in edges.iter().enumerate() {
+            let mut op = OpMetrics::named(&format!("multijoin-probe({})", e.parent));
+            for p in &partials {
+                op.access.rows_in += p.edge_in[ei];
+                op.access.rows_out += p.edge_out[ei];
+            }
+            op.ht.probes = op.access.rows_in;
+            op.wall_nanos = probe_nanos;
+            op_list.push(op);
+        }
+        let mut agg_op = OpMetrics::named(&format!("multijoin-agg({fact_name})"));
+        for p in &partials {
+            agg_op.access.merge(&p.s.ctr);
+        }
+        agg_op.wall_nanos = probe_nanos;
+        op_list.push(agg_op);
+    }
+    let (acc, _, overflow) =
+        merge_scalar_partials(aggs, partials.into_iter().map(|p| p.s).collect())?;
+    if overflow {
+        return Err(PlanError::Overflow("multi-way join aggregation".into()));
     }
     Ok((
         QueryResult {

@@ -152,6 +152,14 @@ fn run_core(
             })
         }
         Some(g) => {
+            // Mirror the engine's surface: grouped aggregation over more
+            // than one join edge is unsupported everywhere, so rejection
+            // stays uniform across all differential runners.
+            if semijoin_count(input) > 1 {
+                return Err(PlanError::Unsupported(format!(
+                    "group by {g} over a multi-way join"
+                )));
+            }
             let key_col = table.column(g).ok_or_else(|| PlanError::UnknownColumn {
                 table: base.to_string(),
                 column: g.clone(),
@@ -355,6 +363,18 @@ fn run_window(
             .and_then(|c| c.as_dict())
             .map(|d| std::sync::Arc::new(d.dictionary().to_vec())),
     })
+}
+
+/// Number of semijoin edges anywhere in the tree (filters are
+/// transparent; both the probe spine and build sides count).
+fn semijoin_count(plan: &LogicalPlan) -> usize {
+    match plan {
+        LogicalPlan::Filter { input, .. } => semijoin_count(input),
+        LogicalPlan::SemiJoin { input, build, .. } => {
+            1 + semijoin_count(input) + semijoin_count(build)
+        }
+        _ => 0,
+    }
 }
 
 fn accumulate(acc: &mut i64, spec: &AggSpec, table: &swole_storage::Table, row: usize) {

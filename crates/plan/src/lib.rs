@@ -50,7 +50,10 @@ mod verify;
 
 pub use cache::{FallbackBreakerStats, PlanCacheStats};
 pub use catalog::Database;
-pub use engine::{Engine, EngineBuilder, Explain, QueryResult, ShutdownReport, StrategyOverrides};
+pub use engine::{
+    Engine, EngineBuilder, Explain, JoinEdgeExplain, QueryResult, ShutdownReport,
+    StrategyOverrides,
+};
 pub use error::PlanError;
 pub use expr::{AggFunc, CmpOp, Expr};
 pub use logical::{
@@ -61,6 +64,7 @@ pub use metrics::{MetricsLevel, OpMetrics, QueryMetrics};
 pub use prepared::{BoundStatement, PreparedStatement};
 pub use session::{QueryOptions, Session};
 pub use sql::{parse as parse_sql, ExplainMode, ParamSlot, SqlError};
+pub use stats::{ColumnStats, StatsMode, TableStats};
 pub use swole_runtime::{
     AdmissionConfig, AdmissionError, ExecHandle, MemGauge, MemoryPolicy, MemoryPoolStats, Priority,
 };

@@ -3,7 +3,9 @@
 
 use crate::expr::Expr;
 use crate::logical::{AggSpec, FrameSpec, SortKey, WindowFnSpec};
-use swole_cost::{AggStrategy, GroupJoinStrategy, SemiJoinStrategy, WindowStrategy};
+use swole_cost::{
+    AggStrategy, GroupJoinStrategy, JoinOrderMethod, SemiJoinStrategy, WindowStrategy,
+};
 
 /// A result-level post-operator applied after the core pipeline: `ORDER BY`
 /// and `LIMIT` run over the materialized result rows, never over base tables.
@@ -29,6 +31,12 @@ pub struct PhysicalPlan {
     /// `("agg.value-masking", 1.2e6)` — the numeric evidence `EXPLAIN`
     /// renders.
     pub cost_terms: Vec<(String, f64)>,
+    /// Statistics-backed answer: when the planner can prove the result from
+    /// catalog statistics alone (`COUNT(*)`/`MIN`/`MAX`, no filter, fresh
+    /// stats), the one result row is carried here and execution skips the
+    /// scan entirely. The shape is kept so verification and EXPLAIN still
+    /// describe the scan the shortcut replaced.
+    pub(crate) shortcut: Option<Vec<i64>>,
 }
 
 impl PhysicalPlan {
@@ -100,6 +108,57 @@ impl PhysicalPlan {
             _ => None,
         }
     }
+
+    /// How the multi-way join order was determined, if this plan is a
+    /// multi-way join.
+    pub fn join_order_method(&self) -> Option<JoinOrderMethod> {
+        match &self.shape {
+            Shape::MultiJoinAgg { order_method, .. } => Some(*order_method),
+            _ => None,
+        }
+    }
+
+    /// Probe order of a multi-way join: build-side table names in the order
+    /// their membership tests run.
+    pub fn join_probe_order(&self) -> Option<Vec<String>> {
+        match &self.shape {
+            Shape::MultiJoinAgg { edges, .. } => {
+                Some(edges.iter().map(|e| e.parent.clone()).collect())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One edge of a multi-way FK join: the fact (or an intermediate parent)
+/// semijoins `parent` through `fk_col`. Nested `children` edges restrict
+/// the parent itself (a chain: fact → parent → grandparent); they fold into
+/// the parent's qualifying mask before the fact-side membership structure
+/// is built.
+#[derive(Debug, Clone)]
+pub(crate) struct JoinEdge {
+    /// Build-side (parent) table.
+    pub parent: String,
+    /// Filter over the parent's own columns, if any.
+    pub parent_filter: Option<Expr>,
+    /// FK column on the child pointing into `parent`.
+    pub fk_col: String,
+    /// Membership structure the build side materializes.
+    pub strategy: SemiJoinStrategy,
+    /// Edges restricting `parent` itself (chain joins), in canonical order.
+    pub children: Vec<JoinEdge>,
+    /// Estimated fraction of probe rows surviving this edge.
+    pub est_selectivity: f64,
+}
+
+impl JoinEdge {
+    /// `parent` plus every transitive child parent, preorder.
+    pub(crate) fn tables(&self, out: &mut Vec<String>) {
+        out.push(self.parent.clone());
+        for c in &self.children {
+            c.tables(out);
+        }
+    }
 }
 
 /// The executable shapes (the plan patterns §§ III-A–III-E optimize).
@@ -125,6 +184,17 @@ pub(crate) enum Shape {
         strategy: SemiJoinStrategy,
         /// `true`: fully masked probe; `false`: selection-vector probe.
         probe_masked: bool,
+    },
+    /// Multi-way FK join: scan the fact table, narrow each tile through the
+    /// edges' membership structures in the planned probe order, then a
+    /// scalar aggregation over the survivors. Edges may nest (chains).
+    MultiJoinAgg {
+        fact: String,
+        fact_filter: Option<Expr>,
+        /// Direct fact edges in chosen probe order.
+        edges: Vec<JoinEdge>,
+        aggs: Vec<AggSpec>,
+        order_method: JoinOrderMethod,
     },
     /// FK groupjoin: group the probe side by its FK, keeping groups whose
     /// parent survives the build filter.
@@ -170,6 +240,15 @@ impl Shape {
                 } else {
                     "selection-vector"
                 },
+            ),
+            Shape::MultiJoinAgg {
+                edges,
+                order_method,
+                ..
+            } => format!(
+                "multi-join ({} edges, order: {})",
+                count_edges(edges),
+                order_method.name()
             ),
             Shape::GroupJoinAgg { strategy, .. } => match strategy {
                 GroupJoinStrategy::GroupJoin => "groupjoin".to_string(),
@@ -224,6 +303,26 @@ impl Shape {
                     "selection-vector"
                 },
             ),
+            Shape::MultiJoinAgg {
+                fact,
+                fact_filter,
+                edges,
+                order_method,
+                ..
+            } => format!(
+                "Aggregate <- MultiJoin[order: {}] {}{fact} -> [{}]",
+                order_method.name(),
+                if fact_filter.is_some() {
+                    "Filter <- "
+                } else {
+                    ""
+                },
+                edges
+                    .iter()
+                    .map(render_edge)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
             Shape::GroupJoinAgg {
                 probe,
                 build,
@@ -265,4 +364,28 @@ impl Shape {
             }
         }
     }
+}
+
+/// Total edges in a join forest, nested chains included.
+pub(crate) fn count_edges(edges: &[JoinEdge]) -> usize {
+    edges
+        .iter()
+        .map(|e| 1 + count_edges(&e.children))
+        .sum()
+}
+
+/// One edge as `fk -> parent[strategy]( <children> )`.
+fn render_edge(e: &JoinEdge) -> String {
+    let mut out = format!("{} -> {}[{}]", e.fk_col, e.parent, e.strategy.name());
+    if !e.children.is_empty() {
+        out.push_str(&format!(
+            "({})",
+            e.children
+                .iter()
+                .map(render_edge)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    out
 }

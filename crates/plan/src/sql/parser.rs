@@ -1156,8 +1156,175 @@ fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
                 param_slots: Vec::new(),
             })
         }
-        n => Err(fail(format!("FROM supports 1 or 2 tables, got {n}"))),
+        // Three or more tables: a general FK join graph. Join conjuncts
+        // (`child.fk = parent.rowid`) form the edges; the one table never
+        // used as a build side is the fact. The parser only fixes the
+        // *structure* (a tree rooted at the fact, edges in canonical
+        // parent-name order) — the probe order is the planner's decision.
+        _ => {
+            if has_window {
+                return Err(fail(
+                    "window functions are only supported over a single table".into(),
+                ));
+            }
+            let predicate = q.predicate.clone().ok_or_else(|| {
+                fail("multi-table queries need join conditions of the form child.fk = parent.rowid".into())
+            })?;
+            let mut parts = Vec::new();
+            conjuncts(predicate, &mut parts);
+            let mut edges: Vec<(String, String, String)> = Vec::new(); // child, fk, parent
+            let mut rest = Vec::new();
+            for part in parts {
+                if let PExpr::Cmp(CmpOp::Eq, a, b) = &part {
+                    if let (
+                        PExpr::Col {
+                            table: Some(t1),
+                            name: n1,
+                        },
+                        PExpr::Col {
+                            table: Some(t2),
+                            name: n2,
+                        },
+                    ) = (&**a, &**b)
+                    {
+                        let found = if n2 == "rowid" {
+                            Some((t1.clone(), n1.clone(), t2.clone()))
+                        } else if n1 == "rowid" {
+                            Some((t2.clone(), n2.clone(), t1.clone()))
+                        } else {
+                            None
+                        };
+                        if let Some(j) = found {
+                            edges.push(j);
+                            continue;
+                        }
+                    }
+                }
+                rest.push(part);
+            }
+            for (child, _, parent) in &edges {
+                if !q.tables.contains(child) || !q.tables.contains(parent) || child == parent {
+                    return Err(fail(format!(
+                        "join references {child}/{parent}, FROM lists {:?}",
+                        q.tables
+                    )));
+                }
+            }
+            for (i, (_, _, p)) in edges.iter().enumerate() {
+                if edges.iter().skip(i + 1).any(|(_, _, p2)| p2 == p) {
+                    return Err(fail(format!(
+                        "table {p} is the build side of multiple join conditions"
+                    )));
+                }
+            }
+            let facts: Vec<&String> = q
+                .tables
+                .iter()
+                .filter(|t| !edges.iter().any(|(_, _, p)| &p == t))
+                .collect();
+            let fact = match facts.as_slice() {
+                [f] => (*f).clone(),
+                [] => {
+                    return Err(fail(
+                        "cyclic join graph: every table is a build side".into(),
+                    ))
+                }
+                more => {
+                    return Err(fail(format!(
+                        "join graph is disconnected: no join condition joins {:?} to the rest",
+                        more.iter().map(|t| t.as_str()).collect::<Vec<_>>()
+                    )))
+                }
+            };
+            // Per-table filters from the remaining conjuncts.
+            let mut filters: std::collections::HashMap<String, Expr> =
+                std::collections::HashMap::new();
+            for part in rest {
+                let mut mentioned = Vec::new();
+                tables_of(&part, &mut mentioned);
+                let t = match mentioned.as_slice() {
+                    [Some(t)] if q.tables.contains(t) => (*t).clone(),
+                    [Some(t)] => return Err(fail(format!("unknown table qualifier {t}"))),
+                    _ => {
+                        return Err(fail(
+                            "multi-table predicates must qualify every column with its \
+                             table and reference exactly one table per conjunct"
+                                .into(),
+                        ))
+                    }
+                };
+                let bound = to_expr(&part, q.pos)?;
+                match filters.entry(t) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let existing = e.get().clone();
+                        e.insert(existing.and(bound));
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(bound);
+                    }
+                }
+            }
+            // Grow the join tree from the fact outward. An edge left unused
+            // afterwards means its tables cycle among themselves without a
+            // path from the fact.
+            let mut used = vec![false; edges.len()];
+            let plan_node = build_join_node(&fact, &edges, &mut used, &mut filters);
+            if used.iter().any(|u| !u) {
+                return Err(fail("cyclic join graph".into()));
+            }
+            let group_by = q.group_by.as_ref().map(|(_, c)| c.clone());
+            let aggs = agg_specs(&q.items, group_by.as_deref())?;
+            Ok(ParsedQuery {
+                plan: wrap_post(
+                    LogicalPlan::Aggregate {
+                        input: Box::new(plan_node),
+                        group_by,
+                        aggs,
+                    },
+                    &q,
+                ),
+                explain: None,
+                param_slots: Vec::new(),
+            })
+        }
     }
+}
+
+/// Recursively assemble the semijoin tree for a multi-way join: `table`'s
+/// scan (plus its own filter), then one [`LogicalPlan::SemiJoin`] per edge
+/// whose child is `table`, in parent-name order (canonical — the WHERE
+/// clause's conjunct order must not change the plan fingerprint). Marks
+/// consumed edges in `used`; duplicate-parent validation upstream
+/// guarantees termination.
+fn build_join_node(
+    table: &str,
+    edges: &[(String, String, String)],
+    used: &mut [bool],
+    filters: &mut std::collections::HashMap<String, Expr>,
+) -> LogicalPlan {
+    let mut plan = LogicalPlan::Scan {
+        table: table.to_string(),
+    };
+    if let Some(pred) = filters.remove(table) {
+        plan = LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: pred,
+        };
+    }
+    let mut own: Vec<usize> = (0..edges.len())
+        .filter(|&i| !used[i] && edges[i].0 == table)
+        .collect();
+    own.sort_by(|&a, &b| edges[a].2.cmp(&edges[b].2));
+    for i in own {
+        used[i] = true;
+        let build = build_join_node(&edges[i].2, edges, used, filters);
+        plan = LogicalPlan::SemiJoin {
+            input: Box::new(plan),
+            build: Box::new(build),
+            fk_col: edges[i].1.clone(),
+        };
+    }
+    plan
 }
 
 #[cfg(test)]

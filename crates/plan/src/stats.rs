@@ -5,11 +5,140 @@
 //! planner samples a bounded number of rows — deterministic (stride
 //! sampling) so plans are reproducible.
 
+use std::collections::BTreeMap;
+
 use crate::expr::Expr;
 use swole_storage::Table;
 
 /// Rows examined per estimate.
 pub const SAMPLE_SIZE: usize = 2048;
+
+/// Row-count threshold below which NDV is computed exactly (full scan with a
+/// hash set) instead of extrapolated from a sample.
+const NDV_EXACT_LIMIT: usize = 65_536;
+
+/// How the engine collects and maintains table statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsMode {
+    /// No catalog statistics: the planner falls back to per-query sampling.
+    Off,
+    /// Collect statistics when a table is registered or reloaded; refresh
+    /// lazily when a table's generation counter moves.
+    #[default]
+    OnLoad,
+    /// [`StatsMode::OnLoad`] plus feedback: observed selectivities from
+    /// `EXPLAIN ANALYZE` / metered runs are folded back into the stats so
+    /// later plans are costed against reality.
+    Adaptive,
+}
+
+impl StatsMode {
+    /// Short name used by `EXPLAIN` decisions.
+    pub fn name(self) -> &'static str {
+        match self {
+            StatsMode::Off => "off",
+            StatsMode::OnLoad => "on-load",
+            StatsMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Per-column statistics: value bounds, distinct count, dictionary size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Minimum value (dictionary columns: minimum code). Exact.
+    pub min: i64,
+    /// Maximum value (dictionary columns: maximum code). Exact.
+    pub max: i64,
+    /// Number of distinct values; exact iff [`ColumnStats::ndv_exact`].
+    pub ndv: usize,
+    /// `true` when `ndv` was computed by full scan (small tables and
+    /// dictionary columns), `false` when extrapolated from a sample.
+    pub ndv_exact: bool,
+    /// Dictionary size for dictionary-encoded columns, `None` otherwise.
+    pub dict_cardinality: Option<usize>,
+}
+
+/// Table-level statistics snapshot, tied to a table generation.
+///
+/// Collected by [`collect_table_stats`] at load time (see
+/// [`StatsMode::OnLoad`]), refreshed when the generation counter moves, and
+/// — under [`StatsMode::Adaptive`] — annotated with observed filter
+/// selectivities from metered executions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    /// Exact row count at collection time.
+    pub rows: usize,
+    /// Generation of the table contents these stats describe.
+    pub generation: u64,
+    /// Per-column statistics, keyed by column name.
+    pub columns: BTreeMap<String, ColumnStats>,
+    /// Most recent observed filter selectivity over this table, fed back
+    /// from executed plans under [`StatsMode::Adaptive`].
+    pub observed_selectivity: Option<f64>,
+}
+
+impl TableStats {
+    /// Statistics for one column, if collected.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(name)
+    }
+
+    /// `true` when these stats describe `generation` exactly — the
+    /// precondition for answering aggregates straight from the catalog.
+    pub fn fresh_for(&self, generation: u64) -> bool {
+        self.generation == generation
+    }
+}
+
+/// Collect a full [`TableStats`] snapshot: exact min/max per column (one
+/// sequential scan), exact NDV for small tables and dictionary columns,
+/// sampled NDV otherwise.
+pub fn collect_table_stats(table: &Table) -> TableStats {
+    let n = table.len();
+    let mut columns = BTreeMap::new();
+    for name in table.column_names() {
+        let col = table.column_required(name);
+        let dict_cardinality = col.as_dict().map(|d| d.cardinality());
+        let (mut min, mut max) = (i64::MAX, i64::MIN);
+        for i in 0..n {
+            let v = col.get_i64(i);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if n == 0 {
+            min = 0;
+            max = 0;
+        }
+        let (ndv, ndv_exact) = match dict_cardinality {
+            Some(card) => (card, true),
+            None if n <= NDV_EXACT_LIMIT => {
+                let mut seen = std::collections::HashSet::new();
+                for i in 0..n {
+                    seen.insert(col.get_i64(i));
+                }
+                (seen.len(), true)
+            }
+            None => (estimate_distinct(table, name), false),
+        };
+        columns.insert(
+            name.to_string(),
+            ColumnStats {
+                min,
+                max,
+                ndv,
+                ndv_exact,
+                dict_cardinality,
+            },
+        );
+    }
+    TableStats {
+        rows: n,
+        generation: table.generation(),
+        columns,
+        observed_selectivity: None,
+    }
+}
 
 /// Estimate the selectivity of `predicate` over `table` by evaluating it on
 /// an evenly-strided sample. Returns a value in `[0, 1]`; an empty table
@@ -122,6 +251,55 @@ mod tests {
         let t = Table::new("t").with_column("x", ColumnData::I64((0..100_000i64).collect()));
         let d = estimate_distinct(&t, "x");
         assert!(d > 50_000, "d={d}");
+    }
+
+    #[test]
+    fn collected_stats_are_exact_on_small_tables() {
+        let t = Table::new("t")
+            .with_column("x", ColumnData::I64(vec![5, -3, 9, 5, 0]))
+            .with_column("y", ColumnData::I8(vec![1, 1, 2, 2, 2]));
+        let s = collect_table_stats(&t);
+        assert_eq!(s.rows, 5);
+        let x = s.column("x").unwrap();
+        assert_eq!((x.min, x.max, x.ndv, x.ndv_exact), (-3, 9, 4, true));
+        let y = s.column("y").unwrap();
+        assert_eq!((y.min, y.max, y.ndv), (1, 2, 2));
+        assert!(y.dict_cardinality.is_none());
+        assert!(s.fresh_for(0));
+        assert!(!s.fresh_for(1));
+    }
+
+    #[test]
+    fn collected_stats_cover_dict_columns() {
+        use swole_storage::DictColumn;
+        let t = Table::new("t").with_column(
+            "tag",
+            ColumnData::Dict(DictColumn::encode(&["a", "b", "a", "c"])),
+        );
+        let s = collect_table_stats(&t);
+        let tag = s.column("tag").unwrap();
+        assert_eq!(tag.dict_cardinality, Some(3));
+        assert_eq!(tag.ndv, 3);
+        assert!(tag.ndv_exact);
+    }
+
+    #[test]
+    fn collected_stats_sample_large_ndv() {
+        let t = Table::new("t").with_column("x", ColumnData::I64((0..100_000i64).collect()));
+        let s = collect_table_stats(&t);
+        let x = s.column("x").unwrap();
+        assert_eq!((x.min, x.max), (0, 99_999));
+        assert!(!x.ndv_exact);
+        assert!(x.ndv > 50_000, "ndv={}", x.ndv);
+    }
+
+    #[test]
+    fn empty_table_stats_are_sane() {
+        let t = Table::new("t").with_column("x", ColumnData::I64(vec![]));
+        let s = collect_table_stats(&t);
+        assert_eq!(s.rows, 0);
+        let x = s.column("x").unwrap();
+        assert_eq!((x.min, x.max, x.ndv), (0, 0, 0));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::error::PlanError;
 use crate::expr::Expr;
 use crate::faults;
 use crate::logical::{AggSpec, SortKey, WindowFnSpec};
-use crate::physical::{PhysicalPlan, PostOp, Shape};
+use crate::physical::{JoinEdge, PhysicalPlan, PostOp, Shape};
 use swole_cost::{AggStrategy, SemiJoinStrategy, WindowStrategy};
 
 /// Lower `plan` and verify it at `level`. `Off` is a no-op by construction
@@ -78,6 +78,13 @@ pub(crate) fn program_for(db: &Database, plan: &PhysicalPlan) -> Result<Program,
             *strategy,
             *probe_masked,
         )?,
+        Shape::MultiJoinAgg {
+            fact,
+            fact_filter,
+            edges,
+            aggs,
+            ..
+        } => lower_multijoin_agg(db, plan, fact, fact_filter.as_ref(), edges, aggs)?,
         Shape::GroupJoinAgg {
             probe,
             build,
@@ -508,6 +515,194 @@ fn lower_semijoin_agg(
         tables: vec![probe_decl, build_decl],
         fks: vec![fk],
         ops: vec![build_op, probe_op],
+        tile_rows: TILE,
+    })
+}
+
+/// Lower one multi-way join edge's build side, post-order (chain children
+/// first, so every `ValueMask` import resolves against an earlier export).
+///
+/// Direct fact edges lower like a semijoin build: qualifying mask, then the
+/// membership structure the probe imports. Nested chain edges export only
+/// their qualifying `ValueMask` — execution folds it into the parent's mask
+/// through the parent's FK column, the same access the groupjoin build/probe
+/// pair models.
+fn lower_join_build(
+    db: &Database,
+    child: &str,
+    e: &JoinEdge,
+    direct: bool,
+    tables: &mut Vec<TableDecl>,
+    fks: &mut Vec<FkDecl>,
+    ops: &mut Vec<Op>,
+) -> Result<(), PlanError> {
+    for c in &e.children {
+        lower_join_build(db, &e.parent, c, false, tables, fks, ops)?;
+    }
+    let decl = table_decl(db, &e.parent)?;
+    let rows = decl.rows;
+    if !tables.iter().any(|t| t.name == decl.name) {
+        tables.push(decl);
+    }
+    fks.push(fk_decl(db, child, &e.fk_col, &e.parent)?);
+    let mut op = Op::new(
+        &format!("multijoin-build({})", e.parent),
+        "/multijoin-agg/build",
+        &e.parent,
+        rows,
+    );
+    if let Some(f) = &e.parent_filter {
+        op.exprs.push(BoundExpr {
+            role: ExprRole::Predicate,
+            expr: lower_expr(f),
+        });
+    }
+    for c in &e.children {
+        op.imports.push(Import {
+            kind: ArtifactKind::ValueMask,
+            table: c.parent.clone(),
+            via_fk: Some(FkRef {
+                child: e.parent.clone(),
+                fk_col: c.fk_col.clone(),
+                parent: c.parent.clone(),
+            }),
+        });
+    }
+    op.allocs.push(Alloc {
+        site: "build-mask".to_string(),
+        charged: true,
+    });
+    if direct {
+        op.strategy = Some(StrategyRef::SemiJoinBuild(e.strategy));
+        op.locals.push(Artifact {
+            kind: ArtifactKind::ValueMask,
+            table: e.parent.clone(),
+            rows,
+            scope: Scope::Plan,
+        });
+        match e.strategy {
+            SemiJoinStrategy::Hash => {
+                op.exports.push(Artifact {
+                    kind: ArtifactKind::KeySet,
+                    table: e.parent.clone(),
+                    rows,
+                    scope: Scope::Plan,
+                });
+                op.allocs.push(Alloc {
+                    site: "key-set".to_string(),
+                    charged: true,
+                });
+            }
+            SemiJoinStrategy::PositionalBitmap(bmb) => {
+                if bmb == swole_cost::BitmapBuild::SelectionVector {
+                    op.locals.push(Artifact {
+                        kind: ArtifactKind::SelectionVector,
+                        table: e.parent.clone(),
+                        rows,
+                        scope: Scope::Plan,
+                    });
+                    op.allocs.push(Alloc {
+                        site: "selection-vector".to_string(),
+                        charged: true,
+                    });
+                }
+                op.exports.push(Artifact {
+                    kind: ArtifactKind::PositionalBitmap,
+                    table: e.parent.clone(),
+                    rows,
+                    scope: Scope::Plan,
+                });
+                op.allocs.push(Alloc {
+                    site: "positional-bitmap".to_string(),
+                    charged: true,
+                });
+            }
+        }
+    } else {
+        // Chain edge: the mask itself crosses the operator boundary.
+        op.strategy = Some(StrategyRef::GroupJoinBuild);
+        op.exports.push(Artifact {
+            kind: ArtifactKind::ValueMask,
+            table: e.parent.clone(),
+            rows,
+            scope: Scope::Plan,
+        });
+    }
+    ops.push(op);
+    Ok(())
+}
+
+fn lower_multijoin_agg(
+    db: &Database,
+    plan: &PhysicalPlan,
+    fact: &str,
+    fact_filter: Option<&Expr>,
+    edges: &[JoinEdge],
+    aggs: &[AggSpec],
+) -> Result<Program, PlanError> {
+    let fact_decl = table_decl(db, fact)?;
+    let fact_rows = fact_decl.rows;
+    let mut tables = vec![fact_decl];
+    let mut fks = Vec::new();
+    let mut ops = Vec::new();
+    for e in edges {
+        lower_join_build(db, fact, e, true, &mut tables, &mut fks, &mut ops)?;
+    }
+    let mut probe_op = Op::new(
+        &format!("multijoin-agg({fact})"),
+        "/multijoin-agg/probe",
+        fact,
+        fact_rows,
+    );
+    if let Some(f) = fact_filter {
+        probe_op.exprs.push(BoundExpr {
+            role: ExprRole::Predicate,
+            expr: lower_expr(f),
+        });
+    }
+    probe_op.exprs.extend(agg_inputs(aggs));
+    // The probe narrows a tile selection vector edge-by-edge; its access
+    // signature is the selection-vector semijoin probe's, whichever
+    // membership structure each edge gathers into.
+    let first_strategy = edges
+        .first()
+        .map(|e| e.strategy)
+        .unwrap_or(SemiJoinStrategy::Hash);
+    probe_op.strategy = Some(StrategyRef::SemiJoinProbe {
+        strategy: first_strategy,
+        probe_masked: false,
+    });
+    probe_op.cost_terms = cost_term_names(plan);
+    for e in edges {
+        probe_op.imports.push(Import {
+            kind: match e.strategy {
+                SemiJoinStrategy::Hash => ArtifactKind::KeySet,
+                SemiJoinStrategy::PositionalBitmap(_) => ArtifactKind::PositionalBitmap,
+            },
+            table: e.parent.clone(),
+            via_fk: Some(FkRef {
+                child: fact.to_string(),
+                fk_col: e.fk_col.clone(),
+                parent: e.parent.clone(),
+            }),
+        });
+    }
+    probe_op.locals.push(tile_mask_artifact(fact));
+    probe_op.locals.push(Artifact {
+        kind: ArtifactKind::SelectionVector,
+        table: fact.to_string(),
+        rows: TILE,
+        scope: Scope::Tile,
+    });
+    probe_op.allocs.push(Alloc {
+        site: "worker-scratch".to_string(),
+        charged: true,
+    });
+    ops.push(probe_op);
+    Ok(Program {
+        tables,
+        fks,
+        ops,
         tile_rows: TILE,
     })
 }

@@ -25,6 +25,18 @@ struct Regime {
     window: Option<WindowStrategy>,
 }
 
+impl Regime {
+    fn overrides(&self) -> StrategyOverrides {
+        StrategyOverrides {
+            agg: self.agg,
+            semijoin: self.semijoin,
+            groupjoin: self.groupjoin,
+            window: self.window,
+            ..StrategyOverrides::default()
+        }
+    }
+}
+
 const REGIMES: [Regime; 3] = [
     // Let the Fig. 2 cost models choose.
     Regime {
@@ -229,24 +241,86 @@ fn tpch_queries() -> Vec<(String, String)> {
     ]
 }
 
-/// Verify every query of one corpus under one (threads, regime) engine.
+/// Multi-way join queries over the TPC-H graph: 3/4/5-relation stars and
+/// chains through `orders -> customer`, with per-table filters.
+fn multijoin_queries() -> Vec<(String, String)> {
+    [
+        (
+            "mj-star3",
+            "select sum(lineitem.l_extendedprice) as revenue, count(*) as n \
+             from lineitem, orders, supplier \
+             where lineitem.l_orderkey = orders.rowid \
+               and lineitem.l_suppkey = supplier.rowid \
+               and orders.o_orderdate < 9000 and supplier.s_nationkey < 12",
+        ),
+        (
+            "mj-star4",
+            "select sum(lineitem.l_extendedprice) as revenue \
+             from lineitem, orders, supplier, part \
+             where lineitem.l_orderkey = orders.rowid \
+               and lineitem.l_suppkey = supplier.rowid \
+               and lineitem.l_partkey = part.rowid \
+               and lineitem.l_quantity < 30 and orders.o_orderdate < 9000 \
+               and supplier.s_nationkey < 12 and part.p_size < 25",
+        ),
+        (
+            "mj-chain3",
+            "select sum(lineitem.l_extendedprice) as revenue, min(lineitem.l_quantity) as q \
+             from lineitem, orders, customer \
+             where lineitem.l_orderkey = orders.rowid \
+               and orders.o_custkey = customer.rowid \
+               and customer.c_nationkey < 10",
+        ),
+        (
+            "mj-mixed5",
+            "select sum(lineitem.l_extendedprice) as revenue, count(*) as n, \
+                    max(lineitem.l_discount) as d \
+             from lineitem, orders, supplier, part, customer \
+             where lineitem.l_orderkey = orders.rowid \
+               and lineitem.l_suppkey = supplier.rowid \
+               and lineitem.l_partkey = part.rowid \
+               and orders.o_custkey = customer.rowid \
+               and lineitem.l_shipdate < 9500 and orders.o_orderdate < 9200 \
+               and supplier.s_nationkey < 15 and part.p_size < 30 \
+               and customer.c_nationkey < 18",
+        ),
+        (
+            "mj-star4-empty-build",
+            "select sum(lineitem.l_extendedprice) as revenue \
+             from lineitem, orders, supplier, part \
+             where lineitem.l_orderkey = orders.rowid \
+               and lineitem.l_suppkey = supplier.rowid \
+               and lineitem.l_partkey = part.rowid \
+               and supplier.s_nationkey < 0",
+        ),
+    ]
+    .into_iter()
+    .map(|(n, q)| (n.to_string(), q.to_string()))
+    .collect()
+}
+
+/// The direct fact edges shared by every 4+-relation query above, used by
+/// the pinned join-order regimes (`customer` hangs off `orders`, so it is
+/// not a direct edge and never appears in an order pin).
+const STAR4_ORDERS: [(&str, [&str; 3]); 2] = [
+    ("pin-ops", ["orders", "part", "supplier"]),
+    ("pin-spo", ["supplier", "part", "orders"]),
+];
+
+/// Verify every query of one corpus under one engine configuration.
 /// Returns the number of failures.
 fn verify_corpus(
     corpus: &str,
     db: Database,
     queries: &[(String, String)],
     threads: usize,
-    regime: &Regime,
+    regime_name: &str,
+    overrides: StrategyOverrides,
 ) -> usize {
     let engine = Engine::builder(db)
         .threads(threads)
         .verify(VerifyLevel::Full)
-        .strategies(StrategyOverrides {
-            agg: regime.agg,
-            semijoin: regime.semijoin,
-            groupjoin: regime.groupjoin,
-            window: regime.window,
-        })
+        .strategies(overrides)
         .build();
 
     let mut failures = 0;
@@ -254,10 +328,7 @@ fn verify_corpus(
         let plan = match parse_sql(sql) {
             Ok(parsed) => parsed.plan,
             Err(e) => {
-                println!(
-                    "FAIL {corpus}/{name} t={threads} {}: parse error: {e}",
-                    regime.name
-                );
+                println!("FAIL {corpus}/{name} t={threads} {regime_name}: parse error: {e}");
                 failures += 1;
                 continue;
             }
@@ -266,17 +337,13 @@ fn verify_corpus(
             Ok(report) => {
                 assert_eq!(report.level, VerifyLevel::Full);
                 println!(
-                    "ok   {corpus}/{name} t={threads} regime={} ({} ops, {} passes)",
-                    regime.name,
+                    "ok   {corpus}/{name} t={threads} regime={regime_name} ({} ops, {} passes)",
                     report.ops,
                     report.lines.len(),
                 );
             }
             Err(e) => {
-                println!(
-                    "FAIL {corpus}/{name} t={threads} regime={}: {e}",
-                    regime.name
-                );
+                println!("FAIL {corpus}/{name} t={threads} regime={regime_name}: {e}");
                 failures += 1;
             }
         }
@@ -287,13 +354,59 @@ fn verify_corpus(
 fn main() {
     let micro_queries = micro_queries();
     let tpch_queries = tpch_queries();
+    let multijoin_queries = multijoin_queries();
+    // The 4+-relation queries, which all share the same direct edge set —
+    // the domain of the pinned join-order regimes.
+    let star4_queries: Vec<(String, String)> = multijoin_queries
+        .iter()
+        .filter(|(n, _)| n.contains("star4") || n.contains("mixed5"))
+        .cloned()
+        .collect();
     let mut failures = 0;
     let mut plans = 0;
     for threads in THREAD_COUNTS {
         for regime in &REGIMES {
-            failures += verify_corpus("micro", micro_db(), &micro_queries, threads, regime);
-            failures += verify_corpus("tpch", tpch_db(), &tpch_queries, threads, regime);
-            plans += micro_queries.len() + tpch_queries.len();
+            failures += verify_corpus(
+                "micro",
+                micro_db(),
+                &micro_queries,
+                threads,
+                regime.name,
+                regime.overrides(),
+            );
+            failures += verify_corpus(
+                "tpch",
+                tpch_db(),
+                &tpch_queries,
+                threads,
+                regime.name,
+                regime.overrides(),
+            );
+            failures += verify_corpus(
+                "multijoin",
+                tpch_db(),
+                &multijoin_queries,
+                threads,
+                regime.name,
+                regime.overrides(),
+            );
+            plans += micro_queries.len() + tpch_queries.len() + multijoin_queries.len();
+        }
+        // Join-order regime dimension: pin the probe order (and one build
+        // side) and confirm every pinned plan still verifies at Full.
+        for (name, order) in STAR4_ORDERS {
+            let overrides = StrategyOverrides::default()
+                .join_order(order.iter().map(|s| s.to_string()).collect())
+                .build_side("supplier", SemiJoinStrategy::Hash);
+            failures += verify_corpus(
+                "multijoin",
+                tpch_db(),
+                &star4_queries,
+                threads,
+                name,
+                overrides,
+            );
+            plans += star4_queries.len();
         }
     }
     println!();
@@ -302,9 +415,10 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "verify_corpus: all {plans} plans verified at {:?} across {} thread counts x {} regimes",
+        "verify_corpus: all {plans} plans verified at {:?} across {} thread counts x {} strategy regimes + {} join-order regimes",
         VerifyLevel::Full,
         THREAD_COUNTS.len(),
         REGIMES.len(),
+        STAR4_ORDERS.len(),
     );
 }

@@ -85,6 +85,23 @@ fn q1_lite_groupby_golden() {
     );
 }
 
+/// Multi-way star + chain join: the report must carry the probe order
+/// with its enumeration method (`dp`), one edge line per build side with
+/// estimated vs observed cardinality, and the per-edge build/probe
+/// operator counters.
+#[test]
+fn multijoin_star_chain_golden() {
+    assert_golden(
+        "multijoin_explain_analyze",
+        "explain analyze select sum(lineitem.l_quantity) as q, count(*) as n \
+         from lineitem, orders, part, supplier, customer \
+         where lineitem.l_orderkey = orders.rowid and lineitem.l_partkey = part.rowid \
+           and lineitem.l_suppkey = supplier.rowid and orders.o_custkey = customer.rowid \
+           and orders.o_orderdate < 9204 and part.p_size < 30 \
+           and supplier.s_nationkey < 15 and customer.c_nationkey < 12",
+    );
+}
+
 const WINDOW_SQL: &str = "select l_orderkey, \
      row_number() over (partition by l_returnflag order by l_orderkey) as rn, \
      sum(l_quantity) over (partition by l_returnflag order by l_orderkey) as rq \

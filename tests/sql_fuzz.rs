@@ -26,12 +26,16 @@ impl Lcg {
     }
 }
 
-const VALID: [&str; 4] = [
+const VALID: [&str; 6] = [
     "select sum(a * b) as s, count(*) as n from R where x < 60 and y = 1",
     "select c, sum(a) as s from R where x between 5 and 90 group by c",
     "select sum(case when f in ('x', 'y') then a else 0 end) as s from R \
      where not (x >= 10 or y < 3)",
     "select sum(R.a) as s from R, S where R.fk = S.rowid and S.y < 50",
+    "select sum(F.v) as s, count(*) as n from F, A, B \
+     where F.a = A.rowid and F.b = B.rowid and A.x < 10 and B.y < 20",
+    "select max(F.v) as m from F, A, B, C, D where F.a = A.rowid \
+     and F.b = B.rowid and F.c = C.rowid and C.d = D.rowid and D.z = 4",
 ];
 
 /// Vocabulary covering every token class plus junk the lexer must reject.
@@ -154,22 +158,41 @@ fn corpus_queries_parse() {
 // conformance harness, with `.slt` emission on failure.
 // ---------------------------------------------------------------------------
 
-/// A structurally valid random query over the conformance fixture's `T`
-/// table, kept as parts so minimization can drop clauses independently.
+/// A structurally valid random query over the conformance fixture, kept
+/// as parts so minimization can drop clauses (and join tables)
+/// independently. Single-table shapes use `T`; join shapes use the
+/// `fact`/`dim*` star-and-chain fixture.
 #[derive(Clone)]
 struct GenQuery {
     items: Vec<String>,
+    /// FROM list; the first table is the base (fact) table.
+    from: Vec<String>,
+    /// Join conjuncts (`child.fk = parent.rowid`), one per non-base table.
+    joins: Vec<String>,
     predicate: Option<String>,
     group_by: Option<String>,
     order_by: Option<String>,
     limit: Option<usize>,
 }
 
+/// Whether a SQL fragment references a table by qualified name.
+fn mentions(fragment: &str, table: &str) -> bool {
+    fragment.contains(&format!("{table}."))
+}
+
 impl GenQuery {
     fn render(&self) -> String {
-        let mut sql = format!("select {} from T", self.items.join(", "));
+        let mut sql = format!(
+            "select {} from {}",
+            self.items.join(", "),
+            self.from.join(", ")
+        );
+        let mut conjuncts = self.joins.clone();
         if let Some(p) = &self.predicate {
-            sql.push_str(&format!(" where {p}"));
+            conjuncts.push(p.clone());
+        }
+        if !conjuncts.is_empty() {
+            sql.push_str(&format!(" where {}", conjuncts.join(" and ")));
         }
         if let Some(g) = &self.group_by {
             sql.push_str(&format!(" group by {g}"));
@@ -186,6 +209,33 @@ impl GenQuery {
     /// Structurally simpler variants, most aggressive first.
     fn reductions(&self) -> Vec<GenQuery> {
         let mut out = Vec::new();
+        // Drop one non-base join table: its conjuncts go with it, and any
+        // table left unreferenced (a grandparent whose link vanished) is
+        // pruned too, so the graph stays connected.
+        for i in 1..self.from.len() {
+            let mut q = self.clone();
+            let mut gone = vec![q.from.remove(i)];
+            q.joins.retain(|j| !mentions(j, &gone[0]));
+            let base = q.from[0].clone();
+            let joins = q.joins.clone();
+            q.from.retain(|t| {
+                let keep = *t == base || joins.iter().any(|j| mentions(j, t));
+                if !keep {
+                    gone.push(t.clone());
+                }
+                keep
+            });
+            // Join-shape predicates are plain `and`-joined single-table
+            // atoms, so conjuncts over dropped tables split off cleanly.
+            if let Some(p) = &q.predicate {
+                let kept: Vec<&str> = p
+                    .split(" and ")
+                    .filter(|c| !gone.iter().any(|t| mentions(c, t)))
+                    .collect();
+                q.predicate = (!kept.is_empty()).then(|| kept.join(" and "));
+            }
+            out.push(q);
+        }
         if self.items.len() > 1 {
             for i in 0..self.items.len() {
                 let mut q = self.clone();
@@ -235,8 +285,76 @@ fn gen_predicate(rng: &mut Lcg) -> String {
     }
 }
 
+/// A 3–5 table star/chain join over `fact`/`dim1..dim4` with scalar
+/// aggregates. Multi-table WHERE conjuncts must each be a qualified
+/// single-table atom, so per-table filters combine with `and` only.
+fn gen_join_query(rng: &mut Lcg) -> GenQuery {
+    const DIRECT: [(&str, &str); 3] = [
+        ("dim1", "fact.f_d1 = dim1.rowid"),
+        ("dim2", "fact.f_d2 = dim2.rowid"),
+        ("dim3", "fact.f_d3 = dim3.rowid"),
+    ];
+    let mut from = vec!["fact".to_string()];
+    let mut joins = Vec::new();
+    let n_direct = 2 + rng.next(2);
+    let start = rng.next(DIRECT.len());
+    for i in 0..n_direct {
+        let (t, j) = DIRECT[(start + i) % DIRECT.len()];
+        from.push(t.to_string());
+        joins.push(j.to_string());
+    }
+    if from.iter().any(|t| t == "dim2") && rng.next(2) == 0 {
+        from.push("dim4".to_string());
+        joins.push("dim2.d2_fk = dim4.rowid".to_string());
+    }
+    let mut filters = Vec::new();
+    for t in &from {
+        if rng.next(2) == 0 {
+            let col = match t.as_str() {
+                "fact" => "fact.f_x",
+                "dim1" => "dim1.d1_v",
+                "dim2" => "dim2.d2_v",
+                "dim3" => "dim3.d3_v",
+                _ => "dim4.d4_v",
+            };
+            filters.push(format!("{col} < {}", 10 + rng.next(90)));
+        }
+    }
+    let aggs = [
+        "sum(fact.f_v)",
+        "count(*)",
+        "min(fact.f_v)",
+        "max(fact.f_v)",
+    ];
+    let n = 1 + rng.next(3);
+    let items = (0..n)
+        .map(|i| format!("{} as a{i}", aggs[rng.next(aggs.len())]))
+        .collect();
+    GenQuery {
+        items,
+        from,
+        joins,
+        predicate: (!filters.is_empty()).then(|| filters.join(" and ")),
+        group_by: None,
+        order_by: None,
+        limit: None,
+    }
+}
+
 fn gen_query(rng: &mut Lcg) -> GenQuery {
-    let shape = rng.next(3);
+    let shape = rng.next(4);
+    if shape == 3 {
+        return gen_join_query(rng);
+    }
+    let single = |items, predicate, group_by, order_by, limit| GenQuery {
+        items,
+        from: vec!["T".to_string()],
+        joins: Vec::new(),
+        predicate,
+        group_by,
+        order_by,
+        limit,
+    };
     let predicate = (rng.next(3) != 0).then(|| gen_predicate(rng));
     match shape {
         // Scalar / grouped aggregation.
@@ -251,13 +369,13 @@ fn gen_query(rng: &mut Lcg) -> GenQuery {
             for i in 0..n {
                 items.push(format!("{} as a{i}", aggs[rng.next(aggs.len())]));
             }
-            GenQuery {
+            single(
                 items,
                 predicate,
-                group_by: grouped.then(|| "g".to_string()),
-                order_by: (rng.next(2) == 0).then(|| "a0 desc".to_string()),
-                limit: (rng.next(2) == 0).then(|| 1 + rng.next(20)),
-            }
+                grouped.then(|| "g".to_string()),
+                (rng.next(2) == 0).then(|| "a0 desc".to_string()),
+                (rng.next(2) == 0).then(|| 1 + rng.next(20)),
+            )
         }
         // Window functions sharing one OVER clause.
         1 => {
@@ -272,22 +390,22 @@ fn gen_query(rng: &mut Lcg) -> GenQuery {
             for i in 0..n {
                 items.push(format!("{} over {over} as w{i}", fns[rng.next(fns.len())]));
             }
-            GenQuery {
+            single(
                 items,
                 predicate,
-                group_by: None,
-                order_by: Some("k".to_string()),
-                limit: (rng.next(2) == 0).then(|| 5 + rng.next(40)),
-            }
+                None,
+                Some("k".to_string()),
+                (rng.next(2) == 0).then(|| 5 + rng.next(40)),
+            )
         }
         // Bare projection.
-        _ => GenQuery {
-            items: vec!["k".to_string(), "v".to_string()],
+        _ => single(
+            vec!["k".to_string(), "v".to_string()],
             predicate,
-            group_by: None,
-            order_by: (rng.next(2) == 0).then(|| "v, k".to_string()),
-            limit: (rng.next(2) == 0).then(|| 1 + rng.next(30)),
-        },
+            None,
+            (rng.next(2) == 0).then(|| "v, k".to_string()),
+            (rng.next(2) == 0).then(|| 1 + rng.next(30)),
+        ),
     }
 }
 

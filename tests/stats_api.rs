@@ -1,0 +1,123 @@
+//! The statistics subsystem's typed API surface: [`Engine::table_stats`],
+//! [`EngineBuilder::stats`] / [`StatsMode`], and the statistics shortcut
+//! that answers unfiltered COUNT/MIN/MAX lists from the catalog snapshot
+//! without scanning.
+
+use swole::plan::{interp, parse_sql};
+use swole::prelude::*;
+
+fn make_db() -> Database {
+    let mut db = Database::new();
+    db.add_table(
+        Table::new("T")
+            .with_column("v", ColumnData::I32(vec![5, -3, 12, 7, -3, 40, 0, 11]))
+            .with_column("g", ColumnData::I8(vec![0, 1, 0, 1, 0, 1, 0, 1])),
+    );
+    db
+}
+
+#[test]
+fn table_stats_reflects_the_stats_mode() {
+    let on = Engine::builder(make_db()).build();
+    assert_eq!(on.stats_mode(), StatsMode::OnLoad, "OnLoad is the default");
+    let stats = on
+        .table_stats("T")
+        .expect("known table")
+        .expect("OnLoad collects at build time");
+    assert_eq!(stats.rows, 8);
+    let v = stats.column("v").expect("v is profiled");
+    assert_eq!((v.min, v.max), (-3, 40));
+    assert!(v.ndv >= 6, "v has 7 distinct values, estimate {}", v.ndv);
+
+    let off = Engine::builder(make_db()).stats(StatsMode::Off).build();
+    assert_eq!(off.stats_mode(), StatsMode::Off);
+    assert!(
+        off.table_stats("T").expect("known table").is_none(),
+        "Off mode collects nothing"
+    );
+
+    assert!(
+        on.table_stats("nope").is_err(),
+        "unknown tables are typed errors, not None"
+    );
+}
+
+#[test]
+fn stats_shortcut_skips_the_scan() {
+    let engine = Engine::builder(make_db()).verify(VerifyLevel::Full).build();
+    let plan = parse_sql("select count(*) as n, min(v) as mn, max(v) as mx from T")
+        .expect("parses")
+        .plan;
+    let truth = interp::run(&make_db(), &plan).expect("oracle executes");
+    let got = engine.query(&plan).expect("shortcut query executes");
+    assert_eq!(got.rows, truth.rows);
+    assert_eq!(got.rows, vec![vec![8, -3, 40]]);
+
+    let ex = engine.explain_analyze(&plan).expect("explain analyze");
+    assert!(
+        ex.decisions.iter().any(|d| d.contains("scan skipped")),
+        "decision trail must record the shortcut: {:?}",
+        ex.decisions
+    );
+    let ops = &ex.analyze.expect("analyze metrics").operators;
+    assert!(
+        ops.iter().any(|o| o.name == "stats-shortcut"),
+        "shortcut execution reports its own operator: {:?}",
+        ops.iter().map(|o| o.name.clone()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn stats_shortcut_declines_filters_sums_and_off_mode() {
+    let truth_db = make_db();
+    for (sql, why) in [
+        ("select count(*) as n from T where v > 0", "a filter"),
+        ("select sum(v) as s from T", "a SUM"),
+        ("select g, count(*) as n from T group by g", "a group-by"),
+    ] {
+        let engine = Engine::builder(make_db()).verify(VerifyLevel::Full).build();
+        let plan = parse_sql(sql).expect("parses").plan;
+        let ex = engine.explain(&plan).expect("explain");
+        assert!(
+            !ex.decisions.iter().any(|d| d.contains("scan skipped")),
+            "{why} must decline the shortcut: {:?}",
+            ex.decisions
+        );
+        let got = engine.query(&plan).expect("executes");
+        let truth = interp::run(&truth_db, &plan).expect("oracle executes");
+        assert_eq!(got.rows, truth.rows, "{why}: scan path matches oracle");
+    }
+
+    let off = Engine::builder(make_db())
+        .stats(StatsMode::Off)
+        .verify(VerifyLevel::Full)
+        .build();
+    let plan = parse_sql("select count(*) as n from T").expect("parses").plan;
+    let ex = off.explain(&plan).expect("explain");
+    assert!(
+        !ex.decisions.iter().any(|d| d.contains("scan skipped")),
+        "Off mode has no snapshot to answer from"
+    );
+    assert_eq!(off.query(&plan).expect("executes").rows, vec![vec![8]]);
+}
+
+#[test]
+fn adaptive_mode_is_selectable_and_correct() {
+    let engine = Engine::builder(make_db())
+        .stats(StatsMode::Adaptive)
+        .verify(VerifyLevel::Full)
+        .build();
+    assert_eq!(engine.stats_mode(), StatsMode::Adaptive);
+    let plan = parse_sql("select sum(v) as s from T where v > 0")
+        .expect("parses")
+        .plan;
+    let truth = interp::run(&make_db(), &plan).expect("oracle executes");
+    // EXPLAIN ANALYZE feeds observed selectivities back into the snapshot;
+    // the re-planned query must still be exact.
+    engine.explain_analyze(&plan).expect("analyze run");
+    assert_eq!(engine.query(&plan).expect("executes").rows, truth.rows);
+    assert!(engine
+        .table_stats("T")
+        .expect("known table")
+        .is_some_and(|s| s.rows == 8));
+}
