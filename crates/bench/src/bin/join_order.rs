@@ -138,7 +138,11 @@ fn synthetic_profile(n: usize, fact_rows: usize) -> JoinGraphProfile {
 
 fn main() {
     let opts = parse_args();
-    let (n_fact, reps) = if opts.smoke { (200_000, 3) } else { (2_000_000, 5) };
+    let (n_fact, reps) = if opts.smoke {
+        (200_000, 3)
+    } else {
+        (2_000_000, 5)
+    };
     let threads = 8usize;
     let plan = parse_sql(SQL).expect("bench SQL parses").plan;
 
@@ -146,8 +150,8 @@ fn main() {
     let mut per_order = Vec::new();
     let mut baseline: Option<QueryResult> = None;
     for order in ORDERS {
-        let overrides = StrategyOverrides::default()
-            .join_order(order.iter().map(|s| s.to_string()).collect());
+        let overrides =
+            StrategyOverrides::default().join_order(order.iter().map(|s| s.to_string()).collect());
         let engine = Engine::builder(make_db(4242, n_fact))
             .threads(threads)
             .strategies(overrides)
@@ -202,7 +206,10 @@ fn main() {
         }
         let us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
         assert_eq!(sink, n_edges * iters, "enumerator returned a short order");
-        let method = choose_join_order(&params, &profile).method.name().to_string();
+        let method = choose_join_order(&params, &profile)
+            .method
+            .name()
+            .to_string();
         println!("plan  {n_edges} edges ({method:6}) {us:9.3} us/call");
         plan_times.push((n_edges, method, us));
     }
@@ -222,7 +229,11 @@ fn main() {
     writeln!(json, "  \"orders\": [").unwrap();
     for (i, (order, ms)) in per_order.iter().enumerate() {
         let comma = if i + 1 < per_order.len() { "," } else { "" };
-        writeln!(json, "    {{\"order\": \"{order}\", \"wall_ms\": {ms:.3}}}{comma}").unwrap();
+        writeln!(
+            json,
+            "    {{\"order\": \"{order}\", \"wall_ms\": {ms:.3}}}{comma}"
+        )
+        .unwrap();
     }
     writeln!(json, "  ],").unwrap();
     writeln!(
@@ -242,12 +253,7 @@ fn main() {
         worst.0, worst.1
     )
     .unwrap();
-    writeln!(
-        json,
-        "  \"speedup_dp_vs_worst\": {:.2},",
-        worst.1 / dp_ms
-    )
-    .unwrap();
+    writeln!(json, "  \"speedup_dp_vs_worst\": {:.2},", worst.1 / dp_ms).unwrap();
     writeln!(json, "  \"plan_time\": [").unwrap();
     for (i, (n, method, us)) in plan_times.iter().enumerate() {
         let comma = if i + 1 < plan_times.len() { "," } else { "" };

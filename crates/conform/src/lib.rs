@@ -53,7 +53,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use swole_plan::interp;
-use swole_plan::{parse_sql, Database, Engine, LogicalPlan, QueryResult, Value, VerifyLevel};
+use swole_plan::{
+    parse_sql, Database, Engine, LogicalPlan, QueryOptions, QueryResult, Value, VerifyLevel,
+};
 use swole_storage::{ColumnData, DictColumn, Table};
 
 /// One parsed conformance record.
@@ -68,9 +70,21 @@ pub struct Record {
     pub kind: RecordKind,
 }
 
-/// The two record kinds the harness understands.
+/// The record kinds the harness understands.
 #[derive(Debug, Clone)]
 pub enum RecordKind {
+    /// `control budget <bytes>` / `control budget off`: set (or clear) a
+    /// per-query memory budget for every *following* record in the file.
+    ///
+    /// The budget applies to the engine runners only — the interpreter
+    /// oracle has no admission layer, so budgeted records are compared
+    /// across the four engines and the oracle is skipped. This is how the
+    /// corpus pins admission-certificate behaviour (e.g. a plan whose
+    /// proven bound cannot fit is rejected with `BudgetInfeasible`).
+    Control {
+        /// `Some(bytes)` to impose a budget, `None` to clear it.
+        budget: Option<usize>,
+    },
     /// `statement ok` / `statement error [substring]`.
     Statement {
         /// The SQL text (possibly joined from multiple lines).
@@ -273,10 +287,14 @@ pub fn fixture_db() -> Database {
     db.add_table(Table::new("dim3").with_column("d3_v", ColumnData::I32(d3_v)));
     let d4_v: Vec<i32> = (0..32).map(|_| rng.below(100) as i32).collect();
     db.add_table(Table::new("dim4").with_column("d4_v", ColumnData::I32(d4_v)));
-    db.add_fk("fact", "f_d1", "dim1").expect("fact.f_d1 -> dim1 registers");
-    db.add_fk("fact", "f_d2", "dim2").expect("fact.f_d2 -> dim2 registers");
-    db.add_fk("fact", "f_d3", "dim3").expect("fact.f_d3 -> dim3 registers");
-    db.add_fk("dim2", "d2_fk", "dim4").expect("dim2.d2_fk -> dim4 registers");
+    db.add_fk("fact", "f_d1", "dim1")
+        .expect("fact.f_d1 -> dim1 registers");
+    db.add_fk("fact", "f_d2", "dim2")
+        .expect("fact.f_d2 -> dim2 registers");
+    db.add_fk("fact", "f_d3", "dim3")
+        .expect("fact.f_d3 -> dim3 registers");
+    db.add_fk("dim2", "d2_fk", "dim4")
+        .expect("dim2.d2_fk -> dim4 registers");
     db
 }
 
@@ -321,6 +339,21 @@ pub fn parse_script(text: &str) -> Result<Vec<Record>, String> {
         let at = i + 1;
         let words: Vec<&str> = line.split_whitespace().collect();
         match words.as_slice() {
+            ["control", "budget", value] => {
+                let budget = if *value == "off" {
+                    None
+                } else {
+                    Some(value.parse::<usize>().map_err(|_| {
+                        format!("line {at}: `control budget` takes a byte count or `off`")
+                    })?)
+                };
+                i += 1;
+                records.push(Record {
+                    line: at,
+                    prefix: std::mem::take(&mut prefix),
+                    kind: RecordKind::Control { budget },
+                });
+            }
             ["statement", rest @ ..] => {
                 let expect_error = match rest {
                     ["ok"] => None,
@@ -498,19 +531,36 @@ impl Harness {
         }
     }
 
-    /// Run one plan five ways. `Ok` holds the (verified bit-identical)
+    /// Run one plan five ways (four engine configurations plus the
+    /// interpreter oracle). `Ok` holds the (verified bit-identical)
     /// result; `Err` holds per-runner failure messages (uniform-error
     /// statements land here with an empty vector).
-    fn run_all_ways(&self, plan: &LogicalPlan) -> Result<QueryResult, Vec<String>> {
+    ///
+    /// An active `control budget` applies to the engines as a per-query
+    /// memory budget; the oracle has no admission layer, so budgeted
+    /// records compare the four engines only.
+    fn run_all_ways(
+        &self,
+        plan: &LogicalPlan,
+        budget: Option<usize>,
+    ) -> Result<QueryResult, Vec<String>> {
+        let opts = budget.map_or_else(QueryOptions::new, |b| QueryOptions::new().memory_budget(b));
         let mut outcomes: Vec<(&'static str, Result<QueryResult, String>)> = self
             .engines
             .iter()
-            .map(|(name, e)| (*name, e.query(plan).map_err(|err| err.to_string())))
+            .map(|(name, e)| {
+                (
+                    *name,
+                    e.query_with(plan, &opts).map_err(|err| err.to_string()),
+                )
+            })
             .collect();
-        outcomes.push((
-            "interp",
-            interp::run(&self.oracle_db, plan).map_err(|err| err.to_string()),
-        ));
+        if budget.is_none() {
+            outcomes.push((
+                "interp",
+                interp::run(&self.oracle_db, plan).map_err(|err| err.to_string()),
+            ));
+        }
 
         let errors: Vec<String> = outcomes
             .iter()
@@ -546,10 +596,12 @@ impl Harness {
     }
 
     /// Execute one record. Returns `Ok(actual_lines)` for queries (for
-    /// update mode), `Ok(empty)` for statements, `Err(message)` on failure.
-    fn run_record(&self, record: &Record) -> Result<Vec<String>, String> {
+    /// update mode), `Ok(empty)` for statements and controls,
+    /// `Err(message)` on failure.
+    fn run_record(&self, record: &Record, budget: Option<usize>) -> Result<Vec<String>, String> {
         let sql = match &record.kind {
             RecordKind::Statement { sql, .. } | RecordKind::Query { sql, .. } => sql,
+            RecordKind::Control { .. } => return Ok(Vec::new()),
         };
         let parsed = match parse_sql(sql) {
             Ok(p) => p,
@@ -575,9 +627,11 @@ impl Harness {
             return Err("placeholders are not allowed in conformance scripts".into());
         }
 
+        let opts = budget.map_or_else(QueryOptions::new, |b| QueryOptions::new().memory_budget(b));
         match &record.kind {
+            RecordKind::Control { .. } => unreachable!("controls return above"),
             RecordKind::Statement { expect_error, .. } => {
-                match (self.run_all_ways(&parsed.plan), expect_error) {
+                match (self.run_all_ways(&parsed.plan, budget), expect_error) {
                     (Ok(_), None) => Ok(Vec::new()),
                     (Ok(_), Some(_)) => Err("expected an error, every runner succeeded".into()),
                     (Err(msgs), None) if msgs.is_empty() => {
@@ -585,7 +639,10 @@ impl Harness {
                     }
                     (Err(msgs), Some(sub)) if msgs.is_empty() => {
                         // Uniform failure; check the substring on engine-t1.
-                        let err = self.engines[0].1.query(&parsed.plan).unwrap_err();
+                        let err = self.engines[0]
+                            .1
+                            .query_with(&parsed.plan, &opts)
+                            .unwrap_err();
                         if err.to_string().contains(sub.as_str()) {
                             Ok(Vec::new())
                         } else {
@@ -601,10 +658,13 @@ impl Harness {
                 expected,
                 ..
             } => {
-                let result = match self.run_all_ways(&parsed.plan) {
+                let result = match self.run_all_ways(&parsed.plan, budget) {
                     Ok(r) => r,
                     Err(msgs) if msgs.is_empty() => {
-                        let err = self.engines[0].1.query(&parsed.plan).unwrap_err();
+                        let err = self.engines[0]
+                            .1
+                            .query_with(&parsed.plan, &opts)
+                            .unwrap_err();
                         return Err(format!("query failed on every runner: {err}"));
                     }
                     Err(msgs) => return Err(msgs.join("; ")),
@@ -640,7 +700,7 @@ impl Harness {
         if parsed.explain.is_some() || !parsed.param_slots.is_empty() {
             return Err("EXPLAIN/placeholders are not differentially checkable".into());
         }
-        match self.run_all_ways(&parsed.plan) {
+        match self.run_all_ways(&parsed.plan, None) {
             Ok(result) => Ok(Some(result)),
             Err(msgs) if msgs.is_empty() => Ok(None),
             Err(msgs) => Err(msgs.join("; ")),
@@ -675,8 +735,12 @@ impl Harness {
         };
         let mut failures = Vec::new();
         let mut updated: Vec<Record> = Vec::new();
+        let mut budget: Option<usize> = None;
         for record in &records {
-            match self.run_record(record) {
+            if let RecordKind::Control { budget: b } = &record.kind {
+                budget = *b;
+            }
+            match self.run_record(record, budget) {
                 Ok(actual) => {
                     let mut r = record.clone();
                     if let RecordKind::Query { expected, .. } = &mut r.kind {
@@ -728,6 +792,10 @@ fn render_script(records: &[Record]) -> String {
             out.push('\n');
         }
         match &record.kind {
+            RecordKind::Control { budget } => match budget {
+                Some(b) => out.push_str(&format!("control budget {b}\n")),
+                None => out.push_str("control budget off\n"),
+            },
             RecordKind::Statement { sql, expect_error } => {
                 match expect_error {
                     None => out.push_str("statement ok\n"),

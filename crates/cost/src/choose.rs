@@ -744,7 +744,12 @@ mod tests {
         CostParams::default()
     }
 
-    fn edge(parent: &str, selectivity: f64, has_fk_index: bool, build_bytes: usize) -> JoinEdgeProfile {
+    fn edge(
+        parent: &str,
+        selectivity: f64,
+        has_fk_index: bool,
+        build_bytes: usize,
+    ) -> JoinEdgeProfile {
         JoinEdgeProfile {
             parent: parent.into(),
             selectivity,

@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use swole_verify::VerifyLevel;
+use swole_verify::{PlanCertificate, VerifyLevel};
 
 use crate::physical::PhysicalPlan;
 use swole_runtime::MemGauge;
@@ -120,6 +120,11 @@ struct CacheEntry {
     /// once per fingerprint: a hit at or below this level skips it, a hit
     /// above re-verifies and upgrades via [`PlanCache::note_verified`].
     verified: VerifyLevel,
+    /// Admission certificate derived from the same statistics generations
+    /// as `generations` — the generation check that invalidates the plan
+    /// therefore invalidates its certificate with it (the stale-stats
+    /// soundness edge).
+    certificate: Option<Arc<PlanCertificate>>,
 }
 
 /// Counters behind [`PlanCacheStats`].
@@ -153,8 +158,9 @@ pub struct PlanCacheStats {
 /// Result of a cache probe.
 pub(crate) enum CacheLookup {
     /// A valid entry: reuse its plan. Carries the strongest verification
-    /// level the plan has already passed.
-    Hit(Arc<PhysicalPlan>, VerifyLevel),
+    /// level the plan has already passed and the cached admission
+    /// certificate (valid because the generation check just passed).
+    Hit(Arc<PhysicalPlan>, VerifyLevel, Option<Arc<PlanCertificate>>),
     /// No usable entry; plan fresh. `drift_hint` carries the observed
     /// selectivity when the miss was caused by drift invalidation, so the
     /// re-plan can substitute measurement for estimation.
@@ -246,9 +252,10 @@ impl PlanCache {
         let entry = inner.entries.remove(idx);
         let plan = Arc::clone(&entry.plan);
         let verified = entry.verified;
+        let certificate = entry.certificate.clone();
         inner.entries.push(entry);
         inner.counters.hits += 1;
-        CacheLookup::Hit(plan, verified)
+        CacheLookup::Hit(plan, verified, certificate)
     }
 
     /// Non-mutating probe: would `lookup` hit? Used by `EXPLAIN` to report
@@ -274,11 +281,15 @@ impl PlanCache {
         snapshot: CostSnapshot,
         generations: Vec<(String, u64)>,
         verified: VerifyLevel,
+        certificate: Option<Arc<PlanCertificate>>,
     ) {
         if !self.enabled {
             return;
         }
-        let bytes = entry_bytes(&key, &plan, &snapshot);
+        let bytes = entry_bytes(&key, &plan, &snapshot)
+            + certificate
+                .as_ref()
+                .map_or(0, |c| 64 + c.per_op_bounds.len() * 96);
         let mut inner = self.lock();
         // Replace any existing entry for the key (e.g. a racing clone of the
         // engine planned the same statement).
@@ -302,6 +313,7 @@ impl PlanCache {
             bytes,
             stale: None,
             verified,
+            certificate,
         });
     }
 
@@ -480,6 +492,7 @@ mod tests {
             CostSnapshot::default(),
             gens(0),
             VerifyLevel::Off,
+            None,
         );
         assert!(matches!(cache.lookup("q1", &gens(0)), CacheLookup::Hit(..)));
         let stats = cache.stats();
@@ -495,6 +508,7 @@ mod tests {
             CostSnapshot::default(),
             gens(0),
             VerifyLevel::Off,
+            None,
         );
         assert!(matches!(
             cache.lookup("q1", &gens(1)),
@@ -511,7 +525,14 @@ mod tests {
             est_selectivity: Some(0.5),
             ..CostSnapshot::default()
         };
-        cache.insert("q1".into(), plan(), snapshot, gens(0), VerifyLevel::Off);
+        cache.insert(
+            "q1".into(),
+            plan(),
+            snapshot,
+            gens(0),
+            VerifyLevel::Off,
+            None,
+        );
         cache.observe("q1", 0.49); // within threshold: still a hit
         assert!(matches!(cache.lookup("q1", &gens(0)), CacheLookup::Hit(..)));
         cache.observe("q1", 0.05); // way off: stale
@@ -534,6 +555,7 @@ mod tests {
             CostSnapshot::default(),
             gens(0),
             VerifyLevel::Off,
+            None,
         );
         cache.insert(
             "b".into(),
@@ -541,6 +563,7 @@ mod tests {
             CostSnapshot::default(),
             gens(0),
             VerifyLevel::Off,
+            None,
         );
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
@@ -561,6 +584,7 @@ mod tests {
             CostSnapshot::default(),
             gens(0),
             VerifyLevel::Off,
+            None,
         );
         assert!(matches!(
             cache.lookup("a", &gens(0)),
@@ -611,6 +635,7 @@ mod tests {
             CostSnapshot::default(),
             gens(0),
             VerifyLevel::Off,
+            None,
         );
         assert!(cache.peek("a", &gens(0)));
         assert!(!cache.peek("a", &gens(9)));

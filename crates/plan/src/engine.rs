@@ -22,9 +22,9 @@ use crate::value::Value;
 use swole_bitmap::PositionalBitmap;
 use swole_cost::choose::{choose_agg_mt, choose_groupjoin_mt, choose_semijoin, sort_cost};
 use swole_cost::{
-    choose_join_order, join_order_cost, observed, AggProfile, AggStrategy, BitmapBuild,
-    CostParams, GroupJoinProfile, GroupJoinStrategy, JoinEdgeProfile, JoinGraphProfile,
-    JoinOrderMethod, SemiJoinProfile, SemiJoinStrategy, WindowProfile, WindowStrategy,
+    choose_join_order, join_order_cost, observed, AggProfile, AggStrategy, BitmapBuild, CostParams,
+    GroupJoinProfile, GroupJoinStrategy, JoinEdgeProfile, JoinGraphProfile, JoinOrderMethod,
+    SemiJoinProfile, SemiJoinStrategy, WindowProfile, WindowStrategy,
 };
 use swole_ht::{AggTable, KeySet, MergeOp};
 use swole_kernels::{predicate, selvec, tiles, tiles_in, AccessCounters, MORSEL_ROWS, TILE};
@@ -34,7 +34,9 @@ use swole_runtime::{
     MemoryPoolStats, Priority,
 };
 use swole_storage::{Date, Decimal, FkIndex, Table};
-use swole_verify::{VerifyLevel, VerifyReport};
+use swole_verify::{
+    BoundsCtx, ColumnProfile, PlanCertificate, TableProfile, VerifyLevel, VerifyReport,
+};
 
 /// Run `f` under panic isolation: a panic anywhere inside (submitter-side
 /// evaluation, merge code, or a worker payload re-thrown by the executor)
@@ -432,7 +434,11 @@ impl StrategyOverrides {
 
     /// Pin the membership structure for the multi-way join edge whose
     /// build side is `table`. Builder-style: composes with other pins.
-    pub fn build_side(mut self, table: impl Into<String>, s: SemiJoinStrategy) -> StrategyOverrides {
+    pub fn build_side(
+        mut self,
+        table: impl Into<String>,
+        s: SemiJoinStrategy,
+    ) -> StrategyOverrides {
         self.build_sides.push((table.into(), s));
         self
     }
@@ -1217,14 +1223,35 @@ impl Engine {
 
     /// EXPLAIN VERIFY: the decision report of [`Engine::explain`] with the
     /// `verification` section populated by a [`VerifyLevel::Full`] pass
-    /// over the composed plan (one summary line per pass).
+    /// over the composed plan (one summary line per pass) followed by the
+    /// plan's admission-certificate bound lines (peak memory, overflow-safe
+    /// arithmetic sites, and a per-operator bound breakdown).
     pub fn explain_verify(&self, plan: &LogicalPlan) -> Result<Explain, PlanError> {
         let db = self.inner.read_db();
         let physical = self.inner.plan_with(&db, plan, PlanHints::default())?;
         let report = crate::verify::verify_physical(&db, &physical, VerifyLevel::Full)?;
+        let fallback_bytes = plan_rows(&db, plan).saturating_mul(8) as u64;
+        let cert = self.inner.certificate_for(&db, &physical, fallback_bytes)?;
         let mut ex = self.inner.explain_for(&db, plan)?;
         ex.verification = report.lines.clone();
+        ex.verification.extend(cert.lines.iter().cloned());
         Ok(ex)
+    }
+
+    /// The admission certificate the engine would enforce for this query:
+    /// statically proven upper bounds on peak gauge memory, per-operator
+    /// output cardinality and bytes, and which arithmetic sites the value
+    /// range analysis proves cannot overflow.
+    ///
+    /// Plans fresh (without touching the cache) and certifies against the
+    /// current statistics snapshot; [`Engine::query`] enforces the same
+    /// bound at admission via [`AdmissionError::BudgetInfeasible`].
+    pub fn certificate(&self, plan: &LogicalPlan) -> Result<PlanCertificate, PlanError> {
+        let db = self.inner.read_db();
+        let physical = self.inner.plan_with(&db, plan, PlanHints::default())?;
+        let fallback_bytes = plan_rows(&db, plan).saturating_mul(8) as u64;
+        let cert = self.inner.certificate_for(&db, &physical, fallback_bytes)?;
+        Ok(cert.as_ref().clone())
     }
 
     /// Execute a physical plan under panic isolation and the session's
@@ -1370,18 +1397,25 @@ impl EngineInner {
 
     /// Plan through the session's cache: hits reuse the stored physical
     /// plan; misses plan fresh (honouring a drift hint, if the miss came
-    /// from drift invalidation) and insert. Returns the plan and its cache
-    /// key.
+    /// from drift invalidation) and insert. Returns the plan, its cache
+    /// key, and the plan's admission certificate.
+    ///
+    /// Every plan is certified regardless of the session's verify level:
+    /// the certificate gates admission, not verification. Certificates are
+    /// cached alongside the plan and share its invalidation — a table
+    /// generation bump evicts the entry, so a stale certificate can never
+    /// outlive the statistics it was derived from.
     pub(crate) fn plan_cached(
         &self,
         db: &Database,
         plan: &LogicalPlan,
         verify: VerifyLevel,
-    ) -> Result<(Arc<PhysicalPlan>, String), PlanError> {
+        fallback_bytes: u64,
+    ) -> Result<(Arc<PhysicalPlan>, String, Arc<PlanCertificate>), PlanError> {
         let key = self.cache_key(plan);
         let gens = table_generations(db, plan);
         match self.cache.lookup(&key, &gens) {
-            CacheLookup::Hit(physical, verified) => {
+            CacheLookup::Hit(physical, verified, certificate) => {
                 // The cached verdict travels with the plan: re-verify only
                 // when this call demands a stricter level than the one the
                 // entry was already checked at.
@@ -1389,22 +1423,125 @@ impl EngineInner {
                     crate::verify::verify_physical(db, &physical, verify)?;
                     self.cache.note_verified(&key, verify);
                 }
-                Ok((physical, key))
+                let cert = match certificate {
+                    Some(c) => c,
+                    None => self.certificate_for(db, &physical, fallback_bytes)?,
+                };
+                Ok((physical, key, cert))
             }
             CacheLookup::Miss { drift_hint } => {
                 let hints = PlanHints {
                     selectivity: drift_hint,
                 };
                 let physical = Arc::new(self.plan_with(db, plan, hints)?);
-                if verify > VerifyLevel::Off {
-                    crate::verify::verify_physical(db, &physical, verify)?;
-                }
+                let cert = if verify > VerifyLevel::Off {
+                    // Lower exactly once and run verification and the
+                    // bounds pass over the same program: the one-shot
+                    // uncharged-allocation fault must flow into the
+                    // program the verifier actually judges.
+                    let program = crate::verify::program_for(db, &physical)?;
+                    swole_verify::verify(&program, verify).map_err(PlanError::Verification)?;
+                    let ctx = self.bounds_ctx_for(db, &program, fallback_bytes);
+                    Arc::new(swole_verify::certify(&program, &ctx))
+                } else {
+                    self.certificate_for(db, &physical, fallback_bytes)?
+                };
                 let snapshot = self.snapshot_for(db, &physical.shape, drift_hint);
-                self.cache
-                    .insert(key.clone(), Arc::clone(&physical), snapshot, gens, verify);
-                Ok((physical, key))
+                self.cache.insert(
+                    key.clone(),
+                    Arc::clone(&physical),
+                    snapshot,
+                    gens,
+                    verify,
+                    Some(Arc::clone(&cert)),
+                );
+                Ok((physical, key, cert))
             }
         }
+    }
+
+    /// Derive the admission certificate for a composed plan via a
+    /// certification-only lowering (non-consuming with respect to the
+    /// uncharged-allocation verification fault).
+    pub(crate) fn certificate_for(
+        &self,
+        db: &Database,
+        physical: &PhysicalPlan,
+        fallback_bytes: u64,
+    ) -> Result<Arc<PlanCertificate>, PlanError> {
+        let program = crate::verify::program_for_certification(db, physical)?;
+        let ctx = self.bounds_ctx_for(db, &program, fallback_bytes);
+        Ok(Arc::new(swole_verify::certify(&program, &ctx)))
+    }
+
+    /// Assemble the abstract-interpretation context for the bounds pass:
+    /// the worker count the plan will actually run at, plus a statistics
+    /// profile (generation-fresh min/max and exact distinct counts) for
+    /// every table the lowered program references. With statistics off the
+    /// pass falls back to column-type domains.
+    fn bounds_ctx_for(
+        &self,
+        db: &Database,
+        program: &swole_verify::ir::Program,
+        fallback_bytes: u64,
+    ) -> BoundsCtx {
+        let workers = match &self.executor {
+            Executor::Scoped { threads } => *threads,
+            Executor::Pool(pool) => pool.workers(),
+        };
+        let mut ctx = BoundsCtx::without_stats(workers);
+        ctx.fallback_bytes = fallback_bytes;
+        for table in &program.tables {
+            let Some(s) = self.stats_for(db, &table.name) else {
+                continue;
+            };
+            let columns = s
+                .columns
+                .iter()
+                .map(|(name, c)| ColumnProfile {
+                    name: name.clone(),
+                    min: c.min,
+                    max: c.max,
+                    ndv: c.ndv_exact.then_some(c.ndv as u64),
+                })
+                .collect();
+            ctx.profiles.push(TableProfile {
+                table: table.name.clone(),
+                generation: s.generation,
+                columns,
+            });
+        }
+        ctx
+    }
+
+    /// Enforce the certificate at admission: if the statically proven peak
+    /// memory bound cannot fit the effective budget, reject *before* the
+    /// query occupies an admission slot or any worker starts. The
+    /// effective budget is the tighter of the per-query gauge budget and
+    /// the full global pool budget (the full pool, not the momentarily
+    /// remaining share — concurrent queries borrow and release, and a plan
+    /// that fits the pool is feasible even if it must wait).
+    fn check_budget_feasible(
+        &self,
+        memory_budget: Option<usize>,
+        cert: &PlanCertificate,
+    ) -> Result<(), PlanError> {
+        let global = self.global.as_ref().map(|g| g.stats().budget as u64);
+        let per_query = memory_budget.map(|b| b as u64);
+        let budget = match (per_query, global) {
+            (Some(q), Some(g)) => q.min(g),
+            (Some(q), None) => q,
+            (None, Some(g)) => g,
+            (None, None) => return Ok(()),
+        };
+        let bound = cert.peak_bytes_bound;
+        if bound > budget {
+            return Err(PlanError::Admission(AdmissionError::BudgetInfeasible {
+                bound,
+                budget,
+            }));
+        }
+        Ok(())
     }
 
     /// Session plan-cache key: the logical-plan fingerprint plus any
@@ -1481,8 +1618,17 @@ impl EngineInner {
         // the queue counts against it, and an expired waiter is rejected
         // without ever holding a slot.
         let deadline_at = r.deadline.map(|d| Instant::now() + d);
+        // The certificate's peak bound must cover the data-centric
+        // fallback's row-id vector: gauge charges are held to completion,
+        // so a failed primary plus the fallback can coexist on the gauge.
+        let fallback_bytes = plan_rows(db, plan).saturating_mul(8) as u64;
+        let (physical, cache_key, cert) = self.plan_cached(db, plan, r.verify, fallback_bytes)?;
+        // Admission-time enforcement: a plan whose proven bound cannot fit
+        // the budget is rejected *before* it occupies an admission slot or
+        // any worker starts, instead of failing mid-flight.
+        self.check_budget_feasible(r.memory_budget, &cert)?;
+        let bound = Some(cert.peak_bytes_bound);
         let _permit = self.admit(r.priority, deadline_at)?;
-        let (physical, cache_key) = self.plan_cached(db, plan, r.verify)?;
         let physical = &*physical;
         let ctx = self.exec_ctx(cancel, &r, deadline_at);
         gate.attach(&ctx);
@@ -1509,6 +1655,7 @@ impl EngineInner {
                         level,
                         0,
                         t0,
+                        bound,
                     );
                     Ok(res)
                 }
@@ -1523,6 +1670,18 @@ impl EngineInner {
             report.push(format!("{strategy}: probing, fallback circuit half-open"));
         }
         let primary = isolate(|| self.execute_shape(db, physical, &ctx, level));
+        // Value-range payoff: when the certificate proves every arithmetic
+        // site overflow-safe (accumulator magnitude x row count fits i64),
+        // a runtime overflow would be a soundness bug in the bounds pass,
+        // not a data error — debug builds trap the contradiction here.
+        if let Err(e) = &primary {
+            debug_assert!(
+                !(matches!(e, PlanError::Overflow(_)) && cert.all_sites_overflow_safe()),
+                "certificate proved all {} arithmetic site(s) overflow-safe, \
+                 yet execution overflowed: {e}",
+                cert.arith_sites,
+            );
+        }
         let (done, total) = ctx.progress();
         match primary {
             Ok((mut res, ops)) => {
@@ -1532,7 +1691,7 @@ impl EngineInner {
                     ctx.gauge.used()
                 ));
                 self.record_run(report);
-                self.attach_metrics(db, &mut res, physical, ops, &ctx, level, 0, t0);
+                self.attach_metrics(db, &mut res, physical, ops, &ctx, level, 0, t0, bound);
                 // Drift check: feed the measured selectivity back to the
                 // cache so a materially mis-estimated entry re-plans.
                 if level.counting() {
@@ -1575,6 +1734,7 @@ impl EngineInner {
                             level,
                             1,
                             t0,
+                            bound,
                         );
                         Ok(res)
                     }
@@ -1605,13 +1765,27 @@ impl EngineInner {
         let r = self.resolve(opts);
         let gate = self.lifecycle.enter()?;
         let deadline_at = r.deadline.map(|d| Instant::now() + d);
+        // Direct physical execution has no data-centric fallback, so the
+        // certificate carries no fallback reserve.
+        let cert = self.certificate_for(db, plan, 0)?;
+        self.check_budget_feasible(r.memory_budget, &cert)?;
         let _permit = self.admit(r.priority, deadline_at)?;
         let ctx = self.exec_ctx(cancel, &r, deadline_at);
         gate.attach(&ctx);
         let level = r.metrics;
         let t0 = level.timing().then(Instant::now);
         let (mut res, ops) = isolate(|| self.execute_shape(db, plan, &ctx, level))?;
-        self.attach_metrics(db, &mut res, plan, ops, &ctx, level, 0, t0);
+        self.attach_metrics(
+            db,
+            &mut res,
+            plan,
+            ops,
+            &ctx,
+            level,
+            0,
+            t0,
+            Some(cert.peak_bytes_bound),
+        );
         Ok(res)
     }
 
@@ -1736,6 +1910,7 @@ impl EngineInner {
         level: MetricsLevel,
         retries: u32,
         t0: Option<Instant>,
+        bound: Option<u64>,
     ) {
         if !level.counting() {
             return;
@@ -1747,6 +1922,7 @@ impl EngineInner {
             operators,
             retries,
             bytes_charged: ctx.gauge.used() as u64,
+            bytes_bound: bound,
             elapsed_nanos: t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
             predicted_cost,
             observed_cost,
@@ -1918,7 +2094,7 @@ impl EngineInner {
                 if let Some(first) = edges.first() {
                     let name = format!("multijoin-probe({})", first.parent);
                     if let Some(op) = ops.iter().find(|o| o.name == name) {
-                        if fact_t.len() > 0 {
+                        if !fact_t.is_empty() {
                             profile.fact_selectivity =
                                 op.access.rows_in as f64 / fact_t.len() as f64;
                         }
@@ -2123,9 +2299,7 @@ impl EngineInner {
                 // More than one join edge anywhere in the tree routes to the
                 // multi-way planner; the plain two-table shapes below stay in
                 // charge of single-edge queries.
-                if matches!(probe_core, LogicalPlan::SemiJoin { .. })
-                    || join_depth(build) > 0
-                {
+                if matches!(probe_core, LogicalPlan::SemiJoin { .. }) || join_depth(build) > 0 {
                     if let Some(g) = group_by.as_deref() {
                         return Err(PlanError::Unsupported(format!(
                             "group by {g} over a multi-way join"
@@ -3033,15 +3207,7 @@ impl EngineInner {
             } => {
                 let fact_t = db.table_arc(fact)?;
                 let bound = self.bind_join_edges(db, fact, edges)?;
-                exec_multijoin_agg(
-                    fact,
-                    &fact_t,
-                    fact_filter.as_ref(),
-                    &bound,
-                    aggs,
-                    opts,
-                    ctx,
-                )
+                exec_multijoin_agg(fact, &fact_t, fact_filter.as_ref(), &bound, aggs, opts, ctx)
             }
             Shape::GroupJoinAgg {
                 probe,
@@ -3229,7 +3395,7 @@ fn agg_comp_cols(aggs: &[AggSpec], group_by: Option<&str>) -> (f64, usize) {
 
 /// Total base-table rows a plan scans — the footprint estimate charged for
 /// the data-centric fallback's row-id bookkeeping.
-fn plan_rows(db: &Database, plan: &LogicalPlan) -> usize {
+pub(crate) fn plan_rows(db: &Database, plan: &LogicalPlan) -> usize {
     match plan {
         LogicalPlan::Scan { table } => db.table(table).map(|t| t.len()).unwrap_or(0),
         LogicalPlan::Filter { input, .. } => plan_rows(db, input),
@@ -3288,7 +3454,9 @@ fn join_depth(plan: &LogicalPlan) -> usize {
 /// the merged filter over the base's own columns, and the edges hanging
 /// off the base (each recursively carrying its own chain edges). Nodes
 /// other than scan/filter/semijoin are unsupported.
-fn extract_join_tree(plan: &LogicalPlan) -> Result<(String, Option<Expr>, Vec<RawEdge>), PlanError> {
+fn extract_join_tree(
+    plan: &LogicalPlan,
+) -> Result<(String, Option<Expr>, Vec<RawEdge>), PlanError> {
     match plan {
         LogicalPlan::Filter { input, predicate } => {
             let (table, filter, edges) = extract_join_tree(input)?;
@@ -3701,6 +3869,11 @@ fn exec_scalar_agg(
     } else {
         Vec::new()
     };
+    // Provably-safe site: the bounds pass's value-range analysis covers
+    // exactly this accumulator (`AggInput` lowering). When the input
+    // column's statistics bound `|value| * rows` within i64, the site is
+    // counted in `PlanCertificate::overflow_safe_sites` and this branch is
+    // statically unreachable — `query_leveled` debug-asserts that.
     let (acc, _, overflow) = merge_scalar_partials(aggs, partials)?;
     if overflow {
         return Err(PlanError::Overflow(format!(
@@ -4249,7 +4422,7 @@ fn edge_parent_mask(
         }
     }
     if opts.level.counting() {
-        let mut op = OpMetrics::named(&format!("multijoin-build({})", e.parent));
+        let mut op = OpMetrics::named(format!("multijoin-build({})", e.parent));
         op.access.rows_in = e.parent_t.len() as u64;
         if e.parent_filter.is_some() {
             op.access.predicate_evals = e.parent_t.len() as u64;
@@ -4390,7 +4563,8 @@ fn exec_multijoin_agg(
             }
             for (start, len) in tiles_in(m_start, m_len) {
                 tile_mask(fact_filter, &fact, start, &mut w.s.cmp[..len]);
-                let mut k = selvec::fill_nobranch(&w.s.cmp[..len], start as u32, &mut w.s.idx[..len]);
+                let mut k =
+                    selvec::fill_nobranch(&w.s.cmp[..len], start as u32, &mut w.s.idx[..len]);
                 let filtered = k;
                 for (ei, side) in sides.iter().enumerate() {
                     if k == 0 {
@@ -4462,7 +4636,7 @@ fn exec_multijoin_agg(
     if counting {
         let probe_nanos = probe_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
         for (ei, e) in edges.iter().enumerate() {
-            let mut op = OpMetrics::named(&format!("multijoin-probe({})", e.parent));
+            let mut op = OpMetrics::named(format!("multijoin-probe({})", e.parent));
             for p in &partials {
                 op.access.rows_in += p.edge_in[ei];
                 op.access.rows_out += p.edge_out[ei];
@@ -4471,7 +4645,7 @@ fn exec_multijoin_agg(
             op.wall_nanos = probe_nanos;
             op_list.push(op);
         }
-        let mut agg_op = OpMetrics::named(&format!("multijoin-agg({fact_name})"));
+        let mut agg_op = OpMetrics::named(format!("multijoin-agg({fact_name})"));
         for p in &partials {
             agg_op.access.merge(&p.s.ctr);
         }
@@ -4972,4 +5146,114 @@ fn exec_window(
         },
         op.into_iter().collect(),
     ))
+}
+
+#[cfg(test)]
+mod bounds_drift_tests {
+    //! Drift guard between the bounds pass's sizing formulas
+    //! ([`swole_verify::bounds::sizing`]) and the engine's actual charge
+    //! sites. The certificate's soundness argument (DESIGN.md §15) rests on
+    //! the formulas *dominating* what execution charges — if someone
+    //! resizes a scratch buffer or changes a hash-table growth policy
+    //! without touching the verifier, these tests fail before the
+    //! end-to-end soundness harness does.
+
+    use super::{GroupAcc, GroupJoinAcc, ScalarAcc};
+    use swole_ht::{AggTable, KeySet};
+    use swole_kernels::TILE;
+    use swole_verify::bounds::sizing;
+
+    #[test]
+    fn scratch_formulas_match_engine_accumulators() {
+        for n_aggs in 1..=8usize {
+            assert_eq!(
+                sizing::scalar_scratch(TILE as u64, n_aggs as u64),
+                ScalarAcc::scratch_bytes(n_aggs) as u64,
+                "scalar scratch drifted at n_aggs={n_aggs}"
+            );
+            assert_eq!(
+                sizing::group_scratch(TILE as u64, n_aggs as u64),
+                GroupAcc::scratch_bytes(n_aggs) as u64,
+                "group scratch drifted at n_aggs={n_aggs}"
+            );
+            assert_eq!(
+                sizing::groupjoin_scratch(TILE as u64, n_aggs as u64),
+                GroupJoinAcc::scratch_bytes(n_aggs) as u64,
+                "groupjoin scratch drifted at n_aggs={n_aggs}"
+            );
+        }
+    }
+
+    #[test]
+    fn agg_table_formula_matches_initial_capacity() {
+        for n_aggs in [1usize, 2, 5] {
+            for expected in [0u64, 1, 4, 16, 63, 64, 65, 1000] {
+                let t = AggTable::with_capacity(n_aggs, expected as usize);
+                let cap = sizing::agg_table_cap0(expected);
+                assert_eq!(t.capacity() as u64, cap, "cap0 drifted at {expected}");
+                assert_eq!(
+                    t.size_bytes() as u64,
+                    sizing::agg_table_bytes(cap, n_aggs as u64),
+                    "size drifted at expected={expected} n_aggs={n_aggs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agg_table_growth_stays_under_grown_cap_bound() {
+        // The bound must dominate the *final* table size after any number
+        // of doubling grows, including the throwaway NULL entry.
+        for n_aggs in [1usize, 3] {
+            for expected in [4u64, 64] {
+                for keys in [1u64, 10, 100, 500, 3000] {
+                    let mut t = AggTable::with_capacity(n_aggs, expected as usize);
+                    for k in 0..keys {
+                        let off = t.entry(k as i64);
+                        t.add(off, 0, 1);
+                    }
+                    let cap0 = sizing::agg_table_cap0(expected);
+                    let bound =
+                        sizing::agg_table_bytes(sizing::grown_cap(cap0, keys), n_aggs as u64);
+                    assert!(
+                        (t.size_bytes() as u64) <= bound,
+                        "grown table {} B exceeds bound {bound} B \
+                         (expected={expected}, keys={keys}, n_aggs={n_aggs})",
+                        t.size_bytes()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_set_growth_stays_under_bound() {
+        // The semijoin build sizes its KeySet at `n/2 + 4` expected keys
+        // and may insert up to every one of the n build rows.
+        for n in [0u64, 5, 100, 1000, 5000] {
+            let mut ks = KeySet::with_capacity((n / 2 + 4) as usize);
+            for k in 0..n {
+                ks.insert(k as i64);
+            }
+            let bound = sizing::key_set_bytes(n);
+            assert!(
+                (ks.size_bytes() as u64) <= bound,
+                "key set {} B exceeds bound {bound} B at n={n}",
+                ks.size_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn bitmap_formula_matches_positional_bitmap_charge() {
+        use swole_bitmap::PositionalBitmap;
+        for rows in [0u64, 1, 63, 64, 65, 4096, 5000] {
+            let bm = PositionalBitmap::new(rows as usize);
+            assert_eq!(
+                bm.size_bytes() as u64,
+                sizing::bitmap_bytes(rows),
+                "bitmap size drifted at rows={rows}"
+            );
+        }
+    }
 }

@@ -51,8 +51,7 @@ mod verify;
 pub use cache::{FallbackBreakerStats, PlanCacheStats};
 pub use catalog::Database;
 pub use engine::{
-    Engine, EngineBuilder, Explain, JoinEdgeExplain, QueryResult, ShutdownReport,
-    StrategyOverrides,
+    Engine, EngineBuilder, Explain, JoinEdgeExplain, QueryResult, ShutdownReport, StrategyOverrides,
 };
 pub use error::PlanError;
 pub use expr::{AggFunc, CmpOp, Expr};
@@ -68,5 +67,7 @@ pub use stats::{ColumnStats, StatsMode, TableStats};
 pub use swole_runtime::{
     AdmissionConfig, AdmissionError, ExecHandle, MemGauge, MemoryPolicy, MemoryPoolStats, Priority,
 };
-pub use swole_verify::{VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport};
+pub use swole_verify::{
+    OpBounds, PlanCertificate, VerifyError, VerifyErrorKind, VerifyLevel, VerifyReport,
+};
 pub use value::{Params, Value};

@@ -123,6 +123,10 @@ pub struct QueryMetrics {
     pub retries: u32,
     /// Peak bytes charged to the query's memory gauge.
     pub bytes_charged: u64,
+    /// The plan certificate's statically proven peak-memory bound, when a
+    /// certificate was derived. Soundness invariant (asserted by the
+    /// conformance harness): `bytes_charged <= bytes_bound`.
+    pub bytes_bound: Option<u64>,
     /// End-to-end wall-clock nanoseconds ([`MetricsLevel::Timings`] only).
     pub elapsed_nanos: u64,
     /// The cost model's predicted cycles for the strategy that ran.
@@ -169,6 +173,11 @@ impl QueryMetrics {
         s.push_str(&self.retries.to_string());
         s.push_str(",\"bytes_charged\":");
         s.push_str(&self.bytes_charged.to_string());
+        s.push_str(",\"bytes_bound\":");
+        match self.bytes_bound {
+            Some(b) => s.push_str(&b.to_string()),
+            None => s.push_str("null"),
+        }
         s.push_str(",\"elapsed_nanos\":");
         s.push_str(&self.elapsed_nanos.to_string());
         s.push_str(",\"predicted_cost\":");
@@ -291,6 +300,9 @@ impl fmt::Display for QueryMetrics {
             "\n    retries: {}, bytes charged: {}",
             self.retries, self.bytes_charged
         )?;
+        if let Some(bound) = self.bytes_bound {
+            write!(f, ", bytes bound: {bound}")?;
+        }
         if self.elapsed_nanos > 0 {
             write!(f, "\n    elapsed: {} ns", self.elapsed_nanos)?;
         }

@@ -317,11 +317,7 @@ impl Shape {
                 } else {
                     ""
                 },
-                edges
-                    .iter()
-                    .map(render_edge)
-                    .collect::<Vec<_>>()
-                    .join(", "),
+                edges.iter().map(render_edge).collect::<Vec<_>>().join(", "),
             ),
             Shape::GroupJoinAgg {
                 probe,
@@ -368,10 +364,7 @@ impl Shape {
 
 /// Total edges in a join forest, nested chains included.
 pub(crate) fn count_edges(edges: &[JoinEdge]) -> usize {
-    edges
-        .iter()
-        .map(|e| 1 + count_edges(&e.children))
-        .sum()
+    edges.iter().map(|e| 1 + count_edges(&e.children)).sum()
 }
 
 /// One edge as `fk -> parent[strategy]( <children> )`.

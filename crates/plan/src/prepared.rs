@@ -126,7 +126,8 @@ impl PreparedStatement {
             let inner = engine.inner();
             let db = inner.read_db();
             let verify = defaults.verify.unwrap_or_else(|| inner.verify_level());
-            inner.plan_cached(&db, plan, verify)?;
+            let fallback_bytes = crate::engine::plan_rows(&db, plan).saturating_mul(8) as u64;
+            inner.plan_cached(&db, plan, verify, fallback_bytes)?;
         }
         Ok(PreparedStatement {
             engine: engine.clone(),

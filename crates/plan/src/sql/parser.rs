@@ -1168,7 +1168,10 @@ fn bind(q: Query) -> Result<ParsedQuery, SqlError> {
                 ));
             }
             let predicate = q.predicate.clone().ok_or_else(|| {
-                fail("multi-table queries need join conditions of the form child.fk = parent.rowid".into())
+                fail(
+                    "multi-table queries need join conditions of the form child.fk = parent.rowid"
+                        .into(),
+                )
             })?;
             let mut parts = Vec::new();
             conjuncts(predicate, &mut parts);

@@ -15,8 +15,8 @@
 use swole_kernels::TILE;
 use swole_storage::DataType;
 use swole_verify::ir::{
-    Alloc, Artifact, ArtifactKind, BoundExpr, ColType, ColumnDecl, ExprRole, FkDecl, FkRef, Import,
-    Op, Program, Scope, StrategyRef, TableDecl, VExpr,
+    Alloc, ArithOp, Artifact, ArtifactKind, BoundExpr, ColType, ColumnDecl, ExprRole, FkDecl,
+    FkRef, Import, Op, Program, Scope, StrategyRef, TableDecl, VExpr,
 };
 use swole_verify::{VerifyLevel, VerifyReport};
 
@@ -39,9 +39,31 @@ pub(crate) fn verify_physical(
     swole_verify::verify(&program, level).map_err(PlanError::Verification)
 }
 
-/// Lower a composed physical plan into the verification IR.
+/// Lower a composed physical plan into the verification IR (consuming an
+/// armed uncharged-allocation fault, which verification is expected to
+/// catch). Use [`program_for_certification`] for bounds-only lowerings.
 pub(crate) fn program_for(db: &Database, plan: &PhysicalPlan) -> Result<Program, PlanError> {
-    let fault_uncharged = faults::take_uncharged_alloc();
+    program_for_with(db, plan, true)
+}
+
+/// Lower a plan for certification only. Does *not* consume an armed
+/// uncharged-allocation fault: a `VerifyLevel::Off` session certifies every
+/// plan for admission, but must stay invisible to the fault — the fault is
+/// a verification probe, and tests rely on an Off-level query leaving it
+/// armed for a later explicit `verify_plan` call.
+pub(crate) fn program_for_certification(
+    db: &Database,
+    plan: &PhysicalPlan,
+) -> Result<Program, PlanError> {
+    program_for_with(db, plan, false)
+}
+
+fn program_for_with(
+    db: &Database,
+    plan: &PhysicalPlan,
+    consume_fault: bool,
+) -> Result<Program, PlanError> {
+    let fault_uncharged = consume_fault && faults::take_uncharged_alloc();
     let mut program = match &plan.shape {
         Shape::ScanAgg {
             table,
@@ -108,6 +130,7 @@ pub(crate) fn program_for(db: &Database, plan: &PhysicalPlan) -> Result<Program,
             partition_by,
             order_by,
             funcs,
+            select,
             strategy,
             ..
         } => lower_window_scan(
@@ -118,6 +141,7 @@ pub(crate) fn program_for(db: &Database, plan: &PhysicalPlan) -> Result<Program,
             partition_by.as_deref(),
             order_by,
             funcs,
+            select,
             *strategy,
         )?,
     };
@@ -183,12 +207,13 @@ fn table_decl(db: &Database, name: &str) -> Result<TableDecl, PlanError> {
 fn lower_expr(e: &Expr) -> VExpr {
     match e {
         Expr::Col(c) => VExpr::Col(c.clone()),
-        Expr::Lit(_) => VExpr::Lit,
+        Expr::Lit(v) => VExpr::Lit(*v),
         Expr::Param(i) => VExpr::Param(*i),
         Expr::Cmp(_, a, b) => VExpr::Cmp(vec![lower_expr(a), lower_expr(b)]),
-        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
-            VExpr::Arith(vec![lower_expr(a), lower_expr(b)])
-        }
+        Expr::Add(a, b) => VExpr::Arith(ArithOp::Add, vec![lower_expr(a), lower_expr(b)]),
+        Expr::Sub(a, b) => VExpr::Arith(ArithOp::Sub, vec![lower_expr(a), lower_expr(b)]),
+        Expr::Mul(a, b) => VExpr::Arith(ArithOp::Mul, vec![lower_expr(a), lower_expr(b)]),
+        Expr::Div(a, b) => VExpr::Arith(ArithOp::Div, vec![lower_expr(a), lower_expr(b)]),
         Expr::And(a, b) | Expr::Or(a, b) => VExpr::Bool(vec![lower_expr(a), lower_expr(b)]),
         Expr::Not(a) => VExpr::Bool(vec![lower_expr(a)]),
         Expr::Like { col, .. } | Expr::InList { col, .. } => VExpr::DictPredicate(col.clone()),
@@ -261,6 +286,7 @@ fn lower_scan_agg(
         });
     }
     op.strategy = Some(StrategyRef::Agg { strategy, grouped });
+    op.n_aggs = Some(aggs.len());
     op.cost_terms = cost_term_names(plan);
     // Every strategy evaluates the predicate into the tile-scoped `cmp`
     // mask; hybrid compacts it into a tile selection vector, grouped key
@@ -317,6 +343,7 @@ fn lower_window_scan(
     partition_by: Option<&str>,
     order_by: &[SortKey],
     funcs: &[WindowFnSpec],
+    select: &[String],
     strategy: WindowStrategy,
 ) -> Result<Program, PlanError> {
     let decl = table_decl(db, table)?;
@@ -347,6 +374,10 @@ fn lower_window_scan(
         });
     }
     op.strategy = Some(StrategyRef::Window { strategy });
+    // Phase 2 materializes one column per partition key, order key,
+    // projected column, and function input — exactly what execution charges.
+    op.mat_cols = Some(1 + order_by.len() + select.len() + funcs.len());
+    op.n_aggs = Some(funcs.len());
     op.cost_terms = cost_term_names(plan);
     op.locals.push(tile_mask_artifact(table));
     op.locals.push(Artifact {
@@ -488,6 +519,7 @@ fn lower_semijoin_agg(
         strategy,
         probe_masked,
     });
+    probe_op.n_aggs = Some(aggs.len());
     probe_op.imports.push(Import {
         kind: import_kind,
         table: build.to_string(),
@@ -672,6 +704,7 @@ fn lower_multijoin_agg(
         strategy: first_strategy,
         probe_masked: false,
     });
+    probe_op.n_aggs = Some(aggs.len());
     probe_op.cost_terms = cost_term_names(plan);
     for e in edges {
         probe_op.imports.push(Import {
@@ -762,6 +795,7 @@ fn lower_groupjoin_agg(
         expr: VExpr::Col(fk_col.to_string()),
     });
     probe_op.strategy = Some(StrategyRef::GroupJoin(strategy));
+    probe_op.n_aggs = Some(aggs.len());
     probe_op.cost_terms = cost_term_names(plan);
     probe_op.imports.push(Import {
         kind: ArtifactKind::ValueMask,

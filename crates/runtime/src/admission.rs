@@ -75,6 +75,17 @@ pub enum AdmissionError {
     /// The engine is shutting down and no longer admits queries. Not
     /// retryable against this server instance.
     Shutdown,
+    /// The plan's statically proven peak-memory bound exceeds the budget
+    /// that would govern it, so execution could only end in a mid-flight
+    /// `BudgetExceeded`; the query is rejected before queueing instead.
+    /// Not retryable without raising the budget or shrinking the query.
+    BudgetInfeasible {
+        /// Proven peak bytes the plan can charge (its certificate bound).
+        bound: u64,
+        /// Effective budget in bytes (the tighter of the per-query limit
+        /// and the global memory pool).
+        budget: u64,
+    },
 }
 
 impl fmt::Display for AdmissionError {
@@ -102,6 +113,11 @@ impl fmt::Display for AdmissionError {
             AdmissionError::Shutdown => {
                 write!(f, "the engine is shutting down and admits no new queries")
             }
+            AdmissionError::BudgetInfeasible { bound, budget } => write!(
+                f,
+                "proven plan memory bound {bound} B exceeds the available \
+                 budget {budget} B"
+            ),
         }
     }
 }

@@ -1,0 +1,1023 @@
+//! Pass 5 (certification): abstract interpretation over the verification IR.
+//!
+//! Where passes 1–4 check that a lowered [`Program`] is *well-formed* (columns
+//! exist, artifacts are domain-sized, allocation sites charge the gauge), this
+//! pass computes *how much* the plan can charge: a sound per-operator upper
+//! bound on rows, bytes, and hash-table growth, folded into a
+//! [`PlanCertificate`] the engine can compare against a memory budget before
+//! the query is admitted.
+//!
+//! Two abstract domains drive the analysis:
+//!
+//! - A **cardinality domain** over operator outputs: scalar aggregates
+//!   produce one row, grouped aggregates at most `min(rows, ndv(key))` groups
+//!   (exact NDV from a fresh statistics snapshot when available, the scanned
+//!   row count otherwise), semijoin/multijoin probes one row, window scans at
+//!   most their input rows. Every materialized artifact and hash-table
+//!   capacity is a monotone function of these cardinalities and the table
+//!   domains declared in the IR, so the bytes bound is a closed-form
+//!   evaluation — no fixpoint is needed (the IR is a DAG in execution order).
+//! - An **interval domain** over expression values: each [`VExpr`] node is
+//!   evaluated to a `[lo, hi]` interval (column statistics when fresh, the
+//!   column type's domain otherwise), with the *widening rule* that any
+//!   arithmetic result escaping the `i64` range is widened to ⊤ (the full
+//!   `i64` range) and the site recorded as not provably overflow-safe.
+//!   Aggregate inputs additionally model the accumulator: a sum over at most
+//!   `rows` values of magnitude `m` is provably safe iff `rows · m ≤ i64::MAX`.
+//!
+//! Soundness argument: every byte bound here mirrors a charge site in the
+//! engine (`crates/plan/src/engine.rs`) with the operator's row count, worker
+//! count, and hash-table growth discipline substituted by their maxima, and
+//! each formula is checked against the kernel sizing functions by a
+//! drift-guard test in the engine crate. Charges are never released
+//! mid-query, so the sum of per-operator bounds dominates the gauge peak.
+
+use std::fmt;
+
+use swole_cost::{BitmapBuild, SemiJoinStrategy};
+
+use crate::ir::{
+    ArithOp, BoundExpr, ColType, ExprRole, Op, Program, StrategyRef, TableDecl, VExpr,
+};
+
+// ---------------------------------------------------------------------------
+// Inputs: statistics profiles
+// ---------------------------------------------------------------------------
+
+/// Value-range and distinct-count facts about one column, taken from a
+/// *fresh* statistics snapshot. `min`/`max` are exact by the statistics
+/// contract; `ndv` is present only when the distinct count is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Exact minimum value (dictionary columns: minimum code).
+    pub min: i64,
+    /// Exact maximum value (dictionary columns: maximum code).
+    pub max: i64,
+    /// Exact number of distinct values, when known exactly.
+    pub ndv: Option<u64>,
+}
+
+/// Fresh per-table statistics handed to the bounds pass. The caller is
+/// responsible for freshness: a profile must describe the same table
+/// generation the certificate will be cached under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableProfile {
+    /// Table name.
+    pub table: String,
+    /// Generation of the table contents the profile describes.
+    pub generation: u64,
+    /// Per-column facts.
+    pub columns: Vec<ColumnProfile>,
+}
+
+impl TableProfile {
+    fn column(&self, name: &str) -> Option<&ColumnProfile> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+/// Everything the bounds pass needs beyond the [`Program`] itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundsCtx {
+    /// Maximum workers that can run the plan's morsels concurrently
+    /// (scoped executor: the per-query thread count; pool: the pool size).
+    pub workers: usize,
+    /// Fresh statistics profiles for the program's tables. Tables without a
+    /// profile fall back to their declared domains (type ranges, row counts).
+    pub profiles: Vec<TableProfile>,
+    /// Bytes the data-centric fallback interpreter would charge on a retry
+    /// (the engine charges `plan_rows * 8` up front; charges from the failed
+    /// primary attempt are *not* released first, so the peak bound must
+    /// reserve for both).
+    pub fallback_bytes: u64,
+}
+
+impl BoundsCtx {
+    /// A context with no statistics: every bound falls back to table
+    /// domains and type ranges.
+    #[must_use]
+    pub fn without_stats(workers: usize) -> BoundsCtx {
+        BoundsCtx {
+            workers,
+            profiles: Vec::new(),
+            fallback_bytes: 0,
+        }
+    }
+
+    fn profile(&self, table: &str) -> Option<&TableProfile> {
+        self.profiles.iter().find(|p| p.table == table)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+/// Per-operator slice of the certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpBounds {
+    /// Operator name.
+    pub op: String,
+    /// Plan-path provenance.
+    pub path: String,
+    /// Rows the operator scans.
+    pub rows_scanned: u64,
+    /// Upper bound on the operator's output cardinality.
+    pub out_rows_bound: u64,
+    /// Bytes charged once per plan (masks, bitmaps, selection vectors,
+    /// materialized window columns, sort permutations).
+    pub plan_bytes_bound: u64,
+    /// Bytes charged per worker (tile scratch), already multiplied by the
+    /// worker count.
+    pub worker_bytes_bound: u64,
+    /// Hash-table bytes including the growth discipline's worst case
+    /// (initial capacity doubled until the key bound fits), across workers.
+    pub ht_bytes_bound: u64,
+    /// Arithmetic sites (operators + aggregate accumulators) examined.
+    pub arith_sites: u32,
+    /// Of those, sites the interval analysis proves cannot overflow `i64`.
+    pub overflow_safe_sites: u32,
+}
+
+impl OpBounds {
+    /// Total bytes this operator can charge.
+    #[must_use]
+    pub fn bytes_bound(&self) -> u64 {
+        self.plan_bytes_bound
+            .saturating_add(self.worker_bytes_bound)
+            .saturating_add(self.ht_bytes_bound)
+    }
+}
+
+impl fmt::Display for OpBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: rows<={}, out<={}, bytes<={} (plan {} + worker {} + ht {}), overflow-safe {}/{}",
+            self.path,
+            self.rows_scanned,
+            self.out_rows_bound,
+            self.bytes_bound(),
+            self.plan_bytes_bound,
+            self.worker_bytes_bound,
+            self.ht_bytes_bound,
+            self.overflow_safe_sites,
+            self.arith_sites,
+        )
+    }
+}
+
+/// The typed certificate attached to every verified plan: a sound upper
+/// bound on what execution can charge the memory gauge, plus the overflow
+/// verdicts of the value-range analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanCertificate {
+    /// Peak bytes the query can charge, including the data-centric fallback
+    /// reserve (a failed primary attempt's charges are not released before
+    /// the fallback charges its own).
+    pub peak_bytes_bound: u64,
+    /// Peak bytes of the primary (composed-kernel) attempt alone.
+    pub primary_bytes_bound: u64,
+    /// Fallback interpreter reserve folded into `peak_bytes_bound`.
+    pub fallback_bytes: u64,
+    /// Per-operator breakdown, in execution order.
+    pub per_op_bounds: Vec<OpBounds>,
+    /// Arithmetic sites examined across all operators.
+    pub arith_sites: u32,
+    /// Sites proven unable to overflow `i64`.
+    pub overflow_safe_sites: u32,
+    /// Worker count the bounds were computed for.
+    pub workers: u64,
+    /// `(table, generation)` pairs of the statistics snapshots consulted —
+    /// the certificate is valid only while every listed generation is
+    /// current (the plan cache enforces this with the same generation check
+    /// that invalidates cached plans).
+    pub stats_generations: Vec<(String, u64)>,
+    /// Human-readable summary lines for `EXPLAIN VERIFY`.
+    pub lines: Vec<String>,
+}
+
+impl PlanCertificate {
+    /// `true` when every bound is finite (no saturation to `u64::MAX`).
+    /// The corpus CI gate requires this for every supported plan.
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.peak_bytes_bound < u64::MAX
+    }
+
+    /// `true` when every arithmetic site in the plan is proven safe.
+    #[must_use]
+    pub fn all_sites_overflow_safe(&self) -> bool {
+        self.overflow_safe_sites == self.arith_sites
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interval domain
+// ---------------------------------------------------------------------------
+
+/// A closed interval over `i64` values, carried in `i128` so single-step
+/// arithmetic on in-range endpoints can never wrap. Invariant: after every
+/// operation the interval is widened back into the `i64` range (⊤), so
+/// nested expressions stay single-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Iv {
+    lo: i128,
+    hi: i128,
+}
+
+const I64_LO: i128 = i64::MIN as i128;
+const I64_HI: i128 = i64::MAX as i128;
+const TOP: Iv = Iv {
+    lo: I64_LO,
+    hi: I64_HI,
+};
+const BOOL: Iv = Iv { lo: 0, hi: 1 };
+
+impl Iv {
+    fn point(v: i64) -> Iv {
+        Iv {
+            lo: v as i128,
+            hi: v as i128,
+        }
+    }
+
+    fn range(lo: i64, hi: i64) -> Iv {
+        Iv {
+            lo: lo.min(hi) as i128,
+            hi: lo.max(hi) as i128,
+        }
+    }
+
+    fn hull(self, other: Iv) -> Iv {
+        Iv {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    fn fits_i64(self) -> bool {
+        self.lo >= I64_LO && self.hi <= I64_HI
+    }
+
+    /// Widening: clamp an out-of-range result to ⊤. Returns the widened
+    /// interval and whether widening was needed (the overflow verdict).
+    fn widen(self) -> (Iv, bool) {
+        if self.fits_i64() {
+            (self, true)
+        } else {
+            (TOP, false)
+        }
+    }
+
+    fn max_abs(self) -> i128 {
+        self.lo.abs().max(self.hi.abs())
+    }
+}
+
+/// One arithmetic step over exact `i128` endpoints. Endpoints are within the
+/// `i64` range by the widening invariant, so none of these can wrap `i128`.
+fn arith(op: ArithOp, a: Iv, b: Iv) -> (Iv, bool) {
+    match op {
+        ArithOp::Add => Iv {
+            lo: a.lo + b.lo,
+            hi: a.hi + b.hi,
+        }
+        .widen(),
+        ArithOp::Sub => Iv {
+            lo: a.lo - b.hi,
+            hi: a.hi - b.lo,
+        }
+        .widen(),
+        ArithOp::Mul => {
+            let corners = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+            Iv {
+                lo: *corners.iter().min().expect("non-empty"),
+                hi: *corners.iter().max().expect("non-empty"),
+            }
+            .widen()
+        }
+        ArithOp::Div => {
+            // A divisor interval containing zero means a runtime
+            // divide-by-zero is possible: not provably safe, result ⊤.
+            if b.lo <= 0 && b.hi >= 0 {
+                return (TOP, false);
+            }
+            // i64::MIN / -1 is the one non-zero-divisor overflow.
+            if a.lo == I64_LO && b.lo <= -1 && b.hi >= -1 {
+                return (TOP, false);
+            }
+            let corners = [a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi];
+            Iv {
+                lo: *corners.iter().min().expect("non-empty"),
+                hi: *corners.iter().max().expect("non-empty"),
+            }
+            .widen()
+        }
+    }
+}
+
+/// Tally of arithmetic sites walked and how many were proven safe.
+#[derive(Debug, Clone, Copy, Default)]
+struct SiteTally {
+    sites: u32,
+    safe: u32,
+}
+
+/// Evaluate `expr` to an interval, recording an overflow verdict per
+/// arithmetic node into `tally`.
+fn eval_expr(
+    expr: &VExpr,
+    decl: Option<&TableDecl>,
+    profile: Option<&TableProfile>,
+    tally: &mut SiteTally,
+) -> Iv {
+    match expr {
+        VExpr::Lit(v) => Iv::point(*v),
+        VExpr::Param(_) => TOP,
+        VExpr::Col(name) => column_interval(name, decl, profile),
+        // Predicate-shaped nodes evaluate to 0/1 regardless of operands;
+        // their operand sub-trees are still walked for arithmetic sites.
+        VExpr::DictPredicate(_) => BOOL,
+        VExpr::Cmp(children) | VExpr::Bool(children) => {
+            for c in children {
+                eval_expr(c, decl, profile, tally);
+            }
+            BOOL
+        }
+        VExpr::Case(children) => {
+            // Lowered CASE is [when, then, otherwise]: the value is the hull
+            // of the branch values; the condition contributes only sites.
+            if let [when, then, otherwise] = children.as_slice() {
+                eval_expr(when, decl, profile, tally);
+                let t = eval_expr(then, decl, profile, tally);
+                let o = eval_expr(otherwise, decl, profile, tally);
+                t.hull(o)
+            } else {
+                for c in children {
+                    eval_expr(c, decl, profile, tally);
+                }
+                TOP
+            }
+        }
+        VExpr::Arith(op, children) => {
+            tally.sites += 1;
+            let mut it = children.iter();
+            let Some(first) = it.next() else {
+                tally.safe += 1;
+                return Iv::point(0);
+            };
+            let mut acc = eval_expr(first, decl, profile, tally);
+            let mut safe = true;
+            for c in it {
+                let rhs = eval_expr(c, decl, profile, tally);
+                let (next, step_safe) = arith(*op, acc, rhs);
+                acc = next;
+                safe &= step_safe;
+            }
+            if safe {
+                tally.safe += 1;
+            }
+            acc
+        }
+    }
+}
+
+fn column_interval(name: &str, decl: Option<&TableDecl>, profile: Option<&TableProfile>) -> Iv {
+    if let Some(c) = profile.and_then(|p| p.column(name)) {
+        return Iv::range(c.min, c.max);
+    }
+    match decl.and_then(|d| d.col_type(name)) {
+        Some(ColType::U32) => Iv {
+            lo: 0,
+            hi: u32::MAX as i128,
+        },
+        _ => TOP,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sizing formulas (mirror swole_kernels + engine charge sites; the engine
+// crate carries a drift-guard test comparing these against the real sizing
+// functions)
+// ---------------------------------------------------------------------------
+
+fn next_pow2(x: u64) -> u64 {
+    x.max(1).checked_next_power_of_two().unwrap_or(u64::MAX)
+}
+
+/// `AggTable::with_capacity` initial capacity for an expected key count.
+fn agg_table_cap0(expected: u64) -> u64 {
+    next_pow2(expected.max(4).saturating_mul(2))
+}
+
+/// Final capacity after growth: the table doubles whenever
+/// `(len + 1) * 2 > cap`, so `keys` occupants force capacity to the first
+/// power of two at or above `2 * keys + 2` (never shrinking below `cap0`).
+fn grown_cap(cap0: u64, keys: u64) -> u64 {
+    cap0.max(next_pow2(keys.saturating_mul(2).saturating_add(2)))
+}
+
+/// `AggTable::size_bytes` at a given capacity.
+fn agg_table_bytes(cap: u64, n_aggs: u64) -> u64 {
+    cap.saturating_mul(8)
+        .saturating_add(
+            cap.saturating_add(1)
+                .saturating_mul(n_aggs)
+                .saturating_mul(8),
+        )
+        .saturating_add(cap)
+}
+
+/// Total `KeySet` charge for up to `n` inserted keys: initial capacity for
+/// an expected `n/2 + 4`, grown until `n` occupants fit.
+fn key_set_bytes(n: u64) -> u64 {
+    let cap0 = agg_table_cap0(n / 2 + 4);
+    grown_cap(cap0, n).saturating_mul(8)
+}
+
+/// `ScalarAcc::scratch_bytes`: tile cmp mask + selection vector + value
+/// buffer, plus one accumulator per aggregate.
+fn scalar_scratch(tile: u64, n_aggs: u64) -> u64 {
+    tile.saturating_mul(1 + 4 + 8)
+        .saturating_add(n_aggs.saturating_mul(8))
+}
+
+/// `GroupAcc::scratch_bytes`: scalar scratch plus the tile key buffer and
+/// per-lane aggregate staging.
+fn group_scratch(tile: u64, n_aggs: u64) -> u64 {
+    tile.saturating_mul(1 + 4 + 8 + 8)
+        .saturating_add(n_aggs.saturating_mul(8).saturating_mul(tile))
+}
+
+/// `GroupJoinAcc::scratch_bytes`: per-lane aggregate staging only.
+fn groupjoin_scratch(tile: u64, n_aggs: u64) -> u64 {
+    n_aggs.saturating_mul(8).saturating_mul(tile)
+}
+
+fn bitmap_bytes(rows: u64) -> u64 {
+    rows.div_ceil(64).saturating_mul(8)
+}
+
+// ---------------------------------------------------------------------------
+// The pass
+// ---------------------------------------------------------------------------
+
+/// Exact distinct-count bound for `table.column`, when a fresh profile
+/// knows one.
+fn exact_ndv(ctx: &BoundsCtx, table: &str, column: &str) -> Option<u64> {
+    ctx.profile(table)?.column(column)?.ndv
+}
+
+/// The grouped-key cardinality bound: exact NDV when fresh statistics know
+/// it, otherwise the scanned row count (every row its own group).
+fn group_keys_bound(ctx: &BoundsCtx, table: &str, key: Option<&str>, rows: u64) -> u64 {
+    match key.and_then(|k| exact_ndv(ctx, table, k)) {
+        Some(ndv) => ndv.min(rows),
+        None => rows,
+    }
+}
+
+fn group_key_column(op: &Op) -> Option<&str> {
+    op.exprs.iter().find_map(|b| match (&b.role, &b.expr) {
+        (ExprRole::GroupKey, VExpr::Col(c)) => Some(c.as_str()),
+        _ => None,
+    })
+}
+
+fn n_aggs_of(op: &Op) -> u64 {
+    match op.n_aggs {
+        Some(n) => n as u64,
+        // Hand-built programs without the annotation: every aggregate has
+        // at least its input expression (COUNT(*) lowers to none, so the
+        // engine always annotates).
+        None => op
+            .exprs
+            .iter()
+            .filter(|b| matches!(b.role, ExprRole::AggInput))
+            .count()
+            .max(1) as u64,
+    }
+}
+
+/// Value-range analysis for one operator: walk every bound expression,
+/// then model each aggregate input's accumulator (a sum of at most
+/// `rows` addends).
+fn analyze_overflow(
+    op: &Op,
+    decl: Option<&TableDecl>,
+    profile: Option<&TableProfile>,
+) -> SiteTally {
+    let mut tally = SiteTally::default();
+    for BoundExpr { role, expr } in &op.exprs {
+        let iv = eval_expr(expr, decl, profile, &mut tally);
+        if matches!(role, ExprRole::AggInput) {
+            // Accumulator site: SUM over up to `rows` values. Safe iff the
+            // worst-case magnitude times the row bound stays within i64.
+            tally.sites += 1;
+            let rows = op.rows as i128;
+            if iv
+                .max_abs()
+                .checked_mul(rows)
+                .is_some_and(|total| total <= I64_HI)
+            {
+                tally.safe += 1;
+            }
+        }
+    }
+    tally
+}
+
+/// Derive the certificate for a lowered program.
+///
+/// Infallible by construction: every bound saturates rather than failing,
+/// and [`PlanCertificate::is_bounded`] reports whether saturation occurred
+/// (the corpus gate requires it never does on the supported surface).
+#[must_use]
+pub fn certify(program: &Program, ctx: &BoundsCtx) -> PlanCertificate {
+    let workers = ctx.workers.max(1) as u64;
+    let tile = program.tile_rows as u64;
+    let mut per_op = Vec::with_capacity(program.ops.len());
+    // Output cardinality of the most recent core operator, for sizing the
+    // Sort post-operator's selection vector.
+    let mut last_out: u64 = 0;
+    for op in &program.ops {
+        let decl = program.table(&op.table);
+        let profile = ctx.profile(&op.table);
+        let rows = op.rows as u64;
+        let n_aggs = n_aggs_of(op);
+        let mut b = OpBounds {
+            op: op.name.clone(),
+            path: op.path.clone(),
+            rows_scanned: rows,
+            out_rows_bound: rows,
+            plan_bytes_bound: 0,
+            worker_bytes_bound: 0,
+            ht_bytes_bound: 0,
+            arith_sites: 0,
+            overflow_safe_sites: 0,
+        };
+        let tally = analyze_overflow(op, decl, profile);
+        b.arith_sites = tally.sites;
+        b.overflow_safe_sites = tally.safe;
+        match &op.strategy {
+            Some(StrategyRef::Agg { grouped, .. }) => {
+                if *grouped {
+                    let keys = group_keys_bound(ctx, &op.table, group_key_column(op), rows);
+                    b.out_rows_bound = keys;
+                    b.worker_bytes_bound = workers.saturating_mul(group_scratch(tile, n_aggs));
+                    let cap = grown_cap(agg_table_cap0(64), keys);
+                    b.ht_bytes_bound = workers.saturating_mul(agg_table_bytes(cap, n_aggs));
+                } else {
+                    b.out_rows_bound = 1;
+                    b.worker_bytes_bound = workers.saturating_mul(scalar_scratch(tile, n_aggs));
+                }
+                last_out = b.out_rows_bound;
+            }
+            Some(StrategyRef::SemiJoinBuild(s)) => {
+                // Qualifying mask over the whole build domain, plus the
+                // membership structure the probe imports.
+                b.plan_bytes_bound = rows;
+                match s {
+                    SemiJoinStrategy::Hash => {
+                        b.ht_bytes_bound = key_set_bytes(rows);
+                    }
+                    SemiJoinStrategy::PositionalBitmap(bmb) => {
+                        if *bmb == BitmapBuild::SelectionVector {
+                            b.plan_bytes_bound =
+                                b.plan_bytes_bound.saturating_add(rows.saturating_mul(4));
+                        }
+                        b.plan_bytes_bound = b.plan_bytes_bound.saturating_add(bitmap_bytes(rows));
+                    }
+                }
+            }
+            Some(StrategyRef::SemiJoinProbe { .. }) => {
+                b.out_rows_bound = 1;
+                let mut per_worker = scalar_scratch(tile, n_aggs);
+                if op.path.starts_with("/multijoin") {
+                    // The multijoin probe narrows a per-worker edge cursor
+                    // (16 bytes per edge) alongside its scalar scratch.
+                    per_worker =
+                        per_worker.saturating_add((op.imports.len() as u64).saturating_mul(16));
+                }
+                b.worker_bytes_bound = workers.saturating_mul(per_worker);
+                last_out = b.out_rows_bound;
+            }
+            Some(StrategyRef::GroupJoinBuild) => {
+                // Chain-edge / groupjoin build: only the qualifying mask.
+                b.plan_bytes_bound = rows;
+            }
+            Some(StrategyRef::GroupJoin(_)) => {
+                let key = group_key_column(op);
+                let parent_rows = key
+                    .and_then(|k| {
+                        program
+                            .fks
+                            .iter()
+                            .find(|f| f.child == op.table && f.fk_col == k)
+                    })
+                    .map_or(rows, |f| f.parent_rows as u64);
+                let keys = match key.and_then(|k| exact_ndv(ctx, &op.table, k)) {
+                    Some(ndv) => ndv.min(parent_rows),
+                    None => parent_rows,
+                };
+                b.out_rows_bound = keys;
+                b.worker_bytes_bound = workers.saturating_mul(groupjoin_scratch(tile, n_aggs));
+                let cap = grown_cap(agg_table_cap0((parent_rows / 2).max(16)), keys);
+                b.ht_bytes_bound = workers.saturating_mul(agg_table_bytes(cap, n_aggs));
+                last_out = b.out_rows_bound;
+            }
+            Some(StrategyRef::Window { .. }) => {
+                // Phase 1: plan-scoped selection vector + per-worker tile
+                // mask. Phase 2: materialized columns for qualifying rows.
+                let mat_cols = op.mat_cols.unwrap_or(1 + op.exprs.len()) as u64;
+                b.plan_bytes_bound = rows
+                    .saturating_mul(4)
+                    .saturating_add(rows.saturating_mul(8).saturating_mul(mat_cols));
+                b.worker_bytes_bound = workers.saturating_mul(tile);
+                last_out = rows;
+            }
+            Some(StrategyRef::Sort) => {
+                b.out_rows_bound = last_out;
+                b.plan_bytes_bound = last_out.saturating_mul(4);
+            }
+            Some(StrategyRef::Limit) => {
+                b.out_rows_bound = last_out;
+            }
+            None => {}
+        }
+        per_op.push(b);
+    }
+    let primary = per_op
+        .iter()
+        .fold(0u64, |acc, b| acc.saturating_add(b.bytes_bound()));
+    let peak = primary.saturating_add(ctx.fallback_bytes);
+    let arith_sites = per_op.iter().map(|b| b.arith_sites).sum();
+    let overflow_safe_sites = per_op.iter().map(|b| b.overflow_safe_sites).sum();
+    let stats_generations: Vec<(String, u64)> = program
+        .tables
+        .iter()
+        .filter_map(|t| ctx.profile(&t.name).map(|p| (t.name.clone(), p.generation)))
+        .collect();
+    let mut lines = vec![
+        format!(
+            "bounds: peak <= {peak} B across {} operator(s) at {workers} worker(s) \
+             (primary {primary} B + fallback reserve {} B)",
+            per_op.len(),
+            ctx.fallback_bytes
+        ),
+        format!(
+            "bounds: {overflow_safe_sites}/{arith_sites} arithmetic site(s) proven overflow-safe"
+        ),
+    ];
+    lines.extend(per_op.iter().map(|b| format!("bounds[{b}]")));
+    PlanCertificate {
+        peak_bytes_bound: peak,
+        primary_bytes_bound: primary,
+        fallback_bytes: ctx.fallback_bytes,
+        per_op_bounds: per_op,
+        arith_sites,
+        overflow_safe_sites,
+        workers,
+        stats_generations,
+        lines,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sizing-formula accessors for the engine's drift-guard test
+// ---------------------------------------------------------------------------
+
+/// Kernel-sizing formulas re-exported for cross-crate drift tests: the
+/// engine asserts these agree with the real `swole_kernels` sizing
+/// functions, so a kernel layout change cannot silently unsound the bounds.
+pub mod sizing {
+    /// Initial `AggTable` capacity for an expected key count.
+    #[must_use]
+    pub fn agg_table_cap0(expected: u64) -> u64 {
+        super::agg_table_cap0(expected)
+    }
+    /// Capacity after growth to hold `keys` occupants.
+    #[must_use]
+    pub fn grown_cap(cap0: u64, keys: u64) -> u64 {
+        super::grown_cap(cap0, keys)
+    }
+    /// `AggTable::size_bytes` at a capacity.
+    #[must_use]
+    pub fn agg_table_bytes(cap: u64, n_aggs: u64) -> u64 {
+        super::agg_table_bytes(cap, n_aggs)
+    }
+    /// Total `KeySet` charge for up to `n` inserted keys.
+    #[must_use]
+    pub fn key_set_bytes(n: u64) -> u64 {
+        super::key_set_bytes(n)
+    }
+    /// `ScalarAcc::scratch_bytes` equivalent.
+    #[must_use]
+    pub fn scalar_scratch(tile: u64, n_aggs: u64) -> u64 {
+        super::scalar_scratch(tile, n_aggs)
+    }
+    /// `GroupAcc::scratch_bytes` equivalent.
+    #[must_use]
+    pub fn group_scratch(tile: u64, n_aggs: u64) -> u64 {
+        super::group_scratch(tile, n_aggs)
+    }
+    /// `GroupJoinAcc::scratch_bytes` equivalent.
+    #[must_use]
+    pub fn groupjoin_scratch(tile: u64, n_aggs: u64) -> u64 {
+        super::groupjoin_scratch(tile, n_aggs)
+    }
+    /// Positional bitmap bytes over a parent domain.
+    #[must_use]
+    pub fn bitmap_bytes(rows: u64) -> u64 {
+        super::bitmap_bytes(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Alloc, Artifact, ArtifactKind, ColumnDecl, FkDecl, Scope};
+    use swole_cost::AggStrategy;
+
+    const TILE: usize = 1024;
+
+    fn table(name: &str, rows: usize, cols: &[(&str, ColType)]) -> TableDecl {
+        TableDecl {
+            name: name.to_string(),
+            rows,
+            columns: cols
+                .iter()
+                .map(|(n, t)| ColumnDecl {
+                    name: (*n).to_string(),
+                    ty: *t,
+                })
+                .collect(),
+        }
+    }
+
+    fn grouped_agg_program(rows: usize) -> Program {
+        let mut op = Op::new("groupby-agg(t)", "/scan-agg", "t", rows);
+        op.exprs.push(BoundExpr {
+            role: ExprRole::Predicate,
+            expr: VExpr::Cmp(vec![VExpr::Col("v".into()), VExpr::Lit(10)]),
+        });
+        op.exprs.push(BoundExpr {
+            role: ExprRole::AggInput,
+            expr: VExpr::Col("v".into()),
+        });
+        op.exprs.push(BoundExpr {
+            role: ExprRole::GroupKey,
+            expr: VExpr::Col("g".into()),
+        });
+        op.strategy = Some(StrategyRef::Agg {
+            strategy: AggStrategy::Hybrid,
+            grouped: true,
+        });
+        op.n_aggs = Some(1);
+        op.locals.push(Artifact {
+            kind: ArtifactKind::ValueMask,
+            table: "t".into(),
+            rows: TILE,
+            scope: Scope::Tile,
+        });
+        op.allocs.push(Alloc {
+            site: "worker-scratch".into(),
+            charged: true,
+        });
+        op.allocs.push(Alloc {
+            site: "agg-table".into(),
+            charged: true,
+        });
+        Program {
+            tables: vec![table(
+                "t",
+                rows,
+                &[("v", ColType::Int), ("g", ColType::Int)],
+            )],
+            fks: Vec::new(),
+            ops: vec![op],
+            tile_rows: TILE,
+        }
+    }
+
+    fn profile_with_ndv(ndv: u64) -> TableProfile {
+        TableProfile {
+            table: "t".into(),
+            generation: 1,
+            columns: vec![
+                ColumnProfile {
+                    name: "v".into(),
+                    min: 0,
+                    max: 100,
+                    ndv: None,
+                },
+                ColumnProfile {
+                    name: "g".into(),
+                    min: 0,
+                    max: ndv as i64 - 1,
+                    ndv: Some(ndv),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn exact_ndv_tightens_grouped_hash_table_bound() {
+        let p = grouped_agg_program(100_000);
+        let loose = certify(&p, &BoundsCtx::without_stats(2));
+        let tight = certify(
+            &p,
+            &BoundsCtx {
+                workers: 2,
+                profiles: vec![profile_with_ndv(8)],
+                fallback_bytes: 0,
+            },
+        );
+        assert!(loose.is_bounded() && tight.is_bounded());
+        // 8 groups fit the initial 128-slot table; 100k groups force growth.
+        assert!(
+            tight.peak_bytes_bound < loose.peak_bytes_bound,
+            "ndv=8 bound {} must beat ndv-unknown bound {}",
+            tight.peak_bytes_bound,
+            loose.peak_bytes_bound
+        );
+        assert_eq!(tight.per_op_bounds[0].out_rows_bound, 8);
+        assert_eq!(loose.per_op_bounds[0].out_rows_bound, 100_000);
+        assert_eq!(tight.stats_generations, vec![("t".to_string(), 1)]);
+    }
+
+    #[test]
+    fn bounds_scale_with_worker_count() {
+        let p = grouped_agg_program(10_000);
+        let w1 = certify(&p, &BoundsCtx::without_stats(1));
+        let w8 = certify(&p, &BoundsCtx::without_stats(8));
+        assert!(w8.peak_bytes_bound > w1.peak_bytes_bound);
+        assert_eq!(
+            w8.per_op_bounds[0].worker_bytes_bound,
+            8 * w1.per_op_bounds[0].worker_bytes_bound
+        );
+    }
+
+    #[test]
+    fn stats_bounded_column_proves_sum_overflow_safe() {
+        let p = grouped_agg_program(100_000);
+        // |v| <= 100 over 100k rows: 10^7 << i64::MAX — provably safe.
+        let cert = certify(
+            &p,
+            &BoundsCtx {
+                workers: 1,
+                profiles: vec![profile_with_ndv(8)],
+                fallback_bytes: 0,
+            },
+        );
+        assert_eq!(cert.arith_sites, 1, "one accumulator site");
+        assert_eq!(cert.overflow_safe_sites, 1);
+        assert!(cert.all_sites_overflow_safe());
+        // Without statistics the column is ⊤ and nothing is provable.
+        let blind = certify(&p, &BoundsCtx::without_stats(1));
+        assert_eq!(blind.overflow_safe_sites, 0);
+    }
+
+    #[test]
+    fn interval_arithmetic_widens_on_i64_escape() {
+        let mut tally = SiteTally::default();
+        // (i64::MAX) + 1 escapes: widened to ⊤, not safe.
+        let e = VExpr::Arith(ArithOp::Add, vec![VExpr::Lit(i64::MAX), VExpr::Lit(1)]);
+        let iv = eval_expr(&e, None, None, &mut tally);
+        assert_eq!(iv, TOP);
+        assert_eq!((tally.sites, tally.safe), (1, 0));
+
+        // 3 * 4 stays exact and safe.
+        let mut tally = SiteTally::default();
+        let e = VExpr::Arith(ArithOp::Mul, vec![VExpr::Lit(3), VExpr::Lit(4)]);
+        let iv = eval_expr(&e, None, None, &mut tally);
+        assert_eq!((iv.lo, iv.hi), (12, 12));
+        assert_eq!((tally.sites, tally.safe), (1, 1));
+    }
+
+    #[test]
+    fn division_by_interval_containing_zero_is_never_safe() {
+        let mut tally = SiteTally::default();
+        let decl = table("t", 10, &[("d", ColType::Int)]);
+        let profile = TableProfile {
+            table: "t".into(),
+            generation: 0,
+            columns: vec![ColumnProfile {
+                name: "d".into(),
+                min: -1,
+                max: 1,
+                ndv: None,
+            }],
+        };
+        let e = VExpr::Arith(ArithOp::Div, vec![VExpr::Lit(100), VExpr::Col("d".into())]);
+        eval_expr(&e, Some(&decl), Some(&profile), &mut tally);
+        assert_eq!((tally.sites, tally.safe), (1, 0));
+    }
+
+    #[test]
+    fn semijoin_hash_build_bound_covers_grown_key_set() {
+        let rows = 5_000usize;
+        let mut build = Op::new("semijoin-build(s)", "/semijoin-agg/build", "s", rows);
+        build.strategy = Some(StrategyRef::SemiJoinBuild(SemiJoinStrategy::Hash));
+        let p = Program {
+            tables: vec![table("s", rows, &[("k", ColType::Int)])],
+            fks: Vec::new(),
+            ops: vec![build],
+            tile_rows: TILE,
+        };
+        let cert = certify(&p, &BoundsCtx::without_stats(4));
+        let b = &cert.per_op_bounds[0];
+        // Mask byte per row + final key-set capacity (pow2 >= 2n+2) * 8.
+        assert_eq!(b.plan_bytes_bound, rows as u64);
+        assert_eq!(b.ht_bytes_bound, key_set_bytes(rows as u64));
+        assert!(b.ht_bytes_bound >= (2 * rows as u64) * 8);
+    }
+
+    #[test]
+    fn groupjoin_probe_keys_bounded_by_fk_parent_domain() {
+        let (probe_rows, build_rows) = (60_000usize, 500usize);
+        let mut op = Op::new("probe-agg(c)", "/groupjoin-agg/probe", "c", probe_rows);
+        op.exprs.push(BoundExpr {
+            role: ExprRole::AggInput,
+            expr: VExpr::Col("v".into()),
+        });
+        op.exprs.push(BoundExpr {
+            role: ExprRole::GroupKey,
+            expr: VExpr::Col("fk".into()),
+        });
+        op.strategy = Some(StrategyRef::GroupJoin(
+            swole_cost::GroupJoinStrategy::GroupJoin,
+        ));
+        op.n_aggs = Some(1);
+        let p = Program {
+            tables: vec![
+                table(
+                    "c",
+                    probe_rows,
+                    &[("v", ColType::Int), ("fk", ColType::U32)],
+                ),
+                table("par", build_rows, &[("x", ColType::Int)]),
+            ],
+            fks: vec![FkDecl {
+                child: "c".into(),
+                fk_col: "fk".into(),
+                parent: "par".into(),
+                child_rows: probe_rows,
+                parent_rows: build_rows,
+            }],
+            ops: vec![op],
+            tile_rows: TILE,
+        };
+        let cert = certify(&p, &BoundsCtx::without_stats(1));
+        // Groups cannot exceed the FK parent domain, not the probe rows.
+        assert_eq!(cert.per_op_bounds[0].out_rows_bound, build_rows as u64);
+    }
+
+    #[test]
+    fn sort_bound_follows_core_output_cardinality() {
+        let mut p = grouped_agg_program(100_000);
+        let mut sort = Op::new("sort(t)", "/post/sort", "t", 100_000);
+        sort.strategy = Some(StrategyRef::Sort);
+        p.ops.push(sort);
+        let cert = certify(
+            &p,
+            &BoundsCtx {
+                workers: 1,
+                profiles: vec![profile_with_ndv(8)],
+                fallback_bytes: 0,
+            },
+        );
+        // The sort permutation covers at most the 8 group rows, not the
+        // 100k scanned rows.
+        assert_eq!(cert.per_op_bounds[1].out_rows_bound, 8);
+        assert_eq!(cert.per_op_bounds[1].plan_bytes_bound, 8 * 4);
+    }
+
+    #[test]
+    fn fallback_reserve_is_added_to_peak() {
+        let p = grouped_agg_program(1_000);
+        let without = certify(&p, &BoundsCtx::without_stats(1));
+        let with = certify(
+            &p,
+            &BoundsCtx {
+                workers: 1,
+                profiles: Vec::new(),
+                fallback_bytes: 8_000,
+            },
+        );
+        assert_eq!(with.peak_bytes_bound, without.peak_bytes_bound + 8_000);
+        assert_eq!(with.primary_bytes_bound, without.primary_bytes_bound);
+    }
+
+    #[test]
+    fn certificate_lines_render_summary_and_per_op() {
+        let p = grouped_agg_program(1_000);
+        let cert = certify(&p, &BoundsCtx::without_stats(2));
+        assert!(cert.lines[0].contains("peak <="));
+        assert!(cert.lines[1].contains("arithmetic site(s)"));
+        assert!(cert.lines.iter().any(|l| l.contains("/scan-agg")));
+    }
+}

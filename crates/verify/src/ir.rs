@@ -90,14 +90,41 @@ pub struct FkRef {
     pub parent: String,
 }
 
+/// Arithmetic operator carried by [`VExpr::Arith`] — the bounds pass needs
+/// the operator to run interval arithmetic; the structural passes ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Expression tree as the verifier sees it: enough structure for column,
-/// type, and binding checks without the planner's evaluation semantics.
+/// type, and binding checks without the planner's evaluation semantics,
+/// plus literal values and arithmetic operators for value-range analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VExpr {
     /// Column reference (resolved against the operator's table).
     Col(String),
-    /// Literal constant.
-    Lit,
+    /// Literal constant (the value feeds the bounds pass's range analysis).
+    Lit(i64),
     /// Unbound parameter placeholder (always an error by plan time).
     Param(usize),
     /// Dictionary predicate (`LIKE`, `IN (...)`) over a column; the column
@@ -106,7 +133,7 @@ pub enum VExpr {
     /// Comparison over sub-expressions.
     Cmp(Vec<VExpr>),
     /// Arithmetic over sub-expressions (dictionary codes are not valid here).
-    Arith(Vec<VExpr>),
+    Arith(ArithOp, Vec<VExpr>),
     /// Boolean connective over sub-expressions.
     Bool(Vec<VExpr>),
     /// CASE expression: conditions and branch values interleaved.
@@ -282,6 +309,14 @@ pub struct Op {
     pub imports: Vec<Import>,
     /// Heap allocation sites reachable from this operator.
     pub allocs: Vec<Alloc>,
+    /// Columns the operator materializes per qualifying row (window phase 2:
+    /// partition key + order keys + projected columns + function inputs).
+    /// `None` for operators that materialize no per-row columns.
+    pub mat_cols: Option<usize>,
+    /// Number of aggregate accumulators the operator maintains (sizes
+    /// per-worker scratch and hash-table payloads in the bounds pass).
+    /// `None` for non-aggregating operators.
+    pub n_aggs: Option<usize>,
 }
 
 impl Op {
@@ -302,6 +337,8 @@ impl Op {
             exports: Vec::new(),
             imports: Vec::new(),
             allocs: Vec::new(),
+            mat_cols: None,
+            n_aggs: None,
         }
     }
 }

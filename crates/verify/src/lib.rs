@@ -23,12 +23,21 @@
 //! [`VerifyLevel::Structural`] runs passes 1–2; [`VerifyLevel::Full`] runs all
 //! four. Verification happens once per plan fingerprint at plan time — never
 //! per morsel — so `Off` has zero execution-path overhead.
+//!
+//! A fifth, certification pass ([`bounds`]) runs abstract interpretation over
+//! the same IR to derive a [`PlanCertificate`]: sound upper bounds on rows,
+//! bytes, and hash-table growth per operator, plus value-range proofs of
+//! which arithmetic sites cannot overflow. The engine enforces certificates
+//! at admission time.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bounds;
 pub mod ir;
 pub mod passes;
+
+pub use bounds::{certify, BoundsCtx, ColumnProfile, OpBounds, PlanCertificate, TableProfile};
 
 use std::fmt;
 

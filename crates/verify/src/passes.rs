@@ -92,7 +92,7 @@ fn walk_expr(
     column_refs: &mut usize,
 ) -> Result<(), VerifyError> {
     match expr {
-        VExpr::Lit => Ok(()),
+        VExpr::Lit(_) => Ok(()),
         VExpr::Param(ordinal) => Err(err(
             &op.path,
             VerifyErrorKind::UnboundParam { ordinal: *ordinal },
@@ -142,7 +142,7 @@ fn walk_expr(
             }
             Ok(())
         }
-        VExpr::Arith(children) => {
+        VExpr::Arith(_, children) => {
             for c in children {
                 walk_expr(c, op, table, true, column_refs)?;
             }
@@ -578,7 +578,7 @@ pub fn check_resources(program: &Program) -> Result<ResourceSummary, VerifyError
 mod tests {
     use super::*;
     use crate::ir::{
-        Alloc, Artifact, BoundExpr, ColType, ColumnDecl, FkDecl, FkRef, Import, TableDecl,
+        Alloc, ArithOp, Artifact, BoundExpr, ColType, ColumnDecl, FkDecl, FkRef, Import, TableDecl,
     };
     use crate::{verify, VerifyLevel};
     use swole_cost::{BitmapBuild, SemiJoinStrategy};
@@ -613,7 +613,7 @@ mod tests {
         );
         build.exprs.push(BoundExpr {
             role: ExprRole::Predicate,
-            expr: VExpr::Cmp(vec![VExpr::Col("s_nationkey".into()), VExpr::Lit]),
+            expr: VExpr::Cmp(vec![VExpr::Col("s_nationkey".into()), VExpr::Lit(15)]),
         });
         build.strategy = Some(StrategyRef::SemiJoinBuild(
             SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional),
@@ -647,14 +647,17 @@ mod tests {
         );
         probe.exprs.push(BoundExpr {
             role: ExprRole::Predicate,
-            expr: VExpr::Cmp(vec![VExpr::Col("l_quantity".into()), VExpr::Lit]),
+            expr: VExpr::Cmp(vec![VExpr::Col("l_quantity".into()), VExpr::Lit(24)]),
         });
         probe.exprs.push(BoundExpr {
             role: ExprRole::AggInput,
-            expr: VExpr::Arith(vec![
-                VExpr::Col("l_extendedprice".into()),
-                VExpr::Col("l_discount".into()),
-            ]),
+            expr: VExpr::Arith(
+                ArithOp::Mul,
+                vec![
+                    VExpr::Col("l_extendedprice".into()),
+                    VExpr::Col("l_discount".into()),
+                ],
+            ),
         });
         probe.strategy = Some(StrategyRef::SemiJoinProbe {
             strategy: SemiJoinStrategy::PositionalBitmap(BitmapBuild::Unconditional),
@@ -736,7 +739,7 @@ mod tests {
         let mut p = semijoin_program();
         p.ops[1].exprs[0] = BoundExpr {
             role: ExprRole::Predicate,
-            expr: VExpr::Cmp(vec![VExpr::Col("l_ghost".into()), VExpr::Lit]),
+            expr: VExpr::Cmp(vec![VExpr::Col("l_ghost".into()), VExpr::Lit(1)]),
         };
         let e = verify(&p, VerifyLevel::Structural).unwrap_err();
         assert_eq!(

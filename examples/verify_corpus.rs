@@ -4,12 +4,19 @@
 //! under three strategy regimes (cost-model default, pullups pinned,
 //! baselines pinned).
 //!
+//! Every plan is additionally run through the bounds regime: the
+//! abstract-interpretation pass must produce a [`PlanCertificate`] with a
+//! finite (non-`unbounded`) peak-memory verdict for all of them. The
+//! per-plan bounds land in a diffable `bounds-report.json` (path
+//! overridable via `BOUNDS_REPORT`), which CI uploads as an artifact so a
+//! planner or verifier change that loosens any bound shows up as a diff.
+//!
 //! ```text
 //! cargo run --release --example verify_corpus
 //! ```
 //!
-//! Exits non-zero if any plan fails verification — `scripts/verify_corpus.sh`
-//! wires this into CI as the corpus gate.
+//! Exits non-zero if any plan fails verification or certification —
+//! `scripts/verify_corpus.sh` wires this into CI as the corpus gate.
 
 use swole::plan::parse_sql;
 use swole::prelude::*;
@@ -307,8 +314,43 @@ const STAR4_ORDERS: [(&str, [&str; 3]); 2] = [
     ("pin-spo", ["supplier", "part", "orders"]),
 ];
 
-/// Verify every query of one corpus under one engine configuration.
-/// Returns the number of failures.
+/// One certified plan's bounds, as a line of the diffable report.
+struct BoundsRow {
+    corpus: String,
+    query: String,
+    threads: usize,
+    regime: String,
+    ops: usize,
+    peak_bytes_bound: u64,
+    primary_bytes_bound: u64,
+    fallback_bytes: u64,
+    arith_sites: u32,
+    overflow_safe_sites: u32,
+}
+
+impl BoundsRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"corpus\":\"{}\",\"query\":\"{}\",\"threads\":{},\"regime\":\"{}\",\
+             \"ops\":{},\"peak_bytes_bound\":{},\"primary_bytes_bound\":{},\
+             \"fallback_bytes\":{},\"arith_sites\":{},\"overflow_safe_sites\":{}}}",
+            self.corpus,
+            self.query,
+            self.threads,
+            self.regime,
+            self.ops,
+            self.peak_bytes_bound,
+            self.primary_bytes_bound,
+            self.fallback_bytes,
+            self.arith_sites,
+            self.overflow_safe_sites,
+        )
+    }
+}
+
+/// Verify and certify every query of one corpus under one engine
+/// configuration. Returns the number of failures and appends one
+/// [`BoundsRow`] per certified plan.
 fn verify_corpus(
     corpus: &str,
     db: Database,
@@ -316,6 +358,7 @@ fn verify_corpus(
     threads: usize,
     regime_name: &str,
     overrides: StrategyOverrides,
+    bounds: &mut Vec<BoundsRow>,
 ) -> usize {
     let engine = Engine::builder(db)
         .threads(threads)
@@ -345,6 +388,33 @@ fn verify_corpus(
             Err(e) => {
                 println!("FAIL {corpus}/{name} t={threads} regime={regime_name}: {e}");
                 failures += 1;
+                continue;
+            }
+        }
+        // Bounds regime: every verified plan must also certify with a
+        // finite peak bound — an `unbounded` verdict is a corpus failure.
+        match engine.certificate(&plan) {
+            Ok(cert) if cert.is_bounded() => bounds.push(BoundsRow {
+                corpus: corpus.to_string(),
+                query: name.clone(),
+                threads,
+                regime: regime_name.to_string(),
+                ops: cert.per_op_bounds.len(),
+                peak_bytes_bound: cert.peak_bytes_bound,
+                primary_bytes_bound: cert.primary_bytes_bound,
+                fallback_bytes: cert.fallback_bytes,
+                arith_sites: cert.arith_sites,
+                overflow_safe_sites: cert.overflow_safe_sites,
+            }),
+            Ok(_) => {
+                println!(
+                    "FAIL {corpus}/{name} t={threads} regime={regime_name}: unbounded verdict"
+                );
+                failures += 1;
+            }
+            Err(e) => {
+                println!("FAIL {corpus}/{name} t={threads} regime={regime_name}: certify: {e}");
+                failures += 1;
             }
         }
     }
@@ -364,6 +434,7 @@ fn main() {
         .collect();
     let mut failures = 0;
     let mut plans = 0;
+    let mut bounds: Vec<BoundsRow> = Vec::new();
     for threads in THREAD_COUNTS {
         for regime in &REGIMES {
             failures += verify_corpus(
@@ -373,6 +444,7 @@ fn main() {
                 threads,
                 regime.name,
                 regime.overrides(),
+                &mut bounds,
             );
             failures += verify_corpus(
                 "tpch",
@@ -381,6 +453,7 @@ fn main() {
                 threads,
                 regime.name,
                 regime.overrides(),
+                &mut bounds,
             );
             failures += verify_corpus(
                 "multijoin",
@@ -389,6 +462,7 @@ fn main() {
                 threads,
                 regime.name,
                 regime.overrides(),
+                &mut bounds,
             );
             plans += micro_queries.len() + tpch_queries.len() + multijoin_queries.len();
         }
@@ -405,17 +479,33 @@ fn main() {
                 threads,
                 name,
                 overrides,
+                &mut bounds,
             );
             plans += star4_queries.len();
         }
     }
     println!();
+    // The diffable bounds report: one JSON object per certified plan, in
+    // deterministic corpus order. CI uploads it as an artifact so a
+    // change that loosens (or tightens) any bound shows up as a diff.
+    let report_path =
+        std::env::var("BOUNDS_REPORT").unwrap_or_else(|_| "bounds-report.json".to_string());
+    let mut json = String::from("[\n");
+    for (i, row) in bounds.iter().enumerate() {
+        json.push_str("  ");
+        json.push_str(&row.to_json());
+        json.push_str(if i + 1 < bounds.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("]\n");
+    std::fs::write(&report_path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {report_path}: {e}"));
     if failures > 0 {
         println!("verify_corpus: {failures}/{plans} plans FAILED verification");
         std::process::exit(1);
     }
+    assert_eq!(bounds.len(), plans, "every verified plan must certify");
     println!(
-        "verify_corpus: all {plans} plans verified at {:?} across {} thread counts x {} strategy regimes + {} join-order regimes",
+        "verify_corpus: all {plans} plans verified at {:?} and certified bounded (report: {report_path}) across {} thread counts x {} strategy regimes + {} join-order regimes",
         VerifyLevel::Full,
         THREAD_COUNTS.len(),
         REGIMES.len(),

@@ -4,9 +4,15 @@
 # thread count in {1, 2, 8} under three strategy regimes (cost-model
 # default, pullups pinned, baselines pinned).
 #
-# Exits non-zero if any plan fails verification. CI runs this as the
-# corpus gate; locally it is the quickest way to smoke-test a planner or
-# verifier change against every shape the engine can produce.
+# Every plan is also run through the bounds regime: the abstract
+# interpreter must certify a finite peak-memory bound for all of them
+# (zero `unbounded` verdicts), and the per-plan bounds are written to
+# bounds-report.json (override with BOUNDS_REPORT) for CI to upload as a
+# diffable artifact.
+#
+# Exits non-zero if any plan fails verification or certification. CI runs
+# this as the corpus gate; locally it is the quickest way to smoke-test a
+# planner or verifier change against every shape the engine can produce.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -318,8 +318,9 @@ fn global_budget_never_exceeded_and_drains() {
 #[test]
 fn global_budget_exhaustion_is_typed_and_recovers() {
     // A 1 KiB server budget cannot fit any strategy's scratch, nor the
-    // data-centric fallback's — the typed error must surface and every
-    // failed attempt must hand its charges back.
+    // data-centric fallback's. The plan certificate proves that bound
+    // statically, so the query is rejected at admission — before any
+    // worker starts or a single byte is charged — and nothing can leak.
     let engine = Engine::builder(make_db(5, 30_000, 128))
         .threads(2)
         .tile_rows(2048)
@@ -328,10 +329,13 @@ fn global_budget_exhaustion_is_typed_and_recovers() {
     let plan = groupby_plan();
     for attempt in 0..3 {
         let err = engine.query(&plan).expect_err("budget cannot fit scratch");
-        assert!(
-            matches!(err, PlanError::BudgetExceeded { .. }),
-            "attempt {attempt}: got {err:?}"
-        );
+        match err {
+            PlanError::Admission(AdmissionError::BudgetInfeasible { bound, budget }) => {
+                assert_eq!(budget, 1024, "attempt {attempt}");
+                assert!(bound > budget, "attempt {attempt}: bound {bound}");
+            }
+            other => panic!("attempt {attempt}: expected BudgetInfeasible, got {other:?}"),
+        }
         let stats = engine
             .global_memory_stats()
             .expect("global pool configured");

@@ -82,6 +82,9 @@ fn zero_deadline_is_deterministic_at_any_thread_count() {
 
 #[test]
 fn one_byte_budget_is_deterministic_at_any_thread_count() {
+    // The certificate proves no plan fits one byte, so rejection happens
+    // at admission — same typed error at every thread count, and no
+    // execution attempt (primary or fallback) ever starts.
     for threads in THREADS {
         let e = Engine::builder(make_db())
             .threads(threads)
@@ -90,10 +93,11 @@ fn one_byte_budget_is_deterministic_at_any_thread_count() {
             .build();
         for plan in [groupby_plan(), scalar_plan()] {
             match e.query(&plan) {
-                Err(PlanError::BudgetExceeded { budget, .. }) => {
-                    assert_eq!(budget, 1, "threads={threads}")
+                Err(PlanError::Admission(AdmissionError::BudgetInfeasible { bound, budget })) => {
+                    assert_eq!(budget, 1, "threads={threads}");
+                    assert!(bound > 1, "threads={threads}: bound {bound}");
                 }
-                other => panic!("threads={threads}: expected BudgetExceeded, got {other:?}"),
+                other => panic!("threads={threads}: expected BudgetInfeasible, got {other:?}"),
             }
         }
     }

@@ -128,7 +128,10 @@ fn permutations(items: &[&str]) -> Vec<Vec<String>> {
     out
 }
 
-fn engine_with(order: Option<Vec<String>>, configure: impl Fn(EngineBuilder) -> EngineBuilder) -> Engine {
+fn engine_with(
+    order: Option<Vec<String>>,
+    configure: impl Fn(EngineBuilder) -> EngineBuilder,
+) -> Engine {
     let mut overrides = StrategyOverrides::default();
     if let Some(o) = order {
         overrides = overrides.join_order(o);
@@ -152,9 +155,9 @@ fn every_enumerated_order_is_bit_identical() {
         for perm in permutations(direct) {
             for t in THREADS {
                 let engine = engine_with(Some(perm.clone()), |b| b.threads(t));
-                let got = engine.query(&plan).unwrap_or_else(|e| {
-                    panic!("{name} order {perm:?} fails at {t} threads: {e}")
-                });
+                let got = engine
+                    .query(&plan)
+                    .unwrap_or_else(|e| panic!("{name} order {perm:?} fails at {t} threads: {e}"));
                 assert_eq!(
                     got.rows, truth.rows,
                     "{name} diverges from oracle at {t} threads with order {perm:?}"
@@ -210,10 +213,7 @@ fn bad_order_pins_are_plan_errors() {
             vec!["d1".to_string(), "d3".to_string()],
             "not a build side of this query",
         ),
-        (
-            vec!["d1".to_string(), "d1".to_string()],
-            "names d1 twice",
-        ),
+        (vec!["d1".to_string(), "d1".to_string()], "names d1 twice"),
     ] {
         let engine = engine_with(Some(pin.clone()), |b| b.threads(2));
         let err = engine

@@ -92,7 +92,9 @@ fn stats_shortcut_declines_filters_sums_and_off_mode() {
         .stats(StatsMode::Off)
         .verify(VerifyLevel::Full)
         .build();
-    let plan = parse_sql("select count(*) as n from T").expect("parses").plan;
+    let plan = parse_sql("select count(*) as n from T")
+        .expect("parses")
+        .plan;
     let ex = off.explain(&plan).expect("explain");
     assert!(
         !ex.decisions.iter().any(|d| d.contains("scan skipped")),
